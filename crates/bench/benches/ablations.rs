@@ -1,0 +1,158 @@
+//! Ablation benches for the design choices called out in DESIGN.md §3:
+//!
+//! 1. **Tree fan-out** — the paper packs leaves into two cache lines
+//!    (fan-out 8); we sweep fan-out over update and lookup workloads.
+//! 2. **Block size / pass-through granularity** — MergeScan passes whole
+//!    unmodified runs through per block; smaller blocks approximate a
+//!    tuple-at-a-time merge (Algorithm 2 as literally written).
+//! 3. **Compression codec choice** — bytes per column under each codec,
+//!    justifying the per-block auto-choice and the paper's observation that
+//!    sorted key columns compress superbly.
+
+use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
+use columnar::{compress, ColumnVec, IoTracker, Schema, StableTable, TableMeta, TableOptions, Value, ValueType};
+use exec::{DeltaLayers, ScanClock, TableScan};
+use pdt::Pdt;
+use tpch::gen::Rng;
+
+fn ablate_fanout(ops: u64) {
+    println!("\n## Ablation 1: PDT fan-out (F) — {ops} mixed updates + 100k RID lookups");
+    println!("{:>6} {:>12} {:>12} {:>12}", "F", "update_ms", "lookup_ms", "heap_KB");
+    let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+    for fanout in [4usize, 8, 16, 32, 64, 128] {
+        let mut pdt = Pdt::with_fanout(schema.clone(), vec![0], fanout);
+        let mut rng = Rng::new(7);
+        let stable: u64 = 10_000_000;
+        let (_, upd_s) = time(|| {
+            for i in 0..ops {
+                match i % 3 {
+                    0 => {
+                        let pos = rng.below(stable);
+                        let (rid, _) = pdt.rid_of_stable(pos);
+                        let key = Value::Int((pos * 1000 + i % 1000) as i64);
+                        let sid = pdt.sk_rid_to_sid(std::slice::from_ref(&key), rid);
+                        pdt.add_insert(sid, rid, &[key, Value::Int(0)]);
+                    }
+                    1 => pdt.add_modify(rng.below(stable), 1, &Value::Int(i as i64)),
+                    _ => {
+                        pdt.add_delete(rng.below(stable / 2), &[Value::Int(i as i64)]);
+                    }
+                }
+            }
+        });
+        let (_, lk_s) = time(|| {
+            let mut acc = 0u64;
+            for _ in 0..100_000 {
+                acc = acc.wrapping_add(pdt.lookup_rid(rng.below(stable)).sid);
+            }
+            acc
+        });
+        println!(
+            "{:>6} {:>12.2} {:>12.2} {:>12}",
+            fanout,
+            upd_s * 1e3,
+            lk_s * 1e3,
+            pdt.heap_bytes() / 1024
+        );
+    }
+}
+
+fn ablate_block_size(n: u64) {
+    println!("\n## Ablation 2: storage block size (pass-through granularity), {n} rows, 1% updates");
+    println!("{:>10} {:>12} {:>12}", "block", "pdt_ms", "clean_ms");
+    let (_, rows) = micro_table(n, 1, 4, KeyKind::Int, true);
+    let (pdt, _) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, n / 100, 99);
+    for block_rows in [64usize, 256, 1024, 4096, 16384] {
+        let meta = TableMeta::new(
+            "t",
+            Schema::from_pairs(&[
+                ("k", ValueType::Int),
+                ("v0", ValueType::Int),
+                ("v1", ValueType::Int),
+                ("v2", ValueType::Int),
+                ("v3", ValueType::Int),
+            ]),
+            vec![0],
+        );
+        let table = StableTable::bulk_load(
+            meta,
+            TableOptions {
+                block_rows,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap();
+        let io = IoTracker::new();
+        let (_, pdt_s) = time(|| {
+            let mut s = TableScan::new(
+                &table,
+                DeltaLayers::Pdt(vec![&pdt]),
+                vec![1, 2, 3, 4],
+                io.clone(),
+                ScanClock::new(),
+            );
+            drain_scan(&mut s)
+        });
+        let (_, clean_s) = time(|| {
+            let mut s = TableScan::new(
+                &table,
+                DeltaLayers::None,
+                vec![1, 2, 3, 4],
+                io.clone(),
+                ScanClock::new(),
+            );
+            drain_scan(&mut s)
+        });
+        println!("{:>10} {:>12.2} {:>12.2}", block_rows, pdt_s * 1e3, clean_s * 1e3);
+    }
+}
+
+fn ablate_codecs(n: usize) {
+    println!("\n## Ablation 3: codec bytes per column shape ({n} values)");
+    println!(
+        "{:>16} {:>10} {:>10} {:>10} {:>10}",
+        "column", "plain", "rle", "dict", "delta"
+    );
+    let mut rng = Rng::new(3);
+    let shapes: Vec<(&str, ColumnVec)> = vec![
+        ("sorted_keys", ColumnVec::Int((0..n as i64).map(|i| i * 2).collect())),
+        (
+            "random_ints",
+            ColumnVec::Int((0..n).map(|_| rng.range(0, 1 << 40)).collect()),
+        ),
+        (
+            "low_card_str",
+            ColumnVec::Str((0..n).map(|i| format!("mode-{}", i % 7)).collect()),
+        ),
+        (
+            "dates_clustered",
+            ColumnVec::Date((0..n).map(|i| 8000 + (i / 64) as i32).collect()),
+        ),
+    ];
+    use columnar::Encoding::*;
+    for (name, col) in shapes {
+        let size = |e| {
+            compress::encode(&col, e)
+                .map(|b| format!("{:>10}", b.len()))
+                .unwrap_or_else(|| format!("{:>10}", "-"))
+        };
+        println!(
+            "{:>16} {} {} {} {}",
+            name,
+            size(Plain),
+            size(Rle),
+            size(Dict),
+            size(DeltaVarint)
+        );
+    }
+}
+
+fn main() {
+    let ops = env_u64("PDT_BENCH_OPS", 200_000);
+    let rows = env_u64("PDT_BENCH_ROWS", 1_000_000);
+    println!("# Ablation benches for DESIGN.md §3 decisions");
+    ablate_fanout(ops);
+    ablate_block_size(rows / 2);
+    ablate_codecs(100_000);
+}

@@ -1,0 +1,91 @@
+//! Figure 16 — PDT update performance over time.
+//!
+//! "The first set of experiments demonstrate the logarithmic behavior of
+//! PDTs when they grow due to execution of ever more updates. Figure 16
+//! depicts the time needed to perform inserts, deletes and modifies
+//! respectively, to a constantly growing PDT (up to 1 million operations).
+//! Clearly, inserts are more expensive than modifies and deletes since the
+//! keys must be compared to compute insert SIDs."
+//!
+//! We grow three PDTs — one per operation type — over a virtual stable
+//! table and report the average per-operation cost per window, in ms, the
+//! same series the paper plots.
+
+use bench::env_u64;
+use columnar::{Schema, Value, ValueType};
+use pdt::Pdt;
+use tpch::gen::Rng;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[
+        ("k", ValueType::Int),
+        ("a", ValueType::Int),
+        ("b", ValueType::Int),
+        ("c", ValueType::Int),
+    ])
+}
+
+fn main() {
+    let total = env_u64("PDT_BENCH_OPS", 1_000_000);
+    let window = (total / 20).max(1);
+    let stable_rows: u64 = 100_000_000; // virtual stable table (positions only)
+    println!("# Figure 16: PDT maintenance cost (ms/op) vs PDT size");
+    println!("# growing to {total} update entries, averaged per {window}-op window");
+    println!("{:>10} {:>12} {:>12} {:>12}", "size", "insert", "modify", "delete");
+
+    // one growing PDT per operation type, exactly as in the paper
+    let mut ins_pdt = Pdt::new(schema(), vec![0]);
+    let mut mod_pdt = Pdt::new(schema(), vec![0]);
+    let mut del_pdt = Pdt::new(schema(), vec![0]);
+    let mut rng = Rng::new(16);
+
+    let mut done = 0u64;
+    while done < total {
+        let n = window.min(total - done);
+
+        // inserts: random positions; SID resolved by key as in real DML
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            let pos = rng.below(stable_rows);
+            let serial = done + i;
+            // key between stable tuples pos and pos+1, unique via serial
+            let key = Value::Int((pos * 1_000_000 + serial % 1_000_000) as i64);
+            let (rid, _) = ins_pdt.rid_of_stable(pos);
+            let sid = ins_pdt.sk_rid_to_sid(std::slice::from_ref(&key), rid);
+            ins_pdt.add_insert(
+                sid,
+                rid,
+                &[key, Value::Int(1), Value::Int(2), Value::Int(3)],
+            );
+        }
+        let ins_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        // modifies: random visible rows, alternating columns
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            let rid = rng.below(stable_rows);
+            mod_pdt.add_modify(rid, 1 + (i % 3) as usize, &Value::Int(i as i64));
+        }
+        let mod_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        // deletes: each delete shrinks the visible image by one
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            let visible = stable_rows - (del_pdt.len() as u64);
+            let rid = rng.below(visible);
+            del_pdt.add_delete(rid, &[Value::Int(rid as i64)]);
+        }
+        let del_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        done += n;
+        println!("{done:>10} {ins_ms:>12.6} {mod_ms:>12.6} {del_ms:>12.6}");
+    }
+    println!(
+        "# final sizes: ins={} mod={} del={} entries; heap: ins={}KB",
+        ins_pdt.len(),
+        mod_pdt.len(),
+        del_pdt.len(),
+        ins_pdt.heap_bytes() / 1024
+    );
+    println!("# expectation (paper): flat-to-logarithmic curves; insert > modify/delete");
+}

@@ -1,0 +1,73 @@
+//! Figure 18 — MergeScan: single- vs multi-column keys.
+//!
+//! "The next set of experiments investigate the impact of increasing the
+//! number of key columns in a table of 6 columns. Here we expect VDTs to
+//! suffer ... As in PDTs MergeScans do not need to look at the sort key
+//! columns, they are not influenced by this at all. ... For VDTs, the query
+//! time increases significantly when the number of keys ... is increased.
+//! For PDTs, query time decreases because fewer columns have to be
+//! projected when the number of keys increase, while merge cost stays
+//! constant."
+//!
+//! Table of 6 columns, 1–4 of which form the sort key; the query projects
+//! the non-key columns; update rates 0–2.5 per 100 tuples; int and string
+//! keys.
+
+use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
+use columnar::IoTracker;
+use exec::{DeltaLayers, ScanClock, TableScan};
+
+fn main() {
+    let n = env_u64("PDT_BENCH_ROWS", 1_000_000);
+    let rates = [0.0f64, 0.5, 1.0, 1.5, 2.0, 2.5];
+    println!("# Figure 18: MergeScan time (ms), 6 total columns, project non-key columns");
+    println!(
+        "{:>5} {:>6} {:>8} {:>10} {:>10} {:>8}",
+        "key", "nkeys", "upd/100", "pdt_ms", "vdt_ms", "vdt/pdt"
+    );
+    for kind in [KeyKind::Int, KeyKind::Str] {
+        for nkeys in 1..=4usize {
+            let ndata = 6 - nkeys;
+            let (table, rows) = micro_table(n, nkeys, ndata, kind, true);
+            let proj: Vec<usize> = (nkeys..6).collect();
+            for &rate in &rates {
+                let updates = (n as f64 * rate / 100.0) as u64;
+                let (pdt, vdt) =
+                    apply_micro_updates(&rows, nkeys, ndata, kind, updates, 18 + nkeys as u64);
+                let io = IoTracker::new();
+                let (prows, pdt_s) = time(|| {
+                    let mut s = TableScan::new(
+                        &table,
+                        DeltaLayers::Pdt(vec![&pdt]),
+                        proj.clone(),
+                        io.clone(),
+                        ScanClock::new(),
+                    );
+                    drain_scan(&mut s)
+                });
+                let (vrows, vdt_s) = time(|| {
+                    let mut s = TableScan::new(
+                        &table,
+                        DeltaLayers::Vdt(&vdt),
+                        proj.clone(),
+                        io.clone(),
+                        ScanClock::new(),
+                    );
+                    drain_scan(&mut s)
+                });
+                assert_eq!(prows, vrows);
+                println!(
+                    "{:>5} {:>6} {:>8.1} {:>10.2} {:>10.2} {:>8.2}",
+                    kind.label(),
+                    nkeys,
+                    rate,
+                    pdt_s * 1e3,
+                    vdt_s * 1e3,
+                    vdt_s / pdt_s.max(1e-9),
+                );
+            }
+        }
+    }
+    println!("# expectation (paper): VDT time grows with nkeys (more comparisons + key I/O);");
+    println!("# PDT time *decreases* with nkeys (fewer projected columns, constant merge cost).");
+}

@@ -1,0 +1,122 @@
+//! Criterion microbenchmarks of the core PDT operations: statistically
+//! rigorous companions to the figure harnesses (update ops, RID⇔SID
+//! mapping, Serialize, Propagate, row-level merge).
+
+use columnar::{Schema, Tuple, Value, ValueType};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pdt::propagate::propagate;
+use pdt::serialize::serialize;
+use pdt::Pdt;
+use tpch::gen::Rng;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)])
+}
+
+/// A PDT with `n` scattered modify entries over a large virtual table.
+fn grown_pdt(n: u64) -> Pdt {
+    let mut p = Pdt::new(schema(), vec![0]);
+    let mut rng = Rng::new(5);
+    for i in 0..n {
+        p.add_modify(rng.below(50_000_000), 1, &Value::Int(i as i64));
+    }
+    p
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdt_updates");
+    for &size in &[1_000u64, 100_000] {
+        g.bench_function(format!("add_modify/{size}"), |b| {
+            b.iter_batched(
+                || (grown_pdt(size), Rng::new(9)),
+                |(mut p, mut rng)| {
+                    for i in 0..100 {
+                        p.add_modify(rng.below(50_000_000), 1, &Value::Int(i));
+                    }
+                    p
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("add_delete/{size}"), |b| {
+            b.iter_batched(
+                || (grown_pdt(size), Rng::new(9)),
+                |(mut p, mut rng)| {
+                    for i in 0..100 {
+                        p.add_delete(rng.below(40_000_000), &[Value::Int(i)]);
+                    }
+                    p
+                },
+                BatchSize::LargeInput,
+            )
+        });
+        g.bench_function(format!("lookup_rid/{size}"), |b| {
+            let p = grown_pdt(size);
+            let mut rng = Rng::new(11);
+            b.iter(|| p.lookup_rid(rng.below(50_000_000)))
+        });
+    }
+    g.finish();
+}
+
+fn disjoint_trans_pdts(n: u64) -> (Pdt, Pdt) {
+    let mut rng = Rng::new(21);
+    let mut tx = Pdt::new(schema(), vec![0]);
+    let mut ty = Pdt::new(schema(), vec![0]);
+    for i in 0..n {
+        // even rids for ty, odd for tx: never conflicting
+        ty.add_modify(rng.below(1_000_000) * 2, 1, &Value::Int(i as i64));
+        tx.add_modify(rng.below(1_000_000) * 2 + 1, 1, &Value::Int(i as i64));
+    }
+    (tx, ty)
+}
+
+fn bench_txn_algorithms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pdt_txn");
+    g.bench_function("serialize/1k_vs_1k", |b| {
+        b.iter_batched(
+            || disjoint_trans_pdts(1000),
+            |(tx, ty)| serialize(tx, &ty).expect("disjoint"),
+            BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("propagate/1k_into_10k", |b| {
+        b.iter_batched(
+            || {
+                let lower = grown_pdt(10_000);
+                let (upper, _) = disjoint_trans_pdts(1000);
+                (lower, upper)
+            },
+            |(mut lower, upper)| {
+                propagate(&mut lower, &upper);
+                lower
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let rows: Vec<Tuple> = (0..200_000i64)
+        .map(|i| vec![Value::Int(i * 2), Value::Int(i)])
+        .collect();
+    let mut p = Pdt::new(schema(), vec![0]);
+    let mut rng = Rng::new(31);
+    for i in 0..2000u64 {
+        p.add_modify(rng.below(200_000), 1, &Value::Int(i as i64));
+    }
+    c.bench_function("merge_rows/200k_rows_2k_mods", |b| {
+        b.iter(|| pdt::checkpoint::merge_rows(&rows, &p))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_updates, bench_txn_algorithms, bench_merge
+);
+criterion_main!(benches);

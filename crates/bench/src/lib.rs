@@ -1,0 +1,289 @@
+//! Shared harness utilities for the figure-regeneration benches.
+//!
+//! Every bench target prints the same rows/series the corresponding figure
+//! of the paper reports (see `DESIGN.md` §5 and `EXPERIMENTS.md`). Scale
+//! knobs are environment variables so `cargo bench` stays laptop-friendly:
+//!
+//! * `PDT_BENCH_ROWS` — microbench table size (default 1_000_000),
+//! * `PDT_BENCH_LARGE=1` — also run the paper's larger sizes,
+//! * `PDT_TPCH_SF` — TPC-H scale factor for fig19 (default 0.05).
+
+use columnar::{Schema, StableTable, TableMeta, TableOptions, Tuple, Value, ValueType};
+use pdt::Pdt;
+use tpch::gen::Rng;
+use vdt::Vdt;
+
+/// Read an env knob.
+pub fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Key column flavour for the microbench tables (Figures 17/18 sweep this).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyKind {
+    Int,
+    Str,
+}
+
+impl KeyKind {
+    pub fn label(&self) -> &'static str {
+        match self {
+            KeyKind::Int => "int",
+            KeyKind::Str => "str",
+        }
+    }
+}
+
+/// Build the Figure-17/18 style table: `nkeys` sort-key columns followed by
+/// `ndata` data columns, `n` rows. String keys are zero-padded so their
+/// lexicographic order matches the numeric order.
+pub fn micro_table(
+    n: u64,
+    nkeys: usize,
+    ndata: usize,
+    kind: KeyKind,
+    compressed: bool,
+) -> (StableTable, Vec<Tuple>) {
+    let mut fields = Vec::new();
+    for k in 0..nkeys {
+        fields.push((
+            format!("k{k}"),
+            match kind {
+                KeyKind::Int => ValueType::Int,
+                KeyKind::Str => ValueType::Str,
+            },
+        ));
+    }
+    for c in 0..ndata {
+        fields.push((format!("v{c}"), ValueType::Int));
+    }
+    let pairs: Vec<(&str, ValueType)> = fields.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    let schema = Schema::from_pairs(&pairs);
+    let rows: Vec<Tuple> = (0..n).map(|i| micro_row(i, nkeys, ndata, kind)).collect();
+    let meta = TableMeta::new("t", schema, (0..nkeys).collect());
+    let table = StableTable::bulk_load(
+        meta,
+        TableOptions {
+            block_rows: 4096,
+            compressed,
+        },
+        &rows,
+    )
+    .expect("bulk load micro table");
+    (table, rows)
+}
+
+/// Row `i` of the micro table. Keys are `i*2` spread over the columns so
+/// fresh odd keys can be inserted between rows.
+pub fn micro_row(i: u64, nkeys: usize, ndata: usize, kind: KeyKind) -> Tuple {
+    let mut row = Vec::with_capacity(nkeys + ndata);
+    // compound keys: high-order part first so the table stays sorted
+    let key = i * 2;
+    for k in 0..nkeys {
+        let part = if k + 1 == nkeys { key } else { key >> (8 * (nkeys - 1 - k)) };
+        row.push(match kind {
+            KeyKind::Int => Value::Int(part as i64),
+            KeyKind::Str => Value::Str(format!("key-{part:014}")),
+        });
+    }
+    for c in 0..ndata {
+        row.push(Value::Int((i as i64).wrapping_mul(31).wrapping_add(c as i64)));
+    }
+    row
+}
+
+/// The key of a *new* tuple between rows `i` and `i+1` (odd key).
+pub fn between_key(i: u64, nkeys: usize, kind: KeyKind) -> Vec<Value> {
+    let key = i * 2 + 1;
+    (0..nkeys)
+        .map(|k| {
+            let part = if k + 1 == nkeys { key } else { key >> (8 * (nkeys - 1 - k)) };
+            match kind {
+                KeyKind::Int => Value::Int(part as i64),
+                KeyKind::Str => Value::Str(format!("key-{part:014}")),
+            }
+        })
+        .collect()
+}
+
+/// Apply `count` updates (⅓ insert, ⅓ modify, ⅓ delete, positions uniform)
+/// to both a PDT and a VDT so that both represent the same logical change.
+///
+/// Positions are resolved through the PDT's own RID⇔SID machinery
+/// (O(log n) per op) rather than a materialised model, so this scales to
+/// the paper's multi-million-row tables. Row values follow the
+/// deterministic [`micro_row`] formula, letting us reconstruct any stable
+/// tuple without touching the table.
+pub fn apply_micro_updates(
+    rows: &[Tuple],
+    nkeys: usize,
+    ndata: usize,
+    kind: KeyKind,
+    count: u64,
+    seed: u64,
+) -> (Pdt, Vdt) {
+    let schema = {
+        // rebuild the schema from the first row's types
+        let mut pairs = Vec::new();
+        for k in 0..nkeys {
+            pairs.push((format!("k{k}"), rows[0][k].value_type().unwrap()));
+        }
+        for c in 0..ndata {
+            pairs.push((format!("v{c}"), rows[0][nkeys + c].value_type().unwrap()));
+        }
+        let p: Vec<(&str, ValueType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+        Schema::from_pairs(&p)
+    };
+    let sk: Vec<usize> = (0..nkeys).collect();
+    let mut pdt = Pdt::new(schema.clone(), sk.clone());
+    let mut vdt = Vdt::new(schema, sk);
+    let mut rng = Rng::new(seed);
+    let n = rows.len() as u64;
+    // one candidate insert key exists per inter-row gap; remember used ones
+    let mut used_gaps = std::collections::HashSet::new();
+    // stable rows deleted so far (their ghosts must not be re-deleted)
+    let mut modified_cols: std::collections::HashMap<u64, Tuple> =
+        std::collections::HashMap::new();
+    for op in 0..count {
+        match op % 3 {
+            0 => {
+                // insert the odd key of a random gap (before stable g+1)
+                let g = rng.below(n);
+                if !used_gaps.insert(g) {
+                    continue;
+                }
+                let mut t = between_key(g, nkeys, kind);
+                for c in 0..ndata {
+                    t.push(Value::Int(c as i64));
+                }
+                let rid = if g + 1 < n {
+                    pdt.rid_of_stable(g + 1).0
+                } else {
+                    (n as i64 + pdt.delta_total()) as u64
+                };
+                let sid = pdt.sk_rid_to_sid(&t[..nkeys], rid);
+                pdt.add_insert(sid, rid, &t);
+                vdt.insert(t);
+            }
+            1 => {
+                // modify a random visible tuple's first data column
+                let visible = (n as i64 + pdt.delta_total()) as u64;
+                if visible == 0 {
+                    continue;
+                }
+                let rid = rng.below(visible);
+                let v = Value::Int(rng.range(0, 1 << 40));
+                let lk = pdt.lookup_rid(rid);
+                let current: Tuple = match lk.insert_off {
+                    Some(off) => pdt.vals().get_insert(off),
+                    None => modified_cols
+                        .get(&lk.sid)
+                        .cloned()
+                        .unwrap_or_else(|| micro_row(lk.sid, nkeys, ndata, kind)),
+                };
+                if lk.insert_off.is_none() {
+                    let mut updated = current.clone();
+                    updated[nkeys] = v.clone();
+                    modified_cols.insert(lk.sid, updated);
+                }
+                pdt.add_modify(rid, nkeys, &v);
+                vdt.modify(&current, nkeys, v);
+            }
+            _ => {
+                // delete a random visible tuple
+                let visible = (n as i64 + pdt.delta_total()) as u64;
+                if visible == 0 {
+                    continue;
+                }
+                let rid = rng.below(visible);
+                let lk = pdt.lookup_rid(rid);
+                let sk_vals: Vec<Value> = match lk.insert_off {
+                    Some(off) => pdt.vals().get_insert_sk(off),
+                    None => micro_row(lk.sid, nkeys, 0, kind),
+                };
+                modified_cols.remove(&lk.sid);
+                pdt.add_delete(rid, &sk_vals);
+                vdt.delete(&sk_vals);
+            }
+        }
+    }
+    (pdt, vdt)
+}
+
+/// Time a closure in seconds.
+pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = std::time::Instant::now();
+    let out = f();
+    (out, t0.elapsed().as_secs_f64())
+}
+
+/// Drain a scan, returning rows produced (for black-box accounting).
+pub fn drain_scan(scan: &mut exec::TableScan<'_>) -> u64 {
+    use exec::Operator;
+    let mut rows = 0u64;
+    while let Some(b) = scan.next_batch() {
+        rows += b.num_rows() as u64;
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::IoTracker;
+    use exec::{DeltaLayers, ScanClock, TableScan};
+
+    #[test]
+    fn micro_table_builds_sorted() {
+        let (t, rows) = micro_table(1000, 2, 3, KeyKind::Str, true);
+        assert_eq!(t.row_count(), 1000);
+        assert_eq!(rows.len(), 1000);
+    }
+
+    #[test]
+    fn micro_updates_agree_between_structures() {
+        let (table, rows) = micro_table(2000, 1, 4, KeyKind::Int, true);
+        let (pdt, vdt) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, 200, 42);
+        // both merged images identical
+        let io = IoTracker::new();
+        let mut s1 = TableScan::new(
+            &table,
+            DeltaLayers::Pdt(vec![&pdt]),
+            vec![0, 1, 2, 3, 4],
+            io.clone(),
+            ScanClock::new(),
+        );
+        let p = exec::run_to_rows(&mut s1);
+        let mut s2 = TableScan::new(
+            &table,
+            DeltaLayers::Vdt(&vdt),
+            vec![0, 1, 2, 3, 4],
+            io,
+            ScanClock::new(),
+        );
+        let v = exec::run_to_rows(&mut s2);
+        assert_eq!(p, v);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn between_keys_sort_between_rows() {
+        for kind in [KeyKind::Int, KeyKind::Str] {
+            let a = micro_row(5, 2, 0, kind);
+            let b = micro_row(6, 2, 0, kind);
+            let k = between_key(5, 2, kind);
+            assert!(a[..2] < k[..], "{kind:?}");
+            assert!(k[..] < b[..2], "{kind:?}");
+        }
+    }
+}

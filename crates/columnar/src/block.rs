@@ -1,0 +1,106 @@
+//! Encoded column blocks.
+//!
+//! A [`Block`] is the unit of storage and of (accounted) I/O: one column ×
+//! one row range, encoded with the cheapest applicable codec. Dense
+//! block-wise storage with a separate sparse index is one of the two
+//! physical layouts the paper names for positional column storage (§2).
+
+pub use crate::compress::Encoding;
+use crate::column::ColumnVec;
+use crate::compress;
+use crate::error::Result;
+use crate::value::ValueType;
+use bytes::Bytes;
+
+/// One encoded column segment.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Number of values in the block.
+    pub len: usize,
+    /// Element type.
+    pub vtype: ValueType,
+    /// Codec of `payload`.
+    pub encoding: Encoding,
+    /// Encoded bytes. `Bytes` so cloned tables share payloads.
+    pub payload: Bytes,
+}
+
+impl Block {
+    /// Encode `col`, choosing the smallest applicable codec. When
+    /// `compressed` is false only [`Encoding::Plain`] is considered,
+    /// mirroring the paper's non-compressed SF-10 workstation setup.
+    pub fn encode(col: &ColumnVec, compressed: bool) -> Block {
+        let mut best: Option<(Encoding, Vec<u8>)> = None;
+        for &enc in Encoding::candidates(col.vtype(), compressed) {
+            if let Some(bytes) = compress::encode(col, enc) {
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => bytes.len() < b.len(),
+                };
+                if better {
+                    best = Some((enc, bytes));
+                }
+            }
+        }
+        let (encoding, bytes) = best.expect("Plain always applies");
+        Block {
+            len: col.len(),
+            vtype: col.vtype(),
+            encoding,
+            payload: Bytes::from(bytes),
+        }
+    }
+
+    /// Decode the full block.
+    pub fn decode(&self) -> Result<ColumnVec> {
+        compress::decode(&self.payload, self.encoding, self.vtype, self.len)
+    }
+
+    /// Size in bytes that a disk read of this block would transfer.
+    pub fn stored_bytes(&self) -> u64 {
+        self.payload.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_picks_smallest() {
+        // constant column: RLE should beat delta & plain
+        let col = ColumnVec::Int(vec![42; 4096]);
+        let b = Block::encode(&col, true);
+        assert_eq!(b.encoding, Encoding::Rle);
+        assert_eq!(b.decode().unwrap(), col);
+
+        // sorted distinct: delta-varint wins
+        let col = ColumnVec::Int((0..4096).collect());
+        let b = Block::encode(&col, true);
+        assert_eq!(b.encoding, Encoding::DeltaVarint);
+        assert_eq!(b.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn uncompressed_mode_forces_plain() {
+        let col = ColumnVec::Int(vec![42; 4096]);
+        let b = Block::encode(&col, false);
+        assert_eq!(b.encoding, Encoding::Plain);
+        assert_eq!(b.stored_bytes(), 4096 * 8);
+    }
+
+    #[test]
+    fn strings_pick_dict_when_low_cardinality() {
+        let col = ColumnVec::Str((0..1000).map(|i| format!("m{}", i % 3)).collect());
+        let b = Block::encode(&col, true);
+        assert_eq!(b.encoding, Encoding::Dict);
+        assert_eq!(b.decode().unwrap(), col);
+    }
+
+    #[test]
+    fn doubles_roundtrip() {
+        let col = ColumnVec::Double((0..100).map(|i| i as f64 * 0.5).collect());
+        let b = Block::encode(&col, true);
+        assert_eq!(b.decode().unwrap(), col);
+    }
+}

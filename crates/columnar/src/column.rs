@@ -1,0 +1,270 @@
+//! Typed column vectors.
+//!
+//! [`ColumnVec`] is the in-memory decoded representation of a column
+//! segment. It is used by the scan path (decoded blocks), by the executor's
+//! batches, and by the PDT/VDT value spaces (eq. (7) of the paper stores
+//! inserted tuples, deleted sort keys, and per-column modified values in
+//! columnar tables).
+
+use crate::value::{Value, ValueType};
+
+/// A typed vector of column values.
+///
+/// Nulls are not representable inside typed vectors; the schemas used in the
+/// paper's workloads (inventory, TPC-H) are NOT NULL throughout. `Value::Null`
+/// pushed into a column stores the type's default and is intended only for
+/// padding in tests.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnVec {
+    Bool(Vec<bool>),
+    Int(Vec<i64>),
+    Double(Vec<f64>),
+    Str(Vec<String>),
+    Date(Vec<i32>),
+}
+
+impl ColumnVec {
+    /// An empty column of the given type.
+    pub fn new(vtype: ValueType) -> Self {
+        Self::with_capacity(vtype, 0)
+    }
+
+    /// An empty column with reserved capacity.
+    pub fn with_capacity(vtype: ValueType, cap: usize) -> Self {
+        match vtype {
+            ValueType::Bool => ColumnVec::Bool(Vec::with_capacity(cap)),
+            ValueType::Int => ColumnVec::Int(Vec::with_capacity(cap)),
+            ValueType::Double => ColumnVec::Double(Vec::with_capacity(cap)),
+            ValueType::Str => ColumnVec::Str(Vec::with_capacity(cap)),
+            ValueType::Date => ColumnVec::Date(Vec::with_capacity(cap)),
+        }
+    }
+
+    /// The element type.
+    pub fn vtype(&self) -> ValueType {
+        match self {
+            ColumnVec::Bool(_) => ValueType::Bool,
+            ColumnVec::Int(_) => ValueType::Int,
+            ColumnVec::Double(_) => ValueType::Double,
+            ColumnVec::Str(_) => ValueType::Str,
+            ColumnVec::Date(_) => ValueType::Date,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Int(v) => v.len(),
+            ColumnVec::Double(v) => v.len(),
+            ColumnVec::Str(v) => v.len(),
+            ColumnVec::Date(v) => v.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append a value; `Null` appends the type default (see type docs).
+    pub fn push(&mut self, v: &Value) {
+        match (self, v) {
+            (ColumnVec::Bool(c), Value::Bool(b)) => c.push(*b),
+            (ColumnVec::Bool(c), Value::Null) => c.push(false),
+            (ColumnVec::Int(c), Value::Int(i)) => c.push(*i),
+            (ColumnVec::Int(c), Value::Null) => c.push(0),
+            (ColumnVec::Double(c), Value::Double(d)) => c.push(*d),
+            (ColumnVec::Double(c), Value::Int(i)) => c.push(*i as f64),
+            (ColumnVec::Double(c), Value::Null) => c.push(0.0),
+            (ColumnVec::Str(c), Value::Str(s)) => c.push(s.clone()),
+            (ColumnVec::Str(c), Value::Null) => c.push(String::new()),
+            (ColumnVec::Date(c), Value::Date(d)) => c.push(*d),
+            (ColumnVec::Date(c), Value::Null) => c.push(0),
+            (col, v) => panic!("type mismatch: pushing {v:?} into {:?} column", col.vtype()),
+        }
+    }
+
+    /// Read element `i` as a [`Value`] (clones strings).
+    pub fn get(&self, i: usize) -> Value {
+        match self {
+            ColumnVec::Bool(v) => Value::Bool(v[i]),
+            ColumnVec::Int(v) => Value::Int(v[i]),
+            ColumnVec::Double(v) => Value::Double(v[i]),
+            ColumnVec::Str(v) => Value::Str(v[i].clone()),
+            ColumnVec::Date(v) => Value::Date(v[i]),
+        }
+    }
+
+    /// Overwrite element `i` (used by PDT in-place value-space updates).
+    pub fn set(&mut self, i: usize, v: &Value) {
+        match (self, v) {
+            (ColumnVec::Bool(c), Value::Bool(b)) => c[i] = *b,
+            (ColumnVec::Int(c), Value::Int(x)) => c[i] = *x,
+            (ColumnVec::Double(c), Value::Double(d)) => c[i] = *d,
+            (ColumnVec::Double(c), Value::Int(x)) => c[i] = *x as f64,
+            (ColumnVec::Str(c), Value::Str(s)) => c[i] = s.clone(),
+            (ColumnVec::Date(c), Value::Date(d)) => c[i] = *d,
+            (col, v) => panic!("type mismatch: setting {v:?} in {:?} column", col.vtype()),
+        }
+    }
+
+    /// Typed slice accessors for hot paths.
+    pub fn as_int(&self) -> &[i64] {
+        match self {
+            ColumnVec::Int(v) => v,
+            other => panic!("expected Int column, got {:?}", other.vtype()),
+        }
+    }
+
+    pub fn as_double(&self) -> &[f64] {
+        match self {
+            ColumnVec::Double(v) => v,
+            other => panic!("expected Double column, got {:?}", other.vtype()),
+        }
+    }
+
+    pub fn as_str(&self) -> &[String] {
+        match self {
+            ColumnVec::Str(v) => v,
+            other => panic!("expected Str column, got {:?}", other.vtype()),
+        }
+    }
+
+    pub fn as_date(&self) -> &[i32] {
+        match self {
+            ColumnVec::Date(v) => v,
+            other => panic!("expected Date column, got {:?}", other.vtype()),
+        }
+    }
+
+    pub fn as_bool(&self) -> &[bool] {
+        match self {
+            ColumnVec::Bool(v) => v,
+            other => panic!("expected Bool column, got {:?}", other.vtype()),
+        }
+    }
+
+    /// Append a sub-range `[from, to)` of `other` to `self` (block
+    /// pass-through copies in MergeScan).
+    pub fn extend_range(&mut self, other: &ColumnVec, from: usize, to: usize) {
+        match (self, other) {
+            (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend_from_slice(&b[from..to]),
+            (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend_from_slice(&b[from..to]),
+            (ColumnVec::Double(a), ColumnVec::Double(b)) => a.extend_from_slice(&b[from..to]),
+            (ColumnVec::Str(a), ColumnVec::Str(b)) => a.extend_from_slice(&b[from..to]),
+            (ColumnVec::Date(a), ColumnVec::Date(b)) => a.extend_from_slice(&b[from..to]),
+            (a, b) => panic!(
+                "type mismatch: extending {:?} column from {:?} column",
+                a.vtype(),
+                b.vtype()
+            ),
+        }
+    }
+
+    /// Gather the listed indices of `other` onto the end of `self`
+    /// (selection-vector application).
+    pub fn extend_gather(&mut self, other: &ColumnVec, idx: &[usize]) {
+        match (self, other) {
+            (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend(idx.iter().map(|&i| b[i])),
+            (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend(idx.iter().map(|&i| b[i])),
+            (ColumnVec::Double(a), ColumnVec::Double(b)) => a.extend(idx.iter().map(|&i| b[i])),
+            (ColumnVec::Str(a), ColumnVec::Str(b)) => {
+                a.extend(idx.iter().map(|&i| b[i].clone()))
+            }
+            (ColumnVec::Date(a), ColumnVec::Date(b)) => a.extend(idx.iter().map(|&i| b[i])),
+            (a, b) => panic!(
+                "type mismatch: gathering {:?} column from {:?} column",
+                a.vtype(),
+                b.vtype()
+            ),
+        }
+    }
+
+    /// Rough in-memory footprint in bytes (for PDT memory accounting).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            ColumnVec::Bool(v) => v.len(),
+            ColumnVec::Int(v) => v.len() * 8,
+            ColumnVec::Double(v) => v.len() * 8,
+            ColumnVec::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnVec::Date(v) => v.len() * 4,
+        }
+    }
+
+    pub fn clear(&mut self) {
+        match self {
+            ColumnVec::Bool(v) => v.clear(),
+            ColumnVec::Int(v) => v.clear(),
+            ColumnVec::Double(v) => v.clear(),
+            ColumnVec::Str(v) => v.clear(),
+            ColumnVec::Date(v) => v.clear(),
+        }
+    }
+
+    /// Iterate the column as `Value`s (test/debug convenience; clones).
+    pub fn iter_values(&self) -> impl Iterator<Item = Value> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_roundtrip() {
+        let mut c = ColumnVec::new(ValueType::Str);
+        c.push(&"a".into());
+        c.push(&"b".into());
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(1), Value::Str("b".into()));
+    }
+
+    #[test]
+    fn int_promotes_into_double() {
+        let mut c = ColumnVec::new(ValueType::Double);
+        c.push(&Value::Int(3));
+        assert_eq!(c.get(0), Value::Double(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "type mismatch")]
+    fn push_type_mismatch_panics() {
+        let mut c = ColumnVec::new(ValueType::Int);
+        c.push(&"oops".into());
+    }
+
+    #[test]
+    fn set_in_place() {
+        let mut c = ColumnVec::new(ValueType::Int);
+        c.push(&Value::Int(5));
+        c.set(0, &Value::Int(9));
+        assert_eq!(c.get(0), Value::Int(9));
+    }
+
+    #[test]
+    fn extend_range_and_gather() {
+        let mut src = ColumnVec::new(ValueType::Int);
+        for i in 0..10 {
+            src.push(&Value::Int(i));
+        }
+        let mut dst = ColumnVec::new(ValueType::Int);
+        dst.extend_range(&src, 2, 5);
+        assert_eq!(dst.as_int(), &[2, 3, 4]);
+        dst.extend_gather(&src, &[9, 0]);
+        assert_eq!(dst.as_int(), &[2, 3, 4, 9, 0]);
+    }
+
+    #[test]
+    fn heap_bytes_counts_strings() {
+        let mut c = ColumnVec::new(ValueType::Str);
+        c.push(&"hello".into());
+        assert!(c.heap_bytes() >= 5);
+    }
+
+    #[test]
+    fn null_push_uses_defaults() {
+        let mut c = ColumnVec::new(ValueType::Int);
+        c.push(&Value::Null);
+        assert_eq!(c.get(0), Value::Int(0));
+    }
+}

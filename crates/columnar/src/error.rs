@@ -1,0 +1,36 @@
+//! Error types for the columnar substrate.
+
+use std::fmt;
+
+/// Errors raised by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ColumnarError {
+    /// A tuple did not match the table schema.
+    SchemaMismatch(String),
+    /// Rows were appended to a bulk loader out of sort-key order.
+    UnsortedInput { row: u64 },
+    /// A block payload failed to decode (corruption or codec bug).
+    Corrupt(String),
+    /// An out-of-range row or block reference.
+    OutOfRange { what: &'static str, index: u64, len: u64 },
+}
+
+impl fmt::Display for ColumnarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ColumnarError::SchemaMismatch(m) => write!(f, "schema mismatch: {m}"),
+            ColumnarError::UnsortedInput { row } => {
+                write!(f, "bulk load input not in sort-key order at row {row}")
+            }
+            ColumnarError::Corrupt(m) => write!(f, "corrupt block: {m}"),
+            ColumnarError::OutOfRange { what, index, len } => {
+                write!(f, "{what} index {index} out of range (len {len})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ColumnarError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, ColumnarError>;

@@ -1,0 +1,116 @@
+//! I/O accounting.
+//!
+//! The paper's Plots 2 and 5 report *I/O volume*: the bytes of (compressed)
+//! column blocks a query touches. Our block store is RAM-resident, but every
+//! block access is routed through an [`IoTracker`], so the byte counts are
+//! exactly what a disk-resident deployment would transfer. Cold-run wall
+//! times are then modelled as `cpu_time + bytes / bandwidth` with the
+//! paper's stated device bandwidths (150 MB/s HDD workstation, 3 GB/s SSD
+//! server) — see `DESIGN.md` §4.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A snapshot of I/O counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Number of block reads.
+    pub blocks_read: u64,
+    /// Total compressed bytes of the blocks read.
+    pub bytes_read: u64,
+}
+
+impl IoStats {
+    /// Difference between two snapshots (for per-query accounting).
+    pub fn since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            blocks_read: self.blocks_read - earlier.blocks_read,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+        }
+    }
+
+    /// Modelled transfer seconds at the given device bandwidth.
+    pub fn transfer_secs(&self, bytes_per_sec: f64) -> f64 {
+        self.bytes_read as f64 / bytes_per_sec
+    }
+}
+
+/// Shared, thread-safe I/O counters. Cloning shares the counters.
+#[derive(Debug, Default, Clone)]
+pub struct IoTracker {
+    inner: Arc<Counters>,
+}
+
+#[derive(Debug, Default)]
+struct Counters {
+    blocks: AtomicU64,
+    bytes: AtomicU64,
+}
+
+impl IoTracker {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one block read of `bytes` compressed bytes.
+    pub fn record_block(&self, bytes: u64) {
+        self.inner.blocks.fetch_add(1, Ordering::Relaxed);
+        self.inner.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Current counter values.
+    pub fn stats(&self) -> IoStats {
+        IoStats {
+            blocks_read: self.inner.blocks.load(Ordering::Relaxed),
+            bytes_read: self.inner.bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset both counters to zero.
+    pub fn reset(&self) {
+        self.inner.blocks.store(0, Ordering::Relaxed);
+        self.inner.bytes.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_accumulates_and_resets() {
+        let t = IoTracker::new();
+        t.record_block(100);
+        t.record_block(50);
+        assert_eq!(
+            t.stats(),
+            IoStats {
+                blocks_read: 2,
+                bytes_read: 150
+            }
+        );
+        let snap = t.stats();
+        t.record_block(10);
+        assert_eq!(t.stats().since(&snap).bytes_read, 10);
+        t.reset();
+        assert_eq!(t.stats(), IoStats::default());
+    }
+
+    #[test]
+    fn clones_share_counters() {
+        let t = IoTracker::new();
+        let t2 = t.clone();
+        t2.record_block(7);
+        assert_eq!(t.stats().bytes_read, 7);
+    }
+
+    #[test]
+    fn transfer_model() {
+        let s = IoStats {
+            blocks_read: 1,
+            bytes_read: 150_000_000,
+        };
+        let secs = s.transfer_secs(150.0e6);
+        assert!((secs - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,42 @@
+//! Ordered, compressed columnar read-store substrate.
+//!
+//! This crate implements the "stable table" storage layer the PDT paper
+//! assumes underneath its differential structures:
+//!
+//! * dynamically typed [`Value`]s and [`Schema`]s with total-order sort-key
+//!   comparisons ([`value`], [`schema`]),
+//! * typed column vectors ([`column::ColumnVec`]) used both for stable
+//!   storage decoding and for PDT/VDT value spaces,
+//! * block-wise column storage with lightweight compression (RLE,
+//!   dictionary, delta+varint, plain) chosen per block ([`block`],
+//!   [`compress`]),
+//! * an immutable, sort-key-ordered [`table::StableTable`] with a bulk
+//!   loader,
+//! * a sparse min/max index over sort-key prefixes ([`sparse`]) that is kept
+//!   *stale-tolerant*: thanks to the paper's ghost-respecting SID semantics
+//!   it never needs maintenance under differential updates,
+//! * an I/O accounting layer ([`io`]) that measures exactly the quantity the
+//!   paper plots as "I/O volume" (bytes of compressed blocks touched).
+//!
+//! The storage is RAM-resident; disk behaviour is modelled analytically (see
+//! `DESIGN.md` §4). All byte counts are real: they are the sizes of the
+//! encoded block payloads that a disk-resident deployment would transfer.
+
+pub mod block;
+pub mod column;
+pub mod compress;
+pub mod error;
+pub mod io;
+pub mod schema;
+pub mod sparse;
+pub mod table;
+pub mod value;
+
+pub use block::{Block, Encoding};
+pub use column::ColumnVec;
+pub use error::{ColumnarError, Result};
+pub use io::{IoStats, IoTracker};
+pub use schema::{Field, Schema, SortKeyDef};
+pub use sparse::SparseIndex;
+pub use table::{ScanRange, StableTable, TableBuilder, TableMeta, TableOptions};
+pub use value::{format_date, parse_date, SkKey, Tuple, Value, ValueType};

@@ -1,0 +1,186 @@
+//! Table schemas and sort-key definitions.
+
+use crate::value::{Tuple, Value, ValueType};
+use std::cmp::Ordering;
+
+/// A named, typed column of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    pub name: String,
+    pub vtype: ValueType,
+}
+
+impl Field {
+    pub fn new(name: impl Into<String>, vtype: ValueType) -> Self {
+        Field {
+            name: name.into(),
+            vtype,
+        }
+    }
+}
+
+/// An ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, ValueType)]) -> Self {
+        Schema {
+            fields: pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect(),
+        }
+    }
+
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of the column with the given name. Panics if absent — schema
+    /// references in hand-written plans are programming errors, not runtime
+    /// conditions.
+    pub fn col(&self, name: &str) -> usize {
+        self.try_col(name)
+            .unwrap_or_else(|| panic!("no column named {name:?} in schema"))
+    }
+
+    /// Index of the column with the given name, if present.
+    pub fn try_col(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    pub fn field(&self, idx: usize) -> &Field {
+        &self.fields[idx]
+    }
+
+    pub fn vtype(&self, idx: usize) -> ValueType {
+        self.fields[idx].vtype
+    }
+
+    /// Type-check a tuple against this schema (`Null` matches any type).
+    pub fn validate(&self, tuple: &[Value]) -> bool {
+        tuple.len() == self.fields.len()
+            && tuple
+                .iter()
+                .zip(&self.fields)
+                .all(|(v, f)| v.is_null() || v.value_type() == Some(f.vtype))
+    }
+}
+
+/// Definition of the table's physical sort order: the list of column
+/// indices forming the (compound) sort key, in significance order. The paper
+/// requires the sort key SK to also be a key of the table.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SortKeyDef {
+    cols: Vec<usize>,
+}
+
+impl SortKeyDef {
+    pub fn new(cols: Vec<usize>) -> Self {
+        SortKeyDef { cols }
+    }
+
+    pub fn cols(&self) -> &[usize] {
+        &self.cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+
+    /// Compare two full tuples by this sort key.
+    pub fn cmp_tuples(&self, a: &[Value], b: &[Value]) -> Ordering {
+        for &c in &self.cols {
+            match a[c].cmp(&b[c]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Compare a full tuple against an extracted sort-key value.
+    pub fn cmp_tuple_key(&self, tuple: &[Value], key: &[Value]) -> Ordering {
+        for (i, &c) in self.cols.iter().enumerate() {
+            match tuple[c].cmp(&key[i]) {
+                Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        Ordering::Equal
+    }
+
+    /// Extract the sort key of a tuple.
+    pub fn extract(&self, tuple: &[Value]) -> Tuple {
+        self.cols.iter().map(|&c| tuple[c].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("store", ValueType::Str),
+            ("prod", ValueType::Str),
+            ("new", ValueType::Bool),
+            ("qty", ValueType::Int),
+        ])
+    }
+
+    #[test]
+    fn col_lookup() {
+        let s = schema();
+        assert_eq!(s.col("store"), 0);
+        assert_eq!(s.col("qty"), 3);
+        assert_eq!(s.try_col("nope"), None);
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn col_lookup_missing_panics() {
+        schema().col("missing");
+    }
+
+    #[test]
+    fn validate_tuples() {
+        let s = schema();
+        assert!(s.validate(&["London".into(), "chair".into(), false.into(), 30i64.into()]));
+        assert!(s.validate(&["London".into(), "chair".into(), Value::Null, 30i64.into()]));
+        assert!(!s.validate(&["London".into(), "chair".into(), false.into()]));
+        assert!(!s.validate(&[1i64.into(), "chair".into(), false.into(), 30i64.into()]));
+    }
+
+    #[test]
+    fn sort_key_compare() {
+        let sk = SortKeyDef::new(vec![0, 1]);
+        let a: Tuple = vec!["Berlin".into(), "table".into(), true.into(), 10i64.into()];
+        let b: Tuple = vec!["London".into(), "chair".into(), false.into(), 30i64.into()];
+        assert_eq!(sk.cmp_tuples(&a, &b), Ordering::Less);
+        assert_eq!(sk.cmp_tuples(&a, &a), Ordering::Equal);
+        assert_eq!(
+            sk.cmp_tuple_key(&b, &["London".into(), "aaa".into()]),
+            Ordering::Greater
+        );
+        assert_eq!(sk.extract(&a), vec![Value::from("Berlin"), Value::from("table")]);
+    }
+}

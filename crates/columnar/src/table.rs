@@ -1,0 +1,563 @@
+//! The stable table: an immutable, sort-key-ordered, block-compressed
+//! columnar image (TABLE0 in the paper's notation).
+//!
+//! All mutation happens in differential structures (PDT/VDT) layered on
+//! top; a checkpoint materialises a *new* `StableTable` (the paper's
+//! "Checkpointing" paragraph) rather than updating in place.
+
+use crate::block::Block;
+use crate::column::ColumnVec;
+use crate::error::{ColumnarError, Result};
+use crate::io::IoTracker;
+use crate::schema::{Schema, SortKeyDef};
+use crate::sparse::SparseIndex;
+use crate::value::{Tuple, Value};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// Identity of a table: name, schema, physical sort order.
+#[derive(Debug, Clone)]
+pub struct TableMeta {
+    pub name: String,
+    pub schema: Schema,
+    pub sort_key: SortKeyDef,
+}
+
+impl TableMeta {
+    pub fn new(name: impl Into<String>, schema: Schema, sort_key: Vec<usize>) -> Self {
+        TableMeta {
+            name: name.into(),
+            schema,
+            sort_key: SortKeyDef::new(sort_key),
+        }
+    }
+}
+
+/// Physical layout knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct TableOptions {
+    /// Rows per block (the scan/merge granularity). Default 4096.
+    pub block_rows: usize,
+    /// Whether to apply lightweight compression (paper: server runs
+    /// compressed, workstation runs non-compressed).
+    pub compressed: bool,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            block_rows: 4096,
+            compressed: true,
+        }
+    }
+}
+
+/// A half-open SID range `[start, end)` to scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScanRange {
+    pub start: u64,
+    pub end: u64,
+}
+
+impl ScanRange {
+    pub fn all(row_count: u64) -> Self {
+        ScanRange {
+            start: 0,
+            end: row_count,
+        }
+    }
+
+    pub fn len(&self) -> u64 {
+        self.end - self.start
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.start >= self.end
+    }
+}
+
+/// The stable (read-store) image of a table.
+#[derive(Debug, Clone)]
+pub struct StableTable {
+    meta: TableMeta,
+    opts: TableOptions,
+    row_count: u64,
+    /// `cols[c]` = encoded blocks of column `c`; block `b` of every column
+    /// covers the same row range.
+    cols: Vec<Arc<Vec<Block>>>,
+    sparse: SparseIndex,
+}
+
+impl StableTable {
+    /// Bulk-load from rows that are *already sorted* on the sort key.
+    /// Returns an error on schema mismatch or unsorted input.
+    pub fn bulk_load(meta: TableMeta, opts: TableOptions, rows: &[Tuple]) -> Result<StableTable> {
+        let mut b = TableBuilder::new(meta, opts);
+        for row in rows {
+            b.append(row)?;
+        }
+        b.finish()
+    }
+
+    /// Bulk-load from unsorted rows: sorts by the sort key first.
+    pub fn bulk_load_unsorted(
+        meta: TableMeta,
+        opts: TableOptions,
+        mut rows: Vec<Tuple>,
+    ) -> Result<StableTable> {
+        let sk = meta.sort_key.clone();
+        rows.sort_by(|a, b| sk.cmp_tuples(a, b));
+        Self::bulk_load(meta, opts, &rows)
+    }
+
+    pub fn meta(&self) -> &TableMeta {
+        &self.meta
+    }
+
+    pub fn schema(&self) -> &Schema {
+        &self.meta.schema
+    }
+
+    pub fn sort_key(&self) -> &SortKeyDef {
+        &self.meta.sort_key
+    }
+
+    pub fn options(&self) -> TableOptions {
+        self.opts
+    }
+
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    pub fn num_columns(&self) -> usize {
+        self.meta.schema.len()
+    }
+
+    pub fn block_rows(&self) -> usize {
+        self.opts.block_rows
+    }
+
+    pub fn num_blocks(&self) -> usize {
+        self.cols.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn sparse_index(&self) -> &SparseIndex {
+        &self.sparse
+    }
+
+    /// Row range `[start, end)` covered by block `b`.
+    pub fn block_range(&self, b: usize) -> (u64, u64) {
+        let start = (b * self.opts.block_rows) as u64;
+        let end = (start + self.opts.block_rows as u64).min(self.row_count);
+        (start, end)
+    }
+
+    /// Index of the block containing `sid`.
+    pub fn block_of(&self, sid: u64) -> usize {
+        (sid / self.opts.block_rows as u64) as usize
+    }
+
+    /// Decode block `b` of column `c`, charging its stored bytes to `io`.
+    pub fn read_block(&self, c: usize, b: usize, io: &IoTracker) -> Result<ColumnVec> {
+        let col = self
+            .cols
+            .get(c)
+            .ok_or(ColumnarError::OutOfRange {
+                what: "column",
+                index: c as u64,
+                len: self.cols.len() as u64,
+            })?;
+        let blk = col.get(b).ok_or(ColumnarError::OutOfRange {
+            what: "block",
+            index: b as u64,
+            len: col.len() as u64,
+        })?;
+        io.record_block(blk.stored_bytes());
+        blk.decode()
+    }
+
+    /// Fetch a single row by SID (point access for DML/tests; charges the
+    /// I/O of each column's containing block).
+    pub fn get_row(&self, sid: u64, io: &IoTracker) -> Result<Tuple> {
+        if sid >= self.row_count {
+            return Err(ColumnarError::OutOfRange {
+                what: "row",
+                index: sid,
+                len: self.row_count,
+            });
+        }
+        let b = self.block_of(sid);
+        let off = (sid - self.block_range(b).0) as usize;
+        let mut out = Vec::with_capacity(self.num_columns());
+        for c in 0..self.num_columns() {
+            let col = self.read_block(c, b, io)?;
+            out.push(col.get(off));
+        }
+        Ok(out)
+    }
+
+    /// Sort-key values of the row at `sid`.
+    pub fn sk_of_row(&self, sid: u64, io: &IoTracker) -> Result<Vec<Value>> {
+        let b = self.block_of(sid);
+        let off = (sid - self.block_range(b).0) as usize;
+        let mut out = Vec::with_capacity(self.meta.sort_key.len());
+        for &c in self.meta.sort_key.cols() {
+            let col = self.read_block(c, b, io)?;
+            out.push(col.get(off));
+        }
+        Ok(out)
+    }
+
+    /// Conservative SID range for a sort-key (prefix) range predicate, via
+    /// the sparse index.
+    pub fn sid_range(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> ScanRange {
+        let (start, end) = self.sparse.sid_range(lo, hi);
+        ScanRange { start, end }
+    }
+
+    /// Total stored bytes of the given column.
+    pub fn column_bytes(&self, c: usize) -> u64 {
+        self.cols[c].iter().map(|b| b.stored_bytes()).sum()
+    }
+
+    /// Total stored bytes of the whole table.
+    pub fn total_bytes(&self) -> u64 {
+        (0..self.num_columns()).map(|c| self.column_bytes(c)).sum()
+    }
+
+    /// Materialise every row (tests / checkpointing).
+    pub fn scan_all(&self, io: &IoTracker) -> Result<Vec<Tuple>> {
+        let mut rows = Vec::with_capacity(self.row_count as usize);
+        for b in 0..self.num_blocks() {
+            let cols: Vec<ColumnVec> = (0..self.num_columns())
+                .map(|c| self.read_block(c, b, io))
+                .collect::<Result<_>>()?;
+            let n = cols.first().map(|c| c.len()).unwrap_or(0);
+            for i in 0..n {
+                rows.push(cols.iter().map(|c| c.get(i)).collect());
+            }
+        }
+        Ok(rows)
+    }
+
+    /// Binary-search the first SID whose sort key is `>=`/`>` the given key
+    /// (used by DML insert positioning). `strict` selects `>` semantics.
+    /// Costs real block I/O, charged to `io`.
+    pub fn lower_bound_sk(&self, key: &[Value], strict: bool, io: &IoTracker) -> Result<u64> {
+        let mut lo = 0u64;
+        let mut hi = self.row_count;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let sk = self.sk_of_row(mid, io)?;
+            let ord = cmp_prefix(&sk, key);
+            let go_right = match ord {
+                Ordering::Less => true,
+                Ordering::Equal => strict,
+                Ordering::Greater => false,
+            };
+            if go_right {
+                lo = mid + 1;
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(lo)
+    }
+}
+
+fn cmp_prefix(stored: &[Value], key: &[Value]) -> Ordering {
+    for (s, k) in stored.iter().zip(key.iter()) {
+        match s.cmp(k) {
+            Ordering::Equal => continue,
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+/// Streaming bulk loader producing a [`StableTable`].
+pub struct TableBuilder {
+    meta: TableMeta,
+    opts: TableOptions,
+    buf: Vec<ColumnVec>,
+    blocks: Vec<Vec<Block>>,
+    sparse_keys: Vec<Vec<Value>>,
+    sparse_sids: Vec<u64>,
+    row_count: u64,
+    last_sk: Option<Vec<Value>>,
+}
+
+impl TableBuilder {
+    pub fn new(meta: TableMeta, opts: TableOptions) -> Self {
+        assert!(opts.block_rows > 0, "block_rows must be positive");
+        let buf = meta
+            .schema
+            .fields()
+            .iter()
+            .map(|f| ColumnVec::with_capacity(f.vtype, opts.block_rows))
+            .collect();
+        let ncols = meta.schema.len();
+        TableBuilder {
+            meta,
+            opts,
+            buf,
+            blocks: vec![Vec::new(); ncols],
+            sparse_keys: Vec::new(),
+            sparse_sids: Vec::new(),
+            row_count: 0,
+            last_sk: None,
+        }
+    }
+
+    /// Append one row; must arrive in (non-strict) sort-key order.
+    pub fn append(&mut self, row: &[Value]) -> Result<()> {
+        if !self.meta.schema.validate(row) {
+            return Err(ColumnarError::SchemaMismatch(format!(
+                "row {:?} does not match schema of {}",
+                row, self.meta.name
+            )));
+        }
+        let sk = self.meta.sort_key.extract(row);
+        if let Some(prev) = &self.last_sk {
+            if prev.as_slice() > sk.as_slice() {
+                return Err(ColumnarError::UnsortedInput {
+                    row: self.row_count,
+                });
+            }
+        }
+        if self.row_count % self.opts.block_rows as u64 == 0 {
+            self.sparse_keys.push(sk.clone());
+            self.sparse_sids.push(self.row_count);
+        }
+        self.last_sk = Some(sk);
+        for (c, v) in row.iter().enumerate() {
+            self.buf[c].push(v);
+        }
+        self.row_count += 1;
+        if self.buf[0].len() == self.opts.block_rows {
+            self.flush_block();
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) {
+        for (c, col) in self.buf.iter_mut().enumerate() {
+            if col.is_empty() {
+                continue;
+            }
+            self.blocks[c].push(Block::encode(col, self.opts.compressed));
+            col.clear();
+        }
+    }
+
+    /// Finish the load and produce the immutable table.
+    pub fn finish(mut self) -> Result<StableTable> {
+        if !self.buf[0].is_empty() || self.meta.schema.is_empty() {
+            self.flush_block();
+        }
+        let sparse = SparseIndex::new(self.sparse_keys, self.sparse_sids, self.row_count);
+        Ok(StableTable {
+            meta: self.meta,
+            opts: self.opts,
+            row_count: self.row_count,
+            cols: self.blocks.into_iter().map(Arc::new).collect(),
+            sparse,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::ValueType;
+
+    fn inventory_meta() -> TableMeta {
+        TableMeta::new(
+            "inventory",
+            Schema::from_pairs(&[
+                ("store", ValueType::Str),
+                ("prod", ValueType::Str),
+                ("new", ValueType::Bool),
+                ("qty", ValueType::Int),
+            ]),
+            vec![0, 1],
+        )
+    }
+
+    fn inventory_rows() -> Vec<Tuple> {
+        [
+            ("London", "chair", false, 30i64),
+            ("London", "stool", false, 10),
+            ("London", "table", false, 20),
+            ("Paris", "rug", false, 1),
+            ("Paris", "stool", false, 5),
+        ]
+        .iter()
+        .map(|(s, p, n, q)| {
+            vec![
+                Value::from(*s),
+                Value::from(*p),
+                Value::from(*n),
+                Value::from(*q),
+            ]
+        })
+        .collect()
+    }
+
+    #[test]
+    fn bulk_load_and_scan_roundtrip() {
+        let rows = inventory_rows();
+        let t = StableTable::bulk_load(
+            inventory_meta(),
+            TableOptions {
+                block_rows: 2,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap();
+        assert_eq!(t.row_count(), 5);
+        assert_eq!(t.num_blocks(), 3);
+        let io = IoTracker::new();
+        assert_eq!(t.scan_all(&io).unwrap(), rows);
+        assert!(io.stats().bytes_read > 0);
+    }
+
+    #[test]
+    fn unsorted_input_rejected() {
+        let mut rows = inventory_rows();
+        rows.swap(0, 3);
+        let err = StableTable::bulk_load(inventory_meta(), TableOptions::default(), &rows);
+        assert!(matches!(err, Err(ColumnarError::UnsortedInput { .. })));
+    }
+
+    #[test]
+    fn bulk_load_unsorted_sorts() {
+        let mut rows = inventory_rows();
+        rows.reverse();
+        let t =
+            StableTable::bulk_load_unsorted(inventory_meta(), TableOptions::default(), rows)
+                .unwrap();
+        let io = IoTracker::new();
+        assert_eq!(t.scan_all(&io).unwrap(), inventory_rows());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let rows = vec![vec![Value::Int(1)]];
+        let err = StableTable::bulk_load(inventory_meta(), TableOptions::default(), &rows);
+        assert!(matches!(err, Err(ColumnarError::SchemaMismatch(_))));
+    }
+
+    #[test]
+    fn point_access() {
+        let t = StableTable::bulk_load(
+            inventory_meta(),
+            TableOptions {
+                block_rows: 2,
+                compressed: false,
+            },
+            &inventory_rows(),
+        )
+        .unwrap();
+        let io = IoTracker::new();
+        let row = t.get_row(3, &io).unwrap();
+        assert_eq!(row[0], Value::from("Paris"));
+        assert_eq!(row[1], Value::from("rug"));
+        assert_eq!(
+            t.sk_of_row(1, &io).unwrap(),
+            vec![Value::from("London"), Value::from("stool")]
+        );
+        assert!(t.get_row(99, &io).is_err());
+    }
+
+    #[test]
+    fn io_accounting_per_column() {
+        let t = StableTable::bulk_load(
+            inventory_meta(),
+            TableOptions {
+                block_rows: 2,
+                compressed: false,
+            },
+            &inventory_rows(),
+        )
+        .unwrap();
+        let io = IoTracker::new();
+        // reading one block of one column charges exactly that block
+        t.read_block(3, 0, &io).unwrap();
+        assert_eq!(io.stats().blocks_read, 1);
+        assert_eq!(io.stats().bytes_read, 2 * 8); // 2 rows × 8-byte ints
+    }
+
+    #[test]
+    fn lower_bound_sk_semantics() {
+        let t = StableTable::bulk_load(
+            inventory_meta(),
+            TableOptions {
+                block_rows: 2,
+                compressed: true,
+            },
+            &inventory_rows(),
+        )
+        .unwrap();
+        let io = IoTracker::new();
+        // first SID with SK >= (London, stool) is 1
+        let key = vec![Value::from("London"), Value::from("stool")];
+        assert_eq!(t.lower_bound_sk(&key, false, &io).unwrap(), 1);
+        // strict: first SID with SK > (London, stool) is 2
+        assert_eq!(t.lower_bound_sk(&key, true, &io).unwrap(), 2);
+        // beyond the end
+        let key = vec![Value::from("Zurich")];
+        assert_eq!(t.lower_bound_sk(&key, false, &io).unwrap(), 5);
+        // before the start
+        let key = vec![Value::from("Amsterdam")];
+        assert_eq!(t.lower_bound_sk(&key, false, &io).unwrap(), 0);
+    }
+
+    #[test]
+    fn sid_range_uses_sparse_index() {
+        let t = StableTable::bulk_load(
+            inventory_meta(),
+            TableOptions {
+                block_rows: 2,
+                compressed: true,
+            },
+            &inventory_rows(),
+        )
+        .unwrap();
+        let r = t.sid_range(Some(&[Value::from("Paris")]), Some(&[Value::from("Paris")]));
+        assert!(r.start <= 3 && r.end >= 4);
+    }
+
+    #[test]
+    fn compressed_smaller_than_plain_on_sorted_keys() {
+        let rows: Vec<Tuple> = (0..10_000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect();
+        let meta = TableMeta::new(
+            "t",
+            Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]),
+            vec![0],
+        );
+        let comp = StableTable::bulk_load(
+            meta.clone(),
+            TableOptions {
+                block_rows: 1024,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap();
+        let plain = StableTable::bulk_load(
+            meta,
+            TableOptions {
+                block_rows: 1024,
+                compressed: false,
+            },
+            &rows,
+        )
+        .unwrap();
+        assert!(comp.column_bytes(0) < plain.column_bytes(0) / 4);
+    }
+}

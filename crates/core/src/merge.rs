@@ -1,0 +1,307 @@
+//! The positional MergeScan (Algorithm 2, block-oriented).
+//!
+//! [`PdtMerger`] consumes blocks of stable-table column data in SID order
+//! and produces the merged, visible image. Because updates are located *by
+//! position*, the merger:
+//!
+//! * never reads or compares sort-key values — the decisive PDT advantage
+//!   the paper's Figures 17–19 measure,
+//! * passes through whole runs of unmodified tuples between update
+//!   positions with bulk copies (the paper's "skip value is typically
+//!   large" block-oriented optimisation).
+//!
+//! Output rows are emitted in table order with consecutive RIDs starting at
+//! [`PdtMerger::next_rid`]. Stacked PDTs compose by feeding one merger's
+//! output blocks (RID-addressed) to the next merger as its stable input
+//! (eq. (9): `Merge(Merge(Merge(TABLE0, R), W), T)`).
+
+use crate::tree::{Cursor, Pdt};
+use columnar::ColumnVec;
+
+/// Stateful block-at-a-time positional merge.
+pub struct PdtMerger<'a> {
+    pdt: &'a Pdt,
+    cur: Cursor,
+    rid: u64,
+}
+
+impl<'a> PdtMerger<'a> {
+    /// Start a merge whose stable input begins at `start_sid`. Inserts
+    /// recorded *at* `start_sid` are included (they precede the stable
+    /// tuple at that position).
+    pub fn new(pdt: &'a Pdt, start_sid: u64) -> Self {
+        let cur = pdt.seek_sid(start_sid);
+        let rid = (start_sid as i64 + cur.delta) as u64;
+        PdtMerger { pdt, cur, rid }
+    }
+
+    /// RID of the next tuple this merger will emit.
+    pub fn next_rid(&self) -> u64 {
+        self.rid
+    }
+
+    /// Merge one stable block covering SIDs `[start_sid, start_sid+len)`.
+    ///
+    /// `cols_in[k]` holds the data of projected column `proj[k]`; merged
+    /// rows are appended to `out[k]`. Inserts contribute their value-space
+    /// values, deletes suppress stable rows, and modifications overwrite
+    /// projected columns in place.
+    pub fn merge_block(
+        &mut self,
+        start_sid: u64,
+        len: usize,
+        proj: &[usize],
+        cols_in: &[ColumnVec],
+        out: &mut [ColumnVec],
+    ) {
+        debug_assert_eq!(proj.len(), cols_in.len());
+        debug_assert_eq!(proj.len(), out.len());
+        let end = start_sid + len as u64;
+        let mut pos = start_sid;
+        loop {
+            let next_upd_sid = self
+                .pdt
+                .entry(&self.cur)
+                .map(|e| e.sid)
+                .unwrap_or(u64::MAX);
+            if next_upd_sid >= end {
+                // no more updates inside this block: bulk pass-through
+                if pos < end {
+                    let from = (pos - start_sid) as usize;
+                    let to = (end - start_sid) as usize;
+                    for (k, o) in out.iter_mut().enumerate() {
+                        o.extend_range(&cols_in[k], from, to);
+                    }
+                    self.rid += end - pos;
+                }
+                return;
+            }
+            if next_upd_sid > pos {
+                // pass-through run up to the next update position
+                let from = (pos - start_sid) as usize;
+                let to = (next_upd_sid - start_sid) as usize;
+                for (k, o) in out.iter_mut().enumerate() {
+                    o.extend_range(&cols_in[k], from, to);
+                }
+                self.rid += next_upd_sid - pos;
+                pos = next_upd_sid;
+                continue;
+            }
+            // an update applies at `pos`
+            let e = self.pdt.entry(&self.cur).expect("checked above");
+            debug_assert_eq!(e.sid, pos);
+            if e.upd.is_ins() {
+                // new tuple before stable tuple `pos`
+                for (k, o) in out.iter_mut().enumerate() {
+                    o.push(&self.pdt.vals().get_insert_col(e.upd.val, proj[k]));
+                }
+                self.rid += 1;
+                self.pdt.advance(&mut self.cur);
+            } else if e.upd.is_del() {
+                // ghost: skip the stable tuple
+                self.pdt.advance(&mut self.cur);
+                pos += 1;
+            } else {
+                // modification chain on stable tuple `pos`
+                let i = (pos - start_sid) as usize;
+                let mut overrides: Vec<(usize, u64)> = Vec::new();
+                while let Some(m) = self.pdt.entry(&self.cur) {
+                    if m.sid != pos || !m.upd.is_mod() {
+                        break;
+                    }
+                    overrides.push((m.upd.col_no() as usize, m.upd.val));
+                    self.pdt.advance(&mut self.cur);
+                }
+                'col: for (k, o) in out.iter_mut().enumerate() {
+                    for &(col, off) in &overrides {
+                        if col == proj[k] {
+                            o.push(&self.pdt.vals().get_modify(col, off));
+                            continue 'col;
+                        }
+                    }
+                    o.extend_range(&cols_in[k], i, i + 1);
+                }
+                self.rid += 1;
+                pos += 1;
+            }
+        }
+    }
+
+    /// Emit pending inserts positioned exactly at `end_sid` — the tail of a
+    /// scan range (for a full table scan, `end_sid` is the stable row
+    /// count: inserts appended after the last stable tuple).
+    pub fn drain_inserts_at(&mut self, end_sid: u64, proj: &[usize], out: &mut [ColumnVec]) {
+        while let Some(e) = self.pdt.entry(&self.cur) {
+            if e.sid != end_sid || !e.upd.is_ins() {
+                break;
+            }
+            for (k, o) in out.iter_mut().enumerate() {
+                o.push(&self.pdt.vals().get_insert_col(e.upd.val, proj[k]));
+            }
+            self.rid += 1;
+            self.pdt.advance(&mut self.cur);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::Pdt;
+    use columnar::{Schema, Tuple, Value, ValueType};
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Str)])
+    }
+
+    fn stable(n: u64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| vec![Value::Int(i as i64 * 10), Value::Str(format!("s{i}"))])
+            .collect()
+    }
+
+    /// Run the merger over the whole stable image in blocks of `bs`.
+    fn merge_rows(pdt: &Pdt, rows: &[Tuple], bs: usize) -> Vec<Tuple> {
+        let proj = [0usize, 1usize];
+        let mut merger = PdtMerger::new(pdt, 0);
+        let mut out = [
+            ColumnVec::new(ValueType::Int),
+            ColumnVec::new(ValueType::Str),
+        ];
+        for chunk_start in (0..rows.len()).step_by(bs) {
+            let chunk = &rows[chunk_start..(chunk_start + bs).min(rows.len())];
+            let mut cols = [
+                ColumnVec::new(ValueType::Int),
+                ColumnVec::new(ValueType::Str),
+            ];
+            for r in chunk {
+                cols[0].push(&r[0]);
+                cols[1].push(&r[1]);
+            }
+            merger.merge_block(chunk_start as u64, chunk.len(), &proj, &cols, &mut out);
+        }
+        merger.drain_inserts_at(rows.len() as u64, &proj, &mut out);
+        (0..out[0].len())
+            .map(|i| vec![out[0].get(i), out[1].get(i)])
+            .collect()
+    }
+
+    #[test]
+    fn empty_pdt_passthrough() {
+        let p = Pdt::new(schema(), vec![0]);
+        let rows = stable(10);
+        for bs in [1, 3, 10, 64] {
+            assert_eq!(merge_rows(&p, &rows, bs), rows, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn inserts_deletes_mods_all_block_sizes() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        let rows = stable(10);
+        // insert before stable 3
+        p.add_insert(3, 3, &[Value::Int(25), Value::Str("ins".into())]);
+        // delete stable 5 (rid 6 after the insert)
+        p.add_delete(6, &[Value::Int(50)]);
+        // modify stable 7 column v (rid 7: +1 ins -1 del)
+        p.add_modify(7, 1, &Value::Str("mod".into()));
+        // trailing insert at the very end (sid 10)
+        p.add_insert(10, 10, &[Value::Int(995), Value::Str("tail".into())]);
+        p.check_invariants();
+
+        let mut want: Vec<Tuple> = Vec::new();
+        for (i, r) in rows.iter().enumerate() {
+            if i == 3 {
+                want.push(vec![Value::Int(25), Value::Str("ins".into())]);
+            }
+            if i == 5 {
+                continue;
+            }
+            let mut r = r.clone();
+            if i == 7 {
+                r[1] = Value::Str("mod".into());
+            }
+            want.push(r);
+        }
+        want.push(vec![Value::Int(995), Value::Str("tail".into())]);
+
+        for bs in [1, 2, 3, 7, 10, 100] {
+            assert_eq!(merge_rows(&p, &rows, bs), want, "block size {bs}");
+        }
+    }
+
+    #[test]
+    fn projection_subset_skips_unprojected_mods() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        let rows = stable(4);
+        p.add_modify(2, 1, &Value::Str("changed".into()));
+        // project only column 0: the v-modification must not disturb output
+        let proj = [0usize];
+        let mut merger = PdtMerger::new(&p, 0);
+        let mut out = [ColumnVec::new(ValueType::Int)];
+        let mut cols = [ColumnVec::new(ValueType::Int)];
+        for r in &rows {
+            cols[0].push(&r[0]);
+        }
+        merger.merge_block(0, rows.len(), &proj, &cols, &mut out);
+        assert_eq!(out[0].as_int(), &[0, 10, 20, 30]);
+        assert_eq!(merger.next_rid(), 4);
+    }
+
+    #[test]
+    fn ranged_scan_starts_mid_table_with_correct_rids() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        let rows = stable(10);
+        p.add_insert(0, 0, &[Value::Int(-5), Value::Str("head".into())]);
+        p.add_delete(3, &[Value::Int(20)]); // stable 2 deleted (rid 3 after insert)
+        // scan stable range [5, 8)
+        let mut merger = PdtMerger::new(&p, 5);
+        // rid of stable 5 = 5 + (1 - 1) = 5
+        assert_eq!(merger.next_rid(), 5);
+        let proj = [0usize];
+        let mut cols = [ColumnVec::new(ValueType::Int)];
+        for r in &rows[5..8] {
+            cols[0].push(&r[0]);
+        }
+        let mut out = [ColumnVec::new(ValueType::Int)];
+        merger.merge_block(5, 3, &proj, &cols, &mut out);
+        assert_eq!(out[0].as_int(), &[50, 60, 70]);
+        assert_eq!(merger.next_rid(), 8);
+    }
+
+    #[test]
+    fn boundary_inserts_drained_at_range_end() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        p.add_insert(5, 5, &[Value::Int(42), Value::Str("edge".into())]);
+        let rows = stable(10);
+        // scan [0, 5): the insert at sid 5 positions before stable 5 and
+        // must be drainable at the range boundary
+        let proj = [0usize];
+        let mut merger = PdtMerger::new(&p, 0);
+        let mut cols = [ColumnVec::new(ValueType::Int)];
+        for r in &rows[0..5] {
+            cols[0].push(&r[0]);
+        }
+        let mut out = [ColumnVec::new(ValueType::Int)];
+        merger.merge_block(0, 5, &proj, &cols, &mut out);
+        merger.drain_inserts_at(5, &proj, &mut out);
+        assert_eq!(out[0].as_int(), &[0, 10, 20, 30, 40, 42]);
+    }
+
+    #[test]
+    fn consecutive_ghosts_and_insert_between() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        let rows = stable(6);
+        // delete stable 2 and 3 (both end up at rid 2)
+        p.add_delete(2, &[Value::Int(20)]);
+        p.add_delete(2, &[Value::Int(30)]);
+        // insert between the ghosts: key 25 goes after ghost(20), before ghost(30)
+        let sid = p.sk_rid_to_sid(&[Value::Int(25)], 2);
+        assert_eq!(sid, 3);
+        p.add_insert(sid, 2, &[Value::Int(25), Value::Str("mid".into())]);
+        p.check_invariants();
+        let got = merge_rows(&p, &rows, 4);
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+        assert_eq!(keys, vec![0, 10, 25, 40, 50]);
+    }
+}

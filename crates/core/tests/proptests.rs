@@ -1,0 +1,303 @@
+//! Property-based validation of the PDT against the executable
+//! specification ([`pdt::naive::NaiveImage`]).
+//!
+//! Strategy: drive random *key-based* update workloads (insert/delete/
+//! modify by sort key) against a sorted integer-keyed table, applying each
+//! operation simultaneously to the reference model and to the PDT via the
+//! paper's own flow (RID located by key, SID resolved with `SkRidToSid`).
+//! Then check every observable: merged image (row-level and block-level
+//! MergeScan at arbitrary block sizes), RID⇔SID mappings, tree invariants,
+//! Propagate composition and Serialize conflict semantics.
+
+use columnar::{Schema, Tuple, Value, ValueType};
+use pdt::checkpoint::merge_rows;
+use pdt::naive::NaiveImage;
+use pdt::propagate::propagate;
+use pdt::serialize::serialize;
+use pdt::{Pdt, PdtMerger};
+use proptest::prelude::*;
+
+fn schema() -> Schema {
+    Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)])
+}
+
+fn base_rows(n: usize) -> Vec<Tuple> {
+    (0..n as i64)
+        .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+        .collect()
+}
+
+/// A key-addressed update operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Insert { key: i64, val: i64 },
+    Delete { key_choice: usize },
+    Modify { key_choice: usize, val: i64 },
+}
+
+fn op_strategy(max_key: i64) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..max_key, any::<i64>()).prop_map(|(key, val)| Op::Insert { key, val }),
+        any::<usize>().prop_map(|key_choice| Op::Delete { key_choice }),
+        (any::<usize>(), any::<i64>()).prop_map(|(key_choice, val)| Op::Modify {
+            key_choice,
+            val
+        }),
+    ]
+}
+
+/// Apply one op to both the model and the PDT; returns false if skipped.
+fn apply(op: &Op, model: &mut NaiveImage, pdt: &mut Pdt) -> bool {
+    match op {
+        Op::Insert { key, val } => {
+            // skip duplicates: SK must stay a key of the table
+            if model.rows().iter().any(|r| r[0] == Value::Int(*key)) {
+                return false;
+            }
+            let rid = model
+                .rows()
+                .iter()
+                .position(|r| r[0].as_int() > *key)
+                .unwrap_or(model.len());
+            let tuple: Tuple = vec![Value::Int(*key), Value::Int(*val)];
+            let sid = pdt.sk_rid_to_sid(&[Value::Int(*key)], rid as u64);
+            pdt.add_insert(sid, rid as u64, &tuple);
+            model.insert(rid, tuple);
+            true
+        }
+        Op::Delete { key_choice } => {
+            if model.is_empty() {
+                return false;
+            }
+            let rid = key_choice % model.len();
+            let sk = model.delete(rid);
+            pdt.add_delete(rid as u64, &sk);
+            true
+        }
+        Op::Modify { key_choice, val } => {
+            if model.is_empty() {
+                return false;
+            }
+            let rid = key_choice % model.len();
+            model.modify(rid, 1, Value::Int(*val));
+            pdt.add_modify(rid as u64, 1, &Value::Int(*val));
+            true
+        }
+    }
+}
+
+/// Full block-oriented merge of `rows` through `pdt` with block size `bs`.
+fn block_merge(pdt: &Pdt, rows: &[Tuple], bs: usize) -> Vec<Tuple> {
+    let proj = [0usize, 1usize];
+    let mut merger = PdtMerger::new(pdt, 0);
+    let mut out = [
+        columnar::ColumnVec::new(ValueType::Int),
+        columnar::ColumnVec::new(ValueType::Int),
+    ];
+    for start in (0..rows.len()).step_by(bs.max(1)) {
+        let chunk = &rows[start..(start + bs.max(1)).min(rows.len())];
+        let mut cols = [
+            columnar::ColumnVec::new(ValueType::Int),
+            columnar::ColumnVec::new(ValueType::Int),
+        ];
+        for r in chunk {
+            cols[0].push(&r[0]);
+            cols[1].push(&r[1]);
+        }
+        merger.merge_block(start as u64, chunk.len(), &proj, &cols, &mut out);
+    }
+    merger.drain_inserts_at(rows.len() as u64, &proj, &mut out);
+    (0..out[0].len())
+        .map(|i| vec![out[0].get(i), out[1].get(i)])
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Merged output equals the model, for every fan-out and block size.
+    #[test]
+    fn merge_matches_model(
+        ops in prop::collection::vec(op_strategy(300), 1..120),
+        n in 0usize..30,
+        fanout in 4usize..20,
+        bs in 1usize..40,
+    ) {
+        let rows = base_rows(n);
+        let mut model = NaiveImage::new(&rows, vec![0]);
+        let mut tree = Pdt::with_fanout(schema(), vec![0], fanout);
+        for op in &ops {
+            apply(op, &mut model, &mut tree);
+        }
+        tree.check_invariants();
+        prop_assert_eq!(merge_rows(&rows, &tree), model.rows().to_vec());
+        prop_assert_eq!(block_merge(&tree, &rows, bs), model.rows().to_vec());
+        prop_assert_eq!(
+            rows.len() as i64 + tree.delta_total(),
+            model.len() as i64
+        );
+    }
+
+    /// RID⇔SID mappings agree with the model's origin tracking.
+    #[test]
+    fn rid_sid_mapping_matches_model(
+        ops in prop::collection::vec(op_strategy(300), 1..100),
+        n in 1usize..25,
+    ) {
+        let rows = base_rows(n);
+        let mut model = NaiveImage::new(&rows, vec![0]);
+        let mut tree = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &ops {
+            apply(op, &mut model, &mut tree);
+        }
+        // every visible stable row maps both ways
+        for rid in 0..model.len() {
+            let lk = tree.lookup_rid(rid as u64);
+            match model.origin_of(rid) {
+                Some(sid) => {
+                    prop_assert_eq!(lk.sid, sid, "rid {} -> wrong sid", rid);
+                    prop_assert!(lk.insert_off.is_none());
+                    let (back, alive) = tree.rid_of_stable(sid);
+                    prop_assert!(alive);
+                    prop_assert_eq!(back, rid as u64);
+                }
+                None => {
+                    prop_assert!(lk.insert_off.is_some(), "rid {} should be an insert", rid);
+                    let t = tree.vals().get_insert(lk.insert_off.unwrap());
+                    prop_assert_eq!(&t, &model.rows()[rid]);
+                }
+            }
+        }
+        // deleted stable tuples report !alive
+        for sid in 0..n as u64 {
+            if model.rid_of_stable(sid).is_none() {
+                let (_, alive) = tree.rid_of_stable(sid);
+                prop_assert!(!alive, "sid {} should be a ghost", sid);
+            }
+        }
+    }
+
+    /// Propagate composes: lower ∘ upper ≡ all ops applied sequentially.
+    #[test]
+    fn propagate_composes(
+        ops in prop::collection::vec(op_strategy(300), 2..100),
+        n in 0usize..25,
+        split_frac in 0.0f64..1.0,
+    ) {
+        let rows = base_rows(n);
+        let split = ((ops.len() as f64) * split_frac) as usize;
+
+        // lower PDT from the first half
+        let mut model = NaiveImage::new(&rows, vec![0]);
+        let mut lower = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &ops[..split] {
+            apply(op, &mut model, &mut lower);
+        }
+        // upper PDT from the second half, based on lower's output image
+        let mid_rows = model.rows().to_vec();
+        let mut upper = Pdt::with_fanout(schema(), vec![0], 4);
+        let mut model2 = NaiveImage::new(&mid_rows, vec![0]);
+        for op in &ops[split..] {
+            apply(op, &mut model2, &mut upper);
+        }
+        let want = model2.rows().to_vec();
+
+        propagate(&mut lower, &upper);
+        lower.check_invariants();
+        prop_assert_eq!(merge_rows(&rows, &lower), want);
+    }
+
+    /// Serialize: disjoint-key transactions never conflict and compose to
+    /// the same image as applying both; conflicts only arise when the two
+    /// transactions touched a common key region.
+    #[test]
+    fn serialize_composes_or_conflicts(
+        ty_ops in prop::collection::vec(op_strategy(300), 1..40),
+        tx_ops in prop::collection::vec(op_strategy(300), 1..40),
+        n in 1usize..25,
+    ) {
+        let rows = base_rows(n);
+
+        // ty: committed transaction from snapshot `rows`
+        let mut ty_model = NaiveImage::new(&rows, vec![0]);
+        let mut ty = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &ty_ops {
+            apply(op, &mut ty_model, &mut ty);
+        }
+        // tx: concurrent transaction from the SAME snapshot (aligned)
+        let mut tx_model = NaiveImage::new(&rows, vec![0]);
+        let mut tx = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &tx_ops {
+            apply(op, &mut tx_model, &mut tx);
+        }
+
+        let tx_clone = tx.clone();
+        match serialize(tx, &ty) {
+            Ok(txp) => {
+                txp.check_invariants();
+                // composing must keep ty's updates and add tx's
+                let mid = merge_rows(&rows, &ty);
+                let fin = merge_rows(&mid, &txp);
+                // final image contains every ty-inserted key that tx did not
+                // delete, and every tx modification lands
+                for e in tx_clone.iter().filter(|e| e.upd.is_ins()) {
+                    let t = tx_clone.vals().get_insert(e.upd.val);
+                    prop_assert!(
+                        fin.iter().any(|r| r[0] == t[0] && r[1] == t[1]),
+                        "tx insert {:?} lost", t
+                    );
+                }
+                // ordering of the final image must be key-sorted (valid table)
+                for w in fin.windows(2) {
+                    prop_assert!(w[0][0] <= w[1][0], "final image unsorted");
+                }
+            }
+            Err(_) => {
+                // a conflict implies the two transactions touched a common
+                // stable tuple or inserted an identical key; verify overlap
+                let ty_sids: std::collections::HashSet<u64> =
+                    ty.iter().filter(|e| !e.upd.is_ins()).map(|e| e.sid).collect();
+                let tx_sids: std::collections::HashSet<u64> =
+                    tx_clone.iter().filter(|e| !e.upd.is_ins()).map(|e| e.sid).collect();
+                let stable_overlap = ty_sids.intersection(&tx_sids).next().is_some();
+                let tx_keys: std::collections::HashSet<i64> = tx_clone
+                    .iter()
+                    .filter(|e| e.upd.is_ins())
+                    .map(|e| tx_clone.vals().get_insert(e.upd.val)[0].as_int())
+                    .collect();
+                let ins_overlap = ty
+                    .iter()
+                    .filter(|e| e.upd.is_ins())
+                    .any(|e| tx_keys.contains(&ty.vals().get_insert(e.upd.val)[0].as_int()));
+                prop_assert!(
+                    stable_overlap || ins_overlap,
+                    "conflict reported without overlapping write sets"
+                );
+            }
+        }
+    }
+
+    /// A checkpoint (merge + rebuild) and continued updates behave like a
+    /// never-checkpointed table.
+    #[test]
+    fn checkpoint_transparency(
+        ops1 in prop::collection::vec(op_strategy(300), 1..50),
+        ops2 in prop::collection::vec(op_strategy(300), 1..50),
+        n in 0usize..20,
+    ) {
+        let rows = base_rows(n);
+        let mut model = NaiveImage::new(&rows, vec![0]);
+        let mut tree = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &ops1 {
+            apply(op, &mut model, &mut tree);
+        }
+        // checkpoint: new stable image, fresh PDT
+        let stable2 = merge_rows(&rows, &tree);
+        let mut model2 = NaiveImage::new(&stable2, vec![0]);
+        let mut tree2 = Pdt::with_fanout(schema(), vec![0], 4);
+        for op in &ops2 {
+            apply(op, &mut model2, &mut tree2);
+        }
+        prop_assert_eq!(merge_rows(&stable2, &tree2), model2.rows().to_vec());
+    }
+}

@@ -1,0 +1,598 @@
+//! # Mini column-store DBMS
+//!
+//! Ties the substrates together into the system the paper evaluates:
+//! ordered compressed columnar tables ([`columnar`]), differential updates
+//! via PDTs ([`pdt`]) under snapshot-isolation transactions ([`txn`]) — or
+//! via the value-based VDT baseline ([`vdt`]) — and scans/queries through
+//! the block-oriented executor ([`exec`]).
+//!
+//! Three scan modes correspond to the three bars of the paper's Figure 19:
+//!
+//! * [`ScanMode::Clean`] — stable image only ("no-updates" runs),
+//! * [`ScanMode::Pdt`] — positional merging through Read/Write(/Trans)
+//!   PDTs,
+//! * [`ScanMode::Vdt`] — value-based merging through the VDT.
+//!
+//! DML follows the paper's flows: inserts locate their RID with a ranged
+//! scan on the sort key ("SELECT rid WHERE SK > sk ORDER BY rid LIMIT 1"),
+//! resolve SIDs against ghosts via `SkRidToSid`, and record updates in the
+//! transaction's private Trans-PDT; deletes and updates scan for victims
+//! and fold positionally. Sort-key-modifying updates are rewritten as
+//! delete + insert (§2.1).
+
+pub mod dml;
+
+pub use dml::DbTxn;
+
+use columnar::{
+    ColumnarError, IoTracker, Schema, StableTable, TableMeta, TableOptions, Tuple, Value,
+};
+use exec::{DeltaLayers, ScanBounds, ScanClock, TableScan};
+use parking_lot::RwLock;
+use pdt::Pdt;
+use std::collections::HashMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::Arc;
+use txn::{TxnError, TxnManager};
+use vdt::Vdt;
+
+/// Engine-level errors.
+#[derive(Debug)]
+pub enum DbError {
+    UnknownTable(String),
+    DuplicateKey { table: String, key: Vec<Value> },
+    Storage(ColumnarError),
+    Txn(TxnError),
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::DuplicateKey { table, key } => {
+                write!(f, "duplicate sort key {key:?} in table {table}")
+            }
+            DbError::Storage(e) => write!(f, "storage error: {e}"),
+            DbError::Txn(e) => write!(f, "transaction error: {e}"),
+            DbError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+impl From<ColumnarError> for DbError {
+    fn from(e: ColumnarError) -> Self {
+        DbError::Storage(e)
+    }
+}
+
+impl From<TxnError> for DbError {
+    fn from(e: TxnError) -> Self {
+        DbError::Txn(e)
+    }
+}
+
+/// Which differential structure scans merge (Figure 19's three bars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScanMode {
+    Clean,
+    Pdt,
+    Vdt,
+}
+
+pub(crate) struct TableEntry {
+    pub stable: Arc<StableTable>,
+    pub vdt: Arc<Vdt>,
+}
+
+/// The database: stable tables + transaction manager + VDT baseline state.
+pub struct Database {
+    pub(crate) txn_mgr: TxnManager,
+    pub(crate) tables: RwLock<HashMap<String, TableEntry>>,
+    io: IoTracker,
+    clock: ScanClock,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// In-memory database without a WAL.
+    pub fn new() -> Self {
+        Database {
+            txn_mgr: TxnManager::new(),
+            tables: RwLock::new(HashMap::new()),
+            io: IoTracker::new(),
+            clock: ScanClock::new(),
+        }
+    }
+
+    /// Database whose commits append to a WAL at `path`.
+    pub fn with_wal(path: &Path) -> Result<Self, DbError> {
+        Ok(Database {
+            txn_mgr: TxnManager::with_wal(path).map_err(DbError::Io)?,
+            tables: RwLock::new(HashMap::new()),
+            io: IoTracker::new(),
+            clock: ScanClock::new(),
+        })
+    }
+
+    /// Bulk-load a table (rows need not be pre-sorted).
+    pub fn create_table(
+        &self,
+        meta: TableMeta,
+        opts: TableOptions,
+        rows: Vec<Tuple>,
+    ) -> Result<(), DbError> {
+        let name = meta.name.clone();
+        let schema = meta.schema.clone();
+        let sk = meta.sort_key.cols().to_vec();
+        let stable = StableTable::bulk_load_unsorted(meta, opts, rows)?;
+        self.txn_mgr.register_table(&name, schema.clone(), sk.clone());
+        self.tables.write().insert(
+            name,
+            TableEntry {
+                stable: Arc::new(stable),
+                vdt: Arc::new(Vdt::new(schema, sk)),
+            },
+        );
+        Ok(())
+    }
+
+    /// Shared I/O counters (per-database).
+    pub fn io(&self) -> &IoTracker {
+        &self.io
+    }
+
+    /// Shared scan-time clock.
+    pub fn clock(&self) -> &ScanClock {
+        &self.clock
+    }
+
+    /// Replay the WAL at `path` into the PDT layers (after `create_table`).
+    pub fn recover_from(&self, path: &Path) -> Result<u64, DbError> {
+        self.txn_mgr.recover_from(path).map_err(DbError::Io)
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, table: &str) -> Schema {
+        self.tables.read()[table].stable.schema().clone()
+    }
+
+    /// Current stable image of a table.
+    pub fn stable(&self, table: &str) -> Arc<StableTable> {
+        self.tables.read()[table].stable.clone()
+    }
+
+    /// Total visible row count under a fresh snapshot.
+    pub fn row_count(&self, table: &str, mode: ScanMode) -> u64 {
+        let view = self.read_view(mode);
+        view.visible_rows(table)
+    }
+
+    /// Open a consistent read-only view for query execution.
+    pub fn read_view(&self, mode: ScanMode) -> ReadView {
+        let tables = self.tables.read();
+        let mut views = HashMap::new();
+        // a throwaway transaction captures the PDT layer snapshots
+        let txn = self.txn_mgr.begin();
+        for (name, entry) in tables.iter() {
+            let snap = txn.snapshot(name);
+            views.insert(
+                name.clone(),
+                TableView {
+                    stable: entry.stable.clone(),
+                    read_pdt: snap.read.clone(),
+                    write_pdt: snap.write.clone(),
+                    vdt: entry.vdt.clone(),
+                },
+            );
+        }
+        self.txn_mgr.abort(txn);
+        ReadView {
+            tables: views,
+            mode,
+            io: self.io.clone(),
+            clock: self.clock.clone(),
+        }
+    }
+
+    /// Begin a read-write transaction (PDT mode).
+    pub fn begin(&self) -> DbTxn<'_> {
+        DbTxn::new(self, self.txn_mgr.begin())
+    }
+
+    /// Migrate the Write-PDT into the Read-PDT when it exceeds
+    /// `threshold_bytes` (the paper's Propagate policy). Returns whether a
+    /// flush happened.
+    pub fn maybe_flush(&self, table: &str, threshold_bytes: usize) -> bool {
+        if self.txn_mgr.write_pdt_bytes(table) > threshold_bytes {
+            self.txn_mgr.flush_write_to_read(table);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Checkpoint: materialise all PDT updates into a fresh stable image
+    /// and reset the PDT layers. Blocks commits for the duration.
+    pub fn checkpoint(&self, table: &str) -> Result<bool, DbError> {
+        let stable = self.stable(table);
+        let io = self.io.clone();
+        let did = self.txn_mgr.checkpoint(table, |read| {
+            let new_stable = pdt::checkpoint::checkpoint_table(&stable, read, &io)?;
+            self.tables.write().get_mut(table).unwrap().stable = Arc::new(new_stable);
+            Ok::<(), ColumnarError>(())
+        })?;
+        Ok(did)
+    }
+
+    /// Checkpoint the VDT baseline: apply its delta to the stable image.
+    pub fn checkpoint_vdt(&self, table: &str) -> Result<(), DbError> {
+        let mut tables = self.tables.write();
+        let entry = tables.get_mut(table).unwrap();
+        let rows = entry.stable.scan_all(&self.io)?;
+        let merged = entry.vdt.merge_rows(&rows);
+        let new_stable = StableTable::bulk_load(
+            entry.stable.meta().clone(),
+            entry.stable.options(),
+            &merged,
+        )?;
+        entry.stable = Arc::new(new_stable);
+        entry.vdt = Arc::new(Vdt::new(
+            entry.stable.schema().clone(),
+            entry.stable.sort_key().cols().to_vec(),
+        ));
+        Ok(())
+    }
+
+    /// Mutate the VDT of `table` (clone-mutate-swap; the VDT baseline has
+    /// no transaction layer — the paper evaluates it for scan performance).
+    pub fn with_vdt_mut(&self, table: &str, f: impl FnOnce(&mut Vdt)) {
+        let mut tables = self.tables.write();
+        let entry = tables.get_mut(table).unwrap();
+        let mut v = (*entry.vdt).clone();
+        f(&mut v);
+        entry.vdt = Arc::new(v);
+    }
+}
+
+/// A consistent, immutable multi-table view for query execution.
+pub struct ReadView {
+    tables: HashMap<String, TableView>,
+    pub mode: ScanMode,
+    pub io: IoTracker,
+    pub clock: ScanClock,
+}
+
+/// Per-table snapshot inside a [`ReadView`].
+pub struct TableView {
+    pub stable: Arc<StableTable>,
+    pub read_pdt: Arc<Pdt>,
+    pub write_pdt: Arc<Pdt>,
+    pub vdt: Arc<Vdt>,
+}
+
+impl TableView {
+    /// PDT layers to merge, bottom-up, skipping empty ones.
+    pub fn pdt_layers(&self) -> Vec<&Pdt> {
+        let mut v = Vec::with_capacity(2);
+        if !self.read_pdt.is_empty() {
+            v.push(&*self.read_pdt);
+        }
+        if !self.write_pdt.is_empty() {
+            v.push(&*self.write_pdt);
+        }
+        v
+    }
+}
+
+impl ReadView {
+    pub fn table(&self, name: &str) -> &TableView {
+        self.tables
+            .get(name)
+            .unwrap_or_else(|| panic!("unknown table {name}"))
+    }
+
+    /// Column index by name.
+    pub fn col(&self, table: &str, column: &str) -> usize {
+        self.table(table).stable.schema().col(column)
+    }
+
+    /// Visible row count of `table` under this view.
+    pub fn visible_rows(&self, name: &str) -> u64 {
+        let t = self.table(name);
+        let base = t.stable.row_count() as i64;
+        let delta = match self.mode {
+            ScanMode::Clean => 0,
+            ScanMode::Pdt => t.read_pdt.delta_total() + t.write_pdt.delta_total(),
+            ScanMode::Vdt => t.vdt.delta_total(),
+        };
+        (base + delta) as u64
+    }
+
+    /// Full-table scan with projection (column indices).
+    pub fn scan(&self, table: &str, proj: Vec<usize>) -> TableScan<'_> {
+        self.scan_ranged(table, proj, ScanBounds::default())
+    }
+
+    /// Ranged scan over inclusive sort-key prefix bounds (sparse-index
+    /// assisted).
+    pub fn scan_ranged(
+        &self,
+        table: &str,
+        proj: Vec<usize>,
+        bounds: ScanBounds,
+    ) -> TableScan<'_> {
+        let t = self.table(table);
+        let delta = match self.mode {
+            ScanMode::Clean => DeltaLayers::None,
+            ScanMode::Pdt => DeltaLayers::Pdt(t.pdt_layers()),
+            ScanMode::Vdt => DeltaLayers::Vdt(&t.vdt),
+        };
+        TableScan::ranged(
+            &t.stable,
+            delta,
+            proj,
+            bounds,
+            self.io.clone(),
+            self.clock.clone(),
+        )
+    }
+
+    /// Scan projecting columns by name (plan-writing convenience).
+    pub fn scan_cols(&self, table: &str, cols: &[&str]) -> TableScan<'_> {
+        let schema = self.table(table).stable.schema();
+        let proj = cols.iter().map(|c| schema.col(c)).collect();
+        self.scan(table, proj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::ValueType;
+    use exec::run_to_rows;
+
+    fn inventory_db() -> Database {
+        let db = Database::new();
+        let schema = Schema::from_pairs(&[
+            ("store", ValueType::Str),
+            ("prod", ValueType::Str),
+            ("new", ValueType::Bool),
+            ("qty", ValueType::Int),
+        ]);
+        let rows: Vec<Tuple> = [
+            ("London", "chair", false, 30i64),
+            ("London", "stool", false, 10),
+            ("London", "table", false, 20),
+            ("Paris", "rug", false, 1),
+            ("Paris", "stool", false, 5),
+        ]
+        .iter()
+        .map(|(s, p, n, q)| {
+            vec![
+                Value::from(*s),
+                Value::from(*p),
+                Value::from(*n),
+                Value::from(*q),
+            ]
+        })
+        .collect();
+        db.create_table(
+            TableMeta::new("inventory", schema, vec![0, 1]),
+            TableOptions {
+                block_rows: 2,
+                compressed: true,
+            },
+            rows,
+        )
+        .unwrap();
+        db
+    }
+
+    fn all_rows(db: &Database, mode: ScanMode) -> Vec<Tuple> {
+        let view = db.read_view(mode);
+        let mut scan = view.scan("inventory", vec![0, 1, 2, 3]);
+        run_to_rows(&mut scan)
+    }
+
+    #[test]
+    fn create_and_scan() {
+        let db = inventory_db();
+        assert_eq!(all_rows(&db, ScanMode::Clean).len(), 5);
+        assert_eq!(db.row_count("inventory", ScanMode::Pdt), 5);
+    }
+
+    #[test]
+    fn paper_batches_through_engine() {
+        let db = inventory_db();
+        // BATCH1
+        let mut t = db.begin();
+        for (s, p, q) in [("Berlin", "table", 10i64), ("Berlin", "cloth", 5), ("Berlin", "chair", 20)] {
+            t.insert(
+                "inventory",
+                vec![s.into(), p.into(), true.into(), q.into()],
+            )
+            .unwrap();
+        }
+        t.commit().unwrap();
+        let rows = all_rows(&db, ScanMode::Pdt);
+        assert_eq!(rows.len(), 8);
+        assert_eq!(rows[0][1], Value::from("chair")); // Berlin chair first
+
+        // BATCH2
+        let mut t = db.begin();
+        use exec::expr::{col, lit};
+        t.update_where(
+            "inventory",
+            col(0).eq(lit("Berlin")).and(col(1).eq(lit("cloth"))),
+            vec![(3, lit(1i64))],
+        )
+        .unwrap();
+        t.update_where(
+            "inventory",
+            col(0).eq(lit("London")).and(col(1).eq(lit("stool"))),
+            vec![(3, lit(9i64))],
+        )
+        .unwrap();
+        t.delete_where(
+            "inventory",
+            col(0).eq(lit("Berlin")).and(col(1).eq(lit("table"))),
+        )
+        .unwrap();
+        t.delete_where(
+            "inventory",
+            col(0).eq(lit("Paris")).and(col(1).eq(lit("rug"))),
+        )
+        .unwrap();
+        t.commit().unwrap();
+
+        // BATCH3
+        let mut t = db.begin();
+        for (s, p) in [("Paris", "rack"), ("London", "rack"), ("Berlin", "rack")] {
+            t.insert(
+                "inventory",
+                vec![s.into(), p.into(), true.into(), 4i64.into()],
+            )
+            .unwrap();
+        }
+        t.commit().unwrap();
+
+        // Figure 13
+        let rows = all_rows(&db, ScanMode::Pdt);
+        let keys: Vec<(String, String)> = rows
+            .iter()
+            .map(|r| (r[0].as_str().to_string(), r[1].as_str().to_string()))
+            .collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("Berlin".into(), "chair".into()),
+                ("Berlin".into(), "cloth".into()),
+                ("Berlin".into(), "rack".into()),
+                ("London".into(), "chair".into()),
+                ("London".into(), "rack".into()),
+                ("London".into(), "stool".into()),
+                ("London".into(), "table".into()),
+                ("Paris".into(), "rack".into()),
+                ("Paris".into(), "stool".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let db = inventory_db();
+        let mut t = db.begin();
+        let err = t
+            .insert(
+                "inventory",
+                vec!["London".into(), "chair".into(), true.into(), 1i64.into()],
+            )
+            .unwrap_err();
+        assert!(matches!(err, DbError::DuplicateKey { .. }));
+        t.abort();
+    }
+
+    #[test]
+    fn checkpoint_preserves_view_and_resets_layers() {
+        let db = inventory_db();
+        let mut t = db.begin();
+        t.insert(
+            "inventory",
+            vec!["Oslo".into(), "desk".into(), true.into(), 2i64.into()],
+        )
+        .unwrap();
+        t.delete_where(
+            "inventory",
+            exec::expr::col(1).eq(exec::expr::lit("rug")),
+        )
+        .unwrap();
+        t.commit().unwrap();
+        let before = all_rows(&db, ScanMode::Pdt);
+        assert!(db.checkpoint("inventory").unwrap());
+        let after = all_rows(&db, ScanMode::Pdt);
+        assert_eq!(before, after);
+        // clean scan of the new image equals the merged view
+        assert_eq!(all_rows(&db, ScanMode::Clean), before);
+    }
+
+    #[test]
+    fn vdt_path_matches_pdt_path() {
+        let db = inventory_db();
+        // same updates on both structures
+        let mut t = db.begin();
+        t.insert(
+            "inventory",
+            vec!["Berlin".into(), "rack".into(), true.into(), 4i64.into()],
+        )
+        .unwrap();
+        t.update_where(
+            "inventory",
+            exec::expr::col(1).eq(exec::expr::lit("rug")),
+            vec![(3, exec::expr::lit(7i64))],
+        )
+        .unwrap();
+        t.delete_where(
+            "inventory",
+            exec::expr::col(1).eq(exec::expr::lit("table")),
+        )
+        .unwrap();
+        t.commit().unwrap();
+
+        db.with_vdt_mut("inventory", |v| {
+            v.insert(vec!["Berlin".into(), "rack".into(), true.into(), 4i64.into()]);
+            v.modify(
+                &["Paris".into(), "rug".into(), false.into(), 1i64.into()],
+                3,
+                Value::Int(7),
+            );
+            v.delete(&["London".into(), "table".into()]);
+        });
+
+        assert_eq!(all_rows(&db, ScanMode::Pdt), all_rows(&db, ScanMode::Vdt));
+    }
+
+    #[test]
+    fn flush_threshold_policy() {
+        let db = inventory_db();
+        assert!(!db.maybe_flush("inventory", usize::MAX));
+        let mut t = db.begin();
+        t.insert(
+            "inventory",
+            vec!["Ams".into(), "x".into(), true.into(), 1i64.into()],
+        )
+        .unwrap();
+        t.commit().unwrap();
+        assert!(db.maybe_flush("inventory", 0));
+        // view unchanged after flush
+        assert_eq!(all_rows(&db, ScanMode::Pdt).len(), 6);
+    }
+
+    #[test]
+    fn sort_key_update_is_delete_plus_insert() {
+        let db = inventory_db();
+        let mut t = db.begin();
+        // rename London/table -> London/bench (SK column!)
+        t.update_where(
+            "inventory",
+            exec::expr::col(1).eq(exec::expr::lit("table")),
+            vec![(1, exec::expr::lit("bench"))],
+        )
+        .unwrap();
+        t.commit().unwrap();
+        let rows = all_rows(&db, ScanMode::Pdt);
+        let prods: Vec<&str> = rows.iter().map(|r| r[1].as_str()).collect();
+        assert!(prods.contains(&"bench") && !prods.contains(&"table"));
+        // order maintained: bench sorts before chair
+        assert_eq!(rows[0][1].as_str(), "bench");
+        assert_eq!(rows.len(), 5);
+    }
+}

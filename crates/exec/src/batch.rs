@@ -1,0 +1,151 @@
+//! Columnar row batches flowing between operators.
+
+use columnar::{ColumnVec, Tuple, Value, ValueType};
+
+/// A block of rows in columnar layout.
+///
+/// `rid_start` carries the RID of the first row *for scan outputs* (merge
+/// scans emit consecutively numbered visible rows); operators that
+/// reshuffle rows (joins, aggregation, sort) reset it to 0 — RIDs are a
+/// storage-level concept consumed by DML, not a query-level one.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    pub cols: Vec<ColumnVec>,
+    pub rid_start: u64,
+}
+
+impl Batch {
+    /// An empty batch with the given column types.
+    pub fn empty(types: &[ValueType]) -> Batch {
+        Batch {
+            cols: types.iter().map(|&t| ColumnVec::new(t)).collect(),
+            rid_start: 0,
+        }
+    }
+
+    /// Build a batch from row tuples (test / small-table convenience).
+    pub fn from_rows(types: &[ValueType], rows: &[Tuple]) -> Batch {
+        let mut b = Batch::empty(types);
+        for r in rows {
+            for (c, v) in r.iter().enumerate() {
+                b.cols[c].push(v);
+            }
+        }
+        b
+    }
+
+    pub fn num_rows(&self) -> usize {
+        self.cols.first().map(|c| c.len()).unwrap_or(0)
+    }
+
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.num_rows() == 0
+    }
+
+    pub fn types(&self) -> Vec<ValueType> {
+        self.cols.iter().map(|c| c.vtype()).collect()
+    }
+
+    /// Read row `i` as a tuple (clones; use column access on hot paths).
+    pub fn row(&self, i: usize) -> Tuple {
+        self.cols.iter().map(|c| c.get(i)).collect()
+    }
+
+    /// All rows (test convenience).
+    pub fn rows(&self) -> Vec<Tuple> {
+        (0..self.num_rows()).map(|i| self.row(i)).collect()
+    }
+
+    /// Keep only the rows at the given indices (selection-vector apply).
+    pub fn gather(&self, idx: &[usize]) -> Batch {
+        let cols = self
+            .cols
+            .iter()
+            .map(|c| {
+                let mut out = ColumnVec::new(c.vtype());
+                out.extend_gather(c, idx);
+                out
+            })
+            .collect();
+        Batch {
+            cols,
+            rid_start: 0,
+        }
+    }
+
+    /// Keep only the listed columns, in the listed order.
+    pub fn project(&self, cols: &[usize]) -> Batch {
+        Batch {
+            cols: cols.iter().map(|&c| self.cols[c].clone()).collect(),
+            rid_start: self.rid_start,
+        }
+    }
+
+    /// Horizontally concatenate two equal-length batches.
+    pub fn zip(mut self, other: Batch) -> Batch {
+        debug_assert_eq!(self.num_rows(), other.num_rows());
+        self.cols.extend(other.cols);
+        self
+    }
+
+    /// Append one row given as values.
+    pub fn push_row(&mut self, row: &[Value]) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, v) in row.iter().enumerate() {
+            self.cols[c].push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch() -> Batch {
+        Batch::from_rows(
+            &[ValueType::Int, ValueType::Str],
+            &[
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+                vec![Value::Int(3), Value::Str("c".into())],
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let b = batch();
+        assert_eq!(b.num_rows(), 3);
+        assert_eq!(b.num_cols(), 2);
+        assert_eq!(b.row(1), vec![Value::Int(2), Value::Str("b".into())]);
+        assert_eq!(b.types(), vec![ValueType::Int, ValueType::Str]);
+    }
+
+    #[test]
+    fn gather_selects_rows() {
+        let b = batch().gather(&[2, 0]);
+        assert_eq!(b.rows()[0][0], Value::Int(3));
+        assert_eq!(b.rows()[1][0], Value::Int(1));
+    }
+
+    #[test]
+    fn project_and_zip() {
+        let b = batch();
+        let left = b.project(&[1]);
+        let right = b.project(&[0]);
+        let z = left.zip(right);
+        assert_eq!(z.num_cols(), 2);
+        assert_eq!(z.row(0), vec![Value::Str("a".into()), Value::Int(1)]);
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut b = batch();
+        b.push_row(&[Value::Int(9), Value::Str("z".into())]);
+        assert_eq!(b.num_rows(), 4);
+    }
+}

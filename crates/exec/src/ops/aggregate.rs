@@ -1,0 +1,292 @@
+//! Hash aggregation with grouping.
+
+use crate::batch::Batch;
+use crate::expr::Expr;
+use crate::ops::Operator;
+use columnar::{ColumnVec, Tuple, Value, ValueType};
+use std::collections::{HashMap, HashSet};
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum (Int stays Int, anything else accumulates as Double).
+    Sum,
+    /// Count of rows (the expression is still evaluated for typing but any
+    /// value counts — our columns are NOT NULL).
+    Count,
+    /// Arithmetic mean as Double.
+    Avg,
+    Min,
+    Max,
+    /// Number of distinct expression values.
+    CountDistinct,
+}
+
+/// One aggregate: a function applied to an expression over the group.
+#[derive(Debug, Clone)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    pub expr: Expr,
+}
+
+impl AggSpec {
+    pub fn new(func: AggFunc, expr: Expr) -> Self {
+        AggSpec { func, expr }
+    }
+
+    fn out_type(&self, in_types: &[ValueType]) -> ValueType {
+        match self.func {
+            AggFunc::Count | AggFunc::CountDistinct => ValueType::Int,
+            AggFunc::Avg => ValueType::Double,
+            AggFunc::Sum => match self.expr.out_type(in_types) {
+                ValueType::Int => ValueType::Int,
+                _ => ValueType::Double,
+            },
+            AggFunc::Min | AggFunc::Max => self.expr.out_type(in_types),
+        }
+    }
+}
+
+enum Acc {
+    SumInt(i64),
+    SumDouble(f64),
+    Count(i64),
+    Avg { sum: f64, n: i64 },
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Distinct(HashSet<Value>),
+}
+
+impl Acc {
+    fn new(func: AggFunc, vt: ValueType) -> Acc {
+        match func {
+            AggFunc::Sum => match vt {
+                ValueType::Int => Acc::SumInt(0),
+                _ => Acc::SumDouble(0.0),
+            },
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Avg => Acc::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => Acc::Min(None),
+            AggFunc::Max => Acc::Max(None),
+            AggFunc::CountDistinct => Acc::Distinct(HashSet::new()),
+        }
+    }
+
+    fn update(&mut self, v: Value) {
+        match self {
+            Acc::SumInt(s) => *s += v.as_int(),
+            Acc::SumDouble(s) => *s += v.as_double(),
+            Acc::Count(c) => *c += 1,
+            Acc::Avg { sum, n } => {
+                *sum += v.as_double();
+                *n += 1;
+            }
+            Acc::Min(m) => {
+                if m.as_ref().map(|m| v < *m).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Acc::Max(m) => {
+                if m.as_ref().map(|m| v > *m).unwrap_or(true) {
+                    *m = Some(v);
+                }
+            }
+            Acc::Distinct(set) => {
+                set.insert(v);
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::SumInt(s) => Value::Int(s),
+            Acc::SumDouble(s) => Value::Double(s),
+            Acc::Count(c) => Value::Int(c),
+            Acc::Avg { sum, n } => {
+                Value::Double(if n == 0 { 0.0 } else { sum / n as f64 })
+            }
+            Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+}
+
+/// Hash aggregation: `GROUP BY group_cols` computing `aggs`. With empty
+/// `group_cols` produces exactly one (possibly zero-initialised) row —
+/// scalar aggregation. Output columns: group columns, then aggregates.
+pub struct HashAggregate<'a> {
+    input: Box<dyn Operator + 'a>,
+    group_cols: Vec<usize>,
+    aggs: Vec<AggSpec>,
+    types: Vec<ValueType>,
+    done: bool,
+}
+
+impl<'a> HashAggregate<'a> {
+    pub fn new(
+        input: Box<dyn Operator + 'a>,
+        group_cols: Vec<usize>,
+        aggs: Vec<AggSpec>,
+    ) -> Self {
+        let in_types = input.out_types();
+        let mut types: Vec<ValueType> =
+            group_cols.iter().map(|&c| in_types[c]).collect();
+        types.extend(aggs.iter().map(|a| a.out_type(&in_types)));
+        HashAggregate {
+            input,
+            group_cols,
+            aggs,
+            types,
+            done: false,
+        }
+    }
+}
+
+impl Operator for HashAggregate<'_> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.done {
+            return None;
+        }
+        self.done = true;
+        let in_types = self.input.out_types();
+        let mut groups: HashMap<Tuple, Vec<Acc>> = HashMap::new();
+        let make_accs = |aggs: &[AggSpec]| -> Vec<Acc> {
+            aggs.iter()
+                .map(|a| Acc::new(a.func, a.expr.out_type(&in_types)))
+                .collect()
+        };
+        while let Some(batch) = self.input.next_batch() {
+            let agg_inputs: Vec<ColumnVec> =
+                self.aggs.iter().map(|a| a.expr.eval(&batch)).collect();
+            for i in 0..batch.num_rows() {
+                let key: Tuple = self
+                    .group_cols
+                    .iter()
+                    .map(|&c| batch.cols[c].get(i))
+                    .collect();
+                let accs = groups
+                    .entry(key)
+                    .or_insert_with(|| make_accs(&self.aggs));
+                for (a, input) in accs.iter_mut().zip(&agg_inputs) {
+                    a.update(input.get(i));
+                }
+            }
+        }
+        if groups.is_empty() && self.group_cols.is_empty() {
+            // scalar aggregate over empty input: one zero row
+            groups.insert(Vec::new(), make_accs(&self.aggs));
+        }
+        if groups.is_empty() {
+            return None;
+        }
+        let mut out = Batch::empty(&self.types);
+        for (key, accs) in groups {
+            let mut row = key;
+            row.extend(accs.into_iter().map(Acc::finish));
+            out.push_row(&row);
+        }
+        Some(out)
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.types.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{col, lit};
+    use crate::ops::{run_to_rows, ValuesOp};
+
+    fn input() -> Box<dyn Operator> {
+        let rows: Vec<Tuple> = [
+            ("a", 1i64, 2.0),
+            ("a", 3, 4.0),
+            ("b", 5, 6.0),
+            ("b", 5, 8.0),
+        ]
+        .iter()
+        .map(|(g, i, d)| {
+            vec![
+                Value::Str(g.to_string()),
+                Value::Int(*i),
+                Value::Double(*d),
+            ]
+        })
+        .collect();
+        Box::new(ValuesOp::new(
+            &[ValueType::Str, ValueType::Int, ValueType::Double],
+            &rows,
+        ))
+    }
+
+    fn by_group(rows: Vec<Tuple>) -> HashMap<String, Tuple> {
+        rows.into_iter()
+            .map(|r| (r[0].as_str().to_string(), r))
+            .collect()
+    }
+
+    #[test]
+    fn grouped_aggregates() {
+        let mut agg = HashAggregate::new(
+            input(),
+            vec![0],
+            vec![
+                AggSpec::new(AggFunc::Sum, col(1)),
+                AggSpec::new(AggFunc::Avg, col(2)),
+                AggSpec::new(AggFunc::Count, lit(1i64)),
+                AggSpec::new(AggFunc::Min, col(1)),
+                AggSpec::new(AggFunc::Max, col(2)),
+                AggSpec::new(AggFunc::CountDistinct, col(1)),
+            ],
+        );
+        let rows = by_group(run_to_rows(&mut agg));
+        let a = &rows["a"];
+        assert_eq!(a[1], Value::Int(4));
+        assert_eq!(a[2], Value::Double(3.0));
+        assert_eq!(a[3], Value::Int(2));
+        assert_eq!(a[4], Value::Int(1));
+        assert_eq!(a[5], Value::Double(4.0));
+        assert_eq!(a[6], Value::Int(2));
+        let b = &rows["b"];
+        assert_eq!(b[1], Value::Int(10));
+        assert_eq!(b[6], Value::Int(1), "distinct of {{5,5}}");
+    }
+
+    #[test]
+    fn scalar_aggregate() {
+        let mut agg = HashAggregate::new(
+            input(),
+            vec![],
+            vec![AggSpec::new(AggFunc::Sum, col(1).mul(lit(2i64)))],
+        );
+        let rows = run_to_rows(&mut agg);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(28));
+    }
+
+    #[test]
+    fn scalar_aggregate_over_empty_input() {
+        let empty = Box::new(ValuesOp::new(&[ValueType::Int], &[]));
+        let mut agg = HashAggregate::new(
+            empty,
+            vec![],
+            vec![AggSpec::new(AggFunc::Count, col(0))],
+        );
+        let rows = run_to_rows(&mut agg);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0][0], Value::Int(0));
+    }
+
+    #[test]
+    fn sum_of_double_expression() {
+        let mut agg = HashAggregate::new(
+            input(),
+            vec![],
+            vec![AggSpec::new(AggFunc::Sum, col(2).mul(col(1)))],
+        );
+        let rows = run_to_rows(&mut agg);
+        assert_eq!(rows[0][0], Value::Double(2.0 + 12.0 + 30.0 + 40.0));
+    }
+}

@@ -1,0 +1,200 @@
+//! Hash joins: inner, left-outer, semi and anti.
+
+use crate::batch::Batch;
+use crate::ops::Operator;
+use columnar::{Tuple, Value, ValueType};
+use std::collections::HashMap;
+
+/// Join flavours. The *probe* side streams; the *build* side is
+/// materialised into the hash table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Emit probe ++ build columns for every key match.
+    Inner,
+    /// Emit every probe row; build columns are type defaults when
+    /// unmatched, and a trailing `matched: Bool` column reports whether a
+    /// match existed (our typed columns have no null representation).
+    LeftOuter,
+    /// Emit probe rows that have at least one match (no build columns).
+    Semi,
+    /// Emit probe rows that have no match (no build columns).
+    Anti,
+}
+
+/// Hash join operator.
+pub struct HashJoin<'a> {
+    probe: Box<dyn Operator + 'a>,
+    build: Option<Box<dyn Operator + 'a>>,
+    probe_keys: Vec<usize>,
+    build_keys: Vec<usize>,
+    kind: JoinKind,
+    table: HashMap<Tuple, Vec<Tuple>>,
+    build_width: usize,
+    types: Vec<ValueType>,
+}
+
+impl<'a> HashJoin<'a> {
+    pub fn new(
+        probe: Box<dyn Operator + 'a>,
+        build: Box<dyn Operator + 'a>,
+        probe_keys: Vec<usize>,
+        build_keys: Vec<usize>,
+        kind: JoinKind,
+    ) -> Self {
+        let mut types = probe.out_types();
+        let build_types = build.out_types();
+        let build_width = build_types.len();
+        if matches!(kind, JoinKind::Inner | JoinKind::LeftOuter) {
+            types.extend(build_types);
+        }
+        if kind == JoinKind::LeftOuter {
+            types.push(ValueType::Bool); // `matched` indicator
+        }
+        HashJoin {
+            probe,
+            build: Some(build),
+            probe_keys,
+            build_keys,
+            kind,
+            table: HashMap::new(),
+            build_width,
+            types,
+        }
+    }
+
+    fn build_table(&mut self) {
+        let Some(mut build) = self.build.take() else {
+            return;
+        };
+        while let Some(b) = build.next_batch() {
+            for i in 0..b.num_rows() {
+                let key: Tuple = self.build_keys.iter().map(|&c| b.cols[c].get(i)).collect();
+                self.table.entry(key).or_default().push(b.row(i));
+            }
+        }
+    }
+}
+
+impl Operator for HashJoin<'_> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        self.build_table();
+        loop {
+            let batch = self.probe.next_batch()?;
+            let mut out = Batch::empty(&self.types);
+            for i in 0..batch.num_rows() {
+                let key: Tuple = self
+                    .probe_keys
+                    .iter()
+                    .map(|&c| batch.cols[c].get(i))
+                    .collect();
+                let matches = self.table.get(&key);
+                match self.kind {
+                    JoinKind::Inner => {
+                        if let Some(ms) = matches {
+                            let probe_row = batch.row(i);
+                            for m in ms {
+                                let mut row = probe_row.clone();
+                                row.extend(m.iter().cloned());
+                                out.push_row(&row);
+                            }
+                        }
+                    }
+                    JoinKind::LeftOuter => {
+                        let probe_row = batch.row(i);
+                        match matches {
+                            Some(ms) => {
+                                for m in ms {
+                                    let mut row = probe_row.clone();
+                                    row.extend(m.iter().cloned());
+                                    row.push(Value::Bool(true));
+                                    out.push_row(&row);
+                                }
+                            }
+                            None => {
+                                let mut row = probe_row;
+                                row.extend((0..self.build_width).map(|_| Value::Null));
+                                row.push(Value::Bool(false));
+                                out.push_row(&row);
+                            }
+                        }
+                    }
+                    JoinKind::Semi => {
+                        if matches.is_some() {
+                            out.push_row(&batch.row(i));
+                        }
+                    }
+                    JoinKind::Anti => {
+                        if matches.is_none() {
+                            out.push_row(&batch.row(i));
+                        }
+                    }
+                }
+            }
+            if !out.is_empty() {
+                return Some(out);
+            }
+            // fully unmatched batch for Inner/Semi: pull more input
+        }
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.types.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{run_to_rows, ValuesOp};
+
+    fn left() -> Box<dyn Operator> {
+        let rows: Vec<Tuple> = [(1i64, "x"), (2, "y"), (3, "z")]
+            .iter()
+            .map(|(k, s)| vec![Value::Int(*k), Value::Str(s.to_string())])
+            .collect();
+        Box::new(ValuesOp::new(&[ValueType::Int, ValueType::Str], &rows))
+    }
+
+    fn right() -> Box<dyn Operator> {
+        let rows: Vec<Tuple> = [(1i64, 100i64), (1, 101), (3, 300)]
+            .iter()
+            .map(|(k, v)| vec![Value::Int(*k), Value::Int(*v)])
+            .collect();
+        Box::new(ValuesOp::new(&[ValueType::Int, ValueType::Int], &rows))
+    }
+
+    #[test]
+    fn inner_join_duplicates_matches() {
+        let mut j = HashJoin::new(left(), right(), vec![0], vec![0], JoinKind::Inner);
+        let got = run_to_rows(&mut j);
+        assert_eq!(got.len(), 3); // key 1 matches twice, key 3 once
+        assert_eq!(j.out_types().len(), 4);
+    }
+
+    #[test]
+    fn left_outer_marks_matches() {
+        let mut j = HashJoin::new(left(), right(), vec![0], vec![0], JoinKind::LeftOuter);
+        assert_eq!(j.out_types().len(), 5, "probe + build + matched flag");
+        let got = run_to_rows(&mut j);
+        assert_eq!(got.len(), 4);
+        let unmatched: Vec<_> = got
+            .iter()
+            .filter(|r| r[4] == Value::Bool(false))
+            .collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(unmatched[0][0], Value::Int(2));
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let mut j = HashJoin::new(left(), right(), vec![0], vec![0], JoinKind::Semi);
+        let got = run_to_rows(&mut j);
+        assert_eq!(got.len(), 2); // keys 1 and 3, no duplication
+        assert_eq!(j.out_types().len(), 2);
+
+        let mut j = HashJoin::new(left(), right(), vec![0], vec![0], JoinKind::Anti);
+        let got = run_to_rows(&mut j);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0][0], Value::Int(2));
+    }
+}

@@ -1,0 +1,625 @@
+//! Table scans: clean, PDT-merging (positional) and VDT-merging
+//! (value-based).
+//!
+//! This operator is where the paper's central comparison materialises:
+//!
+//! * **PDT mode** reads exactly the projected columns and applies updates
+//!   positionally (no key I/O, no key comparisons). Stacked PDTs
+//!   (Read/Write/Trans — eq. (9)) are merged in sequence: each layer's
+//!   output RIDs are the next layer's SIDs.
+//! * **VDT mode** must additionally read **all sort-key columns** and runs
+//!   MergeUnion/MergeDiff value comparisons per tuple.
+//! * **Clean mode** scans the stable image only (the "no-updates" bars of
+//!   Figure 19).
+//!
+//! Ranged scans resolve a sort-key prefix range to a SID range through the
+//! (stale-tolerant) sparse index and position all delta structures
+//! accordingly.
+
+use crate::batch::Batch;
+use crate::ops::Operator;
+use crate::stats::ScanClock;
+use columnar::{ColumnVec, IoTracker, ScanRange, StableTable, Value, ValueType};
+use pdt::{Pdt, PdtMerger};
+use std::time::Instant;
+use vdt::{Vdt, VdtMerger};
+
+/// Differential layers to merge into the scan.
+pub enum DeltaLayers<'a> {
+    /// Scan the stable image only.
+    None,
+    /// Positional merge through a stack of PDTs, bottom layer first
+    /// (e.g. `[read_pdt, write_pdt, trans_pdt]`).
+    Pdt(Vec<&'a Pdt>),
+    /// Value-based merge through a VDT.
+    Vdt(&'a Vdt),
+}
+
+/// Inclusive sort-key prefix bounds for a ranged scan.
+#[derive(Debug, Clone, Default)]
+pub struct ScanBounds {
+    pub lo: Option<Vec<Value>>,
+    pub hi: Option<Vec<Value>>,
+}
+
+enum MergeState<'a> {
+    None,
+    Pdt(Vec<PdtMerger<'a>>),
+    Vdt(Box<VdtMerger<'a>>),
+}
+
+/// The scan operator.
+pub struct TableScan<'a> {
+    table: &'a StableTable,
+    proj: Vec<usize>,
+    range: ScanRange,
+    /// columns actually read from storage (proj ∪ sort key for VDT mode)
+    io_cols: Vec<usize>,
+    state: MergeState<'a>,
+    next_block: usize,
+    end_block: usize,
+    finished: bool,
+    io: IoTracker,
+    clock: ScanClock,
+    vdt: Option<&'a Vdt>,
+    drain_upper: Option<Vec<Value>>,
+    /// RID of the first row this scan would emit (even if it emits none —
+    /// e.g. a fully ghosted range); DML rank computations rely on it.
+    start_rid: u64,
+}
+
+impl<'a> TableScan<'a> {
+    /// Full-table scan.
+    pub fn new(
+        table: &'a StableTable,
+        delta: DeltaLayers<'a>,
+        proj: Vec<usize>,
+        io: IoTracker,
+        clock: ScanClock,
+    ) -> Self {
+        Self::ranged(table, delta, proj, ScanBounds::default(), io, clock)
+    }
+
+    /// Ranged scan over a sort-key prefix interval (both bounds inclusive).
+    pub fn ranged(
+        table: &'a StableTable,
+        delta: DeltaLayers<'a>,
+        proj: Vec<usize>,
+        bounds: ScanBounds,
+        io: IoTracker,
+        clock: ScanClock,
+    ) -> Self {
+        let range = table.sid_range(bounds.lo.as_deref(), bounds.hi.as_deref());
+        let mut start_rid = range.start;
+        let (state, io_cols, vdt, drain_upper) = match delta {
+            DeltaLayers::None => (MergeState::None, proj.clone(), None, None),
+            DeltaLayers::Pdt(layers) => {
+                // stack the mergers: each layer starts where the previous
+                // layer's output begins
+                let mut mergers = Vec::with_capacity(layers.len());
+                let mut start = range.start;
+                for p in layers {
+                    let m = PdtMerger::new(p, start);
+                    start = m.next_rid();
+                    mergers.push(m);
+                }
+                start_rid = start;
+                (MergeState::Pdt(mergers), proj.clone(), None, None)
+            }
+            DeltaLayers::Vdt(v) => {
+                // the value-based tax: sort-key columns are always read
+                let mut io_cols = proj.clone();
+                for &c in table.sort_key().cols() {
+                    if !io_cols.contains(&c) {
+                        io_cols.push(c);
+                    }
+                }
+                let merger = if range.start == 0 {
+                    VdtMerger::new(v)
+                } else {
+                    let key = table
+                        .sk_of_row(range.start, &io)
+                        .expect("range start within table");
+                    VdtMerger::new_ranged(v, range.start, &key)
+                };
+                start_rid = merger.next_rid();
+                // inserts beyond the ranged upper boundary are not drained
+                let upper = if range.end < table.row_count() {
+                    Some(
+                        table
+                            .sk_of_row(range.end, &io)
+                            .expect("range end within table"),
+                    )
+                } else {
+                    None
+                };
+                (
+                    MergeState::Vdt(Box::new(merger)),
+                    io_cols,
+                    Some(v),
+                    upper,
+                )
+            }
+        };
+        let next_block = if range.is_empty() {
+            usize::MAX
+        } else {
+            table.block_of(range.start)
+        };
+        let end_block = if range.is_empty() {
+            0
+        } else {
+            table.block_of(range.end.saturating_sub(1)) + 1
+        };
+        let finished = range.is_empty() && state_kind(&state) == 0;
+        TableScan {
+            table,
+            proj,
+            range,
+            io_cols,
+            state,
+            next_block,
+            end_block,
+            finished,
+            io,
+            clock,
+            vdt,
+            drain_upper,
+            start_rid,
+        }
+    }
+
+    /// RID of the first row this scan would emit: the rank of the scan
+    /// range's start in the visible (merged) image. Valid even when the
+    /// whole range is ghosted and the scan emits nothing — the property
+    /// insert-positioning DML depends on.
+    pub fn start_rid(&self) -> u64 {
+        self.start_rid
+    }
+
+    /// Decode the scan's columns for block `b`, sliced to the scan range.
+    /// Returns `(start_sid, per-io_col data)`.
+    fn read_block(&self, b: usize) -> (u64, Vec<ColumnVec>) {
+        let (bstart, bend) = self.table.block_range(b);
+        let lo = self.range.start.max(bstart);
+        let hi = self.range.end.min(bend);
+        let cols: Vec<ColumnVec> = self
+            .io_cols
+            .iter()
+            .map(|&c| {
+                let full = self
+                    .table
+                    .read_block(c, b, &self.io)
+                    .expect("block within table");
+                if lo == bstart && hi == bend {
+                    full
+                } else {
+                    let mut sliced = ColumnVec::new(full.vtype());
+                    sliced.extend_range(&full, (lo - bstart) as usize, (hi - bstart) as usize);
+                    sliced
+                }
+            })
+            .collect();
+        (lo, cols)
+    }
+
+    fn proj_types(&self) -> Vec<ValueType> {
+        self.proj
+            .iter()
+            .map(|&c| self.table.schema().vtype(c))
+            .collect()
+    }
+
+
+    /// Push a block through PDT layers `layer..`, returning the output
+    /// RID-start and columns.
+    fn feed_pdt(
+        mergers: &mut [PdtMerger<'a>],
+        proj: &[usize],
+        types: &[ValueType],
+        mut start: u64,
+        mut cols: Vec<ColumnVec>,
+    ) -> (u64, Vec<ColumnVec>) {
+        for m in mergers.iter_mut() {
+            let rid0 = m.next_rid();
+            let mut out: Vec<ColumnVec> = types.iter().map(|&t| ColumnVec::new(t)).collect();
+            let len = cols.first().map(|c| c.len()).unwrap_or(0);
+            m.merge_block(start, len, proj, &cols, &mut out);
+            start = rid0;
+            cols = out;
+        }
+        (start, cols)
+    }
+
+    /// Drain trailing inserts of every PDT layer (after the last block).
+    fn finish_pdt(&mut self) -> Option<Batch> {
+        let types = self.proj_types();
+        let MergeState::Pdt(ref mut mergers) = self.state else {
+            return None;
+        };
+        let n = mergers.len();
+        let mut collected: Vec<ColumnVec> = types.iter().map(|&t| ColumnVec::new(t)).collect();
+        let mut rid_start = None;
+        let mut end = self.range.end;
+        for k in 0..n {
+            // drain layer k at its input end, then push the drained rows
+            // through the layers above it
+            let rid0 = mergers[k].next_rid();
+            let mut drained: Vec<ColumnVec> = types.iter().map(|&t| ColumnVec::new(t)).collect();
+            mergers[k].drain_inserts_at(end, &self.proj, &mut drained);
+            end = mergers[k].next_rid(); // input end for layer k+1
+            if drained[0].len() > 0 {
+                let (r0, cols) = Self::feed_pdt(
+                    &mut mergers[k + 1..],
+                    &self.proj,
+                    &types,
+                    rid0,
+                    drained,
+                );
+                if rid_start.is_none() {
+                    rid_start = Some(r0);
+                }
+                for (o, c) in collected.iter_mut().zip(&cols) {
+                    o.extend_range(c, 0, c.len());
+                }
+            }
+        }
+        if collected[0].is_empty() {
+            None
+        } else {
+            Some(Batch {
+                cols: collected,
+                rid_start: rid_start.unwrap_or(0),
+            })
+        }
+    }
+}
+
+fn state_kind(s: &MergeState) -> u8 {
+    match s {
+        MergeState::None => 0,
+        MergeState::Pdt(_) => 1,
+        MergeState::Vdt(_) => 2,
+    }
+}
+
+impl<'a> Operator for TableScan<'a> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        if self.finished {
+            return None;
+        }
+        let t0 = Instant::now();
+        let out = 'produce: {
+            // blocks remaining?
+            if self.next_block != usize::MAX && self.next_block < self.end_block {
+                let b = self.next_block;
+                self.next_block += 1;
+                let (start_sid, cols) = self.read_block(b);
+                let len = cols.first().map(|c| c.len()).unwrap_or(0);
+                match &mut self.state {
+                    MergeState::None => {
+                        break 'produce Some(Batch {
+                            cols,
+                            rid_start: start_sid,
+                        });
+                    }
+                    MergeState::Pdt(mergers) => {
+                        let types: Vec<ValueType> = self
+                            .proj
+                            .iter()
+                            .map(|&c| self.table.schema().vtype(c))
+                            .collect();
+                        let (rid0, cols) =
+                            Self::feed_pdt(mergers, &self.proj, &types, start_sid, cols);
+                        break 'produce Some(Batch {
+                            cols,
+                            rid_start: rid0,
+                        });
+                    }
+                    MergeState::Vdt(merger) => {
+                        // split decoded columns into projection + sort key
+                        let nproj = self.proj.len();
+                        let sk_cols = self.table.sort_key().cols();
+                        let sk_in: Vec<ColumnVec> = sk_cols
+                            .iter()
+                            .map(|c| {
+                                let pos =
+                                    self.io_cols.iter().position(|x| x == c).expect("sk read");
+                                cols[pos].clone()
+                            })
+                            .collect();
+                        let rid0 = merger.next_rid();
+                        let mut out: Vec<ColumnVec> = (0..nproj)
+                            .map(|k| ColumnVec::new(cols[k].vtype()))
+                            .collect();
+                        merger.merge_block(len, &self.proj, &sk_in, &cols[..nproj], &mut out);
+                        break 'produce Some(Batch {
+                            cols: out,
+                            rid_start: rid0,
+                        });
+                    }
+                }
+            }
+            // blocks exhausted: drain pending inserts once
+            self.finished = true;
+            match &mut self.state {
+                MergeState::None => None,
+                MergeState::Pdt(_) => {
+                    break 'produce self.finish_pdt();
+                }
+                MergeState::Vdt(merger) => {
+                    let rid0 = merger.next_rid();
+                    let mut out: Vec<ColumnVec> = self
+                        .proj
+                        .iter()
+                        .map(|&c| ColumnVec::new(self.table.schema().vtype(c)))
+                        .collect();
+                    merger.drain_inserts(self.drain_upper.as_deref(), &self.proj, &mut out);
+                    if out[0].is_empty() {
+                        None
+                    } else {
+                        Some(Batch {
+                            cols: out,
+                            rid_start: rid0,
+                        })
+                    }
+                }
+            }
+        };
+        // a batch may be legitimately empty mid-stream (fully deleted
+        // block); recurse to keep the contract "None == exhausted"
+        self.clock.charge(t0);
+        match out {
+            Some(b) if b.is_empty() && !self.finished => self.next_batch(),
+            Some(b) if b.is_empty() => None,
+            other => other,
+        }
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.proj_types()
+    }
+}
+
+// `vdt` field is kept for debugging/assertions.
+impl std::fmt::Debug for TableScan<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TableScan")
+            .field("proj", &self.proj)
+            .field("range", &self.range)
+            .field("mode", &state_kind(&self.state))
+            .field("has_vdt", &self.vdt.is_some())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::run_to_rows;
+    use columnar::{Schema, TableMeta, TableOptions, Tuple};
+    use pdt::checkpoint::merge_rows;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Str),
+        ])
+    }
+
+    fn rows(n: i64) -> Vec<Tuple> {
+        (0..n)
+            .map(|i| {
+                vec![
+                    Value::Int(i * 10),
+                    Value::Int(i),
+                    Value::Str(format!("r{i}")),
+                ]
+            })
+            .collect()
+    }
+
+    fn table(n: i64) -> StableTable {
+        StableTable::bulk_load(
+            TableMeta::new("t", schema(), vec![0]),
+            TableOptions {
+                block_rows: 4,
+                compressed: true,
+            },
+            &rows(n),
+        )
+        .unwrap()
+    }
+
+    fn updated_pdt() -> Pdt {
+        let mut p = Pdt::new(schema(), vec![0]);
+        p.add_insert(0, 0, &[Value::Int(-5), Value::Int(99), Value::Str("new".into())]);
+        p.add_delete(3, &[Value::Int(20)]); // stable 2
+        p.add_modify(5, 1, &Value::Int(-4)); // stable 4
+        // append at the end: 20 stable + 1 ins − 1 del = rid 20
+        p.add_insert(
+            20,
+            20,
+            &[Value::Int(999), Value::Int(0), Value::Str("tail".into())],
+        );
+        p
+    }
+
+    #[test]
+    fn clean_scan_roundtrip() {
+        let t = table(20);
+        let io = IoTracker::new();
+        let clock = ScanClock::new();
+        let mut scan = TableScan::new(&t, DeltaLayers::None, vec![0, 1, 2], io, clock.clone());
+        assert_eq!(run_to_rows(&mut scan), rows(20));
+        assert!(clock.nanos() > 0);
+    }
+
+    #[test]
+    fn pdt_scan_matches_row_merge() {
+        let t = table(20);
+        let p = updated_pdt();
+        let io = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![0, 1, 2],
+            io,
+            ScanClock::new(),
+        );
+        assert_eq!(run_to_rows(&mut scan), merge_rows(&rows(20), &p));
+    }
+
+    #[test]
+    fn stacked_pdt_scan() {
+        let t = table(20);
+        let lower = updated_pdt();
+        let mid = merge_rows(&rows(20), &lower);
+        let mut upper = Pdt::new(schema(), vec![0]);
+        upper.add_delete(0, &[Value::Int(-5)]); // delete the lower insert
+        upper.add_modify(4, 2, &Value::Str("upper".into()));
+        // after upper's delete at rid 0, rid 7 corresponds to sid 8
+        upper.add_insert(
+            8,
+            7,
+            &[Value::Int(55), Value::Int(5), Value::Str("u-ins".into())],
+        );
+        let want = merge_rows(&mid, &upper);
+        let io = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Pdt(vec![&lower, &upper]),
+            vec![0, 1, 2],
+            io,
+            ScanClock::new(),
+        );
+        assert_eq!(run_to_rows(&mut scan), want);
+    }
+
+    #[test]
+    fn vdt_scan_matches_row_merge() {
+        let t = table(20);
+        let mut v = Vdt::new(schema(), vec![0]);
+        v.insert(vec![Value::Int(-5), Value::Int(99), Value::Str("new".into())]);
+        v.delete(&[Value::Int(20)]);
+        v.modify(&rows(20)[4], 1, Value::Int(-4));
+        v.insert(vec![Value::Int(999), Value::Int(0), Value::Str("t".into())]);
+        let want = v.merge_rows(&rows(20));
+        let io = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Vdt(&v),
+            vec![0, 1, 2],
+            io,
+            ScanClock::new(),
+        );
+        assert_eq!(run_to_rows(&mut scan), want);
+    }
+
+    #[test]
+    fn vdt_pays_key_column_io_pdt_does_not() {
+        let t = table(1000);
+        let p = Pdt::new(schema(), vec![0]);
+        let v = Vdt::new(schema(), vec![0]);
+        // project only column 1 (not the sort key)
+        let io_pdt = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![1],
+            io_pdt.clone(),
+            ScanClock::new(),
+        );
+        while scan.next_batch().is_some() {}
+        let io_vdt = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Vdt(&v),
+            vec![1],
+            io_vdt.clone(),
+            ScanClock::new(),
+        );
+        while scan.next_batch().is_some() {}
+        assert!(
+            io_vdt.stats().bytes_read > io_pdt.stats().bytes_read,
+            "VDT must read the sort-key column: {} vs {}",
+            io_vdt.stats().bytes_read,
+            io_pdt.stats().bytes_read
+        );
+    }
+
+    #[test]
+    fn ranged_scan_pdt_covers_predicate() {
+        let t = table(40);
+        let mut p = Pdt::new(schema(), vec![0]);
+        // delete key 200 (sid 20, rid 20) then insert 195 before the ghost
+        p.add_delete(20, &[Value::Int(200)]);
+        let sid = p.sk_rid_to_sid(&[Value::Int(195)], 20);
+        assert_eq!(sid, 20);
+        p.add_insert(sid, 20, &[Value::Int(195), Value::Int(0), Value::Str("g".into())]);
+        let io = IoTracker::new();
+        let mut scan = TableScan::ranged(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![0],
+            ScanBounds {
+                lo: Some(vec![Value::Int(190)]),
+                hi: Some(vec![Value::Int(210)]),
+            },
+            io.clone(),
+            ScanClock::new(),
+        );
+        let got = run_to_rows(&mut scan);
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+        assert!(keys.contains(&190) && keys.contains(&195) && keys.contains(&210));
+        assert!(!keys.contains(&200));
+        // ranged: must not have read the whole table
+        let full = t.total_bytes();
+        assert!(io.stats().bytes_read < full / 2);
+    }
+
+    #[test]
+    fn ranged_scan_vdt_matches_filtered_full_scan() {
+        let t = table(40);
+        let mut v = Vdt::new(schema(), vec![0]);
+        v.delete(&[Value::Int(200)]);
+        v.insert(vec![Value::Int(195), Value::Int(0), Value::Str("g".into())]);
+        let io = IoTracker::new();
+        let mut scan = TableScan::ranged(
+            &t,
+            DeltaLayers::Vdt(&v),
+            vec![0],
+            ScanBounds {
+                lo: Some(vec![Value::Int(190)]),
+                hi: Some(vec![Value::Int(210)]),
+            },
+            io,
+            ScanClock::new(),
+        );
+        let got = run_to_rows(&mut scan);
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+        assert!(keys.contains(&195) && !keys.contains(&200));
+    }
+
+    #[test]
+    fn rid_start_is_consecutive_across_batches() {
+        let t = table(20);
+        let p = updated_pdt();
+        let io = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![0],
+            io,
+            ScanClock::new(),
+        );
+        let mut expect = 0u64;
+        while let Some(b) = scan.next_batch() {
+            assert_eq!(b.rid_start, expect, "batches must be rid-consecutive");
+            expect += b.num_rows() as u64;
+        }
+        // total visible rows
+        assert_eq!(expect, (20 + p.delta_total()) as u64);
+    }
+}

@@ -1,0 +1,67 @@
+//! # TPC-H substrate
+//!
+//! Everything the paper's §4 TPC-H experiments need, built from scratch:
+//!
+//! * [`schema`] — the 8 TPC-H tables with the paper's physical sort orders
+//!   (`lineitem` on (l_orderkey, l_linenumber), `orders` on
+//!   (o_orderdate, o_orderkey) — which makes refresh-stream inserts
+//!   scatter),
+//! * [`gen`] — a deterministic dbgen-style generator for any scale factor,
+//!   using dbgen's *sparse order keys* (8 of every 32 key slots) so that
+//!   refresh inserts land scattered through `lineitem` too,
+//! * [`refresh`] — the RF1 (new orders) / RF2 (old orders) update streams,
+//!   each touching ~0.1 % of `orders`/`lineitem` per stream, applied
+//!   through PDT transactions or onto the VDT baseline,
+//! * [`queries`] — all 22 TPC-H queries hand-planned against the
+//!   block-oriented executor, with the spec's default substitution
+//!   parameters.
+//!
+//! The experiments run at laptop scale factors (0.01–0.1 by default,
+//! configurable); the paper's effects depend on update *fractions* and
+//! column shapes, not absolute SF (DESIGN.md §4).
+
+pub mod gen;
+pub mod queries;
+pub mod refresh;
+pub mod schema;
+
+pub use gen::{generate, TpchData};
+pub use refresh::{apply_rf1_pdt, apply_rf1_vdt, apply_rf2_pdt, apply_rf2_vdt, RefreshStreams};
+pub use schema::{table_meta, TPCH_TABLES};
+
+use columnar::TableOptions;
+use engine::Database;
+
+/// Load generated TPC-H data into a fresh engine database.
+pub fn load_database(data: &TpchData, opts: TableOptions) -> Database {
+    let db = Database::new();
+    for (name, rows) in data.tables() {
+        db.create_table(schema::table_meta(name), opts, rows.clone())
+            .expect("bulk load");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use engine::ScanMode;
+
+    #[test]
+    fn load_small_database() {
+        let data = generate(0.002);
+        let db = load_database(
+            &data,
+            TableOptions {
+                block_rows: 1024,
+                compressed: true,
+            },
+        );
+        assert_eq!(
+            db.row_count("region", ScanMode::Clean),
+            5
+        );
+        assert_eq!(db.row_count("nation", ScanMode::Clean), 25);
+        assert!(db.row_count("lineitem", ScanMode::Clean) > 0);
+    }
+}

@@ -1,0 +1,161 @@
+//! TPC-H table schemas and physical sort orders.
+//!
+//! Sort orders follow the paper's setup (§4, "TPC-H Benchmarks"):
+//! `lineitem` is ordered on the {l_orderkey, l_linenumber} key and `orders`
+//! on {o_orderdate, o_orderkey}. The remaining tables are ordered on their
+//! primary keys.
+
+use columnar::{Schema, TableMeta, ValueType};
+
+/// The eight TPC-H tables, in a load-friendly order.
+pub const TPCH_TABLES: [&str; 8] = [
+    "region", "nation", "supplier", "customer", "part", "partsupp", "orders", "lineitem",
+];
+
+/// Schema + sort key of a TPC-H table.
+pub fn table_meta(name: &str) -> TableMeta {
+    use ValueType::*;
+    match name {
+        "region" => TableMeta::new(
+            "region",
+            Schema::from_pairs(&[
+                ("r_regionkey", Int),
+                ("r_name", Str),
+                ("r_comment", Str),
+            ]),
+            vec![0],
+        ),
+        "nation" => TableMeta::new(
+            "nation",
+            Schema::from_pairs(&[
+                ("n_nationkey", Int),
+                ("n_name", Str),
+                ("n_regionkey", Int),
+                ("n_comment", Str),
+            ]),
+            vec![0],
+        ),
+        "supplier" => TableMeta::new(
+            "supplier",
+            Schema::from_pairs(&[
+                ("s_suppkey", Int),
+                ("s_name", Str),
+                ("s_address", Str),
+                ("s_nationkey", Int),
+                ("s_phone", Str),
+                ("s_acctbal", Double),
+                ("s_comment", Str),
+            ]),
+            vec![0],
+        ),
+        "customer" => TableMeta::new(
+            "customer",
+            Schema::from_pairs(&[
+                ("c_custkey", Int),
+                ("c_name", Str),
+                ("c_address", Str),
+                ("c_nationkey", Int),
+                ("c_phone", Str),
+                ("c_acctbal", Double),
+                ("c_mktsegment", Str),
+                ("c_comment", Str),
+            ]),
+            vec![0],
+        ),
+        "part" => TableMeta::new(
+            "part",
+            Schema::from_pairs(&[
+                ("p_partkey", Int),
+                ("p_name", Str),
+                ("p_mfgr", Str),
+                ("p_brand", Str),
+                ("p_type", Str),
+                ("p_size", Int),
+                ("p_container", Str),
+                ("p_retailprice", Double),
+                ("p_comment", Str),
+            ]),
+            vec![0],
+        ),
+        "partsupp" => TableMeta::new(
+            "partsupp",
+            Schema::from_pairs(&[
+                ("ps_partkey", Int),
+                ("ps_suppkey", Int),
+                ("ps_availqty", Int),
+                ("ps_supplycost", Double),
+                ("ps_comment", Str),
+            ]),
+            vec![0, 1],
+        ),
+        "orders" => TableMeta::new(
+            "orders",
+            Schema::from_pairs(&[
+                ("o_orderkey", Int),
+                ("o_custkey", Int),
+                ("o_orderstatus", Str),
+                ("o_totalprice", Double),
+                ("o_orderdate", Date),
+                ("o_orderpriority", Str),
+                ("o_clerk", Str),
+                ("o_shippriority", Int),
+                ("o_comment", Str),
+            ]),
+            // the paper's clustering: date-major, key-minor
+            vec![4, 0],
+        ),
+        "lineitem" => TableMeta::new(
+            "lineitem",
+            Schema::from_pairs(&[
+                ("l_orderkey", Int),
+                ("l_partkey", Int),
+                ("l_suppkey", Int),
+                ("l_linenumber", Int),
+                ("l_quantity", Double),
+                ("l_extendedprice", Double),
+                ("l_discount", Double),
+                ("l_tax", Double),
+                ("l_returnflag", Str),
+                ("l_linestatus", Str),
+                ("l_shipdate", Date),
+                ("l_commitdate", Date),
+                ("l_receiptdate", Date),
+                ("l_shipinstruct", Str),
+                ("l_shipmode", Str),
+                ("l_comment", Str),
+            ]),
+            vec![0, 3],
+        ),
+        other => panic!("unknown TPC-H table {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tables_resolve() {
+        for t in TPCH_TABLES {
+            let m = table_meta(t);
+            assert_eq!(m.name, t);
+            assert!(!m.sort_key.is_empty());
+        }
+    }
+
+    #[test]
+    fn paper_sort_orders() {
+        let o = table_meta("orders");
+        assert_eq!(o.schema.field(o.sort_key.cols()[0]).name, "o_orderdate");
+        assert_eq!(o.schema.field(o.sort_key.cols()[1]).name, "o_orderkey");
+        let l = table_meta("lineitem");
+        assert_eq!(l.schema.field(l.sort_key.cols()[0]).name, "l_orderkey");
+        assert_eq!(l.schema.field(l.sort_key.cols()[1]).name, "l_linenumber");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown TPC-H table")]
+    fn unknown_table_panics() {
+        table_meta("bogus");
+    }
+}

@@ -1,0 +1,104 @@
+//! The workspace's strongest end-to-end check: after applying the TPC-H
+//! refresh streams, every one of the 22 queries must return *identical*
+//! results under
+//!
+//! 1. PDT-merging scans (positional deltas),
+//! 2. VDT-merging scans (value-based deltas),
+//! 3. a clean scan of a checkpointed image (all deltas materialised).
+//!
+//! Any bug in the PDT tree, the merge operators, the sparse-index ghost
+//! semantics, the executor, or the refresh logic shows up as a diff here.
+
+use columnar::{TableOptions, Tuple};
+use engine::{Database, ScanMode};
+use tpch::queries::{run_query, QUERY_IDS};
+use tpch::{apply_rf1_pdt, apply_rf1_vdt, apply_rf2_pdt, apply_rf2_vdt, RefreshStreams};
+
+const SF: f64 = 0.004;
+
+fn opts() -> TableOptions {
+    TableOptions {
+        block_rows: 512,
+        compressed: true,
+    }
+}
+
+/// Compare result sets with a tolerance for floating-point aggregation
+/// order (hash aggregation sums in arbitrary order).
+fn assert_rows_close(q: usize, a: &[Tuple], b: &[Tuple], what: &str) {
+    assert_eq!(a.len(), b.len(), "Q{q}: row count differs ({what})");
+    for (i, (ra, rb)) in a.iter().zip(b).enumerate() {
+        assert_eq!(ra.len(), rb.len(), "Q{q} row {i}: arity differs ({what})");
+        for (va, vb) in ra.iter().zip(rb) {
+            match (va, vb) {
+                (columnar::Value::Double(x), columnar::Value::Double(y)) => {
+                    let tol = 1e-6 * (1.0 + x.abs().max(y.abs()));
+                    assert!(
+                        (x - y).abs() <= tol,
+                        "Q{q} row {i}: {x} vs {y} ({what})"
+                    );
+                }
+                _ => assert_eq!(va, vb, "Q{q} row {i} ({what})"),
+            }
+        }
+    }
+}
+
+#[test]
+fn all_queries_agree_across_update_structures() {
+    let data = tpch::generate(SF);
+    let streams = RefreshStreams::build(&data, 1.0);
+
+    let db: Database = tpch::load_database(&data, opts());
+    apply_rf1_pdt(&db, &streams, 128).expect("RF1 via PDT");
+    apply_rf2_pdt(&db, &streams, 128).expect("RF2 via PDT");
+    apply_rf1_vdt(&db, &streams);
+    apply_rf2_vdt(&db, &streams);
+
+    // run everything under PDT and VDT views
+    let pdt_view = db.read_view(ScanMode::Pdt);
+    let vdt_view = db.read_view(ScanMode::Vdt);
+    let mut pdt_results = Vec::new();
+    for n in QUERY_IDS {
+        let p = run_query(n, &pdt_view, SF);
+        let v = run_query(n, &vdt_view, SF);
+        assert_rows_close(n, &p, &v, "PDT vs VDT");
+        pdt_results.push(p);
+    }
+    drop(pdt_view);
+    drop(vdt_view);
+
+    // checkpoint both updated tables and re-run clean
+    assert!(db.checkpoint("orders").expect("checkpoint orders"));
+    assert!(db.checkpoint("lineitem").expect("checkpoint lineitem"));
+    let clean_view = db.read_view(ScanMode::Clean);
+    for (i, n) in QUERY_IDS.into_iter().enumerate() {
+        let c = run_query(n, &clean_view, SF);
+        assert_rows_close(n, &pdt_results[i], &c, "PDT vs checkpointed clean");
+    }
+}
+
+#[test]
+fn flushed_write_pdt_preserves_query_results() {
+    // after Propagate (Write-PDT → Read-PDT) results must be unchanged
+    let data = tpch::generate(0.002);
+    let streams = RefreshStreams::build(&data, 1.0);
+    let db = tpch::load_database(&data, opts());
+    apply_rf1_pdt(&db, &streams, 64).unwrap();
+    apply_rf2_pdt(&db, &streams, 64).unwrap();
+
+    let before: Vec<Vec<Tuple>> = {
+        let view = db.read_view(ScanMode::Pdt);
+        QUERY_IDS
+            .iter()
+            .map(|&n| run_query(n, &view, 0.002))
+            .collect()
+    };
+    assert!(db.maybe_flush("orders", 0));
+    assert!(db.maybe_flush("lineitem", 0));
+    let view = db.read_view(ScanMode::Pdt);
+    for (i, &n) in QUERY_IDS.iter().enumerate() {
+        let after = run_query(n, &view, 0.002);
+        assert_rows_close(n, &before[i], &after, "before vs after flush");
+    }
+}

@@ -1,0 +1,22 @@
+//! # pdt-repro — Positional Update Handling in Column Stores
+//!
+//! Workspace façade re-exporting the crates of this reproduction of
+//! Héman et al., *"Positional Update Handling in Column Stores"*
+//! (SIGMOD 2010). See `README.md` for a tour and `DESIGN.md` for the
+//! paper-to-module map.
+//!
+//! * [`pdt`] — the Positional Delta Tree (the paper's contribution)
+//! * [`vdt`] — the value-based baseline
+//! * [`columnar`] — ordered compressed columnar storage substrate
+//! * [`exec`] — block-oriented query executor
+//! * [`txn`] — 3-layer-PDT snapshot-isolation transaction manager
+//! * [`engine`] — the mini column-store DBMS tying everything together
+//! * [`tpch`] — TPC-H generator, refresh streams and the 22 queries
+
+pub use columnar;
+pub use engine;
+pub use exec;
+pub use pdt;
+pub use tpch;
+pub use txn;
+pub use vdt;
