@@ -10,14 +10,19 @@
 //!    sorted key columns compress superbly.
 
 use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
-use columnar::{compress, ColumnVec, IoTracker, Schema, StableTable, TableMeta, TableOptions, Value, ValueType};
+use columnar::{
+    compress, ColumnVec, IoTracker, Schema, StableTable, TableMeta, TableOptions, Value, ValueType,
+};
 use exec::{DeltaLayers, ScanClock, TableScan};
 use pdt::Pdt;
 use tpch::gen::Rng;
 
 fn ablate_fanout(ops: u64) {
     println!("\n## Ablation 1: PDT fan-out (F) — {ops} mixed updates + 100k RID lookups");
-    println!("{:>6} {:>12} {:>12} {:>12}", "F", "update_ms", "lookup_ms", "heap_KB");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "F", "update_ms", "lookup_ms", "heap_KB"
+    );
     let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
     for fanout in [4usize, 8, 16, 32, 64, 128] {
         let mut pdt = Pdt::with_fanout(schema.clone(), vec![0], fanout);
@@ -58,7 +63,9 @@ fn ablate_fanout(ops: u64) {
 }
 
 fn ablate_block_size(n: u64) {
-    println!("\n## Ablation 2: storage block size (pass-through granularity), {n} rows, 1% updates");
+    println!(
+        "\n## Ablation 2: storage block size (pass-through granularity), {n} rows, 1% updates"
+    );
     println!("{:>10} {:>12} {:>12}", "block", "pdt_ms", "clean_ms");
     let (_, rows) = micro_table(n, 1, 4, KeyKind::Int, true);
     let (pdt, _) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, n / 100, 99);
@@ -104,7 +111,12 @@ fn ablate_block_size(n: u64) {
             );
             drain_scan(&mut s)
         });
-        println!("{:>10} {:>12.2} {:>12.2}", block_rows, pdt_s * 1e3, clean_s * 1e3);
+        println!(
+            "{:>10} {:>12.2} {:>12.2}",
+            block_rows,
+            pdt_s * 1e3,
+            clean_s * 1e3
+        );
     }
 }
 
@@ -116,7 +128,10 @@ fn ablate_codecs(n: usize) {
     );
     let mut rng = Rng::new(3);
     let shapes: Vec<(&str, ColumnVec)> = vec![
-        ("sorted_keys", ColumnVec::Int((0..n as i64).map(|i| i * 2).collect())),
+        (
+            "sorted_keys",
+            ColumnVec::Int((0..n as i64).map(|i| i * 2).collect()),
+        ),
         (
             "random_ints",
             ColumnVec::Int((0..n).map(|_| rng.range(0, 1 << 40)).collect()),

@@ -31,7 +31,10 @@ fn main() {
     let stable_rows: u64 = 100_000_000; // virtual stable table (positions only)
     println!("# Figure 16: PDT maintenance cost (ms/op) vs PDT size");
     println!("# growing to {total} update entries, averaged per {window}-op window");
-    println!("{:>10} {:>12} {:>12} {:>12}", "size", "insert", "modify", "delete");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "size", "insert", "modify", "delete"
+    );
 
     // one growing PDT per operation type, exactly as in the paper
     let mut ins_pdt = Pdt::new(schema(), vec![0]);

@@ -80,6 +80,8 @@ fn main() {
             }
         }
     }
-    println!("# expectation (paper): VDT/PDT >= ~3x at nonzero update rates; string keys widen the gap;");
+    println!(
+        "# expectation (paper): VDT/PDT >= ~3x at nonzero update rates; string keys widen the gap;"
+    );
     println!("# both scale linearly in table size; PDT cost barely grows with update rate.");
 }

@@ -11,6 +11,13 @@
 //!   processing,
 //! * Plot 5 — I/O volume, workstation profile.
 //!
+//! Two databases are loaded per profile — one PDT-maintained, one
+//! VDT-maintained — and both receive the refresh streams through the *same*
+//! transactional `DeltaStore` path, so the update cost comparison is
+//! apples-to-apples (the VDT no longer skips transaction and WAL
+//! machinery). The "no-updates" series scans the PDT database's stable
+//! images only.
+//!
 //! All series are normalized to the VDT run of the same query, exactly like
 //! the paper's bars; absolute values are printed alongside. Queries 2, 11
 //! and 16 do not touch the updated tables, so their three bars coincide.
@@ -19,11 +26,10 @@
 //! depend on the update *fraction* (0.1 %), not the absolute SF.
 
 use bench::env_f64;
-use columnar::TableOptions;
-use engine::{Database, ScanMode};
+use engine::{ReadView, TableOptions, UpdatePolicy};
 use exec::measure;
 use tpch::queries::{run_query, QUERY_IDS};
-use tpch::{apply_rf1_pdt, apply_rf1_vdt, apply_rf2_pdt, apply_rf2_vdt, RefreshStreams};
+use tpch::{apply_rf1, apply_rf2, RefreshStreams};
 
 struct QueryRun {
     total: f64,
@@ -32,11 +38,11 @@ struct QueryRun {
     rows: usize,
 }
 
-fn run_all(db: &Database, mode: ScanMode, sf: f64) -> Vec<QueryRun> {
+fn run_all(make_view: impl Fn() -> ReadView, sf: f64) -> Vec<QueryRun> {
     QUERY_IDS
         .iter()
         .map(|&n| {
-            let view = db.read_view(mode);
+            let view = make_view();
             let (_, stats) = measure(&view.io, &view.clock, || {
                 let rows = run_query(n, &view, sf);
                 let n = rows.len();
@@ -53,7 +59,10 @@ fn run_all(db: &Database, mode: ScanMode, sf: f64) -> Vec<QueryRun> {
 }
 
 fn print_cold(title: &str, runs: &[(Vec<QueryRun>, &str)], bandwidth: f64) {
-    println!("\n## {title} (cold model: cpu + bytes/{:.0}MB/s; normalized to VDT)", bandwidth / 1e6);
+    println!(
+        "\n## {title} (cold model: cpu + bytes/{:.0}MB/s; normalized to VDT)",
+        bandwidth / 1e6
+    );
     println!(
         "{:>4} {:>12} {:>12} {:>12} {:>8} {:>8}",
         "Q", "none_ms", "vdt_ms", "pdt_ms", "none/v", "pdt/v"
@@ -132,32 +141,32 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
     println!("\n=== {name}: SF {sf}, compressed={compressed} ===");
     let data = tpch::generate(sf);
     let streams = RefreshStreams::build(&data, 1.0);
-    let db = tpch::load_database(
-        &data,
-        TableOptions {
-            block_rows: 4096,
-            compressed,
-        },
-    );
+    let opts = TableOptions::default()
+        .with_block_rows(4096)
+        .with_compression(compressed);
+    let pdt_db = tpch::load_database(&data, opts);
+    let vdt_db = tpch::load_database(&data, opts.with_policy(UpdatePolicy::Vdt));
+
     let t0 = std::time::Instant::now();
-    apply_rf1_pdt(&db, &streams, 256).expect("RF1 pdt");
-    apply_rf2_pdt(&db, &streams, 256).expect("RF2 pdt");
+    apply_rf1(&pdt_db, &streams, 256).expect("RF1 pdt");
+    apply_rf2(&pdt_db, &streams, 256).expect("RF2 pdt");
     let pdt_update_s = t0.elapsed().as_secs_f64();
     let t0 = std::time::Instant::now();
-    apply_rf1_vdt(&db, &streams);
-    apply_rf2_vdt(&db, &streams);
+    apply_rf1(&vdt_db, &streams, 256).expect("RF1 vdt");
+    apply_rf2(&vdt_db, &streams, 256).expect("RF2 vdt");
     let vdt_update_s = t0.elapsed().as_secs_f64();
     println!(
-        "# refresh streams: {} inserts, {} deletes; applied via PDT in {:.2}s, via VDT in {:.2}s",
+        "# refresh streams: {} inserts, {} deletes; applied transactionally \
+         via PDT in {:.2}s, via VDT in {:.2}s",
         streams.inserts.len(),
         streams.delete_keys.len(),
         pdt_update_s,
         vdt_update_s
     );
 
-    let clean = run_all(&db, ScanMode::Clean, sf);
-    let vdt = run_all(&db, ScanMode::Vdt, sf);
-    let pdt = run_all(&db, ScanMode::Pdt, sf);
+    let clean = run_all(|| pdt_db.clean_view(), sf);
+    let vdt = run_all(|| vdt_db.read_view(), sf);
+    let pdt = run_all(|| pdt_db.read_view(), sf);
     // sanity: PDT and VDT must agree on cardinalities
     for (i, q) in QUERY_IDS.iter().enumerate() {
         assert_eq!(pdt[i].rows, vdt[i].rows, "Q{q} cardinality mismatch");
@@ -168,7 +177,11 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
         print_cold("Plot 1: cold execution times, server", &runs, bandwidth);
         print_io("Plot 2: IO consumption, server", &runs);
     } else {
-        print_cold("Plot 3: cold execution times, workstation", &runs, bandwidth);
+        print_cold(
+            "Plot 3: cold execution times, workstation",
+            &runs,
+            bandwidth,
+        );
         print_hot("Plot 4: hot execution times, workstation", &runs);
         print_io("Plot 5: IO consumption, workstation", &runs);
     }
@@ -179,7 +192,12 @@ fn main() {
     println!("# Figure 19: TPC-H with 2 refresh streams (~0.1% of orders/lineitem)");
     println!("# bars per query: no-updates / VDT-based / PDT-based");
     // server: compressed storage, SSD array (paper: 3 GB/s)
-    profile("server profile (paper: Nehalem, compressed SF-30)", true, 3.0e9, sf);
+    profile(
+        "server profile (paper: Nehalem, compressed SF-30)",
+        true,
+        3.0e9,
+        sf,
+    );
     // workstation: non-compressed storage, HDD (paper: 150 MB/s)
     profile(
         "workstation profile (paper: Core2, non-compressed SF-10)",

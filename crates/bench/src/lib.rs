@@ -90,14 +90,20 @@ pub fn micro_row(i: u64, nkeys: usize, ndata: usize, kind: KeyKind) -> Tuple {
     // compound keys: high-order part first so the table stays sorted
     let key = i * 2;
     for k in 0..nkeys {
-        let part = if k + 1 == nkeys { key } else { key >> (8 * (nkeys - 1 - k)) };
+        let part = if k + 1 == nkeys {
+            key
+        } else {
+            key >> (8 * (nkeys - 1 - k))
+        };
         row.push(match kind {
             KeyKind::Int => Value::Int(part as i64),
             KeyKind::Str => Value::Str(format!("key-{part:014}")),
         });
     }
     for c in 0..ndata {
-        row.push(Value::Int((i as i64).wrapping_mul(31).wrapping_add(c as i64)));
+        row.push(Value::Int(
+            (i as i64).wrapping_mul(31).wrapping_add(c as i64),
+        ));
     }
     row
 }
@@ -107,7 +113,11 @@ pub fn between_key(i: u64, nkeys: usize, kind: KeyKind) -> Vec<Value> {
     let key = i * 2 + 1;
     (0..nkeys)
         .map(|k| {
-            let part = if k + 1 == nkeys { key } else { key >> (8 * (nkeys - 1 - k)) };
+            let part = if k + 1 == nkeys {
+                key
+            } else {
+                key >> (8 * (nkeys - 1 - k))
+            };
             match kind {
                 KeyKind::Int => Value::Int(part as i64),
                 KeyKind::Str => Value::Str(format!("key-{part:014}")),
@@ -135,8 +145,8 @@ pub fn apply_micro_updates(
     let schema = {
         // rebuild the schema from the first row's types
         let mut pairs = Vec::new();
-        for k in 0..nkeys {
-            pairs.push((format!("k{k}"), rows[0][k].value_type().unwrap()));
+        for (k, v) in rows[0].iter().enumerate().take(nkeys) {
+            pairs.push((format!("k{k}"), v.value_type().unwrap()));
         }
         for c in 0..ndata {
             pairs.push((format!("v{c}"), rows[0][nkeys + c].value_type().unwrap()));
@@ -152,8 +162,7 @@ pub fn apply_micro_updates(
     // one candidate insert key exists per inter-row gap; remember used ones
     let mut used_gaps = std::collections::HashSet::new();
     // stable rows deleted so far (their ghosts must not be re-deleted)
-    let mut modified_cols: std::collections::HashMap<u64, Tuple> =
-        std::collections::HashMap::new();
+    let mut modified_cols: std::collections::HashMap<u64, Tuple> = std::collections::HashMap::new();
     for op in 0..count {
         match op % 3 {
             0 => {

@@ -5,9 +5,9 @@
 //! block-wise storage with a separate sparse index is one of the two
 //! physical layouts the paper names for positional column storage (§2).
 
-pub use crate::compress::Encoding;
 use crate::column::ColumnVec;
 use crate::compress;
+pub use crate::compress::Encoding;
 use crate::error::Result;
 use crate::value::ValueType;
 use bytes::Bytes;

@@ -167,9 +167,7 @@ impl ColumnVec {
             (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (ColumnVec::Double(a), ColumnVec::Double(b)) => a.extend(idx.iter().map(|&i| b[i])),
-            (ColumnVec::Str(a), ColumnVec::Str(b)) => {
-                a.extend(idx.iter().map(|&i| b[i].clone()))
-            }
+            (ColumnVec::Str(a), ColumnVec::Str(b)) => a.extend(idx.iter().map(|&i| b[i].clone())),
             (ColumnVec::Date(a), ColumnVec::Date(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (a, b) => panic!(
                 "type mismatch: gathering {:?} column from {:?} column",

@@ -517,7 +517,10 @@ mod tests {
         roundtrip(&col, Encoding::DeltaVarint);
         let d = encode(&col, Encoding::DeltaVarint).unwrap();
         assert!(d.len() < 2 * 4096); // ~1 byte/value for deltas of 1
-        roundtrip(&ColumnVec::Date(vec![10, 10, 11, 300]), Encoding::DeltaVarint);
+        roundtrip(
+            &ColumnVec::Date(vec![10, 10, 11, 300]),
+            Encoding::DeltaVarint,
+        );
     }
 
     #[test]

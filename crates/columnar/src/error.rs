@@ -12,7 +12,11 @@ pub enum ColumnarError {
     /// A block payload failed to decode (corruption or codec bug).
     Corrupt(String),
     /// An out-of-range row or block reference.
-    OutOfRange { what: &'static str, index: u64, len: u64 },
+    OutOfRange {
+        what: &'static str,
+        index: u64,
+        len: u64,
+    },
 }
 
 impl fmt::Display for ColumnarError {

@@ -181,6 +181,9 @@ mod tests {
             sk.cmp_tuple_key(&b, &["London".into(), "aaa".into()]),
             Ordering::Greater
         );
-        assert_eq!(sk.extract(&a), vec![Value::from("Berlin"), Value::from("table")]);
+        assert_eq!(
+            sk.extract(&a),
+            vec![Value::from("Berlin"), Value::from("table")]
+        );
     }
 }

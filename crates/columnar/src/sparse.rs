@@ -201,10 +201,17 @@ mod tests {
 
     #[test]
     fn prefix_bound_on_compound_key() {
-        let rows: Vec<Tuple> = [("a", 1i64), ("a", 2), ("b", 1), ("b", 2), ("c", 1), ("c", 2)]
-            .iter()
-            .map(|(s, i)| vec![Value::from(*s), Value::from(*i)])
-            .collect();
+        let rows: Vec<Tuple> = [
+            ("a", 1i64),
+            ("a", 2),
+            ("b", 1),
+            ("b", 2),
+            ("c", 1),
+            ("c", 2),
+        ]
+        .iter()
+        .map(|(s, i)| vec![Value::from(*s), Value::from(*i)])
+        .collect();
         let sk = SortKeyDef::new(vec![0, 1]);
         let idx = SparseIndex::from_rows(rows.iter().map(|r| r.as_slice()), &sk, 2);
         // prefix bound on first column only

@@ -160,14 +160,11 @@ impl StableTable {
 
     /// Decode block `b` of column `c`, charging its stored bytes to `io`.
     pub fn read_block(&self, c: usize, b: usize, io: &IoTracker) -> Result<ColumnVec> {
-        let col = self
-            .cols
-            .get(c)
-            .ok_or(ColumnarError::OutOfRange {
-                what: "column",
-                index: c as u64,
-                len: self.cols.len() as u64,
-            })?;
+        let col = self.cols.get(c).ok_or(ColumnarError::OutOfRange {
+            what: "column",
+            index: c as u64,
+            len: self.cols.len() as u64,
+        })?;
         let blk = col.get(b).ok_or(ColumnarError::OutOfRange {
             what: "block",
             index: b as u64,
@@ -326,7 +323,7 @@ impl TableBuilder {
                 });
             }
         }
-        if self.row_count % self.opts.block_rows as u64 == 0 {
+        if self.row_count.is_multiple_of(self.opts.block_rows as u64) {
             self.sparse_keys.push(sk.clone());
             self.sparse_sids.push(self.row_count);
         }
@@ -436,9 +433,8 @@ mod tests {
     fn bulk_load_unsorted_sorts() {
         let mut rows = inventory_rows();
         rows.reverse();
-        let t =
-            StableTable::bulk_load_unsorted(inventory_meta(), TableOptions::default(), rows)
-                .unwrap();
+        let t = StableTable::bulk_load_unsorted(inventory_meta(), TableOptions::default(), rows)
+            .unwrap();
         let io = IoTracker::new();
         assert_eq!(t.scan_all(&io).unwrap(), inventory_rows());
     }

@@ -17,9 +17,8 @@ use columnar::{ColumnarError, IoTracker, StableTable, Tuple};
 /// the block-oriented [`crate::merge::PdtMerger`] is the scan-path
 /// implementation (they are cross-checked by property tests).
 pub fn merge_rows(stable_rows: &[Tuple], pdt: &Pdt) -> Vec<Tuple> {
-    let mut out = Vec::with_capacity(
-        (stable_rows.len() as i64 + pdt.delta_total()).max(0) as usize,
-    );
+    let mut out =
+        Vec::with_capacity((stable_rows.len() as i64 + pdt.delta_total()).max(0) as usize);
     let mut cur = pdt.begin();
     let mut sid = 0u64;
     let n = stable_rows.len() as u64;
@@ -78,7 +77,9 @@ mod tests {
     }
 
     fn rows(n: i64) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int(i), Value::Int(i * 100)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i), Value::Int(i * 100)])
+            .collect()
     }
 
     #[test]
@@ -114,7 +115,7 @@ mod tests {
         let io = IoTracker::new();
         let t1 = checkpoint_table(&t0, &p, &io).unwrap();
         assert_eq!(t1.row_count(), 100); // -1 +1
-        // new image equals the merged rows, re-addressed from SID 0
+                                         // new image equals the merged rows, re-addressed from SID 0
         let fresh = t1.scan_all(&io).unwrap();
         assert_eq!(fresh, merge_rows(&base, &p));
         // sparse index rebuilt: lookup works against the new image

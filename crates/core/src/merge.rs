@@ -59,11 +59,7 @@ impl<'a> PdtMerger<'a> {
         let end = start_sid + len as u64;
         let mut pos = start_sid;
         loop {
-            let next_upd_sid = self
-                .pdt
-                .entry(&self.cur)
-                .map(|e| e.sid)
-                .unwrap_or(u64::MAX);
+            let next_upd_sid = self.pdt.entry(&self.cur).map(|e| e.sid).unwrap_or(u64::MAX);
             if next_upd_sid >= end {
                 // no more updates inside this block: bulk pass-through
                 if pos < end {
@@ -254,7 +250,7 @@ mod tests {
         let rows = stable(10);
         p.add_insert(0, 0, &[Value::Int(-5), Value::Str("head".into())]);
         p.add_delete(3, &[Value::Int(20)]); // stable 2 deleted (rid 3 after insert)
-        // scan stable range [5, 8)
+                                            // scan stable range [5, 8)
         let mut merger = PdtMerger::new(&p, 5);
         // rid of stable 5 = 5 + (1 - 1) = 5
         assert_eq!(merger.next_rid(), 5);

@@ -123,7 +123,7 @@ mod tests {
     fn sid_after_deletions_skips_to_next_stable() {
         let mut m = NaiveImage::new(&rows(4), vec![0]);
         m.delete(1); // stable 1 gone
-        // inserting where stable 1 used to be: next stable is 2
+                     // inserting where stable 1 used to be: next stable is 2
         let sid = m.insert(1, vec![Value::Int(15)]);
         assert_eq!(sid, 2);
     }

@@ -180,7 +180,10 @@ fn table2_after_batch2() {
 
     // Figure 8: VALS2 — i1 updated in place to qty 1; del table holds
     // (Paris,rug); qty-modify table holds 9
-    assert_eq!(pdt.vals().get_insert_col(entries[1].upd.val, 3), Value::Int(1));
+    assert_eq!(
+        pdt.vals().get_insert_col(entries[1].upd.val, 3),
+        Value::Int(1)
+    );
     assert_eq!(
         pdt.vals().get_delete(entries[3].upd.val),
         vec![Value::from("Paris"), Value::from("rug")]

@@ -58,7 +58,9 @@ mod tests {
     }
 
     fn base(n: i64) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int(i * 10), Value::Int(i)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect()
     }
 
     #[test]

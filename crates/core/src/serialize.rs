@@ -55,7 +55,10 @@ impl fmt::Display for SerializeError {
                 write!(f, "tuple at SID {sid} was modified by a concurrent commit")
             }
             SerializeError::ModModConflict { sid, col } => {
-                write!(f, "column {col} of tuple at SID {sid} modified by both transactions")
+                write!(
+                    f,
+                    "column {col} of tuple at SID {sid} modified by both transactions"
+                )
             }
         }
     }
@@ -176,7 +179,9 @@ mod tests {
     }
 
     fn base(n: i64) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int(i * 10), Value::Int(i)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect()
     }
 
     fn fresh() -> Pdt {

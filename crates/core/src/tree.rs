@@ -712,10 +712,7 @@ impl Pdt {
             if let Some((ps, pr)) = prev {
                 assert!(e.sid >= ps, "sid order violated: {} < {}", e.sid, ps);
                 assert!(e.rid >= pr, "rid order violated: {} < {}", e.rid, pr);
-                assert!(
-                    (e.sid, e.rid) >= (ps, pr),
-                    "(sid,rid) lex order violated"
-                );
+                assert!((e.sid, e.rid) >= (ps, pr), "(sid,rid) lex order violated");
             }
             prev = Some((e.sid, e.rid));
             walked += 1;
@@ -803,7 +800,13 @@ mod tests {
         assert!(p.is_empty());
         assert_eq!(p.delta_total(), 0);
         assert!(p.entry(&p.begin()).is_none());
-        assert_eq!(p.lookup_rid(5), RidLookup { sid: 5, insert_off: None });
+        assert_eq!(
+            p.lookup_rid(5),
+            RidLookup {
+                sid: 5,
+                insert_off: None
+            }
+        );
         assert_eq!(p.rid_of_stable(7), (7, true));
         p.check_invariants();
     }
@@ -873,7 +876,10 @@ mod tests {
         assert_eq!(p.delta_total(), 1); // 2 inserts - 1 delete
 
         // the folded value
-        assert_eq!(p.vals().get_insert_col(entries[1].upd.val, 3), Value::Int(1));
+        assert_eq!(
+            p.vals().get_insert_col(entries[1].upd.val, 3),
+            Value::Int(1)
+        );
         assert_eq!(p.vals().get_modify(3, entries[2].upd.val), Value::Int(9));
         // ghost semantics: (Paris,rug) SID 3 is dead, shares RID with SID 4
         assert_eq!(p.rid_of_stable(3), (5, false));
@@ -974,7 +980,7 @@ mod tests {
             }
             p.check_invariants();
         }
-        assert!(p.len() > 0);
+        assert!(!p.is_empty());
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Upd {
     }
 
     pub fn modify(col: u16, val: u64) -> Upd {
-        assert!(col <= MAX_COL, "column number {col} collides with INS/DEL codes");
+        assert!(
+            col <= MAX_COL,
+            "column number {col} collides with INS/DEL codes"
+        );
         Upd { kind: col, val }
     }
 

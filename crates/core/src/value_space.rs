@@ -198,12 +198,7 @@ mod tests {
     #[test]
     fn insert_in_place_update() {
         let mut vs = space();
-        let off = vs.add_insert(&vec![
-            "Berlin".into(),
-            "cloth".into(),
-            true.into(),
-            5i64.into(),
-        ]);
+        let off = vs.add_insert(&["Berlin".into(), "cloth".into(), true.into(), 5i64.into()]);
         // the paper's example: i1 (Berlin,cloth) has qty changed to 1 in VALS2
         vs.set_insert_col(off, 3, &Value::Int(1));
         assert_eq!(vs.get_insert_col(off, 3), Value::Int(1));
@@ -235,12 +230,7 @@ mod tests {
     fn heap_bytes_grows() {
         let mut vs = space();
         let before = vs.heap_bytes();
-        vs.add_insert(&vec![
-            "Berlin".into(),
-            "table".into(),
-            true.into(),
-            10i64.into(),
-        ]);
+        vs.add_insert(&["Berlin".into(), "table".into(), true.into(), 10i64.into()]);
         assert!(vs.heap_bytes() > before);
     }
 }

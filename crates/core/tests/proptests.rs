@@ -39,10 +39,7 @@ fn op_strategy(max_key: i64) -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..max_key, any::<i64>()).prop_map(|(key, val)| Op::Insert { key, val }),
         any::<usize>().prop_map(|key_choice| Op::Delete { key_choice }),
-        (any::<usize>(), any::<i64>()).prop_map(|(key_choice, val)| Op::Modify {
-            key_choice,
-            val
-        }),
+        (any::<usize>(), any::<i64>()).prop_map(|(key_choice, val)| Op::Modify { key_choice, val }),
     ]
 }
 

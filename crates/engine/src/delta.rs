@@ -1,0 +1,588 @@
+//! # The unified update-structure interface
+//!
+//! The paper's central comparison — positional (PDT) against value-based
+//! (VDT) differential maintenance — only means something when both
+//! structures sit behind the *same* lifecycle. This module defines that
+//! lifecycle as three traits and gives each structure an implementation:
+//!
+//! * [`DeltaStore`] — one instance per table, chosen at `create_table` time
+//!   via [`UpdatePolicy`]. Covers committed-state snapshots, the two-phase
+//!   commit protocol (prepare → publish, driven by [`crate::DbTxn`] under
+//!   the manager's commit guard), WAL flattening and replay, memory
+//!   accounting for the Propagate policy, and checkpointing into a fresh
+//!   stable image.
+//! * [`DeltaSnapshot`] — an immutable capture of the committed delta state,
+//!   from which scans obtain their [`DeltaLayers`].
+//! * [`DeltaTxn`] — a transaction's private staging area: `stage_insert` /
+//!   `stage_delete` / `stage_modify` mirror the DML statements, and
+//!   `layers` lets the transaction's own scans see its uncommitted updates.
+//!
+//! [`PdtStore`] delegates to the [`TxnManager`]'s stacked-PDT machinery
+//! (Read/Write/Trans layers, Serialize/Propagate commits — §3.3).
+//! [`VdtStore`] gives the value-based baseline the *same* transactional
+//! treatment the paper's VDT lacks in most systems: staged ops, snapshot
+//! isolation from an immutable committed tree, key-addressed write-write
+//! conflict detection on replay, and WAL-logged commits. A third backend
+//! (e.g. the naive row-vector model) needs only another `DeltaStore` impl —
+//! no call-site changes.
+
+use crate::DbError;
+use columnar::{ColumnarError, IoTracker, StableTable, Value};
+use exec::DeltaLayers;
+use parking_lot::RwLock;
+use pdt::Pdt;
+use std::any::Any;
+use std::sync::Arc;
+use txn::wal::{self, WalEntry};
+use txn::TxnManager;
+use vdt::{Vdt, VdtOp};
+
+/// Which differential structure maintains a table (per-table, chosen at
+/// [`crate::Database::create_table`] time through [`crate::TableOptions`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UpdatePolicy {
+    /// Positional Delta Trees under snapshot-isolation transactions (the
+    /// paper's contribution; the default).
+    #[default]
+    Pdt,
+    /// The value-based delta baseline (insert/delete trees keyed by sort
+    /// key), behind the same transactional interface.
+    Vdt,
+}
+
+/// Immutable committed-state capture used by read views.
+pub trait DeltaSnapshot: Send + Sync {
+    /// The delta layers a scan over the stable image must merge.
+    fn layers(&self) -> DeltaLayers<'_>;
+    /// Net visible-row change relative to the stable image.
+    fn delta_total(&self) -> i64;
+    fn as_any(&self) -> &dyn Any;
+}
+
+/// A transaction's private staging area for one table.
+pub trait DeltaTxn: Send {
+    /// Delta layers including this transaction's own staged updates.
+    fn layers(&self) -> DeltaLayers<'_>;
+    /// Net visible-row change including staged updates.
+    fn delta_total(&self) -> i64;
+    /// Has anything been staged?
+    fn is_dirty(&self) -> bool;
+    /// Stage an insert of `tuple` at visible position `rid`.
+    fn stage_insert(&mut self, rid: u64, tuple: &[Value]);
+    /// Stage deletion of the visible row `row` at position `rid`.
+    fn stage_delete(&mut self, rid: u64, row: &[Value]);
+    /// Stage `row[col] = value` for the visible row `row` at `rid`.
+    fn stage_modify(&mut self, rid: u64, col: usize, value: &Value, row: &[Value]);
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// One table's update structure: the full differential-maintenance
+/// lifecycle behind a single interface.
+///
+/// The commit protocol is two-phase and driven by [`crate::DbTxn::commit`]
+/// under [`TxnManager::commit_guard`]: `prepare` every touched table
+/// (validating against concurrently committed updates — any failure aborts
+/// the whole transaction before anything is visible), flatten
+/// `wal_entries`, log them, then `publish` every table at one commit
+/// sequence number.
+pub trait DeltaStore: Send + Sync {
+    /// Which structure this store maintains.
+    fn policy(&self) -> UpdatePolicy;
+    /// Capture the committed delta state for reads.
+    fn snapshot(&self) -> Arc<dyn DeltaSnapshot>;
+    /// Open a staging area on top of a snapshot taken at transaction begin
+    /// (`start_seq` is the global commit sequence observed then).
+    fn begin(&self, snap: &Arc<dyn DeltaSnapshot>, start_seq: u64) -> Box<dyn DeltaTxn>;
+    /// Commit phase 1: validate the staged updates against everything
+    /// committed since `start_seq`, rewriting them into publishable form.
+    fn prepare(&self, staged: &mut dyn DeltaTxn) -> Result<(), DbError>;
+    /// The staged updates flattened for the write-ahead log (call after
+    /// `prepare`).
+    fn wal_entries(&self, staged: &dyn DeltaTxn) -> Vec<WalEntry>;
+    /// Commit phase 2: atomically make the prepared updates visible at
+    /// commit sequence `seq`. Infallible — all validation happened in
+    /// `prepare`.
+    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64);
+    /// Recovery: re-apply one logged commit's entries for this table.
+    fn replay(&self, entries: &[WalEntry]);
+    /// Bytes held by the write-optimised layer (the Propagate policy input
+    /// for [`crate::Database::maybe_flush`]).
+    fn write_bytes(&self) -> usize;
+    /// Migrate the write-optimised layer into the read-optimised one.
+    /// Returns whether anything moved (single-layer structures return
+    /// `false`).
+    fn flush(&self) -> bool;
+    /// Fold all committed deltas into `stable`, returning the fresh image
+    /// (`None` when there was nothing to fold). Resets the delta state.
+    fn checkpoint(
+        &self,
+        stable: &StableTable,
+        io: &IoTracker,
+    ) -> Result<Option<StableTable>, DbError>;
+}
+
+// --- Positional store ---------------------------------------------------
+
+/// [`DeltaStore`] over stacked PDTs, delegating to the shared
+/// [`TxnManager`] (which owns the Read/Write layers, the TZ conflict set
+/// and the commit sequence for all PDT tables).
+pub struct PdtStore {
+    mgr: Arc<TxnManager>,
+    table: String,
+}
+
+impl PdtStore {
+    pub fn new(mgr: Arc<TxnManager>, table: String) -> Self {
+        PdtStore { mgr, table }
+    }
+}
+
+struct PdtSnapshot {
+    read: Arc<Pdt>,
+    write: Arc<Pdt>,
+}
+
+impl PdtSnapshot {
+    fn stack<'a>(read: &'a Pdt, write: &'a Pdt, trans: Option<&'a Pdt>) -> DeltaLayers<'a> {
+        let mut layers = Vec::with_capacity(3);
+        if !read.is_empty() {
+            layers.push(read);
+        }
+        if !write.is_empty() {
+            layers.push(write);
+        }
+        if let Some(t) = trans {
+            if !t.is_empty() {
+                layers.push(t);
+            }
+        }
+        if layers.is_empty() {
+            DeltaLayers::None
+        } else {
+            DeltaLayers::Pdt(layers)
+        }
+    }
+}
+
+impl DeltaSnapshot for PdtSnapshot {
+    fn layers(&self) -> DeltaLayers<'_> {
+        Self::stack(&self.read, &self.write, None)
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.read.delta_total() + self.write.delta_total()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct PdtTxn {
+    read: Arc<Pdt>,
+    write: Arc<Pdt>,
+    /// The transaction's private Trans-PDT (eq. (9)'s top layer).
+    trans: Pdt,
+    start_seq: u64,
+    /// Filled by `prepare`: the Trans-PDT serialized against overlapping
+    /// committed deltas (Algorithm 8), ready to propagate.
+    serialized: Option<Arc<Pdt>>,
+}
+
+impl DeltaTxn for PdtTxn {
+    fn layers(&self) -> DeltaLayers<'_> {
+        PdtSnapshot::stack(&self.read, &self.write, Some(&self.trans))
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.read.delta_total() + self.write.delta_total() + self.trans.delta_total()
+    }
+
+    fn is_dirty(&self) -> bool {
+        !self.trans.is_empty()
+    }
+
+    fn stage_insert(&mut self, rid: u64, tuple: &[Value]) {
+        let sk: Vec<Value> = self
+            .trans
+            .sk_cols()
+            .iter()
+            .map(|&c| tuple[c].clone())
+            .collect();
+        let sid = self.trans.sk_rid_to_sid(&sk, rid);
+        self.trans.add_insert(sid, rid, tuple);
+    }
+
+    fn stage_delete(&mut self, rid: u64, row: &[Value]) {
+        let sk: Vec<Value> = self
+            .trans
+            .sk_cols()
+            .iter()
+            .map(|&c| row[c].clone())
+            .collect();
+        self.trans.add_delete(rid, &sk);
+    }
+
+    fn stage_modify(&mut self, rid: u64, col: usize, value: &Value, _row: &[Value]) {
+        self.trans.add_modify(rid, col, value);
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl DeltaStore for PdtStore {
+    fn policy(&self) -> UpdatePolicy {
+        UpdatePolicy::Pdt
+    }
+
+    fn snapshot(&self) -> Arc<dyn DeltaSnapshot> {
+        let snap = self
+            .mgr
+            .snapshot_table(&self.table)
+            .unwrap_or_else(|| panic!("table {} not registered", self.table));
+        Arc::new(PdtSnapshot {
+            read: snap.read,
+            write: snap.write,
+        })
+    }
+
+    fn begin(&self, snap: &Arc<dyn DeltaSnapshot>, start_seq: u64) -> Box<dyn DeltaTxn> {
+        let snap = snap
+            .as_any()
+            .downcast_ref::<PdtSnapshot>()
+            .expect("PDT store handed a foreign snapshot");
+        let trans = Pdt::new(snap.read.schema().clone(), snap.read.sk_cols().to_vec());
+        Box::new(PdtTxn {
+            read: snap.read.clone(),
+            write: snap.write.clone(),
+            trans,
+            start_seq,
+            serialized: None,
+        })
+    }
+
+    fn prepare(&self, staged: &mut dyn DeltaTxn) -> Result<(), DbError> {
+        let txn = staged
+            .as_any_mut()
+            .downcast_mut::<PdtTxn>()
+            .expect("PDT store handed a foreign staging area");
+        let serialized = self
+            .mgr
+            .serialize_txn(&self.table, txn.trans.clone(), txn.start_seq)?;
+        txn.serialized = Some(Arc::new(serialized));
+        Ok(())
+    }
+
+    fn wal_entries(&self, staged: &dyn DeltaTxn) -> Vec<WalEntry> {
+        let txn = staged
+            .as_any()
+            .downcast_ref::<PdtTxn>()
+            .expect("PDT store handed a foreign staging area");
+        txn.serialized
+            .as_ref()
+            .map(|p| wal::pdt_entries(p))
+            .unwrap_or_default()
+    }
+
+    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64) {
+        let txn = staged
+            .as_any()
+            .downcast_ref::<PdtTxn>()
+            .expect("PDT store handed a foreign staging area");
+        let delta = txn
+            .serialized
+            .clone()
+            .expect("publish called before prepare");
+        self.mgr.publish_pdt(&self.table, delta, seq);
+    }
+
+    fn replay(&self, entries: &[WalEntry]) {
+        self.mgr.replay_pdt_entries(&self.table, entries);
+    }
+
+    fn write_bytes(&self) -> usize {
+        self.mgr.write_pdt_bytes(&self.table)
+    }
+
+    fn flush(&self) -> bool {
+        if self.mgr.write_pdt_bytes(&self.table) == 0 {
+            return false;
+        }
+        self.mgr.flush_write_to_read(&self.table);
+        true
+    }
+
+    fn checkpoint(
+        &self,
+        stable: &StableTable,
+        io: &IoTracker,
+    ) -> Result<Option<StableTable>, DbError> {
+        let mut fresh = None;
+        self.mgr.checkpoint(&self.table, |read| {
+            fresh = Some(pdt::checkpoint::checkpoint_table(stable, read, io)?);
+            Ok::<(), ColumnarError>(())
+        })?;
+        Ok(fresh)
+    }
+}
+
+// --- Value-based store --------------------------------------------------
+
+/// [`DeltaStore`] over a value-based delta tree. Commits swap an immutable
+/// committed [`Vdt`] (readers hold `Arc` snapshots, so they are never
+/// blocked); when another transaction committed in between, the staged ops
+/// log is replayed onto the current tree with key-addressed conflict
+/// detection.
+pub struct VdtStore {
+    table: String,
+    state: RwLock<VdtState>,
+}
+
+struct VdtState {
+    committed: Arc<Vdt>,
+    /// Bumped on every publish / checkpoint / replay; transactions compare
+    /// it to detect concurrent commits (the value-based analogue of the
+    /// TZ-set overlap test).
+    version: u64,
+}
+
+impl VdtStore {
+    pub fn new(table: String, schema: columnar::Schema, sk_cols: Vec<usize>) -> Self {
+        VdtStore {
+            table,
+            state: RwLock::new(VdtState {
+                committed: Arc::new(Vdt::new(schema, sk_cols)),
+                version: 0,
+            }),
+        }
+    }
+}
+
+struct VdtSnapshot {
+    vdt: Arc<Vdt>,
+    version: u64,
+}
+
+impl DeltaSnapshot for VdtSnapshot {
+    fn layers(&self) -> DeltaLayers<'_> {
+        if self.vdt.is_empty() {
+            DeltaLayers::None
+        } else {
+            DeltaLayers::Vdt(&self.vdt)
+        }
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.vdt.delta_total()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct VdtTxn {
+    /// Committed tree at begin with the staged ops already applied — what
+    /// this transaction's own scans merge.
+    working: Vdt,
+    base_version: u64,
+    /// The logical ops, kept for replay and WAL flattening.
+    ops: Vec<VdtOp>,
+}
+
+impl DeltaTxn for VdtTxn {
+    fn layers(&self) -> DeltaLayers<'_> {
+        if self.working.is_empty() {
+            DeltaLayers::None
+        } else {
+            DeltaLayers::Vdt(&self.working)
+        }
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.working.delta_total()
+    }
+
+    fn is_dirty(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    fn stage_insert(&mut self, _rid: u64, tuple: &[Value]) {
+        self.working.insert(tuple.to_vec());
+        self.ops.push(VdtOp::Insert(tuple.to_vec()));
+    }
+
+    fn stage_delete(&mut self, _rid: u64, row: &[Value]) {
+        let sk: Vec<Value> = self
+            .working
+            .sk_cols()
+            .iter()
+            .map(|&c| row[c].clone())
+            .collect();
+        self.working.delete(&sk);
+        self.ops.push(VdtOp::Delete { pre: row.to_vec() });
+    }
+
+    fn stage_modify(&mut self, _rid: u64, col: usize, value: &Value, row: &[Value]) {
+        self.working.modify(row, col, value.clone());
+        self.ops.push(VdtOp::Modify {
+            pre: row.to_vec(),
+            col,
+            value: value.clone(),
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl DeltaStore for VdtStore {
+    fn policy(&self) -> UpdatePolicy {
+        UpdatePolicy::Vdt
+    }
+
+    fn snapshot(&self) -> Arc<dyn DeltaSnapshot> {
+        let st = self.state.read();
+        Arc::new(VdtSnapshot {
+            vdt: st.committed.clone(),
+            version: st.version,
+        })
+    }
+
+    fn begin(&self, snap: &Arc<dyn DeltaSnapshot>, _start_seq: u64) -> Box<dyn DeltaTxn> {
+        let snap = snap
+            .as_any()
+            .downcast_ref::<VdtSnapshot>()
+            .expect("VDT store handed a foreign snapshot");
+        Box::new(VdtTxn {
+            working: (*snap.vdt).clone(),
+            base_version: snap.version,
+            ops: Vec::new(),
+        })
+    }
+
+    fn prepare(&self, staged: &mut dyn DeltaTxn) -> Result<(), DbError> {
+        let txn = staged
+            .as_any_mut()
+            .downcast_mut::<VdtTxn>()
+            .expect("VDT store handed a foreign staging area");
+        let st = self.state.read();
+        if st.version == txn.base_version {
+            // fast path: nothing committed since begin — the working tree
+            // IS base ∘ ops and can be published wholesale
+            return Ok(());
+        }
+        // somebody committed (or a checkpoint ran) in between: replay the
+        // ops log onto the current committed tree with the key-addressed
+        // conflict rules of `VdtOp::replay` (mirroring PDT Serialize)
+        let mut replayed = (*st.committed).clone();
+        let mut own_keys = std::collections::HashSet::new();
+        for op in &txn.ops {
+            op.replay(&mut replayed, &mut own_keys)
+                .map_err(|reason| DbError::Conflict {
+                    table: self.table.clone(),
+                    reason,
+                })?;
+        }
+        txn.working = replayed;
+        txn.base_version = st.version;
+        Ok(())
+    }
+
+    fn wal_entries(&self, staged: &dyn DeltaTxn) -> Vec<WalEntry> {
+        let txn = staged
+            .as_any()
+            .downcast_ref::<VdtTxn>()
+            .expect("VDT store handed a foreign staging area");
+        let sk_cols = txn.working.sk_cols().to_vec();
+        txn.ops
+            .iter()
+            .flat_map(|op| op.wal_payloads(&sk_cols, pdt::INS, pdt::DEL))
+            .map(|(kind, values)| WalEntry {
+                sid: 0,
+                kind,
+                values,
+            })
+            .collect()
+    }
+
+    fn publish(&self, mut staged: Box<dyn DeltaTxn>, _seq: u64) {
+        let txn = staged
+            .as_any_mut()
+            .downcast_mut::<VdtTxn>()
+            .expect("VDT store handed a foreign staging area");
+        // move the prepared tree out instead of deep-cloning it — commits
+        // hold the global commit guard, so this must stay cheap
+        let schema = txn.working.schema().clone();
+        let sk_cols = txn.working.sk_cols().to_vec();
+        let working = std::mem::replace(&mut txn.working, Vdt::new(schema, sk_cols));
+        let mut st = self.state.write();
+        debug_assert_eq!(
+            st.version, txn.base_version,
+            "publish without prepare under the commit guard"
+        );
+        st.committed = Arc::new(working);
+        st.version += 1;
+    }
+
+    fn replay(&self, entries: &[WalEntry]) {
+        let mut st = self.state.write();
+        // recovery holds no snapshots, so make_mut mutates in place —
+        // replay stays linear in the number of logged commits
+        let v = Arc::make_mut(&mut st.committed);
+        for e in entries {
+            if e.kind == pdt::INS {
+                v.insert(e.values.clone());
+            } else if e.kind == pdt::DEL {
+                v.delete(&e.values);
+            } else {
+                panic!("VDT WAL replay: unexpected modify entry (kind {})", e.kind);
+            }
+        }
+        st.version += 1;
+    }
+
+    fn write_bytes(&self) -> usize {
+        self.state.read().committed.heap_bytes()
+    }
+
+    fn flush(&self) -> bool {
+        // single-layer structure: checkpoint is the only migration
+        false
+    }
+
+    fn checkpoint(
+        &self,
+        stable: &StableTable,
+        io: &IoTracker,
+    ) -> Result<Option<StableTable>, DbError> {
+        let merged = {
+            let st = self.state.read();
+            if st.committed.is_empty() {
+                return Ok(None);
+            }
+            let rows = stable.scan_all(io)?;
+            st.committed.merge_rows(&rows)
+        };
+        let fresh = StableTable::bulk_load(stable.meta().clone(), stable.options(), &merged)?;
+        let mut st = self.state.write();
+        st.committed = Arc::new(Vdt::new(
+            stable.schema().clone(),
+            stable.sort_key().cols().to_vec(),
+        ));
+        st.version += 1;
+        Ok(Some(fresh))
+    }
+}

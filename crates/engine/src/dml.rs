@@ -1,41 +1,104 @@
-//! Read-write transactions: DML against the Trans-PDT.
+//! Read-write transactions: DML staged against the table's update
+//! structure through the [`DeltaStore`](crate::DeltaStore) interface.
 //!
 //! All statements operate on the transaction's own consistent view
-//! (stable ∘ Read-PDT ∘ Write-PDT ∘ Trans-PDT — eq. (9)), so later
-//! statements see earlier updates of the same transaction, exactly as
-//! §3.3's Trans-PDT layer prescribes.
+//! (stable ∘ committed deltas ∘ staged updates — eq. (9) for PDT tables),
+//! so later statements see earlier updates of the same transaction, exactly
+//! as §3.3's Trans-PDT layer prescribes. The same flows serve value-based
+//! tables: victims are still located positionally by scans; only the
+//! staging representation differs.
+//!
+//! Commit is two-phase under the manager's commit guard: every touched
+//! table's store validates (`prepare`) against updates committed since
+//! begin — any conflict aborts the whole transaction — then the WAL record
+//! is appended and every store publishes at one commit sequence number, so
+//! multi-table transactions stay atomic across update structures.
 
+use crate::delta::{DeltaSnapshot, DeltaStore, DeltaTxn};
 use crate::{Database, DbError};
 use columnar::{StableTable, Tuple, Value};
 use exec::expr::Expr;
 use exec::{DeltaLayers, ScanBounds, TableScan};
 use std::collections::HashMap;
 use std::sync::Arc;
-use txn::Transaction;
+use txn::wal::WalEntry;
+
+/// Per-table state captured at transaction begin.
+pub(crate) struct TxnTable {
+    stable: Arc<StableTable>,
+    store: Arc<dyn DeltaStore>,
+    snap: Arc<dyn DeltaSnapshot>,
+    staged: Option<Box<dyn DeltaTxn>>,
+}
+
+impl TxnTable {
+    pub(crate) fn new(
+        stable: Arc<StableTable>,
+        store: Arc<dyn DeltaStore>,
+        snap: Arc<dyn DeltaSnapshot>,
+    ) -> Self {
+        TxnTable {
+            stable,
+            store,
+            snap,
+            staged: None,
+        }
+    }
+
+    fn layers(&self) -> DeltaLayers<'_> {
+        match &self.staged {
+            Some(s) => s.layers(),
+            None => self.snap.layers(),
+        }
+    }
+
+    fn delta_total(&self) -> i64 {
+        match &self.staged {
+            Some(s) => s.delta_total(),
+            None => self.snap.delta_total(),
+        }
+    }
+}
 
 /// A read-write transaction handle.
 pub struct DbTxn<'db> {
     db: &'db Database,
-    txn: Transaction,
-    /// Stable images captured at begin (consistent with the PDT snapshots).
-    stables: HashMap<String, Arc<StableTable>>,
+    id: u64,
+    start_seq: u64,
+    tables: HashMap<String, TxnTable>,
 }
 
 impl<'db> DbTxn<'db> {
-    pub(crate) fn new(db: &'db Database, txn: Transaction) -> Self {
-        let stables = db
-            .tables
-            .read()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.stable.clone()))
-            .collect();
-        DbTxn { db, txn, stables }
+    pub(crate) fn new(
+        db: &'db Database,
+        id: u64,
+        start_seq: u64,
+        tables: HashMap<String, TxnTable>,
+    ) -> Self {
+        DbTxn {
+            db,
+            id,
+            start_seq,
+            tables,
+        }
     }
 
-    fn stable(&self, table: &str) -> &Arc<StableTable> {
-        self.stables
+    fn table(&self, table: &str) -> Result<&TxnTable, DbError> {
+        self.tables
             .get(table)
-            .unwrap_or_else(|| panic!("unknown table {table}"))
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))
+    }
+
+    /// The staging area for `table`, created on first update.
+    fn staged_mut(&mut self, table: &str) -> Result<&mut dyn DeltaTxn, DbError> {
+        let start_seq = self.start_seq;
+        let t = self
+            .tables
+            .get_mut(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        Ok(t.staged
+            .get_or_insert_with(|| t.store.begin(&t.snap, start_seq))
+            .as_mut())
     }
 
     /// Scan `table` under this transaction's view (including its own
@@ -45,45 +108,34 @@ impl<'db> DbTxn<'db> {
         table: &str,
         proj: Vec<usize>,
         bounds: ScanBounds,
-    ) -> TableScan<'_> {
-        let layers = self.txn.layers(table);
-        let delta = if layers.is_empty() {
-            DeltaLayers::None
-        } else {
-            DeltaLayers::Pdt(layers)
-        };
-        TableScan::ranged(
-            self.stable(table),
-            delta,
+    ) -> Result<TableScan<'_>, DbError> {
+        let t = self.table(table)?;
+        Ok(TableScan::ranged(
+            &t.stable,
+            t.layers(),
             proj,
             bounds,
             self.db.io().clone(),
             self.db.clock().clone(),
-        )
+        ))
     }
 
     /// Full scan under this transaction's view.
-    pub fn scan(&self, table: &str, proj: Vec<usize>) -> TableScan<'_> {
+    pub fn scan(&self, table: &str, proj: Vec<usize>) -> Result<TableScan<'_>, DbError> {
         self.scan_ranged(table, proj, ScanBounds::default())
     }
 
     /// Total visible rows of `table` under this transaction's view.
-    pub fn visible_rows(&self, table: &str) -> u64 {
-        let base = self.stable(table).row_count() as i64;
-        let delta: i64 = self
-            .txn
-            .layers(table)
-            .iter()
-            .map(|p| p.delta_total())
-            .sum();
-        (base + delta) as u64
+    pub fn visible_rows(&self, table: &str) -> Result<u64, DbError> {
+        let t = self.table(table)?;
+        Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
     }
 
     /// Find the RID where a tuple with sort key `sk` must be inserted —
     /// the paper's `SELECT rid FROM t WHERE SK > sk ORDER BY rid LIMIT 1`
     /// flow, served by a sparse-index-ranged scan. Errors on duplicates.
     fn find_insert_rid(&self, table: &str, sk: &[Value]) -> Result<u64, DbError> {
-        let sk_cols: Vec<usize> = self.stable(table).sort_key().cols().to_vec();
+        let sk_cols: Vec<usize> = self.table(table)?.stable.sort_key().cols().to_vec();
         let mut scan = self.scan_ranged(
             table,
             sk_cols,
@@ -91,7 +143,7 @@ impl<'db> DbTxn<'db> {
                 lo: Some(sk.to_vec()),
                 hi: Some(sk.to_vec()),
             },
-        );
+        )?;
         // when the whole range is ghosted the scan emits nothing, but the
         // rank of its start is still the correct insert position
         let mut last_end = scan.start_rid();
@@ -117,11 +169,9 @@ impl<'db> DbTxn<'db> {
 
     /// INSERT a tuple; its position follows from the table's sort order.
     pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<(), DbError> {
-        let sk = self.stable(table).sort_key().extract(&tuple);
+        let sk = self.table(table)?.stable.sort_key().extract(&tuple);
         let rid = self.find_insert_rid(table, &sk)?;
-        let trans = self.txn.trans_pdt_mut(table);
-        let sid = trans.sk_rid_to_sid(&sk, rid);
-        trans.add_insert(sid, rid, &tuple);
+        self.staged_mut(table)?.stage_insert(rid, &tuple);
         Ok(())
     }
 
@@ -138,28 +188,26 @@ impl<'db> DbTxn<'db> {
         pred: Expr,
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
-        let ncols = self.stable(table).schema().len();
-        let sk_cols: Vec<usize> = self.stable(table).sort_key().cols().to_vec();
-        // collect victims under the current view
-        let mut victims: Vec<(u64, Vec<Value>)> = Vec::new();
+        let ncols = self.table(table)?.stable.schema().len();
+        // collect victims (RID + full pre-image) under the current view
+        let mut victims: Vec<(u64, Tuple)> = Vec::new();
         {
-            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds);
+            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds)?;
             use exec::Operator;
             while let Some(batch) = scan.next_batch() {
                 let keep = pred.eval_bool(&batch);
                 for (i, hit) in keep.iter().enumerate() {
                     if *hit {
-                        let sk = sk_cols.iter().map(|&c| batch.cols[c].get(i)).collect();
-                        victims.push((batch.rid_start + i as u64, sk));
+                        victims.push((batch.rid_start + i as u64, batch.row(i)));
                     }
                 }
             }
         }
         // apply in descending RID order so earlier RIDs stay valid
         let n = victims.len();
-        let trans = self.txn.trans_pdt_mut(table);
-        for (rid, sk) in victims.into_iter().rev() {
-            trans.add_delete(rid, &sk);
+        let staged = self.staged_mut(table)?;
+        for (rid, row) in victims.into_iter().rev() {
+            staged.stage_delete(rid, &row);
         }
         Ok(n)
     }
@@ -185,16 +233,17 @@ impl<'db> DbTxn<'db> {
         sets: Vec<(usize, Expr)>,
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
-        let stable = self.stable(table).clone();
+        let stable = self.table(table)?.stable.clone();
         let ncols = stable.schema().len();
         let sk_cols: Vec<usize> = stable.sort_key().cols().to_vec();
         let touches_sk = sets.iter().any(|(c, _)| sk_cols.contains(c));
 
         // victims with their new values, evaluated batch-wise
-        let mut plain: Vec<(u64, Vec<(usize, Value)>)> = Vec::new();
-        let mut rewrites: Vec<(u64, Vec<Value>, Tuple)> = Vec::new(); // (rid, old sk, new tuple)
+        type PlainUpdate = (u64, Tuple, Vec<(usize, Value)>); // (rid, pre-image, assigns)
+        let mut plain: Vec<PlainUpdate> = Vec::new();
+        let mut rewrites: Vec<(u64, Tuple, Tuple)> = Vec::new(); // (rid, pre-image, new tuple)
         {
-            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds);
+            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds)?;
             use exec::Operator;
             while let Some(batch) = scan.next_batch() {
                 let keep = pred.eval_bool(&batch);
@@ -208,67 +257,109 @@ impl<'db> DbTxn<'db> {
                         continue;
                     }
                     let rid = batch.rid_start + i as u64;
+                    let row = batch.row(i);
                     if touches_sk {
-                        let mut row = batch.row(i);
-                        let old_sk: Vec<Value> =
-                            sk_cols.iter().map(|&c| row[c].clone()).collect();
+                        let mut new_row = row.clone();
                         for ((c, _), vals) in sets.iter().zip(&new_vals) {
-                            row[*c] = vals.get(i);
+                            new_row[*c] = vals.get(i);
                         }
-                        rewrites.push((rid, old_sk, row));
+                        rewrites.push((rid, row, new_row));
                     } else {
                         let assigns = sets
                             .iter()
                             .zip(&new_vals)
                             .map(|((c, _), vals)| (*c, vals.get(i)))
                             .collect();
-                        plain.push((rid, assigns));
+                        plain.push((rid, row, assigns));
                     }
                 }
             }
         }
         let n = plain.len() + rewrites.len();
-        // in-place modifications: RIDs unaffected, apply in any order
         {
-            let trans = self.txn.trans_pdt_mut(table);
-            for (rid, assigns) in plain {
+            let staged = self.staged_mut(table)?;
+            // in-place modifications: RIDs unaffected, apply in any order
+            for (rid, row, assigns) in plain {
                 for (col, v) in assigns {
-                    trans.add_modify(rid, col, &v);
+                    staged.stage_modify(rid, col, &v, &row);
                 }
             }
             // SK rewrites: delete first (descending), insert after
-            for (rid, old_sk, _) in rewrites.iter().rev() {
-                trans.add_delete(*rid, old_sk);
+            for (rid, row, _) in rewrites.iter().rev() {
+                staged.stage_delete(*rid, row);
             }
         }
-        for (_, _, row) in rewrites {
-            self.insert(table, row)?;
+        for (_, _, new_row) in rewrites {
+            self.insert(table, new_row)?;
         }
         Ok(n)
     }
 
-    /// Commit via the transaction manager (Serialize + Propagate —
-    /// Algorithm 9). On conflict the transaction is gone and the error
-    /// describes the clash.
+    /// Commit: prepare every touched table (Serialize for PDT tables,
+    /// key-addressed replay validation for VDT tables), append one WAL
+    /// record, publish everything at one commit sequence. On conflict the
+    /// transaction is gone and the error describes the clash.
     pub fn commit(self) -> Result<u64, DbError> {
-        Ok(self.db.txn_mgr.commit(self.txn)?)
+        let mgr = &self.db.txn_mgr;
+        let _commit = mgr.commit_guard();
+        let mut touched: Vec<(String, TxnTable)> = self
+            .tables
+            .into_iter()
+            .filter(|(_, t)| t.staged.as_ref().is_some_and(|s| s.is_dirty()))
+            .collect();
+        // deterministic table order (WAL records, lock-free publishes)
+        touched.sort_by(|a, b| a.0.cmp(&b.0));
+        if touched.is_empty() {
+            // read-only transaction: nothing to do, no new sequence needed
+            mgr.end_txn(self.id);
+            return Ok(mgr.seq());
+        }
+        // Phase 1: validate everything, failing wholesale on any conflict.
+        for (_, t) in touched.iter_mut() {
+            let staged = t.staged.as_mut().expect("filtered on staged").as_mut();
+            if let Err(e) = t.store.prepare(staged) {
+                mgr.end_txn(self.id);
+                return Err(e);
+            }
+        }
+        // Durability before visibility: one record for the whole commit.
+        let entries: Vec<(String, Vec<WalEntry>)> = touched
+            .iter()
+            .map(|(name, t)| {
+                let staged = t.staged.as_ref().expect("filtered on staged").as_ref();
+                (name.clone(), t.store.wal_entries(staged))
+            })
+            .filter(|(_, e)| !e.is_empty())
+            .collect();
+        let seq = mgr.alloc_seq();
+        if let Err(e) = mgr.log_commit(seq, &entries) {
+            mgr.end_txn(self.id);
+            return Err(e.into());
+        }
+        // Phase 2: publish (infallible).
+        for (_, mut t) in touched {
+            let staged = t.staged.take().expect("filtered on staged");
+            t.store.publish(staged, seq);
+        }
+        mgr.end_txn(self.id);
+        Ok(seq)
     }
 
-    /// Abort, discarding the Trans-PDTs.
+    /// Abort, discarding all staged updates.
     pub fn abort(self) {
-        self.db.txn_mgr.abort(self.txn);
+        self.db.txn_mgr.end_txn(self.id);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::ScanMode;
-    use columnar::{Schema, TableMeta, TableOptions, ValueType};
+    use crate::{TableOptions, UpdatePolicy};
+    use columnar::{Schema, TableMeta, ValueType};
     use exec::expr::{col, lit};
     use exec::run_to_rows;
 
-    fn db_with_ints(n: i64) -> Database {
+    fn db_with_ints(n: i64, policy: UpdatePolicy) -> Database {
         let db = Database::new();
         let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
         let rows: Vec<Tuple> = (0..n)
@@ -279,6 +370,7 @@ mod tests {
             TableOptions {
                 block_rows: 8,
                 compressed: true,
+                policy,
             },
             rows,
         )
@@ -287,56 +379,67 @@ mod tests {
     }
 
     fn keys(db: &Database) -> Vec<i64> {
-        let view = db.read_view(ScanMode::Pdt);
-        let mut scan = view.scan("t", vec![0]);
-        run_to_rows(&mut scan).iter().map(|r| r[0].as_int()).collect()
+        let view = db.read_view();
+        let mut scan = view.scan("t", vec![0]).unwrap();
+        run_to_rows(&mut scan)
+            .iter()
+            .map(|r| r[0].as_int())
+            .collect()
     }
+
+    const BOTH: [UpdatePolicy; 2] = [UpdatePolicy::Pdt, UpdatePolicy::Vdt];
 
     #[test]
     fn own_updates_visible_within_txn() {
-        let db = db_with_ints(10);
-        let mut t = db.begin();
-        t.insert("t", vec![Value::Int(55), Value::Int(0)]).unwrap();
-        assert_eq!(t.visible_rows("t"), 11);
-        // the same txn can find and modify the new tuple
-        let n = t
-            .update_where("t", col(0).eq(lit(55i64)), vec![(1, lit(9i64))])
-            .unwrap();
-        assert_eq!(n, 1);
-        let mut scan = t.scan("t", vec![0, 1]);
-        let rows = run_to_rows(&mut scan);
-        let hit = rows.iter().find(|r| r[0] == Value::Int(55)).unwrap();
-        assert_eq!(hit[1], Value::Int(9));
-        t.commit().unwrap();
-        assert!(keys(&db).contains(&55));
+        for policy in BOTH {
+            let db = db_with_ints(10, policy);
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(55), Value::Int(0)]).unwrap();
+            assert_eq!(t.visible_rows("t").unwrap(), 11, "{policy:?}");
+            // the same txn can find and modify the new tuple
+            let n = t
+                .update_where("t", col(0).eq(lit(55i64)), vec![(1, lit(9i64))])
+                .unwrap();
+            assert_eq!(n, 1);
+            let mut scan = t.scan("t", vec![0, 1]).unwrap();
+            let rows = run_to_rows(&mut scan);
+            let hit = rows.iter().find(|r| r[0] == Value::Int(55)).unwrap();
+            assert_eq!(hit[1], Value::Int(9));
+            t.commit().unwrap();
+            assert!(keys(&db).contains(&55), "{policy:?}");
+        }
     }
 
     #[test]
     fn multi_row_delete_descending_rids() {
-        let db = db_with_ints(20);
-        let mut t = db.begin();
-        let n = t
-            .delete_where("t", col(0).ge(lit(50i64)).and(col(0).le(lit(120i64))))
-            .unwrap();
-        assert_eq!(n, 8);
-        t.commit().unwrap();
-        let ks = keys(&db);
-        assert_eq!(ks.len(), 12);
-        assert!(!ks.contains(&50) && !ks.contains(&120) && ks.contains(&130));
+        for policy in BOTH {
+            let db = db_with_ints(20, policy);
+            let mut t = db.begin();
+            let n = t
+                .delete_where("t", col(0).ge(lit(50i64)).and(col(0).le(lit(120i64))))
+                .unwrap();
+            assert_eq!(n, 8);
+            t.commit().unwrap();
+            let ks = keys(&db);
+            assert_eq!(ks.len(), 12);
+            assert!(!ks.contains(&50) && !ks.contains(&120) && ks.contains(&130));
+        }
     }
 
     #[test]
     fn abort_discards_updates() {
-        let db = db_with_ints(5);
-        let mut t = db.begin();
-        t.insert("t", vec![Value::Int(99), Value::Int(0)]).unwrap();
-        t.abort();
-        assert_eq!(keys(&db).len(), 5);
+        for policy in BOTH {
+            let db = db_with_ints(5, policy);
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(99), Value::Int(0)]).unwrap();
+            t.abort();
+            assert_eq!(keys(&db).len(), 5, "{policy:?}");
+        }
     }
 
     #[test]
     fn ranged_delete_uses_bounds() {
-        let db = db_with_ints(100);
+        let db = db_with_ints(100, UpdatePolicy::Pdt);
         let io_before = db.io().stats();
         let mut t = db.begin();
         t.delete_where_ranged(
@@ -352,21 +455,22 @@ mod tests {
         let scan_bytes = db.io().stats().since(&io_before).bytes_read;
         assert!(keys(&db).len() == 99);
         // the ranged victim scan must not have read the whole table
-        let full = db.stable("t").total_bytes();
+        let full = db.stable("t").unwrap().total_bytes();
         assert!(scan_bytes < full, "{scan_bytes} vs {full}");
     }
 
     #[test]
     fn insert_positions_respect_own_deletes() {
-        let db = db_with_ints(10);
-        let mut t = db.begin();
-        // delete key 50 then insert 45: must go where 50 was
-        t.delete_where("t", col(0).eq(lit(50i64)))
-            .unwrap();
-        t.insert("t", vec![Value::Int(45), Value::Int(0)]).unwrap();
-        t.commit().unwrap();
-        let ks = keys(&db);
-        assert_eq!(ks, vec![0, 10, 20, 30, 40, 45, 60, 70, 80, 90]);
+        for policy in BOTH {
+            let db = db_with_ints(10, policy);
+            let mut t = db.begin();
+            // delete key 50 then insert 45: must go where 50 was
+            t.delete_where("t", col(0).eq(lit(50i64))).unwrap();
+            t.insert("t", vec![Value::Int(45), Value::Int(0)]).unwrap();
+            t.commit().unwrap();
+            let ks = keys(&db);
+            assert_eq!(ks, vec![0, 10, 20, 30, 40, 45, 60, 70, 80, 90]);
+        }
     }
 
     #[test]
@@ -374,21 +478,24 @@ mod tests {
         // regression (found by fuzzing): when every stable row the ranged
         // victim scan covers is a ghost, the scan emits nothing — the
         // insert rank must then fall back to the scan's start RID, not 0.
-        let db = db_with_ints(40);
-        let mut t = db.begin();
-        t.delete_where("t", col(0).ge(lit(320i64))).unwrap();
-        t.commit().unwrap();
-        let mut t = db.begin();
-        t.insert("t", vec![Value::Int(1980), Value::Int(0)]).unwrap();
-        t.commit().unwrap();
-        let ks = keys(&db);
-        assert!(ks.windows(2).all(|w| w[0] < w[1]), "order violated: {ks:?}");
-        assert_eq!(*ks.last().unwrap(), 1980);
+        for policy in BOTH {
+            let db = db_with_ints(40, policy);
+            let mut t = db.begin();
+            t.delete_where("t", col(0).ge(lit(320i64))).unwrap();
+            t.commit().unwrap();
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(1980), Value::Int(0)])
+                .unwrap();
+            t.commit().unwrap();
+            let ks = keys(&db);
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "order violated: {ks:?}");
+            assert_eq!(*ks.last().unwrap(), 1980);
+        }
     }
 
     #[test]
     fn conflicting_engine_txns() {
-        let db = db_with_ints(10);
+        let db = db_with_ints(10, UpdatePolicy::Pdt);
         let mut a = db.begin();
         let mut b = db.begin();
         a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
@@ -397,5 +504,101 @@ mod tests {
             .unwrap();
         a.commit().unwrap();
         assert!(matches!(b.commit(), Err(DbError::Txn(_))));
+    }
+
+    #[test]
+    fn conflicting_vdt_inserts_abort_second_writer() {
+        let db = db_with_ints(10, UpdatePolicy::Vdt);
+        let mut a = db.begin();
+        let mut b = db.begin();
+        a.insert("t", vec![Value::Int(55), Value::Int(1)]).unwrap();
+        b.insert("t", vec![Value::Int(55), Value::Int(2)]).unwrap();
+        a.commit().unwrap();
+        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
+        // state reflects only a's insert
+        let view = db.read_view();
+        let mut scan = view.scan("t", vec![0, 1]).unwrap();
+        let rows = run_to_rows(&mut scan);
+        let hit = rows.iter().find(|r| r[0] == Value::Int(55)).unwrap();
+        assert_eq!(hit[1], Value::Int(1));
+    }
+
+    #[test]
+    fn conflicting_vdt_modifies_abort_second_writer() {
+        // same column of the same tuple: the value-based replay must
+        // detect the lost update, exactly like PDT Serialize does
+        let db = db_with_ints(10, UpdatePolicy::Vdt);
+        let mut a = db.begin();
+        let mut b = db.begin();
+        a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
+            .unwrap();
+        b.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(2i64))])
+            .unwrap();
+        a.commit().unwrap();
+        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
+        let view = db.read_view();
+        let rows = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
+        assert_eq!(rows[3][1], Value::Int(1), "first writer's value survives");
+    }
+
+    #[test]
+    fn disjoint_column_vdt_modifies_reconcile() {
+        // different columns of the same tuple reconcile (CheckModConflict)
+        let db = Database::new();
+        let schema = Schema::from_pairs(&[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]);
+        db.create_table(
+            TableMeta::new("t", schema, vec![0]),
+            TableOptions::default().with_policy(UpdatePolicy::Vdt),
+            vec![vec![Value::Int(1), Value::Int(0), Value::Int(0)]],
+        )
+        .unwrap();
+        let mut p = db.begin();
+        let mut q = db.begin();
+        p.update_where("t", col(0).eq(lit(1i64)), vec![(1, lit(11i64))])
+            .unwrap();
+        q.update_where("t", col(0).eq(lit(1i64)), vec![(2, lit(22i64))])
+            .unwrap();
+        p.commit().unwrap();
+        q.commit().expect("disjoint columns must reconcile");
+        let view = db.read_view();
+        let rows = run_to_rows(&mut view.scan("t", vec![0, 1, 2]).unwrap());
+        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(11), Value::Int(22)]);
+    }
+
+    #[test]
+    fn vdt_delete_vs_modify_conflicts() {
+        let db = db_with_ints(10, UpdatePolicy::Vdt);
+        let mut a = db.begin();
+        let mut b = db.begin();
+        a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
+            .unwrap();
+        b.delete_where("t", col(0).eq(lit(30i64))).unwrap();
+        a.commit().unwrap();
+        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
+        assert_eq!(db.row_count("t").unwrap(), 10, "delete must not land");
+    }
+
+    #[test]
+    fn disjoint_vdt_commits_both_land() {
+        // the replay path: b began before a committed, touching other keys
+        let db = db_with_ints(10, UpdatePolicy::Vdt);
+        let mut a = db.begin();
+        let mut b = db.begin();
+        a.update_where("t", col(0).eq(lit(10i64)), vec![(1, lit(-1i64))])
+            .unwrap();
+        b.update_where("t", col(0).eq(lit(80i64)), vec![(1, lit(-2i64))])
+            .unwrap();
+        a.commit().unwrap();
+        b.commit().unwrap();
+        let view = db.read_view();
+        let mut scan = view.scan("t", vec![0, 1]).unwrap();
+        let rows = run_to_rows(&mut scan);
+        assert_eq!(rows[1][1], Value::Int(-1));
+        assert_eq!(rows[8][1], Value::Int(-2));
+        assert_eq!(rows.len(), 10);
     }
 }

@@ -2,46 +2,67 @@
 //!
 //! Ties the substrates together into the system the paper evaluates:
 //! ordered compressed columnar tables ([`columnar`]), differential updates
-//! via PDTs ([`pdt`]) under snapshot-isolation transactions ([`txn`]) — or
-//! via the value-based VDT baseline ([`vdt`]) — and scans/queries through
-//! the block-oriented executor ([`exec`]).
+//! buffered in a per-table update structure behind the [`DeltaStore`]
+//! trait — positional PDTs ([`pdt`]) under snapshot-isolation transactions
+//! ([`txn`]), or the value-based VDT baseline ([`vdt`]) — and scans/queries
+//! through the block-oriented executor ([`exec`]).
 //!
-//! Three scan modes correspond to the three bars of the paper's Figure 19:
+//! Every table picks its update structure at creation time
+//! ([`TableOptions::policy`]); DML, commit, WAL durability, flushing and
+//! checkpointing then flow through one API regardless of the structure:
 //!
-//! * [`ScanMode::Clean`] — stable image only ("no-updates" runs),
-//! * [`ScanMode::Pdt`] — positional merging through Read/Write(/Trans)
-//!   PDTs,
-//! * [`ScanMode::Vdt`] — value-based merging through the VDT.
+//! ```text
+//! let db = Database::new();
+//! db.create_table(meta, TableOptions::default().with_policy(UpdatePolicy::Vdt), rows)?;
+//! let mut txn = db.begin();           // same transactions for PDT and VDT
+//! txn.insert("t", tuple)?;
+//! txn.commit()?;
+//! let view = db.read_view();          // scans merge the table's own deltas
+//! db.checkpoint("t")?;                // same checkpoint for either backend
+//! ```
+//!
+//! The paper's Figure-19 "no-updates" bars come from [`Database::clean_view`],
+//! which scans the stable images only.
 //!
 //! DML follows the paper's flows: inserts locate their RID with a ranged
 //! scan on the sort key ("SELECT rid WHERE SK > sk ORDER BY rid LIMIT 1"),
 //! resolve SIDs against ghosts via `SkRidToSid`, and record updates in the
-//! transaction's private Trans-PDT; deletes and updates scan for victims
+//! transaction's private staging area; deletes and updates scan for victims
 //! and fold positionally. Sort-key-modifying updates are rewritten as
 //! delete + insert (§2.1).
 
+pub mod delta;
 pub mod dml;
 
+pub use delta::{DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore};
 pub use dml::DbTxn;
 
-use columnar::{
-    ColumnarError, IoTracker, Schema, StableTable, TableMeta, TableOptions, Tuple, Value,
-};
+use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
 use exec::{DeltaLayers, ScanBounds, ScanClock, TableScan};
 use parking_lot::RwLock;
-use pdt::Pdt;
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::Arc;
 use txn::{TxnError, TxnManager};
-use vdt::Vdt;
 
 /// Engine-level errors.
 #[derive(Debug)]
 pub enum DbError {
     UnknownTable(String),
-    DuplicateKey { table: String, key: Vec<Value> },
+    UnknownColumn {
+        table: String,
+        column: String,
+    },
+    DuplicateKey {
+        table: String,
+        key: Vec<Value>,
+    },
+    /// Write-write conflict detected by a value-addressed delta store.
+    Conflict {
+        table: String,
+        reason: String,
+    },
     Storage(ColumnarError),
     Txn(TxnError),
     Io(std::io::Error),
@@ -51,8 +72,14 @@ impl fmt::Display for DbError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DbError::UnknownTable(t) => write!(f, "unknown table {t}"),
+            DbError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {column} in table {table}")
+            }
             DbError::DuplicateKey { table, key } => {
                 write!(f, "duplicate sort key {key:?} in table {table}")
+            }
+            DbError::Conflict { table, reason } => {
+                write!(f, "write-write conflict on table {table}: {reason}")
             }
             DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::Txn(e) => write!(f, "transaction error: {e}"),
@@ -75,22 +102,68 @@ impl From<TxnError> for DbError {
     }
 }
 
-/// Which differential structure scans merge (Figure 19's three bars).
+/// Physical layout plus update-handling policy of a table.
+///
+/// Extends the storage options of [`columnar::TableOptions`] with the
+/// engine-level choice of differential structure, replacing the old
+/// per-scan `ScanMode` plumbing: the policy is a property of the *table*,
+/// fixed at creation, and every scan of the table merges the structure the
+/// table is maintained by.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ScanMode {
-    Clean,
-    Pdt,
-    Vdt,
+pub struct TableOptions {
+    /// Rows per block (the scan/merge granularity). Default 4096.
+    pub block_rows: usize,
+    /// Whether to apply lightweight compression (paper: server runs
+    /// compressed, workstation runs non-compressed).
+    pub compressed: bool,
+    /// Which update structure maintains the table. Default PDT.
+    pub policy: UpdatePolicy,
+}
+
+impl Default for TableOptions {
+    fn default() -> Self {
+        TableOptions {
+            block_rows: 4096,
+            compressed: true,
+            policy: UpdatePolicy::Pdt,
+        }
+    }
+}
+
+impl TableOptions {
+    pub fn with_policy(mut self, policy: UpdatePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn with_block_rows(mut self, block_rows: usize) -> Self {
+        self.block_rows = block_rows;
+        self
+    }
+
+    pub fn with_compression(mut self, compressed: bool) -> Self {
+        self.compressed = compressed;
+        self
+    }
+
+    /// The storage-level subset.
+    pub fn storage(&self) -> columnar::TableOptions {
+        columnar::TableOptions {
+            block_rows: self.block_rows,
+            compressed: self.compressed,
+        }
+    }
 }
 
 pub(crate) struct TableEntry {
     pub stable: Arc<StableTable>,
-    pub vdt: Arc<Vdt>,
+    pub delta: Arc<dyn DeltaStore>,
 }
 
-/// The database: stable tables + transaction manager + VDT baseline state.
+/// The database: stable tables, each paired with its update structure, plus
+/// the transaction manager that sequences all commits.
 pub struct Database {
-    pub(crate) txn_mgr: TxnManager,
+    pub(crate) txn_mgr: Arc<TxnManager>,
     pub(crate) tables: RwLock<HashMap<String, TableEntry>>,
     io: IoTracker,
     clock: ScanClock,
@@ -106,7 +179,7 @@ impl Database {
     /// In-memory database without a WAL.
     pub fn new() -> Self {
         Database {
-            txn_mgr: TxnManager::new(),
+            txn_mgr: Arc::new(TxnManager::new()),
             tables: RwLock::new(HashMap::new()),
             io: IoTracker::new(),
             clock: ScanClock::new(),
@@ -116,14 +189,15 @@ impl Database {
     /// Database whose commits append to a WAL at `path`.
     pub fn with_wal(path: &Path) -> Result<Self, DbError> {
         Ok(Database {
-            txn_mgr: TxnManager::with_wal(path).map_err(DbError::Io)?,
+            txn_mgr: Arc::new(TxnManager::with_wal(path).map_err(DbError::Io)?),
             tables: RwLock::new(HashMap::new()),
             io: IoTracker::new(),
             clock: ScanClock::new(),
         })
     }
 
-    /// Bulk-load a table (rows need not be pre-sorted).
+    /// Bulk-load a table (rows need not be pre-sorted). The update policy
+    /// in `opts` fixes which differential structure maintains the table.
     pub fn create_table(
         &self,
         meta: TableMeta,
@@ -133,13 +207,19 @@ impl Database {
         let name = meta.name.clone();
         let schema = meta.schema.clone();
         let sk = meta.sort_key.cols().to_vec();
-        let stable = StableTable::bulk_load_unsorted(meta, opts, rows)?;
-        self.txn_mgr.register_table(&name, schema.clone(), sk.clone());
+        let stable = StableTable::bulk_load_unsorted(meta, opts.storage(), rows)?;
+        let delta: Arc<dyn DeltaStore> = match opts.policy {
+            UpdatePolicy::Pdt => {
+                self.txn_mgr.register_table(&name, schema, sk);
+                Arc::new(PdtStore::new(self.txn_mgr.clone(), name.clone()))
+            }
+            UpdatePolicy::Vdt => Arc::new(VdtStore::new(name.clone(), schema, sk)),
+        };
         self.tables.write().insert(
             name,
             TableEntry {
                 stable: Arc::new(stable),
-                vdt: Arc::new(Vdt::new(schema, sk)),
+                delta,
             },
         );
         Ok(())
@@ -155,118 +235,143 @@ impl Database {
         &self.clock
     }
 
-    /// Replay the WAL at `path` into the PDT layers (after `create_table`).
+    fn entry(&self, table: &str) -> Result<(Arc<StableTable>, Arc<dyn DeltaStore>), DbError> {
+        let tables = self.tables.read();
+        let e = tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        Ok((e.stable.clone(), e.delta.clone()))
+    }
+
+    /// Replay the WAL at `path` into the tables' update structures (after
+    /// `create_table`). Returns the recovered commit sequence.
     pub fn recover_from(&self, path: &Path) -> Result<u64, DbError> {
-        self.txn_mgr.recover_from(path).map_err(DbError::Io)
+        let _commit = self.txn_mgr.commit_guard();
+        let records = txn::wal::Wal::read_all(path).map_err(DbError::Io)?;
+        let tables = self.tables.read();
+        let mut last = 0;
+        for rec in records {
+            for (table, entries) in rec.tables {
+                let e = tables
+                    .get(&table)
+                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                e.delta.replay(&entries);
+            }
+            last = rec.seq;
+        }
+        self.txn_mgr.finish_recovery(last);
+        Ok(last)
     }
 
     /// Schema of a table.
-    pub fn schema(&self, table: &str) -> Schema {
-        self.tables.read()[table].stable.schema().clone()
+    pub fn schema(&self, table: &str) -> Result<Schema, DbError> {
+        Ok(self.entry(table)?.0.schema().clone())
     }
 
     /// Current stable image of a table.
-    pub fn stable(&self, table: &str) -> Arc<StableTable> {
-        self.tables.read()[table].stable.clone()
+    pub fn stable(&self, table: &str) -> Result<Arc<StableTable>, DbError> {
+        Ok(self.entry(table)?.0)
+    }
+
+    /// The update policy of a table.
+    pub fn policy(&self, table: &str) -> Result<UpdatePolicy, DbError> {
+        Ok(self.entry(table)?.1.policy())
     }
 
     /// Total visible row count under a fresh snapshot.
-    pub fn row_count(&self, table: &str, mode: ScanMode) -> u64 {
-        let view = self.read_view(mode);
-        view.visible_rows(table)
+    pub fn row_count(&self, table: &str) -> Result<u64, DbError> {
+        self.read_view().visible_rows(table)
     }
 
-    /// Open a consistent read-only view for query execution.
-    pub fn read_view(&self, mode: ScanMode) -> ReadView {
+    /// Open a consistent read-only view for query execution; scans merge
+    /// each table's committed deltas.
+    pub fn read_view(&self) -> ReadView {
+        self.view_inner(true)
+    }
+
+    /// A view over the stable images only — the paper's "no-updates" runs
+    /// (and clean verification scans after a checkpoint).
+    pub fn clean_view(&self) -> ReadView {
+        self.view_inner(false)
+    }
+
+    fn view_inner(&self, with_deltas: bool) -> ReadView {
+        // the commit guard spans the per-table snapshot captures, so the
+        // view is one consistent cut across tables and delta structures
+        let _commit = self.txn_mgr.commit_guard();
         let tables = self.tables.read();
-        let mut views = HashMap::new();
-        // a throwaway transaction captures the PDT layer snapshots
-        let txn = self.txn_mgr.begin();
-        for (name, entry) in tables.iter() {
-            let snap = txn.snapshot(name);
-            views.insert(
-                name.clone(),
-                TableView {
-                    stable: entry.stable.clone(),
-                    read_pdt: snap.read.clone(),
-                    write_pdt: snap.write.clone(),
-                    vdt: entry.vdt.clone(),
-                },
-            );
-        }
-        self.txn_mgr.abort(txn);
+        let views = tables
+            .iter()
+            .map(|(name, e)| {
+                (
+                    name.clone(),
+                    TableView {
+                        stable: e.stable.clone(),
+                        delta: with_deltas.then(|| e.delta.snapshot()),
+                    },
+                )
+            })
+            .collect();
         ReadView {
             tables: views,
-            mode,
             io: self.io.clone(),
             clock: self.clock.clone(),
         }
     }
 
-    /// Begin a read-write transaction (PDT mode).
+    /// Begin a read-write transaction (works on every table, whatever its
+    /// update policy).
     pub fn begin(&self) -> DbTxn<'_> {
-        DbTxn::new(self, self.txn_mgr.begin())
+        let _commit = self.txn_mgr.commit_guard();
+        let (id, start_seq) = self.txn_mgr.start_txn();
+        let tables = self.tables.read();
+        let snaps = tables
+            .iter()
+            .map(|(name, e)| {
+                (
+                    name.clone(),
+                    dml::TxnTable::new(e.stable.clone(), e.delta.clone(), e.delta.snapshot()),
+                )
+            })
+            .collect();
+        DbTxn::new(self, id, start_seq, snaps)
     }
 
-    /// Migrate the Write-PDT into the Read-PDT when it exceeds
-    /// `threshold_bytes` (the paper's Propagate policy). Returns whether a
-    /// flush happened.
-    pub fn maybe_flush(&self, table: &str, threshold_bytes: usize) -> bool {
-        if self.txn_mgr.write_pdt_bytes(table) > threshold_bytes {
-            self.txn_mgr.flush_write_to_read(table);
-            true
+    /// Migrate the write-optimised delta layer into the read-optimised one
+    /// when it exceeds `threshold_bytes` (the paper's Propagate policy).
+    /// Returns whether a flush happened.
+    pub fn maybe_flush(&self, table: &str, threshold_bytes: usize) -> Result<bool, DbError> {
+        let (_, delta) = self.entry(table)?;
+        if delta.write_bytes() > threshold_bytes {
+            Ok(delta.flush())
         } else {
-            false
+            Ok(false)
         }
     }
 
-    /// Checkpoint: materialise all PDT updates into a fresh stable image
-    /// and reset the PDT layers. Blocks commits for the duration.
+    /// Checkpoint: materialise all committed deltas into a fresh stable
+    /// image and reset the table's update structure. Blocks commits for the
+    /// duration; running readers keep their snapshots.
     pub fn checkpoint(&self, table: &str) -> Result<bool, DbError> {
-        let stable = self.stable(table);
-        let io = self.io.clone();
-        let did = self.txn_mgr.checkpoint(table, |read| {
-            let new_stable = pdt::checkpoint::checkpoint_table(&stable, read, &io)?;
-            self.tables.write().get_mut(table).unwrap().stable = Arc::new(new_stable);
-            Ok::<(), ColumnarError>(())
-        })?;
-        Ok(did)
-    }
-
-    /// Checkpoint the VDT baseline: apply its delta to the stable image.
-    pub fn checkpoint_vdt(&self, table: &str) -> Result<(), DbError> {
-        let mut tables = self.tables.write();
-        let entry = tables.get_mut(table).unwrap();
-        let rows = entry.stable.scan_all(&self.io)?;
-        let merged = entry.vdt.merge_rows(&rows);
-        let new_stable = StableTable::bulk_load(
-            entry.stable.meta().clone(),
-            entry.stable.options(),
-            &merged,
-        )?;
-        entry.stable = Arc::new(new_stable);
-        entry.vdt = Arc::new(Vdt::new(
-            entry.stable.schema().clone(),
-            entry.stable.sort_key().cols().to_vec(),
-        ));
-        Ok(())
-    }
-
-    /// Mutate the VDT of `table` (clone-mutate-swap; the VDT baseline has
-    /// no transaction layer — the paper evaluates it for scan performance).
-    pub fn with_vdt_mut(&self, table: &str, f: impl FnOnce(&mut Vdt)) {
-        let mut tables = self.tables.write();
-        let entry = tables.get_mut(table).unwrap();
-        let mut v = (*entry.vdt).clone();
-        f(&mut v);
-        entry.vdt = Arc::new(v);
+        let _commit = self.txn_mgr.commit_guard();
+        let (stable, delta) = self.entry(table)?;
+        match delta.checkpoint(&stable, &self.io)? {
+            Some(fresh) => {
+                self.tables
+                    .write()
+                    .get_mut(table)
+                    .expect("entry checked above")
+                    .stable = Arc::new(fresh);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 }
 
 /// A consistent, immutable multi-table view for query execution.
 pub struct ReadView {
     tables: HashMap<String, TableView>,
-    pub mode: ScanMode,
     pub io: IoTracker,
     pub clock: ScanClock,
 }
@@ -274,51 +379,52 @@ pub struct ReadView {
 /// Per-table snapshot inside a [`ReadView`].
 pub struct TableView {
     pub stable: Arc<StableTable>,
-    pub read_pdt: Arc<Pdt>,
-    pub write_pdt: Arc<Pdt>,
-    pub vdt: Arc<Vdt>,
+    /// Committed delta snapshot; `None` in a [`Database::clean_view`].
+    delta: Option<Arc<dyn DeltaSnapshot>>,
 }
 
 impl TableView {
-    /// PDT layers to merge, bottom-up, skipping empty ones.
-    pub fn pdt_layers(&self) -> Vec<&Pdt> {
-        let mut v = Vec::with_capacity(2);
-        if !self.read_pdt.is_empty() {
-            v.push(&*self.read_pdt);
+    /// The delta layers a scan of this table must merge.
+    pub fn layers(&self) -> DeltaLayers<'_> {
+        match &self.delta {
+            Some(d) => d.layers(),
+            None => DeltaLayers::None,
         }
-        if !self.write_pdt.is_empty() {
-            v.push(&*self.write_pdt);
-        }
-        v
+    }
+
+    /// Net visible-row change relative to the stable image.
+    pub fn delta_total(&self) -> i64 {
+        self.delta.as_ref().map_or(0, |d| d.delta_total())
     }
 }
 
 impl ReadView {
-    pub fn table(&self, name: &str) -> &TableView {
+    pub fn table(&self, name: &str) -> Result<&TableView, DbError> {
         self.tables
             .get(name)
-            .unwrap_or_else(|| panic!("unknown table {name}"))
+            .ok_or_else(|| DbError::UnknownTable(name.to_string()))
     }
 
     /// Column index by name.
-    pub fn col(&self, table: &str, column: &str) -> usize {
-        self.table(table).stable.schema().col(column)
+    pub fn col(&self, table: &str, column: &str) -> Result<usize, DbError> {
+        self.table(table)?
+            .stable
+            .schema()
+            .try_col(column)
+            .ok_or_else(|| DbError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })
     }
 
     /// Visible row count of `table` under this view.
-    pub fn visible_rows(&self, name: &str) -> u64 {
-        let t = self.table(name);
-        let base = t.stable.row_count() as i64;
-        let delta = match self.mode {
-            ScanMode::Clean => 0,
-            ScanMode::Pdt => t.read_pdt.delta_total() + t.write_pdt.delta_total(),
-            ScanMode::Vdt => t.vdt.delta_total(),
-        };
-        (base + delta) as u64
+    pub fn visible_rows(&self, name: &str) -> Result<u64, DbError> {
+        let t = self.table(name)?;
+        Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
     }
 
     /// Full-table scan with projection (column indices).
-    pub fn scan(&self, table: &str, proj: Vec<usize>) -> TableScan<'_> {
+    pub fn scan(&self, table: &str, proj: Vec<usize>) -> Result<TableScan<'_>, DbError> {
         self.scan_ranged(table, proj, ScanBounds::default())
     }
 
@@ -329,27 +435,24 @@ impl ReadView {
         table: &str,
         proj: Vec<usize>,
         bounds: ScanBounds,
-    ) -> TableScan<'_> {
-        let t = self.table(table);
-        let delta = match self.mode {
-            ScanMode::Clean => DeltaLayers::None,
-            ScanMode::Pdt => DeltaLayers::Pdt(t.pdt_layers()),
-            ScanMode::Vdt => DeltaLayers::Vdt(&t.vdt),
-        };
-        TableScan::ranged(
+    ) -> Result<TableScan<'_>, DbError> {
+        let t = self.table(table)?;
+        Ok(TableScan::ranged(
             &t.stable,
-            delta,
+            t.layers(),
             proj,
             bounds,
             self.io.clone(),
             self.clock.clone(),
-        )
+        ))
     }
 
     /// Scan projecting columns by name (plan-writing convenience).
-    pub fn scan_cols(&self, table: &str, cols: &[&str]) -> TableScan<'_> {
-        let schema = self.table(table).stable.schema();
-        let proj = cols.iter().map(|c| schema.col(c)).collect();
+    pub fn scan_cols(&self, table: &str, cols: &[&str]) -> Result<TableScan<'_>, DbError> {
+        let proj = cols
+            .iter()
+            .map(|c| self.col(table, c))
+            .collect::<Result<Vec<_>, _>>()?;
         self.scan(table, proj)
     }
 }
@@ -360,7 +463,7 @@ mod tests {
     use columnar::ValueType;
     use exec::run_to_rows;
 
-    fn inventory_db() -> Database {
+    fn inventory_db(policy: UpdatePolicy) -> Database {
         let db = Database::new();
         let schema = Schema::from_pairs(&[
             ("store", ValueType::Str),
@@ -390,6 +493,7 @@ mod tests {
             TableOptions {
                 block_rows: 2,
                 compressed: true,
+                policy,
             },
             rows,
         )
@@ -397,39 +501,35 @@ mod tests {
         db
     }
 
-    fn all_rows(db: &Database, mode: ScanMode) -> Vec<Tuple> {
-        let view = db.read_view(mode);
-        let mut scan = view.scan("inventory", vec![0, 1, 2, 3]);
+    fn all_rows(db: &Database) -> Vec<Tuple> {
+        let view = db.read_view();
+        let mut scan = view.scan("inventory", vec![0, 1, 2, 3]).unwrap();
         run_to_rows(&mut scan)
     }
 
-    #[test]
-    fn create_and_scan() {
-        let db = inventory_db();
-        assert_eq!(all_rows(&db, ScanMode::Clean).len(), 5);
-        assert_eq!(db.row_count("inventory", ScanMode::Pdt), 5);
+    fn clean_rows(db: &Database) -> Vec<Tuple> {
+        let view = db.clean_view();
+        let mut scan = view.scan("inventory", vec![0, 1, 2, 3]).unwrap();
+        run_to_rows(&mut scan)
     }
 
-    #[test]
-    fn paper_batches_through_engine() {
-        let db = inventory_db();
+    /// The paper's BATCH1..3 sequence, applied through the unified DML.
+    fn run_paper_batches(db: &Database) {
         // BATCH1
         let mut t = db.begin();
-        for (s, p, q) in [("Berlin", "table", 10i64), ("Berlin", "cloth", 5), ("Berlin", "chair", 20)] {
-            t.insert(
-                "inventory",
-                vec![s.into(), p.into(), true.into(), q.into()],
-            )
-            .unwrap();
+        for (s, p, q) in [
+            ("Berlin", "table", 10i64),
+            ("Berlin", "cloth", 5),
+            ("Berlin", "chair", 20),
+        ] {
+            t.insert("inventory", vec![s.into(), p.into(), true.into(), q.into()])
+                .unwrap();
         }
         t.commit().unwrap();
-        let rows = all_rows(&db, ScanMode::Pdt);
-        assert_eq!(rows.len(), 8);
-        assert_eq!(rows[0][1], Value::from("chair")); // Berlin chair first
 
         // BATCH2
-        let mut t = db.begin();
         use exec::expr::{col, lit};
+        let mut t = db.begin();
         t.update_where(
             "inventory",
             col(0).eq(lit("Berlin")).and(col(1).eq(lit("cloth"))),
@@ -464,106 +564,95 @@ mod tests {
             .unwrap();
         }
         t.commit().unwrap();
+    }
 
-        // Figure 13
-        let rows = all_rows(&db, ScanMode::Pdt);
-        let keys: Vec<(String, String)> = rows
-            .iter()
-            .map(|r| (r[0].as_str().to_string(), r[1].as_str().to_string()))
-            .collect();
-        assert_eq!(
-            keys,
-            vec![
-                ("Berlin".into(), "chair".into()),
-                ("Berlin".into(), "cloth".into()),
-                ("Berlin".into(), "rack".into()),
-                ("London".into(), "chair".into()),
-                ("London".into(), "rack".into()),
-                ("London".into(), "stool".into()),
-                ("London".into(), "table".into()),
-                ("Paris".into(), "rack".into()),
-                ("Paris".into(), "stool".into()),
-            ]
-        );
+    fn figure13_keys() -> Vec<(String, String)> {
+        vec![
+            ("Berlin".into(), "chair".into()),
+            ("Berlin".into(), "cloth".into()),
+            ("Berlin".into(), "rack".into()),
+            ("London".into(), "chair".into()),
+            ("London".into(), "rack".into()),
+            ("London".into(), "stool".into()),
+            ("London".into(), "table".into()),
+            ("Paris".into(), "rack".into()),
+            ("Paris".into(), "stool".into()),
+        ]
+    }
+
+    #[test]
+    fn create_and_scan() {
+        let db = inventory_db(UpdatePolicy::Pdt);
+        assert_eq!(clean_rows(&db).len(), 5);
+        assert_eq!(db.row_count("inventory").unwrap(), 5);
+    }
+
+    #[test]
+    fn paper_batches_through_engine_both_policies() {
+        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+            let db = inventory_db(policy);
+            run_paper_batches(&db);
+            let rows = all_rows(&db);
+            let keys: Vec<(String, String)> = rows
+                .iter()
+                .map(|r| (r[0].as_str().to_string(), r[1].as_str().to_string()))
+                .collect();
+            assert_eq!(keys, figure13_keys(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn pdt_and_vdt_tables_produce_identical_images() {
+        let pdt_db = inventory_db(UpdatePolicy::Pdt);
+        let vdt_db = inventory_db(UpdatePolicy::Vdt);
+        run_paper_batches(&pdt_db);
+        run_paper_batches(&vdt_db);
+        assert_eq!(all_rows(&pdt_db), all_rows(&vdt_db));
     }
 
     #[test]
     fn duplicate_key_rejected() {
-        let db = inventory_db();
-        let mut t = db.begin();
-        let err = t
-            .insert(
-                "inventory",
-                vec!["London".into(), "chair".into(), true.into(), 1i64.into()],
-            )
-            .unwrap_err();
-        assert!(matches!(err, DbError::DuplicateKey { .. }));
-        t.abort();
+        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+            let db = inventory_db(policy);
+            let mut t = db.begin();
+            let err = t
+                .insert(
+                    "inventory",
+                    vec!["London".into(), "chair".into(), true.into(), 1i64.into()],
+                )
+                .unwrap_err();
+            assert!(matches!(err, DbError::DuplicateKey { .. }), "{policy:?}");
+            t.abort();
+        }
     }
 
     #[test]
     fn checkpoint_preserves_view_and_resets_layers() {
-        let db = inventory_db();
-        let mut t = db.begin();
-        t.insert(
-            "inventory",
-            vec!["Oslo".into(), "desk".into(), true.into(), 2i64.into()],
-        )
-        .unwrap();
-        t.delete_where(
-            "inventory",
-            exec::expr::col(1).eq(exec::expr::lit("rug")),
-        )
-        .unwrap();
-        t.commit().unwrap();
-        let before = all_rows(&db, ScanMode::Pdt);
-        assert!(db.checkpoint("inventory").unwrap());
-        let after = all_rows(&db, ScanMode::Pdt);
-        assert_eq!(before, after);
-        // clean scan of the new image equals the merged view
-        assert_eq!(all_rows(&db, ScanMode::Clean), before);
-    }
-
-    #[test]
-    fn vdt_path_matches_pdt_path() {
-        let db = inventory_db();
-        // same updates on both structures
-        let mut t = db.begin();
-        t.insert(
-            "inventory",
-            vec!["Berlin".into(), "rack".into(), true.into(), 4i64.into()],
-        )
-        .unwrap();
-        t.update_where(
-            "inventory",
-            exec::expr::col(1).eq(exec::expr::lit("rug")),
-            vec![(3, exec::expr::lit(7i64))],
-        )
-        .unwrap();
-        t.delete_where(
-            "inventory",
-            exec::expr::col(1).eq(exec::expr::lit("table")),
-        )
-        .unwrap();
-        t.commit().unwrap();
-
-        db.with_vdt_mut("inventory", |v| {
-            v.insert(vec!["Berlin".into(), "rack".into(), true.into(), 4i64.into()]);
-            v.modify(
-                &["Paris".into(), "rug".into(), false.into(), 1i64.into()],
-                3,
-                Value::Int(7),
-            );
-            v.delete(&["London".into(), "table".into()]);
-        });
-
-        assert_eq!(all_rows(&db, ScanMode::Pdt), all_rows(&db, ScanMode::Vdt));
+        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+            let db = inventory_db(policy);
+            let mut t = db.begin();
+            t.insert(
+                "inventory",
+                vec!["Oslo".into(), "desk".into(), true.into(), 2i64.into()],
+            )
+            .unwrap();
+            t.delete_where("inventory", exec::expr::col(1).eq(exec::expr::lit("rug")))
+                .unwrap();
+            t.commit().unwrap();
+            let before = all_rows(&db);
+            assert!(db.checkpoint("inventory").unwrap(), "{policy:?}");
+            assert_eq!(all_rows(&db), before, "{policy:?}");
+            // clean scan of the new image equals the merged view
+            assert_eq!(clean_rows(&db), before, "{policy:?}");
+            // idempotent when clean
+            assert!(!db.checkpoint("inventory").unwrap(), "{policy:?}");
+        }
     }
 
     #[test]
     fn flush_threshold_policy() {
-        let db = inventory_db();
-        assert!(!db.maybe_flush("inventory", usize::MAX));
+        let db = inventory_db(UpdatePolicy::Pdt);
+        assert!(!db.maybe_flush("inventory", usize::MAX).unwrap());
         let mut t = db.begin();
         t.insert(
             "inventory",
@@ -571,28 +660,100 @@ mod tests {
         )
         .unwrap();
         t.commit().unwrap();
-        assert!(db.maybe_flush("inventory", 0));
+        assert!(db.maybe_flush("inventory", 0).unwrap());
         // view unchanged after flush
-        assert_eq!(all_rows(&db, ScanMode::Pdt).len(), 6);
+        assert_eq!(all_rows(&db).len(), 6);
     }
 
     #[test]
     fn sort_key_update_is_delete_plus_insert() {
-        let db = inventory_db();
+        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+            let db = inventory_db(policy);
+            let mut t = db.begin();
+            // rename London/table -> London/bench (SK column!)
+            t.update_where(
+                "inventory",
+                exec::expr::col(1).eq(exec::expr::lit("table")),
+                vec![(1, exec::expr::lit("bench"))],
+            )
+            .unwrap();
+            t.commit().unwrap();
+            let rows = all_rows(&db);
+            let prods: Vec<&str> = rows.iter().map(|r| r[1].as_str()).collect();
+            assert!(prods.contains(&"bench") && !prods.contains(&"table"));
+            // order maintained: bench sorts before chair
+            assert_eq!(rows[0][1].as_str(), "bench", "{policy:?}");
+            assert_eq!(rows.len(), 5);
+        }
+    }
+
+    #[test]
+    fn unknown_table_errors_from_every_entry_point() {
+        let db = inventory_db(UpdatePolicy::Pdt);
+        assert!(matches!(db.schema("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(db.stable("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(db.policy("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.row_count("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.maybe_flush("nope", 0),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            db.checkpoint("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+
+        let view = db.read_view();
+        assert!(matches!(view.table("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            view.col("nope", "store"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            view.col("inventory", "ghost_col"),
+            Err(DbError::UnknownColumn { .. })
+        ));
+        assert!(matches!(
+            view.visible_rows("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            view.scan("nope", vec![0]),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            view.scan_cols("nope", &["store"]),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            view.scan_cols("inventory", &["ghost_col"]),
+            Err(DbError::UnknownColumn { .. })
+        ));
+
         let mut t = db.begin();
-        // rename London/table -> London/bench (SK column!)
-        t.update_where(
-            "inventory",
-            exec::expr::col(1).eq(exec::expr::lit("table")),
-            vec![(1, exec::expr::lit("bench"))],
-        )
-        .unwrap();
-        t.commit().unwrap();
-        let rows = all_rows(&db, ScanMode::Pdt);
-        let prods: Vec<&str> = rows.iter().map(|r| r[1].as_str()).collect();
-        assert!(prods.contains(&"bench") && !prods.contains(&"table"));
-        // order maintained: bench sorts before chair
-        assert_eq!(rows[0][1].as_str(), "bench");
-        assert_eq!(rows.len(), 5);
+        assert!(matches!(
+            t.insert("nope", vec!["x".into()]),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            t.delete_where("nope", exec::expr::lit(true)),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            t.update_where("nope", exec::expr::lit(true), vec![]),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            t.visible_rows("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
+        assert!(matches!(
+            t.scan("nope", vec![0]),
+            Err(DbError::UnknownTable(_))
+        ));
+        t.abort();
     }
 }

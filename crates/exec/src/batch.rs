@@ -71,10 +71,7 @@ impl Batch {
                 out
             })
             .collect();
-        Batch {
-            cols,
-            rid_start: 0,
-        }
+        Batch { cols, rid_start: 0 }
     }
 
     /// Keep only the listed columns, in the listed order.

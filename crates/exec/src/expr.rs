@@ -78,6 +78,8 @@ pub fn lit(v: impl Into<Value>) -> Expr {
     Expr::Lit(v.into())
 }
 
+// builder methods named after the SQL operators they plan, not the std ops
+#[allow(clippy::should_implement_trait)]
 impl Expr {
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
@@ -206,9 +208,7 @@ impl Expr {
                 }
                 ColumnVec::Bool(acc)
             }
-            Expr::Not(a) => {
-                ColumnVec::Bool(bools(a.eval(batch)).into_iter().map(|b| !b).collect())
-            }
+            Expr::Not(a) => ColumnVec::Bool(bools(a.eval(batch)).into_iter().map(|b| !b).collect()),
             Expr::Like(a, pat) => {
                 let v = a.eval(batch);
                 let m = LikeMatcher::new(pat);
@@ -323,9 +323,11 @@ fn compare(op: CmpOp, a: ColumnVec, b: ColumnVec) -> ColumnVec {
         (ColumnVec::Int(x), ColumnVec::Int(y)) => {
             x.iter().zip(y).map(|(a, b)| op.test(a.cmp(b))).collect()
         }
-        (ColumnVec::Double(x), ColumnVec::Double(y)) => {
-            x.iter().zip(y).map(|(a, b)| op.test(a.total_cmp(b))).collect()
-        }
+        (ColumnVec::Double(x), ColumnVec::Double(y)) => x
+            .iter()
+            .zip(y)
+            .map(|(a, b)| op.test(a.total_cmp(b)))
+            .collect(),
         (ColumnVec::Date(x), ColumnVec::Date(y)) => {
             x.iter().zip(y).map(|(a, b)| op.test(a.cmp(b))).collect()
         }
@@ -359,7 +361,11 @@ struct LikeMatcher {
 impl LikeMatcher {
     fn new(pattern: &str) -> Self {
         LikeMatcher {
-            segments: pattern.split('%').filter(|s| !s.is_empty()).map(String::from).collect(),
+            segments: pattern
+                .split('%')
+                .filter(|s| !s.is_empty())
+                .map(String::from)
+                .collect(),
             starts_any: pattern.starts_with('%'),
             ends_any: pattern.ends_with('%'),
         }
@@ -444,18 +450,9 @@ mod tests {
     #[test]
     fn arithmetic_types() {
         let b = batch();
-        assert_eq!(
-            col(0).add(lit(10i64)).eval(&b).as_int(),
-            &[11, 12, 13]
-        );
-        assert_eq!(
-            col(0).mul(col(1)).eval(&b).as_double(),
-            &[0.5, 3.0, 7.5]
-        );
-        assert_eq!(
-            col(0).div(lit(2i64)).eval(&b).as_double(),
-            &[0.5, 1.0, 1.5]
-        );
+        assert_eq!(col(0).add(lit(10i64)).eval(&b).as_int(), &[11, 12, 13]);
+        assert_eq!(col(0).mul(col(1)).eval(&b).as_double(), &[0.5, 3.0, 7.5]);
+        assert_eq!(col(0).div(lit(2i64)).eval(&b).as_double(), &[0.5, 1.0, 1.5]);
     }
 
     #[test]
@@ -489,10 +486,7 @@ mod tests {
     #[test]
     fn like_patterns() {
         let b = batch();
-        assert_eq!(
-            col(2).like("PROMO%").eval_bool(&b),
-            vec![true, false, true]
-        );
+        assert_eq!(col(2).like("PROMO%").eval_bool(&b), vec![true, false, true]);
         assert_eq!(
             col(2).like("%green%").eval_bool(&b),
             vec![false, true, true]
@@ -536,7 +530,11 @@ mod tests {
         let b = batch();
         assert_eq!(
             col(2).substr(1, 5).eval(&b).as_str(),
-            &["PROMO".to_string(), "STAND".to_string(), "PROMO".to_string()]
+            &[
+                "PROMO".to_string(),
+                "STAND".to_string(),
+                "PROMO".to_string()
+            ]
         );
     }
 

@@ -102,9 +102,7 @@ impl Acc {
             Acc::SumInt(s) => Value::Int(s),
             Acc::SumDouble(s) => Value::Double(s),
             Acc::Count(c) => Value::Int(c),
-            Acc::Avg { sum, n } => {
-                Value::Double(if n == 0 { 0.0 } else { sum / n as f64 })
-            }
+            Acc::Avg { sum, n } => Value::Double(if n == 0 { 0.0 } else { sum / n as f64 }),
             Acc::Min(m) | Acc::Max(m) => m.unwrap_or(Value::Null),
             Acc::Distinct(set) => Value::Int(set.len() as i64),
         }
@@ -123,14 +121,9 @@ pub struct HashAggregate<'a> {
 }
 
 impl<'a> HashAggregate<'a> {
-    pub fn new(
-        input: Box<dyn Operator + 'a>,
-        group_cols: Vec<usize>,
-        aggs: Vec<AggSpec>,
-    ) -> Self {
+    pub fn new(input: Box<dyn Operator + 'a>, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
         let in_types = input.out_types();
-        let mut types: Vec<ValueType> =
-            group_cols.iter().map(|&c| in_types[c]).collect();
+        let mut types: Vec<ValueType> = group_cols.iter().map(|&c| in_types[c]).collect();
         types.extend(aggs.iter().map(|a| a.out_type(&in_types)));
         HashAggregate {
             input,
@@ -164,9 +157,7 @@ impl Operator for HashAggregate<'_> {
                     .iter()
                     .map(|&c| batch.cols[c].get(i))
                     .collect();
-                let accs = groups
-                    .entry(key)
-                    .or_insert_with(|| make_accs(&self.aggs));
+                let accs = groups.entry(key).or_insert_with(|| make_accs(&self.aggs));
                 for (a, input) in accs.iter_mut().zip(&agg_inputs) {
                     a.update(input.get(i));
                 }
@@ -207,13 +198,7 @@ mod tests {
             ("b", 5, 8.0),
         ]
         .iter()
-        .map(|(g, i, d)| {
-            vec![
-                Value::Str(g.to_string()),
-                Value::Int(*i),
-                Value::Double(*d),
-            ]
-        })
+        .map(|(g, i, d)| vec![Value::Str(g.to_string()), Value::Int(*i), Value::Double(*d)])
         .collect();
         Box::new(ValuesOp::new(
             &[ValueType::Str, ValueType::Int, ValueType::Double],
@@ -269,11 +254,7 @@ mod tests {
     #[test]
     fn scalar_aggregate_over_empty_input() {
         let empty = Box::new(ValuesOp::new(&[ValueType::Int], &[]));
-        let mut agg = HashAggregate::new(
-            empty,
-            vec![],
-            vec![AggSpec::new(AggFunc::Count, col(0))],
-        );
+        let mut agg = HashAggregate::new(empty, vec![], vec![AggSpec::new(AggFunc::Count, col(0))]);
         let rows = run_to_rows(&mut agg);
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0][0], Value::Int(0));

@@ -177,10 +177,7 @@ mod tests {
         assert_eq!(j.out_types().len(), 5, "probe + build + matched flag");
         let got = run_to_rows(&mut j);
         assert_eq!(got.len(), 4);
-        let unmatched: Vec<_> = got
-            .iter()
-            .filter(|r| r[4] == Value::Bool(false))
-            .collect();
+        let unmatched: Vec<_> = got.iter().filter(|r| r[4] == Value::Bool(false)).collect();
         assert_eq!(unmatched.len(), 1);
         assert_eq!(unmatched[0][0], Value::Int(2));
     }

@@ -66,10 +66,7 @@ mod tests {
 
     #[test]
     fn values_and_run_to_rows() {
-        let rows = vec![
-            vec![Value::Int(1)],
-            vec![Value::Int(2)],
-        ];
+        let rows = vec![vec![Value::Int(1)], vec![Value::Int(2)]];
         let mut op = ValuesOp::new(&[ValueType::Int], &rows);
         assert_eq!(op.out_types(), vec![ValueType::Int]);
         assert_eq!(run_to_rows(&mut op), rows);

@@ -133,12 +133,7 @@ impl<'a> TableScan<'a> {
                 } else {
                     None
                 };
-                (
-                    MergeState::Vdt(Box::new(merger)),
-                    io_cols,
-                    Some(v),
-                    upper,
-                )
+                (MergeState::Vdt(Box::new(merger)), io_cols, Some(v), upper)
             }
         };
         let next_block = if range.is_empty() {
@@ -210,7 +205,6 @@ impl<'a> TableScan<'a> {
             .collect()
     }
 
-
     /// Push a block through PDT layers `layer..`, returning the output
     /// RID-start and columns.
     fn feed_pdt(
@@ -248,14 +242,9 @@ impl<'a> TableScan<'a> {
             let mut drained: Vec<ColumnVec> = types.iter().map(|&t| ColumnVec::new(t)).collect();
             mergers[k].drain_inserts_at(end, &self.proj, &mut drained);
             end = mergers[k].next_rid(); // input end for layer k+1
-            if drained[0].len() > 0 {
-                let (r0, cols) = Self::feed_pdt(
-                    &mut mergers[k + 1..],
-                    &self.proj,
-                    &types,
-                    rid0,
-                    drained,
-                );
+            if !drained[0].is_empty() {
+                let (r0, cols) =
+                    Self::feed_pdt(&mut mergers[k + 1..], &self.proj, &types, rid0, drained);
                 if rid_start.is_none() {
                     rid_start = Some(r0);
                 }
@@ -434,10 +423,14 @@ mod tests {
 
     fn updated_pdt() -> Pdt {
         let mut p = Pdt::new(schema(), vec![0]);
-        p.add_insert(0, 0, &[Value::Int(-5), Value::Int(99), Value::Str("new".into())]);
+        p.add_insert(
+            0,
+            0,
+            &[Value::Int(-5), Value::Int(99), Value::Str("new".into())],
+        );
         p.add_delete(3, &[Value::Int(20)]); // stable 2
         p.add_modify(5, 1, &Value::Int(-4)); // stable 4
-        // append at the end: 20 stable + 1 ins − 1 del = rid 20
+                                             // append at the end: 20 stable + 1 ins − 1 del = rid 20
         p.add_insert(
             20,
             20,
@@ -501,7 +494,11 @@ mod tests {
     fn vdt_scan_matches_row_merge() {
         let t = table(20);
         let mut v = Vdt::new(schema(), vec![0]);
-        v.insert(vec![Value::Int(-5), Value::Int(99), Value::Str("new".into())]);
+        v.insert(vec![
+            Value::Int(-5),
+            Value::Int(99),
+            Value::Str("new".into()),
+        ]);
         v.delete(&[Value::Int(20)]);
         v.modify(&rows(20)[4], 1, Value::Int(-4));
         v.insert(vec![Value::Int(999), Value::Int(0), Value::Str("t".into())]);
@@ -557,7 +554,11 @@ mod tests {
         p.add_delete(20, &[Value::Int(200)]);
         let sid = p.sk_rid_to_sid(&[Value::Int(195)], 20);
         assert_eq!(sid, 20);
-        p.add_insert(sid, 20, &[Value::Int(195), Value::Int(0), Value::Str("g".into())]);
+        p.add_insert(
+            sid,
+            20,
+            &[Value::Int(195), Value::Int(0), Value::Str("g".into())],
+        );
         let io = IoTracker::new();
         let mut scan = TableScan::ranged(
             &t,

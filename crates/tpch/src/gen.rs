@@ -119,16 +119,65 @@ pub const CONTAINER_SYL2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK
 
 /// Colour words for p_name (Q9 greps `%green%`, Q20 `forest%`).
 pub const COLORS: [&str; 32] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "forest",
+    "frosted",
+    "gainsboro",
+    "ghost",
+    "goldenrod",
+    "green",
 ];
 
 const COMMENT_WORDS: [&str; 24] = [
-    "carefully", "quickly", "furiously", "slyly", "blithely", "ironic", "final", "pending",
-    "regular", "express", "bold", "even", "silent", "daring", "accounts", "deposits", "packages",
-    "foxes", "theodolites", "pinto", "beans", "instructions", "requests", "platelets",
+    "carefully",
+    "quickly",
+    "furiously",
+    "slyly",
+    "blithely",
+    "ironic",
+    "final",
+    "pending",
+    "regular",
+    "express",
+    "bold",
+    "even",
+    "silent",
+    "daring",
+    "accounts",
+    "deposits",
+    "packages",
+    "foxes",
+    "theodolites",
+    "pinto",
+    "beans",
+    "instructions",
+    "requests",
+    "platelets",
 ];
 
 fn comment(rng: &mut Rng, special: bool) -> String {
@@ -404,7 +453,11 @@ pub fn generate_seeded(sf: f64, seed: u64) -> TpchData {
                 rng.pick(&TYPE_SYL2),
                 rng.pick(&TYPE_SYL3)
             );
-            let container = format!("{} {}", rng.pick(&CONTAINER_SYL1), rng.pick(&CONTAINER_SYL2));
+            let container = format!(
+                "{} {}",
+                rng.pick(&CONTAINER_SYL1),
+                rng.pick(&CONTAINER_SYL2)
+            );
             vec![
                 Value::Int(k),
                 Value::Str(name),
@@ -490,8 +543,7 @@ mod tests {
     #[test]
     fn sparse_keys_leave_refresh_gaps() {
         // base keys use slots 0..8 of each 32; refresh keys slots 8..16
-        let base: std::collections::HashSet<i64> =
-            (0..1000).map(sparse_order_key).collect();
+        let base: std::collections::HashSet<i64> = (0..1000).map(sparse_order_key).collect();
         for i in 0..1000 {
             assert!(
                 !base.contains(&refresh_order_key(i)),

@@ -10,8 +10,9 @@
 //!   using dbgen's *sparse order keys* (8 of every 32 key slots) so that
 //!   refresh inserts land scattered through `lineitem` too,
 //! * [`refresh`] — the RF1 (new orders) / RF2 (old orders) update streams,
-//!   each touching ~0.1 % of `orders`/`lineitem` per stream, applied
-//!   through PDT transactions or onto the VDT baseline,
+//!   each touching ~0.1 % of `orders`/`lineitem` per stream, written once
+//!   against the engine's unified transactional API (the table's update
+//!   policy — PDT or VDT — is chosen at load time),
 //! * [`queries`] — all 22 TPC-H queries hand-planned against the
 //!   block-oriented executor, with the spec's default substitution
 //!   parameters.
@@ -26,13 +27,14 @@ pub mod refresh;
 pub mod schema;
 
 pub use gen::{generate, TpchData};
-pub use refresh::{apply_rf1_pdt, apply_rf1_vdt, apply_rf2_pdt, apply_rf2_vdt, RefreshStreams};
+pub use refresh::{apply_rf1, apply_rf2, RefreshStreams};
 pub use schema::{table_meta, TPCH_TABLES};
 
-use columnar::TableOptions;
-use engine::Database;
+use engine::{Database, TableOptions};
 
-/// Load generated TPC-H data into a fresh engine database.
+/// Load generated TPC-H data into a fresh engine database. The update
+/// policy in `opts` decides which differential structure maintains every
+/// table (the paper's PDT-vs-VDT axis).
 pub fn load_database(data: &TpchData, opts: TableOptions) -> Database {
     let db = Database::new();
     for (name, rows) in data.tables() {
@@ -45,23 +47,13 @@ pub fn load_database(data: &TpchData, opts: TableOptions) -> Database {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use engine::ScanMode;
 
     #[test]
     fn load_small_database() {
         let data = generate(0.002);
-        let db = load_database(
-            &data,
-            TableOptions {
-                block_rows: 1024,
-                compressed: true,
-            },
-        );
-        assert_eq!(
-            db.row_count("region", ScanMode::Clean),
-            5
-        );
-        assert_eq!(db.row_count("nation", ScanMode::Clean), 25);
-        assert!(db.row_count("lineitem", ScanMode::Clean) > 0);
+        let db = load_database(&data, TableOptions::default().with_block_rows(1024));
+        assert_eq!(db.row_count("region").unwrap(), 5);
+        assert_eq!(db.row_count("nation").unwrap(), 25);
+        assert!(db.row_count("lineitem").unwrap() > 0);
     }
 }

@@ -20,8 +20,8 @@ use columnar::{parse_date, Tuple, Value};
 use engine::ReadView;
 use exec::expr::Expr;
 use exec::{
-    AggFunc, AggSpec, BoxOp, Filter, HashAggregate, HashJoin, JoinKind, Project, Sort,
-    SortKey, TopN,
+    AggFunc, AggSpec, BoxOp, Filter, HashAggregate, HashJoin, JoinKind, Project, Sort, SortKey,
+    TopN,
 };
 
 /// All query numbers, in order.
@@ -68,7 +68,9 @@ pub fn touches_updated_tables(n: usize) -> bool {
 // --- plan-building helpers ---------------------------------------------------
 
 pub(crate) fn scan<'v>(v: &'v ReadView, table: &str, cols: &[&str]) -> BoxOp<'v> {
-    Box::new(v.scan_cols(table, cols))
+    // hand-written plans over the fixed TPC-H schema: a missing table or
+    // column here is a programming error, not a runtime condition
+    Box::new(v.scan_cols(table, cols).expect("TPC-H table/column"))
 }
 
 pub(crate) fn filt<'v>(input: BoxOp<'v>, pred: Expr) -> BoxOp<'v> {
@@ -122,20 +124,13 @@ pub(crate) fn d(s: &str) -> Value {
 mod tests {
     use super::*;
     use crate::{generate, load_database};
-    use columnar::TableOptions;
-    use engine::ScanMode;
+    use engine::TableOptions;
 
     #[test]
     fn all_queries_run_on_clean_data() {
         let data = generate(0.002);
-        let db = load_database(
-            &data,
-            TableOptions {
-                block_rows: 1024,
-                compressed: true,
-            },
-        );
-        let view = db.read_view(ScanMode::Clean);
+        let db = load_database(&data, TableOptions::default().with_block_rows(1024));
+        let view = db.clean_view();
         let mut nonempty = 0;
         for n in QUERY_IDS {
             let out = run_query(n, &view, data.sf);
@@ -154,7 +149,7 @@ mod tests {
     fn unknown_query_panics() {
         let data = generate(0.001);
         let db = load_database(&data, TableOptions::default());
-        let view = db.read_view(ScanMode::Clean);
+        let view = db.clean_view();
         run_query(23, &view, 0.001);
     }
 }

@@ -82,7 +82,11 @@ pub fn q02(v: &ReadView) -> Vec<Tuple> {
         );
         // partsupp ++ supplier': 0 ps_partkey, 1 ps_suppkey, 2 cost, 3 skey...
         let ps = join(
-            scan(v, "partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+            scan(
+                v,
+                "partsupp",
+                &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+            ),
             supplier,
             vec![1],
             vec![0],
@@ -163,7 +167,11 @@ pub fn q03(v: &ReadView) -> Vec<Tuple> {
 /// Q4 — Order Priority Checking.
 pub fn q04(v: &ReadView) -> Vec<Tuple> {
     let orders = filt(
-        scan(v, "orders", &["o_orderkey", "o_orderpriority", "o_orderdate"]),
+        scan(
+            v,
+            "orders",
+            &["o_orderkey", "o_orderpriority", "o_orderdate"],
+        ),
         col(2)
             .ge(lit(d("1993-07-01")))
             .and(col(2).lt(lit(d("1993-10-01")))),
@@ -234,7 +242,10 @@ pub fn q05(v: &ReadView) -> Vec<Tuple> {
     // ++ supplier': 9 skey, 10 snat, 11 nkey, 12 nname, ...
     let all = join(li, supplier, vec![1], vec![0], JoinKind::Inner);
     // local suppliers: customer and supplier from the same nation
-    let local: BoxOp = filt(all, Expr::Cmp(exec::CmpOp::Eq, Box::new(col(8)), Box::new(col(10))));
+    let local: BoxOp = filt(
+        all,
+        Expr::Cmp(exec::CmpOp::Eq, Box::new(col(8)), Box::new(col(10))),
+    );
     let out = agg(
         local,
         vec![12],

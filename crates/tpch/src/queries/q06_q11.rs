@@ -72,10 +72,7 @@ pub fn q07(v: &ReadView) -> Vec<Tuple> {
     // ++ supplier': 11 skey, 12 snat, 13 n1key, 14 n1name
     let all = join(li, supplier, vec![1], vec![0], JoinKind::Inner);
     let pair = |a: &str, b: &str| col(14).eq(lit(a)).and(col(10).eq(lit(b)));
-    let all = filt(
-        all,
-        pair("FRANCE", "GERMANY").or(pair("GERMANY", "FRANCE")),
-    );
+    let all = filt(all, pair("FRANCE", "GERMANY").or(pair("GERMANY", "FRANCE")));
     // supp_nation, cust_nation, year, volume
     let volumes = proj(
         all,
@@ -194,7 +191,11 @@ pub fn q09(v: &ReadView) -> Vec<Tuple> {
     // ++ partsupp: 6 pspart, 7 pssupp, 8 cost
     let li = join(
         li,
-        scan(v, "partsupp", &["ps_partkey", "ps_suppkey", "ps_supplycost"]),
+        scan(
+            v,
+            "partsupp",
+            &["ps_partkey", "ps_suppkey", "ps_supplycost"],
+        ),
         vec![1, 2],
         vec![0, 1],
         JoinKind::Inner,
@@ -229,9 +230,7 @@ pub fn q09(v: &ReadView) -> Vec<Tuple> {
         vec![
             col(14),
             col(10).year(),
-            col(4)
-                .mul(lit(1.0).sub(col(5)))
-                .sub(col(8).mul(col(3))),
+            col(4).mul(lit(1.0).sub(col(5))).sub(col(8).mul(col(3))),
         ],
     );
     let out = agg(shaped, vec![0, 1], vec![(Sum, col(2))]);
@@ -250,7 +249,12 @@ pub fn q10(v: &ReadView) -> Vec<Tuple> {
         scan(
             v,
             "lineitem",
-            &["l_orderkey", "l_extendedprice", "l_discount", "l_returnflag"],
+            &[
+                "l_orderkey",
+                "l_extendedprice",
+                "l_discount",
+                "l_returnflag",
+            ],
         ),
         col(3).eq(lit("R")),
     );

@@ -112,10 +112,7 @@ pub fn q14(v: &ReadView) -> Vec<Tuple> {
         vec![
             (
                 Sum,
-                Expr::Case(
-                    vec![(col(5).like("PROMO%"), revenue())],
-                    Box::new(lit(0.0)),
-                ),
+                Expr::Case(vec![(col(5).like("PROMO%"), revenue())], Box::new(lit(0.0))),
             ),
             (Sum, revenue()),
         ],
@@ -154,7 +151,11 @@ pub fn q15(v: &ReadView) -> Vec<Tuple> {
     ));
     // supplier ++ (skey, rev): 0 skey, 1 name, 2 addr, 3 phone, 4 wkey, 5 rev
     let out = join(
-        scan(v, "supplier", &["s_suppkey", "s_name", "s_address", "s_phone"]),
+        scan(
+            v,
+            "supplier",
+            &["s_suppkey", "s_name", "s_address", "s_phone"],
+        ),
         winners_op,
         vec![0],
         vec![0],
@@ -210,12 +211,14 @@ pub fn q17(v: &ReadView) -> Vec<Tuple> {
     fn li_of_part<'v>(v: &'v ReadView) -> BoxOp<'v> {
         let part = filt(
             scan(v, "part", &["p_partkey", "p_brand", "p_container"]),
-            col(1)
-                .eq(lit("Brand#23"))
-                .and(col(2).eq(lit("MED BOX"))),
+            col(1).eq(lit("Brand#23")).and(col(2).eq(lit("MED BOX"))),
         );
         join(
-            scan(v, "lineitem", &["l_partkey", "l_quantity", "l_extendedprice"]),
+            scan(
+                v,
+                "lineitem",
+                &["l_partkey", "l_quantity", "l_extendedprice"],
+            ),
             part,
             vec![0],
             vec![0],

@@ -36,10 +36,7 @@ pub fn q18(v: &ReadView) -> Vec<Tuple> {
         vec![0],
         JoinKind::Inner,
     );
-    let out = proj(
-        o,
-        vec![col(7), col(6), col(0), col(2), col(3), col(5)],
-    );
+    let out = proj(o, vec![col(7), col(6), col(0), col(2), col(3), col(5)]);
     rows(topn(out, vec![SortKey::desc(4), SortKey::asc(3)], 100))
 }
 
@@ -70,16 +67,16 @@ pub fn q19(v: &ReadView) -> Vec<Tuple> {
     // ++ part: 6 pkey, 7 brand, 8 container, 9 size
     let li = join(
         li,
-        scan(v, "part", &["p_partkey", "p_brand", "p_container", "p_size"]),
+        scan(
+            v,
+            "part",
+            &["p_partkey", "p_brand", "p_container", "p_size"],
+        ),
         vec![0],
         vec![0],
         JoinKind::Inner,
     );
-    let containers = |syls: [&str; 4]| {
-        syls.iter()
-            .map(|s| Value::from(*s))
-            .collect::<Vec<_>>()
-    };
+    let containers = |syls: [&str; 4]| syls.iter().map(|s| Value::from(*s)).collect::<Vec<_>>();
     let clause = |brand: &str, conts: [&str; 4], qlo: f64, qhi: f64, smax: i64| {
         col(7)
             .eq(lit(brand))
@@ -89,21 +86,27 @@ pub fn q19(v: &ReadView) -> Vec<Tuple> {
     };
     let li = filt(
         li,
-        clause("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-            .or(clause(
-                "Brand#23",
-                ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
-                10.0,
-                20.0,
-                10,
-            ))
-            .or(clause(
-                "Brand#34",
-                ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
-                20.0,
-                30.0,
-                15,
-            )),
+        clause(
+            "Brand#12",
+            ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+            1.0,
+            11.0,
+            5,
+        )
+        .or(clause(
+            "Brand#23",
+            ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+            10.0,
+            20.0,
+            10,
+        ))
+        .or(clause(
+            "Brand#34",
+            ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+            20.0,
+            30.0,
+            15,
+        )),
     );
     rows(agg(
         li,
@@ -134,7 +137,7 @@ pub fn q20(v: &ReadView) -> Vec<Tuple> {
     let li = join(li, forest_parts, vec![0], vec![0], JoinKind::Semi);
     // half the shipped quantity per (part, supplier)
     let qty = agg(li, vec![0, 1], vec![(Sum, col(2))]); // 0 pk, 1 sk, 2 sumqty
-    // partsupp ++ qty: 0 pspk, 1 pssk, 2 avail, 3 pk, 4 sk, 5 sumqty
+                                                        // partsupp ++ qty: 0 pspk, 1 pssk, 2 avail, 3 pk, 4 sk, 5 sumqty
     let ps = join(
         scan(v, "partsupp", &["ps_partkey", "ps_suppkey", "ps_availqty"]),
         qty,
@@ -150,7 +153,11 @@ pub fn q20(v: &ReadView) -> Vec<Tuple> {
         col(1).eq(lit("CANADA")),
     );
     let supplier = join(
-        scan(v, "supplier", &["s_suppkey", "s_name", "s_address", "s_nationkey"]),
+        scan(
+            v,
+            "supplier",
+            &["s_suppkey", "s_name", "s_address", "s_nationkey"],
+        ),
         canada,
         vec![3],
         vec![0],
@@ -259,10 +266,6 @@ pub fn q22(v: &ReadView) -> Vec<Tuple> {
         vec![0],
         JoinKind::Anti,
     );
-    let out = agg(
-        orderless,
-        vec![1],
-        vec![(Count, lit(1i64)), (Sum, col(2))],
-    );
+    let out = agg(orderless, vec![1], vec![(Count, lit(1i64)), (Sum, col(2))]);
     rows(sort(out, vec![SortKey::asc(0)]))
 }

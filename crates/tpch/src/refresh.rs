@@ -14,12 +14,16 @@
 //! * **RF2** deletes existing orders (and their lineitems) chosen uniformly
 //!   from the populated key space.
 //!
-//! Both streams can be applied through PDT transactions
-//! ([`apply_rf1_pdt`]/[`apply_rf2_pdt`]) or onto the VDT baseline
-//! ([`apply_rf1_vdt`]/[`apply_rf2_vdt`]), so the three Figure-19 scenarios
-//! share identical logical updates.
+//! Both streams are written **once** against the engine's unified
+//! transactional API ([`apply_rf1`]/[`apply_rf2`]): whether a table is
+//! maintained by PDTs or by the value-based VDT is a property of the table
+//! (chosen at load time via [`engine::TableOptions::policy`]), not of the
+//! refresh code — so the paper's three Figure-19 scenarios share *exactly*
+//! the same logical updates and the same transaction/WAL overhead.
 
-use crate::gen::{make_order, pick_custkey, refresh_order_key, sparse_order_key, Rng, Sizes, TpchData};
+use crate::gen::{
+    make_order, pick_custkey, refresh_order_key, sparse_order_key, Rng, Sizes, TpchData,
+};
 use columnar::{Tuple, Value};
 use engine::{Database, DbError};
 use exec::expr::{col, lit};
@@ -44,12 +48,10 @@ impl RefreshStreams {
         let clerks = (sizes.orders / 1500).max(10);
 
         let mut inserts = Vec::with_capacity(count as usize);
-        for i in 0..count {
+        for _ in 0..count {
             // spread refresh keys uniformly over the populated key range
             let slot = rng.below(data.orders.len() as u64);
             let key = refresh_order_key(slot * 997 % data.orders.len() as u64);
-            // keys may repeat across draws; nudge until unique
-            let key = key + (i as i64 % 8) * 0; // slots 8..16 unique per block
             let custkey = pick_custkey(&mut rng, sizes.customers);
             inserts.push(make_order(&mut rng, key, custkey, &sizes, clerks));
         }
@@ -70,8 +72,9 @@ impl RefreshStreams {
     }
 }
 
-/// RF1 through PDT transactions (one transaction per batch of orders).
-pub fn apply_rf1_pdt(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
+/// RF1: insert new orders and their lineitems, one transaction per batch
+/// of orders. Works unchanged for any update policy.
+pub fn apply_rf1(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
     for chunk in streams.inserts.chunks(batch.max(1)) {
         let mut txn = db.begin();
         for (order, lines) in chunk {
@@ -85,8 +88,9 @@ pub fn apply_rf1_pdt(db: &Database, streams: &RefreshStreams, batch: usize) -> R
     Ok(())
 }
 
-/// RF2 through PDT transactions: delete orders and their lineitems by key.
-pub fn apply_rf2_pdt(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
+/// RF2: delete orders and their lineitems by key, one transaction per
+/// batch of orders. Works unchanged for any update policy.
+pub fn apply_rf2(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
     for chunk in streams.delete_keys.chunks(batch.max(1)) {
         let mut txn = db.begin();
         for &key in chunk {
@@ -109,68 +113,26 @@ pub fn apply_rf2_pdt(db: &Database, streams: &RefreshStreams, batch: usize) -> R
     Ok(())
 }
 
-/// RF1 onto the VDT baseline.
-pub fn apply_rf1_vdt(db: &Database, streams: &RefreshStreams) {
-    db.with_vdt_mut("orders", |v| {
-        for (order, _) in &streams.inserts {
-            v.insert(order.clone());
-        }
-    });
-    db.with_vdt_mut("lineitem", |v| {
-        for (_, lines) in &streams.inserts {
-            for l in lines {
-                v.insert(l.clone());
-            }
-        }
-    });
-}
-
-/// RF2 onto the VDT baseline (victims located on the stable image).
-pub fn apply_rf2_vdt(db: &Database, streams: &RefreshStreams) {
-    use std::collections::HashSet;
-    let keys: HashSet<i64> = streams.delete_keys.iter().copied().collect();
-    let io = db.io().clone();
-
-    let orders = db.stable("orders");
-    let mut order_sks: Vec<Vec<Value>> = Vec::new();
-    for row in orders.scan_all(&io).expect("scan orders") {
-        if keys.contains(&row[0].as_int()) {
-            order_sks.push(vec![row[4].clone(), row[0].clone()]); // (date, key)
-        }
-    }
-    db.with_vdt_mut("orders", |v| {
-        for sk in &order_sks {
-            v.delete(sk);
-        }
-    });
-
-    let lineitem = db.stable("lineitem");
-    let mut li_sks: Vec<Vec<Value>> = Vec::new();
-    for row in lineitem.scan_all(&io).expect("scan lineitem") {
-        if keys.contains(&row[0].as_int()) {
-            li_sks.push(vec![row[0].clone(), row[3].clone()]);
-        }
-    }
-    db.with_vdt_mut("lineitem", |v| {
-        for sk in &li_sks {
-            v.delete(sk);
-        }
-    });
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::{generate, load_database};
-    use columnar::TableOptions;
-    use engine::ScanMode;
+    use engine::{TableOptions, UpdatePolicy};
     use exec::run_to_rows;
 
-    fn opts() -> TableOptions {
+    fn opts(policy: UpdatePolicy) -> TableOptions {
         TableOptions {
             block_rows: 512,
             compressed: true,
+            policy,
         }
+    }
+
+    fn image(db: &Database, table: &str) -> Vec<Tuple> {
+        let view = db.read_view();
+        let ncols = view.table(table).unwrap().stable.schema().len();
+        let mut scan = view.scan(table, (0..ncols).collect()).unwrap();
+        run_to_rows(&mut scan)
     }
 
     #[test]
@@ -193,27 +155,35 @@ mod tests {
         }
     }
 
+    /// The same refresh code, run against a PDT-maintained and a
+    /// VDT-maintained database, must yield identical visible images after
+    /// each refresh pair — the consistency guarantee the unified
+    /// `DeltaStore` path gives the paper's comparison.
     #[test]
-    fn pdt_and_vdt_paths_agree() {
+    fn pdt_and_vdt_databases_agree_after_refresh() {
         let data = generate(0.002);
         let streams = RefreshStreams::build(&data, 1.0);
 
-        let db = load_database(&data, opts());
-        apply_rf1_pdt(&db, &streams, 64).unwrap();
-        apply_rf2_pdt(&db, &streams, 64).unwrap();
-        apply_rf1_vdt(&db, &streams);
-        apply_rf2_vdt(&db, &streams);
+        let pdt_db = load_database(&data, opts(UpdatePolicy::Pdt));
+        let vdt_db = load_database(&data, opts(UpdatePolicy::Vdt));
 
+        apply_rf1(&pdt_db, &streams, 64).unwrap();
+        apply_rf1(&vdt_db, &streams, 64).unwrap();
         for table in ["orders", "lineitem"] {
-            let view = db.read_view(ScanMode::Pdt);
-            let ncols = view.table(table).stable.schema().len();
-            let mut scan = view.scan(table, (0..ncols).collect());
-            let pdt_rows = run_to_rows(&mut scan);
-            let view = db.read_view(ScanMode::Vdt);
-            let mut scan = view.scan(table, (0..ncols).collect());
-            let vdt_rows = run_to_rows(&mut scan);
-            assert_eq!(pdt_rows.len(), vdt_rows.len(), "{table} row count");
-            assert_eq!(pdt_rows, vdt_rows, "{table} contents");
+            assert_eq!(
+                image(&pdt_db, table),
+                image(&vdt_db, table),
+                "{table} diverged after RF1"
+            );
+        }
+
+        apply_rf2(&pdt_db, &streams, 64).unwrap();
+        apply_rf2(&vdt_db, &streams, 64).unwrap();
+        for table in ["orders", "lineitem"] {
+            let p = image(&pdt_db, table);
+            let v = image(&vdt_db, table);
+            assert_eq!(p.len(), v.len(), "{table} row count after RF2");
+            assert_eq!(p, v, "{table} contents after RF2");
         }
     }
 
@@ -221,11 +191,11 @@ mod tests {
     fn updated_fraction_matches_spec() {
         let data = generate(0.002);
         let streams = RefreshStreams::build(&data, 1.0);
-        let db = load_database(&data, opts());
-        let before = db.row_count("lineitem", ScanMode::Pdt);
-        apply_rf1_pdt(&db, &streams, 128).unwrap();
-        apply_rf2_pdt(&db, &streams, 128).unwrap();
-        let after = db.row_count("lineitem", ScanMode::Pdt);
+        let db = load_database(&data, opts(UpdatePolicy::Pdt));
+        let before = db.row_count("lineitem").unwrap();
+        apply_rf1(&db, &streams, 128).unwrap();
+        apply_rf2(&db, &streams, 128).unwrap();
+        let after = db.row_count("lineitem").unwrap();
         // inserts ≈ deletes ≈ 0.1 %, so the count moves by < 1 %
         let drift = (after as f64 - before as f64).abs() / before as f64;
         assert!(drift < 0.01, "drift {drift}");

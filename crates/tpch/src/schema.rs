@@ -18,11 +18,7 @@ pub fn table_meta(name: &str) -> TableMeta {
     match name {
         "region" => TableMeta::new(
             "region",
-            Schema::from_pairs(&[
-                ("r_regionkey", Int),
-                ("r_name", Str),
-                ("r_comment", Str),
-            ]),
+            Schema::from_pairs(&[("r_regionkey", Int), ("r_name", Str), ("r_comment", Str)]),
             vec![0],
         ),
         "nation" => TableMeta::new(

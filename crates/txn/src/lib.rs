@@ -24,11 +24,11 @@
 
 pub mod wal;
 
-use parking_lot::Mutex;
+use columnar::Schema;
+use parking_lot::{Mutex, MutexGuard};
 use pdt::propagate::propagate;
 use pdt::serialize::{serialize, SerializeError};
 use pdt::Pdt;
-use columnar::Schema;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::path::Path;
@@ -111,10 +111,7 @@ impl Transaction {
                 .snaps
                 .get(table)
                 .unwrap_or_else(|| panic!("table {table} not registered at begin"));
-            let p = Pdt::new(
-                snap.read.schema().clone(),
-                snap.read.sk_cols().to_vec(),
-            );
+            let p = Pdt::new(snap.read.schema().clone(), snap.read.sk_cols().to_vec());
             self.trans.insert(table.to_string(), p);
         }
         self.trans.get_mut(table).unwrap()
@@ -171,6 +168,10 @@ struct Inner {
 pub struct TxnManager {
     inner: Mutex<Inner>,
     wal: Option<Mutex<wal::Wal>>,
+    /// Serializes whole commit protocols (and engine-level maintenance)
+    /// across possibly many lock acquisitions on `inner` — see
+    /// [`TxnManager::commit_guard`].
+    commit_mx: Mutex<()>,
 }
 
 impl Default for TxnManager {
@@ -191,7 +192,17 @@ impl TxnManager {
                 seq: 0,
             }),
             wal: None,
+            commit_mx: Mutex::new(()),
         }
+    }
+
+    /// Take the global commit lock. Every multi-step protocol that must
+    /// observe or mutate a consistent cross-table state — a commit's
+    /// prepare/publish sequence, snapshot capture for a read view,
+    /// checkpointing, recovery — runs under this guard; single calls on the
+    /// manager stay internally consistent through the `inner` mutex alone.
+    pub fn commit_guard(&self) -> MutexGuard<'_, ()> {
+        self.commit_mx.lock()
     }
 
     /// Manager with a write-ahead log at `path` (appended on each commit).
@@ -228,8 +239,18 @@ impl TxnManager {
         inner.next_txn += 1;
         let start_seq = inner.seq;
         inner.running.insert(id, start_seq);
-        let mut snaps = HashMap::new();
+        let snaps = Self::snapshot_all_locked(&mut inner);
+        Transaction {
+            id,
+            start_seq,
+            snaps,
+            trans: HashMap::new(),
+        }
+    }
+
+    fn snapshot_all_locked(inner: &mut Inner) -> HashMap<String, TableSnapshot> {
         let seq = inner.seq;
+        let mut snaps = HashMap::new();
         for (name, st) in inner.tables.iter_mut() {
             if st.snapshot_seq != seq {
                 st.write_snapshot = Arc::new(st.master_write.clone());
@@ -243,11 +264,146 @@ impl TxnManager {
                 },
             );
         }
-        Transaction {
-            id,
-            start_seq,
-            snaps,
-            trans: HashMap::new(),
+        snaps
+    }
+
+    /// Snapshot one table's PDT layers (sharing the cached Write-PDT copy)
+    /// *without* registering a throwaway transaction — read views are not
+    /// tracked in the running set and retain no TZ deltas. Callers needing
+    /// a consistent cut across several tables (or across delta structures)
+    /// hold [`TxnManager::commit_guard`] around the calls.
+    pub fn snapshot_table(&self, table: &str) -> Option<TableSnapshot> {
+        let mut inner = self.inner.lock();
+        let seq = inner.seq;
+        let st = inner.tables.get_mut(table)?;
+        if st.snapshot_seq != seq {
+            st.write_snapshot = Arc::new(st.master_write.clone());
+            st.snapshot_seq = seq;
+        }
+        Some(TableSnapshot {
+            read: st.read.clone(),
+            write: st.write_snapshot.clone(),
+        })
+    }
+
+    // --- Piecewise commit protocol -------------------------------------
+    //
+    // The engine's unified `DeltaStore` commit path drives the same
+    // Serialize + Propagate commit as `commit(Transaction)`, but one step
+    // at a time so that PDT-backed tables can share a single atomic commit
+    // with tables maintained by other delta structures. Callers MUST hold
+    // [`TxnManager::commit_guard`] across the whole
+    // register → serialize → alloc_seq → log → publish → finish sequence.
+
+    /// Register a running transaction; returns `(txn id, start sequence)`.
+    pub fn start_txn(&self) -> (u64, u64) {
+        let mut inner = self.inner.lock();
+        let id = inner.next_txn;
+        inner.next_txn += 1;
+        let start_seq = inner.seq;
+        inner.running.insert(id, start_seq);
+        (id, start_seq)
+    }
+
+    /// Deregister a running transaction (commit or abort) and prune the
+    /// retained deltas it may have been holding alive.
+    pub fn end_txn(&self, id: u64) {
+        let mut inner = self.inner.lock();
+        inner.running.remove(&id);
+        Self::prune_tz(&mut inner);
+    }
+
+    /// Serialize a Trans-PDT against every committed delta of `table` that
+    /// overlaps a transaction started at `start_seq` (Algorithm 8 applied
+    /// over the TZ set) — the write-write conflict check.
+    pub fn serialize_txn(&self, table: &str, trans: Pdt, start_seq: u64) -> Result<Pdt, TxnError> {
+        let inner = self.inner.lock();
+        if !inner.tables.contains_key(table) {
+            return Err(TxnError::UnknownTable(table.to_string()));
+        }
+        Self::serialize_against_tz(&inner, table, trans, start_seq)
+    }
+
+    fn serialize_against_tz(
+        inner: &Inner,
+        table: &str,
+        trans: Pdt,
+        start_seq: u64,
+    ) -> Result<Pdt, TxnError> {
+        let mut cur = trans;
+        for (t, delta) in inner.tz.iter() {
+            if t == table && delta.seq > start_seq {
+                cur = serialize(cur, &delta.pdt).map_err(|source| TxnError::Conflict {
+                    table: table.to_string(),
+                    source,
+                })?;
+            }
+        }
+        Ok(cur)
+    }
+
+    /// Allocate the next commit sequence number.
+    pub fn alloc_seq(&self) -> u64 {
+        let mut inner = self.inner.lock();
+        inner.seq += 1;
+        inner.seq
+    }
+
+    /// Publish a serialized delta at commit `seq`: propagate it into the
+    /// table's master Write-PDT and retain it in the TZ set for conflict
+    /// checks against still-running overlapping transactions.
+    pub fn publish_pdt(&self, table: &str, delta: Arc<Pdt>, seq: u64) {
+        let mut inner = self.inner.lock();
+        let st = inner
+            .tables
+            .get_mut(table)
+            .unwrap_or_else(|| panic!("publish into unregistered table {table}"));
+        propagate(&mut st.master_write, &delta);
+        inner
+            .tz
+            .push_back((table.to_string(), CommittedDelta { seq, pdt: delta }));
+    }
+
+    /// Append one commit record to the WAL (no-op without a WAL or for an
+    /// empty delta set).
+    pub fn log_commit(
+        &self,
+        seq: u64,
+        tables: &[(String, Vec<wal::WalEntry>)],
+    ) -> Result<(), TxnError> {
+        if let Some(w) = &self.wal {
+            if !tables.is_empty() {
+                let refs: Vec<(&str, &[wal::WalEntry])> = tables
+                    .iter()
+                    .map(|(t, e)| (t.as_str(), e.as_slice()))
+                    .collect();
+                w.lock().append_commit(seq, &refs).map_err(TxnError::Wal)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Recovery: rebuild one logged delta and propagate it into the
+    /// table's master Write-PDT.
+    pub fn replay_pdt_entries(&self, table: &str, entries: &[wal::WalEntry]) {
+        let mut inner = self.inner.lock();
+        let st = inner
+            .tables
+            .get_mut(table)
+            .unwrap_or_else(|| panic!("WAL references unknown table {table}"));
+        let delta = wal::rebuild_pdt(&st.schema, &st.sk_cols, entries);
+        propagate(&mut st.master_write, &delta);
+    }
+
+    /// Recovery epilogue: restore the commit sequence and refresh the
+    /// cached write snapshots.
+    pub fn finish_recovery(&self, seq: u64) {
+        let mut inner = self.inner.lock();
+        inner.seq = inner.seq.max(seq);
+        let last = inner.seq;
+        for st in inner.tables.values_mut() {
+            st.write_snapshot = Arc::new(st.master_write.clone());
+            st.snapshot_seq = last;
         }
     }
 
@@ -256,6 +412,7 @@ impl TxnManager {
     /// Write-PDTs. On conflict the transaction is aborted and the error
     /// returned. Returns the commit sequence number.
     pub fn commit(&self, txn: Transaction) -> Result<u64, TxnError> {
+        let _commit = self.commit_guard();
         let mut inner = self.inner.lock();
         inner.running.remove(&txn.id);
         let result = Self::commit_locked(&mut inner, &txn);
@@ -263,13 +420,15 @@ impl TxnManager {
             Ok((seq, logged)) => {
                 if let Some(w) = &self.wal {
                     if !logged.is_empty() {
-                        let deltas: Vec<(&str, &Pdt)> = logged
+                        let entries: Vec<(String, Vec<wal::WalEntry>)> = logged
                             .iter()
-                            .map(|(t, d)| (t.as_str(), &**d))
+                            .map(|(t, d)| (t.clone(), wal::pdt_entries(d)))
                             .collect();
-                        w.lock()
-                            .append_commit(seq, &deltas)
-                            .map_err(TxnError::Wal)?;
+                        let refs: Vec<(&str, &[wal::WalEntry])> = entries
+                            .iter()
+                            .map(|(t, e)| (t.as_str(), e.as_slice()))
+                            .collect();
+                        w.lock().append_commit(seq, &refs).map_err(TxnError::Wal)?;
                     }
                 }
                 Self::prune_tz(&mut inner);
@@ -298,15 +457,7 @@ impl TxnManager {
             if !inner.tables.contains_key(table) {
                 return Err(TxnError::UnknownTable(table.clone()));
             }
-            let mut cur = tpdt.clone();
-            for (t, delta) in inner.tz.iter() {
-                if t == table && delta.seq > txn.start_seq {
-                    cur = serialize(cur, &delta.pdt).map_err(|source| TxnError::Conflict {
-                        table: table.clone(),
-                        source,
-                    })?;
-                }
-            }
+            let cur = Self::serialize_against_tz(inner, table, tpdt.clone(), txn.start_seq)?;
             serialized.push((table.clone(), cur));
         }
         // Phase 2: apply.
@@ -333,12 +484,7 @@ impl TxnManager {
     fn prune_tz(inner: &mut Inner) {
         // a delta is needed while some running transaction started before
         // it committed (the paper's reference counts)
-        let watermark = inner
-            .running
-            .values()
-            .min()
-            .copied()
-            .unwrap_or(inner.seq);
+        let watermark = inner.running.values().min().copied().unwrap_or(inner.seq);
         inner.tz.retain(|(_, d)| d.seq > watermark);
     }
 
@@ -440,7 +586,9 @@ mod tests {
     }
 
     fn base(n: i64) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int(i * 10), Value::Int(i)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect()
     }
 
     fn mgr() -> TxnManager {
@@ -558,19 +706,13 @@ mod tests {
         let a = m.begin();
         let b = m.begin();
         // no commit in between: both share the same write snapshot Arc
-        assert!(Arc::ptr_eq(
-            &a.snapshot("t").write,
-            &b.snapshot("t").write
-        ));
+        assert!(Arc::ptr_eq(&a.snapshot("t").write, &b.snapshot("t").write));
         m.abort(a);
         let mut c = m.begin();
         c.trans_pdt_mut("t").add_delete(0, &[Value::Int(0)]);
         m.commit(c).unwrap();
         let d = m.begin();
-        assert!(!Arc::ptr_eq(
-            &b.snapshot("t").write,
-            &d.snapshot("t").write
-        ));
+        assert!(!Arc::ptr_eq(&b.snapshot("t").write, &d.snapshot("t").write));
     }
 
     #[test]
@@ -642,8 +784,11 @@ mod tests {
                     // distinct row → occasional conflicts on same rows
                     let rid = (t * 7 + i * 13) % 100;
                     // rid may drift as rows are deleted; use modify only
-                    txn.trans_pdt_mut("t")
-                        .add_modify(rid % 90, 1, &Value::Int((t * 1000 + i) as i64));
+                    txn.trans_pdt_mut("t").add_modify(
+                        rid % 90,
+                        1,
+                        &Value::Int((t * 1000 + i) as i64),
+                    );
                     if m.commit(txn).is_ok() {
                         ok += 1;
                     }

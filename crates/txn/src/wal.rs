@@ -56,31 +56,28 @@ impl Wal {
         })
     }
 
-    /// Append one commit: the serialized deltas per table.
-    pub fn append_commit(&mut self, seq: u64, deltas: &[(&str, &Pdt)]) -> std::io::Result<()> {
+    /// Append one commit: the logical delta entries per touched table.
+    /// Entries are backend-agnostic — PDT commits log their *serialized*
+    /// (conflict-free, consecutive) deltas via [`pdt_entries`]; value-based
+    /// stores log key-addressed entries with `sid = 0`.
+    pub fn append_commit(
+        &mut self,
+        seq: u64,
+        deltas: &[(&str, &[WalEntry])],
+    ) -> std::io::Result<()> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.extend_from_slice(&seq.to_le_bytes());
         buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
-        for (name, pdt) in deltas {
+        for (name, entries) in deltas {
             buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
             buf.extend_from_slice(name.as_bytes());
-            let entries: Vec<_> = pdt.iter().collect();
             buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-            for e in entries {
+            for e in *entries {
                 buf.extend_from_slice(&e.sid.to_le_bytes());
-                buf.extend_from_slice(&e.upd.kind.to_le_bytes());
-                let values: Vec<Value> = if e.upd.is_ins() {
-                    pdt.vals().get_insert(e.upd.val)
-                } else if e.upd.is_del() {
-                    pdt.vals().get_delete(e.upd.val)
-                } else {
-                    vec![pdt
-                        .vals()
-                        .get_modify(e.upd.col_no() as usize, e.upd.val)]
-                };
-                buf.extend_from_slice(&(values.len() as u16).to_le_bytes());
-                for v in &values {
+                buf.extend_from_slice(&e.kind.to_le_bytes());
+                buf.extend_from_slice(&(e.values.len() as u16).to_le_bytes());
+                for v in &e.values {
                     encode_value(&mut buf, v);
                 }
             }
@@ -137,6 +134,26 @@ impl Wal {
         }
         Ok(records)
     }
+}
+
+/// Flatten a (serialized, consecutive) PDT into loggable entries.
+pub fn pdt_entries(pdt: &Pdt) -> Vec<WalEntry> {
+    pdt.iter()
+        .map(|e| {
+            let values: Vec<Value> = if e.upd.is_ins() {
+                pdt.vals().get_insert(e.upd.val)
+            } else if e.upd.is_del() {
+                pdt.vals().get_delete(e.upd.val)
+            } else {
+                vec![pdt.vals().get_modify(e.upd.col_no() as usize, e.upd.val)]
+            };
+            WalEntry {
+                sid: e.sid,
+                kind: e.upd.kind,
+                values,
+            }
+        })
+        .collect()
 }
 
 /// Rebuild a (consecutive) delta PDT from logged entries for propagation.
@@ -215,7 +232,10 @@ fn decode_value(bytes: &[u8], pos: &mut usize) -> std::io::Result<Value> {
 }
 
 fn corrupt(msg: &str) -> std::io::Error {
-    std::io::Error::new(std::io::ErrorKind::InvalidData, format!("WAL corrupt: {msg}"))
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("WAL corrupt: {msg}"),
+    )
 }
 
 fn read_array<const N: usize>(bytes: &[u8], pos: &mut usize) -> std::io::Result<[u8; N]> {

@@ -40,7 +40,8 @@ fn recovery_reproduces_committed_state() {
         let mut a = m.begin();
         a.trans_pdt_mut("t")
             .add_insert(3, 3, &[Value::Int(25), Value::Str("ins".into())]);
-        a.trans_pdt_mut("t").add_modify(5, 1, &Value::Str("mod".into()));
+        a.trans_pdt_mut("t")
+            .add_modify(5, 1, &Value::Str("mod".into()));
         m.commit(a).unwrap();
 
         let mut b = m.begin();

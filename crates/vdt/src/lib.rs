@@ -18,8 +18,10 @@
 //! regenerate it.
 
 pub mod merge;
+pub mod op;
 
 pub use merge::VdtMerger;
+pub use op::VdtOp;
 
 use columnar::{Schema, SkKey, Tuple, Value};
 use std::collections::{BTreeMap, BTreeSet};
@@ -133,6 +135,11 @@ impl Vdt {
         self.ins.get(sk)
     }
 
+    /// Is this sort key marked in the delete table?
+    pub fn pending_delete(&self, sk: &[Value]) -> bool {
+        self.del.contains(sk)
+    }
+
     /// Approximate heap footprint (RAM budget accounting, as for the PDT).
     pub fn heap_bytes(&self) -> usize {
         let val_bytes = |v: &Value| match v {
@@ -156,9 +163,8 @@ impl Vdt {
     /// Row-level reference merge (the specification the block-oriented
     /// [`VdtMerger`] is tested against).
     pub fn merge_rows(&self, stable_rows: &[Tuple]) -> Vec<Tuple> {
-        let mut out = Vec::with_capacity(
-            (stable_rows.len() as i64 + self.delta_total()).max(0) as usize,
-        );
+        let mut out =
+            Vec::with_capacity((stable_rows.len() as i64 + self.delta_total()).max(0) as usize);
         let mut ins = self.ins.iter().peekable();
         for row in stable_rows {
             let sk = self.sk_of(row);
@@ -189,7 +195,9 @@ mod tests {
     }
 
     fn rows(n: i64) -> Vec<Tuple> {
-        (0..n).map(|i| vec![Value::Int(i * 10), Value::Int(i)]).collect()
+        (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect()
     }
 
     fn vdt() -> Vdt {
@@ -209,10 +217,7 @@ mod tests {
     fn delete_stable_and_pending() {
         let mut v = vdt();
         v.insert(vec![Value::Int(15), Value::Int(99)]);
-        assert_eq!(
-            v.delete(&[Value::Int(15)]),
-            VdtDeleteOutcome::RemovedInsert
-        );
+        assert_eq!(v.delete(&[Value::Int(15)]), VdtDeleteOutcome::RemovedInsert);
         assert_eq!(v.delete(&[Value::Int(10)]), VdtDeleteOutcome::AddedDelete);
         let got = v.merge_rows(&rows(3));
         let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();

@@ -127,7 +127,12 @@ impl<'a> VdtMerger<'a> {
 
     /// Emit all pending inserts beyond the last stable tuple (end of a full
     /// scan), or beyond the scanned range's upper key for ranged scans.
-    pub fn drain_inserts(&mut self, upper: Option<&[Value]>, proj: &[usize], out: &mut [ColumnVec]) {
+    pub fn drain_inserts(
+        &mut self,
+        upper: Option<&[Value]>,
+        proj: &[usize],
+        out: &mut [ColumnVec],
+    ) {
         while self.ins_pos < self.ins.len() {
             let (k, t) = self.ins[self.ins_pos];
             if let Some(up) = upper {

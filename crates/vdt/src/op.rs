@@ -1,0 +1,284 @@
+//! The logical update operations a transaction stages against a VDT.
+//!
+//! The PDT transaction layer keeps a private Trans-PDT per transaction; the
+//! value-based analogue is this ops log. It serves two purposes in the
+//! engine's unified `DeltaStore` path:
+//!
+//! * **replay** — when another transaction committed (or a checkpoint ran)
+//!   between this transaction's begin and commit, its staged ops are
+//!   re-applied onto the *current* committed VDT with key-addressed
+//!   write-write conflict detection mirroring the PDT's Serialize rules;
+//! * **durability** — each op flattens to key-addressed WAL entries
+//!   (`Modify` as delete + insert, exactly the value-based representation),
+//!   so VDT commits pay the same sequential-logging cost PDT commits do.
+
+use crate::Vdt;
+use columnar::{SkKey, Tuple, Value};
+use std::collections::HashSet;
+
+/// One staged value-addressed update.
+#[derive(Debug, Clone, PartialEq)]
+pub enum VdtOp {
+    /// A brand-new tuple (its sort key was not visible at staging time).
+    Insert(Tuple),
+    /// Deletion of a visible tuple: full pre-image (the sort key addresses
+    /// it; the rest detects concurrent modification on replay).
+    Delete { pre: Tuple },
+    /// In-place modification: full pre-image, column, new value.
+    Modify {
+        pre: Tuple,
+        col: usize,
+        value: Value,
+    },
+}
+
+impl VdtOp {
+    fn sk_of(vdt: &Vdt, tuple: &[Value]) -> SkKey {
+        vdt.sk_cols().iter().map(|&c| tuple[c].clone()).collect()
+    }
+
+    /// Re-apply this op onto `vdt`, detecting write-write conflicts against
+    /// updates committed after this transaction began. The rules mirror the
+    /// PDT's Serialize (Algorithm 8):
+    ///
+    /// * insert vs concurrent insert of the same key → conflict,
+    /// * delete vs concurrent delete or modify of the same tuple → conflict,
+    /// * modify vs concurrent delete, or concurrent modify of the *same
+    ///   column* → conflict; disjoint-column modifies reconcile (the
+    ///   paper's `CheckModConflict`).
+    ///
+    /// Concurrency is recognised value-wise: a pending insert that differs
+    /// from this op's pre-image at some column must have been produced by a
+    /// transaction that committed after ours began (our pre-image *is* the
+    /// begin-time visible tuple). `own` tracks keys already touched by this
+    /// transaction's earlier replayed ops, which must not be mistaken for
+    /// concurrent writes.
+    pub fn replay(&self, vdt: &mut Vdt, own: &mut HashSet<SkKey>) -> Result<(), String> {
+        match self {
+            VdtOp::Insert(t) => {
+                let sk = Self::sk_of(vdt, t);
+                if !own.contains(&sk) && vdt.pending_insert(&sk).is_some() {
+                    return Err(format!("concurrent insert of sort key {sk:?}"));
+                }
+                own.insert(sk);
+                vdt.insert(t.clone());
+                Ok(())
+            }
+            VdtOp::Delete { pre } => {
+                let sk = Self::sk_of(vdt, pre);
+                if !own.contains(&sk) {
+                    match vdt.pending_insert(&sk) {
+                        // a pending tuple differing from our pre-image was
+                        // committed after we began: delete-vs-modify
+                        Some(p) if p != pre => {
+                            return Err(format!(
+                                "delete of sort key {sk:?} concurrently modified by \
+                                 another transaction"
+                            ));
+                        }
+                        Some(_) => {}
+                        // no pending tuple but a delete marker: the tuple we
+                        // saw was concurrently deleted (delete-vs-delete)
+                        None if vdt.pending_delete(&sk) => {
+                            return Err(format!("sort key {sk:?} deleted by both transactions"));
+                        }
+                        None => {}
+                    }
+                }
+                own.insert(sk.clone());
+                vdt.delete(&sk);
+                Ok(())
+            }
+            VdtOp::Modify { pre, col, value } => {
+                let sk = Self::sk_of(vdt, pre);
+                if !own.contains(&sk) {
+                    match vdt.pending_insert(&sk) {
+                        // same column changed by a concurrent commit
+                        Some(p) if p[*col] != pre[*col] => {
+                            return Err(format!(
+                                "column {col} of sort key {sk:?} modified by both \
+                                 transactions"
+                            ));
+                        }
+                        // disjoint columns reconcile: Vdt::modify folds our
+                        // column into the pending tuple, keeping theirs
+                        Some(_) => {}
+                        None if vdt.pending_delete(&sk) => {
+                            return Err(format!(
+                                "modify of sort key {sk:?} concurrently deleted by \
+                                 another transaction"
+                            ));
+                        }
+                        None => {}
+                    }
+                }
+                own.insert(sk);
+                vdt.modify(pre, *col, value.clone());
+                Ok(())
+            }
+        }
+    }
+
+    /// Flatten to `(kind, values)` WAL payloads: `Insert` → one insert
+    /// entry (full tuple), `Delete` → one delete entry (sort-key values),
+    /// `Modify` → delete(old key) + insert(new tuple). `kind` uses the
+    /// PDT's INS/DEL encoding so both backends share one log format.
+    pub fn wal_payloads(
+        &self,
+        sk_cols: &[usize],
+        ins_kind: u16,
+        del_kind: u16,
+    ) -> Vec<(u16, Vec<Value>)> {
+        let sk = |t: &[Value]| -> Vec<Value> { sk_cols.iter().map(|&c| t[c].clone()).collect() };
+        match self {
+            VdtOp::Insert(t) => vec![(ins_kind, t.clone())],
+            VdtOp::Delete { pre } => vec![(del_kind, sk(pre))],
+            VdtOp::Modify { pre, col, value } => {
+                let mut post = pre.clone();
+                post[*col] = value.clone();
+                vec![(del_kind, sk(pre)), (ins_kind, post)]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::{Schema, ValueType};
+
+    fn vdt() -> Vdt {
+        Vdt::new(
+            Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]),
+            vec![0],
+        )
+    }
+
+    fn replay_all(ops: &[VdtOp], vdt: &mut Vdt) -> Result<(), String> {
+        let mut own = HashSet::new();
+        for op in ops {
+            op.replay(vdt, &mut own)?;
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn replay_matches_direct_application() {
+        let mut direct = vdt();
+        direct.insert(vec![Value::Int(5), Value::Int(50)]);
+        direct.delete(&[Value::Int(10)]);
+        direct.modify(&[Value::Int(20), Value::Int(2)], 1, Value::Int(99));
+
+        let ops = [
+            VdtOp::Insert(vec![Value::Int(5), Value::Int(50)]),
+            VdtOp::Delete {
+                pre: vec![Value::Int(10), Value::Int(1)],
+            },
+            VdtOp::Modify {
+                pre: vec![Value::Int(20), Value::Int(2)],
+                col: 1,
+                value: Value::Int(99),
+            },
+        ];
+        let mut replayed = vdt();
+        replay_all(&ops, &mut replayed).unwrap();
+        let rows: Vec<Tuple> = (0..3)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect();
+        assert_eq!(replayed.merge_rows(&rows), direct.merge_rows(&rows));
+    }
+
+    #[test]
+    fn insert_conflicts_with_pending_insert() {
+        let mut v = vdt();
+        v.insert(vec![Value::Int(5), Value::Int(1)]);
+        let op = VdtOp::Insert(vec![Value::Int(5), Value::Int(2)]);
+        assert!(replay_all(&[op], &mut v).is_err());
+    }
+
+    #[test]
+    fn same_column_modify_conflicts_disjoint_reconciles() {
+        let base = vec![Value::Int(10), Value::Int(1)];
+        // "they" committed a modify of column 1 after we began
+        let mut v = vdt();
+        v.modify(&base, 1, Value::Int(50));
+        let ours = VdtOp::Modify {
+            pre: base.clone(),
+            col: 1,
+            value: Value::Int(60),
+        };
+        assert!(replay_all(&[ours], &mut v.clone()).is_err(), "same column");
+
+        // a 3-column table: they changed col 2, we change col 1 → both land
+        let schema = Schema::from_pairs(&[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]);
+        let mut v = Vdt::new(schema, vec![0]);
+        let base = vec![Value::Int(10), Value::Int(1), Value::Int(2)];
+        v.modify(&base, 2, Value::Int(22));
+        let ours = VdtOp::Modify {
+            pre: base,
+            col: 1,
+            value: Value::Int(11),
+        };
+        replay_all(&[ours], &mut v).unwrap();
+        let merged = v.merge_rows(&[vec![Value::Int(10), Value::Int(1), Value::Int(2)]]);
+        assert_eq!(
+            merged[0],
+            vec![Value::Int(10), Value::Int(11), Value::Int(22)]
+        );
+    }
+
+    #[test]
+    fn delete_conflicts_with_concurrent_modify_and_delete() {
+        let base = vec![Value::Int(10), Value::Int(1)];
+        // concurrent modify → delete conflicts
+        let mut v = vdt();
+        v.modify(&base, 1, Value::Int(50));
+        let del = VdtOp::Delete { pre: base.clone() };
+        assert!(replay_all(std::slice::from_ref(&del), &mut v).is_err());
+        // concurrent delete → delete conflicts
+        let mut v = vdt();
+        v.delete(&[Value::Int(10)]);
+        assert!(replay_all(&[del], &mut v).is_err());
+    }
+
+    #[test]
+    fn own_ops_do_not_self_conflict() {
+        // modify then delete the same tuple within one transaction
+        let base = vec![Value::Int(10), Value::Int(1)];
+        let mut modified = base.clone();
+        modified[1] = Value::Int(7);
+        let ops = [
+            VdtOp::Modify {
+                pre: base,
+                col: 1,
+                value: Value::Int(7),
+            },
+            VdtOp::Delete { pre: modified },
+        ];
+        let mut v = vdt();
+        replay_all(&ops, &mut v).unwrap();
+        let rows = vec![vec![Value::Int(10), Value::Int(1)]];
+        assert!(v.merge_rows(&rows).is_empty());
+    }
+
+    #[test]
+    fn modify_flattens_to_delete_plus_insert() {
+        let op = VdtOp::Modify {
+            pre: vec![Value::Int(10), Value::Int(1)],
+            col: 1,
+            value: Value::Int(7),
+        };
+        let payloads = op.wal_payloads(&[0], 100, 200);
+        assert_eq!(
+            payloads,
+            vec![
+                (200, vec![Value::Int(10)]),
+                (100, vec![Value::Int(10), Value::Int(7)]),
+            ]
+        );
+    }
+}

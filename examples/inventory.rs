@@ -9,14 +9,16 @@
 //! cargo run --example inventory
 //! ```
 
-use columnar::{Schema, TableMeta, TableOptions, Value, ValueType};
-use engine::{Database, ScanMode};
+use columnar::{Schema, TableMeta, Value, ValueType};
+use engine::{Database, TableOptions};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
 
 fn print_table(db: &Database, caption: &str) {
-    let view = db.read_view(ScanMode::Pdt);
-    let mut scan = view.scan_cols("inventory", &["store", "prod", "new", "qty"]);
+    let view = db.read_view();
+    let mut scan = view
+        .scan_cols("inventory", &["store", "prod", "new", "qty"])
+        .expect("scan inventory");
     println!("\n{caption}");
     println!("{:<8} {:<8} {:<4} {:>4}", "store", "prod", "new", "qty");
     for row in run_to_rows(&mut scan) {
@@ -57,10 +59,8 @@ fn main() {
     .collect();
     db.create_table(
         TableMeta::new("inventory", schema, vec![0, 1]),
-        TableOptions {
-            block_rows: 2, // tiny blocks so the sparse index is non-trivial
-            compressed: true,
-        },
+        // tiny blocks so the sparse index is non-trivial
+        TableOptions::default().with_block_rows(2),
         table0,
     )
     .unwrap();
@@ -123,22 +123,29 @@ fn main() {
 
     // §2.1's query: the stale sparse index must still find (Paris,rack),
     // which only exists as a PDT insert positioned relative to the ghost.
-    let view = db.read_view(ScanMode::Pdt);
-    let mut scan = view.scan_ranged(
-        "inventory",
-        vec![0, 1, 3],
-        exec::ScanBounds {
-            lo: Some(vec!["Paris".into()]),
-            hi: Some(vec!["Paris".into(), "rug".into()]),
-        },
-    );
+    let view = db.read_view();
+    let mut scan = view
+        .scan_ranged(
+            "inventory",
+            vec![0, 1, 3],
+            exec::ScanBounds {
+                lo: Some(vec!["Paris".into()]),
+                hi: Some(vec!["Paris".into(), "rug".into()]),
+            },
+        )
+        .expect("ranged scan");
     let hits: Vec<_> = run_to_rows(&mut scan)
         .into_iter()
         .filter(|r| r[0].as_str() == "Paris" && r[1].as_str() < "rug")
         .collect();
     println!("\nSELECT qty WHERE store='Paris' AND prod<'rug'  (via stale sparse index)");
     for r in &hits {
-        println!("  -> {} {} qty={}", r[0].as_str(), r[1].as_str(), r[2].as_int());
+        println!(
+            "  -> {} {} qty={}",
+            r[0].as_str(),
+            r[1].as_str(),
+            r[2].as_int()
+        );
     }
     assert_eq!(hits.len(), 1, "the ghost-respecting insert must be found");
 }

@@ -1,18 +1,22 @@
 //! Quickstart: create an ordered columnar table, update it through
-//! PDT-backed transactions, and query it — in under a minute of reading.
+//! snapshot-isolated transactions, and query it — in under a minute of
+//! reading.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use columnar::{Schema, TableMeta, TableOptions, Value, ValueType};
-use engine::{Database, ScanMode};
+use columnar::{Schema, TableMeta, Value, ValueType};
+use engine::{Database, TableOptions};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
 
 fn main() {
     // 1. A database with one ordered table: events(id, kind, score),
-    //    physically sorted on `id`.
+    //    physically sorted on `id`. The default TableOptions maintain the
+    //    table with a Positional Delta Tree; pass
+    //    `.with_policy(UpdatePolicy::Vdt)` to compare the value-based
+    //    baseline — everything below stays identical.
     let db = Database::new();
     let schema = Schema::from_pairs(&[
         ("id", ValueType::Int),
@@ -35,26 +39,28 @@ fn main() {
     )
     .expect("bulk load");
 
-    // 2. Updates run in snapshot-isolated transactions; they buffer in a
-    //    Positional Delta Tree instead of touching the stable image.
+    // 2. Updates run in snapshot-isolated transactions; they buffer in the
+    //    table's delta structure instead of touching the stable image.
     let mut txn = db.begin();
-    txn.insert("events", vec![Value::Int(7), "gamma".into(), Value::Double(99.9)])
-        .expect("insert");
-    txn.update_where(
+    txn.insert(
         "events",
-        col(0).eq(lit(10i64)),
-        vec![(2, lit(1000.0))],
+        vec![Value::Int(7), "gamma".into(), Value::Double(99.9)],
     )
-    .expect("update");
-    txn.delete_where("events", col(1).eq(lit("alpha")).and(col(0).lt(lit(100i64))))
-        .expect("delete");
+    .expect("insert");
+    txn.update_where("events", col(0).eq(lit(10i64)), vec![(2, lit(1000.0))])
+        .expect("update");
+    txn.delete_where(
+        "events",
+        col(1).eq(lit("alpha")).and(col(0).lt(lit(100i64))),
+    )
+    .expect("delete");
     txn.commit().expect("commit");
 
     // 3. Queries merge the deltas positionally during the scan — without
     //    reading the sort-key column unless the query asks for it.
-    let view = db.read_view(ScanMode::Pdt);
+    let view = db.read_view();
     let io_before = view.io.stats();
-    let mut scan = view.scan_cols("events", &["kind", "score"]);
+    let mut scan = view.scan_cols("events", &["kind", "score"]).expect("scan");
     let result = run_to_rows(&mut scan);
     let io = view.io.stats().since(&io_before);
 
@@ -70,8 +76,10 @@ fn main() {
 
     // 4. A checkpoint folds the deltas into a fresh stable image.
     db.checkpoint("events").expect("checkpoint");
-    let clean = db.read_view(ScanMode::Clean);
-    let mut scan = clean.scan_cols("events", &["id", "kind", "score"]);
+    let clean = db.clean_view();
+    let mut scan = clean
+        .scan_cols("events", &["id", "kind", "score"])
+        .expect("scan");
     println!(
         "rows after checkpoint (clean scan): {}",
         run_to_rows(&mut scan).len()

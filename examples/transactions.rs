@@ -6,14 +6,16 @@
 //! cargo run --example transactions
 //! ```
 
-use columnar::{Schema, TableMeta, TableOptions, Value, ValueType};
-use engine::{Database, DbError, ScanMode};
+use columnar::{Schema, TableMeta, Value, ValueType};
+use engine::{Database, DbError, TableOptions};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
 
 fn balances(db: &Database) -> Vec<(i64, i64)> {
-    let view = db.read_view(ScanMode::Pdt);
-    let mut scan = view.scan_cols("accounts", &["id", "balance"]);
+    let view = db.read_view();
+    let mut scan = view
+        .scan_cols("accounts", &["id", "balance"])
+        .expect("scan accounts");
     run_to_rows(&mut scan)
         .into_iter()
         .map(|r| (r[0].as_int(), r[1].as_int()))
@@ -23,7 +25,9 @@ fn balances(db: &Database) -> Vec<(i64, i64)> {
 fn main() {
     let db = Database::new();
     let schema = Schema::from_pairs(&[("id", ValueType::Int), ("balance", ValueType::Int)]);
-    let rows = (0..10i64).map(|i| vec![Value::Int(i), Value::Int(100)]).collect();
+    let rows = (0..10i64)
+        .map(|i| vec![Value::Int(i), Value::Int(100)])
+        .collect();
     db.create_table(
         TableMeta::new("accounts", schema, vec![0]),
         TableOptions::default(),
@@ -56,13 +60,13 @@ fn main() {
 
     // --- snapshot isolation: a reader never sees in-flight commits -------
     let reader = db.begin();
-    let before = reader.visible_rows("accounts");
+    let before = reader.visible_rows("accounts").unwrap();
     let mut w = db.begin();
     w.insert("accounts", vec![Value::Int(99), Value::Int(1)])
         .unwrap();
     w.commit().unwrap();
     assert_eq!(
-        reader.visible_rows("accounts"),
+        reader.visible_rows("accounts").unwrap(),
         before,
         "reader's snapshot must be stable"
     );
@@ -104,8 +108,8 @@ fn main() {
     p.commit().unwrap();
     q.commit()
         .expect("disjoint columns of the same tuple reconcile");
-    let view = db2.read_view(ScanMode::Pdt);
-    let mut scan = view.scan_cols("t", &["a", "b"]);
+    let view = db2.read_view();
+    let mut scan = view.scan_cols("t", &["a", "b"]).expect("scan t");
     let row = &run_to_rows(&mut scan)[0];
     println!(
         "\ncolumn-level reconciliation: a={} b={} (both updates survived)",

@@ -2,41 +2,45 @@
 //! analytical query cost across the three update-handling strategies the
 //! paper evaluates (none / value-based / positional).
 //!
+//! One database is maintained by PDTs and one by the value-based VDT; both
+//! receive *exactly* the same refresh streams through the same
+//! transactional API — the update policy is a property of the table, not of
+//! the workload. The "no-updates" column scans the PDT database's stable
+//! images only.
+//!
 //! ```text
 //! cargo run --release --example warehouse
 //! ```
 
-use columnar::TableOptions;
-use engine::ScanMode;
+use engine::{ReadView, TableOptions, UpdatePolicy};
 use exec::measure;
 use tpch::queries::run_query;
-use tpch::{apply_rf1_pdt, apply_rf1_vdt, apply_rf2_pdt, apply_rf2_vdt, RefreshStreams};
+use tpch::{apply_rf1, apply_rf2, RefreshStreams};
 
 fn main() {
     let sf = 0.01;
     println!("generating TPC-H data at SF {sf}...");
     let data = tpch::generate(sf);
-    let db = tpch::load_database(
+    let pdt_db = tpch::load_database(&data, TableOptions::default());
+    let vdt_db = tpch::load_database(
         &data,
-        TableOptions {
-            block_rows: 4096,
-            compressed: true,
-        },
+        TableOptions::default().with_policy(UpdatePolicy::Vdt),
     );
     println!(
-        "loaded: {} orders, {} lineitems",
+        "loaded twice (PDT-maintained and VDT-maintained): {} orders, {} lineitems",
         data.orders.len(),
         data.lineitem.len()
     );
 
-    // trickle in the refresh streams (~0.1% of both big tables)
+    // trickle in the refresh streams (~0.1% of both big tables) — the same
+    // code path for both databases
     let streams = RefreshStreams::build(&data, 1.0);
-    apply_rf1_pdt(&db, &streams, 64).expect("RF1 via PDT transactions");
-    apply_rf2_pdt(&db, &streams, 64).expect("RF2 via PDT transactions");
-    apply_rf1_vdt(&db, &streams);
-    apply_rf2_vdt(&db, &streams);
+    for db in [&pdt_db, &vdt_db] {
+        apply_rf1(db, &streams, 64).expect("RF1");
+        apply_rf2(db, &streams, 64).expect("RF2");
+    }
     println!(
-        "applied RF1 ({} new orders) and RF2 ({} deleted orders) to both delta structures\n",
+        "applied RF1 ({} new orders) and RF2 ({} deleted orders) to both databases\n",
         streams.inserts.len(),
         streams.delete_keys.len()
     );
@@ -46,11 +50,11 @@ fn main() {
         "Q", "clean_ms", "vdt_ms", "pdt_ms", "vdt_MB", "pdt_MB"
     );
     for q in [1usize, 3, 6, 12, 14] {
+        let views: [ReadView; 3] = [pdt_db.clean_view(), vdt_db.read_view(), pdt_db.read_view()];
         let mut cells = Vec::new();
-        for mode in [ScanMode::Clean, ScanMode::Vdt, ScanMode::Pdt] {
-            let view = db.read_view(mode);
+        for view in &views {
             let (_, stats) = measure(&view.io, &view.clock, || {
-                let rows = run_query(q, &view, sf);
+                let rows = run_query(q, view, sf);
                 let n = rows.len();
                 (rows, n)
             });
@@ -71,8 +75,10 @@ fn main() {
     println!("key-column I/O plus per-tuple key comparisons on every scan.");
 
     // keep the write-PDT small, as the architecture prescribes
-    let flushed = db.maybe_flush("lineitem", 64 * 1024);
+    let flushed = pdt_db.maybe_flush("lineitem", 64 * 1024).expect("flush");
     println!("\nwrite-PDT flush to read-PDT (64KB threshold): {flushed}");
-    db.checkpoint("lineitem").expect("checkpoint");
-    println!("checkpointed lineitem: deltas folded into a fresh stable image");
+    // the same checkpoint call works for either update structure
+    pdt_db.checkpoint("lineitem").expect("checkpoint pdt");
+    vdt_db.checkpoint("lineitem").expect("checkpoint vdt");
+    println!("checkpointed lineitem in both databases: deltas folded into fresh stable images");
 }

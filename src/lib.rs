@@ -2,7 +2,7 @@
 //!
 //! Workspace façade re-exporting the crates of this reproduction of
 //! Héman et al., *"Positional Update Handling in Column Stores"*
-//! (SIGMOD 2010). See `README.md` for a tour and `DESIGN.md` for the
+//! (SIGMOD 2010). See `README.md` for a tour, a quickstart, and the
 //! paper-to-module map.
 //!
 //! * [`pdt`] — the Positional Delta Tree (the paper's contribution)
@@ -10,7 +10,9 @@
 //! * [`columnar`] — ordered compressed columnar storage substrate
 //! * [`exec`] — block-oriented query executor
 //! * [`txn`] — 3-layer-PDT snapshot-isolation transaction manager
-//! * [`engine`] — the mini column-store DBMS tying everything together
+//! * [`engine`] — the mini column-store DBMS; every table's update
+//!   structure (PDT or VDT) sits behind the unified
+//!   [`engine::DeltaStore`] lifecycle
 //! * [`tpch`] — TPC-H generator, refresh streams and the 22 queries
 
 pub use columnar;

@@ -1,11 +1,14 @@
-//! Workspace-level lifecycle test: bulk load → transactions → Write→Read
-//! propagation → checkpoint → WAL recovery, validating the visible image at
-//! every stage against a naive model.
+//! Workspace-level lifecycle test: bulk load → transactions → delta-layer
+//! maintenance → checkpoint → WAL recovery, validating the visible image at
+//! every stage against a naive model — for *both* update policies, through
+//! the one `DeltaStore`-backed API.
 
-use columnar::{Schema, TableMeta, TableOptions, Tuple, Value, ValueType};
-use engine::{Database, ScanMode};
+use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+use engine::{Database, TableOptions, UpdatePolicy};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
+
+const BOTH: [UpdatePolicy; 2] = [UpdatePolicy::Pdt, UpdatePolicy::Vdt];
 
 fn schema() -> Schema {
     Schema::from_pairs(&[
@@ -27,163 +30,173 @@ fn base_rows(n: i64) -> Vec<Tuple> {
         .collect()
 }
 
-fn image(db: &Database, mode: ScanMode) -> Vec<Tuple> {
-    let view = db.read_view(mode);
-    let mut scan = view.scan("t", vec![0, 1, 2]);
+fn image(db: &Database) -> Vec<Tuple> {
+    let view = db.read_view();
+    let mut scan = view.scan("t", vec![0, 1, 2]).unwrap();
+    run_to_rows(&mut scan)
+}
+
+fn clean_image(db: &Database) -> Vec<Tuple> {
+    let view = db.clean_view();
+    let mut scan = view.scan("t", vec![0, 1, 2]).unwrap();
     run_to_rows(&mut scan)
 }
 
 #[test]
-fn full_lifecycle() {
-    let db = Database::new();
-    db.create_table(
-        TableMeta::new("t", schema(), vec![0]),
-        TableOptions {
-            block_rows: 64,
-            compressed: true,
-        },
-        base_rows(500),
-    )
-    .unwrap();
+fn full_lifecycle_under_either_policy() {
+    for policy in BOTH {
+        let db = Database::new();
+        db.create_table(
+            TableMeta::new("t", schema(), vec![0]),
+            TableOptions {
+                block_rows: 64,
+                compressed: true,
+                policy,
+            },
+            base_rows(500),
+        )
+        .unwrap();
 
-    // model of the visible image
-    let mut model = pdt::naive::NaiveImage::new(&base_rows(500), vec![0]);
+        // model of the visible image
+        let mut model = pdt::naive::NaiveImage::new(&base_rows(500), vec![0]);
 
-    // a sequence of committed transactions
-    for round in 0..10i64 {
-        let mut txn = db.begin();
-        // insert a new key between existing ones
-        let key = round * 50 + 5;
-        let t: Tuple = vec![
-            Value::Int(key),
-            Value::Str("new".into()),
-            Value::Double(round as f64),
-        ];
-        txn.insert("t", t.clone()).unwrap();
-        let pos = model
-            .rows()
-            .iter()
-            .position(|r| r[0].as_int() > key)
-            .unwrap_or(model.len());
-        model.insert(pos, t);
-        // delete one old key
-        let victim = round * 40;
-        let n = txn
-            .delete_where("t", col(0).eq(lit(victim)))
-            .unwrap();
-        if n > 0 {
+        // a sequence of committed transactions
+        for round in 0..10i64 {
+            let mut txn = db.begin();
+            // insert a new key between existing ones
+            let key = round * 50 + 5;
+            let t: Tuple = vec![
+                Value::Int(key),
+                Value::Str("new".into()),
+                Value::Double(round as f64),
+            ];
+            txn.insert("t", t.clone()).unwrap();
             let pos = model
                 .rows()
                 .iter()
-                .position(|r| r[0].as_int() == victim)
+                .position(|r| r[0].as_int() > key)
+                .unwrap_or(model.len());
+            model.insert(pos, t);
+            // delete one old key
+            let victim = round * 40;
+            let n = txn.delete_where("t", col(0).eq(lit(victim))).unwrap();
+            if n > 0 {
+                let pos = model
+                    .rows()
+                    .iter()
+                    .position(|r| r[0].as_int() == victim)
+                    .unwrap();
+                model.delete(pos);
+            }
+            // modify a group's amounts
+            txn.update_where("t", col(0).eq(lit(round * 70 + 10)), vec![(2, lit(-1.0))])
                 .unwrap();
-            model.delete(pos);
+            if let Some(pos) = model
+                .rows()
+                .iter()
+                .position(|r| r[0].as_int() == round * 70 + 10)
+            {
+                model.modify(pos, 2, Value::Double(-1.0));
+            }
+            txn.commit().unwrap();
+
+            // periodically migrate the write layer and verify transparency
+            if round % 3 == 2 {
+                db.maybe_flush("t", 0).unwrap();
+            }
+            assert_eq!(image(&db), model.rows(), "{policy:?} round {round}");
         }
-        // modify a group's amounts
-        txn.update_where(
-            "t",
-            col(0).eq(lit(round * 70 + 10)),
-            vec![(2, lit(-1.0))],
-        )
-        .unwrap();
-        if let Some(pos) = model
-            .rows()
-            .iter()
-            .position(|r| r[0].as_int() == round * 70 + 10)
-        {
-            model.modify(pos, 2, Value::Double(-1.0));
-        }
-        txn.commit().unwrap();
 
-        // periodically migrate Write→Read and verify transparency
-        if round % 3 == 2 {
-            db.maybe_flush("t", 0);
-        }
-        assert_eq!(image(&db, ScanMode::Pdt), model.rows(), "round {round}");
-    }
+        // checkpoint folds everything into a new stable image
+        assert!(db.checkpoint("t").unwrap(), "{policy:?}");
+        assert_eq!(image(&db), model.rows());
+        assert_eq!(clean_image(&db), model.rows());
 
-    // checkpoint folds everything into a new stable image
-    assert!(db.checkpoint("t").unwrap());
-    assert_eq!(image(&db, ScanMode::Pdt), model.rows());
-    assert_eq!(image(&db, ScanMode::Clean), model.rows());
-
-    // continue transacting after the checkpoint
-    let mut txn = db.begin();
-    txn.insert(
-        "t",
-        vec![Value::Int(-1), Value::Str("head".into()), Value::Double(0.0)],
-    )
-    .unwrap();
-    txn.commit().unwrap();
-    assert_eq!(image(&db, ScanMode::Pdt).len(), model.len() + 1);
-}
-
-#[test]
-fn wal_backed_database_recovers() {
-    let dir = std::env::temp_dir().join(format!("pdt-e2e-{}", std::process::id()));
-    std::fs::create_dir_all(&dir).unwrap();
-    let wal = dir.join("engine.wal");
-    let _ = std::fs::remove_file(&wal);
-
-    let committed;
-    {
-        let db = Database::with_wal(&wal).unwrap();
-        db.create_table(
-            TableMeta::new("t", schema(), vec![0]),
-            TableOptions::default(),
-            base_rows(50),
-        )
-        .unwrap();
+        // continue transacting after the checkpoint
         let mut txn = db.begin();
         txn.insert(
             "t",
-            vec![Value::Int(7), Value::Str("x".into()), Value::Double(1.5)],
+            vec![
+                Value::Int(-1),
+                Value::Str("head".into()),
+                Value::Double(0.0),
+            ],
         )
         .unwrap();
-        txn.delete_where("t", col(0).eq(lit(100i64))).unwrap();
         txn.commit().unwrap();
-        // an aborted transaction leaves no trace in the log
-        let mut dead = db.begin();
-        dead.delete_where("t", col(0).eq(lit(0i64))).unwrap();
-        dead.abort();
-        committed = image(&db, ScanMode::Pdt);
+        assert_eq!(image(&db).len(), model.len() + 1, "{policy:?}");
     }
+}
 
-    let db2 = Database::with_wal(&wal).unwrap();
-    db2.create_table(
-        TableMeta::new("t", schema(), vec![0]),
-        TableOptions::default(),
-        base_rows(50),
-    )
-    .unwrap();
-    db2.recover_from(&wal).unwrap();
-    assert_eq!(image(&db2, ScanMode::Pdt), committed);
+#[test]
+fn wal_backed_database_recovers_either_policy() {
+    for policy in BOTH {
+        let dir = std::env::temp_dir().join(format!("pdt-e2e-{}-{policy:?}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let wal = dir.join("engine.wal");
+        let _ = std::fs::remove_file(&wal);
 
-    let _ = std::fs::remove_file(&wal);
+        let opts = TableOptions::default().with_policy(policy);
+        let committed;
+        {
+            let db = Database::with_wal(&wal).unwrap();
+            db.create_table(TableMeta::new("t", schema(), vec![0]), opts, base_rows(50))
+                .unwrap();
+            let mut txn = db.begin();
+            txn.insert(
+                "t",
+                vec![Value::Int(7), Value::Str("x".into()), Value::Double(1.5)],
+            )
+            .unwrap();
+            txn.delete_where("t", col(0).eq(lit(100i64))).unwrap();
+            txn.update_where("t", col(0).eq(lit(200i64)), vec![(2, lit(9.5))])
+                .unwrap();
+            txn.commit().unwrap();
+            // an aborted transaction leaves no trace in the log
+            let mut dead = db.begin();
+            dead.delete_where("t", col(0).eq(lit(0i64))).unwrap();
+            dead.abort();
+            committed = image(&db);
+        }
+
+        let db2 = Database::with_wal(&wal).unwrap();
+        db2.create_table(TableMeta::new("t", schema(), vec![0]), opts, base_rows(50))
+            .unwrap();
+        db2.recover_from(&wal).unwrap();
+        assert_eq!(image(&db2), committed, "{policy:?}");
+
+        let _ = std::fs::remove_file(&wal);
+    }
 }
 
 #[test]
 fn aggregation_queries_see_transactional_updates() {
-    let db = Database::new();
-    db.create_table(
-        TableMeta::new("t", schema(), vec![0]),
-        TableOptions::default(),
-        base_rows(100),
-    )
-    .unwrap();
-    let mut txn = db.begin();
-    txn.update_where("t", col(1).eq(lit("g0")), vec![(2, lit(1000.0))])
+    for policy in BOTH {
+        let db = Database::new();
+        db.create_table(
+            TableMeta::new("t", schema(), vec![0]),
+            TableOptions::default().with_policy(policy),
+            base_rows(100),
+        )
         .unwrap();
-    txn.commit().unwrap();
+        let mut txn = db.begin();
+        txn.update_where("t", col(1).eq(lit("g0")), vec![(2, lit(1000.0))])
+            .unwrap();
+        txn.commit().unwrap();
 
-    let view = db.read_view(ScanMode::Pdt);
-    let scan: exec::BoxOp = Box::new(view.scan_cols("t", &["grp", "amount"]));
-    let mut agg = exec::HashAggregate::new(
-        scan,
-        vec![0],
-        vec![exec::AggSpec::new(exec::AggFunc::Sum, col(1))],
-    );
-    let rows = run_to_rows(&mut agg);
-    let g0 = rows.iter().find(|r| r[0].as_str() == "g0").unwrap();
-    assert_eq!(g0[1].as_double(), 20.0 * 1000.0, "20 rows in g0, all modified");
+        let view = db.read_view();
+        let scan: exec::BoxOp = Box::new(view.scan_cols("t", &["grp", "amount"]).unwrap());
+        let mut agg = exec::HashAggregate::new(
+            scan,
+            vec![0],
+            vec![exec::AggSpec::new(exec::AggFunc::Sum, col(1))],
+        );
+        let rows = run_to_rows(&mut agg);
+        let g0 = rows.iter().find(|r| r[0].as_str() == "g0").unwrap();
+        assert_eq!(
+            g0[1].as_double(),
+            20.0 * 1000.0,
+            "{policy:?}: 20 rows in g0, all modified"
+        );
+    }
 }

@@ -1,12 +1,15 @@
 //! Randomized engine-level cross-validation: the same logical update
-//! workload applied through (a) PDT transactions, (b) the VDT baseline and
-//! (c) a plain row-vector model must always produce identical visible
-//! images — across interleaved flushes and checkpoints.
+//! workload applied through the one `DeltaStore`-backed transactional API
+//! to (a) a PDT-maintained database and (b) a VDT-maintained database must
+//! always produce the same visible image as (c) the executable
+//! specification `pdt::naive::NaiveImage` — across interleaved flushes and
+//! *real* checkpoints of both structures.
 
-use columnar::{Schema, TableMeta, TableOptions, Tuple, Value, ValueType};
-use engine::{Database, ScanMode};
+use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+use engine::{Database, TableOptions, UpdatePolicy};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
+use pdt::naive::NaiveImage;
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -33,129 +36,105 @@ fn schema() -> Schema {
 }
 
 fn base_rows(n: i64) -> Vec<Tuple> {
-    (0..n).map(|i| vec![Value::Int(i * 10), Value::Int(i)]).collect()
+    (0..n)
+        .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+        .collect()
 }
 
-fn image(db: &Database, mode: ScanMode) -> Vec<Tuple> {
-    let view = db.read_view(mode);
-    run_to_rows(&mut view.scan("t", vec![0, 1]))
+fn make_db(n: i64, policy: UpdatePolicy) -> Database {
+    let db = Database::new();
+    db.create_table(
+        TableMeta::new("t", schema(), vec![0]),
+        TableOptions {
+            block_rows: 16,
+            compressed: true,
+            policy,
+        },
+        base_rows(n),
+    )
+    .unwrap();
+    db
+}
+
+fn image(db: &Database) -> Vec<Tuple> {
+    let view = db.read_view();
+    run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap())
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
+    /// Both update structures, driven through the identical DbTxn calls,
+    /// must track the model exactly — including across real checkpoints,
+    /// which each database now performs on its own stable image.
     #[test]
-    fn engine_pdt_vdt_and_model_agree(
+    fn pdt_and_vdt_stores_track_naive_model(
         actions in prop::collection::vec(action_strategy(), 1..60),
         n in 1i64..40,
     ) {
-        let db = Database::new();
-        db.create_table(
-            TableMeta::new("t", schema(), vec![0]),
-            TableOptions { block_rows: 16, compressed: true },
-            base_rows(n),
-        ).unwrap();
-        let mut model: Vec<Tuple> = base_rows(n);
+        let dbs = [
+            make_db(n, UpdatePolicy::Pdt),
+            make_db(n, UpdatePolicy::Vdt),
+        ];
+        let mut model = NaiveImage::new(&base_rows(n), vec![0]);
 
         for action in &actions {
             match action {
                 Action::Insert { key, val } => {
-                    if model.iter().any(|r| r[0].as_int() == *key) {
+                    if model.rows().iter().any(|r| r[0].as_int() == *key) {
                         continue;
                     }
                     let t: Tuple = vec![Value::Int(*key), Value::Int(*val)];
-                    let mut txn = db.begin();
-                    txn.insert("t", t.clone()).unwrap();
-                    txn.commit().unwrap();
-                    db.with_vdt_mut("t", |v| v.insert(t.clone()));
-                    let pos = model.iter().position(|r| r[0].as_int() > *key)
+                    for db in &dbs {
+                        let mut txn = db.begin();
+                        txn.insert("t", t.clone()).unwrap();
+                        txn.commit().unwrap();
+                    }
+                    let pos = model.rows().iter()
+                        .position(|r| r[0].as_int() > *key)
                         .unwrap_or(model.len());
                     model.insert(pos, t);
                 }
                 Action::Delete { pick } => {
                     if model.is_empty() { continue; }
-                    let row = model.remove(pick % model.len());
-                    let key = row[0].as_int();
-                    let mut txn = db.begin();
-                    prop_assert_eq!(
-                        txn.delete_where("t", col(0).eq(lit(key))).unwrap(), 1
-                    );
-                    txn.commit().unwrap();
-                    db.with_vdt_mut("t", |v| { v.delete(&[Value::Int(key)]); });
+                    let rid = pick % model.len();
+                    let key = model.rows()[rid][0].as_int();
+                    model.delete(rid);
+                    for db in &dbs {
+                        let mut txn = db.begin();
+                        prop_assert_eq!(
+                            txn.delete_where("t", col(0).eq(lit(key))).unwrap(), 1
+                        );
+                        txn.commit().unwrap();
+                    }
                 }
                 Action::Modify { pick, val } => {
                     if model.is_empty() { continue; }
-                    let i = pick % model.len();
-                    let key = model[i][0].as_int();
-                    let current = model[i].clone();
-                    model[i][1] = Value::Int(*val);
-                    let mut txn = db.begin();
-                    txn.update_where("t", col(0).eq(lit(key)), vec![(1, lit(*val))]).unwrap();
-                    txn.commit().unwrap();
-                    db.with_vdt_mut("t", |v| v.modify(&current, 1, Value::Int(*val)));
+                    let rid = pick % model.len();
+                    let key = model.rows()[rid][0].as_int();
+                    model.modify(rid, 1, Value::Int(*val));
+                    for db in &dbs {
+                        let mut txn = db.begin();
+                        txn.update_where("t", col(0).eq(lit(key)), vec![(1, lit(*val))]).unwrap();
+                        txn.commit().unwrap();
+                    }
                 }
-                // A real checkpoint folds only ONE structure's deltas into
-                // the shared stable image, which would orphan the other's —
-                // so while dual-tracking, Checkpoint degrades to Flush. The
-                // second test below exercises true checkpoints (PDT only).
-                Action::Flush | Action::Checkpoint => {
-                    db.maybe_flush("t", 0);
+                Action::Flush => {
+                    for db in &dbs { db.maybe_flush("t", 0).unwrap(); }
+                }
+                Action::Checkpoint => {
+                    for db in &dbs { db.checkpoint("t").unwrap(); }
                 }
             }
-            prop_assert_eq!(&image(&db, ScanMode::Pdt), &model, "PDT image diverged");
-            prop_assert_eq!(&image(&db, ScanMode::Vdt), &model, "VDT image diverged");
+            prop_assert_eq!(&image(&dbs[0]), &model.rows().to_vec(), "PDT image diverged");
+            prop_assert_eq!(&image(&dbs[1]), &model.rows().to_vec(), "VDT image diverged");
         }
-    }
-
-    #[test]
-    fn engine_pdt_checkpoints_interleaved(
-        actions in prop::collection::vec(action_strategy(), 1..60),
-        n in 1i64..40,
-    ) {
-        // PDT-only variant where Checkpoint is exercised for real
-        let db = Database::new();
-        db.create_table(
-            TableMeta::new("t", schema(), vec![0]),
-            TableOptions { block_rows: 16, compressed: true },
-            base_rows(n),
-        ).unwrap();
-        let mut model: Vec<Tuple> = base_rows(n);
-
-        for action in &actions {
-            match action {
-                Action::Insert { key, val } => {
-                    if model.iter().any(|r| r[0].as_int() == *key) { continue; }
-                    let t: Tuple = vec![Value::Int(*key), Value::Int(*val)];
-                    let mut txn = db.begin();
-                    txn.insert("t", t.clone()).unwrap();
-                    txn.commit().unwrap();
-                    let pos = model.iter().position(|r| r[0].as_int() > *key)
-                        .unwrap_or(model.len());
-                    model.insert(pos, t);
-                }
-                Action::Delete { pick } => {
-                    if model.is_empty() { continue; }
-                    let row = model.remove(pick % model.len());
-                    let mut txn = db.begin();
-                    txn.delete_where("t", col(0).eq(lit(row[0].as_int()))).unwrap();
-                    txn.commit().unwrap();
-                }
-                Action::Modify { pick, val } => {
-                    if model.is_empty() { continue; }
-                    let i = pick % model.len();
-                    let key = model[i][0].as_int();
-                    model[i][1] = Value::Int(*val);
-                    let mut txn = db.begin();
-                    txn.update_where("t", col(0).eq(lit(key)), vec![(1, lit(*val))]).unwrap();
-                    txn.commit().unwrap();
-                }
-                Action::Flush => { db.maybe_flush("t", 0); }
-                Action::Checkpoint => { db.checkpoint("t").unwrap(); }
-            }
-            prop_assert_eq!(&image(&db, ScanMode::Pdt), &model, "PDT image diverged");
+        // final checkpoint: the clean scan of either database equals the model
+        for db in &dbs {
+            db.checkpoint("t").unwrap();
+            let view = db.clean_view();
+            let clean = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
+            prop_assert_eq!(&clean, &model.rows().to_vec());
         }
-        // final checkpoint: clean scan must equal the model
-        db.checkpoint("t").unwrap();
-        prop_assert_eq!(&image(&db, ScanMode::Clean), &model);
     }
 }

@@ -7,16 +7,19 @@
 //! 3. ghost-respecting SIDs keep *stale* sparse indexes valid (§2.1),
 //! 4. three PDT layers give lock-free snapshot isolation with write-write
 //!    conflict detection (§3.3).
+//!
+//! Since the `DeltaStore` unification, the PDT and VDT sides of every
+//! comparison receive *exactly* the same DML through the same transactional
+//! API — the structures differ, the workload cannot.
 
-use columnar::{Schema, TableMeta, TableOptions, Tuple, Value, ValueType};
-use engine::{Database, ScanMode};
+use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+use engine::{Database, TableOptions, UpdatePolicy};
 use exec::expr::{col, lit};
 use exec::run_to_rows;
 
-fn make_db(nkeys: usize, key_type: ValueType, rows: i64) -> Database {
-    let mut pairs: Vec<(String, ValueType)> = (0..nkeys)
-        .map(|k| (format!("k{k}"), key_type))
-        .collect();
+fn make_db(nkeys: usize, key_type: ValueType, rows: i64, policy: UpdatePolicy) -> Database {
+    let mut pairs: Vec<(String, ValueType)> =
+        (0..nkeys).map(|k| (format!("k{k}"), key_type)).collect();
     pairs.push(("payload".into(), ValueType::Int));
     let p: Vec<(&str, ValueType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
     let schema = Schema::from_pairs(&p);
@@ -39,6 +42,7 @@ fn make_db(nkeys: usize, key_type: ValueType, rows: i64) -> Database {
             block_rows: 256,
             compressed: false, // uncompressed: the workstation profile where
             // the key-I/O gap is largest (paper Plot 5)
+            policy,
         },
         data,
     )
@@ -46,49 +50,44 @@ fn make_db(nkeys: usize, key_type: ValueType, rows: i64) -> Database {
     db
 }
 
-fn apply_some_updates(db: &Database, rows: i64) {
+/// The same churn, through the same API, whatever the table's structure:
+/// modify ~1 % of the rows, addressed by the integer payload column (the
+/// key columns may be strings).
+fn apply_some_updates(db: &Database, rows: i64, payload: usize) {
     let mut txn = db.begin();
     for i in 0..rows / 100 {
-        txn.update_where("t", col(0).eq(lit(i * 200)), vec![(1, lit(-7i64))])
-            .ok();
+        let n = txn
+            .update_where(
+                "t",
+                col(payload).eq(lit(i * 100)),
+                vec![(payload, lit(-7i64))],
+            )
+            .unwrap();
+        assert_eq!(n, 1, "churn row {i} must exist");
     }
     txn.commit().unwrap();
-    db.with_vdt_mut("t", |v| {
-        // mirror roughly equivalent churn on the VDT
-        for i in 0..rows / 100 {
-            let cur = vec![Value::Int(i * 200), Value::Int(i)];
-            // only valid for the single-int-key shape; used there only
-            if cur.len() == 2 {
-                v.modify(&cur, 1, Value::Int(-7));
-            }
-        }
-    });
+}
+
+/// Bytes read by a full scan projecting only `cols` under `view`.
+fn scan_bytes(view: &engine::ReadView, cols: Vec<usize>) -> u64 {
+    let before = view.io.stats();
+    let mut scan = view.scan("t", cols).unwrap();
+    while exec::Operator::next_batch(&mut scan).is_some() {}
+    view.io.stats().since(&before).bytes_read
 }
 
 #[test]
 fn claim_pdt_scans_skip_key_io_vdt_cannot() {
-    let db = make_db(1, ValueType::Str, 5000);
-    apply_some_updates(&db, 5000);
+    let pdt_db = make_db(1, ValueType::Str, 5000, UpdatePolicy::Pdt);
+    let vdt_db = make_db(1, ValueType::Str, 5000, UpdatePolicy::Vdt);
+    let payload_col = 1;
+    apply_some_updates(&pdt_db, 5000, payload_col);
+    apply_some_updates(&vdt_db, 5000, payload_col);
 
     // project ONLY the payload column
-    let payload_col = 1;
-    let pdt_view = db.read_view(ScanMode::Pdt);
-    let before = pdt_view.io.stats();
-    let mut scan = pdt_view.scan("t", vec![payload_col]);
-    while exec::Operator::next_batch(&mut scan).is_some() {}
-    let pdt_bytes = pdt_view.io.stats().since(&before).bytes_read;
-
-    let clean_view = db.read_view(ScanMode::Clean);
-    let before = clean_view.io.stats();
-    let mut scan = clean_view.scan("t", vec![payload_col]);
-    while exec::Operator::next_batch(&mut scan).is_some() {}
-    let clean_bytes = clean_view.io.stats().since(&before).bytes_read;
-
-    let vdt_view = db.read_view(ScanMode::Vdt);
-    let before = vdt_view.io.stats();
-    let mut scan = vdt_view.scan("t", vec![payload_col]);
-    while exec::Operator::next_batch(&mut scan).is_some() {}
-    let vdt_bytes = vdt_view.io.stats().since(&before).bytes_read;
+    let pdt_bytes = scan_bytes(&pdt_db.read_view(), vec![payload_col]);
+    let clean_bytes = scan_bytes(&pdt_db.clean_view(), vec![payload_col]);
+    let vdt_bytes = scan_bytes(&vdt_db.read_view(), vec![payload_col]);
 
     // PDT merging reads exactly what a clean scan reads
     assert_eq!(
@@ -104,31 +103,34 @@ fn claim_pdt_scans_skip_key_io_vdt_cannot() {
 
 #[test]
 fn claim_ghost_respecting_keeps_stale_sparse_index_valid() {
-    let db = make_db(1, ValueType::Int, 2000);
+    let db = make_db(1, ValueType::Int, 2000, UpdatePolicy::Pdt);
     // delete a key, then insert a new key that sorts just before the ghost
     let mut txn = db.begin();
     txn.delete_where("t", col(0).eq(lit(1000i64))).unwrap();
-    txn.insert("t", vec![Value::Int(999), Value::Int(-1)]).unwrap();
+    txn.insert("t", vec![Value::Int(999), Value::Int(-1)])
+        .unwrap();
     txn.commit().unwrap();
 
     // ranged scan THROUGH THE ORIGINAL sparse index (never rebuilt)
-    let view = db.read_view(ScanMode::Pdt);
+    let view = db.read_view();
     let io_before = view.io.stats();
-    let mut scan = view.scan_ranged(
-        "t",
-        vec![0, 1],
-        exec::ScanBounds {
-            lo: Some(vec![Value::Int(990)]),
-            hi: Some(vec![Value::Int(1010)]),
-        },
-    );
+    let mut scan = view
+        .scan_ranged(
+            "t",
+            vec![0, 1],
+            exec::ScanBounds {
+                lo: Some(vec![Value::Int(990)]),
+                hi: Some(vec![Value::Int(1010)]),
+            },
+        )
+        .unwrap();
     let rows = run_to_rows(&mut scan);
     let keys: Vec<i64> = rows.iter().map(|r| r[0].as_int()).collect();
     assert!(keys.contains(&999), "ghost-positioned insert must be found");
     assert!(!keys.contains(&1000), "deleted key must be gone");
     // and the scan must have been *ranged* (stale index still prunes)
     let bytes = view.io.stats().since(&io_before).bytes_read;
-    let full = db.stable("t").total_bytes();
+    let full = db.stable("t").unwrap().total_bytes();
     assert!(
         bytes < full / 4,
         "ranged scan must not degenerate to a full scan ({bytes} vs {full})"
@@ -140,30 +142,19 @@ fn claim_pdt_merge_insensitive_to_key_arity() {
     // Figure 18's mechanism, asserted as I/O: with k key columns projected
     // out of the query, the VDT still reads them; the PDT does not.
     for nkeys in 1..=3usize {
-        let db = make_db(nkeys, ValueType::Str, 2000);
-        // one tiny update so merge paths actually engage
-        let mut txn = db.begin();
-        txn.delete_where("t", col(nkeys).eq(lit(500i64))).unwrap();
-        txn.commit().unwrap();
-        db.with_vdt_mut("t", |v| {
-            let sk: Vec<Value> = (0..nkeys)
-                .map(|k| Value::Str(format!("key-{:010}-{k}", 500)))
-                .collect();
-            v.delete(&sk);
-        });
+        let pdt_db = make_db(nkeys, ValueType::Str, 2000, UpdatePolicy::Pdt);
+        let vdt_db = make_db(nkeys, ValueType::Str, 2000, UpdatePolicy::Vdt);
+        // one tiny update so merge paths actually engage — same statement
+        // for both structures
+        for db in [&pdt_db, &vdt_db] {
+            let mut txn = db.begin();
+            txn.delete_where("t", col(nkeys).eq(lit(500i64))).unwrap();
+            txn.commit().unwrap();
+        }
 
         let payload = nkeys; // the single non-key column
-        let pdt_view = db.read_view(ScanMode::Pdt);
-        let b0 = pdt_view.io.stats();
-        let mut s = pdt_view.scan("t", vec![payload]);
-        while exec::Operator::next_batch(&mut s).is_some() {}
-        let pdt_bytes = pdt_view.io.stats().since(&b0).bytes_read;
-
-        let vdt_view = db.read_view(ScanMode::Vdt);
-        let b0 = vdt_view.io.stats();
-        let mut s = vdt_view.scan("t", vec![payload]);
-        while exec::Operator::next_batch(&mut s).is_some() {}
-        let vdt_bytes = vdt_view.io.stats().since(&b0).bytes_read;
+        let pdt_bytes = scan_bytes(&pdt_db.read_view(), vec![payload]);
+        let vdt_bytes = scan_bytes(&vdt_db.read_view(), vec![payload]);
 
         let ratio = vdt_bytes as f64 / pdt_bytes as f64;
         assert!(
@@ -176,11 +167,11 @@ fn claim_pdt_merge_insensitive_to_key_arity() {
 #[test]
 fn claim_lock_free_snapshot_isolation_under_concurrency() {
     use std::sync::Arc;
-    let db = Arc::new(make_db(1, ValueType::Int, 1000));
+    let db = Arc::new(make_db(1, ValueType::Int, 1000, UpdatePolicy::Pdt));
     // a long-running reader observes a frozen image while 8 writer threads
     // hammer commits
     let reader = db.begin();
-    let frozen: Vec<Tuple> = run_to_rows(&mut reader.scan("t", vec![0, 1]));
+    let frozen: Vec<Tuple> = run_to_rows(&mut reader.scan("t", vec![0, 1]).unwrap());
 
     let mut handles = Vec::new();
     for t in 0..8i64 {
@@ -205,12 +196,12 @@ fn claim_lock_free_snapshot_isolation_under_concurrency() {
     assert!(total > 0, "some commits must succeed");
 
     // the reader's snapshot never moved
-    let after: Vec<Tuple> = run_to_rows(&mut reader.scan("t", vec![0, 1]));
+    let after: Vec<Tuple> = run_to_rows(&mut reader.scan("t", vec![0, 1]).unwrap());
     assert_eq!(frozen, after, "snapshot isolation violated");
     reader.abort();
 
     // and the final image reflects a serial order of the committed writers
-    let view = db.read_view(ScanMode::Pdt);
-    let fin = run_to_rows(&mut view.scan("t", vec![0, 1]));
+    let view = db.read_view();
+    let fin = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
     assert_eq!(fin.len(), 1000, "modifies never change cardinality");
 }
