@@ -68,7 +68,7 @@ fn ablate_block_size(n: u64) {
     );
     println!("{:>10} {:>12} {:>12}", "block", "pdt_ms", "clean_ms");
     let (_, rows) = micro_table(n, 1, 4, KeyKind::Int, true);
-    let (pdt, _) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, n / 100, 99);
+    let (pdt, _, _) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, n / 100, 99);
     for block_rows in [64usize, 256, 1024, 4096, 16384] {
         let meta = TableMeta::new(
             "t",

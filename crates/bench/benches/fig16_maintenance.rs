@@ -9,11 +9,17 @@
 //!
 //! We grow three PDTs — one per operation type — over a virtual stable
 //! table and report the average per-operation cost per window, in ms, the
-//! same series the paper plots.
+//! same series the paper plots. A second block grows the copy-on-write
+//! row-store buffer the same way: its sorted-array maintenance is
+//! O(buffer) per operation, so the per-op cost climbs linearly where the
+//! PDT's stays flat-to-logarithmic — the classic baseline the paper's
+//! figures argue against. (Its op count is capped by default for exactly
+//! that reason; raise `PDT_BENCH_ROWSTORE_OPS` to watch it degrade.)
 
 use bench::env_u64;
 use columnar::{Schema, Value, ValueType};
 use pdt::Pdt;
+use rowstore::RowBuffer;
 use tpch::gen::Rng;
 
 fn schema() -> Schema {
@@ -91,4 +97,66 @@ fn main() {
         ins_pdt.heap_bytes() / 1024
     );
     println!("# expectation (paper): flat-to-logarithmic curves; insert > modify/delete");
+
+    // --- the row-store baseline series ----------------------------------
+    let rs_total = env_u64("PDT_BENCH_ROWSTORE_OPS", (total / 50).max(1));
+    let rs_window = (rs_total / 20).max(1);
+    println!("\n# row-store baseline: maintenance cost (ms/op) vs buffer size");
+    println!("# growing to {rs_total} buffered rows (sorted-array maintenance is O(buffer)/op)");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "size", "insert", "modify", "delete"
+    );
+    let mut ins_rs = RowBuffer::new(schema(), vec![0]);
+    let mut mod_rs = RowBuffer::new(schema(), vec![0]);
+    let mut del_rs = RowBuffer::new(schema(), vec![0]);
+    let mut rng = Rng::new(16);
+    let mut deleted = std::collections::HashSet::new();
+    let mut done = 0u64;
+    while done < rs_total {
+        let n = rs_window.min(rs_total - done);
+
+        // inserts: unique fresh keys at random positions (value-addressed)
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            let pos = rng.below(stable_rows);
+            let serial = done + i;
+            let key = Value::Int((pos * 1_000_000 + serial % 1_000_000) as i64);
+            ins_rs.insert(vec![key, Value::Int(1), Value::Int(2), Value::Int(3)]);
+        }
+        let ins_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        // modifies: random stable rows, alternating columns; the buffer
+        // materialises the full replacement tuple
+        let t0 = std::time::Instant::now();
+        for i in 0..n {
+            let rid = rng.below(stable_rows) as i64;
+            let pre = [Value::Int(rid), Value::Int(1), Value::Int(2), Value::Int(3)];
+            mod_rs.modify(&pre, 1 + (i % 3) as usize, Value::Int(i as i64));
+        }
+        let mod_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        // deletes: distinct stable keys (a key dies once)
+        let t0 = std::time::Instant::now();
+        for _ in 0..n {
+            let mut rid = rng.below(stable_rows) as i64;
+            while !deleted.insert(rid) {
+                rid = rng.below(stable_rows) as i64;
+            }
+            del_rs.delete_key(&[Value::Int(rid)]);
+        }
+        let del_ms = t0.elapsed().as_secs_f64() * 1e3 / n as f64;
+
+        done += n;
+        println!("{done:>10} {ins_ms:>12.6} {mod_ms:>12.6} {del_ms:>12.6}");
+    }
+    println!(
+        "# final sizes: ins={} mod={} del={} slots; heap: ins={}KB",
+        ins_rs.len(),
+        mod_rs.len(),
+        del_rs.len(),
+        ins_rs.heap_bytes() / 1024
+    );
+    println!("# expectation: per-op cost grows linearly with buffer size (array shifts),");
+    println!("# versus the PDT's flat-to-logarithmic curves above.");
 }

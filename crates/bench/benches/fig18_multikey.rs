@@ -32,7 +32,7 @@ fn main() {
             let proj: Vec<usize> = (nkeys..6).collect();
             for &rate in &rates {
                 let updates = (n as f64 * rate / 100.0) as u64;
-                let (pdt, vdt) =
+                let (pdt, vdt, _) =
                     apply_micro_updates(&rows, nkeys, ndata, kind, updates, 18 + nkeys as u64);
                 let io = IoTracker::new();
                 let (prows, pdt_s) = time(|| {

@@ -11,16 +11,17 @@
 //!   processing,
 //! * Plot 5 — I/O volume, workstation profile.
 //!
-//! Two databases are loaded per profile — one PDT-maintained, one
-//! VDT-maintained — and both receive the refresh streams through the *same*
-//! transactional `DeltaStore` path, so the update cost comparison is
-//! apples-to-apples (the VDT no longer skips transaction and WAL
-//! machinery). The "no-updates" series scans the PDT database's stable
-//! images only.
+//! Three databases are loaded per profile — PDT-, VDT- and
+//! row-store-maintained — and all receive the refresh streams through the
+//! *same* transactional `DeltaStore` path, so the update cost comparison
+//! is apples-to-apples (no baseline skips transaction and WAL machinery).
+//! The "no-updates" series scans the PDT database's stable images only;
+//! the row-store series adds the classic write-optimized-buffer baseline
+//! next to the paper's VDT.
 //!
 //! All series are normalized to the VDT run of the same query, exactly like
 //! the paper's bars; absolute values are printed alongside. Queries 2, 11
-//! and 16 do not touch the updated tables, so their three bars coincide.
+//! and 16 do not touch the updated tables, so their bars coincide.
 //!
 //! Scale with `PDT_TPCH_SF` (default 0.05). The paper's SF-10/SF-30 shapes
 //! depend on the update *fraction* (0.1 %), not the absolute SF.
@@ -58,66 +59,77 @@ fn run_all(make_view: impl Fn() -> ReadView, sf: f64) -> Vec<QueryRun> {
         .collect()
 }
 
+/// Index of the normalization series (the VDT bar, as in the paper).
+fn vdt_index(runs: &[(Vec<QueryRun>, &str)]) -> usize {
+    runs.iter()
+        .position(|(_, label)| *label == "vdt")
+        .expect("a vdt series to normalize against")
+}
+
 fn print_cold(title: &str, runs: &[(Vec<QueryRun>, &str)], bandwidth: f64) {
     println!(
         "\n## {title} (cold model: cpu + bytes/{:.0}MB/s; normalized to VDT)",
         bandwidth / 1e6
     );
-    println!(
-        "{:>4} {:>12} {:>12} {:>12} {:>8} {:>8}",
-        "Q", "none_ms", "vdt_ms", "pdt_ms", "none/v", "pdt/v"
-    );
-    let (clean, _) = &runs[0];
-    let (vdt, _) = &runs[1];
-    let (pdt, _) = &runs[2];
+    print!("{:>4}", "Q");
+    for (_, label) in runs {
+        print!(" {:>12}", format!("{label}_ms"));
+    }
+    for (_, label) in runs {
+        print!(" {:>8}", format!("{label}/v"));
+    }
+    println!();
+    let vdt = vdt_index(runs);
     for (i, q) in QUERY_IDS.iter().enumerate() {
         let cold = |r: &QueryRun| (r.total + r.io_bytes as f64 / bandwidth) * 1e3;
-        let (c, v, p) = (cold(&clean[i]), cold(&vdt[i]), cold(&pdt[i]));
-        println!(
-            "{:>4} {:>12.2} {:>12.2} {:>12.2} {:>8.2} {:>8.2}",
-            q,
-            c,
-            v,
-            p,
-            c / v.max(1e-9),
-            p / v.max(1e-9)
-        );
+        let v = cold(&runs[vdt].0[i]);
+        print!("{q:>4}");
+        for (series, _) in runs {
+            print!(" {:>12.2}", cold(&series[i]));
+        }
+        for (series, _) in runs {
+            print!(" {:>8.2}", cold(&series[i]) / v.max(1e-9));
+        }
+        println!();
     }
 }
 
 fn print_io(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
     println!("\n## {title} (MB touched; normalized to VDT)");
-    println!(
-        "{:>4} {:>10} {:>10} {:>10} {:>8} {:>8}",
-        "Q", "none_MB", "vdt_MB", "pdt_MB", "none/v", "pdt/v"
-    );
-    let (clean, _) = &runs[0];
-    let (vdt, _) = &runs[1];
-    let (pdt, _) = &runs[2];
+    print!("{:>4}", "Q");
+    for (_, label) in runs {
+        print!(" {:>10}", format!("{label}_MB"));
+    }
+    for (_, label) in runs {
+        print!(" {:>8}", format!("{label}/v"));
+    }
+    println!();
+    let vdt = vdt_index(runs);
     for (i, q) in QUERY_IDS.iter().enumerate() {
         let mb = |r: &QueryRun| r.io_bytes as f64 / 1e6;
-        let (c, v, p) = (mb(&clean[i]), mb(&vdt[i]), mb(&pdt[i]));
-        println!(
-            "{:>4} {:>10.2} {:>10.2} {:>10.2} {:>8.2} {:>8.2}",
-            q,
-            c,
-            v,
-            p,
-            c / v.max(1e-9),
-            p / v.max(1e-9)
-        );
+        let v = mb(&runs[vdt].0[i]);
+        print!("{q:>4}");
+        for (series, _) in runs {
+            print!(" {:>10.2}", mb(&series[i]));
+        }
+        for (series, _) in runs {
+            print!(" {:>8.2}", mb(&series[i]) / v.max(1e-9));
+        }
+        println!();
     }
 }
 
 fn print_hot(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
     println!("\n## {title} (hot: measured CPU ms; scan share in parentheses)");
-    println!(
-        "{:>4} {:>16} {:>16} {:>16} {:>8}",
-        "Q", "none", "vdt", "pdt", "pdt/v"
-    );
-    let (clean, _) = &runs[0];
-    let (vdt, _) = &runs[1];
-    let (pdt, _) = &runs[2];
+    print!("{:>4}", "Q");
+    for (_, label) in runs {
+        print!(" {label:>16}");
+    }
+    for (_, label) in runs {
+        print!(" {:>8}", format!("{label}/v"));
+    }
+    println!();
+    let vdt = vdt_index(runs);
     for (i, q) in QUERY_IDS.iter().enumerate() {
         let fmt = |r: &QueryRun| {
             format!(
@@ -126,14 +138,15 @@ fn print_hot(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
                 100.0 * r.scan / r.total.max(1e-9)
             )
         };
-        println!(
-            "{:>4} {:>16} {:>16} {:>16} {:>8.2}",
-            q,
-            fmt(&clean[i]),
-            fmt(&vdt[i]),
-            fmt(&pdt[i]),
-            pdt[i].total / vdt[i].total.max(1e-9)
-        );
+        let v = runs[vdt].0[i].total;
+        print!("{q:>4}");
+        for (series, _) in runs {
+            print!(" {:>16}", fmt(&series[i]));
+        }
+        for (series, _) in runs {
+            print!(" {:>8.2}", series[i].total / v.max(1e-9));
+        }
+        println!();
     }
 }
 
@@ -146,32 +159,32 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
         .with_compression(compressed);
     let pdt_db = tpch::load_database(&data, opts);
     let vdt_db = tpch::load_database(&data, opts.with_policy(UpdatePolicy::Vdt));
+    let row_db = tpch::load_database(&data, opts.with_policy(UpdatePolicy::RowStore));
 
-    let t0 = std::time::Instant::now();
-    apply_rf1(&pdt_db, &streams, 256).expect("RF1 pdt");
-    apply_rf2(&pdt_db, &streams, 256).expect("RF2 pdt");
-    let pdt_update_s = t0.elapsed().as_secs_f64();
-    let t0 = std::time::Instant::now();
-    apply_rf1(&vdt_db, &streams, 256).expect("RF1 vdt");
-    apply_rf2(&vdt_db, &streams, 256).expect("RF2 vdt");
-    let vdt_update_s = t0.elapsed().as_secs_f64();
+    let mut update_secs = Vec::new();
+    for (label, db) in [("PDT", &pdt_db), ("VDT", &vdt_db), ("row-store", &row_db)] {
+        let t0 = std::time::Instant::now();
+        apply_rf1(db, &streams, 256).unwrap_or_else(|e| panic!("RF1 {label}: {e}"));
+        apply_rf2(db, &streams, 256).unwrap_or_else(|e| panic!("RF2 {label}: {e}"));
+        update_secs.push(format!("{label} {:.2}s", t0.elapsed().as_secs_f64()));
+    }
     println!(
-        "# refresh streams: {} inserts, {} deletes; applied transactionally \
-         via PDT in {:.2}s, via VDT in {:.2}s",
+        "# refresh streams: {} inserts, {} deletes; applied transactionally via {}",
         streams.inserts.len(),
         streams.delete_keys.len(),
-        pdt_update_s,
-        vdt_update_s
+        update_secs.join(", ")
     );
 
     let clean = run_all(|| pdt_db.clean_view(), sf);
     let vdt = run_all(|| vdt_db.read_view(), sf);
     let pdt = run_all(|| pdt_db.read_view(), sf);
-    // sanity: PDT and VDT must agree on cardinalities
+    let rows = run_all(|| row_db.read_view(), sf);
+    // sanity: all three update structures must agree on cardinalities
     for (i, q) in QUERY_IDS.iter().enumerate() {
         assert_eq!(pdt[i].rows, vdt[i].rows, "Q{q} cardinality mismatch");
+        assert_eq!(pdt[i].rows, rows[i].rows, "Q{q} cardinality mismatch");
     }
-    let runs = [(clean, "none"), (vdt, "vdt"), (pdt, "pdt")];
+    let runs = [(clean, "none"), (vdt, "vdt"), (pdt, "pdt"), (rows, "rows")];
 
     if compressed {
         print_cold("Plot 1: cold execution times, server", &runs, bandwidth);
@@ -190,7 +203,7 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
 fn main() {
     let sf = env_f64("PDT_TPCH_SF", 0.05);
     println!("# Figure 19: TPC-H with 2 refresh streams (~0.1% of orders/lineitem)");
-    println!("# bars per query: no-updates / VDT-based / PDT-based");
+    println!("# bars per query: no-updates / VDT-based / PDT-based / row-store-based");
     // server: compressed storage, SSD array (paper: 3 GB/s)
     profile(
         "server profile (paper: Nehalem, compressed SF-30)",

@@ -10,6 +10,7 @@
 
 use columnar::{Schema, StableTable, TableMeta, TableOptions, Tuple, Value, ValueType};
 use pdt::Pdt;
+use rowstore::RowBuffer;
 use tpch::gen::Rng;
 use vdt::Vdt;
 
@@ -127,7 +128,8 @@ pub fn between_key(i: u64, nkeys: usize, kind: KeyKind) -> Vec<Value> {
 }
 
 /// Apply `count` updates (⅓ insert, ⅓ modify, ⅓ delete, positions uniform)
-/// to both a PDT and a VDT so that both represent the same logical change.
+/// to a PDT, a VDT and a copy-on-write row buffer so that all three
+/// represent the same logical change.
 ///
 /// Positions are resolved through the PDT's own RID⇔SID machinery
 /// (O(log n) per op) rather than a materialised model, so this scales to
@@ -141,7 +143,7 @@ pub fn apply_micro_updates(
     kind: KeyKind,
     count: u64,
     seed: u64,
-) -> (Pdt, Vdt) {
+) -> (Pdt, Vdt, RowBuffer) {
     let schema = {
         // rebuild the schema from the first row's types
         let mut pairs = Vec::new();
@@ -156,7 +158,8 @@ pub fn apply_micro_updates(
     };
     let sk: Vec<usize> = (0..nkeys).collect();
     let mut pdt = Pdt::new(schema.clone(), sk.clone());
-    let mut vdt = Vdt::new(schema, sk);
+    let mut vdt = Vdt::new(schema.clone(), sk.clone());
+    let mut rs = RowBuffer::new(schema, sk);
     let mut rng = Rng::new(seed);
     let n = rows.len() as u64;
     // one candidate insert key exists per inter-row gap; remember used ones
@@ -182,6 +185,7 @@ pub fn apply_micro_updates(
                 };
                 let sid = pdt.sk_rid_to_sid(&t[..nkeys], rid);
                 pdt.add_insert(sid, rid, &t);
+                rs.insert(t.clone());
                 vdt.insert(t);
             }
             1 => {
@@ -206,6 +210,7 @@ pub fn apply_micro_updates(
                     modified_cols.insert(lk.sid, updated);
                 }
                 pdt.add_modify(rid, nkeys, &v);
+                rs.modify(&current, nkeys, v.clone());
                 vdt.modify(&current, nkeys, v);
             }
             _ => {
@@ -222,11 +227,12 @@ pub fn apply_micro_updates(
                 };
                 modified_cols.remove(&lk.sid);
                 pdt.add_delete(rid, &sk_vals);
+                rs.delete_key(&sk_vals);
                 vdt.delete(&sk_vals);
             }
         }
     }
-    (pdt, vdt)
+    (pdt, vdt, rs)
 }
 
 /// Time a closure in seconds.
@@ -262,8 +268,8 @@ mod tests {
     #[test]
     fn micro_updates_agree_between_structures() {
         let (table, rows) = micro_table(2000, 1, 4, KeyKind::Int, true);
-        let (pdt, vdt) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, 200, 42);
-        // both merged images identical
+        let (pdt, vdt, rs) = apply_micro_updates(&rows, 1, 4, KeyKind::Int, 200, 42);
+        // all three merged images identical
         let io = IoTracker::new();
         let mut s1 = TableScan::new(
             &table,
@@ -277,11 +283,20 @@ mod tests {
             &table,
             DeltaLayers::Vdt(&vdt),
             vec![0, 1, 2, 3, 4],
-            io,
+            io.clone(),
             ScanClock::new(),
         );
         let v = exec::run_to_rows(&mut s2);
+        let mut s3 = TableScan::new(
+            &table,
+            DeltaLayers::Rows(&rs),
+            vec![0, 1, 2, 3, 4],
+            io,
+            ScanClock::new(),
+        );
+        let r = exec::run_to_rows(&mut s3);
         assert_eq!(p, v);
+        assert_eq!(p, r);
         assert!(!p.is_empty());
     }
 

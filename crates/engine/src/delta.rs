@@ -22,9 +22,12 @@
 //! [`VdtStore`] gives the value-based baseline the *same* transactional
 //! treatment the paper's VDT lacks in most systems: staged ops, snapshot
 //! isolation from an immutable committed tree, key-addressed write-write
-//! conflict detection on replay, and WAL-logged commits. A third backend
-//! (e.g. the naive row-vector model) needs only another `DeltaStore` impl —
-//! no call-site changes.
+//! conflict detection on replay, and WAL-logged commits. The third backend,
+//! [`crate::RowStore`](crate::rowstore::RowStore), stages updates in a
+//! copy-on-write row buffer with per-commit versioned runs — the classic
+//! delta-store model — again with zero call-site changes; three
+//! independently implemented structures behind one lifecycle are what the
+//! differential test harness ([`crate::testkit`]) leans on.
 
 use crate::DbError;
 use columnar::{ColumnarError, IoTracker, StableTable, Value};
@@ -48,7 +51,16 @@ pub enum UpdatePolicy {
     /// The value-based delta baseline (insert/delete trees keyed by sort
     /// key), behind the same transactional interface.
     Vdt,
+    /// The classic delta-store baseline: an uncompressed copy-on-write row
+    /// buffer with per-commit versioned runs, behind the same transactional
+    /// interface.
+    RowStore,
 }
+
+/// Every update policy, in a fixed order — drives the differential test
+/// harness and policy-parametrized tests.
+pub const ALL_POLICIES: [UpdatePolicy; 3] =
+    [UpdatePolicy::Pdt, UpdatePolicy::Vdt, UpdatePolicy::RowStore];
 
 /// Immutable committed-state capture used by read views.
 pub trait DeltaSnapshot: Send + Sync {
@@ -488,9 +500,8 @@ impl DeltaStore for VdtStore {
         // ops log onto the current committed tree with the key-addressed
         // conflict rules of `VdtOp::replay` (mirroring PDT Serialize)
         let mut replayed = (*st.committed).clone();
-        let mut own_keys = std::collections::HashSet::new();
         for op in &txn.ops {
-            op.replay(&mut replayed, &mut own_keys)
+            op.replay(&mut replayed)
                 .map_err(|reason| DbError::Conflict {
                     table: self.table.clone(),
                     reason,
@@ -506,16 +517,49 @@ impl DeltaStore for VdtStore {
             .as_any()
             .downcast_ref::<VdtTxn>()
             .expect("VDT store handed a foreign staging area");
+        let st = self.state.read();
         let sk_cols = txn.working.sk_cols().to_vec();
-        txn.ops
-            .iter()
-            .flat_map(|op| op.wal_payloads(&sk_cols, pdt::INS, pdt::DEL))
-            .map(|(kind, values)| WalEntry {
-                sid: 0,
-                kind,
-                values,
-            })
-            .collect()
+        let sk_of = |t: &[Value]| -> Vec<Value> { sk_cols.iter().map(|&c| t[c].clone()).collect() };
+        let entry = |kind: u16, values: Vec<Value>| WalEntry {
+            sid: 0,
+            kind,
+            values,
+        };
+        // Modify flattens to delete(key) + insert(post) in the shared
+        // key-addressed log format. The post-image must reflect both this
+        // transaction's own op chain *and* any concurrently committed
+        // disjoint-column change that `prepare` reconciled with — so it is
+        // built from the current committed tuple (under the commit guard,
+        // after prepare) overlaid with our modified columns, op by op.
+        let mut post: std::collections::HashMap<Vec<Value>, Vec<Value>> =
+            std::collections::HashMap::new();
+        let mut entries = Vec::new();
+        for op in &txn.ops {
+            match op {
+                VdtOp::Insert(t) => {
+                    post.insert(sk_of(t), t.clone());
+                    entries.push(entry(pdt::INS, t.clone()));
+                }
+                VdtOp::Delete { pre } => {
+                    let key = sk_of(pre);
+                    post.remove(&key);
+                    entries.push(entry(pdt::DEL, key));
+                }
+                VdtOp::Modify { pre, col, value } => {
+                    let key = sk_of(pre);
+                    let t = post.entry(key.clone()).or_insert_with(|| {
+                        st.committed
+                            .pending_insert(&key)
+                            .cloned()
+                            .unwrap_or_else(|| pre.clone())
+                    });
+                    t[*col] = value.clone();
+                    entries.push(entry(pdt::DEL, key));
+                    entries.push(entry(pdt::INS, t.clone()));
+                }
+            }
+        }
+        entries
     }
 
     fn publish(&self, mut staged: Box<dyn DeltaTxn>, _seq: u64) {

@@ -387,11 +387,11 @@ mod tests {
             .collect()
     }
 
-    const BOTH: [UpdatePolicy; 2] = [UpdatePolicy::Pdt, UpdatePolicy::Vdt];
+    use crate::ALL_POLICIES;
 
     #[test]
     fn own_updates_visible_within_txn() {
-        for policy in BOTH {
+        for policy in ALL_POLICIES {
             let db = db_with_ints(10, policy);
             let mut t = db.begin();
             t.insert("t", vec![Value::Int(55), Value::Int(0)]).unwrap();
@@ -412,7 +412,7 @@ mod tests {
 
     #[test]
     fn multi_row_delete_descending_rids() {
-        for policy in BOTH {
+        for policy in ALL_POLICIES {
             let db = db_with_ints(20, policy);
             let mut t = db.begin();
             let n = t
@@ -428,7 +428,7 @@ mod tests {
 
     #[test]
     fn abort_discards_updates() {
-        for policy in BOTH {
+        for policy in ALL_POLICIES {
             let db = db_with_ints(5, policy);
             let mut t = db.begin();
             t.insert("t", vec![Value::Int(99), Value::Int(0)]).unwrap();
@@ -461,7 +461,7 @@ mod tests {
 
     #[test]
     fn insert_positions_respect_own_deletes() {
-        for policy in BOTH {
+        for policy in ALL_POLICIES {
             let db = db_with_ints(10, policy);
             let mut t = db.begin();
             // delete key 50 then insert 45: must go where 50 was
@@ -478,7 +478,7 @@ mod tests {
         // regression (found by fuzzing): when every stable row the ranged
         // victim scan covers is a ghost, the scan emits nothing — the
         // insert rank must then fall back to the scan's start RID, not 0.
-        for policy in BOTH {
+        for policy in ALL_POLICIES {
             let db = db_with_ints(40, policy);
             let mut t = db.begin();
             t.delete_where("t", col(0).ge(lit(320i64))).unwrap();
@@ -506,99 +506,137 @@ mod tests {
         assert!(matches!(b.commit(), Err(DbError::Txn(_))));
     }
 
+    /// The two value-addressed stores, which share the key-based conflict
+    /// semantics these tests pin down (the PDT equivalents live in
+    /// `conflicting_engine_txns` and the txn crate).
+    const VALUE_STORES: [UpdatePolicy; 2] = [UpdatePolicy::Vdt, UpdatePolicy::RowStore];
+
     #[test]
-    fn conflicting_vdt_inserts_abort_second_writer() {
-        let db = db_with_ints(10, UpdatePolicy::Vdt);
-        let mut a = db.begin();
-        let mut b = db.begin();
-        a.insert("t", vec![Value::Int(55), Value::Int(1)]).unwrap();
-        b.insert("t", vec![Value::Int(55), Value::Int(2)]).unwrap();
-        a.commit().unwrap();
-        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
-        // state reflects only a's insert
-        let view = db.read_view();
-        let mut scan = view.scan("t", vec![0, 1]).unwrap();
-        let rows = run_to_rows(&mut scan);
-        let hit = rows.iter().find(|r| r[0] == Value::Int(55)).unwrap();
-        assert_eq!(hit[1], Value::Int(1));
+    fn conflicting_value_store_inserts_abort_second_writer() {
+        for policy in VALUE_STORES {
+            let db = db_with_ints(10, policy);
+            let mut a = db.begin();
+            let mut b = db.begin();
+            a.insert("t", vec![Value::Int(55), Value::Int(1)]).unwrap();
+            b.insert("t", vec![Value::Int(55), Value::Int(2)]).unwrap();
+            a.commit().unwrap();
+            assert!(
+                matches!(b.commit(), Err(DbError::Conflict { .. })),
+                "{policy:?}"
+            );
+            // state reflects only a's insert
+            let view = db.read_view();
+            let mut scan = view.scan("t", vec![0, 1]).unwrap();
+            let rows = run_to_rows(&mut scan);
+            let hit = rows.iter().find(|r| r[0] == Value::Int(55)).unwrap();
+            assert_eq!(hit[1], Value::Int(1), "{policy:?}");
+        }
     }
 
     #[test]
-    fn conflicting_vdt_modifies_abort_second_writer() {
-        // same column of the same tuple: the value-based replay must
+    fn conflicting_value_store_modifies_abort_second_writer() {
+        // same column of the same tuple: the value-based validation must
         // detect the lost update, exactly like PDT Serialize does
-        let db = db_with_ints(10, UpdatePolicy::Vdt);
-        let mut a = db.begin();
-        let mut b = db.begin();
-        a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
-            .unwrap();
-        b.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(2i64))])
-            .unwrap();
-        a.commit().unwrap();
-        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
-        let view = db.read_view();
-        let rows = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
-        assert_eq!(rows[3][1], Value::Int(1), "first writer's value survives");
+        for policy in VALUE_STORES {
+            let db = db_with_ints(10, policy);
+            let mut a = db.begin();
+            let mut b = db.begin();
+            a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
+                .unwrap();
+            b.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(2i64))])
+                .unwrap();
+            a.commit().unwrap();
+            assert!(
+                matches!(b.commit(), Err(DbError::Conflict { .. })),
+                "{policy:?}"
+            );
+            let view = db.read_view();
+            let rows = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
+            assert_eq!(
+                rows[3][1],
+                Value::Int(1),
+                "{policy:?}: first writer's value survives"
+            );
+        }
     }
 
     #[test]
-    fn disjoint_column_vdt_modifies_reconcile() {
+    fn disjoint_column_value_store_modifies_reconcile() {
         // different columns of the same tuple reconcile (CheckModConflict)
-        let db = Database::new();
-        let schema = Schema::from_pairs(&[
-            ("k", ValueType::Int),
-            ("a", ValueType::Int),
-            ("b", ValueType::Int),
-        ]);
-        db.create_table(
-            TableMeta::new("t", schema, vec![0]),
-            TableOptions::default().with_policy(UpdatePolicy::Vdt),
-            vec![vec![Value::Int(1), Value::Int(0), Value::Int(0)]],
-        )
-        .unwrap();
-        let mut p = db.begin();
-        let mut q = db.begin();
-        p.update_where("t", col(0).eq(lit(1i64)), vec![(1, lit(11i64))])
+        for policy in VALUE_STORES {
+            let db = Database::new();
+            let schema = Schema::from_pairs(&[
+                ("k", ValueType::Int),
+                ("a", ValueType::Int),
+                ("b", ValueType::Int),
+            ]);
+            db.create_table(
+                TableMeta::new("t", schema, vec![0]),
+                TableOptions::default().with_policy(policy),
+                vec![vec![Value::Int(1), Value::Int(0), Value::Int(0)]],
+            )
             .unwrap();
-        q.update_where("t", col(0).eq(lit(1i64)), vec![(2, lit(22i64))])
-            .unwrap();
-        p.commit().unwrap();
-        q.commit().expect("disjoint columns must reconcile");
-        let view = db.read_view();
-        let rows = run_to_rows(&mut view.scan("t", vec![0, 1, 2]).unwrap());
-        assert_eq!(rows[0], vec![Value::Int(1), Value::Int(11), Value::Int(22)]);
+            let mut p = db.begin();
+            let mut q = db.begin();
+            p.update_where("t", col(0).eq(lit(1i64)), vec![(1, lit(11i64))])
+                .unwrap();
+            q.update_where("t", col(0).eq(lit(1i64)), vec![(2, lit(22i64))])
+                .unwrap();
+            p.commit().unwrap();
+            q.commit()
+                .unwrap_or_else(|e| panic!("{policy:?}: disjoint columns must reconcile: {e}"));
+            let view = db.read_view();
+            let rows = run_to_rows(&mut view.scan("t", vec![0, 1, 2]).unwrap());
+            assert_eq!(
+                rows[0],
+                vec![Value::Int(1), Value::Int(11), Value::Int(22)],
+                "{policy:?}"
+            );
+        }
     }
 
     #[test]
-    fn vdt_delete_vs_modify_conflicts() {
-        let db = db_with_ints(10, UpdatePolicy::Vdt);
-        let mut a = db.begin();
-        let mut b = db.begin();
-        a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
-            .unwrap();
-        b.delete_where("t", col(0).eq(lit(30i64))).unwrap();
-        a.commit().unwrap();
-        assert!(matches!(b.commit(), Err(DbError::Conflict { .. })));
-        assert_eq!(db.row_count("t").unwrap(), 10, "delete must not land");
+    fn value_store_delete_vs_modify_conflicts() {
+        for policy in VALUE_STORES {
+            let db = db_with_ints(10, policy);
+            let mut a = db.begin();
+            let mut b = db.begin();
+            a.update_where("t", col(0).eq(lit(30i64)), vec![(1, lit(1i64))])
+                .unwrap();
+            b.delete_where("t", col(0).eq(lit(30i64))).unwrap();
+            a.commit().unwrap();
+            assert!(
+                matches!(b.commit(), Err(DbError::Conflict { .. })),
+                "{policy:?}"
+            );
+            assert_eq!(
+                db.row_count("t").unwrap(),
+                10,
+                "{policy:?}: delete must not land"
+            );
+        }
     }
 
     #[test]
-    fn disjoint_vdt_commits_both_land() {
-        // the replay path: b began before a committed, touching other keys
-        let db = db_with_ints(10, UpdatePolicy::Vdt);
-        let mut a = db.begin();
-        let mut b = db.begin();
-        a.update_where("t", col(0).eq(lit(10i64)), vec![(1, lit(-1i64))])
-            .unwrap();
-        b.update_where("t", col(0).eq(lit(80i64)), vec![(1, lit(-2i64))])
-            .unwrap();
-        a.commit().unwrap();
-        b.commit().unwrap();
-        let view = db.read_view();
-        let mut scan = view.scan("t", vec![0, 1]).unwrap();
-        let rows = run_to_rows(&mut scan);
-        assert_eq!(rows[1][1], Value::Int(-1));
-        assert_eq!(rows[8][1], Value::Int(-2));
-        assert_eq!(rows.len(), 10);
+    fn disjoint_value_store_commits_both_land() {
+        // the validation path: b began before a committed, touching other
+        // keys — both commits must land
+        for policy in VALUE_STORES {
+            let db = db_with_ints(10, policy);
+            let mut a = db.begin();
+            let mut b = db.begin();
+            a.update_where("t", col(0).eq(lit(10i64)), vec![(1, lit(-1i64))])
+                .unwrap();
+            b.update_where("t", col(0).eq(lit(80i64)), vec![(1, lit(-2i64))])
+                .unwrap();
+            a.commit().unwrap();
+            b.commit().unwrap();
+            let view = db.read_view();
+            let mut scan = view.scan("t", vec![0, 1]).unwrap();
+            let rows = run_to_rows(&mut scan);
+            assert_eq!(rows[1][1], Value::Int(-1), "{policy:?}");
+            assert_eq!(rows[8][1], Value::Int(-2), "{policy:?}");
+            assert_eq!(rows.len(), 10, "{policy:?}");
+        }
     }
 }

@@ -4,7 +4,8 @@
 //! ordered compressed columnar tables ([`columnar`]), differential updates
 //! buffered in a per-table update structure behind the [`DeltaStore`]
 //! trait — positional PDTs ([`pdt`]) under snapshot-isolation transactions
-//! ([`txn`]), or the value-based VDT baseline ([`vdt`]) — and scans/queries
+//! ([`txn`]), the value-based VDT baseline ([`vdt`]), or the classic
+//! copy-on-write row-store baseline ([`rowstore`]) — and scans/queries
 //! through the block-oriented executor ([`exec`]).
 //!
 //! Every table picks its update structure at creation time
@@ -33,9 +34,14 @@
 
 pub mod delta;
 pub mod dml;
+pub mod rowstore;
+pub mod testkit;
 
-pub use delta::{DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore};
+pub use delta::{
+    DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore, ALL_POLICIES,
+};
 pub use dml::DbTxn;
+pub use rowstore::RowStore;
 
 use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
 use exec::{DeltaLayers, ScanBounds, ScanClock, TableScan};
@@ -88,7 +94,16 @@ impl fmt::Display for DbError {
     }
 }
 
-impl std::error::Error for DbError {}
+impl std::error::Error for DbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DbError::Storage(e) => Some(e),
+            DbError::Txn(e) => Some(e),
+            DbError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<ColumnarError> for DbError {
     fn from(e: ColumnarError) -> Self {
@@ -214,6 +229,7 @@ impl Database {
                 Arc::new(PdtStore::new(self.txn_mgr.clone(), name.clone()))
             }
             UpdatePolicy::Vdt => Arc::new(VdtStore::new(name.clone(), schema, sk)),
+            UpdatePolicy::RowStore => Arc::new(RowStore::new(name.clone(), schema, sk)),
         };
         self.tables.write().insert(
             name,
@@ -589,7 +605,7 @@ mod tests {
 
     #[test]
     fn paper_batches_through_engine_both_policies() {
-        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+        for policy in ALL_POLICIES {
             let db = inventory_db(policy);
             run_paper_batches(&db);
             let rows = all_rows(&db);
@@ -612,7 +628,7 @@ mod tests {
 
     #[test]
     fn duplicate_key_rejected() {
-        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+        for policy in ALL_POLICIES {
             let db = inventory_db(policy);
             let mut t = db.begin();
             let err = t
@@ -628,7 +644,7 @@ mod tests {
 
     #[test]
     fn checkpoint_preserves_view_and_resets_layers() {
-        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+        for policy in ALL_POLICIES {
             let db = inventory_db(policy);
             let mut t = db.begin();
             t.insert(
@@ -667,7 +683,7 @@ mod tests {
 
     #[test]
     fn sort_key_update_is_delete_plus_insert() {
-        for policy in [UpdatePolicy::Pdt, UpdatePolicy::Vdt] {
+        for policy in ALL_POLICIES {
             let db = inventory_db(policy);
             let mut t = db.begin();
             // rename London/table -> London/bench (SK column!)
@@ -685,6 +701,59 @@ mod tests {
             assert_eq!(rows[0][1].as_str(), "bench", "{policy:?}");
             assert_eq!(rows.len(), 5);
         }
+    }
+
+    #[test]
+    fn db_error_displays_readable_messages_with_sources() {
+        // the differential harness prints these on divergence — they must
+        // read like sentences, not Debug dumps
+        let cases = [
+            (
+                DbError::UnknownTable("inv".into()),
+                "unknown table inv",
+                false,
+            ),
+            (
+                DbError::UnknownColumn {
+                    table: "inv".into(),
+                    column: "ghost".into(),
+                },
+                "unknown column ghost in table inv",
+                false,
+            ),
+            (
+                DbError::DuplicateKey {
+                    table: "inv".into(),
+                    key: vec![Value::Int(7)],
+                },
+                "duplicate sort key [Int(7)] in table inv",
+                false,
+            ),
+            (
+                DbError::Conflict {
+                    table: "inv".into(),
+                    reason: "concurrent insert of sort key [Int(7)]".into(),
+                },
+                "write-write conflict on table inv: concurrent insert of sort key [Int(7)]",
+                false,
+            ),
+            (
+                DbError::Io(std::io::Error::new(
+                    std::io::ErrorKind::NotFound,
+                    "wal gone",
+                )),
+                "io error: wal gone",
+                true,
+            ),
+        ];
+        use std::error::Error;
+        for (err, want, has_source) in cases {
+            assert_eq!(err.to_string(), want);
+            assert_eq!(err.source().is_some(), has_source, "{err}");
+        }
+        // wrapped errors chain their source for `anyhow`-style reporting
+        let err = DbError::Txn(txn::TxnError::UnknownTable("inv".into()));
+        assert!(err.source().unwrap().to_string().contains("inv"));
     }
 
     #[test]

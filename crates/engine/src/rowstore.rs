@@ -1,0 +1,322 @@
+//! [`DeltaStore`] over a copy-on-write row buffer — the classic
+//! write-optimized delta-store baseline (Krueger et al.; "Teaching an Old
+//! Elephant New Tricks"), behind the same transactional lifecycle as the
+//! PDT and VDT stores.
+//!
+//! Committed state is one consolidated [`RowBuffer`] published behind an
+//! `Arc`: readers snapshot the pointer and are never blocked. Commits
+//! never mutate a published buffer — `publish` clones the committed
+//! buffer, applies the transaction's ops, and swaps the copy in
+//! (copy-on-write), additionally appending the ops as a versioned
+//! [`RowRun`]. `prepare` validates a transaction against exactly the runs
+//! published after its begin version via the footprint-based
+//! [`ConflictSet`] — a third write-write detection mechanism next to the
+//! PDT's TZ-set serialization and the VDT's value-wise replay, required to
+//! reach the same abort/commit decisions.
+//!
+//! The run history is cleared at checkpoints (which also reset the
+//! buffer); like the VDT store, a transaction spanning a checkpoint
+//! validates against the post-checkpoint state only.
+
+use crate::delta::{DeltaSnapshot, DeltaStore, DeltaTxn, UpdatePolicy};
+use crate::DbError;
+use columnar::{IoTracker, SkKey, StableTable, Value};
+use exec::DeltaLayers;
+use parking_lot::RwLock;
+use rowstore::{ConflictSet, RowBuffer, RowOp, RowRun};
+use std::any::Any;
+use std::sync::Arc;
+use txn::wal::WalEntry;
+
+/// [`DeltaStore`] over an uncompressed copy-on-write row buffer.
+pub struct RowStore {
+    table: String,
+    state: RwLock<RowState>,
+}
+
+struct RowState {
+    committed: Arc<RowBuffer>,
+    /// Ops of every commit since the last checkpoint, tagged with the
+    /// buffer version each produced (prepare-time conflict validation).
+    runs: Vec<Arc<RowRun>>,
+    /// Bumped on every publish / checkpoint / replay.
+    version: u64,
+}
+
+impl RowStore {
+    pub fn new(table: String, schema: columnar::Schema, sk_cols: Vec<usize>) -> Self {
+        RowStore {
+            table,
+            state: RwLock::new(RowState {
+                committed: Arc::new(RowBuffer::new(schema, sk_cols)),
+                runs: Vec::new(),
+                version: 0,
+            }),
+        }
+    }
+}
+
+struct RowSnapshot {
+    buf: Arc<RowBuffer>,
+    version: u64,
+}
+
+impl DeltaSnapshot for RowSnapshot {
+    fn layers(&self) -> DeltaLayers<'_> {
+        if self.buf.is_empty() {
+            DeltaLayers::None
+        } else {
+            DeltaLayers::Rows(&self.buf)
+        }
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.buf.delta_total()
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+}
+
+struct RowTxn {
+    /// Begin-time committed buffer with the staged ops already folded in —
+    /// what this transaction's own scans merge.
+    working: RowBuffer,
+    base_version: u64,
+    /// The logical ops, kept for validation, WAL flattening and publish.
+    ops: Vec<RowOp>,
+}
+
+impl DeltaTxn for RowTxn {
+    fn layers(&self) -> DeltaLayers<'_> {
+        if self.working.is_empty() {
+            DeltaLayers::None
+        } else {
+            DeltaLayers::Rows(&self.working)
+        }
+    }
+
+    fn delta_total(&self) -> i64 {
+        self.working.delta_total()
+    }
+
+    fn is_dirty(&self) -> bool {
+        !self.ops.is_empty()
+    }
+
+    fn stage_insert(&mut self, _rid: u64, tuple: &[Value]) {
+        self.working.insert(tuple.to_vec());
+        self.ops.push(RowOp::Insert(tuple.to_vec()));
+    }
+
+    fn stage_delete(&mut self, _rid: u64, row: &[Value]) {
+        self.working.delete(row);
+        self.ops.push(RowOp::Delete { pre: row.to_vec() });
+    }
+
+    fn stage_modify(&mut self, _rid: u64, col: usize, value: &Value, row: &[Value]) {
+        self.working.modify(row, col, value.clone());
+        self.ops.push(RowOp::Modify {
+            pre: row.to_vec(),
+            col,
+            value: value.clone(),
+        });
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+impl DeltaStore for RowStore {
+    fn policy(&self) -> UpdatePolicy {
+        UpdatePolicy::RowStore
+    }
+
+    fn snapshot(&self) -> Arc<dyn DeltaSnapshot> {
+        let st = self.state.read();
+        Arc::new(RowSnapshot {
+            buf: st.committed.clone(),
+            version: st.version,
+        })
+    }
+
+    fn begin(&self, snap: &Arc<dyn DeltaSnapshot>, _start_seq: u64) -> Box<dyn DeltaTxn> {
+        let snap = snap
+            .as_any()
+            .downcast_ref::<RowSnapshot>()
+            .expect("row store handed a foreign snapshot");
+        Box::new(RowTxn {
+            working: (*snap.buf).clone(),
+            base_version: snap.version,
+            ops: Vec::new(),
+        })
+    }
+
+    fn prepare(&self, staged: &mut dyn DeltaTxn) -> Result<(), DbError> {
+        let txn = staged
+            .as_any_mut()
+            .downcast_mut::<RowTxn>()
+            .expect("row store handed a foreign staging area");
+        let st = self.state.read();
+        if st.version == txn.base_version {
+            // fast path: nothing committed since begin
+            return Ok(());
+        }
+        // validate against exactly the runs published after our begin
+        let mut concurrent = ConflictSet::new();
+        let sk_cols = st.committed.sk_cols().to_vec();
+        for run in st.runs.iter().filter(|r| r.version > txn.base_version) {
+            concurrent.add_run(run, &sk_cols);
+        }
+        for op in &txn.ops {
+            concurrent
+                .check(op, &sk_cols)
+                .map_err(|reason| DbError::Conflict {
+                    table: self.table.clone(),
+                    reason,
+                })?;
+        }
+        Ok(())
+    }
+
+    fn wal_entries(&self, staged: &dyn DeltaTxn) -> Vec<WalEntry> {
+        let txn = staged
+            .as_any()
+            .downcast_ref::<RowTxn>()
+            .expect("row store handed a foreign staging area");
+        let st = self.state.read();
+        let sk_cols = st.committed.sk_cols().to_vec();
+        let sk_of = |t: &[Value]| -> SkKey { sk_cols.iter().map(|&c| t[c].clone()).collect() };
+        let entry = |kind: u16, values: Vec<Value>| WalEntry {
+            sid: 0,
+            kind,
+            values,
+        };
+        // Modify flattens to delete(key) + insert(post) in the shared
+        // key-addressed log format. The post-image must reflect both this
+        // transaction's own op chain *and* any concurrently committed
+        // disjoint-column change that `prepare` reconciled with — so it is
+        // built from the current committed tuple (under the commit guard,
+        // after prepare) overlaid with our modified columns, op by op.
+        let mut post: std::collections::HashMap<SkKey, Vec<Value>> =
+            std::collections::HashMap::new();
+        let mut entries = Vec::new();
+        for op in &txn.ops {
+            match op {
+                RowOp::Insert(t) => {
+                    post.insert(sk_of(t), t.clone());
+                    entries.push(entry(pdt::INS, t.clone()));
+                }
+                RowOp::Delete { pre } => {
+                    let key = sk_of(pre);
+                    post.remove(&key);
+                    entries.push(entry(pdt::DEL, key));
+                }
+                RowOp::Modify { pre, col, value } => {
+                    let key = sk_of(pre);
+                    let t = post.entry(key.clone()).or_insert_with(|| {
+                        st.committed
+                            .pending_put(&key)
+                            .cloned()
+                            .unwrap_or_else(|| pre.clone())
+                    });
+                    t[*col] = value.clone();
+                    entries.push(entry(pdt::DEL, key));
+                    entries.push(entry(pdt::INS, t.clone()));
+                }
+            }
+        }
+        entries
+    }
+
+    fn publish(&self, mut staged: Box<dyn DeltaTxn>, _seq: u64) {
+        let txn = staged
+            .as_any_mut()
+            .downcast_mut::<RowTxn>()
+            .expect("row store handed a foreign staging area");
+        let ops = std::mem::take(&mut txn.ops);
+        let mut st = self.state.write();
+        // copy-on-write: never mutate the published buffer readers hold
+        let mut fresh = (*st.committed).clone();
+        for op in &ops {
+            op.apply(&mut fresh);
+        }
+        st.committed = Arc::new(fresh);
+        st.version += 1;
+        let version = st.version;
+        st.runs.push(Arc::new(RowRun { version, ops }));
+    }
+
+    fn replay(&self, entries: &[WalEntry]) {
+        let mut st = self.state.write();
+        // recovery holds no snapshots, so make_mut mutates in place
+        let buf = Arc::make_mut(&mut st.committed);
+        for e in entries {
+            if e.kind == pdt::INS {
+                buf.insert(e.values.clone());
+            } else if e.kind == pdt::DEL {
+                buf.delete_key(&e.values);
+            } else {
+                panic!(
+                    "row store WAL replay: unexpected modify entry (kind {})",
+                    e.kind
+                );
+            }
+        }
+        st.version += 1;
+    }
+
+    fn write_bytes(&self) -> usize {
+        self.state.read().committed.heap_bytes()
+    }
+
+    fn flush(&self) -> bool {
+        // single-layer structure: checkpoint is the only migration
+        false
+    }
+
+    fn checkpoint(
+        &self,
+        stable: &StableTable,
+        io: &IoTracker,
+    ) -> Result<Option<StableTable>, DbError> {
+        let merged = {
+            let st = self.state.read();
+            if st.committed.is_empty() && st.runs.is_empty() {
+                return Ok(None);
+            }
+            if st.committed.is_empty() {
+                // net-zero buffer (e.g. insert + delete of the same key):
+                // nothing to fold, but the run history can be retired
+                None
+            } else {
+                let rows = stable.scan_all(io)?;
+                Some(st.committed.merge_rows(&rows))
+            }
+        };
+        let fresh = match merged {
+            Some(rows) => Some(StableTable::bulk_load(
+                stable.meta().clone(),
+                stable.options(),
+                &rows,
+            )?),
+            None => None,
+        };
+        let mut st = self.state.write();
+        if fresh.is_some() {
+            st.committed = Arc::new(RowBuffer::new(
+                stable.schema().clone(),
+                stable.sort_key().cols().to_vec(),
+            ));
+        }
+        st.runs.clear();
+        st.version += 1;
+        Ok(fresh)
+    }
+}

@@ -1,0 +1,450 @@
+//! Cross-backend differential test harness.
+//!
+//! Three independently implemented update structures sit behind
+//! [`DeltaStore`](crate::DeltaStore); driven by identical DML they must
+//! agree **bit-for-bit** — on scan images, row counts, commit/abort
+//! decisions, and recovered state. [`DiffHarness`] turns that invariant
+//! into an executable oracle: every workload step is applied through the
+//! same transactional API to one database per [`UpdatePolicy`] *and* to
+//! the executable specification [`NaiveImage`], then all four images are
+//! compared. The workspace's fuzz tests, lifecycle tests and DML unit
+//! tests all drive their workloads through this module, so any behavioural
+//! divergence between PDT, VDT and the row store fails loudly and with a
+//! readable diff.
+//!
+//! With [`DiffHarness::with_wal`] every database is WAL-backed, and
+//! [`DiffHarness::crash_recover`] models a crash: all databases are
+//! dropped and rebuilt from their base image plus WAL replay — recovery
+//! state is part of the differential contract. Checkpoints in WAL mode
+//! rotate the log (fold deltas into fresh stable images, truncate the
+//! logs, restart from the checkpointed image), which is exactly the
+//! log-truncation bargain checkpointing buys a real system.
+//!
+//! [`run_interleaved`] extends the oracle to concurrency: a fixed
+//! two-transaction interleaving is executed against every policy and the
+//! per-transaction commit/abort decisions plus the final image must match
+//! — the PDT's TZ-set serialization, the VDT's value-wise replay and the
+//! row store's run-footprint validation have to reach the same verdicts.
+
+use crate::{Database, DbError, TableOptions, UpdatePolicy, ALL_POLICIES};
+use columnar::{Schema, TableMeta, Tuple, Value};
+use exec::expr::{col, lit, Expr};
+use exec::run_to_rows;
+use pdt::naive::NaiveImage;
+use std::path::PathBuf;
+
+/// Equality predicate over a full sort key (one `col = lit` conjunct per
+/// key column) — how every harness statement addresses its victim row.
+pub fn key_eq_pred(sk_cols: &[usize], key: &[Value]) -> Expr {
+    sk_cols
+        .iter()
+        .zip(key)
+        .map(|(&c, v)| col(c).eq(lit(v.clone())))
+        .reduce(|a, b| a.and(b))
+        .expect("non-empty sort key")
+}
+
+/// One database per update policy plus the naive model, driven in lockstep.
+pub struct DiffHarness {
+    table: String,
+    schema: Schema,
+    sk_cols: Vec<usize>,
+    block_rows: usize,
+    /// Stable image the databases were (re)built from — WAL recovery
+    /// replays on top of this.
+    base_rows: Vec<Tuple>,
+    dbs: Vec<(UpdatePolicy, Database)>,
+    model: NaiveImage,
+    /// `Some(dir)`: databases are WAL-backed (one log per policy) and
+    /// support [`Self::crash_recover`].
+    wal_dir: Option<PathBuf>,
+}
+
+impl DiffHarness {
+    /// In-memory harness (no WAL, no recovery steps).
+    pub fn new(
+        table: &str,
+        schema: Schema,
+        sk_cols: Vec<usize>,
+        rows: Vec<Tuple>,
+        block_rows: usize,
+    ) -> Self {
+        Self::build(table, schema, sk_cols, rows, block_rows, None)
+    }
+
+    /// WAL-backed harness: one log file per policy under `dir` (removed on
+    /// creation so every run starts clean).
+    pub fn with_wal(
+        dir: PathBuf,
+        table: &str,
+        schema: Schema,
+        sk_cols: Vec<usize>,
+        rows: Vec<Tuple>,
+        block_rows: usize,
+    ) -> Self {
+        std::fs::create_dir_all(&dir).expect("harness wal dir");
+        for policy in ALL_POLICIES {
+            let _ = std::fs::remove_file(Self::wal_path(&dir, policy));
+        }
+        Self::build(table, schema, sk_cols, rows, block_rows, Some(dir))
+    }
+
+    fn wal_path(dir: &std::path::Path, policy: UpdatePolicy) -> PathBuf {
+        dir.join(format!("{policy:?}.wal"))
+    }
+
+    fn build(
+        table: &str,
+        schema: Schema,
+        sk_cols: Vec<usize>,
+        rows: Vec<Tuple>,
+        block_rows: usize,
+        wal_dir: Option<PathBuf>,
+    ) -> Self {
+        let model = NaiveImage::new(&rows, sk_cols.clone());
+        let mut h = DiffHarness {
+            table: table.to_string(),
+            schema,
+            sk_cols,
+            block_rows,
+            base_rows: rows,
+            dbs: Vec::new(),
+            model,
+            wal_dir,
+        };
+        h.dbs = h.make_dbs();
+        h
+    }
+
+    fn make_dbs(&self) -> Vec<(UpdatePolicy, Database)> {
+        ALL_POLICIES
+            .iter()
+            .map(|&policy| {
+                let db = match &self.wal_dir {
+                    Some(dir) => {
+                        Database::with_wal(&Self::wal_path(dir, policy)).expect("open harness wal")
+                    }
+                    None => Database::new(),
+                };
+                db.create_table(
+                    TableMeta::new(&self.table, self.schema.clone(), self.sk_cols.clone()),
+                    TableOptions {
+                        block_rows: self.block_rows,
+                        compressed: true,
+                        policy,
+                    },
+                    self.base_rows.clone(),
+                )
+                .expect("harness create_table");
+                (policy, db)
+            })
+            .collect()
+    }
+
+    /// The reference model.
+    pub fn model(&self) -> &NaiveImage {
+        &self.model
+    }
+
+    /// The databases, for workload steps the harness does not wrap.
+    pub fn dbs(&self) -> impl Iterator<Item = (UpdatePolicy, &Database)> {
+        self.dbs.iter().map(|(p, db)| (*p, db))
+    }
+
+    fn key_of(&self, row: &[Value]) -> Vec<Value> {
+        self.sk_cols.iter().map(|&c| row[c].clone()).collect()
+    }
+
+    fn key_pred(&self, key: &[Value]) -> Expr {
+        key_eq_pred(&self.sk_cols, key)
+    }
+
+    fn merged_image(db: &Database, table: &str, ncols: usize) -> Vec<Tuple> {
+        let view = db.read_view();
+        run_to_rows(&mut view.scan(table, (0..ncols).collect()).unwrap())
+    }
+
+    /// Assert every database's merged image, visible row count and policy
+    /// tag agree with the model.
+    pub fn assert_agree(&self, context: &str) {
+        let ncols = self.schema.len();
+        for (policy, db) in &self.dbs {
+            assert_eq!(
+                db.policy(&self.table).unwrap(),
+                *policy,
+                "{context}: policy tag"
+            );
+            let image = Self::merged_image(db, &self.table, ncols);
+            assert_eq!(
+                image,
+                self.model.rows(),
+                "{context}: {policy:?} image diverged from the model"
+            );
+            assert_eq!(
+                db.row_count(&self.table).unwrap(),
+                self.model.len() as u64,
+                "{context}: {policy:?} row count"
+            );
+        }
+    }
+
+    /// Assert every database's *clean* (stable-image-only) scan equals the
+    /// model — meaningful right after a checkpoint.
+    pub fn assert_clean_agree(&self, context: &str) {
+        let ncols = self.schema.len();
+        for (policy, db) in &self.dbs {
+            let view = db.clean_view();
+            let clean = run_to_rows(&mut view.scan(&self.table, (0..ncols).collect()).unwrap());
+            assert_eq!(
+                clean,
+                self.model.rows(),
+                "{context}: {policy:?} clean image diverged"
+            );
+        }
+    }
+
+    /// INSERT `tuple` through one committed transaction per database.
+    /// Returns `false` when the model predicts a duplicate sort key — in
+    /// which case every database must reject it identically.
+    pub fn insert(&mut self, tuple: Tuple) -> bool {
+        let key = self.key_of(&tuple);
+        let dup = self.model.rows().iter().any(|r| self.key_of(r) == key);
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let res = txn.insert(&self.table, tuple.clone());
+            if dup {
+                assert!(
+                    matches!(res, Err(DbError::DuplicateKey { .. })),
+                    "{policy:?}: duplicate insert of {key:?} must be rejected, got {res:?}"
+                );
+                txn.abort();
+            } else {
+                res.unwrap_or_else(|e| panic!("{policy:?}: insert of {key:?} failed: {e}"));
+                txn.commit()
+                    .unwrap_or_else(|e| panic!("{policy:?}: insert commit failed: {e}"));
+            }
+        }
+        if !dup {
+            let pos = self
+                .model
+                .rows()
+                .iter()
+                .position(|r| self.key_of(r) > key)
+                .unwrap_or(self.model.len());
+            self.model.insert(pos, tuple);
+        }
+        self.assert_agree("after insert");
+        !dup
+    }
+
+    /// DELETE the model's visible row `rid` through one committed
+    /// transaction per database (victims located by sort key).
+    pub fn delete(&mut self, rid: usize) {
+        let key = self.key_of(&self.model.rows()[rid]);
+        let pred = self.key_pred(&key);
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let n = txn
+                .delete_where(&self.table, pred.clone())
+                .unwrap_or_else(|e| panic!("{policy:?}: delete of {key:?} failed: {e}"));
+            assert_eq!(n, 1, "{policy:?}: delete of {key:?} must hit one row");
+            txn.commit()
+                .unwrap_or_else(|e| panic!("{policy:?}: delete commit failed: {e}"));
+        }
+        self.model.delete(rid);
+        self.assert_agree("after delete");
+    }
+
+    /// UPDATE column `m_col` of the model's visible row `rid` through one
+    /// committed transaction per database. Sort-key columns are allowed —
+    /// the engines rewrite those as delete + insert, and the model follows
+    /// by repositioning the row. Returns `false` when the rewrite would
+    /// collide with an existing key (then every database must reject it).
+    pub fn modify(&mut self, rid: usize, m_col: usize, value: Value) -> bool {
+        let pre = self.model.rows()[rid].clone();
+        let key = self.key_of(&pre);
+        let pred = self.key_pred(&key);
+        let touches_sk = self.sk_cols.contains(&m_col);
+        let mut post = pre.clone();
+        post[m_col] = value.clone();
+        let new_key = self.key_of(&post);
+        let collides = touches_sk
+            && new_key != key
+            && self.model.rows().iter().any(|r| self.key_of(r) == new_key);
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let res =
+                txn.update_where(&self.table, pred.clone(), vec![(m_col, lit(value.clone()))]);
+            if collides {
+                assert!(
+                    matches!(res, Err(DbError::DuplicateKey { .. })),
+                    "{policy:?}: key rewrite {key:?}->{new_key:?} must collide, got {res:?}"
+                );
+                txn.abort();
+            } else {
+                let n = res.unwrap_or_else(|e| panic!("{policy:?}: modify of {key:?} failed: {e}"));
+                assert_eq!(n, 1, "{policy:?}: modify of {key:?} must hit one row");
+                txn.commit()
+                    .unwrap_or_else(|e| panic!("{policy:?}: modify commit failed: {e}"));
+            }
+        }
+        if !collides {
+            if touches_sk {
+                self.model.delete(rid);
+                let pos = self
+                    .model
+                    .rows()
+                    .iter()
+                    .position(|r| self.key_of(r) > new_key)
+                    .unwrap_or(self.model.len());
+                self.model.insert(pos, post);
+            } else {
+                self.model.modify(rid, m_col, value);
+            }
+        }
+        self.assert_agree("after modify");
+        !collides
+    }
+
+    /// Migrate every database's write-optimised layer (no-op for the
+    /// single-layer structures) and re-verify.
+    pub fn flush(&mut self) {
+        for (_, db) in &self.dbs {
+            db.maybe_flush(&self.table, 0).unwrap();
+        }
+        self.assert_agree("after flush");
+    }
+
+    /// Checkpoint every database into a fresh stable image and verify both
+    /// the merged and the clean views. In WAL mode this also rotates the
+    /// logs: deltas are durable in the new stable images, so the logs are
+    /// truncated and the databases restart from the checkpointed image.
+    pub fn checkpoint(&mut self) {
+        for (policy, db) in &self.dbs {
+            db.checkpoint(&self.table)
+                .unwrap_or_else(|e| panic!("{policy:?}: checkpoint failed: {e}"));
+        }
+        self.assert_agree("after checkpoint");
+        self.assert_clean_agree("after checkpoint");
+        if self.wal_dir.is_some() {
+            // log truncation: rebuild from the checkpointed image
+            self.base_rows = self.model.rows().to_vec();
+            self.model = NaiveImage::new(&self.base_rows, self.sk_cols.clone());
+            self.dbs.clear(); // close WAL handles before removing the files
+            let dir = self.wal_dir.clone().unwrap();
+            for policy in ALL_POLICIES {
+                std::fs::remove_file(Self::wal_path(&dir, policy)).expect("truncate harness wal");
+            }
+            self.dbs = self.make_dbs();
+            self.assert_agree("after checkpoint rotation");
+        }
+    }
+
+    /// Crash: drop every database and rebuild it from its base image plus
+    /// WAL replay, then verify the recovered state against the model.
+    /// Panics unless the harness was built with [`Self::with_wal`].
+    pub fn crash_recover(&mut self) {
+        let dir = self
+            .wal_dir
+            .clone()
+            .expect("crash_recover requires a WAL-backed harness");
+        self.dbs.clear(); // drop live databases (the crash)
+        self.dbs = self.make_dbs();
+        for (policy, db) in &self.dbs {
+            db.recover_from(&Self::wal_path(&dir, *policy))
+                .unwrap_or_else(|e| panic!("{policy:?}: WAL recovery failed: {e}"));
+        }
+        self.assert_agree("after crash recovery");
+    }
+}
+
+/// One statement of a scripted transaction for [`run_interleaved`].
+#[derive(Debug, Clone)]
+pub enum TxnOp {
+    /// Insert a new tuple.
+    Insert(Tuple),
+    /// Delete the visible row with this sort key (0 or 1 victims).
+    Delete { key: Vec<Value> },
+    /// Set `col` of the visible row with this sort key (0 or 1 victims).
+    Modify {
+        key: Vec<Value>,
+        col: usize,
+        value: Value,
+    },
+}
+
+/// Outcome of a two-transaction interleaving, identical across policies.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterleavedOutcome {
+    /// Did transaction A's statements and commit all succeed?
+    pub a_ok: bool,
+    /// Did transaction B's statements and commit all succeed?
+    pub b_ok: bool,
+    /// The final committed image.
+    pub image: Vec<Tuple>,
+}
+
+/// Run the interleaving «begin A; begin B; A's ops; B's ops; commit A;
+/// commit B» against one database per policy and assert that every policy
+/// reaches the same per-transaction decision and the same final image.
+/// Returns the common outcome.
+pub fn run_interleaved(
+    schema: Schema,
+    sk_cols: Vec<usize>,
+    rows: Vec<Tuple>,
+    a_ops: &[TxnOp],
+    b_ops: &[TxnOp],
+) -> InterleavedOutcome {
+    let key_pred = |key: &[Value]| -> Expr { key_eq_pred(&sk_cols, key) };
+    let apply = |txn: &mut crate::DbTxn<'_>, op: &TxnOp| -> Result<(), DbError> {
+        match op {
+            TxnOp::Insert(t) => txn.insert("t", t.clone()),
+            TxnOp::Delete { key } => txn.delete_where("t", key_pred(key)).map(|_| ()),
+            TxnOp::Modify { key, col: c, value } => txn
+                .update_where("t", key_pred(key), vec![(*c, lit(value.clone()))])
+                .map(|_| ()),
+        }
+    };
+    let mut outcomes: Vec<(UpdatePolicy, InterleavedOutcome)> = Vec::new();
+    for policy in ALL_POLICIES {
+        let db = Database::new();
+        db.create_table(
+            TableMeta::new("t", schema.clone(), sk_cols.clone()),
+            TableOptions {
+                block_rows: 8,
+                compressed: true,
+                policy,
+            },
+            rows.clone(),
+        )
+        .unwrap();
+        let mut a = db.begin();
+        let mut b = db.begin();
+        let a_staged = a_ops.iter().all(|op| apply(&mut a, op).is_ok());
+        let b_staged = b_ops.iter().all(|op| apply(&mut b, op).is_ok());
+        let a_ok = if a_staged {
+            a.commit().is_ok()
+        } else {
+            a.abort();
+            false
+        };
+        let b_ok = if b_staged {
+            b.commit().is_ok()
+        } else {
+            b.abort();
+            false
+        };
+        let view = db.read_view();
+        let image = run_to_rows(&mut view.scan("t", (0..schema.len()).collect()).unwrap());
+        outcomes.push((policy, InterleavedOutcome { a_ok, b_ok, image }));
+    }
+    let (_, first) = &outcomes[0];
+    for (policy, o) in &outcomes[1..] {
+        assert_eq!(
+            o, first,
+            "{policy:?} disagreed with {:?} on the interleaving outcome",
+            outcomes[0].0
+        );
+    }
+    first.clone()
+}

@@ -1,5 +1,5 @@
-//! Table scans: clean, PDT-merging (positional) and VDT-merging
-//! (value-based).
+//! Table scans: clean, PDT-merging (positional), VDT-merging and
+//! row-buffer-merging (both value-based).
 //!
 //! This operator is where the paper's central comparison materialises:
 //!
@@ -9,6 +9,9 @@
 //!   output RIDs are the next layer's SIDs.
 //! * **VDT mode** must additionally read **all sort-key columns** and runs
 //!   MergeUnion/MergeDiff value comparisons per tuple.
+//! * **Rows mode** folds a copy-on-write row buffer ([`rowstore`]) into the
+//!   scan — the classic delta-store baseline. Being value-addressed, it
+//!   pays the same sort-key I/O and comparison tax as the VDT.
 //! * **Clean mode** scans the stable image only (the "no-updates" bars of
 //!   Figure 19).
 //!
@@ -21,6 +24,7 @@ use crate::ops::Operator;
 use crate::stats::ScanClock;
 use columnar::{ColumnVec, IoTracker, ScanRange, StableTable, Value, ValueType};
 use pdt::{Pdt, PdtMerger};
+use rowstore::{RowBuffer, RowMerger};
 use std::time::Instant;
 use vdt::{Vdt, VdtMerger};
 
@@ -33,6 +37,8 @@ pub enum DeltaLayers<'a> {
     Pdt(Vec<&'a Pdt>),
     /// Value-based merge through a VDT.
     Vdt(&'a Vdt),
+    /// Value-based merge through a copy-on-write row buffer.
+    Rows(&'a RowBuffer),
 }
 
 /// Inclusive sort-key prefix bounds for a ranged scan.
@@ -46,6 +52,7 @@ enum MergeState<'a> {
     None,
     Pdt(Vec<PdtMerger<'a>>),
     Vdt(Box<VdtMerger<'a>>),
+    Rows(Box<RowMerger<'a>>),
 }
 
 /// The scan operator.
@@ -107,13 +114,7 @@ impl<'a> TableScan<'a> {
                 (MergeState::Pdt(mergers), proj.clone(), None, None)
             }
             DeltaLayers::Vdt(v) => {
-                // the value-based tax: sort-key columns are always read
-                let mut io_cols = proj.clone();
-                for &c in table.sort_key().cols() {
-                    if !io_cols.contains(&c) {
-                        io_cols.push(c);
-                    }
-                }
+                let io_cols = value_io_cols(table, &proj);
                 let merger = if range.start == 0 {
                     VdtMerger::new(v)
                 } else {
@@ -123,17 +124,22 @@ impl<'a> TableScan<'a> {
                     VdtMerger::new_ranged(v, range.start, &key)
                 };
                 start_rid = merger.next_rid();
-                // inserts beyond the ranged upper boundary are not drained
-                let upper = if range.end < table.row_count() {
-                    Some(
-                        table
-                            .sk_of_row(range.end, &io)
-                            .expect("range end within table"),
-                    )
-                } else {
-                    None
-                };
+                let upper = drain_upper_key(table, &range, &io);
                 (MergeState::Vdt(Box::new(merger)), io_cols, Some(v), upper)
+            }
+            DeltaLayers::Rows(rb) => {
+                let io_cols = value_io_cols(table, &proj);
+                let merger = if range.start == 0 {
+                    RowMerger::new(rb)
+                } else {
+                    let key = table
+                        .sk_of_row(range.start, &io)
+                        .expect("range start within table");
+                    RowMerger::new_ranged(rb, range.start, &key)
+                };
+                start_rid = merger.next_rid();
+                let upper = drain_upper_key(table, &range, &io);
+                (MergeState::Rows(Box::new(merger)), io_cols, None, upper)
             }
         };
         let next_block = if range.is_empty() {
@@ -269,6 +275,33 @@ fn state_kind(s: &MergeState) -> u8 {
         MergeState::None => 0,
         MergeState::Pdt(_) => 1,
         MergeState::Vdt(_) => 2,
+        MergeState::Rows(_) => 3,
+    }
+}
+
+/// Columns a value-based merge must read: the projection plus every
+/// sort-key column (the tax positional merging avoids).
+fn value_io_cols(table: &StableTable, proj: &[usize]) -> Vec<usize> {
+    let mut io_cols = proj.to_vec();
+    for &c in table.sort_key().cols() {
+        if !io_cols.contains(&c) {
+            io_cols.push(c);
+        }
+    }
+    io_cols
+}
+
+/// Sort key of the first stable row past the scanned range: buffered
+/// inserts beyond it must not be drained by a ranged scan.
+fn drain_upper_key(table: &StableTable, range: &ScanRange, io: &IoTracker) -> Option<Vec<Value>> {
+    if range.end < table.row_count() {
+        Some(
+            table
+                .sk_of_row(range.end, io)
+                .expect("range end within table"),
+        )
+    } else {
+        None
     }
 }
 
@@ -305,7 +338,7 @@ impl<'a> Operator for TableScan<'a> {
                             rid_start: rid0,
                         });
                     }
-                    MergeState::Vdt(merger) => {
+                    MergeState::Vdt(_) | MergeState::Rows(_) => {
                         // split decoded columns into projection + sort key
                         let nproj = self.proj.len();
                         let sk_cols = self.table.sort_key().cols();
@@ -317,11 +350,34 @@ impl<'a> Operator for TableScan<'a> {
                                 cols[pos].clone()
                             })
                             .collect();
-                        let rid0 = merger.next_rid();
                         let mut out: Vec<ColumnVec> = (0..nproj)
                             .map(|k| ColumnVec::new(cols[k].vtype()))
                             .collect();
-                        merger.merge_block(len, &self.proj, &sk_in, &cols[..nproj], &mut out);
+                        let rid0 = match &mut self.state {
+                            MergeState::Vdt(merger) => {
+                                let rid0 = merger.next_rid();
+                                merger.merge_block(
+                                    len,
+                                    &self.proj,
+                                    &sk_in,
+                                    &cols[..nproj],
+                                    &mut out,
+                                );
+                                rid0
+                            }
+                            MergeState::Rows(merger) => {
+                                let rid0 = merger.next_rid();
+                                merger.merge_block(
+                                    len,
+                                    &self.proj,
+                                    &sk_in,
+                                    &cols[..nproj],
+                                    &mut out,
+                                );
+                                rid0
+                            }
+                            _ => unreachable!(),
+                        };
                         break 'produce Some(Batch {
                             cols: out,
                             rid_start: rid0,
@@ -336,14 +392,25 @@ impl<'a> Operator for TableScan<'a> {
                 MergeState::Pdt(_) => {
                     break 'produce self.finish_pdt();
                 }
-                MergeState::Vdt(merger) => {
-                    let rid0 = merger.next_rid();
+                MergeState::Vdt(_) | MergeState::Rows(_) => {
                     let mut out: Vec<ColumnVec> = self
                         .proj
                         .iter()
                         .map(|&c| ColumnVec::new(self.table.schema().vtype(c)))
                         .collect();
-                    merger.drain_inserts(self.drain_upper.as_deref(), &self.proj, &mut out);
+                    let rid0 = match &mut self.state {
+                        MergeState::Vdt(merger) => {
+                            let rid0 = merger.next_rid();
+                            merger.drain_inserts(self.drain_upper.as_deref(), &self.proj, &mut out);
+                            rid0
+                        }
+                        MergeState::Rows(merger) => {
+                            let rid0 = merger.next_rid();
+                            merger.drain_inserts(self.drain_upper.as_deref(), &self.proj, &mut out);
+                            rid0
+                        }
+                        _ => unreachable!(),
+                    };
                     if out[0].is_empty() {
                         None
                     } else {
@@ -512,6 +579,85 @@ mod tests {
             ScanClock::new(),
         );
         assert_eq!(run_to_rows(&mut scan), want);
+    }
+
+    #[test]
+    fn rows_scan_matches_row_merge() {
+        let t = table(20);
+        let base = rows(20);
+        let mut b = RowBuffer::new(schema(), vec![0]);
+        b.insert(vec![
+            Value::Int(-5),
+            Value::Int(99),
+            Value::Str("new".into()),
+        ]);
+        b.delete_key(&[Value::Int(20)]);
+        b.modify(&base[4], 1, Value::Int(-4));
+        b.insert(vec![Value::Int(999), Value::Int(0), Value::Str("t".into())]);
+        let want = b.merge_rows(&base);
+        let io = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Rows(&b),
+            vec![0, 1, 2],
+            io,
+            ScanClock::new(),
+        );
+        assert_eq!(run_to_rows(&mut scan), want);
+    }
+
+    #[test]
+    fn ranged_scan_rows_matches_filtered_full_scan() {
+        let t = table(40);
+        let mut b = RowBuffer::new(schema(), vec![0]);
+        b.delete_key(&[Value::Int(200)]);
+        b.insert(vec![Value::Int(195), Value::Int(0), Value::Str("g".into())]);
+        let io = IoTracker::new();
+        let mut scan = TableScan::ranged(
+            &t,
+            DeltaLayers::Rows(&b),
+            vec![0],
+            ScanBounds {
+                lo: Some(vec![Value::Int(190)]),
+                hi: Some(vec![Value::Int(210)]),
+            },
+            io,
+            ScanClock::new(),
+        );
+        let got = run_to_rows(&mut scan);
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+        assert!(keys.contains(&195) && !keys.contains(&200));
+    }
+
+    #[test]
+    fn rows_scan_pays_key_column_io_like_vdt() {
+        let t = table(1000);
+        let b = RowBuffer::new(schema(), vec![0]);
+        let p = Pdt::new(schema(), vec![0]);
+        let io_pdt = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![1],
+            io_pdt.clone(),
+            ScanClock::new(),
+        );
+        while scan.next_batch().is_some() {}
+        let io_rows = IoTracker::new();
+        let mut scan = TableScan::new(
+            &t,
+            DeltaLayers::Rows(&b),
+            vec![1],
+            io_rows.clone(),
+            ScanClock::new(),
+        );
+        while scan.next_batch().is_some() {}
+        assert!(
+            io_rows.stats().bytes_read > io_pdt.stats().bytes_read,
+            "row-buffer merging must read the sort-key column: {} vs {}",
+            io_rows.stats().bytes_read,
+            io_pdt.stats().bytes_read
+        );
     }
 
     #[test]

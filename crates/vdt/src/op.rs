@@ -8,13 +8,13 @@
 //!   between this transaction's begin and commit, its staged ops are
 //!   re-applied onto the *current* committed VDT with key-addressed
 //!   write-write conflict detection mirroring the PDT's Serialize rules;
-//! * **durability** — each op flattens to key-addressed WAL entries
-//!   (`Modify` as delete + insert, exactly the value-based representation),
-//!   so VDT commits pay the same sequential-logging cost PDT commits do.
+//! * **durability** — the engine's `VdtStore` flattens the ops log to
+//!   key-addressed WAL entries (`Modify` as delete + insert, exactly the
+//!   value-based representation), so VDT commits pay the same
+//!   sequential-logging cost PDT commits do.
 
 use crate::Vdt;
 use columnar::{SkKey, Tuple, Value};
-use std::collections::HashSet;
 
 /// One staged value-addressed update.
 #[derive(Debug, Clone, PartialEq)]
@@ -49,94 +49,69 @@ impl VdtOp {
     ///
     /// Concurrency is recognised value-wise: a pending insert that differs
     /// from this op's pre-image at some column must have been produced by a
-    /// transaction that committed after ours began (our pre-image *is* the
-    /// begin-time visible tuple). `own` tracks keys already touched by this
-    /// transaction's earlier replayed ops, which must not be mistaken for
-    /// concurrent writes.
-    pub fn replay(&self, vdt: &mut Vdt, own: &mut HashSet<SkKey>) -> Result<(), String> {
+    /// transaction that committed after ours began. The pre-images in an
+    /// ops log *chain*: DML stages each statement against the transaction's
+    /// own working view, so a later op's pre-image already folds in this
+    /// transaction's earlier ops. That makes the value comparisons
+    /// self-consistent — an earlier own op never looks like a concurrent
+    /// write, while a genuinely concurrent write to the same tuple still
+    /// differs from the chained pre-image and is caught on *every* op, not
+    /// just the first one per key.
+    pub fn replay(&self, vdt: &mut Vdt) -> Result<(), String> {
         match self {
             VdtOp::Insert(t) => {
                 let sk = Self::sk_of(vdt, t);
-                if !own.contains(&sk) && vdt.pending_insert(&sk).is_some() {
+                if vdt.pending_insert(&sk).is_some() {
                     return Err(format!("concurrent insert of sort key {sk:?}"));
                 }
-                own.insert(sk);
                 vdt.insert(t.clone());
                 Ok(())
             }
             VdtOp::Delete { pre } => {
                 let sk = Self::sk_of(vdt, pre);
-                if !own.contains(&sk) {
-                    match vdt.pending_insert(&sk) {
-                        // a pending tuple differing from our pre-image was
-                        // committed after we began: delete-vs-modify
-                        Some(p) if p != pre => {
-                            return Err(format!(
-                                "delete of sort key {sk:?} concurrently modified by \
-                                 another transaction"
-                            ));
-                        }
-                        Some(_) => {}
-                        // no pending tuple but a delete marker: the tuple we
-                        // saw was concurrently deleted (delete-vs-delete)
-                        None if vdt.pending_delete(&sk) => {
-                            return Err(format!("sort key {sk:?} deleted by both transactions"));
-                        }
-                        None => {}
+                match vdt.pending_insert(&sk) {
+                    // a pending tuple differing from our (chained) pre-image
+                    // was committed after we began: delete-vs-modify
+                    Some(p) if p != pre => {
+                        return Err(format!(
+                            "delete of sort key {sk:?} concurrently modified by \
+                             another transaction"
+                        ));
                     }
+                    Some(_) => {}
+                    // no pending tuple but a delete marker: the tuple we
+                    // saw was concurrently deleted (delete-vs-delete)
+                    None if vdt.pending_delete(&sk) => {
+                        return Err(format!("sort key {sk:?} deleted by both transactions"));
+                    }
+                    None => {}
                 }
-                own.insert(sk.clone());
                 vdt.delete(&sk);
                 Ok(())
             }
             VdtOp::Modify { pre, col, value } => {
                 let sk = Self::sk_of(vdt, pre);
-                if !own.contains(&sk) {
-                    match vdt.pending_insert(&sk) {
-                        // same column changed by a concurrent commit
-                        Some(p) if p[*col] != pre[*col] => {
-                            return Err(format!(
-                                "column {col} of sort key {sk:?} modified by both \
-                                 transactions"
-                            ));
-                        }
-                        // disjoint columns reconcile: Vdt::modify folds our
-                        // column into the pending tuple, keeping theirs
-                        Some(_) => {}
-                        None if vdt.pending_delete(&sk) => {
-                            return Err(format!(
-                                "modify of sort key {sk:?} concurrently deleted by \
-                                 another transaction"
-                            ));
-                        }
-                        None => {}
+                match vdt.pending_insert(&sk) {
+                    // same column changed by a concurrent commit
+                    Some(p) if p[*col] != pre[*col] => {
+                        return Err(format!(
+                            "column {col} of sort key {sk:?} modified by both \
+                             transactions"
+                        ));
                     }
+                    // disjoint columns reconcile: Vdt::modify folds our
+                    // column into the pending tuple, keeping theirs
+                    Some(_) => {}
+                    None if vdt.pending_delete(&sk) => {
+                        return Err(format!(
+                            "modify of sort key {sk:?} concurrently deleted by \
+                             another transaction"
+                        ));
+                    }
+                    None => {}
                 }
-                own.insert(sk);
                 vdt.modify(pre, *col, value.clone());
                 Ok(())
-            }
-        }
-    }
-
-    /// Flatten to `(kind, values)` WAL payloads: `Insert` → one insert
-    /// entry (full tuple), `Delete` → one delete entry (sort-key values),
-    /// `Modify` → delete(old key) + insert(new tuple). `kind` uses the
-    /// PDT's INS/DEL encoding so both backends share one log format.
-    pub fn wal_payloads(
-        &self,
-        sk_cols: &[usize],
-        ins_kind: u16,
-        del_kind: u16,
-    ) -> Vec<(u16, Vec<Value>)> {
-        let sk = |t: &[Value]| -> Vec<Value> { sk_cols.iter().map(|&c| t[c].clone()).collect() };
-        match self {
-            VdtOp::Insert(t) => vec![(ins_kind, t.clone())],
-            VdtOp::Delete { pre } => vec![(del_kind, sk(pre))],
-            VdtOp::Modify { pre, col, value } => {
-                let mut post = pre.clone();
-                post[*col] = value.clone();
-                vec![(del_kind, sk(pre)), (ins_kind, post)]
             }
         }
     }
@@ -155,9 +130,8 @@ mod tests {
     }
 
     fn replay_all(ops: &[VdtOp], vdt: &mut Vdt) -> Result<(), String> {
-        let mut own = HashSet::new();
         for op in ops {
-            op.replay(vdt, &mut own)?;
+            op.replay(vdt)?;
         }
         Ok(())
     }
@@ -247,7 +221,9 @@ mod tests {
 
     #[test]
     fn own_ops_do_not_self_conflict() {
-        // modify then delete the same tuple within one transaction
+        // modify then delete the same tuple within one transaction: the
+        // chained pre-image of the delete matches the replayed pending
+        // tuple, so no conflict fires
         let base = vec![Value::Int(10), Value::Int(1)];
         let mut modified = base.clone();
         modified[1] = Value::Int(7);
@@ -266,19 +242,54 @@ mod tests {
     }
 
     #[test]
-    fn modify_flattens_to_delete_plus_insert() {
-        let op = VdtOp::Modify {
-            pre: vec![Value::Int(10), Value::Int(1)],
-            col: 1,
-            value: Value::Int(7),
-        };
-        let payloads = op.wal_payloads(&[0], 100, 200);
-        assert_eq!(
-            payloads,
-            vec![
-                (200, vec![Value::Int(10)]),
-                (100, vec![Value::Int(10), Value::Int(7)]),
-            ]
-        );
+    fn later_own_op_still_sees_concurrent_same_column_write() {
+        // regression: a transaction's *second* op on a key must still be
+        // validated against concurrent commits — "they" changed column 1
+        // after we began; our ops are modify(col 2) then modify(col 1).
+        // The first reconciles (disjoint), the second is a lost update and
+        // must conflict, exactly as the PDT and row-store backends decide.
+        let schema = Schema::from_pairs(&[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]);
+        let mut v = Vdt::new(schema, vec![0]);
+        let base = vec![Value::Int(10), Value::Int(1), Value::Int(2)];
+        v.modify(&base, 1, Value::Int(50)); // their commit
+        let mut chained = base.clone();
+        chained[2] = Value::Int(22);
+        let ops = [
+            VdtOp::Modify {
+                pre: base,
+                col: 2,
+                value: Value::Int(22),
+            },
+            VdtOp::Modify {
+                pre: chained.clone(),
+                col: 1,
+                value: Value::Int(60),
+            },
+        ];
+        assert!(replay_all(&ops, &mut v).is_err(), "lost update must abort");
+
+        // and modify-then-delete of a concurrently modified tuple conflicts
+        // on the delete (its chained pre-image differs from the pending row)
+        let schema = Schema::from_pairs(&[
+            ("k", ValueType::Int),
+            ("a", ValueType::Int),
+            ("b", ValueType::Int),
+        ]);
+        let mut v = Vdt::new(schema, vec![0]);
+        let base = vec![Value::Int(10), Value::Int(1), Value::Int(2)];
+        v.modify(&base, 1, Value::Int(50)); // their commit
+        let ops = [
+            VdtOp::Modify {
+                pre: base,
+                col: 2,
+                value: Value::Int(22),
+            },
+            VdtOp::Delete { pre: chained },
+        ];
+        assert!(replay_all(&ops, &mut v).is_err(), "delete-vs-modify");
     }
 }

@@ -1,34 +1,61 @@
-//! Randomized engine-level cross-validation: the same logical update
-//! workload applied through the one `DeltaStore`-backed transactional API
-//! to (a) a PDT-maintained database and (b) a VDT-maintained database must
-//! always produce the same visible image as (c) the executable
-//! specification `pdt::naive::NaiveImage` — across interleaved flushes and
-//! *real* checkpoints of both structures.
+//! Randomized engine-level cross-validation through the differential
+//! harness: the same logical update workload applied through the one
+//! `DeltaStore`-backed transactional API to a PDT-, a VDT- and a
+//! row-store-maintained database must always produce the same visible
+//! image as the executable specification `pdt::naive::NaiveImage` —
+//! across interleaved flushes, *real* checkpoints of every structure,
+//! sort-key rewrites, duplicate-key rejections, and (in the WAL-backed
+//! variant) crashes recovered by replaying the log into fresh instances.
 
-use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
-use engine::{Database, TableOptions, UpdatePolicy};
-use exec::expr::{col, lit};
-use exec::run_to_rows;
-use pdt::naive::NaiveImage;
+use columnar::{Schema, Tuple, Value, ValueType};
+use engine::testkit::DiffHarness;
 use proptest::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 #[derive(Debug, Clone)]
 enum Action {
-    Insert { key: i64, val: i64 },
-    Delete { pick: usize },
-    Modify { pick: usize, val: i64 },
+    Insert {
+        key: i64,
+        val: i64,
+    },
+    Delete {
+        pick: usize,
+    },
+    Modify {
+        pick: usize,
+        val: i64,
+    },
+    /// Sort-key rewrite: the engines turn this into delete + insert; may
+    /// collide with an existing key, which every backend must reject.
+    ModifyKey {
+        pick: usize,
+        key: i64,
+    },
     Flush,
     Checkpoint,
+    /// Drop all databases and rebuild them from base image + WAL replay
+    /// (WAL-backed variant only).
+    Recover,
 }
 
-fn action_strategy() -> impl Strategy<Value = Action> {
-    prop_oneof![
+fn action_strategy(with_recovery: bool) -> BoxedStrategy<Action> {
+    let base = prop_oneof![
         5 => (0i64..2000, any::<i64>()).prop_map(|(key, val)| Action::Insert { key, val }),
         4 => any::<usize>().prop_map(|pick| Action::Delete { pick }),
         4 => (any::<usize>(), any::<i64>()).prop_map(|(pick, val)| Action::Modify { pick, val }),
+        2 => (any::<usize>(), 0i64..2000).prop_map(|(pick, key)| Action::ModifyKey { pick, key }),
         1 => Just(Action::Flush),
         1 => Just(Action::Checkpoint),
-    ]
+    ];
+    if with_recovery {
+        prop_oneof![
+            17 => base,
+            2 => Just(Action::Recover),
+        ]
+        .boxed()
+    } else {
+        base.boxed()
+    }
 }
 
 fn schema() -> Schema {
@@ -41,100 +68,84 @@ fn base_rows(n: i64) -> Vec<Tuple> {
         .collect()
 }
 
-fn make_db(n: i64, policy: UpdatePolicy) -> Database {
-    let db = Database::new();
-    db.create_table(
-        TableMeta::new("t", schema(), vec![0]),
-        TableOptions {
-            block_rows: 16,
-            compressed: true,
-            policy,
-        },
-        base_rows(n),
-    )
-    .unwrap();
-    db
-}
-
-fn image(db: &Database) -> Vec<Tuple> {
-    let view = db.read_view();
-    run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap())
+/// Apply one action through the harness (which asserts cross-backend
+/// agreement after every step). `Recover` only appears in workloads drawn
+/// from `action_strategy(true)`, which pair with a WAL-backed harness.
+fn apply(h: &mut DiffHarness, action: &Action) {
+    match action {
+        Action::Insert { key, val } => {
+            h.insert(vec![Value::Int(*key), Value::Int(*val)]);
+        }
+        Action::Delete { pick } => {
+            if !h.model().is_empty() {
+                let rid = pick % h.model().len();
+                h.delete(rid);
+            }
+        }
+        Action::Modify { pick, val } => {
+            if !h.model().is_empty() {
+                let rid = pick % h.model().len();
+                h.modify(rid, 1, Value::Int(*val));
+            }
+        }
+        Action::ModifyKey { pick, key } => {
+            if !h.model().is_empty() {
+                let rid = pick % h.model().len();
+                h.modify(rid, 0, Value::Int(*key));
+            }
+        }
+        Action::Flush => h.flush(),
+        Action::Checkpoint => h.checkpoint(),
+        Action::Recover => h.crash_recover(),
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
-    /// Both update structures, driven through the identical DbTxn calls,
+    /// All three update structures, driven through identical DbTxn calls,
     /// must track the model exactly — including across real checkpoints,
-    /// which each database now performs on its own stable image.
+    /// which each database performs on its own stable image.
     #[test]
-    fn pdt_and_vdt_stores_track_naive_model(
-        actions in prop::collection::vec(action_strategy(), 1..60),
+    fn all_stores_track_naive_model(
+        actions in prop::collection::vec(action_strategy(false), 1..60),
         n in 1i64..40,
     ) {
-        let dbs = [
-            make_db(n, UpdatePolicy::Pdt),
-            make_db(n, UpdatePolicy::Vdt),
-        ];
-        let mut model = NaiveImage::new(&base_rows(n), vec![0]);
-
+        let mut h = DiffHarness::new("t", schema(), vec![0], base_rows(n), 16);
         for action in &actions {
-            match action {
-                Action::Insert { key, val } => {
-                    if model.rows().iter().any(|r| r[0].as_int() == *key) {
-                        continue;
-                    }
-                    let t: Tuple = vec![Value::Int(*key), Value::Int(*val)];
-                    for db in &dbs {
-                        let mut txn = db.begin();
-                        txn.insert("t", t.clone()).unwrap();
-                        txn.commit().unwrap();
-                    }
-                    let pos = model.rows().iter()
-                        .position(|r| r[0].as_int() > *key)
-                        .unwrap_or(model.len());
-                    model.insert(pos, t);
-                }
-                Action::Delete { pick } => {
-                    if model.is_empty() { continue; }
-                    let rid = pick % model.len();
-                    let key = model.rows()[rid][0].as_int();
-                    model.delete(rid);
-                    for db in &dbs {
-                        let mut txn = db.begin();
-                        prop_assert_eq!(
-                            txn.delete_where("t", col(0).eq(lit(key))).unwrap(), 1
-                        );
-                        txn.commit().unwrap();
-                    }
-                }
-                Action::Modify { pick, val } => {
-                    if model.is_empty() { continue; }
-                    let rid = pick % model.len();
-                    let key = model.rows()[rid][0].as_int();
-                    model.modify(rid, 1, Value::Int(*val));
-                    for db in &dbs {
-                        let mut txn = db.begin();
-                        txn.update_where("t", col(0).eq(lit(key)), vec![(1, lit(*val))]).unwrap();
-                        txn.commit().unwrap();
-                    }
-                }
-                Action::Flush => {
-                    for db in &dbs { db.maybe_flush("t", 0).unwrap(); }
-                }
-                Action::Checkpoint => {
-                    for db in &dbs { db.checkpoint("t").unwrap(); }
-                }
-            }
-            prop_assert_eq!(&image(&dbs[0]), &model.rows().to_vec(), "PDT image diverged");
-            prop_assert_eq!(&image(&dbs[1]), &model.rows().to_vec(), "VDT image diverged");
+            apply(&mut h, action);
         }
-        // final checkpoint: the clean scan of either database equals the model
-        for db in &dbs {
-            db.checkpoint("t").unwrap();
-            let view = db.clean_view();
-            let clean = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
-            prop_assert_eq!(&clean, &model.rows().to_vec());
+        // final checkpoint: the clean scan of every database equals the model
+        h.checkpoint();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// WAL-backed variant: at random points the databases are dropped and
+    /// rebuilt from base image + WAL replay — recovered state must agree
+    /// across all three structures and with the model. Checkpoints rotate
+    /// the logs (truncation), so recovery is exercised against both fresh
+    /// and rotated logs.
+    #[test]
+    fn all_stores_agree_after_crash_recovery(
+        actions in prop::collection::vec(action_strategy(true), 1..40),
+        n in 1i64..30,
+    ) {
+        static CASE: AtomicUsize = AtomicUsize::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pdt-fuzz-recovery-{}-{}",
+            std::process::id(),
+            CASE.fetch_add(1, Ordering::Relaxed)
+        ));
+        let mut h = DiffHarness::with_wal(dir.clone(), "t", schema(), vec![0], base_rows(n), 16);
+        for action in &actions {
+            apply(&mut h, action);
         }
+        // a final crash: everything committed so far must be recoverable
+        h.crash_recover();
+        drop(h);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

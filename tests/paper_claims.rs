@@ -77,27 +77,35 @@ fn scan_bytes(view: &engine::ReadView, cols: Vec<usize>) -> u64 {
 }
 
 #[test]
-fn claim_pdt_scans_skip_key_io_vdt_cannot() {
+fn claim_pdt_scans_skip_key_io_value_baselines_cannot() {
     let pdt_db = make_db(1, ValueType::Str, 5000, UpdatePolicy::Pdt);
     let vdt_db = make_db(1, ValueType::Str, 5000, UpdatePolicy::Vdt);
+    let row_db = make_db(1, ValueType::Str, 5000, UpdatePolicy::RowStore);
     let payload_col = 1;
     apply_some_updates(&pdt_db, 5000, payload_col);
     apply_some_updates(&vdt_db, 5000, payload_col);
+    apply_some_updates(&row_db, 5000, payload_col);
 
     // project ONLY the payload column
     let pdt_bytes = scan_bytes(&pdt_db.read_view(), vec![payload_col]);
     let clean_bytes = scan_bytes(&pdt_db.clean_view(), vec![payload_col]);
     let vdt_bytes = scan_bytes(&vdt_db.read_view(), vec![payload_col]);
+    let row_bytes = scan_bytes(&row_db.read_view(), vec![payload_col]);
 
     // PDT merging reads exactly what a clean scan reads
     assert_eq!(
         pdt_bytes, clean_bytes,
         "positional merging must not add I/O"
     );
-    // VDT merging must read the (wide string) key column on top
+    // both value-addressed baselines must read the (wide string) key
+    // column on top — tree-shaped (VDT) or row-buffer-shaped (row store)
     assert!(
         vdt_bytes > clean_bytes * 2,
         "value-based merging must pay key I/O: vdt={vdt_bytes} clean={clean_bytes}"
+    );
+    assert!(
+        row_bytes > clean_bytes * 2,
+        "row-buffer merging must pay key I/O: rows={row_bytes} clean={clean_bytes}"
     );
 }
 
@@ -140,13 +148,15 @@ fn claim_ghost_respecting_keeps_stale_sparse_index_valid() {
 #[test]
 fn claim_pdt_merge_insensitive_to_key_arity() {
     // Figure 18's mechanism, asserted as I/O: with k key columns projected
-    // out of the query, the VDT still reads them; the PDT does not.
+    // out of the query, the value-addressed baselines (VDT *and* row
+    // store) still read them; the PDT does not.
     for nkeys in 1..=3usize {
         let pdt_db = make_db(nkeys, ValueType::Str, 2000, UpdatePolicy::Pdt);
         let vdt_db = make_db(nkeys, ValueType::Str, 2000, UpdatePolicy::Vdt);
+        let row_db = make_db(nkeys, ValueType::Str, 2000, UpdatePolicy::RowStore);
         // one tiny update so merge paths actually engage — same statement
-        // for both structures
-        for db in [&pdt_db, &vdt_db] {
+        // for every structure
+        for db in [&pdt_db, &vdt_db, &row_db] {
             let mut txn = db.begin();
             txn.delete_where("t", col(nkeys).eq(lit(500i64))).unwrap();
             txn.commit().unwrap();
@@ -155,11 +165,17 @@ fn claim_pdt_merge_insensitive_to_key_arity() {
         let payload = nkeys; // the single non-key column
         let pdt_bytes = scan_bytes(&pdt_db.read_view(), vec![payload]);
         let vdt_bytes = scan_bytes(&vdt_db.read_view(), vec![payload]);
+        let row_bytes = scan_bytes(&row_db.read_view(), vec![payload]);
 
         let ratio = vdt_bytes as f64 / pdt_bytes as f64;
         assert!(
             ratio > nkeys as f64,
             "nkeys={nkeys}: VDT must read all {nkeys} key columns (ratio {ratio:.1})"
+        );
+        let ratio = row_bytes as f64 / pdt_bytes as f64;
+        assert!(
+            ratio > nkeys as f64,
+            "nkeys={nkeys}: row store must read all {nkeys} key columns (ratio {ratio:.1})"
         );
     }
 }
