@@ -1,0 +1,158 @@
+//! Figure 20 (ours) — scan latency under background maintenance.
+//!
+//! The point of the layered design (§3.3) and of the maintenance
+//! scheduler built on it: flushes and checkpoints run in the background,
+//! so query latency must stay flat while they fire. This bench measures
+//! repeated full-table scans against an update stream for each update
+//! policy, in two modes:
+//!
+//! * **off** — no maintenance: deltas accumulate unboundedly, every scan
+//!   pays an ever-growing merge;
+//! * **on**  — the `MaintenanceScheduler` with aggressive byte budgets
+//!   flushes and checkpoints concurrently; scans ride `Arc`-pinned
+//!   snapshots and are never blocked by the stable rewrites.
+//!
+//! Reported: scans' p50/p95/max latency (µs) plus the maintenance
+//! counters. Knobs: `PDT_BENCH_MAINT_ROWS` (table rows, default 20_000),
+//! `PDT_BENCH_MAINT_SCANS` (scans per mode, default 60),
+//! `PDT_BENCH_MAINT_OPS` (update transactions, default 1_500).
+
+use bench::env_u64;
+use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+use engine::{
+    Database, MaintenanceConfig, MaintenanceScheduler, TableOptions, UpdatePolicy, ALL_POLICIES,
+};
+use exec::{LatencyStats, Operator};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use tpch::gen::Rng;
+
+fn build_db(policy: UpdatePolicy, rows: u64) -> Arc<Database> {
+    let schema = Schema::from_pairs(&[
+        ("k", ValueType::Int),
+        ("a", ValueType::Int),
+        ("b", ValueType::Int),
+    ]);
+    let base: Vec<Tuple> = (0..rows as i64)
+        .map(|i| vec![Value::Int(i * 4), Value::Int(i), Value::Int(0)])
+        .collect();
+    let db = Database::new();
+    db.create_table(
+        TableMeta::new("t", schema, vec![0]),
+        TableOptions::default()
+            .with_policy(policy)
+            .with_block_rows(1024)
+            // aggressive budgets so maintenance fires many times per run
+            .with_flush_threshold(16 << 10)
+            .with_checkpoint_threshold(64 << 10),
+        base,
+    )
+    .unwrap();
+    Arc::new(db)
+}
+
+/// One full-table scan, timed.
+fn timed_scan(db: &Database, lat: &LatencyStats) -> usize {
+    lat.measure(|| {
+        let view = db.read_view();
+        let mut scan = view.scan("t", vec![1]).unwrap();
+        let mut rows = 0usize;
+        while let Some(b) = scan.next_batch() {
+            rows += b.num_rows();
+        }
+        rows
+    })
+}
+
+struct ModeResult {
+    p50_us: f64,
+    p95_us: f64,
+    max_us: f64,
+    flushes: u64,
+    checkpoints: u64,
+}
+
+fn run_mode(policy: UpdatePolicy, rows: u64, scans: u64, ops: u64, maint: bool) -> ModeResult {
+    let db = build_db(policy, rows);
+    let scheduler = maint.then(|| {
+        MaintenanceScheduler::start(
+            db.clone(),
+            MaintenanceConfig::with_tick(Duration::from_millis(1)),
+        )
+    });
+    let lat = LatencyStats::new();
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let db_w = &db;
+        let done = &done;
+        let writer = s.spawn(move || {
+            let mut rng = Rng::new(20);
+            for i in 0..ops {
+                let mut t = db_w.begin();
+                let key = rng.below(rows * 4) as i64;
+                // odd keys are always free: base keys are multiples of 4
+                let fresh = (key | 1) + (i as i64 % 2) * 2;
+                let _ = t.insert("t", vec![Value::Int(fresh), Value::Int(0), Value::Int(1)]);
+                match t.commit() {
+                    Ok(_) => {}
+                    Err(e) => panic!("writer commit failed: {e}"),
+                }
+            }
+            done.store(true, Ordering::Release);
+        });
+        // scans paced across the writer's lifetime, then a fixed tail
+        let mut remaining = scans;
+        while !done.load(Ordering::Acquire) && remaining > 0 {
+            timed_scan(&db, &lat);
+            remaining -= 1;
+        }
+        while remaining > 0 {
+            timed_scan(&db, &lat);
+            remaining -= 1;
+        }
+        writer.join().expect("writer");
+    });
+    let (flushes, checkpoints) = scheduler
+        .map(|s| {
+            s.drain().expect("drain");
+            let st = s.stats();
+            (st.flushes, st.checkpoints)
+        })
+        .unwrap_or((0, 0));
+    let sum = lat.summary().expect("scans recorded");
+    ModeResult {
+        p50_us: sum.p50_ns as f64 / 1e3,
+        p95_us: sum.p95_ns as f64 / 1e3,
+        max_us: sum.max_ns as f64 / 1e3,
+        flushes,
+        checkpoints,
+    }
+}
+
+fn main() {
+    let rows = env_u64("PDT_BENCH_MAINT_ROWS", 20_000);
+    let scans = env_u64("PDT_BENCH_MAINT_SCANS", 60);
+    let ops = env_u64("PDT_BENCH_MAINT_OPS", 1_500);
+    println!("# Figure 20: full-scan latency under an update stream,");
+    println!("# background maintenance off vs on ({rows} rows, {ops} txns, {scans} scans)");
+    println!(
+        "{:>9} {:>5} {:>12} {:>12} {:>12} {:>9} {:>12}",
+        "policy", "maint", "p50 (µs)", "p95 (µs)", "max (µs)", "flushes", "checkpoints"
+    );
+    for policy in ALL_POLICIES {
+        for maint in [false, true] {
+            let r = run_mode(policy, rows, scans, ops, maint);
+            println!(
+                "{:>9} {:>5} {:>12.1} {:>12.1} {:>12.1} {:>9} {:>12}",
+                format!("{policy:?}"),
+                if maint { "on" } else { "off" },
+                r.p50_us,
+                r.p95_us,
+                r.max_us,
+                r.flushes,
+                r.checkpoints
+            );
+        }
+    }
+}

@@ -62,6 +62,126 @@ pub enum UpdatePolicy {
 pub const ALL_POLICIES: [UpdatePolicy; 3] =
     [UpdatePolicy::Pdt, UpdatePolicy::Vdt, UpdatePolicy::RowStore];
 
+/// An in-flight checkpoint of one table: the committed delta state pinned
+/// by [`DeltaStore::checkpoint_pin`] (phase 1, under the commit guard),
+/// carried across the off-lock stable rewrite
+/// ([`DeltaStore::checkpoint_merge`]) to the installation of the new image
+/// ([`DeltaStore::checkpoint_install`], under the commit guard again).
+pub struct CheckpointPin {
+    /// Global commit sequence at pin time: every commit at or below it is
+    /// folded into the merged image; every later one stays in the residual
+    /// delta after install. Also the sequence the WAL checkpoint marker
+    /// carries.
+    pub seq: u64,
+    state: Box<dyn Any + Send>,
+}
+
+impl CheckpointPin {
+    pub fn new(seq: u64, state: impl Any + Send) -> Self {
+        CheckpointPin {
+            seq,
+            state: Box::new(state),
+        }
+    }
+
+    pub(crate) fn state<T: Any>(&self) -> &T {
+        self.state
+            .downcast_ref::<T>()
+            .expect("checkpoint pin handed back to a foreign store")
+    }
+}
+
+/// A value-addressed structure that key-addressed WAL entries apply to.
+pub(crate) trait KeyEntrySink {
+    fn apply_insert(&mut self, tuple: Vec<Value>);
+    fn apply_delete(&mut self, key: &[Value]);
+}
+
+impl KeyEntrySink for Vdt {
+    fn apply_insert(&mut self, tuple: Vec<Value>) {
+        self.insert(tuple);
+    }
+
+    fn apply_delete(&mut self, key: &[Value]) {
+        self.delete(key);
+    }
+}
+
+/// Apply engine-generated key-addressed WAL entries (`INS` carries the
+/// full tuple, `DEL` the sort key) to a value-addressed structure — the
+/// one replay loop shared by WAL recovery and the checkpoint-residual
+/// rebuilds of both value stores. Panics on any other kind: value stores
+/// never log modifies (they flatten them to delete + insert).
+pub(crate) fn apply_key_entries(entries: &[WalEntry], sink: &mut impl KeyEntrySink) {
+    for e in entries {
+        if e.kind == pdt::INS {
+            sink.apply_insert(e.values.clone());
+        } else if e.kind == pdt::DEL {
+            sink.apply_delete(&e.values);
+        } else {
+            panic!(
+                "value-store WAL replay: unexpected modify entry (kind {})",
+                e.kind
+            );
+        }
+    }
+}
+
+/// Pin-gated retention of commit WAL flattenings, shared by both value
+/// stores' checkpoint protocols. While a checkpoint is in flight (between
+/// pin and install/abort) every published commit's key-addressed entries
+/// are recorded; at install the entries with sequence above the pin — the
+/// commits that landed during the off-lock merge — rebuild the residual
+/// delta over the new image. Raw staged ops would not do: their pre-images
+/// can predate a commit the pin already folded into the image. Gating on
+/// the pin bounds the memory to the merge window, so a database that never
+/// checkpoints retains nothing.
+pub(crate) struct ResidualLog {
+    pinned_at: Option<u64>,
+    log: Vec<(u64, Vec<WalEntry>)>,
+}
+
+impl ResidualLog {
+    pub(crate) fn new() -> Self {
+        ResidualLog {
+            pinned_at: None,
+            log: Vec::new(),
+        }
+    }
+
+    /// Start retaining (checkpoint pinned at `seq`). Per-table maintenance
+    /// is serialized by the engine, so no pin can already be in flight.
+    pub(crate) fn pin(&mut self, seq: u64) {
+        debug_assert!(
+            self.pinned_at.is_none() && self.log.is_empty(),
+            "checkpoint pinned while another pin is in flight"
+        );
+        self.pinned_at = Some(seq);
+    }
+
+    /// Record one published commit (no-op unless a pin is in flight).
+    pub(crate) fn record(&mut self, seq: u64, entries: &[WalEntry]) {
+        if self.pinned_at.is_some() && !entries.is_empty() {
+            self.log.push((seq, entries.to_vec()));
+        }
+    }
+
+    /// Replay the retained commits with sequence above `pin_seq` into
+    /// `sink` — the residual delta over the checkpointed image.
+    pub(crate) fn rebuild_into(&self, pin_seq: u64, sink: &mut impl KeyEntrySink) {
+        for (_, entries) in self.log.iter().filter(|(s, _)| *s > pin_seq) {
+            apply_key_entries(entries, sink);
+        }
+    }
+
+    /// End the pin window (after install, or on a failed merge) and drop
+    /// the retained entries.
+    pub(crate) fn unpin(&mut self) {
+        self.pinned_at = None;
+        self.log.clear();
+    }
+}
+
 /// Immutable committed-state capture used by read views.
 pub trait DeltaSnapshot: Send + Sync {
     /// The delta layers a scan over the stable image must merge.
@@ -113,25 +233,51 @@ pub trait DeltaStore: Send + Sync {
     /// `prepare`).
     fn wal_entries(&self, staged: &dyn DeltaTxn) -> Vec<WalEntry>;
     /// Commit phase 2: atomically make the prepared updates visible at
-    /// commit sequence `seq`. Infallible — all validation happened in
+    /// commit sequence `seq`. `entries` is the commit's WAL flattening for
+    /// this table (as produced by [`DeltaStore::wal_entries`]) — stores
+    /// that checkpoint by residual replay retain it until the next
+    /// checkpoint covers it. Infallible — all validation happened in
     /// `prepare`.
-    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64);
+    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64, entries: &[WalEntry]);
     /// Recovery: re-apply one logged commit's entries for this table.
     fn replay(&self, entries: &[WalEntry]);
     /// Bytes held by the write-optimised layer (the Propagate policy input
     /// for [`crate::Database::maybe_flush`]).
     fn write_bytes(&self) -> usize;
+    /// Total bytes held by all committed delta layers — the checkpoint
+    /// budget input of the maintenance scheduler.
+    fn delta_bytes(&self) -> usize;
     /// Migrate the write-optimised layer into the read-optimised one.
     /// Returns whether anything moved (single-layer structures return
     /// `false`).
     fn flush(&self) -> bool;
-    /// Fold all committed deltas into `stable`, returning the fresh image
-    /// (`None` when there was nothing to fold). Resets the delta state.
-    fn checkpoint(
+    /// Checkpoint phase 1 (cheap; run under the commit guard): pin the
+    /// committed delta state that the checkpoint will fold into the stable
+    /// image. `seq` is the global commit sequence at pin time. Returns
+    /// `None` when there is nothing to checkpoint. Callers must serialize
+    /// per-table maintenance: between a pin and its install only commits
+    /// may touch this store — never a flush or another checkpoint.
+    fn checkpoint_pin(&self, seq: u64) -> Option<CheckpointPin>;
+    /// Checkpoint phase 2 (run OFF every lock — commits and new read views
+    /// proceed concurrently): fold the pinned delta into `stable`,
+    /// returning the fresh image (`None` when the pinned delta is net-zero
+    /// and the current image already equals the merged one).
+    fn checkpoint_merge(
         &self,
+        pin: &CheckpointPin,
         stable: &StableTable,
         io: &IoTracker,
     ) -> Result<Option<StableTable>, DbError>;
+    /// Checkpoint phase 3 (cheap; under the commit guard, atomically with
+    /// the stable-image swap): forget exactly the pinned delta. Commits
+    /// published during the merge — sequence > `pin.seq` — survive as the
+    /// residual delta over the new image.
+    fn checkpoint_install(&self, pin: CheckpointPin);
+    /// Abandon an in-flight checkpoint whose merge (or marker append)
+    /// failed: release any pin-window state without touching the delta —
+    /// the table must be left exactly as if the checkpoint never started,
+    /// ready for the next attempt. Default: stateless pins need nothing.
+    fn checkpoint_abort(&self, _pin: CheckpointPin) {}
 }
 
 // --- Positional store ---------------------------------------------------
@@ -303,7 +449,7 @@ impl DeltaStore for PdtStore {
             .unwrap_or_default()
     }
 
-    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64) {
+    fn publish(&self, staged: Box<dyn DeltaTxn>, seq: u64, _entries: &[WalEntry]) {
         let txn = staged
             .as_any()
             .downcast_ref::<PdtTxn>()
@@ -323,6 +469,10 @@ impl DeltaStore for PdtStore {
         self.mgr.write_pdt_bytes(&self.table)
     }
 
+    fn delta_bytes(&self) -> usize {
+        self.mgr.pdt_bytes(&self.table)
+    }
+
     fn flush(&self) -> bool {
         if self.mgr.write_pdt_bytes(&self.table) == 0 {
             return false;
@@ -331,17 +481,29 @@ impl DeltaStore for PdtStore {
         true
     }
 
-    fn checkpoint(
+    fn checkpoint_pin(&self, seq: u64) -> Option<CheckpointPin> {
+        // folds Write→Read first; commits during the merge land in the
+        // fresh master Write-PDT, whose SIDs are relative to the combined
+        // image the pin produces — exactly the layering §3.3 designs for
+        let read = self.mgr.pin_checkpoint(&self.table)?;
+        Some(CheckpointPin::new(seq, read))
+    }
+
+    fn checkpoint_merge(
         &self,
+        pin: &CheckpointPin,
         stable: &StableTable,
         io: &IoTracker,
     ) -> Result<Option<StableTable>, DbError> {
-        let mut fresh = None;
-        self.mgr.checkpoint(&self.table, |read| {
-            fresh = Some(pdt::checkpoint::checkpoint_table(stable, read, io)?);
-            Ok::<(), ColumnarError>(())
-        })?;
-        Ok(fresh)
+        let read = pin.state::<Arc<Pdt>>();
+        let fresh = pdt::checkpoint::checkpoint_table(stable, read, io)
+            .map_err(|e: ColumnarError| DbError::Storage(e))?;
+        Ok(Some(fresh))
+    }
+
+    fn checkpoint_install(&self, pin: CheckpointPin) {
+        self.mgr
+            .install_checkpoint(&self.table, pin.state::<Arc<Pdt>>());
     }
 }
 
@@ -363,6 +525,8 @@ struct VdtState {
     /// it to detect concurrent commits (the value-based analogue of the
     /// TZ-set overlap test).
     version: u64,
+    /// Commit retention for the in-flight checkpoint, if any.
+    residual: ResidualLog,
 }
 
 impl VdtStore {
@@ -372,6 +536,7 @@ impl VdtStore {
             state: RwLock::new(VdtState {
                 committed: Arc::new(Vdt::new(schema, sk_cols)),
                 version: 0,
+                residual: ResidualLog::new(),
             }),
         }
     }
@@ -562,7 +727,7 @@ impl DeltaStore for VdtStore {
         entries
     }
 
-    fn publish(&self, mut staged: Box<dyn DeltaTxn>, _seq: u64) {
+    fn publish(&self, mut staged: Box<dyn DeltaTxn>, seq: u64, entries: &[WalEntry]) {
         let txn = staged
             .as_any_mut()
             .downcast_mut::<VdtTxn>()
@@ -579,6 +744,7 @@ impl DeltaStore for VdtStore {
         );
         st.committed = Arc::new(working);
         st.version += 1;
+        st.residual.record(seq, entries);
     }
 
     fn replay(&self, entries: &[WalEntry]) {
@@ -586,19 +752,15 @@ impl DeltaStore for VdtStore {
         // recovery holds no snapshots, so make_mut mutates in place —
         // replay stays linear in the number of logged commits
         let v = Arc::make_mut(&mut st.committed);
-        for e in entries {
-            if e.kind == pdt::INS {
-                v.insert(e.values.clone());
-            } else if e.kind == pdt::DEL {
-                v.delete(&e.values);
-            } else {
-                panic!("VDT WAL replay: unexpected modify entry (kind {})", e.kind);
-            }
-        }
+        apply_key_entries(entries, v);
         st.version += 1;
     }
 
     fn write_bytes(&self) -> usize {
+        self.state.read().committed.heap_bytes()
+    }
+
+    fn delta_bytes(&self) -> usize {
         self.state.read().committed.heap_bytes()
     }
 
@@ -607,26 +769,44 @@ impl DeltaStore for VdtStore {
         false
     }
 
-    fn checkpoint(
+    fn checkpoint_pin(&self, seq: u64) -> Option<CheckpointPin> {
+        let mut st = self.state.write();
+        if st.committed.is_empty() {
+            return None;
+        }
+        st.residual.pin(seq);
+        Some(CheckpointPin::new(seq, st.committed.clone()))
+    }
+
+    fn checkpoint_merge(
         &self,
+        pin: &CheckpointPin,
         stable: &StableTable,
         io: &IoTracker,
     ) -> Result<Option<StableTable>, DbError> {
-        let merged = {
-            let st = self.state.read();
-            if st.committed.is_empty() {
-                return Ok(None);
-            }
-            let rows = stable.scan_all(io)?;
-            st.committed.merge_rows(&rows)
-        };
+        // the pin is never empty (checkpoint_pin returns None otherwise)
+        let pinned = pin.state::<Arc<Vdt>>();
+        let rows = stable.scan_all(io)?;
+        let merged = pinned.merge_rows(&rows);
         let fresh = StableTable::bulk_load(stable.meta().clone(), stable.options(), &merged)?;
-        let mut st = self.state.write();
-        st.committed = Arc::new(Vdt::new(
-            stable.schema().clone(),
-            stable.sort_key().cols().to_vec(),
-        ));
-        st.version += 1;
         Ok(Some(fresh))
+    }
+
+    fn checkpoint_install(&self, pin: CheckpointPin) {
+        let mut st = self.state.write();
+        // commits published during the merge (seq > pin) survive as the
+        // residual delta over the new image
+        let mut residual = Vdt::new(
+            st.committed.schema().clone(),
+            st.committed.sk_cols().to_vec(),
+        );
+        st.residual.rebuild_into(pin.seq, &mut residual);
+        st.committed = Arc::new(residual);
+        st.residual.unpin();
+        st.version += 1;
+    }
+
+    fn checkpoint_abort(&self, _pin: CheckpointPin) {
+        self.state.write().residual.unpin();
     }
 }

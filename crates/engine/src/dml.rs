@@ -1,5 +1,5 @@
 //! Read-write transactions: DML staged against the table's update
-//! structure through the [`DeltaStore`](crate::DeltaStore) interface.
+//! structure through the [`DeltaStore`] interface.
 //!
 //! All statements operate on the transaction's own consistent view
 //! (stable ∘ committed deltas ∘ staged updates — eq. (9) for PDT tables),
@@ -323,23 +323,30 @@ impl<'db> DbTxn<'db> {
             }
         }
         // Durability before visibility: one record for the whole commit.
+        // The per-table flattenings also ride along to `publish` — stores
+        // that checkpoint by residual replay retain them until a marker
+        // covers them.
         let entries: Vec<(String, Vec<WalEntry>)> = touched
             .iter()
             .map(|(name, t)| {
                 let staged = t.staged.as_ref().expect("filtered on staged").as_ref();
                 (name.clone(), t.store.wal_entries(staged))
             })
+            .collect();
+        let logged: Vec<(&str, &[WalEntry])> = entries
+            .iter()
             .filter(|(_, e)| !e.is_empty())
+            .map(|(t, e)| (t.as_str(), e.as_slice()))
             .collect();
         let seq = mgr.alloc_seq();
-        if let Err(e) = mgr.log_commit(seq, &entries) {
+        if let Err(e) = mgr.log_commit(seq, &logged) {
             mgr.end_txn(self.id);
             return Err(e.into());
         }
         // Phase 2: publish (infallible).
-        for (_, mut t) in touched {
+        for ((_, mut t), (_, table_entries)) in touched.into_iter().zip(entries) {
             let staged = t.staged.take().expect("filtered on staged");
-            t.store.publish(staged, seq);
+            t.store.publish(staged, seq, &table_entries);
         }
         mgr.end_txn(self.id);
         Ok(seq)
@@ -371,6 +378,7 @@ mod tests {
                 block_rows: 8,
                 compressed: true,
                 policy,
+                ..TableOptions::default()
             },
             rows,
         )

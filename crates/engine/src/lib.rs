@@ -34,18 +34,21 @@
 
 pub mod delta;
 pub mod dml;
+pub mod maintenance;
 pub mod rowstore;
 pub mod testkit;
 
 pub use delta::{
-    DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore, ALL_POLICIES,
+    CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore,
+    ALL_POLICIES,
 };
 pub use dml::DbTxn;
+pub use maintenance::{MaintenanceConfig, MaintenanceScheduler, MaintenanceStats};
 pub use rowstore::RowStore;
 
 use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
 use exec::{DeltaLayers, ScanBounds, ScanClock, TableScan};
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -133,6 +136,15 @@ pub struct TableOptions {
     pub compressed: bool,
     /// Which update structure maintains the table. Default PDT.
     pub policy: UpdatePolicy,
+    /// Write-layer byte budget: the background scheduler flushes the
+    /// write-optimised delta layer into the read-optimised one once it
+    /// exceeds this (the paper's Propagate policy — keep the Write-PDT
+    /// CPU-cache-sized). Default 1 MiB.
+    pub flush_threshold_bytes: usize,
+    /// Total delta byte budget: the background scheduler checkpoints the
+    /// table into a fresh stable image once all committed delta layers
+    /// exceed this. Default 64 MiB.
+    pub checkpoint_threshold_bytes: usize,
 }
 
 impl Default for TableOptions {
@@ -141,6 +153,8 @@ impl Default for TableOptions {
             block_rows: 4096,
             compressed: true,
             policy: UpdatePolicy::Pdt,
+            flush_threshold_bytes: 1 << 20,
+            checkpoint_threshold_bytes: 64 << 20,
         }
     }
 }
@@ -161,6 +175,18 @@ impl TableOptions {
         self
     }
 
+    /// Set the background-flush byte budget of the write-optimised layer.
+    pub fn with_flush_threshold(mut self, bytes: usize) -> Self {
+        self.flush_threshold_bytes = bytes;
+        self
+    }
+
+    /// Set the background-checkpoint byte budget of the whole delta.
+    pub fn with_checkpoint_threshold(mut self, bytes: usize) -> Self {
+        self.checkpoint_threshold_bytes = bytes;
+        self
+    }
+
     /// The storage-level subset.
     pub fn storage(&self) -> columnar::TableOptions {
         columnar::TableOptions {
@@ -173,6 +199,11 @@ impl TableOptions {
 pub(crate) struct TableEntry {
     pub stable: Arc<StableTable>,
     pub delta: Arc<dyn DeltaStore>,
+    /// Creation-time options (maintenance budgets included).
+    pub opts: TableOptions,
+    /// Serializes this table's maintenance operations (flush, checkpoint)
+    /// against each other — commits and reads never take it.
+    pub maint: Arc<Mutex<()>>,
 }
 
 /// The database: stable tables, each paired with its update structure, plus
@@ -236,6 +267,8 @@ impl Database {
             TableEntry {
                 stable: Arc::new(stable),
                 delta,
+                opts,
+                maint: Arc::new(Mutex::new(())),
             },
         );
         Ok(())
@@ -259,21 +292,61 @@ impl Database {
         Ok((e.stable.clone(), e.delta.clone()))
     }
 
+    /// Delta store plus the table's maintenance mutex.
+    #[allow(clippy::type_complexity)]
+    fn maint_entry(&self, table: &str) -> Result<(Arc<dyn DeltaStore>, Arc<Mutex<()>>), DbError> {
+        let tables = self.tables.read();
+        let e = tables
+            .get(table)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
+        Ok((e.delta.clone(), e.maint.clone()))
+    }
+
+    /// Names of every table (maintenance-scheduler sweep order is sorted
+    /// for determinism).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// The creation-time options of a table (maintenance budgets included).
+    pub fn options(&self, table: &str) -> Result<TableOptions, DbError> {
+        let tables = self.tables.read();
+        tables
+            .get(table)
+            .map(|e| e.opts)
+            .ok_or_else(|| DbError::UnknownTable(table.to_string()))
+    }
+
+    /// Total bytes held by a table's committed delta layers (the
+    /// checkpoint budget input).
+    pub fn delta_bytes(&self, table: &str) -> Result<usize, DbError> {
+        Ok(self.entry(table)?.1.delta_bytes())
+    }
+
     /// Replay the WAL at `path` into the tables' update structures (after
-    /// `create_table`). Returns the recovered commit sequence.
+    /// `create_table`, each table rebuilt from its last checkpointed
+    /// stable image — commit records a checkpoint marker covers are
+    /// skipped). Returns the recovered commit sequence.
     pub fn recover_from(&self, path: &Path) -> Result<u64, DbError> {
         let _commit = self.txn_mgr.commit_guard();
-        let records = txn::wal::Wal::read_all(path).map_err(DbError::Io)?;
+        let records = txn::wal::Wal::read_effective(path).map_err(DbError::Io)?;
         let tables = self.tables.read();
         let mut last = 0;
         for rec in records {
-            for (table, entries) in rec.tables {
-                let e = tables
-                    .get(&table)
-                    .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                e.delta.replay(&entries);
+            last = rec.seq();
+            if let txn::wal::WalRecord::Commit {
+                tables: touched, ..
+            } = rec
+            {
+                for (table, entries) in touched {
+                    let e = tables
+                        .get(&table)
+                        .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
+                    e.delta.replay(&entries);
+                }
             }
-            last = rec.seq;
         }
         self.txn_mgr.finish_recovery(last);
         Ok(last)
@@ -355,9 +428,12 @@ impl Database {
 
     /// Migrate the write-optimised delta layer into the read-optimised one
     /// when it exceeds `threshold_bytes` (the paper's Propagate policy).
-    /// Returns whether a flush happened.
+    /// Returns whether a flush happened. Serialized against checkpoints of
+    /// the same table through the per-table maintenance mutex; commits and
+    /// readers are never blocked.
     pub fn maybe_flush(&self, table: &str, threshold_bytes: usize) -> Result<bool, DbError> {
-        let (_, delta) = self.entry(table)?;
+        let (delta, maint) = self.maint_entry(table)?;
+        let _maint = maint.lock();
         if delta.write_bytes() > threshold_bytes {
             Ok(delta.flush())
         } else {
@@ -366,24 +442,83 @@ impl Database {
     }
 
     /// Checkpoint: materialise all committed deltas into a fresh stable
-    /// image and reset the table's update structure. Blocks commits for the
-    /// duration; running readers keep their snapshots.
+    /// image and retire them from the table's update structure.
+    ///
+    /// The expensive stable rewrite runs *off* the commit guard against a
+    /// pinned delta snapshot: commits keep landing and read views keep
+    /// opening for the whole merge. Only the pin (phase 1) and the final
+    /// `Arc` swap + delta reset (phase 3) take the guard; a WAL checkpoint
+    /// marker is appended atomically with the swap so recovery replays
+    /// exactly the commits the new image does not contain. Concurrent
+    /// maintenance of the same table is serialized by the per-table
+    /// maintenance mutex.
     pub fn checkpoint(&self, table: &str) -> Result<bool, DbError> {
-        let _commit = self.txn_mgr.commit_guard();
-        let (stable, delta) = self.entry(table)?;
-        match delta.checkpoint(&stable, &self.io)? {
-            Some(fresh) => {
+        self.checkpoint_observed(table, || {})
+    }
+
+    /// [`Database::checkpoint`] with an observer invoked during phase 2,
+    /// while the stable rewrite runs off-lock. The closure may open views,
+    /// scan, and commit transactions against this database — that those
+    /// operations complete *during* a checkpoint is the non-blocking
+    /// guarantee, and tests pin it down through this seam. It must not
+    /// start maintenance on the same table (the per-table maintenance
+    /// mutex is held).
+    pub fn checkpoint_observed(
+        &self,
+        table: &str,
+        during_merge: impl FnOnce(),
+    ) -> Result<bool, DbError> {
+        let (delta, maint) = self.maint_entry(table)?;
+        let _maint = maint.lock();
+        // Phase 1 — pin: capture the delta to fold and the image to fold it
+        // into, one consistent cut under the commit guard.
+        let (pin, stable) = {
+            let _commit = self.txn_mgr.commit_guard();
+            let seq = self.txn_mgr.seq();
+            match delta.checkpoint_pin(seq) {
+                Some(pin) => (pin, self.entry(table)?.0),
+                None => return Ok(false),
+            }
+        };
+        // Phase 2 — merge, off every lock: commits and read views proceed.
+        // A failed merge must abort the pin, releasing the store's pin
+        // window so the table is ready for the next attempt.
+        let fresh = match delta.checkpoint_merge(&pin, &stable, &self.io) {
+            Ok(fresh) => fresh,
+            Err(e) => {
+                delta.checkpoint_abort(pin);
+                return Err(e);
+            }
+        };
+        during_merge();
+        // Phase 3 — install: marker, image swap and delta reset, atomic
+        // under the commit guard.
+        {
+            let _commit = self.txn_mgr.commit_guard();
+            if let Err(e) = self.txn_mgr.log_checkpoint(table, pin.seq) {
+                delta.checkpoint_abort(pin);
+                return Err(e.into());
+            }
+            if let Some(fresh) = fresh {
                 self.tables
                     .write()
                     .get_mut(table)
-                    .expect("entry checked above")
+                    .expect("maintenance mutex pins the entry")
                     .stable = Arc::new(fresh);
-                Ok(true)
             }
-            None => Ok(false),
+            delta.checkpoint_install(pin);
         }
+        Ok(true)
     }
 }
+
+// The maintenance scheduler (and any server frontend) shares one
+// `Arc<Database>` across threads; views travel to scanner threads.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<ReadView>();
+};
 
 /// A consistent, immutable multi-table view for query execution.
 pub struct ReadView {
@@ -510,6 +645,7 @@ mod tests {
                 block_rows: 2,
                 compressed: true,
                 policy,
+                ..TableOptions::default()
             },
             rows,
         )
@@ -662,6 +798,44 @@ mod tests {
             assert_eq!(clean_rows(&db), before, "{policy:?}");
             // idempotent when clean
             assert!(!db.checkpoint("inventory").unwrap(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn checkpoint_abort_releases_pin_window() {
+        // a failed merge aborts the pin; the store must come out exactly
+        // as if the checkpoint never started — commits retained during
+        // the window are dropped from the residual log (they are still in
+        // the committed delta) and the next pin succeeds
+        for policy in ALL_POLICIES {
+            let db = inventory_db(policy);
+            let mut t = db.begin();
+            t.insert(
+                "inventory",
+                vec!["Oslo".into(), "desk".into(), true.into(), 2i64.into()],
+            )
+            .unwrap();
+            t.commit().unwrap();
+
+            let (_, delta) = db.entry("inventory").unwrap();
+            let pin = delta.checkpoint_pin(db.txn_mgr.seq()).unwrap();
+            // a commit lands inside the pin window...
+            let mut t = db.begin();
+            t.insert(
+                "inventory",
+                vec!["Rome".into(), "lamp".into(), true.into(), 3i64.into()],
+            )
+            .unwrap();
+            t.commit().unwrap();
+            // ...then the merge "fails" and the pin is abandoned
+            delta.checkpoint_abort(pin);
+
+            let before = all_rows(&db);
+            assert_eq!(before.len(), 7, "{policy:?}");
+            // the next checkpoint starts from scratch and folds everything
+            assert!(db.checkpoint("inventory").unwrap(), "{policy:?}");
+            assert_eq!(all_rows(&db), before, "{policy:?}");
+            assert_eq!(clean_rows(&db), before, "{policy:?}");
         }
     }
 

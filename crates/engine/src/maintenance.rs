@@ -1,0 +1,377 @@
+//! Background maintenance: threshold-driven flush and checkpointing as a
+//! scheduled activity instead of a foreground stall.
+//!
+//! The paper's layered design (§3.3, Algorithm 7) exists so that
+//! Write-PDT→Read-PDT propagation and Read-PDT→stable checkpointing can
+//! run *while queries keep scanning a consistent snapshot*. The
+//! [`MaintenanceScheduler`] realises that: it owns worker threads that
+//! sweep every table of an [`Arc<Database>`](crate::Database) and
+//!
+//! * **flush** the write-optimised delta layer into the read-optimised one
+//!   once it exceeds the table's
+//!   [`flush_threshold_bytes`](crate::TableOptions::flush_threshold_bytes)
+//!   (the paper's Propagate policy — keep the Write-PDT CPU-cache-sized),
+//! * **checkpoint** the table into a fresh stable image once its combined
+//!   delta exceeds
+//!   [`checkpoint_threshold_bytes`](crate::TableOptions::checkpoint_threshold_bytes).
+//!
+//! Neither operation blocks readers or writers: flushes are
+//! view-preserving `Arc` swaps, and checkpoints pin their delta under the
+//! commit guard, rewrite the stable image entirely off-lock, and re-take
+//! the guard only for the final image swap
+//! ([`Database::checkpoint`](crate::Database::checkpoint)). Per-table
+//! maintenance operations serialize on the table's maintenance mutex, so
+//! the scheduler's workers never trample a caller-driven
+//! `maybe_flush`/`checkpoint` (or each other).
+//!
+//! ## Lifecycle
+//!
+//! [`MaintenanceScheduler::start`] spawns the workers; they tick at the
+//! configured cadence (or immediately on [`poke`](MaintenanceScheduler::poke)).
+//! [`drain`](MaintenanceScheduler::drain) synchronously flushes and
+//! checkpoints every table to a clean state on the calling thread —
+//! typically right before [`shutdown`](MaintenanceScheduler::shutdown),
+//! which signals the workers and joins them. Dropping the scheduler shuts
+//! it down implicitly (without the drain).
+
+use crate::{Database, DbError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Scheduler cadence knobs. Byte budgets are per-table
+/// ([`crate::TableOptions`]); the config only decides how often the
+/// workers look.
+#[derive(Debug, Clone, Copy)]
+pub struct MaintenanceConfig {
+    /// How often the flush worker sweeps the tables. Default 2 ms.
+    pub flush_tick: Duration,
+    /// How often the checkpoint worker sweeps the tables. Default 20 ms.
+    pub checkpoint_tick: Duration,
+}
+
+impl Default for MaintenanceConfig {
+    fn default() -> Self {
+        MaintenanceConfig {
+            flush_tick: Duration::from_millis(2),
+            checkpoint_tick: Duration::from_millis(20),
+        }
+    }
+}
+
+impl MaintenanceConfig {
+    /// Same tick for both workers — test/bench convenience.
+    pub fn with_tick(tick: Duration) -> Self {
+        MaintenanceConfig {
+            flush_tick: tick,
+            checkpoint_tick: tick,
+        }
+    }
+}
+
+/// Counters published by the scheduler (monotonic since `start`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Write→Read flushes performed.
+    pub flushes: u64,
+    /// Checkpoints that produced (or retired) state.
+    pub checkpoints: u64,
+    /// Maintenance operations that returned an error (recorded, never
+    /// propagated — the scheduler keeps running).
+    pub errors: u64,
+}
+
+struct Shared {
+    db: Arc<Database>,
+    cfg: MaintenanceConfig,
+    shutdown: AtomicBool,
+    /// Wakes sleeping workers early (shutdown or poke).
+    wake: Mutex<u64>,
+    wake_cv: Condvar,
+    flushes: AtomicU64,
+    checkpoints: AtomicU64,
+    errors: AtomicU64,
+    last_error: Mutex<Option<String>>,
+}
+
+enum Role {
+    Flush,
+    Checkpoint,
+}
+
+impl Shared {
+    /// Sleep until the tick elapses, a poke arrives, or shutdown.
+    fn wait(&self, tick: Duration) {
+        let guard = self.wake.lock().expect("scheduler wake lock");
+        let seen = *guard;
+        let _unused = self
+            .wake_cv
+            .wait_timeout_while(guard, tick, |gen| {
+                *gen == seen && !self.shutdown.load(Ordering::Acquire)
+            })
+            .expect("scheduler wake lock");
+    }
+
+    fn record(&self, result: Result<bool, DbError>, counter: &AtomicU64) {
+        match result {
+            Ok(true) => {
+                counter.fetch_add(1, Ordering::Relaxed);
+            }
+            Ok(false) => {}
+            // a table dropped mid-sweep is not an error
+            Err(DbError::UnknownTable(_)) => {}
+            Err(e) => {
+                self.errors.fetch_add(1, Ordering::Relaxed);
+                *self.last_error.lock().expect("scheduler error lock") = Some(e.to_string());
+            }
+        }
+    }
+
+    /// One sweep over every table for the given role.
+    fn pass(&self, role: &Role) {
+        for table in self.db.table_names() {
+            let Ok(opts) = self.db.options(&table) else {
+                continue;
+            };
+            match role {
+                Role::Flush => {
+                    let r = self.db.maybe_flush(&table, opts.flush_threshold_bytes);
+                    self.record(r, &self.flushes);
+                }
+                Role::Checkpoint => {
+                    let over = self
+                        .db
+                        .delta_bytes(&table)
+                        .map(|b| b > opts.checkpoint_threshold_bytes)
+                        .unwrap_or(false);
+                    if over {
+                        let r = self.db.checkpoint(&table);
+                        self.record(r, &self.checkpoints);
+                    }
+                }
+            }
+        }
+    }
+
+    fn run(&self, role: Role) {
+        let tick = match role {
+            Role::Flush => self.cfg.flush_tick,
+            Role::Checkpoint => self.cfg.checkpoint_tick,
+        };
+        while !self.shutdown.load(Ordering::Acquire) {
+            self.pass(&role);
+            self.wait(tick);
+        }
+    }
+}
+
+/// Owns the background maintenance workers of one database.
+pub struct MaintenanceScheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl MaintenanceScheduler {
+    /// Spawn the flush and checkpoint workers over `db`.
+    pub fn start(db: Arc<Database>, cfg: MaintenanceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            db,
+            cfg,
+            shutdown: AtomicBool::new(false),
+            wake: Mutex::new(0),
+            wake_cv: Condvar::new(),
+            flushes: AtomicU64::new(0),
+            checkpoints: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        });
+        let workers = [Role::Flush, Role::Checkpoint]
+            .into_iter()
+            .map(|role| {
+                let shared = shared.clone();
+                let name = match role {
+                    Role::Flush => "maint-flush",
+                    Role::Checkpoint => "maint-checkpoint",
+                };
+                std::thread::Builder::new()
+                    .name(name.to_string())
+                    .spawn(move || shared.run(role))
+                    .expect("spawn maintenance worker")
+            })
+            .collect();
+        MaintenanceScheduler { shared, workers }
+    }
+
+    /// Wake both workers for an immediate sweep.
+    pub fn poke(&self) {
+        let mut gen = self.shared.wake.lock().expect("scheduler wake lock");
+        *gen += 1;
+        drop(gen);
+        self.shared.wake_cv.notify_all();
+    }
+
+    /// Snapshot of the scheduler's counters.
+    pub fn stats(&self) -> MaintenanceStats {
+        MaintenanceStats {
+            flushes: self.shared.flushes.load(Ordering::Relaxed),
+            checkpoints: self.shared.checkpoints.load(Ordering::Relaxed),
+            errors: self.shared.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The last maintenance error, if any (sticky).
+    pub fn last_error(&self) -> Option<String> {
+        self.shared
+            .last_error
+            .lock()
+            .expect("scheduler error lock")
+            .clone()
+    }
+
+    /// Synchronously flush and checkpoint every table to a clean delta
+    /// state on the calling thread (the per-table maintenance mutex
+    /// serializes against in-flight worker passes). Errors are returned —
+    /// a drain must not silently skip work.
+    pub fn drain(&self) -> Result<(), DbError> {
+        for table in self.shared.db.table_names() {
+            if self.shared.db.maybe_flush(&table, 0)? {
+                self.shared.flushes.fetch_add(1, Ordering::Relaxed);
+            }
+            if self.shared.db.checkpoint(&table)? {
+                self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Signal the workers and join them. Pending passes finish; the
+    /// database is left in whatever state the last pass produced (call
+    /// [`MaintenanceScheduler::drain`] first for a clean shutdown).
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.wake_cv.notify_all();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceScheduler {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{TableOptions, UpdatePolicy, ALL_POLICIES};
+    use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+    use exec::run_to_rows;
+
+    fn db_with_ints(n: i64, policy: UpdatePolicy, opts: TableOptions) -> Arc<Database> {
+        let db = Database::new();
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+        let rows: Vec<Tuple> = (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect();
+        db.create_table(
+            TableMeta::new("t", schema, vec![0]),
+            opts.with_policy(policy),
+            rows,
+        )
+        .unwrap();
+        Arc::new(db)
+    }
+
+    fn image(db: &Database) -> Vec<Tuple> {
+        run_to_rows(&mut db.read_view().scan("t", vec![0, 1]).unwrap())
+    }
+
+    #[test]
+    fn scheduler_flushes_and_checkpoints_under_tiny_budgets() {
+        for policy in ALL_POLICIES {
+            let opts = TableOptions::default()
+                .with_block_rows(16)
+                .with_flush_threshold(0)
+                .with_checkpoint_threshold(0);
+            let db = db_with_ints(64, policy, opts);
+            let sched = MaintenanceScheduler::start(
+                db.clone(),
+                MaintenanceConfig::with_tick(Duration::from_millis(1)),
+            );
+            for i in 0..40 {
+                let mut t = db.begin();
+                t.insert("t", vec![Value::Int(i * 10 + 1), Value::Int(-i)])
+                    .unwrap();
+                t.commit().unwrap();
+            }
+            let before = image(&db);
+            assert_eq!(before.len(), 104, "{policy:?}");
+            sched.drain().unwrap();
+            let stats = sched.stats();
+            assert!(
+                stats.checkpoints > 0,
+                "{policy:?}: zero-budget scheduler must checkpoint, got {stats:?}"
+            );
+            assert_eq!(stats.errors, 0, "{policy:?}: {:?}", sched.last_error());
+            assert_eq!(
+                image(&db),
+                before,
+                "{policy:?}: maintenance changed the image"
+            );
+            // after the drain the whole image is stable
+            let clean = run_to_rows(&mut db.clean_view().scan("t", vec![0, 1]).unwrap());
+            assert_eq!(clean, before, "{policy:?}");
+            sched.shutdown();
+        }
+    }
+
+    #[test]
+    fn churn_run_history_counts_toward_checkpoint_budget() {
+        // insert-then-delete churn keeps the row store's net buffer tiny,
+        // but every commit retains a run for conflict validation — the
+        // checkpoint budget must see that growth (and a checkpoint must
+        // retire it), or a long-running churn table leaks unseen
+        let db = db_with_ints(8, UpdatePolicy::RowStore, TableOptions::default());
+        let clean_bytes = db.delta_bytes("t").unwrap();
+        for i in 0..10i64 {
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(i * 10 + 1), Value::Int(0)])
+                .unwrap();
+            t.commit().unwrap();
+            let mut t = db.begin();
+            t.delete_where("t", exec::expr::col(0).eq(exec::expr::lit(i * 10 + 1)))
+                .unwrap();
+            t.commit().unwrap();
+        }
+        let churned = db.delta_bytes("t").unwrap();
+        assert!(
+            churned > clean_bytes + 500,
+            "run history invisible to the budget: {clean_bytes} -> {churned}"
+        );
+        assert!(
+            db.checkpoint("t").unwrap(),
+            "net-zero checkpoint retires runs"
+        );
+        let retired = db.delta_bytes("t").unwrap();
+        assert!(retired < churned / 2, "{churned} -> {retired}");
+    }
+
+    #[test]
+    fn drop_shuts_the_workers_down() {
+        let db = db_with_ints(8, UpdatePolicy::Pdt, TableOptions::default());
+        let weak = {
+            let sched = MaintenanceScheduler::start(db.clone(), MaintenanceConfig::default());
+            sched.poke();
+            Arc::downgrade(&sched.shared)
+        };
+        // workers joined on drop: nothing holds the shared state anymore
+        assert_eq!(weak.strong_count(), 0);
+    }
+}

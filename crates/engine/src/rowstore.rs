@@ -18,7 +18,7 @@
 //! buffer); like the VDT store, a transaction spanning a checkpoint
 //! validates against the post-checkpoint state only.
 
-use crate::delta::{DeltaSnapshot, DeltaStore, DeltaTxn, UpdatePolicy};
+use crate::delta::{CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, ResidualLog, UpdatePolicy};
 use crate::DbError;
 use columnar::{IoTracker, SkKey, StableTable, Value};
 use exec::DeltaLayers;
@@ -41,6 +41,11 @@ struct RowState {
     runs: Vec<Arc<RowRun>>,
     /// Bumped on every publish / checkpoint / replay.
     version: u64,
+    /// Commit retention for the in-flight checkpoint, if any. (The raw
+    /// [`RowOp`]s in `runs` would not do for the residual rebuild: their
+    /// pre-images can predate a commit the pin already folded into the
+    /// image.)
+    residual: ResidualLog,
 }
 
 impl RowStore {
@@ -51,9 +56,26 @@ impl RowStore {
                 committed: Arc::new(RowBuffer::new(schema, sk_cols)),
                 runs: Vec::new(),
                 version: 0,
+                residual: ResidualLog::new(),
             }),
         }
     }
+}
+
+impl crate::delta::KeyEntrySink for RowBuffer {
+    fn apply_insert(&mut self, tuple: Vec<Value>) {
+        self.insert(tuple);
+    }
+
+    fn apply_delete(&mut self, key: &[Value]) {
+        self.delete_key(key);
+    }
+}
+
+/// Pinned state of an in-flight row-store checkpoint.
+struct RowPin {
+    buf: Arc<RowBuffer>,
+    version: u64,
 }
 
 struct RowSnapshot {
@@ -235,7 +257,7 @@ impl DeltaStore for RowStore {
         entries
     }
 
-    fn publish(&self, mut staged: Box<dyn DeltaTxn>, _seq: u64) {
+    fn publish(&self, mut staged: Box<dyn DeltaTxn>, seq: u64, entries: &[WalEntry]) {
         let txn = staged
             .as_any_mut()
             .downcast_mut::<RowTxn>()
@@ -251,24 +273,14 @@ impl DeltaStore for RowStore {
         st.version += 1;
         let version = st.version;
         st.runs.push(Arc::new(RowRun { version, ops }));
+        st.residual.record(seq, entries);
     }
 
     fn replay(&self, entries: &[WalEntry]) {
         let mut st = self.state.write();
         // recovery holds no snapshots, so make_mut mutates in place
         let buf = Arc::make_mut(&mut st.committed);
-        for e in entries {
-            if e.kind == pdt::INS {
-                buf.insert(e.values.clone());
-            } else if e.kind == pdt::DEL {
-                buf.delete_key(&e.values);
-            } else {
-                panic!(
-                    "row store WAL replay: unexpected modify entry (kind {})",
-                    e.kind
-                );
-            }
-        }
+        crate::delta::apply_key_entries(entries, buf);
         st.version += 1;
     }
 
@@ -276,47 +288,73 @@ impl DeltaStore for RowStore {
         self.state.read().committed.heap_bytes()
     }
 
+    fn delta_bytes(&self) -> usize {
+        // the run history counts too: under churn (insert then delete of
+        // the same key) the net buffer stays tiny while runs grow with
+        // every commit — the checkpoint budget must see that growth, or
+        // the scheduler never retires it
+        let st = self.state.read();
+        st.committed.heap_bytes() + st.runs.iter().map(|r| r.heap_bytes()).sum::<usize>()
+    }
+
     fn flush(&self) -> bool {
         // single-layer structure: checkpoint is the only migration
         false
     }
 
-    fn checkpoint(
+    fn checkpoint_pin(&self, seq: u64) -> Option<CheckpointPin> {
+        let mut st = self.state.write();
+        if st.committed.is_empty() && st.runs.is_empty() {
+            return None;
+        }
+        st.residual.pin(seq);
+        Some(CheckpointPin::new(
+            seq,
+            RowPin {
+                buf: st.committed.clone(),
+                version: st.version,
+            },
+        ))
+    }
+
+    fn checkpoint_merge(
         &self,
+        pin: &CheckpointPin,
         stable: &StableTable,
         io: &IoTracker,
     ) -> Result<Option<StableTable>, DbError> {
-        let merged = {
-            let st = self.state.read();
-            if st.committed.is_empty() && st.runs.is_empty() {
-                return Ok(None);
-            }
-            if st.committed.is_empty() {
-                // net-zero buffer (e.g. insert + delete of the same key):
-                // nothing to fold, but the run history can be retired
-                None
-            } else {
-                let rows = stable.scan_all(io)?;
-                Some(st.committed.merge_rows(&rows))
-            }
-        };
-        let fresh = match merged {
-            Some(rows) => Some(StableTable::bulk_load(
-                stable.meta().clone(),
-                stable.options(),
-                &rows,
-            )?),
-            None => None,
-        };
-        let mut st = self.state.write();
-        if fresh.is_some() {
-            st.committed = Arc::new(RowBuffer::new(
-                stable.schema().clone(),
-                stable.sort_key().cols().to_vec(),
-            ));
+        let pinned = pin.state::<RowPin>();
+        if pinned.buf.is_empty() {
+            // net-zero buffer (e.g. insert + delete of the same key): the
+            // current image already equals the merged one; install still
+            // retires the covered run history and commit log
+            return Ok(None);
         }
-        st.runs.clear();
+        let rows = stable.scan_all(io)?;
+        let merged = pinned.buf.merge_rows(&rows);
+        let fresh = StableTable::bulk_load(stable.meta().clone(), stable.options(), &merged)?;
+        Ok(Some(fresh))
+    }
+
+    fn checkpoint_install(&self, pin: CheckpointPin) {
+        let pinned = pin.state::<RowPin>();
+        let mut st = self.state.write();
+        // commits published during the merge survive as the residual
+        // buffer over the new image; their runs stay for the footprint
+        // validation of transactions that began before the pin
+        let mut residual = RowBuffer::new(
+            st.committed.schema().clone(),
+            st.committed.sk_cols().to_vec(),
+        );
+        st.residual.rebuild_into(pin.seq, &mut residual);
+        st.committed = Arc::new(residual);
+        let pin_version = pinned.version;
+        st.runs.retain(|r| r.version > pin_version);
+        st.residual.unpin();
         st.version += 1;
-        Ok(fresh)
+    }
+
+    fn checkpoint_abort(&self, _pin: CheckpointPin) {
+        self.state.write().residual.unpin();
     }
 }

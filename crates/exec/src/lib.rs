@@ -31,4 +31,4 @@ pub use ops::project::Project;
 pub use ops::scan::{DeltaLayers, ScanBounds, TableScan};
 pub use ops::sort::{Limit, Sort, SortKey, TopN};
 pub use ops::{run_to_rows, BoxOp, Operator};
-pub use stats::{measure, QueryStats, ScanClock};
+pub use stats::{measure, LatencyStats, LatencySummary, QueryStats, ScanClock};

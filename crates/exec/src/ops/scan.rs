@@ -56,6 +56,16 @@ enum MergeState<'a> {
 }
 
 /// The scan operator.
+///
+/// ## Pinning
+///
+/// A scan borrows its stable table and delta layers for its whole
+/// lifetime — it never re-reads them from the database. The engine's read
+/// views hand out these borrows from `Arc`-held snapshots (stable image +
+/// committed delta capture), so a scan is pinned to one consistent cut:
+/// background maintenance may swap a fresh stable image or retire delta
+/// layers mid-scan, and the scan keeps reading the pinned versions,
+/// emitting exactly the rows visible when its view opened.
 pub struct TableScan<'a> {
     table: &'a StableTable,
     proj: Vec<usize>,
@@ -307,11 +317,33 @@ fn drain_upper_key(table: &StableTable, range: &ScanRange, io: &IoTracker) -> Op
 
 impl<'a> Operator for TableScan<'a> {
     fn next_batch(&mut self) -> Option<Batch> {
-        if self.finished {
-            return None;
+        // a batch may be legitimately empty mid-stream (fully deleted
+        // block): loop — not recurse — to the next one, so a long run of
+        // ghosted blocks (common right before a checkpoint retires heavy
+        // deletes) cannot grow the stack with the table
+        loop {
+            if self.finished {
+                return None;
+            }
+            let t0 = Instant::now();
+            let out = self.produce();
+            self.clock.charge(t0);
+            match out {
+                Some(b) if b.is_empty() && !self.finished => continue,
+                Some(b) if b.is_empty() => return None,
+                other => return other,
+            }
         }
-        let t0 = Instant::now();
-        let out = 'produce: {
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.proj_types()
+    }
+}
+
+impl<'a> TableScan<'a> {
+    fn produce(&mut self) -> Option<Batch> {
+        'produce: {
             // blocks remaining?
             if self.next_block != usize::MAX && self.next_block < self.end_block {
                 let b = self.next_block;
@@ -421,19 +453,7 @@ impl<'a> Operator for TableScan<'a> {
                     }
                 }
             }
-        };
-        // a batch may be legitimately empty mid-stream (fully deleted
-        // block); recurse to keep the contract "None == exhausted"
-        self.clock.charge(t0);
-        match out {
-            Some(b) if b.is_empty() && !self.finished => self.next_batch(),
-            Some(b) if b.is_empty() => None,
-            other => other,
         }
-    }
-
-    fn out_types(&self) -> Vec<ValueType> {
-        self.proj_types()
     }
 }
 

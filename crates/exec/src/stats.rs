@@ -9,8 +9,8 @@
 
 use columnar::{IoStats, IoTracker};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Instant;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// Shared accumulator of time spent inside scan operators.
 #[derive(Debug, Default, Clone)]
@@ -35,6 +35,66 @@ impl ScanClock {
 
     pub fn secs(&self) -> f64 {
         self.nanos() as f64 / 1e9
+    }
+}
+
+/// Thread-safe recorder of per-operation wall times — e.g. the latency of
+/// repeated scans while background maintenance runs. Samples accumulate
+/// until [`LatencyStats::summary`]; percentiles are computed over all
+/// recorded samples (nearest-rank).
+#[derive(Debug, Default)]
+pub struct LatencyStats {
+    samples: Mutex<Vec<u64>>,
+}
+
+/// Summary of a [`LatencyStats`] recording, in nanoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencySummary {
+    pub count: usize,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub max_ns: u64,
+}
+
+impl LatencyStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one operation's duration.
+    pub fn record(&self, d: Duration) {
+        self.samples
+            .lock()
+            .expect("latency samples")
+            .push(d.as_nanos() as u64);
+    }
+
+    /// Time `f`, recording its wall duration.
+    pub fn measure<T>(&self, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.record(t0.elapsed());
+        out
+    }
+
+    /// Nearest-rank percentiles over everything recorded so far.
+    /// Returns `None` when no samples were recorded.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        let mut s = self.samples.lock().expect("latency samples").clone();
+        if s.is_empty() {
+            return None;
+        }
+        s.sort_unstable();
+        let rank = |p: f64| -> u64 {
+            let idx = ((p * s.len() as f64).ceil() as usize).clamp(1, s.len()) - 1;
+            s[idx]
+        };
+        Some(LatencySummary {
+            count: s.len(),
+            p50_ns: rank(0.50),
+            p95_ns: rank(0.95),
+            max_ns: *s.last().unwrap(),
+        })
     }
 }
 
@@ -114,6 +174,23 @@ mod tests {
         assert_eq!(stats.rows, 7);
         assert!(stats.total_secs >= 0.0);
         assert!(stats.processing_secs() >= 0.0);
+    }
+
+    #[test]
+    fn latency_percentiles_nearest_rank() {
+        let l = LatencyStats::new();
+        assert!(l.summary().is_none());
+        for ns in [1u64, 2, 3, 4, 100] {
+            l.record(Duration::from_nanos(ns));
+        }
+        let s = l.summary().unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50_ns, 3);
+        assert_eq!(s.p95_ns, 100);
+        assert_eq!(s.max_ns, 100);
+        let out = l.measure(|| 7);
+        assert_eq!(out, 7);
+        assert_eq!(l.summary().unwrap().count, 6);
     }
 
     #[test]

@@ -335,6 +335,30 @@ pub struct RowRun {
     pub ops: Vec<RowOp>,
 }
 
+impl RowRun {
+    /// Approximate heap footprint of the retained ops (RAM budget
+    /// accounting — run history must count toward checkpoint thresholds,
+    /// or churn workloads whose net buffer stays small grow it unseen).
+    pub fn heap_bytes(&self) -> usize {
+        let val_bytes = |v: &Value| match v {
+            Value::Str(s) => 24 + s.len(),
+            _ => 16,
+        };
+        let tuple_bytes = |t: &Tuple| t.iter().map(val_bytes).sum::<usize>() + 24;
+        self.ops
+            .iter()
+            .map(|op| {
+                std::mem::size_of::<RowOp>()
+                    + match op {
+                        RowOp::Insert(t) => tuple_bytes(t),
+                        RowOp::Delete { pre } => tuple_bytes(pre),
+                        RowOp::Modify { pre, value, .. } => tuple_bytes(pre) + val_bytes(value),
+                    }
+            })
+            .sum()
+    }
+}
+
 /// The write footprint of a set of concurrent runs, for prepare-time
 /// write-write validation. This is the run-history analogue of the PDT's
 /// TZ-set overlap test and the VDT's value-wise pending comparison —

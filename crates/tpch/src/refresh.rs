@@ -125,6 +125,7 @@ mod tests {
             block_rows: 512,
             compressed: true,
             policy,
+            ..TableOptions::default()
         }
     }
 

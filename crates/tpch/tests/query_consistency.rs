@@ -22,6 +22,7 @@ fn opts(policy: UpdatePolicy) -> TableOptions {
         block_rows: 512,
         compressed: true,
         policy,
+        ..TableOptions::default()
     }
 }
 

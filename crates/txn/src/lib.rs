@@ -369,15 +369,11 @@ impl TxnManager {
     pub fn log_commit(
         &self,
         seq: u64,
-        tables: &[(String, Vec<wal::WalEntry>)],
+        tables: &[(&str, &[wal::WalEntry])],
     ) -> Result<(), TxnError> {
         if let Some(w) = &self.wal {
             if !tables.is_empty() {
-                let refs: Vec<(&str, &[wal::WalEntry])> = tables
-                    .iter()
-                    .map(|(t, e)| (t.as_str(), e.as_slice()))
-                    .collect();
-                w.lock().append_commit(seq, &refs).map_err(TxnError::Wal)?;
+                w.lock().append_commit(seq, tables).map_err(TxnError::Wal)?;
             }
         }
         Ok(())
@@ -511,15 +507,18 @@ impl TxnManager {
         st.snapshot_seq = seq;
     }
 
-    /// Run a checkpoint on `table`: flushes Write→Read, hands the combined
-    /// Read-PDT to `apply` (which rebuilds the stable image), and — if it
-    /// succeeds — resets the Read-PDT. Commits are blocked for the
-    /// duration; running readers keep their snapshots.
-    pub fn checkpoint<E>(
-        &self,
-        table: &str,
-        apply: impl FnOnce(&Pdt) -> Result<(), E>,
-    ) -> Result<bool, E> {
+    /// Checkpoint phase 1: flush the master Write-PDT into the Read-PDT (so
+    /// the pinned layer is complete) and pin the combined Read-PDT. The
+    /// caller rebuilds the stable image from the returned `Arc` *off* every
+    /// lock — commits keep flowing into the (fresh, empty) master Write-PDT
+    /// in the meantime, and their SIDs stay valid relative to the image the
+    /// pin will produce. Returns `None` when there is nothing to fold.
+    ///
+    /// Callers must serialize per-table maintenance (the engine holds a
+    /// per-table maintenance mutex): only commits may run between a pin and
+    /// its [`TxnManager::install_checkpoint`], never another flush or
+    /// checkpoint of the same table.
+    pub fn pin_checkpoint(&self, table: &str) -> Option<Arc<Pdt>> {
         let mut inner = self.inner.lock();
         let seq = inner.seq;
         let st = inner.tables.get_mut(table).expect("registered table");
@@ -532,11 +531,43 @@ impl TxnManager {
             st.snapshot_seq = seq;
         }
         if st.read.is_empty() {
-            return Ok(false);
+            None
+        } else {
+            Some(st.read.clone())
         }
-        apply(&st.read)?;
+    }
+
+    /// Checkpoint phase 3: the pinned Read-PDT is folded into the new
+    /// stable image — forget it. Panics if the Read layer changed since the
+    /// pin (a concurrent flush/checkpoint the caller failed to serialize).
+    pub fn install_checkpoint(&self, table: &str, pinned: &Arc<Pdt>) {
+        let mut inner = self.inner.lock();
+        let st = inner.tables.get_mut(table).expect("registered table");
+        assert!(
+            Arc::ptr_eq(&st.read, pinned),
+            "Read-PDT of {table} changed between checkpoint pin and install"
+        );
         st.read = Arc::new(Pdt::new(st.schema.clone(), st.sk_cols.clone()));
-        Ok(true)
+    }
+
+    /// Append a checkpoint marker for `table` at pinned sequence `seq`
+    /// (no-op without a WAL). Call under [`TxnManager::commit_guard`],
+    /// after the new stable image is installed.
+    pub fn log_checkpoint(&self, table: &str, seq: u64) -> Result<(), TxnError> {
+        if let Some(w) = &self.wal {
+            w.lock()
+                .append_checkpoint(table, seq)
+                .map_err(TxnError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// Combined Read-PDT + master Write-PDT footprint of a table — the
+    /// checkpoint-threshold input of the maintenance scheduler.
+    pub fn pdt_bytes(&self, table: &str) -> usize {
+        let inner = self.inner.lock();
+        let st = &inner.tables[table];
+        st.read.heap_bytes() + st.master_write.heap_bytes()
     }
 
     /// Current global commit sequence.
@@ -550,21 +581,26 @@ impl TxnManager {
     }
 
     /// Replay a WAL into this manager's master Write-PDTs (recovery).
-    /// Tables must be registered first.
+    /// Tables must be registered first, rebuilt from their last
+    /// checkpointed stable image — records a checkpoint marker covers are
+    /// skipped ([`wal::Wal::read_effective`]).
     pub fn recover_from(&self, path: &Path) -> std::io::Result<u64> {
-        let records = wal::Wal::read_all(path)?;
+        let records = wal::Wal::read_effective(path)?;
         let mut inner = self.inner.lock();
         let mut last_seq = 0;
         for rec in records {
-            for (table, entries) in rec.tables {
-                let st = inner
-                    .tables
-                    .get_mut(&table)
-                    .unwrap_or_else(|| panic!("WAL references unknown table {table}"));
-                let delta = wal::rebuild_pdt(&st.schema, &st.sk_cols, &entries);
-                propagate(&mut st.master_write, &delta);
+            let seq = rec.seq();
+            if let wal::WalRecord::Commit { tables, .. } = rec {
+                for (table, entries) in tables {
+                    let st = inner
+                        .tables
+                        .get_mut(&table)
+                        .unwrap_or_else(|| panic!("WAL references unknown table {table}"));
+                    let delta = wal::rebuild_pdt(&st.schema, &st.sk_cols, &entries);
+                    propagate(&mut st.master_write, &delta);
+                }
             }
-            last_seq = rec.seq;
+            last_seq = seq;
         }
         inner.seq = last_seq;
         for st in inner.tables.values_mut() {
@@ -737,27 +773,52 @@ mod tests {
     }
 
     #[test]
-    fn checkpoint_applies_and_resets() {
+    fn checkpoint_pin_merge_install() {
         let m = mgr();
         let rows = base(6);
         let mut a = m.begin();
         a.trans_pdt_mut("t").add_delete(2, &[Value::Int(20)]);
         m.commit(a).unwrap();
-        let mut new_rows = Vec::new();
-        let did = m
-            .checkpoint::<()>("t", |read| {
-                new_rows = merge_rows(&rows, read);
-                Ok(())
-            })
-            .unwrap();
-        assert!(did);
+        let pinned = m.pin_checkpoint("t").expect("dirty table pins");
+        // a commit lands while the caller merges off-lock: it goes to the
+        // fresh master Write-PDT, positioned relative to the pinned image
+        let mut b = m.begin();
+        b.trans_pdt_mut("t").add_modify(0, 1, &Value::Int(70));
+        m.commit(b).unwrap();
+        let new_rows = merge_rows(&rows, &pinned);
         assert_eq!(new_rows.len(), 5);
-        // read layer is now empty: fresh txns see the new stable image as-is
+        m.install_checkpoint("t", &pinned);
+        // read layer is now empty; the mid-merge commit survives on top of
+        // the new stable image
         let t = m.begin();
-        assert_eq!(view(&new_rows, &t), new_rows);
-        // idempotent when clean
-        let did = m.checkpoint::<()>("t", |_| Ok(())).unwrap();
-        assert!(!did);
+        assert!(t.snapshot("t").read.is_empty());
+        let fin = view(&new_rows, &t);
+        assert_eq!(fin.len(), 5);
+        assert_eq!(fin[0][1], Value::Int(70));
+        // pinning again folds the surviving Write-PDT; once that is also
+        // installed the table is clean and pinning yields nothing
+        let pinned = m.pin_checkpoint("t").expect("write layer still dirty");
+        let final_rows = merge_rows(&new_rows, &pinned);
+        m.install_checkpoint("t", &pinned);
+        assert_eq!(view(&final_rows, &m.begin()), final_rows);
+        assert!(m.pin_checkpoint("t").is_none(), "clean table pins nothing");
+    }
+
+    #[test]
+    #[should_panic(expected = "changed between checkpoint pin and install")]
+    fn install_detects_unserialized_maintenance() {
+        let m = mgr();
+        let mut a = m.begin();
+        a.trans_pdt_mut("t").add_delete(0, &[Value::Int(0)]);
+        m.commit(a).unwrap();
+        let pinned = m.pin_checkpoint("t").unwrap();
+        // a concurrent (unserialized) flush swaps the Read-PDT out from
+        // under the pin: install must refuse to reset the wrong layer
+        let mut b = m.begin();
+        b.trans_pdt_mut("t").add_delete(0, &[Value::Int(10)]);
+        m.commit(b).unwrap();
+        m.flush_write_to_read("t");
+        m.install_checkpoint("t", &pinned);
     }
 
     #[test]

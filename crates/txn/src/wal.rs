@@ -7,12 +7,28 @@
 //! replays records in order, propagating each delta into the master
 //! Write-PDT — reproducing exactly the in-memory state at the last commit.
 //!
+//! ## Checkpoint markers
+//!
+//! A background checkpoint folds every commit up to some sequence number
+//! into a fresh stable image *while later commits keep appending records*.
+//! The log therefore cannot simply be truncated at checkpoint time: a
+//! record written during the stable rewrite (seq > the checkpoint's pinned
+//! sequence) lands in the file **before** the checkpoint completes, but is
+//! *not* contained in the new image. Instead the checkpoint appends a
+//! [`WalRecord::Checkpoint`] marker carrying the pinned sequence; recovery
+//! ([`Wal::read_effective`]) replays, per table, only the commit entries
+//! with `seq` greater than the table's last marker — everything at or
+//! below it is already durable in the image the table was rebuilt from.
+//! Skipping is by sequence number, not file position, precisely because of
+//! that mid-merge interleaving.
+//!
 //! Record layout (little-endian):
 //!
 //! ```text
-//! [magic u32][seq u64][ntables u32]
-//!   ntables × [name_len u16][name bytes][nentries u32]
-//!     nentries × [sid u64][kind u16][payload]
+//! commit:     [magic u32][seq u64][ntables u32]
+//!               ntables × [name_len u16][name bytes][nentries u32]
+//!                 nentries × [sid u64][kind u16][payload]
+//! checkpoint: [ckpt_magic u32][seq u64][name_len u16][name bytes]
 //! payload: INS → full tuple, DEL → sort-key values, MOD → one value
 //! value:   [tag u8][data]   (0=Null 1=Bool 2=Int 3=Double 4=Str 5=Date)
 //! ```
@@ -21,11 +37,13 @@ use columnar::{Schema, Value};
 use pdt::builder::PdtBuilder;
 use pdt::value_space::ValueSpace;
 use pdt::{Pdt, Upd, DEL, INS};
+use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
 const MAGIC: u32 = 0x7064_7457; // "pdtW"
+const CKPT_MAGIC: u32 = 0x7064_7443; // "pdtC"
 
 /// One entry of a logged delta.
 #[derive(Debug, Clone, PartialEq)]
@@ -35,11 +53,29 @@ pub struct WalEntry {
     pub values: Vec<Value>,
 }
 
-/// One commit record.
+/// One log record: a commit's per-table deltas, or a checkpoint marker.
 #[derive(Debug, Clone)]
-pub struct WalRecord {
-    pub seq: u64,
-    pub tables: Vec<(String, Vec<WalEntry>)>,
+pub enum WalRecord {
+    /// A commit at sequence `seq` with its per-table delta entries.
+    Commit {
+        seq: u64,
+        tables: Vec<(String, Vec<WalEntry>)>,
+    },
+    /// `table` was checkpointed: every commit with sequence ≤ `seq` is
+    /// folded into the stable image the table restarts from. Commits with
+    /// a later sequence — including ones physically *before* this marker
+    /// in the file, written while the checkpoint merge ran — are not.
+    Checkpoint { seq: u64, table: String },
+}
+
+impl WalRecord {
+    /// The record's commit sequence.
+    pub fn seq(&self) -> u64 {
+        match self {
+            WalRecord::Commit { seq, .. } => *seq,
+            WalRecord::Checkpoint { seq, .. } => *seq,
+        }
+    }
 }
 
 /// Append-only write-ahead log.
@@ -86,6 +122,20 @@ impl Wal {
         self.out.flush()
     }
 
+    /// Append a checkpoint marker: `table`'s commits with sequence ≤ `seq`
+    /// are durable in a fresh stable image. Must be written under the same
+    /// exclusion that orders commits (the engine's commit guard), after the
+    /// new image is installed.
+    pub fn append_checkpoint(&mut self, table: &str, seq: u64) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+        buf.extend_from_slice(&seq.to_le_bytes());
+        buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
+        buf.extend_from_slice(table.as_bytes());
+        self.out.write_all(&buf)?;
+        self.out.flush()
+    }
+
     /// Read every record of a log file.
     pub fn read_all(path: &Path) -> std::io::Result<Vec<WalRecord>> {
         let mut bytes = Vec::new();
@@ -100,6 +150,20 @@ impl Wal {
         let mut pos = 0usize;
         while pos < bytes.len() {
             let magic = read_u32(&bytes, &mut pos)?;
+            if magic == CKPT_MAGIC {
+                let seq = read_u64(&bytes, &mut pos)?;
+                let nlen = read_u16(&bytes, &mut pos)? as usize;
+                let table = std::str::from_utf8(
+                    bytes
+                        .get(pos..pos + nlen)
+                        .ok_or_else(|| corrupt("truncated checkpoint name"))?,
+                )
+                .map_err(|_| corrupt("bad utf8 name"))?
+                .to_string();
+                pos += nlen;
+                records.push(WalRecord::Checkpoint { seq, table });
+                continue;
+            }
             if magic != MAGIC {
                 return Err(corrupt("bad record magic"));
             }
@@ -130,10 +194,45 @@ impl Wal {
                 }
                 tables.push((name, entries));
             }
-            records.push(WalRecord { seq, tables });
+            records.push(WalRecord::Commit { seq, tables });
         }
         Ok(records)
     }
+
+    /// Read the log and resolve checkpoint markers: returns only commit
+    /// records, with each table's entries dropped when a marker covers them
+    /// (`seq` ≤ the table's last marker). This is the record stream a
+    /// recovery that rebuilt every table from its checkpointed stable image
+    /// must replay.
+    pub fn read_effective(path: &Path) -> std::io::Result<Vec<WalRecord>> {
+        let records = Self::read_all(path)?;
+        let markers = checkpoint_seqs(&records);
+        Ok(records
+            .into_iter()
+            .filter_map(|rec| match rec {
+                WalRecord::Commit { seq, tables } => {
+                    let kept: Vec<_> = tables
+                        .into_iter()
+                        .filter(|(t, _)| markers.get(t).is_none_or(|&m| seq > m))
+                        .collect();
+                    Some(WalRecord::Commit { seq, tables: kept })
+                }
+                WalRecord::Checkpoint { .. } => None,
+            })
+            .collect())
+    }
+}
+
+/// Last checkpoint marker sequence per table.
+pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, u64> {
+    let mut m = HashMap::new();
+    for rec in records {
+        if let WalRecord::Checkpoint { seq, table } = rec {
+            let e = m.entry(table.clone()).or_insert(*seq);
+            *e = (*e).max(*seq);
+        }
+    }
+    m
 }
 
 /// Flatten a (serialized, consecutive) PDT into loggable entries.

@@ -1,6 +1,6 @@
 //! Value-based MergeScan: `MergeUnion[SK](ins, MergeDiff[SK](stable, del))`.
 //!
-//! Unlike the positional [`pdt::PdtMerger`], this merger **requires the
+//! Unlike the positional `pdt::PdtMerger`, this merger **requires the
 //! sort-key columns of every stable block** (`sk_in`), and performs one or
 //! more `Value` comparisons per stable tuple against the delta tables. That
 //! is the baseline cost model of the paper: mandatory key-column I/O plus

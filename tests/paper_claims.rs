@@ -43,6 +43,7 @@ fn make_db(nkeys: usize, key_type: ValueType, rows: i64, policy: UpdatePolicy) -
             compressed: false, // uncompressed: the workstation profile where
             // the key-I/O gap is largest (paper Plot 5)
             policy,
+            ..TableOptions::default()
         },
         data,
     )
