@@ -17,7 +17,9 @@
 //! that reason; raise `PDT_BENCH_ROWSTORE_OPS` to watch it degrade.)
 
 use bench::env_u64;
-use columnar::{Schema, Value, ValueType};
+use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+use engine::{Database, TableOptions, ALL_POLICIES};
+use exec::Batch;
 use pdt::Pdt;
 use rowstore::RowBuffer;
 use tpch::gen::Rng;
@@ -159,4 +161,84 @@ fn main() {
     );
     println!("# expectation: per-op cost grows linearly with buffer size (array shifts),");
     println!("# versus the PDT's flat-to-logarithmic curves above.");
+
+    // --- engine bulk ingest: batched append vs row-at-a-time ------------
+    // One committed transaction inserts `ingest` fresh rows into a
+    // `base`-row table, either as `ingest` row-at-a-time `insert` calls
+    // (each paying its own rank scan and staging/publication step) or as
+    // ONE `append` batch (one rank scan, one staging merge, one WAL
+    // entry). This is the write-throughput claim of the batch-first API;
+    // the row store gains the most (sorted-run merge, O(buffer+batch)
+    // instead of O(buffer) per row).
+    let base = env_u64("PDT_BENCH_INGEST_BASE", 50_000);
+    let ingest = env_u64("PDT_BENCH_INGEST_ROWS", 10_000).min(base);
+    println!("\n# engine bulk ingest: {ingest} fresh rows into a {base}-row table, one txn");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "backend", "row_ms", "batch_ms", "speedup"
+    );
+    let fresh: Vec<Tuple> = (0..ingest)
+        .map(|i| {
+            // odd keys: scattered through the populated even-key range
+            let k = (i * (base / ingest).max(1) % base) * 2 + 1;
+            vec![
+                Value::Int(k as i64),
+                Value::Int(1),
+                Value::Int(2),
+                Value::Int(3),
+            ]
+        })
+        .collect();
+    for policy in ALL_POLICIES {
+        let make_db = || {
+            let db = Database::new();
+            let rows: Vec<Tuple> = (0..base)
+                .map(|i| {
+                    vec![
+                        Value::Int(i as i64 * 2),
+                        Value::Int(1),
+                        Value::Int(2),
+                        Value::Int(3),
+                    ]
+                })
+                .collect();
+            db.create_table(
+                TableMeta::new("t", schema(), vec![0]),
+                TableOptions::default().with_policy(policy),
+                rows,
+            )
+            .unwrap();
+            db
+        };
+        let db_rows = make_db();
+        let t0 = std::time::Instant::now();
+        let mut txn = db_rows.begin();
+        for r in &fresh {
+            txn.insert("t", r.clone()).unwrap();
+        }
+        txn.commit().unwrap();
+        let row_s = t0.elapsed().as_secs_f64();
+
+        let db_batch = make_db();
+        let t0 = std::time::Instant::now();
+        let mut txn = db_batch.begin();
+        txn.append("t", Batch::from_rows(&schema().types(), &fresh))
+            .unwrap();
+        txn.commit().unwrap();
+        let batch_s = t0.elapsed().as_secs_f64();
+
+        assert_eq!(
+            db_rows.row_count("t").unwrap(),
+            db_batch.row_count("t").unwrap(),
+            "batched and row-at-a-time ingest must agree"
+        );
+        println!(
+            "{:>10} {:>12.2} {:>12.2} {:>8.1}",
+            format!("{policy:?}"),
+            row_s * 1e3,
+            batch_s * 1e3,
+            row_s / batch_s.max(1e-9),
+        );
+    }
+    println!("# expectation: batch >= row everywhere; the row store by orders of magnitude.");
 }

@@ -7,13 +7,26 @@
 //! at least a factor 3. Furthermore, this experiment demonstrates linear
 //! scaling of query times with growing data size."
 //!
+//! Since the batch-first write-API redesign this bench runs through the
+//! *engine*: one database per update policy, updated through the same
+//! batched transactional DML (`append` / `update_col` / `delete_rids` —
+//! one staging call and one WAL entry per statement), scanned through read
+//! views. The figures therefore measure exactly the path a real workload
+//! takes, write and read.
+//!
 //! We sweep table sizes (default 250k and 1M; `PDT_BENCH_LARGE=1` adds 10M,
 //! matching the paper's middle panel), key types {int, string} and update
 //! rates 0–2.5 per 100 tuples, and report hot scan times in ms.
 
-use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
-use columnar::IoTracker;
-use exec::{DeltaLayers, ScanClock, TableScan};
+use bench::{drain_scan, env_u64, EngineMicroLoad, KeyKind};
+use engine::{ReadView, UpdatePolicy, ALL_POLICIES};
+
+fn timed_scan(view: &ReadView, proj: &[usize]) -> (u64, f64) {
+    let t0 = std::time::Instant::now();
+    let mut scan = view.scan("t", proj.to_vec()).expect("scan t");
+    let rows = drain_scan(&mut scan);
+    (rows, t0.elapsed().as_secs_f64())
+}
 
 fn main() {
     let base = env_u64("PDT_BENCH_ROWS", 1_000_000);
@@ -23,59 +36,41 @@ fn main() {
     }
     let rates = [0.0f64, 0.5, 1.0, 1.5, 2.0, 2.5];
     println!("# Figure 17: MergeScan time (ms), 4 data cols + 1 key col, project all 4 data cols");
+    println!("# updates applied through the engine's batched DML; scans through read views");
     println!(
         "{:>10} {:>5} {:>8} {:>10} {:>10} {:>10} {:>10} {:>8} {:>8}",
         "rows", "key", "upd/100", "clean_ms", "pdt_ms", "vdt_ms", "rows_ms", "vdt/pdt", "rows/pdt"
     );
     for &n in &sizes {
         for kind in [KeyKind::Int, KeyKind::Str] {
-            let (table, rows) = micro_table(n, 1, 4, kind, true);
+            // one database per policy, advanced through the same update
+            // script (identical seeds → identical logical images)
+            let mut loads: Vec<(UpdatePolicy, EngineMicroLoad)> = ALL_POLICIES
+                .iter()
+                .map(|&p| (p, EngineMicroLoad::new(n, 1, 4, kind, true, p)))
+                .collect();
             let proj: Vec<usize> = vec![1, 2, 3, 4]; // the 4 data columns
             for &rate in &rates {
                 let updates = (n as f64 * rate / 100.0) as u64;
-                let (pdt, vdt, rs) = apply_micro_updates(&rows, 1, 4, kind, updates, 17 + n);
-                let io = IoTracker::new();
-
-                let (_, clean_s) = time(|| {
-                    let mut s = TableScan::new(
-                        &table,
-                        DeltaLayers::None,
-                        proj.clone(),
-                        io.clone(),
-                        ScanClock::new(),
-                    );
-                    drain_scan(&mut s)
-                });
-                let (prows, pdt_s) = time(|| {
-                    let mut s = TableScan::new(
-                        &table,
-                        DeltaLayers::Pdt(vec![&pdt]),
-                        proj.clone(),
-                        io.clone(),
-                        ScanClock::new(),
-                    );
-                    drain_scan(&mut s)
-                });
-                let (vrows, vdt_s) = time(|| {
-                    let mut s = TableScan::new(
-                        &table,
-                        DeltaLayers::Vdt(&vdt),
-                        proj.clone(),
-                        io.clone(),
-                        ScanClock::new(),
-                    );
-                    drain_scan(&mut s)
-                });
-                let (rrows, rows_s) = time(|| {
-                    let mut s = TableScan::new(
-                        &table,
-                        DeltaLayers::Rows(&rs),
-                        proj.clone(),
-                        io.clone(),
-                        ScanClock::new(),
-                    );
-                    drain_scan(&mut s)
-                });
+                for (_, load) in loads.iter_mut() {
+                    load.advance_to(updates);
+                }
+                let (_, clean_s) = timed_scan(&loads[0].1.db().clean_view(), &proj);
+                let mut merged = Vec::with_capacity(ALL_POLICIES.len());
+                for (policy, load) in &loads {
+                    let (rows, secs) = timed_scan(&load.db().read_view(), &proj);
+                    merged.push((*policy, rows, secs));
+                }
+                let by = |p: UpdatePolicy| {
+                    merged
+                        .iter()
+                        .find(|(q, _, _)| *q == p)
+                        .map(|(_, r, s)| (*r, *s))
+                        .expect("policy measured")
+                };
+                let (prows, pdt_s) = by(UpdatePolicy::Pdt);
+                let (vrows, vdt_s) = by(UpdatePolicy::Vdt);
+                let (rrows, rows_s) = by(UpdatePolicy::RowStore);
                 assert_eq!(prows, vrows, "merged cardinalities must agree");
                 assert_eq!(prows, rrows, "merged cardinalities must agree");
                 println!(

@@ -144,18 +144,7 @@ pub fn apply_micro_updates(
     count: u64,
     seed: u64,
 ) -> (Pdt, Vdt, RowBuffer) {
-    let schema = {
-        // rebuild the schema from the first row's types
-        let mut pairs = Vec::new();
-        for (k, v) in rows[0].iter().enumerate().take(nkeys) {
-            pairs.push((format!("k{k}"), v.value_type().unwrap()));
-        }
-        for c in 0..ndata {
-            pairs.push((format!("v{c}"), rows[0][nkeys + c].value_type().unwrap()));
-        }
-        let p: Vec<(&str, ValueType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
-        Schema::from_pairs(&p)
-    };
+    let schema = schema_of(rows, nkeys, ndata);
     let sk: Vec<usize> = (0..nkeys).collect();
     let mut pdt = Pdt::new(schema.clone(), sk.clone());
     let mut vdt = Vdt::new(schema.clone(), sk.clone());
@@ -233,6 +222,140 @@ pub fn apply_micro_updates(
         }
     }
     (pdt, vdt, rs)
+}
+
+/// A micro-table database maintained through the engine's **batch-first**
+/// DML — what the scan benches (fig17) measure since the write-API
+/// redesign: the deltas a scan must merge are produced by real
+/// transactions (`append` / `update_col` / `delete_rids`, one staging
+/// call and one WAL entry per statement), not by poking the structures
+/// directly. Updates apply incrementally (⅓ insert, ⅓ modify, ⅓ delete
+/// per chunk, mirroring [`apply_micro_updates`]); driving every policy's
+/// load with the same seed yields identical logical images.
+pub struct EngineMicroLoad {
+    db: engine::Database,
+    n: u64,
+    nkeys: usize,
+    ndata: usize,
+    kind: KeyKind,
+    rng: Rng,
+    used_gaps: std::collections::HashSet<u64>,
+    applied: u64,
+}
+
+impl EngineMicroLoad {
+    /// Bulk-load the micro table under `policy`.
+    pub fn new(
+        n: u64,
+        nkeys: usize,
+        ndata: usize,
+        kind: KeyKind,
+        compressed: bool,
+        policy: engine::UpdatePolicy,
+    ) -> Self {
+        let rows: Vec<Tuple> = (0..n).map(|i| micro_row(i, nkeys, ndata, kind)).collect();
+        let db = engine::Database::new();
+        let meta =
+            columnar::TableMeta::new("t", schema_of(&rows, nkeys, ndata), (0..nkeys).collect());
+        db.create_table(
+            meta,
+            engine::TableOptions::default()
+                .with_compression(compressed)
+                .with_policy(policy),
+            rows,
+        )
+        .expect("bulk load micro db");
+        EngineMicroLoad {
+            db,
+            n,
+            nkeys,
+            ndata,
+            kind,
+            rng: Rng::new(17 + n),
+            used_gaps: std::collections::HashSet::new(),
+            applied: 0,
+        }
+    }
+
+    pub fn db(&self) -> &engine::Database {
+        &self.db
+    }
+
+    /// Apply updates until `total` have been issued since creation (one
+    /// committed transaction per call: one batched insert, one batched
+    /// modify, one batched delete).
+    pub fn advance_to(&mut self, total: u64) {
+        let more = total.saturating_sub(self.applied);
+        if more == 0 {
+            return;
+        }
+        self.applied = total;
+        let third = more / 3;
+        let (ins, dels) = (third, third);
+        let mods = more - 2 * third;
+        let mut txn = self.db.begin();
+        // batched inserts: fresh odd keys in distinct gaps
+        if ins > 0 {
+            let types: Vec<ValueType> = self.db.schema("t").expect("t").types();
+            let mut rows = exec::Batch::with_capacity(&types, ins as usize);
+            let mut pushed = 0u64;
+            while pushed < ins && (self.used_gaps.len() as u64) < self.n {
+                let g = self.rng.below(self.n);
+                if !self.used_gaps.insert(g) {
+                    continue;
+                }
+                let mut t = between_key(g, self.nkeys, self.kind);
+                for c in 0..self.ndata {
+                    t.push(Value::Int(c as i64));
+                }
+                rows.push_owned_row(t);
+                pushed += 1;
+            }
+            txn.append("t", rows).expect("batched insert");
+        }
+        // batched modifies of the first data column at random positions
+        if mods > 0 {
+            let visible = txn.visible_rows("t").expect("t");
+            let rids = distinct_rids(&mut self.rng, mods, visible);
+            let vals = columnar::ColumnVec::Int(
+                (0..rids.len())
+                    .map(|_| self.rng.range(0, 1 << 40))
+                    .collect(),
+            );
+            txn.update_col("t", &rids, self.nkeys, vals)
+                .expect("batched modify");
+        }
+        // batched deletes at random positions
+        if dels > 0 {
+            let visible = txn.visible_rows("t").expect("t");
+            let rids = distinct_rids(&mut self.rng, dels, visible);
+            txn.delete_rids("t", &rids).expect("batched delete");
+        }
+        txn.commit().expect("commit update chunk");
+    }
+}
+
+fn distinct_rids(rng: &mut Rng, count: u64, visible: u64) -> Vec<u64> {
+    let mut set = std::collections::HashSet::new();
+    while (set.len() as u64) < count.min(visible) {
+        set.insert(rng.below(visible));
+    }
+    let mut rids: Vec<u64> = set.into_iter().collect();
+    rids.sort_unstable();
+    rids
+}
+
+/// Schema of the micro table, reconstructed from its first row.
+fn schema_of(rows: &[Tuple], nkeys: usize, ndata: usize) -> Schema {
+    let mut pairs = Vec::new();
+    for (k, v) in rows[0].iter().enumerate().take(nkeys) {
+        pairs.push((format!("k{k}"), v.value_type().unwrap()));
+    }
+    for c in 0..ndata {
+        pairs.push((format!("v{c}"), rows[0][nkeys + c].value_type().unwrap()));
+    }
+    let p: Vec<(&str, ValueType)> = pairs.iter().map(|(n, t)| (n.as_str(), *t)).collect();
+    Schema::from_pairs(&p)
 }
 
 /// Time a closure in seconds.

@@ -83,6 +83,33 @@ impl ColumnVec {
         }
     }
 
+    /// Append a value by move — strings transfer their buffer instead of
+    /// being re-cloned (the batch-building hot path). `Null` appends the
+    /// type default, as in [`ColumnVec::push`].
+    pub fn push_owned(&mut self, v: Value) {
+        match (self, v) {
+            (ColumnVec::Str(c), Value::Str(s)) => c.push(s),
+            (ColumnVec::Bool(c), Value::Bool(b)) => c.push(b),
+            (ColumnVec::Int(c), Value::Int(i)) => c.push(i),
+            (ColumnVec::Double(c), Value::Double(d)) => c.push(d),
+            (ColumnVec::Double(c), Value::Int(i)) => c.push(i as f64),
+            (ColumnVec::Date(c), Value::Date(d)) => c.push(d),
+            (col, Value::Null) => col.push(&Value::Null),
+            (col, v) => panic!("type mismatch: pushing {v:?} into {:?} column", col.vtype()),
+        }
+    }
+
+    /// Reserve capacity for at least `additional` more elements.
+    pub fn reserve(&mut self, additional: usize) {
+        match self {
+            ColumnVec::Bool(v) => v.reserve(additional),
+            ColumnVec::Int(v) => v.reserve(additional),
+            ColumnVec::Double(v) => v.reserve(additional),
+            ColumnVec::Str(v) => v.reserve(additional),
+            ColumnVec::Date(v) => v.reserve(additional),
+        }
+    }
+
     /// Read element `i` as a [`Value`] (clones strings).
     pub fn get(&self, i: usize) -> Value {
         match self {

@@ -70,6 +70,11 @@ impl Schema {
         self.fields[idx].vtype
     }
 
+    /// The column types in schema order (batch-construction convenience).
+    pub fn types(&self) -> Vec<ValueType> {
+        self.fields.iter().map(|f| f.vtype).collect()
+    }
+
     /// Type-check a tuple against this schema (`Null` matches any type).
     pub fn validate(&self, tuple: &[Value]) -> bool {
         tuple.len() == self.fields.len()

@@ -1,0 +1,89 @@
+//! Batched DML payloads — the unit of the engine's batch-first write path.
+//!
+//! Every write statement ([`crate::DbTxn::append`],
+//! [`crate::DbTxn::delete_rids`], [`crate::DbTxn::update_col`], and the
+//! predicate forms built on top of them) resolves its victims *once*,
+//! packs them into one [`DmlBatch`], and hands it to the table's update
+//! structure through [`crate::DeltaTxn::stage_batch`] — one staging call,
+//! one op-log entry, one WAL entry per statement, however many rows it
+//! touches. The payload reuses the executor's columnar [`Batch`], so rows
+//! flow from scan output into the write path without transposition.
+//!
+//! A `DmlBatch` is *positional*: the engine has already translated
+//! predicates and sort keys into visible RIDs (and collected the full
+//! pre-images value-addressed structures need), which is exactly the
+//! division of labor the paper's PDT design prescribes — position
+//! resolution happens once per statement, at the scan, not once per row
+//! inside the structure.
+
+use columnar::ColumnVec;
+use exec::Batch;
+
+/// One batched DML statement, ready for [`crate::DeltaTxn::stage_batch`].
+///
+/// ## Invariants (upheld by the `DbTxn` entry points)
+///
+/// * `Insert`: `rows` are sort-key-ordered with distinct keys, all of full
+///   table width; `rids` pair with the rows **in application order** —
+///   staging row `i` at `rids[i]` via row-at-a-time `stage_insert`, in
+///   order, produces the same image (each rid already accounts for the
+///   `i` earlier inserts of the same batch).
+/// * `Delete`: `rids` are ascending visible positions of the current
+///   transaction view, `pre` holds the victims' full pre-images in the
+///   same order (ascending rid ⇒ ascending sort key).
+/// * `UpdateCol`: `rids` ascending and distinct, `values[i]` is the new
+///   value of column `col` for the row at `rids[i]`, `pre` the full
+///   pre-images in the same order. `col` is never a sort-key column (the
+///   engine rewrites those as delete + insert, per §2.1 of the paper).
+#[derive(Debug, Clone)]
+pub enum DmlBatch {
+    /// Insert `rows` at visible positions `rids`.
+    Insert { rids: Vec<u64>, rows: Batch },
+    /// Delete the visible rows at `rids`.
+    Delete { rids: Vec<u64>, pre: Batch },
+    /// Set column `col` of the visible rows at `rids` to `values`.
+    UpdateCol {
+        rids: Vec<u64>,
+        col: usize,
+        values: ColumnVec,
+        pre: Batch,
+    },
+}
+
+impl DmlBatch {
+    /// Number of rows this statement touches.
+    pub fn len(&self) -> usize {
+        match self {
+            DmlBatch::Insert { rids, .. }
+            | DmlBatch::Delete { rids, .. }
+            | DmlBatch::UpdateCol { rids, .. } => rids.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::{Value, ValueType};
+
+    #[test]
+    fn len_counts_rows() {
+        let rows = Batch::from_rows(
+            &[ValueType::Int, ValueType::Str],
+            &[
+                vec![Value::Int(1), Value::Str("a".into())],
+                vec![Value::Int(2), Value::Str("b".into())],
+            ],
+        );
+        let b = DmlBatch::Insert {
+            rids: vec![0, 1],
+            rows,
+        };
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+}

@@ -29,8 +29,9 @@
 //! independently implemented structures behind one lifecycle are what the
 //! differential test harness ([`crate::testkit`]) leans on.
 
+use crate::batch::DmlBatch;
 use crate::DbError;
-use columnar::{ColumnarError, IoTracker, StableTable, Value};
+use columnar::{ColumnarError, IoTracker, StableTable, Tuple, Value};
 use exec::DeltaLayers;
 use parking_lot::RwLock;
 use pdt::Pdt;
@@ -94,7 +95,17 @@ impl CheckpointPin {
 /// A value-addressed structure that key-addressed WAL entries apply to.
 pub(crate) trait KeyEntrySink {
     fn apply_insert(&mut self, tuple: Vec<Value>);
+    /// Apply one logged batch of inserts. Default: row loop; structures
+    /// with a cheaper bulk path override it.
+    fn apply_insert_batch(&mut self, tuples: Vec<Tuple>) {
+        for t in tuples {
+            self.apply_insert(t);
+        }
+    }
     fn apply_delete(&mut self, key: &[Value]);
+    /// `(tuple width, sort-key width)` — the chunk sizes that slice a
+    /// batched entry's flat value payload back into rows and keys.
+    fn entry_widths(&self) -> (usize, usize);
 }
 
 impl KeyEntrySink for Vdt {
@@ -102,22 +113,43 @@ impl KeyEntrySink for Vdt {
         self.insert(tuple);
     }
 
+    fn apply_insert_batch(&mut self, tuples: Vec<Tuple>) {
+        self.insert_batch(tuples);
+    }
+
     fn apply_delete(&mut self, key: &[Value]) {
         self.delete(key);
+    }
+
+    fn entry_widths(&self) -> (usize, usize) {
+        (self.schema().len(), self.sk_cols().len())
     }
 }
 
 /// Apply engine-generated key-addressed WAL entries (`INS` carries the
-/// full tuple, `DEL` the sort key) to a value-addressed structure — the
-/// one replay loop shared by WAL recovery and the checkpoint-residual
+/// full tuple, `DEL` the sort key, `INS_BATCH`/`DEL_BATCH` whole
+/// statements' worth of either) to a value-addressed structure — the one
+/// replay loop shared by WAL recovery and the checkpoint-residual
 /// rebuilds of both value stores. Panics on any other kind: value stores
 /// never log modifies (they flatten them to delete + insert).
 pub(crate) fn apply_key_entries(entries: &[WalEntry], sink: &mut impl KeyEntrySink) {
+    let (tuple_width, key_width) = sink.entry_widths();
     for e in entries {
         if e.kind == pdt::INS {
             sink.apply_insert(e.values.clone());
         } else if e.kind == pdt::DEL {
             sink.apply_delete(&e.values);
+        } else if e.kind == pdt::INS_BATCH {
+            sink.apply_insert_batch(
+                e.values
+                    .chunks(tuple_width)
+                    .map(<[Value]>::to_vec)
+                    .collect(),
+            );
+        } else if e.kind == pdt::DEL_BATCH {
+            for key in e.values.chunks(key_width) {
+                sink.apply_delete(key);
+            }
         } else {
             panic!(
                 "value-store WAL replay: unexpected modify entry (kind {})",
@@ -205,6 +237,37 @@ pub trait DeltaTxn: Send {
     fn stage_delete(&mut self, rid: u64, row: &[Value]);
     /// Stage `row[col] = value` for the visible row `row` at `rid`.
     fn stage_modify(&mut self, rid: u64, col: usize, value: &Value, row: &[Value]);
+    /// Stage one whole batched statement (see [`DmlBatch`] for the
+    /// invariants the engine upholds). The default is the row loop every
+    /// structure is correct under — inserts in application order, deletes
+    /// in descending rid order so earlier positions stay valid; the
+    /// concrete stores override it with vectorized paths (one sorted-run
+    /// merge per batch for the row store, one op-log/WAL entry per batch
+    /// for the value stores).
+    fn stage_batch(&mut self, batch: &DmlBatch) {
+        match batch {
+            DmlBatch::Insert { rids, rows } => {
+                for (i, &rid) in rids.iter().enumerate() {
+                    self.stage_insert(rid, &rows.row(i));
+                }
+            }
+            DmlBatch::Delete { rids, pre } => {
+                for (i, &rid) in rids.iter().enumerate().rev() {
+                    self.stage_delete(rid, &pre.row(i));
+                }
+            }
+            DmlBatch::UpdateCol {
+                rids,
+                col,
+                values,
+                pre,
+            } => {
+                for (i, &rid) in rids.iter().enumerate() {
+                    self.stage_modify(rid, *col, &values.get(i), &pre.row(i));
+                }
+            }
+        }
+    }
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
@@ -384,6 +447,47 @@ impl DeltaTxn for PdtTxn {
 
     fn stage_modify(&mut self, rid: u64, col: usize, value: &Value, _row: &[Value]) {
         self.trans.add_modify(rid, col, value);
+    }
+
+    /// Positional batch staging. PDT maintenance is already logarithmic
+    /// per entry (the paper's point), so the tree ops stay per-row; the
+    /// batch form still wins by reading sort keys straight out of the
+    /// columnar payload (no full-row materialization — modifies touch no
+    /// payload column but the assigned one) and by flowing to the WAL as
+    /// coalesced batch entries after serialization.
+    fn stage_batch(&mut self, batch: &DmlBatch) {
+        match batch {
+            DmlBatch::Insert { rids, rows } => {
+                let sk_cols = self.trans.sk_cols().to_vec();
+                let mut sk: Vec<Value> = Vec::with_capacity(sk_cols.len());
+                let mut tuple: Vec<Value> = Vec::with_capacity(rows.num_cols());
+                for (i, &rid) in rids.iter().enumerate() {
+                    sk.clear();
+                    sk.extend(sk_cols.iter().map(|&c| rows.cols[c].get(i)));
+                    tuple.clear();
+                    tuple.extend(rows.cols.iter().map(|c| c.get(i)));
+                    let sid = self.trans.sk_rid_to_sid(&sk, rid);
+                    self.trans.add_insert(sid, rid, &tuple);
+                }
+            }
+            DmlBatch::Delete { rids, pre } => {
+                let sk_cols = self.trans.sk_cols().to_vec();
+                let mut sk: Vec<Value> = Vec::with_capacity(sk_cols.len());
+                // descending, so earlier victims' positions stay valid
+                for (i, &rid) in rids.iter().enumerate().rev() {
+                    sk.clear();
+                    sk.extend(sk_cols.iter().map(|&c| pre.cols[c].get(i)));
+                    self.trans.add_delete(rid, &sk);
+                }
+            }
+            DmlBatch::UpdateCol {
+                rids, col, values, ..
+            } => {
+                for (i, &rid) in rids.iter().enumerate() {
+                    self.trans.add_modify(rid, *col, &values.get(i));
+                }
+            }
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -616,6 +720,60 @@ impl DeltaTxn for VdtTxn {
         });
     }
 
+    /// Value-based batch staging: the whole statement becomes **one** op
+    /// (and downstream one WAL entry). Single-row batches degrade to the
+    /// singular ops so mixed workloads keep their natural log shape.
+    fn stage_batch(&mut self, batch: &DmlBatch) {
+        match batch {
+            DmlBatch::Insert { rows, .. } => {
+                let tuples = rows.rows();
+                self.working.insert_batch(tuples.iter().cloned());
+                match tuples.len() {
+                    0 => {}
+                    1 => self
+                        .ops
+                        .push(VdtOp::Insert(tuples.into_iter().next().unwrap())),
+                    _ => self.ops.push(VdtOp::InsertBatch(tuples)),
+                }
+            }
+            DmlBatch::Delete { pre, .. } => {
+                let pres = pre.rows();
+                let sk_cols = self.working.sk_cols().to_vec();
+                for row in &pres {
+                    let sk: Vec<Value> = sk_cols.iter().map(|&c| row[c].clone()).collect();
+                    self.working.delete(&sk);
+                }
+                match pres.len() {
+                    0 => {}
+                    1 => self.ops.push(VdtOp::Delete {
+                        pre: pres.into_iter().next().unwrap(),
+                    }),
+                    _ => self.ops.push(VdtOp::DeleteBatch { pres }),
+                }
+            }
+            DmlBatch::UpdateCol {
+                rids,
+                col,
+                values,
+                pre,
+            } => {
+                // modifies keep per-row ops: the conflict contract is
+                // per (key, column), and the pending-insert fold keeps
+                // each statement O(log n) per row anyway
+                for i in 0..rids.len() {
+                    let row = pre.row(i);
+                    let value = values.get(i);
+                    self.working.modify(&row, *col, value.clone());
+                    self.ops.push(VdtOp::Modify {
+                        pre: row,
+                        col: *col,
+                        value,
+                    });
+                }
+            }
+        }
+    }
+
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -705,10 +863,28 @@ impl DeltaStore for VdtStore {
                     post.insert(sk_of(t), t.clone());
                     entries.push(entry(pdt::INS, t.clone()));
                 }
+                VdtOp::InsertBatch(ts) => {
+                    // one batched entry for the whole statement
+                    let mut flat = Vec::with_capacity(ts.len() * ts.first().map_or(0, Vec::len));
+                    for t in ts {
+                        post.insert(sk_of(t), t.clone());
+                        flat.extend(t.iter().cloned());
+                    }
+                    entries.push(entry(pdt::INS_BATCH, flat));
+                }
                 VdtOp::Delete { pre } => {
                     let key = sk_of(pre);
                     post.remove(&key);
                     entries.push(entry(pdt::DEL, key));
+                }
+                VdtOp::DeleteBatch { pres } => {
+                    let mut flat = Vec::with_capacity(pres.len() * sk_cols.len());
+                    for pre in pres {
+                        let key = sk_of(pre);
+                        post.remove(&key);
+                        flat.extend(key);
+                    }
+                    entries.push(entry(pdt::DEL_BATCH, flat));
                 }
                 VdtOp::Modify { pre, col, value } => {
                     let key = sk_of(pre);
@@ -724,7 +900,8 @@ impl DeltaStore for VdtStore {
                 }
             }
         }
-        entries
+        // runs of per-row entries (row-at-a-time loops) compact too
+        wal::coalesce_entries(entries)
     }
 
     fn publish(&self, mut staged: Box<dyn DeltaTxn>, seq: u64, entries: &[WalEntry]) {

@@ -1,5 +1,17 @@
-//! Read-write transactions: DML staged against the table's update
-//! structure through the [`DeltaStore`] interface.
+//! Read-write transactions: batch-first DML staged against the table's
+//! update structure through the [`DeltaStore`] interface.
+//!
+//! The write surface is **batch-first**: every statement —
+//! [`DbTxn::append`] (columnar bulk insert, with [`Appender`] for
+//! streaming loads), the positional [`DbTxn::delete_rids`] /
+//! [`DbTxn::update_col`], and the predicate forms built on them — resolves
+//! its victims with *one* scan, packs them into one
+//! [`DmlBatch`], and stages it with one
+//! [`DeltaTxn::stage_batch`] call. Positional-delta maintenance thus
+//! amortizes over the whole statement (one victim/rank scan, one op-log
+//! entry, one WAL entry per batch), which is where differential-store
+//! write throughput comes from. [`DbTxn::insert`] is the one-row special
+//! case of `append`.
 //!
 //! All statements operate on the transaction's own consistent view
 //! (stable ∘ committed deltas ∘ staged updates — eq. (9) for PDT tables),
@@ -8,17 +20,23 @@
 //! tables: victims are still located positionally by scans; only the
 //! staging representation differs.
 //!
+//! Batch shape (arity, column types, rid ranges) is validated here, at the
+//! API boundary — a malformed batch comes back as
+//! [`DbError::BatchShape`] before anything is staged, never as a panic
+//! inside a delta structure.
+//!
 //! Commit is two-phase under the manager's commit guard: every touched
 //! table's store validates (`prepare`) against updates committed since
 //! begin — any conflict aborts the whole transaction — then the WAL record
 //! is appended and every store publishes at one commit sequence number, so
 //! multi-table transactions stay atomic across update structures.
 
+use crate::batch::DmlBatch;
 use crate::delta::{DeltaSnapshot, DeltaStore, DeltaTxn};
-use crate::{Database, DbError};
-use columnar::{StableTable, Tuple, Value};
+use crate::{Database, DbError, ScanSpec};
+use columnar::{ColumnVec, Schema, StableTable, Tuple, Value, ValueType};
 use exec::expr::Expr;
-use exec::{DeltaLayers, ScanBounds, TableScan};
+use exec::{Batch, DeltaLayers, Operator, ScanBounds, TableScan};
 use std::collections::HashMap;
 use std::sync::Arc;
 use txn::wal::WalEntry;
@@ -101,28 +119,35 @@ impl<'db> DbTxn<'db> {
             .as_mut())
     }
 
-    /// Scan `table` under this transaction's view (including its own
-    /// uncommitted updates), optionally ranged.
+    /// Open a scan described by a [`ScanSpec`] under this transaction's
+    /// view (including its own uncommitted updates) — the one scan entry
+    /// point; the wrappers below forward here.
+    pub fn scan_with(&self, table: &str, spec: ScanSpec) -> Result<TableScan<'_>, DbError> {
+        let t = self.table(table)?;
+        spec.open(
+            table,
+            &t.stable,
+            t.layers(),
+            self.db.io().clone(),
+            self.db.clock().clone(),
+        )
+    }
+
+    /// Ranged scan under this transaction's view. Thin wrapper over
+    /// [`DbTxn::scan_with`].
     pub fn scan_ranged(
         &self,
         table: &str,
         proj: Vec<usize>,
         bounds: ScanBounds,
     ) -> Result<TableScan<'_>, DbError> {
-        let t = self.table(table)?;
-        Ok(TableScan::ranged(
-            &t.stable,
-            t.layers(),
-            proj,
-            bounds,
-            self.db.io().clone(),
-            self.db.clock().clone(),
-        ))
+        self.scan_with(table, ScanSpec::cols(proj).bounds(bounds))
     }
 
-    /// Full scan under this transaction's view.
+    /// Full scan under this transaction's view. Thin wrapper over
+    /// [`DbTxn::scan_with`].
     pub fn scan(&self, table: &str, proj: Vec<usize>) -> Result<TableScan<'_>, DbError> {
-        self.scan_ranged(table, proj, ScanBounds::default())
+        self.scan_with(table, ScanSpec::cols(proj))
     }
 
     /// Total visible rows of `table` under this transaction's view.
@@ -131,47 +156,328 @@ impl<'db> DbTxn<'db> {
         Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
     }
 
-    /// Find the RID where a tuple with sort key `sk` must be inserted —
-    /// the paper's `SELECT rid FROM t WHERE SK > sk ORDER BY rid LIMIT 1`
-    /// flow, served by a sparse-index-ranged scan. Errors on duplicates.
-    fn find_insert_rid(&self, table: &str, sk: &[Value]) -> Result<u64, DbError> {
-        let sk_cols: Vec<usize> = self.table(table)?.stable.sort_key().cols().to_vec();
-        let mut scan = self.scan_ranged(
-            table,
-            sk_cols,
-            ScanBounds {
-                lo: Some(sk.to_vec()),
-                hi: Some(sk.to_vec()),
-            },
-        )?;
-        // when the whole range is ghosted the scan emits nothing, but the
-        // rank of its start is still the correct insert position
-        let mut last_end = scan.start_rid();
-        use exec::Operator;
-        while let Some(batch) = scan.next_batch() {
-            for i in 0..batch.num_rows() {
-                let key: Vec<Value> = batch.cols.iter().map(|c| c.get(i)).collect();
-                match key.as_slice().cmp(sk) {
-                    std::cmp::Ordering::Greater => return Ok(batch.rid_start + i as u64),
-                    std::cmp::Ordering::Equal => {
-                        return Err(DbError::DuplicateKey {
-                            table: table.to_string(),
-                            key: sk.to_vec(),
-                        })
-                    }
-                    std::cmp::Ordering::Less => {}
-                }
-            }
-            last_end = batch.rid_start + batch.num_rows() as u64;
+    /// APPEND a whole columnar batch of new rows; each row's position
+    /// follows from the table's sort order. This is the paper's
+    /// `SELECT rid WHERE SK > sk ORDER BY rid LIMIT 1` insert-positioning
+    /// flow, amortized: **one** sparse-index-ranged scan resolves every
+    /// row's rank (and rejects duplicate sort keys — intra-batch or
+    /// against the visible image) before a single [`DeltaTxn::stage_batch`]
+    /// call stages the statement. Rows need not arrive sorted. Returns the
+    /// number of rows appended; on error nothing is staged.
+    pub fn append(&mut self, table: &str, rows: Batch) -> Result<usize, DbError> {
+        let n = rows.num_rows();
+        let t = self.table(table)?;
+        let schema = t.stable.schema().clone();
+        let sk_cols: Vec<usize> = t.stable.sort_key().cols().to_vec();
+        validate_batch_shape(table, &schema, &rows)?;
+        if n == 0 {
+            return Ok(0);
         }
-        Ok(last_end)
+        // key-sort the batch (the staging contract) and reject duplicates
+        let keys: Vec<Vec<Value>> = (0..n)
+            .map(|i| sk_cols.iter().map(|&c| rows.cols[c].get(i)).collect())
+            .collect();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by(|&a, &b| keys[a].cmp(&keys[b]));
+        for w in order.windows(2) {
+            if keys[w[0]] == keys[w[1]] {
+                return Err(DbError::DuplicateKey {
+                    table: table.to_string(),
+                    key: keys[w[0]].clone(),
+                });
+            }
+        }
+        // one ranged scan over [min key, max key] ranks every row: a row's
+        // base rid is the rank of the first visible row with a greater key
+        // (the rank of the range end when none is), exactly the per-row
+        // flow — fully ghosted ranges fall back to the scan's start rank
+        let lo = keys[order[0]].clone();
+        let hi = keys[order[n - 1]].clone();
+        let mut base: Vec<u64> = Vec::with_capacity(n);
+        {
+            let mut scan =
+                self.scan_with(table, ScanSpec::cols(sk_cols.clone()).key_range(lo, hi))?;
+            let mut last_end = scan.start_rid();
+            let mut k = 0usize;
+            'scan: while let Some(b) = scan.next_batch() {
+                for i in 0..b.num_rows() {
+                    let vis: Vec<Value> = b.cols.iter().map(|c| c.get(i)).collect();
+                    while k < n {
+                        match keys[order[k]].cmp(&vis) {
+                            std::cmp::Ordering::Less => {
+                                base.push(b.rid_start + i as u64);
+                                k += 1;
+                            }
+                            std::cmp::Ordering::Equal => {
+                                return Err(DbError::DuplicateKey {
+                                    table: table.to_string(),
+                                    key: keys[order[k]].clone(),
+                                });
+                            }
+                            std::cmp::Ordering::Greater => break,
+                        }
+                    }
+                    if k == n {
+                        break 'scan;
+                    }
+                }
+                last_end = b.rid_start + b.num_rows() as u64;
+            }
+            // rows past every scanned key rank at the range end
+            base.resize(n, last_end);
+        }
+        // final positions include the intra-batch shift: the i-th row (in
+        // key order) lands i places after its pre-batch rank
+        let rids: Vec<u64> = base
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| b + i as u64)
+            .collect();
+        // already-sorted input (the common bulk-load case) moves straight
+        // through; only out-of-order batches pay the gather copy
+        let sorted_rows = if order.iter().enumerate().all(|(i, &o)| i == o) {
+            rows
+        } else {
+            rows.gather(&order)
+        };
+        self.staged_mut(table)?.stage_batch(&DmlBatch::Insert {
+            rids,
+            rows: sorted_rows,
+        });
+        Ok(n)
     }
 
     /// INSERT a tuple; its position follows from the table's sort order.
+    /// The one-row special case of [`DbTxn::append`].
     pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<(), DbError> {
-        let sk = self.table(table)?.stable.sort_key().extract(&tuple);
-        let rid = self.find_insert_rid(table, &sk)?;
-        self.staged_mut(table)?.stage_insert(rid, &tuple);
+        let schema = self.table(table)?.stable.schema().clone();
+        validate_tuple(table, &schema, &tuple)?;
+        let types = schema.types();
+        self.append(table, Batch::from_owned_rows(&types, vec![tuple]))?;
+        Ok(())
+    }
+
+    /// A streaming bulk-load handle: rows buffer client-side and flush as
+    /// sorted batch appends of `batch_rows` (default 4096) rows each.
+    pub fn appender<'t>(&'t mut self, table: &str) -> Result<Appender<'t, 'db>, DbError> {
+        let schema = self.table(table)?.stable.schema().clone();
+        let types = schema.types();
+        Ok(Appender {
+            buf: Batch::with_capacity(&types, 0),
+            types,
+            schema,
+            table: table.to_string(),
+            txn: self,
+            batch_rows: Appender::DEFAULT_BATCH_ROWS,
+            appended: 0,
+        })
+    }
+
+    /// Pre-validate a sort-key rewrite (delete victims + re-append the
+    /// rewritten rows): the new keys must be distinct and must not collide
+    /// with any visible row that is not itself a victim. Checked with one
+    /// ranged scan **before anything is staged**, so a rejected statement
+    /// leaves the transaction untouched — the same atomicity `append`
+    /// gives plain inserts.
+    fn check_rewrite_keys(
+        &self,
+        table: &str,
+        victims: &Batch,
+        new_rows: &Batch,
+    ) -> Result<(), DbError> {
+        let sk_cols: Vec<usize> = self.table(table)?.stable.sort_key().cols().to_vec();
+        let key_at = |b: &Batch, i: usize| -> Vec<Value> {
+            sk_cols.iter().map(|&c| b.cols[c].get(i)).collect()
+        };
+        let mut new_keys: Vec<Vec<Value>> = (0..new_rows.num_rows())
+            .map(|i| key_at(new_rows, i))
+            .collect();
+        new_keys.sort();
+        for w in new_keys.windows(2) {
+            if w[0] == w[1] {
+                return Err(DbError::DuplicateKey {
+                    table: table.to_string(),
+                    key: w[0].clone(),
+                });
+            }
+        }
+        let Some((lo, hi)) = new_keys.first().cloned().zip(new_keys.last().cloned()) else {
+            return Ok(());
+        };
+        let victim_keys: std::collections::HashSet<Vec<Value>> = (0..victims.num_rows())
+            .map(|i| key_at(victims, i))
+            .collect();
+        let mut scan = self.scan_with(table, ScanSpec::cols(sk_cols.clone()).key_range(lo, hi))?;
+        let mut k = 0usize;
+        while let Some(b) = scan.next_batch() {
+            for i in 0..b.num_rows() {
+                let vis: Vec<Value> = b.cols.iter().map(|c| c.get(i)).collect();
+                while k < new_keys.len() && new_keys[k] < vis {
+                    k += 1;
+                }
+                if k == new_keys.len() {
+                    return Ok(());
+                }
+                if new_keys[k] == vis && !victim_keys.contains(&vis) {
+                    return Err(DbError::DuplicateKey {
+                        table: table.to_string(),
+                        key: vis,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full pre-images of the visible rows at `rids` (sorted ascending and
+    /// distinct), collected with one rid-clamped scan.
+    fn collect_rows_at(&self, table: &str, rids: &[u64]) -> Result<Batch, DbError> {
+        let schema = self.table(table)?.stable.schema().clone();
+        let mut pre = Batch::with_capacity(&schema.types(), rids.len());
+        let Some((&first, &last)) = rids.first().zip(rids.last()) else {
+            return Ok(pre);
+        };
+        let mut scan = self.scan_with(table, ScanSpec::all().rid_range(first, last + 1))?;
+        let mut k = 0usize;
+        while let Some(b) = scan.next_batch() {
+            let end = b.rid_start + b.num_rows() as u64;
+            let mut idx = Vec::new();
+            while k < rids.len() && rids[k] < end {
+                idx.push((rids[k] - b.rid_start) as usize);
+                k += 1;
+            }
+            extend_gathered(&mut pre, &b, &idx);
+            if k == rids.len() {
+                break;
+            }
+        }
+        if k != rids.len() {
+            return Err(batch_shape(table, format!("rid {} out of range", rids[k])));
+        }
+        Ok(pre)
+    }
+
+    /// DELETE the visible rows at the given positions (any order,
+    /// duplicates ignored). One scan collects the pre-images, one
+    /// [`DeltaTxn::stage_batch`] call stages the statement. Returns the
+    /// number of deleted rows.
+    pub fn delete_rids(&mut self, table: &str, rids: &[u64]) -> Result<usize, DbError> {
+        let visible = self.visible_rows(table)?;
+        let mut sorted = rids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let Some(&last) = sorted.last() else {
+            return Ok(0);
+        };
+        if last >= visible {
+            return Err(batch_shape(
+                table,
+                format!("rid {last} out of range (visible rows: {visible})"),
+            ));
+        }
+        let pre = self.collect_rows_at(table, &sorted)?;
+        let n = sorted.len();
+        self.staged_mut(table)?
+            .stage_batch(&DmlBatch::Delete { rids: sorted, pre });
+        Ok(n)
+    }
+
+    /// UPDATE one column of the visible rows at the given positions:
+    /// `values[i]` becomes the new value of `col` for the row at `rids[i]`.
+    /// Sort-key columns are allowed — those updates are rewritten as
+    /// delete + insert, per §2.1. Returns the number of updated rows.
+    pub fn update_col(
+        &mut self,
+        table: &str,
+        rids: &[u64],
+        col: usize,
+        values: ColumnVec,
+    ) -> Result<usize, DbError> {
+        let t = self.table(table)?;
+        let schema = t.stable.schema().clone();
+        let sk_cols: Vec<usize> = t.stable.sort_key().cols().to_vec();
+        if col >= schema.len() {
+            return Err(batch_shape(
+                table,
+                format!("column #{col} out of range ({} columns)", schema.len()),
+            ));
+        }
+        let want = schema.vtype(col);
+        let got = values.vtype();
+        if got != want && !(got == ValueType::Int && want == ValueType::Double) {
+            return Err(batch_shape(
+                table,
+                format!("values for column #{col} are {got}, table expects {want}"),
+            ));
+        }
+        if values.len() != rids.len() {
+            return Err(batch_shape(
+                table,
+                format!("{} rids but {} values", rids.len(), values.len()),
+            ));
+        }
+        if rids.is_empty() {
+            return Ok(0);
+        }
+        // pair values with rids, then order by position
+        let mut order: Vec<usize> = (0..rids.len()).collect();
+        order.sort_by_key(|&i| rids[i]);
+        if let Some(w) = order.windows(2).find(|w| rids[w[0]] == rids[w[1]]) {
+            return Err(batch_shape(
+                table,
+                format!("rid {} updated twice in one statement", rids[w[0]]),
+            ));
+        }
+        let visible = self.visible_rows(table)?;
+        let last = rids[order[rids.len() - 1]];
+        if last >= visible {
+            return Err(batch_shape(
+                table,
+                format!("rid {last} out of range (visible rows: {visible})"),
+            ));
+        }
+        let sorted_rids: Vec<u64> = order.iter().map(|&i| rids[i]).collect();
+        let mut sorted_vals = ColumnVec::with_capacity(got, values.len());
+        for &i in &order {
+            sorted_vals.push_owned(values.get(i));
+        }
+        let pre = self.collect_rows_at(table, &sorted_rids)?;
+        let n = sorted_rids.len();
+        if sk_cols.contains(&col) {
+            let mut new_rows = Batch::with_capacity(&schema.types(), n);
+            for i in 0..n {
+                let mut row = pre.row(i);
+                row[col] = sorted_vals.get(i);
+                new_rows.push_owned_row(row);
+            }
+            self.stage_key_rewrite(table, sorted_rids, pre, new_rows)?;
+        } else {
+            self.staged_mut(table)?.stage_batch(&DmlBatch::UpdateCol {
+                rids: sorted_rids,
+                col,
+                values: sorted_vals,
+                pre,
+            });
+        }
+        Ok(n)
+    }
+
+    /// The §2.1 sort-key rewrite shared by [`DbTxn::update_col`] and
+    /// [`DbTxn::update_where_ranged`]: delete the victims, re-append the
+    /// rewritten rows (which re-rank themselves). Key collisions are
+    /// checked **before anything is staged**, so a rejected statement
+    /// leaves the transaction untouched.
+    fn stage_key_rewrite(
+        &mut self,
+        table: &str,
+        rids: Vec<u64>,
+        pre: Batch,
+        new_rows: Batch,
+    ) -> Result<(), DbError> {
+        self.check_rewrite_keys(table, &pre, &new_rows)?;
+        self.staged_mut(table)?
+            .stage_batch(&DmlBatch::Delete { rids, pre });
+        self.append(table, new_rows)?;
         Ok(())
     }
 
@@ -182,32 +488,34 @@ impl<'db> DbTxn<'db> {
     }
 
     /// DELETE with a sort-key range restriction (sparse-index assisted).
+    /// One victim scan, one batched staging call.
     pub fn delete_where_ranged(
         &mut self,
         table: &str,
         pred: Expr,
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
-        let ncols = self.table(table)?.stable.schema().len();
+        let schema = self.table(table)?.stable.schema().clone();
         // collect victims (RID + full pre-image) under the current view
-        let mut victims: Vec<(u64, Tuple)> = Vec::new();
+        let mut rids: Vec<u64> = Vec::new();
+        let mut pre = Batch::empty(&schema.types());
         {
-            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds)?;
-            use exec::Operator;
+            let mut scan = self.scan_with(table, ScanSpec::all().bounds(bounds))?;
             while let Some(batch) = scan.next_batch() {
                 let keep = pred.eval_bool(&batch);
-                for (i, hit) in keep.iter().enumerate() {
-                    if *hit {
-                        victims.push((batch.rid_start + i as u64, batch.row(i)));
-                    }
-                }
+                let idx: Vec<usize> = keep
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, hit)| hit.then_some(i))
+                    .collect();
+                rids.extend(idx.iter().map(|&i| batch.rid_start + i as u64));
+                extend_gathered(&mut pre, &batch, &idx);
             }
         }
-        // apply in descending RID order so earlier RIDs stay valid
-        let n = victims.len();
-        let staged = self.staged_mut(table)?;
-        for (rid, row) in victims.into_iter().rev() {
-            staged.stage_delete(rid, &row);
+        let n = rids.len();
+        if n > 0 {
+            self.staged_mut(table)?
+                .stage_batch(&DmlBatch::Delete { rids, pre });
         }
         Ok(n)
     }
@@ -225,7 +533,9 @@ impl<'db> DbTxn<'db> {
         self.update_where_ranged(table, pred, sets, ScanBounds::default())
     }
 
-    /// UPDATE with a sort-key range restriction.
+    /// UPDATE with a sort-key range restriction. One victim scan feeds
+    /// one batched staging call per assigned column (plain updates), or a
+    /// batched delete + batched append (sort-key rewrites).
     pub fn update_where_ranged(
         &mut self,
         table: &str,
@@ -234,63 +544,75 @@ impl<'db> DbTxn<'db> {
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
         let stable = self.table(table)?.stable.clone();
-        let ncols = stable.schema().len();
+        let schema = stable.schema().clone();
+        let types = schema.types();
         let sk_cols: Vec<usize> = stable.sort_key().cols().to_vec();
         let touches_sk = sets.iter().any(|(c, _)| sk_cols.contains(c));
 
-        // victims with their new values, evaluated batch-wise
-        type PlainUpdate = (u64, Tuple, Vec<(usize, Value)>); // (rid, pre-image, assigns)
-        let mut plain: Vec<PlainUpdate> = Vec::new();
-        let mut rewrites: Vec<(u64, Tuple, Tuple)> = Vec::new(); // (rid, pre-image, new tuple)
+        // victims with their new values, evaluated batch-wise and gathered
+        // columnar: one rid run, the pre-images, and one value vector per
+        // assigned column
+        let mut rids: Vec<u64> = Vec::new();
+        let mut pre = Batch::empty(&types);
+        let mut set_vals: Vec<Option<ColumnVec>> = sets.iter().map(|_| None).collect();
         {
-            let mut scan = self.scan_ranged(table, (0..ncols).collect(), bounds)?;
-            use exec::Operator;
+            let mut scan = self.scan_with(table, ScanSpec::all().bounds(bounds))?;
             while let Some(batch) = scan.next_batch() {
                 let keep = pred.eval_bool(&batch);
                 if !keep.iter().any(|&k| k) {
                     continue;
                 }
-                let new_vals: Vec<columnar::ColumnVec> =
-                    sets.iter().map(|(_, e)| e.eval(&batch)).collect();
-                for (i, hit) in keep.iter().enumerate() {
-                    if !*hit {
-                        continue;
-                    }
-                    let rid = batch.rid_start + i as u64;
-                    let row = batch.row(i);
-                    if touches_sk {
-                        let mut new_row = row.clone();
-                        for ((c, _), vals) in sets.iter().zip(&new_vals) {
-                            new_row[*c] = vals.get(i);
-                        }
-                        rewrites.push((rid, row, new_row));
-                    } else {
-                        let assigns = sets
-                            .iter()
-                            .zip(&new_vals)
-                            .map(|((c, _), vals)| (*c, vals.get(i)))
-                            .collect();
-                        plain.push((rid, row, assigns));
-                    }
+                let idx: Vec<usize> = keep
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, hit)| hit.then_some(i))
+                    .collect();
+                rids.extend(idx.iter().map(|&i| batch.rid_start + i as u64));
+                extend_gathered(&mut pre, &batch, &idx);
+                for ((_, e), acc) in sets.iter().zip(&mut set_vals) {
+                    let vals = e.eval(&batch);
+                    acc.get_or_insert_with(|| ColumnVec::new(vals.vtype()))
+                        .extend_gather(&vals, &idx);
                 }
             }
         }
-        let n = plain.len() + rewrites.len();
-        {
+        let n = rids.len();
+        if n == 0 {
+            return Ok(0);
+        }
+        if touches_sk {
+            // rewrite every victim: new tuple = pre-image + all assignments
+            let mut new_rows = Batch::with_capacity(&types, n);
+            for i in 0..n {
+                let mut row = pre.row(i);
+                for ((c, _), vals) in sets.iter().zip(&set_vals) {
+                    row[*c] = vals.as_ref().expect("evaluated with victims").get(i);
+                }
+                new_rows.push_owned_row(row);
+            }
+            self.stage_key_rewrite(table, rids, pre, new_rows)?;
+        } else {
+            // one staged batch per assigned column; the last one takes the
+            // shared rid/pre-image payload by move, so the common
+            // single-column statement never clones it
             let staged = self.staged_mut(table)?;
-            // in-place modifications: RIDs unaffected, apply in any order
-            for (rid, row, assigns) in plain {
-                for (col, v) in assigns {
-                    staged.stage_modify(rid, col, &v, &row);
-                }
+            let nsets = sets.len();
+            let mut rids = rids;
+            let mut pre = pre;
+            for (j, ((col, _), vals)) in sets.iter().zip(set_vals).enumerate() {
+                let (r, p) = if j + 1 == nsets {
+                    let p = std::mem::replace(&mut pre, Batch::empty(&[]));
+                    (std::mem::take(&mut rids), p)
+                } else {
+                    (rids.clone(), pre.clone())
+                };
+                staged.stage_batch(&DmlBatch::UpdateCol {
+                    rids: r,
+                    col: *col,
+                    values: vals.expect("evaluated with victims"),
+                    pre: p,
+                });
             }
-            // SK rewrites: delete first (descending), insert after
-            for (rid, row, _) in rewrites.iter().rev() {
-                staged.stage_delete(*rid, row);
-            }
-        }
-        for (_, _, new_row) in rewrites {
-            self.insert(table, new_row)?;
         }
         Ok(n)
     }
@@ -355,6 +677,149 @@ impl<'db> DbTxn<'db> {
     /// Abort, discarding all staged updates.
     pub fn abort(self) {
         self.db.txn_mgr.end_txn(self.id);
+    }
+}
+
+/// A streaming bulk-load handle (see [`DbTxn::appender`]): rows accumulate
+/// in a columnar buffer and flush as one [`DbTxn::append`] per
+/// `batch_rows` rows, so a row-at-a-time producer still writes through the
+/// batched path. Call [`Appender::finish`] to flush the tail and get the
+/// total row count; dropping an unfinished appender discards only the
+/// *unflushed* tail (flushed batches are staged in the transaction like
+/// any other statement).
+pub struct Appender<'t, 'db> {
+    txn: &'t mut DbTxn<'db>,
+    table: String,
+    schema: Schema,
+    types: Vec<ValueType>,
+    buf: Batch,
+    batch_rows: usize,
+    appended: usize,
+}
+
+impl<'t, 'db> Appender<'t, 'db> {
+    const DEFAULT_BATCH_ROWS: usize = 4096;
+
+    /// Override the rows-per-flush granularity (default 4096).
+    pub fn with_batch_rows(mut self, rows: usize) -> Self {
+        self.batch_rows = rows.max(1);
+        self
+    }
+
+    /// Buffer one row, flushing a full batch through [`DbTxn::append`].
+    pub fn push(&mut self, row: Tuple) -> Result<(), DbError> {
+        validate_tuple(&self.table, &self.schema, &row)?;
+        self.buf.push_owned_row(row);
+        if self.buf.num_rows() >= self.batch_rows {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Flush the buffered rows as one batch append (no-op when empty).
+    pub fn flush(&mut self) -> Result<(), DbError> {
+        if self.buf.is_empty() {
+            return Ok(());
+        }
+        let batch = std::mem::replace(&mut self.buf, Batch::with_capacity(&self.types, 0));
+        self.appended += self.txn.append(&self.table, batch)?;
+        Ok(())
+    }
+
+    /// Flush the tail and return the total number of rows appended.
+    pub fn finish(mut self) -> Result<usize, DbError> {
+        self.flush()?;
+        Ok(self.appended)
+    }
+}
+
+fn batch_shape(table: &str, detail: String) -> DbError {
+    DbError::BatchShape {
+        table: table.to_string(),
+        detail,
+    }
+}
+
+/// Boundary validation of a columnar write batch: full arity, every column
+/// of the schema's exact type, no ragged columns.
+fn validate_batch_shape(table: &str, schema: &Schema, rows: &Batch) -> Result<(), DbError> {
+    if rows.num_cols() != schema.len() {
+        return Err(batch_shape(
+            table,
+            format!(
+                "batch has {} columns, table has {}",
+                rows.num_cols(),
+                schema.len()
+            ),
+        ));
+    }
+    let nrows = rows.num_rows();
+    for (i, c) in rows.cols.iter().enumerate() {
+        if c.vtype() != schema.vtype(i) {
+            return Err(batch_shape(
+                table,
+                format!(
+                    "column #{i} is {}, table expects {}",
+                    c.vtype(),
+                    schema.vtype(i)
+                ),
+            ));
+        }
+        if c.len() != nrows {
+            return Err(batch_shape(
+                table,
+                format!(
+                    "ragged batch: column #{i} has {} of {} rows",
+                    c.len(),
+                    nrows
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Boundary validation of one row: full arity, every value of the
+/// column's type (`Null` and Int-into-Double promote, as in storage).
+fn validate_tuple(table: &str, schema: &Schema, tuple: &[Value]) -> Result<(), DbError> {
+    if tuple.len() != schema.len() {
+        return Err(batch_shape(
+            table,
+            format!(
+                "row has {} values, table has {} columns",
+                tuple.len(),
+                schema.len()
+            ),
+        ));
+    }
+    for (i, v) in tuple.iter().enumerate() {
+        let ok = match (v.value_type(), schema.vtype(i)) {
+            (None, _) => true, // Null stores the type default
+            (Some(got), want) if got == want => true,
+            (Some(ValueType::Int), ValueType::Double) => true,
+            _ => false,
+        };
+        if !ok {
+            return Err(batch_shape(
+                table,
+                format!(
+                    "value {v:?} at column #{i} does not fit {}",
+                    schema.vtype(i)
+                ),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Append the rows of `src` at `idx` onto `dst` column-wise (the
+/// selection-vector gather the victim-collection paths share).
+fn extend_gathered(dst: &mut Batch, src: &Batch, idx: &[usize]) {
+    if idx.is_empty() {
+        return;
+    }
+    for (d, s) in dst.cols.iter_mut().zip(&src.cols) {
+        d.extend_gather(s, idx);
     }
 }
 
@@ -499,6 +964,284 @@ mod tests {
             assert!(ks.windows(2).all(|w| w[0] < w[1]), "order violated: {ks:?}");
             assert_eq!(*ks.last().unwrap(), 1980);
         }
+    }
+
+    fn int_types() -> Vec<ValueType> {
+        vec![ValueType::Int, ValueType::Int]
+    }
+
+    #[test]
+    fn append_matches_row_at_a_time_inserts() {
+        for policy in ALL_POLICIES {
+            let batched = db_with_ints(10, policy);
+            let looped = db_with_ints(10, policy);
+            // unsorted input, scattered + clustered + tail positions
+            let rows: Vec<Tuple> = [95i64, 5, 41, 43, 42, 1000, 999]
+                .iter()
+                .map(|&k| vec![Value::Int(k), Value::Int(-k)])
+                .collect();
+            let mut t = batched.begin();
+            assert_eq!(
+                t.append("t", Batch::from_rows(&int_types(), &rows))
+                    .unwrap(),
+                7
+            );
+            t.commit().unwrap();
+            let mut t = looped.begin();
+            for r in &rows {
+                t.insert("t", r.clone()).unwrap();
+            }
+            t.commit().unwrap();
+            let img = |db: &Database| {
+                let view = db.read_view();
+                exec::run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap())
+            };
+            assert_eq!(img(&batched), img(&looped), "{policy:?}");
+            let ks: Vec<i64> = img(&batched).iter().map(|r| r[0].as_int()).collect();
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "{policy:?}: {ks:?}");
+        }
+    }
+
+    #[test]
+    fn append_rejects_duplicates_atomically() {
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(10, policy);
+            // intra-batch duplicate
+            let mut t = db.begin();
+            let dup = vec![
+                vec![Value::Int(5), Value::Int(0)],
+                vec![Value::Int(5), Value::Int(1)],
+            ];
+            assert!(matches!(
+                t.append("t", Batch::from_rows(&int_types(), &dup)),
+                Err(DbError::DuplicateKey { .. })
+            ));
+            // duplicate against the visible image — nothing staged by the
+            // failed statement, so the good row is absent too
+            let mixed = vec![
+                vec![Value::Int(77), Value::Int(0)],
+                vec![Value::Int(30), Value::Int(1)],
+            ];
+            assert!(matches!(
+                t.append("t", Batch::from_rows(&int_types(), &mixed)),
+                Err(DbError::DuplicateKey { .. })
+            ));
+            assert_eq!(t.visible_rows("t").unwrap(), 10, "{policy:?}");
+            t.abort();
+        }
+    }
+
+    #[test]
+    fn append_ranks_against_own_staged_rows() {
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(4, policy);
+            let mut t = db.begin();
+            t.append(
+                "t",
+                Batch::from_rows(&int_types(), &[vec![Value::Int(15), Value::Int(0)]]),
+            )
+            .unwrap();
+            // second batch interleaves with the first batch's row
+            t.append(
+                "t",
+                Batch::from_rows(
+                    &int_types(),
+                    &[
+                        vec![Value::Int(13), Value::Int(0)],
+                        vec![Value::Int(17), Value::Int(0)],
+                    ],
+                ),
+            )
+            .unwrap();
+            t.commit().unwrap();
+            assert_eq!(keys(&db), vec![0, 10, 13, 15, 17, 20, 30], "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn delete_rids_matches_predicate_deletes() {
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(20, policy);
+            let mut t = db.begin();
+            // unsorted, with a duplicate — keys 30, 70, 180
+            let n = t.delete_rids("t", &[7, 3, 18, 7]).unwrap();
+            assert_eq!(n, 3);
+            t.commit().unwrap();
+            let ks = keys(&db);
+            assert_eq!(ks.len(), 17, "{policy:?}");
+            assert!(!ks.contains(&30) && !ks.contains(&70) && !ks.contains(&180));
+        }
+    }
+
+    #[test]
+    fn update_col_positional_and_sort_key_rewrite() {
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(10, policy);
+            let mut t = db.begin();
+            // plain column, unsorted rids paired with values
+            let n = t
+                .update_col("t", &[8, 2], 1, ColumnVec::Int(vec![88, 22]))
+                .unwrap();
+            assert_eq!(n, 2);
+            // sort-key column: rewrite 90 -> 35 repositions the row
+            let n = t
+                .update_col("t", &[9], 0, ColumnVec::Int(vec![35]))
+                .unwrap();
+            assert_eq!(n, 1);
+            t.commit().unwrap();
+            let view = db.read_view();
+            let rows = exec::run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
+            let ks: Vec<i64> = rows.iter().map(|r| r[0].as_int()).collect();
+            assert_eq!(
+                ks,
+                vec![0, 10, 20, 30, 35, 40, 50, 60, 70, 80],
+                "{policy:?}"
+            );
+            let find = |k: i64| rows.iter().find(|r| r[0].as_int() == k).unwrap()[1].as_int();
+            assert_eq!(find(20), 22, "{policy:?}");
+            assert_eq!(find(80), 88, "{policy:?}");
+            assert_eq!(find(35), 9, "{policy:?}: payload survives the rewrite");
+        }
+    }
+
+    #[test]
+    fn failed_sort_key_rewrite_stages_nothing() {
+        // regression (code review): the §2.1 delete+append rewrite used to
+        // stage its deletes before the re-append detected a key collision,
+        // leaving the statement half-applied on error
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(5, policy);
+            let mut t = db.begin();
+            // rewrite 0 -> 30 collides with the existing key 30
+            assert!(matches!(
+                t.update_col("t", &[0], 0, ColumnVec::Int(vec![30])),
+                Err(DbError::DuplicateKey { .. })
+            ));
+            assert_eq!(t.visible_rows("t").unwrap(), 5, "{policy:?}: delete leaked");
+            // same through the predicate form
+            assert!(matches!(
+                t.update_where("t", col(0).eq(lit(0i64)), vec![(0, lit(30i64))]),
+                Err(DbError::DuplicateKey { .. })
+            ));
+            assert_eq!(t.visible_rows("t").unwrap(), 5, "{policy:?}: delete leaked");
+            // two victims rewriting into each other's key range still works
+            // (deletes free the keys before the appends rank themselves)
+            let n = t
+                .update_col("t", &[1, 2], 0, ColumnVec::Int(vec![20, 10]))
+                .unwrap();
+            assert_eq!(n, 2);
+            t.commit().unwrap();
+            assert_eq!(keys(&db), vec![0, 10, 20, 30, 40], "{policy:?}");
+            let view = db.read_view();
+            let rows = run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap());
+            assert_eq!(rows[2][1], Value::Int(1), "{policy:?}: 10->20 payload");
+            assert_eq!(rows[1][1], Value::Int(2), "{policy:?}: 20->10 payload");
+        }
+    }
+
+    #[test]
+    fn appender_streams_through_batched_appends() {
+        for policy in ALL_POLICIES {
+            let db = db_with_ints(5, policy);
+            let mut t = db.begin();
+            let mut app = t.appender("t").unwrap().with_batch_rows(3);
+            for k in [95i64, 5, 41, 107, 203, 11, 12] {
+                app.push(vec![Value::Int(k), Value::Int(0)]).unwrap();
+            }
+            assert_eq!(app.finish().unwrap(), 7);
+            t.commit().unwrap();
+            let ks = keys(&db);
+            assert_eq!(ks.len(), 12, "{policy:?}");
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "{policy:?}: {ks:?}");
+        }
+    }
+
+    #[test]
+    fn batch_shape_errors_at_the_boundary() {
+        let db = db_with_ints(5, UpdatePolicy::Pdt);
+        let mut t = db.begin();
+        // wrong arity
+        let narrow = Batch::from_rows(&[ValueType::Int], &[vec![Value::Int(1)]]);
+        assert!(matches!(
+            t.append("t", narrow),
+            Err(DbError::BatchShape { .. })
+        ));
+        // wrong column type
+        let wrong = Batch::from_rows(
+            &[ValueType::Int, ValueType::Str],
+            &[vec![Value::Int(1), Value::Str("x".into())]],
+        );
+        assert!(matches!(
+            t.append("t", wrong),
+            Err(DbError::BatchShape { .. })
+        ));
+        // tuple arity through insert and the appender
+        assert!(matches!(
+            t.insert("t", vec![Value::Int(1)]),
+            Err(DbError::BatchShape { .. })
+        ));
+        let mut app = t.appender("t").unwrap();
+        assert!(matches!(
+            app.push(vec![Value::Str("oops".into()), Value::Int(0)]),
+            Err(DbError::BatchShape { .. })
+        ));
+        drop(app);
+        // positional forms: out-of-range rid, mismatched value count,
+        // duplicate rid
+        assert!(matches!(
+            t.delete_rids("t", &[99]),
+            Err(DbError::BatchShape { .. })
+        ));
+        assert!(matches!(
+            t.update_col("t", &[0, 1], 1, ColumnVec::Int(vec![7])),
+            Err(DbError::BatchShape { .. })
+        ));
+        assert!(matches!(
+            t.update_col("t", &[1, 1], 1, ColumnVec::Int(vec![7, 8])),
+            Err(DbError::BatchShape { .. })
+        ));
+        assert!(matches!(
+            t.update_col("t", &[0], 9, ColumnVec::Int(vec![7])),
+            Err(DbError::BatchShape { .. })
+        ));
+        assert!(matches!(
+            t.update_col("t", &[0], 1, ColumnVec::Str(vec!["x".into()])),
+            Err(DbError::BatchShape { .. })
+        ));
+        // nothing staged by any rejected statement
+        assert_eq!(t.visible_rows("t").unwrap(), 5);
+        t.commit().unwrap();
+        assert_eq!(keys(&db).len(), 5);
+    }
+
+    #[test]
+    fn scan_with_specs_match_wrappers() {
+        let db = db_with_ints(50, UpdatePolicy::Pdt);
+        let view = db.read_view();
+        let by_idx = run_to_rows(&mut view.scan("t", vec![1]).unwrap());
+        let by_name = run_to_rows(&mut view.scan_with("t", crate::ScanSpec::named(["v"])).unwrap());
+        assert_eq!(by_idx, by_name);
+        let all = run_to_rows(&mut view.scan_with("t", crate::ScanSpec::all()).unwrap());
+        assert_eq!(all.len(), 50);
+        assert_eq!(all[0].len(), 2);
+        // rid window
+        let windowed = run_to_rows(
+            &mut view
+                .scan_with("t", crate::ScanSpec::all().rid_range(10, 13))
+                .unwrap(),
+        );
+        assert_eq!(windowed, all[10..13].to_vec());
+        // unknown name errors
+        assert!(matches!(
+            view.scan_with("t", crate::ScanSpec::named(["ghost"])),
+            Err(DbError::UnknownColumn { .. })
+        ));
+        // txn-side spec scan sees staged updates
+        let mut t = db.begin();
+        t.insert("t", vec![Value::Int(5), Value::Int(-1)]).unwrap();
+        let staged = run_to_rows(&mut t.scan_with("t", crate::ScanSpec::named(["k"])).unwrap());
+        assert_eq!(staged.len(), 51);
+        t.abort();
     }
 
     #[test]

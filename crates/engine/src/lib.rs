@@ -16,7 +16,9 @@
 //! let db = Database::new();
 //! db.create_table(meta, TableOptions::default().with_policy(UpdatePolicy::Vdt), rows)?;
 //! let mut txn = db.begin();           // same transactions for PDT and VDT
-//! txn.insert("t", tuple)?;
+//! txn.append("t", batch)?;            // batch-first writes: one scan,
+//! txn.delete_rids("t", &rids)?;       // one staged op, one WAL entry
+//! txn.update_col("t", &rids, 2, new_values)?;   //   per statement
 //! txn.commit()?;
 //! let view = db.read_view();          // scans merge the table's own deltas
 //! db.checkpoint("t")?;                // same checkpoint for either backend
@@ -32,17 +34,19 @@
 //! and fold positionally. Sort-key-modifying updates are rewritten as
 //! delete + insert (§2.1).
 
+pub mod batch;
 pub mod delta;
 pub mod dml;
 pub mod maintenance;
 pub mod rowstore;
 pub mod testkit;
 
+pub use batch::DmlBatch;
 pub use delta::{
     CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore,
     ALL_POLICIES,
 };
-pub use dml::DbTxn;
+pub use dml::{Appender, DbTxn};
 pub use maintenance::{MaintenanceConfig, MaintenanceScheduler, MaintenanceStats};
 pub use rowstore::RowStore;
 
@@ -72,6 +76,14 @@ pub enum DbError {
         table: String,
         reason: String,
     },
+    /// A write batch does not fit the table: wrong arity, a column of the
+    /// wrong type, mismatched rid/value counts, or an out-of-range rid.
+    /// Raised at the API boundary, before anything is staged — shape bugs
+    /// never reach (let alone panic inside) the delta structures.
+    BatchShape {
+        table: String,
+        detail: String,
+    },
     Storage(ColumnarError),
     Txn(TxnError),
     Io(std::io::Error),
@@ -89,6 +101,9 @@ impl fmt::Display for DbError {
             }
             DbError::Conflict { table, reason } => {
                 write!(f, "write-write conflict on table {table}: {reason}")
+            }
+            DbError::BatchShape { table, detail } => {
+                write!(f, "batch does not fit table {table}: {detail}")
             }
             DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::Txn(e) => write!(f, "transaction error: {e}"),
@@ -520,6 +535,124 @@ const _: fn() = || {
     assert_send_sync::<ReadView>();
 };
 
+/// Declarative description of one table scan — the single entry point the
+/// former `scan` / `scan_ranged` / `scan_cols` trio now forwards to.
+///
+/// Projection is by column index or by name; the scan can additionally be
+/// restricted to an inclusive sort-key prefix range (served by the sparse
+/// index) and/or a visible-rid window `[lo, hi)` (positions in the merged
+/// image — what the positional DML uses to collect pre-images with early
+/// exit).
+///
+/// ```text
+/// view.scan_with("t", ScanSpec::named(&["qty", "price"]))?;
+/// view.scan_with("t", ScanSpec::all().rid_range(100, 200))?;
+/// txn.scan_with("t", ScanSpec::cols(vec![0]).key_range(lo, hi))?;
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ScanSpec {
+    proj: ScanProj,
+    bounds: ScanBounds,
+    rid_range: Option<(u64, u64)>,
+}
+
+#[derive(Debug, Clone, Default)]
+enum ScanProj {
+    /// Every column, in schema order.
+    #[default]
+    All,
+    /// Column indices, in projection order.
+    Cols(Vec<usize>),
+    /// Column names, resolved against the schema at scan time.
+    Names(Vec<String>),
+}
+
+impl ScanSpec {
+    /// Project every column.
+    pub fn all() -> Self {
+        ScanSpec::default()
+    }
+
+    /// Project by column index.
+    pub fn cols(cols: Vec<usize>) -> Self {
+        ScanSpec {
+            proj: ScanProj::Cols(cols),
+            ..ScanSpec::default()
+        }
+    }
+
+    /// Project by column name.
+    pub fn named<S: Into<String>>(names: impl IntoIterator<Item = S>) -> Self {
+        ScanSpec {
+            proj: ScanProj::Names(names.into_iter().map(Into::into).collect()),
+            ..ScanSpec::default()
+        }
+    }
+
+    /// Restrict to an inclusive sort-key prefix range.
+    pub fn bounds(mut self, bounds: ScanBounds) -> Self {
+        self.bounds = bounds;
+        self
+    }
+
+    /// Restrict to the inclusive sort-key prefix range `[lo, hi]`.
+    pub fn key_range(self, lo: Vec<Value>, hi: Vec<Value>) -> Self {
+        self.bounds(ScanBounds {
+            lo: Some(lo),
+            hi: Some(hi),
+        })
+    }
+
+    /// Restrict the *output* to visible positions `[lo, hi)`; the scan
+    /// stops as soon as it passes `hi`.
+    pub fn rid_range(mut self, lo: u64, hi: u64) -> Self {
+        self.rid_range = Some((lo, hi));
+        self
+    }
+
+    /// Resolve the projection against `schema`.
+    fn resolve(&self, table: &str, schema: &Schema) -> Result<Vec<usize>, DbError> {
+        match &self.proj {
+            ScanProj::All => Ok((0..schema.len()).collect()),
+            ScanProj::Cols(cols) => {
+                if let Some(&c) = cols.iter().find(|&&c| c >= schema.len()) {
+                    return Err(DbError::UnknownColumn {
+                        table: table.to_string(),
+                        column: format!("#{c}"),
+                    });
+                }
+                Ok(cols.clone())
+            }
+            ScanProj::Names(names) => names
+                .iter()
+                .map(|n| {
+                    schema.try_col(n).ok_or_else(|| DbError::UnknownColumn {
+                        table: table.to_string(),
+                        column: n.clone(),
+                    })
+                })
+                .collect(),
+        }
+    }
+
+    /// Build the scan over an already-resolved table snapshot.
+    pub(crate) fn open<'a>(
+        &self,
+        table: &str,
+        stable: &'a StableTable,
+        layers: DeltaLayers<'a>,
+        io: IoTracker,
+        clock: ScanClock,
+    ) -> Result<TableScan<'a>, DbError> {
+        let proj = self.resolve(table, stable.schema())?;
+        let mut scan = TableScan::ranged(stable, layers, proj, self.bounds.clone(), io, clock);
+        if let Some((lo, hi)) = self.rid_range {
+            scan.clamp_rids(lo, hi);
+        }
+        Ok(scan)
+    }
+}
+
 /// A consistent, immutable multi-table view for query execution.
 pub struct ReadView {
     tables: HashMap<String, TableView>,
@@ -574,37 +707,40 @@ impl ReadView {
         Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
     }
 
-    /// Full-table scan with projection (column indices).
+    /// Open a scan described by a [`ScanSpec`] — the one scan entry point;
+    /// everything below forwards here.
+    pub fn scan_with(&self, table: &str, spec: ScanSpec) -> Result<TableScan<'_>, DbError> {
+        let t = self.table(table)?;
+        spec.open(
+            table,
+            &t.stable,
+            t.layers(),
+            self.io.clone(),
+            self.clock.clone(),
+        )
+    }
+
+    /// Full-table scan with projection (column indices). Thin wrapper over
+    /// [`ReadView::scan_with`].
     pub fn scan(&self, table: &str, proj: Vec<usize>) -> Result<TableScan<'_>, DbError> {
-        self.scan_ranged(table, proj, ScanBounds::default())
+        self.scan_with(table, ScanSpec::cols(proj))
     }
 
     /// Ranged scan over inclusive sort-key prefix bounds (sparse-index
-    /// assisted).
+    /// assisted). Thin wrapper over [`ReadView::scan_with`].
     pub fn scan_ranged(
         &self,
         table: &str,
         proj: Vec<usize>,
         bounds: ScanBounds,
     ) -> Result<TableScan<'_>, DbError> {
-        let t = self.table(table)?;
-        Ok(TableScan::ranged(
-            &t.stable,
-            t.layers(),
-            proj,
-            bounds,
-            self.io.clone(),
-            self.clock.clone(),
-        ))
+        self.scan_with(table, ScanSpec::cols(proj).bounds(bounds))
     }
 
-    /// Scan projecting columns by name (plan-writing convenience).
+    /// Scan projecting columns by name (plan-writing convenience). Thin
+    /// wrapper over [`ReadView::scan_with`].
     pub fn scan_cols(&self, table: &str, cols: &[&str]) -> Result<TableScan<'_>, DbError> {
-        let proj = cols
-            .iter()
-            .map(|c| self.col(table, c))
-            .collect::<Result<Vec<_>, _>>()?;
-        self.scan(table, proj)
+        self.scan_with(table, ScanSpec::named(cols.iter().copied()))
     }
 }
 
@@ -909,6 +1045,14 @@ mod tests {
                     reason: "concurrent insert of sort key [Int(7)]".into(),
                 },
                 "write-write conflict on table inv: concurrent insert of sort key [Int(7)]",
+                false,
+            ),
+            (
+                DbError::BatchShape {
+                    table: "inv".into(),
+                    detail: "batch has 2 columns, table has 4".into(),
+                },
+                "batch does not fit table inv: batch has 2 columns, table has 4",
                 false,
             ),
             (

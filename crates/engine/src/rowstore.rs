@@ -20,7 +20,7 @@
 
 use crate::delta::{CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, ResidualLog, UpdatePolicy};
 use crate::DbError;
-use columnar::{IoTracker, SkKey, StableTable, Value};
+use columnar::{IoTracker, SkKey, StableTable, Tuple, Value};
 use exec::DeltaLayers;
 use parking_lot::RwLock;
 use rowstore::{ConflictSet, RowBuffer, RowOp, RowRun};
@@ -67,8 +67,31 @@ impl crate::delta::KeyEntrySink for RowBuffer {
         self.insert(tuple);
     }
 
+    fn apply_insert_batch(&mut self, tuples: Vec<Tuple>) {
+        // batched entries from one `append` are key-sorted and take the
+        // single-merge-pass path; coalesced runs of independent statements
+        // may not be — fall back to the row loop for those
+        let sk = self.sk_cols().to_vec();
+        let sorted = tuples.windows(2).all(|w| {
+            sk.iter()
+                .map(|&c| &w[0][c])
+                .lt(sk.iter().map(|&c| &w[1][c]))
+        });
+        if sorted {
+            self.insert_batch(tuples);
+        } else {
+            for t in tuples {
+                self.insert(t);
+            }
+        }
+    }
+
     fn apply_delete(&mut self, key: &[Value]) {
         self.delete_key(key);
+    }
+
+    fn entry_widths(&self) -> (usize, usize) {
+        (self.schema().len(), self.sk_cols().len())
     }
 }
 
@@ -144,6 +167,56 @@ impl DeltaTxn for RowTxn {
             col,
             value: value.clone(),
         });
+    }
+
+    /// The row store's vectorized staging — the structure that profits
+    /// most: its sorted slot run absorbs a whole key-sorted batch in **one
+    /// merge pass** (O(buffer + batch)) where the row loop pays an
+    /// O(buffer) memmove per row. The statement also stays one op, so
+    /// commit publication replays it as one merge pass again.
+    fn stage_batch(&mut self, batch: &crate::batch::DmlBatch) {
+        use crate::batch::DmlBatch;
+        match batch {
+            DmlBatch::Insert { rows, .. } => {
+                let tuples = rows.rows();
+                self.working.insert_batch(tuples.clone());
+                match tuples.len() {
+                    0 => {}
+                    1 => self
+                        .ops
+                        .push(RowOp::Insert(tuples.into_iter().next().unwrap())),
+                    _ => self.ops.push(RowOp::InsertBatch(tuples)),
+                }
+            }
+            DmlBatch::Delete { pre, .. } => {
+                let pres = pre.rows();
+                self.working.delete_batch(&pres);
+                match pres.len() {
+                    0 => {}
+                    1 => self.ops.push(RowOp::Delete {
+                        pre: pres.into_iter().next().unwrap(),
+                    }),
+                    _ => self.ops.push(RowOp::DeleteBatch { pres }),
+                }
+            }
+            DmlBatch::UpdateCol {
+                rids,
+                col,
+                values,
+                pre,
+            } => {
+                for i in 0..rids.len() {
+                    let row = pre.row(i);
+                    let value = values.get(i);
+                    self.working.modify(&row, *col, value.clone());
+                    self.ops.push(RowOp::Modify {
+                        pre: row,
+                        col: *col,
+                        value,
+                    });
+                }
+            }
+        }
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -235,10 +308,28 @@ impl DeltaStore for RowStore {
                     post.insert(sk_of(t), t.clone());
                     entries.push(entry(pdt::INS, t.clone()));
                 }
+                RowOp::InsertBatch(ts) => {
+                    // one batched entry for the whole statement
+                    let mut flat = Vec::with_capacity(ts.len() * ts.first().map_or(0, Vec::len));
+                    for t in ts {
+                        post.insert(sk_of(t), t.clone());
+                        flat.extend(t.iter().cloned());
+                    }
+                    entries.push(entry(pdt::INS_BATCH, flat));
+                }
                 RowOp::Delete { pre } => {
                     let key = sk_of(pre);
                     post.remove(&key);
                     entries.push(entry(pdt::DEL, key));
+                }
+                RowOp::DeleteBatch { pres } => {
+                    let mut flat = Vec::with_capacity(pres.len() * sk_cols.len());
+                    for pre in pres {
+                        let key = sk_of(pre);
+                        post.remove(&key);
+                        flat.extend(key);
+                    }
+                    entries.push(entry(pdt::DEL_BATCH, flat));
                 }
                 RowOp::Modify { pre, col, value } => {
                     let key = sk_of(pre);
@@ -254,7 +345,8 @@ impl DeltaStore for RowStore {
                 }
             }
         }
-        entries
+        // runs of per-row entries (row-at-a-time loops) compact too
+        txn::wal::coalesce_entries(entries)
     }
 
     fn publish(&self, mut staged: Box<dyn DeltaTxn>, seq: u64, entries: &[WalEntry]) {

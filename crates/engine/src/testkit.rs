@@ -365,6 +365,346 @@ impl DiffHarness {
     }
 }
 
+// --- Batch ≡ row-at-a-time differential harness --------------------------
+
+/// Two WAL-backed databases of the *same* update policy, driven in
+/// lockstep: one through the batch-first statements ([`crate::DbTxn::append`],
+/// [`crate::DbTxn::delete_rids`], [`crate::DbTxn::update_col`]), one
+/// through the equivalent row-at-a-time loops. After every step both must
+/// agree on the merged image, visible row count, commit/abort/error
+/// verdicts — and, via [`BatchRowHarness::crash_recover`], on the state
+/// rebuilt from base image + WAL replay, which pins down that the batched
+/// `INS_BATCH`/`DEL_BATCH` log encodings replay to exactly what the
+/// per-row entries would have.
+///
+/// The table is fixed at `(k INT, a INT, b INT)` with sort key `k` —
+/// enough to cover fresh inserts, reinserts over ghosts, sort-key
+/// rewrites, and disjoint/overlapping column updates.
+pub struct BatchRowHarness {
+    policy: UpdatePolicy,
+    base_rows: Vec<Tuple>,
+    block_rows: usize,
+    wal_dir: PathBuf,
+    batched: Database,
+    rowwise: Database,
+}
+
+/// The two driving modes of the harness.
+const MODES: [&str; 2] = ["batched", "rowwise"];
+
+impl BatchRowHarness {
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("k", columnar::ValueType::Int),
+            ("a", columnar::ValueType::Int),
+            ("b", columnar::ValueType::Int),
+        ])
+    }
+
+    /// WAL-backed pair under `dir` (recreated clean) over `base_keys` rows
+    /// with keys `0, 10, 20, …`.
+    pub fn new(dir: PathBuf, policy: UpdatePolicy, base_keys: i64, block_rows: usize) -> Self {
+        std::fs::create_dir_all(&dir).expect("harness wal dir");
+        for mode in MODES {
+            let _ = std::fs::remove_file(dir.join(format!("{mode}.wal")));
+        }
+        let base_rows: Vec<Tuple> = (0..base_keys)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i), Value::Int(-i)])
+            .collect();
+        let mut h = BatchRowHarness {
+            policy,
+            base_rows,
+            block_rows,
+            wal_dir: dir,
+            batched: Database::new(),
+            rowwise: Database::new(),
+        };
+        let (batched, rowwise) = h.make_dbs();
+        h.batched = batched;
+        h.rowwise = rowwise;
+        h.assert_agree("fresh harness");
+        h
+    }
+
+    fn make_db(&self, mode: &str) -> Database {
+        let db = Database::with_wal(&self.wal_dir.join(format!("{mode}.wal")))
+            .expect("open harness wal");
+        db.create_table(
+            TableMeta::new("t", Self::schema(), vec![0]),
+            TableOptions {
+                block_rows: self.block_rows,
+                compressed: true,
+                policy: self.policy,
+                ..TableOptions::default()
+            },
+            self.base_rows.clone(),
+        )
+        .expect("harness create_table");
+        db
+    }
+
+    fn make_dbs(&self) -> (Database, Database) {
+        (self.make_db(MODES[0]), self.make_db(MODES[1]))
+    }
+
+    fn image(db: &Database) -> Vec<Tuple> {
+        let view = db.read_view();
+        run_to_rows(&mut view.scan("t", vec![0, 1, 2]).unwrap())
+    }
+
+    /// Current visible row count (both databases agree by invariant).
+    pub fn visible(&self) -> u64 {
+        self.batched.row_count("t").unwrap()
+    }
+
+    /// Current visible image (both databases agree by invariant).
+    pub fn rows(&self) -> Vec<Tuple> {
+        Self::image(&self.batched)
+    }
+
+    /// Assert the two databases agree bit-for-bit.
+    pub fn assert_agree(&self, context: &str) {
+        let b = Self::image(&self.batched);
+        let r = Self::image(&self.rowwise);
+        assert_eq!(
+            b, r,
+            "{:?} {context}: batched and row-at-a-time images diverged",
+            self.policy
+        );
+        assert_eq!(
+            self.batched.row_count("t").unwrap(),
+            self.rowwise.row_count("t").unwrap(),
+            "{:?} {context}: row counts diverged",
+            self.policy
+        );
+    }
+
+    /// APPEND `(k, a)` rows (column `b` mirrors `a`): one `append` batch
+    /// vs an `insert` loop, in one transaction each. Returns whether the
+    /// statement committed — on a duplicate key both sides must reject.
+    pub fn append(&mut self, kvs: &[(i64, i64)]) -> bool {
+        let rows: Vec<Tuple> = kvs
+            .iter()
+            .map(|&(k, a)| vec![Value::Int(k), Value::Int(a), Value::Int(a ^ 1)])
+            .collect();
+        let mut txn = self.batched.begin();
+        let batched_res = txn.append("t", exec::Batch::from_rows(&Self::schema().types(), &rows));
+        let committed = match batched_res {
+            Ok(n) => {
+                assert_eq!(n, rows.len());
+                txn.commit().expect("batched append commit");
+                true
+            }
+            Err(DbError::DuplicateKey { .. }) => {
+                txn.abort();
+                false
+            }
+            Err(e) => panic!("{:?}: batched append failed oddly: {e}", self.policy),
+        };
+        let mut txn = self.rowwise.begin();
+        let rowwise_res: Result<(), DbError> =
+            rows.iter().try_for_each(|r| txn.insert("t", r.clone()));
+        match rowwise_res {
+            Ok(()) => {
+                assert!(committed, "{:?}: only the batch rejected", self.policy);
+                txn.commit().expect("rowwise insert commit");
+            }
+            Err(DbError::DuplicateKey { .. }) => {
+                assert!(!committed, "{:?}: only the row loop rejected", self.policy);
+                txn.abort();
+            }
+            Err(e) => panic!("{:?}: rowwise insert failed oddly: {e}", self.policy),
+        }
+        self.assert_agree("after append");
+        committed
+    }
+
+    /// Victim keys and pre-images at `rids` (sorted, distinct, in range).
+    fn victims_at(&self, rids: &[u64]) -> Vec<Tuple> {
+        let all = self.rows();
+        rids.iter().map(|&r| all[r as usize].clone()).collect()
+    }
+
+    /// DELETE by position: one `delete_rids` vs one per-key predicate
+    /// delete per victim.
+    pub fn delete_rids(&mut self, rids: &[u64]) {
+        let mut rids = rids.to_vec();
+        rids.sort_unstable();
+        rids.dedup();
+        let victims = self.victims_at(&rids);
+        let mut txn = self.batched.begin();
+        let n = txn.delete_rids("t", &rids).expect("batched delete_rids");
+        assert_eq!(n, rids.len());
+        txn.commit().expect("batched delete commit");
+        let mut txn = self.rowwise.begin();
+        for v in &victims {
+            let n = txn
+                .delete_where("t", col(0).eq(lit(v[0].clone())))
+                .expect("rowwise delete");
+            assert_eq!(n, 1, "{:?}: rowwise delete missed", self.policy);
+        }
+        txn.commit().expect("rowwise delete commit");
+        self.assert_agree("after delete_rids");
+    }
+
+    /// UPDATE column `a` by position: one `update_col` vs one per-key
+    /// predicate update per victim.
+    pub fn update_col(&mut self, rids: &[u64], vals: &[i64]) {
+        let mut pairs: Vec<(u64, i64)> = rids.iter().copied().zip(vals.iter().copied()).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let rids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let vals: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let victims = self.victims_at(&rids);
+        let mut txn = self.batched.begin();
+        let n = txn
+            .update_col("t", &rids, 1, columnar::ColumnVec::Int(vals.clone()))
+            .expect("batched update_col");
+        assert_eq!(n, rids.len());
+        txn.commit().expect("batched update commit");
+        let mut txn = self.rowwise.begin();
+        for (v, &val) in victims.iter().zip(&vals) {
+            let n = txn
+                .update_where("t", col(0).eq(lit(v[0].clone())), vec![(1, lit(val))])
+                .expect("rowwise update");
+            assert_eq!(n, 1, "{:?}: rowwise update missed", self.policy);
+        }
+        txn.commit().expect("rowwise update commit");
+        self.assert_agree("after update_col");
+    }
+
+    /// UPDATE the sort-key column by position — the §2.1 delete + insert
+    /// rewrite, batched vs decomposed (all deletes, then all inserts, the
+    /// order a single row-at-a-time statement uses). Returns whether the
+    /// statement committed (a rewrite may collide with an existing key).
+    pub fn update_keys(&mut self, rids: &[u64], new_keys: &[i64]) -> bool {
+        let mut pairs: Vec<(u64, i64)> =
+            rids.iter().copied().zip(new_keys.iter().copied()).collect();
+        pairs.sort_unstable();
+        pairs.dedup_by_key(|p| p.0);
+        let rids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let new_keys: Vec<i64> = pairs.iter().map(|p| p.1).collect();
+        let victims = self.victims_at(&rids);
+        let mut txn = self.batched.begin();
+        let committed =
+            match txn.update_col("t", &rids, 0, columnar::ColumnVec::Int(new_keys.clone())) {
+                Ok(n) => {
+                    assert_eq!(n, rids.len());
+                    txn.commit().expect("batched key update commit");
+                    true
+                }
+                Err(DbError::DuplicateKey { .. }) => {
+                    txn.abort();
+                    false
+                }
+                Err(e) => panic!("{:?}: batched key update failed oddly: {e}", self.policy),
+            };
+        let mut txn = self.rowwise.begin();
+        let result: Result<(), DbError> = (|| {
+            for v in &victims {
+                txn.delete_where("t", col(0).eq(lit(v[0].clone())))?;
+            }
+            for (v, &k) in victims.iter().zip(&new_keys) {
+                let mut row = v.clone();
+                row[0] = Value::Int(k);
+                txn.insert("t", row)?;
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => {
+                assert!(committed, "{:?}: only the batch rejected", self.policy);
+                txn.commit().expect("rowwise key update commit");
+            }
+            Err(DbError::DuplicateKey { .. }) => {
+                assert!(!committed, "{:?}: only the row loop rejected", self.policy);
+                txn.abort();
+            }
+            Err(e) => panic!("{:?}: rowwise key update failed oddly: {e}", self.policy),
+        }
+        self.assert_agree("after update_keys");
+        committed
+    }
+
+    /// Two concurrent transactions appending `a` and `b`: the batched
+    /// databases stage whole batches, the row-wise ones loop — the
+    /// prepare-time conflict verdicts (batch footprints vs per-row
+    /// footprints) must match. Returns `(a_committed, b_committed)`.
+    pub fn concurrent_appends(&mut self, a: &[(i64, i64)], b: &[(i64, i64)]) -> (bool, bool) {
+        let row_of = |&(k, v): &(i64, i64)| -> Tuple {
+            vec![Value::Int(k), Value::Int(v), Value::Int(v ^ 1)]
+        };
+        let a_rows: Vec<Tuple> = a.iter().map(row_of).collect();
+        let b_rows: Vec<Tuple> = b.iter().map(row_of).collect();
+        let mut verdicts = Vec::new();
+        for (mode, db) in [(0, &self.batched), (1, &self.rowwise)] {
+            let mut ta = db.begin();
+            let mut tb = db.begin();
+            let stage = |txn: &mut crate::DbTxn<'_>, rows: &[Tuple]| -> bool {
+                if mode == 0 {
+                    txn.append("t", exec::Batch::from_rows(&Self::schema().types(), rows))
+                        .is_ok()
+                } else {
+                    rows.iter().all(|r| txn.insert("t", r.clone()).is_ok())
+                }
+            };
+            let a_staged = stage(&mut ta, &a_rows);
+            let b_staged = stage(&mut tb, &b_rows);
+            let a_ok = if a_staged {
+                ta.commit().is_ok()
+            } else {
+                ta.abort();
+                false
+            };
+            let b_ok = if b_staged {
+                tb.commit().is_ok()
+            } else {
+                tb.abort();
+                false
+            };
+            verdicts.push((a_ok, b_ok));
+        }
+        assert_eq!(
+            verdicts[0], verdicts[1],
+            "{:?}: batched and row-wise interleavings reached different verdicts",
+            self.policy
+        );
+        self.assert_agree("after concurrent appends");
+        verdicts[0]
+    }
+
+    /// Flush both write-optimised layers and re-verify.
+    pub fn flush(&mut self) {
+        self.batched.maybe_flush("t", 0).unwrap();
+        self.rowwise.maybe_flush("t", 0).unwrap();
+        self.assert_agree("after flush");
+    }
+
+    /// Checkpoint both databases (rotating the recovery base, as markers
+    /// make replay skip the covered commits) and re-verify.
+    pub fn checkpoint(&mut self) {
+        self.batched.checkpoint("t").expect("batched checkpoint");
+        self.rowwise.checkpoint("t").expect("rowwise checkpoint");
+        self.assert_agree("after checkpoint");
+        self.base_rows = self.rows();
+    }
+
+    /// Crash both databases and rebuild them from base image + WAL replay
+    /// — the batched log encodings must recover to the row-wise state.
+    pub fn crash_recover(&mut self) {
+        self.batched = Database::new();
+        self.rowwise = Database::new(); // drop the live databases
+        let (batched, rowwise) = self.make_dbs();
+        self.batched = batched;
+        self.rowwise = rowwise;
+        for (mode, db) in MODES.iter().zip([&self.batched, &self.rowwise]) {
+            db.recover_from(&self.wal_dir.join(format!("{mode}.wal")))
+                .unwrap_or_else(|e| panic!("{:?}: {mode} recovery failed: {e}", self.policy));
+        }
+        self.assert_agree("after crash recovery");
+    }
+}
+
 /// One statement of a scripted transaction for [`run_interleaved`].
 #[derive(Debug, Clone)]
 pub enum TxnOp {

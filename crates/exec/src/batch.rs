@@ -17,19 +17,38 @@ pub struct Batch {
 impl Batch {
     /// An empty batch with the given column types.
     pub fn empty(types: &[ValueType]) -> Batch {
+        Batch::with_capacity(types, 0)
+    }
+
+    /// An empty batch whose columns reserve room for `cap` rows up front —
+    /// use on ingest paths so repeated pushes never re-grow each column.
+    pub fn with_capacity(types: &[ValueType], cap: usize) -> Batch {
         Batch {
-            cols: types.iter().map(|&t| ColumnVec::new(t)).collect(),
+            cols: types
+                .iter()
+                .map(|&t| ColumnVec::with_capacity(t, cap))
+                .collect(),
             rid_start: 0,
         }
     }
 
-    /// Build a batch from row tuples (test / small-table convenience).
+    /// Build a batch from borrowed row tuples (clones every value).
     pub fn from_rows(types: &[ValueType], rows: &[Tuple]) -> Batch {
-        let mut b = Batch::empty(types);
+        let mut b = Batch::with_capacity(types, rows.len());
         for r in rows {
             for (c, v) in r.iter().enumerate() {
                 b.cols[c].push(v);
             }
+        }
+        b
+    }
+
+    /// Build a batch from owned row tuples: values move into the columns,
+    /// so strings transfer their buffers instead of being re-cloned.
+    pub fn from_owned_rows(types: &[ValueType], rows: Vec<Tuple>) -> Batch {
+        let mut b = Batch::with_capacity(types, rows.len());
+        for r in rows {
+            b.push_owned_row(r);
         }
         b
     }
@@ -89,11 +108,26 @@ impl Batch {
         self
     }
 
-    /// Append one row given as values.
+    /// Append one row given as borrowed values (clones).
     pub fn push_row(&mut self, row: &[Value]) {
         debug_assert_eq!(row.len(), self.cols.len());
         for (c, v) in row.iter().enumerate() {
             self.cols[c].push(v);
+        }
+    }
+
+    /// Append one owned row; values move into the columns without cloning.
+    pub fn push_owned_row(&mut self, row: Tuple) {
+        debug_assert_eq!(row.len(), self.cols.len());
+        for (c, v) in row.into_iter().enumerate() {
+            self.cols[c].push_owned(v);
+        }
+    }
+
+    /// Reserve room for `additional` more rows in every column.
+    pub fn reserve(&mut self, additional: usize) {
+        for c in &mut self.cols {
+            c.reserve(additional);
         }
     }
 }
@@ -144,5 +178,21 @@ mod tests {
         let mut b = batch();
         b.push_row(&[Value::Int(9), Value::Str("z".into())]);
         assert_eq!(b.num_rows(), 4);
+    }
+
+    #[test]
+    fn owned_construction_matches_borrowed() {
+        let types = [ValueType::Int, ValueType::Str];
+        let rows = vec![
+            vec![Value::Int(1), Value::Str("a".into())],
+            vec![Value::Int(2), Value::Str("b".into())],
+        ];
+        let borrowed = Batch::from_rows(&types, &rows);
+        let mut owned = Batch::from_owned_rows(&types, rows.clone());
+        assert_eq!(owned.rows(), borrowed.rows());
+        owned.reserve(16);
+        owned.push_owned_row(vec![Value::Int(3), Value::Str("c".into())]);
+        assert_eq!(owned.num_rows(), 3);
+        assert_eq!(owned.row(2), vec![Value::Int(3), Value::Str("c".into())]);
     }
 }

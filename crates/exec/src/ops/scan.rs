@@ -83,6 +83,10 @@ pub struct TableScan<'a> {
     /// RID of the first row this scan would emit (even if it emits none —
     /// e.g. a fully ghosted range); DML rank computations rely on it.
     start_rid: u64,
+    /// Visible-rid output window `[rid_lo, rid_hi)` — see
+    /// [`TableScan::clamp_rids`].
+    rid_lo: u64,
+    rid_hi: u64,
 }
 
 impl<'a> TableScan<'a> {
@@ -177,7 +181,53 @@ impl<'a> TableScan<'a> {
             vdt,
             drain_upper,
             start_rid,
+            rid_lo: 0,
+            rid_hi: u64::MAX,
         }
+    }
+
+    /// Restrict the scan's *output* to the visible positions `[lo, hi)`.
+    /// Batches before the window are skipped, the batch straddling an edge
+    /// is sliced, and the scan finishes as soon as it passes `hi` — the
+    /// early-exit positional DML (`delete_rids`, `update_col`) relies on
+    /// when collecting pre-images. Block I/O within the window is
+    /// unchanged: positions only map to blocks directly when no delta is
+    /// merged, so the clamp trims rows, not reads.
+    pub fn clamp_rids(&mut self, lo: u64, hi: u64) {
+        self.rid_lo = lo;
+        self.rid_hi = hi;
+    }
+
+    /// Slice `b` to the rid window; `None` means "outside, keep going" —
+    /// unless the scan was marked finished by passing the window's end.
+    fn clip_to_window(&mut self, b: Batch) -> Option<Batch> {
+        let start = b.rid_start;
+        let end = start + b.num_rows() as u64;
+        if start >= self.rid_hi {
+            self.finished = true;
+            return None;
+        }
+        if end <= self.rid_lo {
+            return None;
+        }
+        if start >= self.rid_lo && end <= self.rid_hi {
+            return Some(b);
+        }
+        let lo = self.rid_lo.max(start);
+        let hi = self.rid_hi.min(end);
+        let cols = b
+            .cols
+            .iter()
+            .map(|c| {
+                let mut out = ColumnVec::new(c.vtype());
+                out.extend_range(c, (lo - start) as usize, (hi - start) as usize);
+                out
+            })
+            .collect();
+        Some(Batch {
+            cols,
+            rid_start: lo,
+        })
     }
 
     /// RID of the first row this scan would emit: the rank of the scan
@@ -328,10 +378,17 @@ impl<'a> Operator for TableScan<'a> {
             let t0 = Instant::now();
             let out = self.produce();
             self.clock.charge(t0);
-            match out {
-                Some(b) if b.is_empty() && !self.finished => continue,
-                Some(b) if b.is_empty() => return None,
-                other => return other,
+            let b = out?;
+            if b.is_empty() {
+                if self.finished {
+                    return None;
+                }
+                continue;
+            }
+            match self.clip_to_window(b) {
+                Some(clipped) => return Some(clipped),
+                None if self.finished => return None,
+                None => continue,
             }
         }
     }
@@ -767,6 +824,45 @@ mod tests {
         let got = run_to_rows(&mut scan);
         let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
         assert!(keys.contains(&195) && !keys.contains(&200));
+    }
+
+    #[test]
+    fn rid_clamp_slices_and_early_exits() {
+        let t = table(20);
+        let p = updated_pdt();
+        for (lo, hi) in [(0u64, 21u64), (3, 9), (0, 1), (19, 21), (7, 7)] {
+            let io = IoTracker::new();
+            let mut full = TableScan::new(
+                &t,
+                DeltaLayers::Pdt(vec![&p]),
+                vec![0, 1, 2],
+                io.clone(),
+                ScanClock::new(),
+            );
+            let all = run_to_rows(&mut full);
+            let mut clamped = TableScan::new(
+                &t,
+                DeltaLayers::Pdt(vec![&p]),
+                vec![0, 1, 2],
+                io.clone(),
+                ScanClock::new(),
+            );
+            clamped.clamp_rids(lo, hi);
+            let want: Vec<Tuple> = all
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i as u64) >= lo && (*i as u64) < hi)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let mut got = Vec::new();
+            let mut expect_rid = lo;
+            while let Some(b) = clamped.next_batch() {
+                assert_eq!(b.rid_start, expect_rid, "clamped batches stay consecutive");
+                expect_rid += b.num_rows() as u64;
+                got.extend(b.rows());
+            }
+            assert_eq!(got, want, "window [{lo},{hi})");
+        }
     }
 
     #[test]

@@ -155,6 +155,110 @@ impl RowBuffer {
         }
     }
 
+    /// Record a whole batch of inserts in **one merge pass** over the slot
+    /// run. `rows` must be key-sorted with distinct, fresh keys (they may
+    /// re-use deleted stable keys). This is the row buffer's batch payoff:
+    /// a sorted array absorbs `k` rows in O(buffer + k) instead of the
+    /// O(buffer) *per row* that `insert` pays in memmoves.
+    pub fn insert_batch(&mut self, rows: Vec<Tuple>) {
+        if rows.is_empty() {
+            return;
+        }
+        debug_assert!(
+            rows.iter().all(|r| self.schema.validate(r)),
+            "batch rows must match the schema"
+        );
+        debug_assert!(
+            rows.windows(2)
+                .all(|w| self.sk_of(&w[0]) < self.sk_of(&w[1])),
+            "batch must be key-sorted with distinct keys"
+        );
+        let old = std::mem::take(&mut self.slots);
+        let mut merged = Vec::with_capacity(old.len() + rows.len());
+        let mut old_it = old.into_iter().peekable();
+        for row in rows {
+            let key = self.sk_of(&row);
+            while old_it.peek().is_some_and(|(k, _)| *k < key) {
+                merged.push(old_it.next().unwrap());
+            }
+            if old_it.peek().is_some_and(|(k, _)| *k == key) {
+                let (k, slot) = old_it.next().unwrap();
+                debug_assert!(matches!(slot, Slot::Tombstone), "duplicate sort key insert");
+                // reinsert over a deleted stable key, as in `insert`
+                self.tombs -= 1;
+                merged.push((
+                    k,
+                    Slot::Put {
+                        row,
+                        hides_stable: true,
+                    },
+                ));
+            } else {
+                self.news += 1;
+                merged.push((
+                    key,
+                    Slot::Put {
+                        row,
+                        hides_stable: false,
+                    },
+                ));
+            }
+        }
+        merged.extend(old_it);
+        self.slots = merged;
+    }
+
+    /// Record a batch of deletions in one merge pass (`pres` are the full
+    /// pre-images of visible tuples, in key order) — the batch analogue of
+    /// [`RowBuffer::delete`], with the same slot transitions.
+    pub fn delete_batch(&mut self, pres: &[Tuple]) {
+        if pres.is_empty() {
+            return;
+        }
+        debug_assert!(
+            pres.windows(2)
+                .all(|w| self.sk_of(&w[0]) < self.sk_of(&w[1])),
+            "batch must be key-sorted with distinct keys"
+        );
+        let old = std::mem::take(&mut self.slots);
+        let mut merged = Vec::with_capacity(old.len());
+        let mut old_it = old.into_iter().peekable();
+        for pre in pres {
+            let key = self.sk_of(pre);
+            while old_it.peek().is_some_and(|(k, _)| *k < key) {
+                merged.push(old_it.next().unwrap());
+            }
+            if old_it.peek().is_some_and(|(k, _)| *k == key) {
+                let (k, slot) = old_it.next().unwrap();
+                match slot {
+                    Slot::Put {
+                        hides_stable: false,
+                        ..
+                    } => {
+                        // buffered row with no stable tuple behind it: the
+                        // slot simply disappears
+                        self.news -= 1;
+                    }
+                    Slot::Put {
+                        hides_stable: true, ..
+                    } => {
+                        self.tombs += 1;
+                        merged.push((k, Slot::Tombstone));
+                    }
+                    Slot::Tombstone => {
+                        debug_assert!(false, "delete of an invisible key");
+                        merged.push((k, Slot::Tombstone));
+                    }
+                }
+            } else {
+                self.tombs += 1;
+                merged.push((key, Slot::Tombstone));
+            }
+        }
+        merged.extend(old_it);
+        self.slots = merged;
+    }
+
     /// Record the deletion of the visible tuple with sort key `key`.
     pub fn delete_key(&mut self, key: &[Value]) {
         match self.find(key) {
@@ -288,13 +392,19 @@ impl RowBuffer {
 }
 
 /// One staged row-level update (what a transaction logs and a commit
-/// publishes as a run).
+/// publishes as a run). Batch-staged statements keep their rows together:
+/// one op — and downstream one WAL entry — per statement, and `apply`
+/// replays them through the buffer's single-merge-pass batch paths.
 #[derive(Debug, Clone, PartialEq)]
 pub enum RowOp {
     /// A brand-new tuple (its sort key was not visible at staging time).
     Insert(Tuple),
+    /// A whole batch of brand-new tuples, key-sorted with distinct keys.
+    InsertBatch(Vec<Tuple>),
     /// Deletion of a visible tuple (full pre-image).
     Delete { pre: Tuple },
+    /// Deletion of a batch of visible tuples (full pre-images, key order).
+    DeleteBatch { pres: Vec<Tuple> },
     /// In-place modification: full pre-image, column, new value.
     Modify {
         pre: Tuple,
@@ -304,21 +414,13 @@ pub enum RowOp {
 }
 
 impl RowOp {
-    /// Sort key this op addresses.
-    pub fn key(&self, sk_cols: &[usize]) -> SkKey {
-        let t = match self {
-            RowOp::Insert(t) => t,
-            RowOp::Delete { pre } => pre,
-            RowOp::Modify { pre, .. } => pre,
-        };
-        sk_cols.iter().map(|&c| t[c].clone()).collect()
-    }
-
     /// Apply this op to a buffer (commit publication and WAL-free rebuild).
     pub fn apply(&self, buf: &mut RowBuffer) {
         match self {
             RowOp::Insert(t) => buf.insert(t.clone()),
+            RowOp::InsertBatch(ts) => buf.insert_batch(ts.clone()),
             RowOp::Delete { pre } => buf.delete(pre),
+            RowOp::DeleteBatch { pres } => buf.delete_batch(pres),
             RowOp::Modify { pre, col, value } => buf.modify(pre, *col, value.clone()),
         }
     }
@@ -351,7 +453,9 @@ impl RowRun {
                 std::mem::size_of::<RowOp>()
                     + match op {
                         RowOp::Insert(t) => tuple_bytes(t),
+                        RowOp::InsertBatch(ts) => ts.iter().map(tuple_bytes).sum(),
                         RowOp::Delete { pre } => tuple_bytes(pre),
+                        RowOp::DeleteBatch { pres } => pres.iter().map(tuple_bytes).sum(),
                         RowOp::Modify { pre, value, .. } => tuple_bytes(pre) + val_bytes(value),
                     }
             })
@@ -384,58 +488,79 @@ impl ConflictSet {
         self.inserted.is_empty() && self.deleted.is_empty() && self.modified.is_empty()
     }
 
-    /// Fold one committed run into the footprint.
+    /// Fold one committed run into the footprint. Batch ops contribute one
+    /// footprint key per contained row.
     pub fn add_run(&mut self, run: &RowRun, sk_cols: &[usize]) {
+        let key_of = |t: &Tuple| -> SkKey { sk_cols.iter().map(|&c| t[c].clone()).collect() };
         for op in &run.ops {
-            let key = op.key(sk_cols);
             match op {
-                RowOp::Insert(_) => {
-                    self.inserted.insert(key);
+                RowOp::Insert(t) => {
+                    self.inserted.insert(key_of(t));
                 }
-                RowOp::Delete { .. } => {
-                    self.deleted.insert(key);
+                RowOp::InsertBatch(ts) => {
+                    self.inserted.extend(ts.iter().map(key_of));
                 }
-                RowOp::Modify { col, .. } => {
-                    self.modified.entry(key).or_default().insert(*col);
+                RowOp::Delete { pre } => {
+                    self.deleted.insert(key_of(pre));
+                }
+                RowOp::DeleteBatch { pres } => {
+                    self.deleted.extend(pres.iter().map(key_of));
+                }
+                RowOp::Modify { pre, col, .. } => {
+                    self.modified.entry(key_of(pre)).or_default().insert(*col);
                 }
             }
         }
     }
 
     /// Validate one of *our* staged ops against the concurrent footprint.
+    /// A batch op validates item-wise: any clashing row fails the whole op
+    /// (and with it the transaction), exactly as a row loop would.
     pub fn check(&self, op: &RowOp, sk_cols: &[usize]) -> Result<(), String> {
-        let key = op.key(sk_cols);
+        let key_of = |t: &Tuple| -> SkKey { sk_cols.iter().map(|&c| t[c].clone()).collect() };
         match op {
-            RowOp::Insert(_) => {
-                if self.inserted.contains(&key) {
-                    return Err(format!("concurrent insert of sort key {key:?}"));
-                }
-            }
-            RowOp::Delete { .. } => {
-                if self.deleted.contains(&key) {
-                    return Err(format!("sort key {key:?} deleted by both transactions"));
-                }
-                if self.modified.contains_key(&key) {
-                    return Err(format!(
-                        "delete of sort key {key:?} concurrently modified by another \
-                         transaction"
-                    ));
-                }
-            }
-            RowOp::Modify { col, .. } => {
-                if self.deleted.contains(&key) {
-                    return Err(format!(
-                        "modify of sort key {key:?} concurrently deleted by another \
-                         transaction"
-                    ));
-                }
-                if let Some(cols) = self.modified.get(&key) {
-                    if cols.contains(col) {
-                        return Err(format!(
-                            "column {col} of sort key {key:?} modified by both transactions"
-                        ));
-                    }
-                }
+            RowOp::Insert(t) => self.check_insert(key_of(t)),
+            RowOp::InsertBatch(ts) => ts.iter().try_for_each(|t| self.check_insert(key_of(t))),
+            RowOp::Delete { pre } => self.check_delete(key_of(pre)),
+            RowOp::DeleteBatch { pres } => pres
+                .iter()
+                .try_for_each(|pre| self.check_delete(key_of(pre))),
+            RowOp::Modify { pre, col, .. } => self.check_modify(key_of(pre), *col),
+        }
+    }
+
+    fn check_insert(&self, key: SkKey) -> Result<(), String> {
+        if self.inserted.contains(&key) {
+            return Err(format!("concurrent insert of sort key {key:?}"));
+        }
+        Ok(())
+    }
+
+    fn check_delete(&self, key: SkKey) -> Result<(), String> {
+        if self.deleted.contains(&key) {
+            return Err(format!("sort key {key:?} deleted by both transactions"));
+        }
+        if self.modified.contains_key(&key) {
+            return Err(format!(
+                "delete of sort key {key:?} concurrently modified by another \
+                 transaction"
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_modify(&self, key: SkKey, col: usize) -> Result<(), String> {
+        if self.deleted.contains(&key) {
+            return Err(format!(
+                "modify of sort key {key:?} concurrently deleted by another \
+                 transaction"
+            ));
+        }
+        if let Some(cols) = self.modified.get(&key) {
+            if cols.contains(&col) {
+                return Err(format!(
+                    "column {col} of sort key {key:?} modified by both transactions"
+                ));
             }
         }
         Ok(())
@@ -635,6 +760,98 @@ mod tests {
                 &RowOp::Insert(vec![Value::Int(77), Value::Int(0), Value::Int(0)]),
                 &sk
             )
+            .is_ok());
+    }
+
+    #[test]
+    fn insert_batch_matches_row_at_a_time() {
+        // covers fresh keys interleaved with existing slots AND reinsert
+        // over a tombstone — the two transitions `insert` performs
+        let mut batched = buf();
+        batched.delete_key(&[Value::Int(10)]);
+        let mut looped = batched.clone();
+        let fresh: Vec<Tuple> = vec![
+            vec![Value::Int(-5), Value::Int(0)],
+            vec![Value::Int(5), Value::Int(1)],
+            vec![Value::Int(10), Value::Int(2)], // over the tombstone
+            vec![Value::Int(35), Value::Int(3)],
+        ];
+        batched.insert_batch(fresh.clone());
+        for r in fresh {
+            looped.insert(r);
+        }
+        assert_eq!(batched.slots(), looped.slots());
+        assert_eq!(batched.delta_total(), looped.delta_total());
+        assert_eq!(batched.merge_rows(&rows(3)), looped.merge_rows(&rows(3)));
+    }
+
+    #[test]
+    fn delete_batch_matches_row_at_a_time() {
+        // covers all three transitions: buffered-new slot vanishes,
+        // buffered replacement leaves a tombstone, stable key tombstoned
+        let mut batched = buf();
+        batched.insert(vec![Value::Int(5), Value::Int(1)]);
+        batched.modify(&[Value::Int(10), Value::Int(1)], 1, Value::Int(9));
+        let mut looped = batched.clone();
+        let pres: Vec<Tuple> = vec![
+            vec![Value::Int(5), Value::Int(1)],
+            vec![Value::Int(10), Value::Int(9)],
+            vec![Value::Int(20), Value::Int(2)],
+        ];
+        batched.delete_batch(&pres);
+        for pre in &pres {
+            looped.delete(pre);
+        }
+        assert_eq!(batched.slots(), looped.slots());
+        assert_eq!(batched.delta_total(), looped.delta_total());
+        assert_eq!(batched.merge_rows(&rows(3)), looped.merge_rows(&rows(3)));
+    }
+
+    #[test]
+    fn batch_ops_replay_like_loops() {
+        let mut direct = buf();
+        direct.insert_batch(vec![
+            vec![Value::Int(5), Value::Int(0)],
+            vec![Value::Int(15), Value::Int(1)],
+        ]);
+        direct.delete_batch(&[vec![Value::Int(10), Value::Int(1)]]);
+        let ops = [
+            RowOp::InsertBatch(vec![
+                vec![Value::Int(5), Value::Int(0)],
+                vec![Value::Int(15), Value::Int(1)],
+            ]),
+            RowOp::DeleteBatch {
+                pres: vec![vec![Value::Int(10), Value::Int(1)]],
+            },
+        ];
+        let mut replayed = buf();
+        for op in &ops {
+            op.apply(&mut replayed);
+        }
+        assert_eq!(replayed.slots(), direct.slots());
+        // and the conflict footprint sees every batched row
+        let sk = [0usize];
+        let mut cs = ConflictSet::new();
+        cs.add_run(
+            &RowRun {
+                version: 1,
+                ops: ops.to_vec(),
+            },
+            &sk,
+        );
+        assert!(cs
+            .check(&RowOp::Insert(vec![Value::Int(15), Value::Int(9)]), &sk)
+            .is_err());
+        assert!(cs
+            .check(
+                &RowOp::DeleteBatch {
+                    pres: vec![vec![Value::Int(10), Value::Int(1)]],
+                },
+                &sk
+            )
+            .is_err());
+        assert!(cs
+            .check(&RowOp::Insert(vec![Value::Int(99), Value::Int(9)]), &sk)
             .is_ok());
     }
 

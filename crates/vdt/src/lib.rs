@@ -91,6 +91,17 @@ impl Vdt {
         debug_assert!(prev.is_none(), "duplicate sort key insert");
     }
 
+    /// Record a whole batch of inserts in one pass (all sort keys fresh).
+    /// The value-based structure has no cheaper bulk form than keyed
+    /// insertion — every tuple still pays a key extraction and a tree
+    /// probe, which is exactly the per-row tax the paper's PDT removes —
+    /// but the batch keeps the op log and WAL at one entry per statement.
+    pub fn insert_batch(&mut self, tuples: impl IntoIterator<Item = Tuple>) {
+        for t in tuples {
+            self.insert(t);
+        }
+    }
+
     /// Record the deletion of the visible tuple with sort key `sk`.
     pub fn delete(&mut self, sk: &[Value]) -> VdtDeleteOutcome {
         let key: SkKey = sk.to_vec();

@@ -21,9 +21,16 @@ use columnar::{SkKey, Tuple, Value};
 pub enum VdtOp {
     /// A brand-new tuple (its sort key was not visible at staging time).
     Insert(Tuple),
+    /// A whole batch of brand-new tuples, staged by one statement
+    /// (key-sorted, distinct keys). One op-log entry — and one WAL entry —
+    /// per batch, not per row.
+    InsertBatch(Vec<Tuple>),
     /// Deletion of a visible tuple: full pre-image (the sort key addresses
     /// it; the rest detects concurrent modification on replay).
     Delete { pre: Tuple },
+    /// Deletion of a batch of visible tuples staged by one statement
+    /// (full pre-images in visible — i.e. key — order).
+    DeleteBatch { pres: Vec<Tuple> },
     /// In-place modification: full pre-image, column, new value.
     Modify {
         pre: Tuple,
@@ -59,34 +66,20 @@ impl VdtOp {
     /// just the first one per key.
     pub fn replay(&self, vdt: &mut Vdt) -> Result<(), String> {
         match self {
-            VdtOp::Insert(t) => {
-                let sk = Self::sk_of(vdt, t);
-                if vdt.pending_insert(&sk).is_some() {
-                    return Err(format!("concurrent insert of sort key {sk:?}"));
+            VdtOp::Insert(t) => Self::replay_insert(vdt, t),
+            VdtOp::InsertBatch(ts) => {
+                // the batch footprint validates item-wise: any clashing key
+                // aborts the whole transaction, exactly as a row loop would
+                for t in ts {
+                    Self::replay_insert(vdt, t)?;
                 }
-                vdt.insert(t.clone());
                 Ok(())
             }
-            VdtOp::Delete { pre } => {
-                let sk = Self::sk_of(vdt, pre);
-                match vdt.pending_insert(&sk) {
-                    // a pending tuple differing from our (chained) pre-image
-                    // was committed after we began: delete-vs-modify
-                    Some(p) if p != pre => {
-                        return Err(format!(
-                            "delete of sort key {sk:?} concurrently modified by \
-                             another transaction"
-                        ));
-                    }
-                    Some(_) => {}
-                    // no pending tuple but a delete marker: the tuple we
-                    // saw was concurrently deleted (delete-vs-delete)
-                    None if vdt.pending_delete(&sk) => {
-                        return Err(format!("sort key {sk:?} deleted by both transactions"));
-                    }
-                    None => {}
+            VdtOp::Delete { pre } => Self::replay_delete(vdt, pre),
+            VdtOp::DeleteBatch { pres } => {
+                for pre in pres {
+                    Self::replay_delete(vdt, pre)?;
                 }
-                vdt.delete(&sk);
                 Ok(())
             }
             VdtOp::Modify { pre, col, value } => {
@@ -114,6 +107,38 @@ impl VdtOp {
                 Ok(())
             }
         }
+    }
+
+    fn replay_insert(vdt: &mut Vdt, t: &[Value]) -> Result<(), String> {
+        let sk = Self::sk_of(vdt, t);
+        if vdt.pending_insert(&sk).is_some() {
+            return Err(format!("concurrent insert of sort key {sk:?}"));
+        }
+        vdt.insert(t.to_vec());
+        Ok(())
+    }
+
+    fn replay_delete(vdt: &mut Vdt, pre: &[Value]) -> Result<(), String> {
+        let sk = Self::sk_of(vdt, pre);
+        match vdt.pending_insert(&sk) {
+            // a pending tuple differing from our (chained) pre-image
+            // was committed after we began: delete-vs-modify
+            Some(p) if p.as_slice() != pre => {
+                return Err(format!(
+                    "delete of sort key {sk:?} concurrently modified by \
+                     another transaction"
+                ));
+            }
+            Some(_) => {}
+            // no pending tuple but a delete marker: the tuple we
+            // saw was concurrently deleted (delete-vs-delete)
+            None if vdt.pending_delete(&sk) => {
+                return Err(format!("sort key {sk:?} deleted by both transactions"));
+            }
+            None => {}
+        }
+        vdt.delete(&sk);
+        Ok(())
     }
 }
 

@@ -1,5 +1,5 @@
-//! Quickstart: create an ordered columnar table, update it through
-//! snapshot-isolated transactions, and query it — in under a minute of
+//! Quickstart: create an ordered columnar table, write to it through the
+//! batch-first transactional API, and query it — in under a minute of
 //! reading.
 //!
 //! ```text
@@ -7,9 +7,9 @@
 //! ```
 
 use columnar::{Schema, TableMeta, Value, ValueType};
-use engine::{Database, TableOptions};
+use engine::{Database, ScanSpec, TableOptions};
 use exec::expr::{col, lit};
-use exec::run_to_rows;
+use exec::{run_to_rows, Batch};
 
 fn main() {
     // 1. A database with one ordered table: events(id, kind, score),
@@ -33,20 +33,30 @@ fn main() {
         })
         .collect();
     db.create_table(
-        TableMeta::new("events", schema, vec![0]),
+        TableMeta::new("events", schema.clone(), vec![0]),
         TableOptions::default(),
         rows,
     )
     .expect("bulk load");
 
-    // 2. Updates run in snapshot-isolated transactions; they buffer in the
+    // 2. Writes are batch-first: a whole columnar batch appends with ONE
+    //    position-resolving scan, one staging call and one WAL entry —
+    //    that is where differential-store write throughput comes from.
+    //    Updates run in snapshot-isolated transactions and buffer in the
     //    table's delta structure instead of touching the stable image.
     let mut txn = db.begin();
-    txn.insert(
-        "events",
-        vec![Value::Int(7), "gamma".into(), Value::Double(99.9)],
-    )
-    .expect("insert");
+    let fresh: Vec<Vec<Value>> = [
+        (7i64, "gamma", 99.9),
+        (11, "gamma", 98.7),
+        (1999, "gamma", 97.5),
+    ]
+    .iter()
+    .map(|&(id, kind, score)| vec![Value::Int(id), kind.into(), Value::Double(score)])
+    .collect();
+    txn.append("events", Batch::from_rows(&schema.types(), &fresh))
+        .expect("batched append");
+    // predicate statements ride the same batched path internally: one
+    // victim scan, one staged batch per statement
     txn.update_where("events", col(0).eq(lit(10i64)), vec![(2, lit(1000.0))])
         .expect("update");
     txn.delete_where(
@@ -56,11 +66,32 @@ fn main() {
     .expect("delete");
     txn.commit().expect("commit");
 
-    // 3. Queries merge the deltas positionally during the scan — without
-    //    reading the sort-key column unless the query asks for it.
+    // 3. Streaming loads use an Appender: rows buffer client-side and
+    //    flush as sorted batch appends.
+    let mut txn = db.begin();
+    let mut appender = txn.appender("events").expect("appender");
+    for i in 0..500i64 {
+        appender
+            .push(vec![
+                Value::Int(2001 + i * 2),
+                Value::Str("bulk".into()),
+                Value::Double(0.0),
+            ])
+            .expect("push");
+    }
+    let loaded = appender.finish().expect("finish");
+    txn.commit().expect("commit bulk load");
+    println!("streamed {loaded} rows through the appender");
+
+    // 4. Queries merge the deltas positionally during the scan — without
+    //    reading the sort-key column unless the query asks for it. One
+    //    ScanSpec builder covers projection by name or index, sort-key
+    //    ranges and rid windows.
     let view = db.read_view();
     let io_before = view.io.stats();
-    let mut scan = view.scan_cols("events", &["kind", "score"]).expect("scan");
+    let mut scan = view
+        .scan_with("events", ScanSpec::named(["kind", "score"]))
+        .expect("scan");
     let result = run_to_rows(&mut scan);
     let io = view.io.stats().since(&io_before);
 
@@ -74,12 +105,12 @@ fn main() {
         io.bytes_read, io.blocks_read
     );
 
-    // 4. A checkpoint folds the deltas into a fresh stable image.
+    // 5. A checkpoint folds the deltas into a fresh stable image.
     db.checkpoint("events").expect("checkpoint");
     let clean = db.clean_view();
     let mut scan = clean
-        .scan_cols("events", &["id", "kind", "score"])
-        .expect("scan");
+        .scan_with("events", ScanSpec::all())
+        .expect("clean scan");
     println!(
         "rows after checkpoint (clean scan): {}",
         run_to_rows(&mut scan).len()

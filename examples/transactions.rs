@@ -9,7 +9,7 @@
 use columnar::{Schema, TableMeta, Value, ValueType};
 use engine::{Database, DbError, TableOptions};
 use exec::expr::{col, lit};
-use exec::run_to_rows;
+use exec::{run_to_rows, Batch};
 
 fn balances(db: &Database) -> Vec<(i64, i64)> {
     let view = db.read_view();
@@ -59,10 +59,16 @@ fn main() {
     }
 
     // --- snapshot isolation: a reader never sees in-flight commits -------
+    // (the writer opens a batch of accounts with ONE append — one staged
+    // batch and one WAL entry, however many rows)
     let reader = db.begin();
     let before = reader.visible_rows("accounts").unwrap();
     let mut w = db.begin();
-    w.insert("accounts", vec![Value::Int(99), Value::Int(1)])
+    let types = [ValueType::Int, ValueType::Int];
+    let burst: Vec<Vec<Value>> = (99..105i64)
+        .map(|i| vec![Value::Int(i), Value::Int(1)])
+        .collect();
+    w.append("accounts", Batch::from_rows(&types, &burst))
         .unwrap();
     w.commit().unwrap();
     assert_eq!(
@@ -71,7 +77,32 @@ fn main() {
         "reader's snapshot must be stable"
     );
     reader.abort();
-    println!("\nsnapshot isolation held: reader kept its view across a concurrent commit");
+    println!("\nsnapshot isolation held: reader kept its view across a concurrent batched commit");
+
+    // --- batched writers conflict like row-at-a-time writers -------------
+    let mut p = db.begin();
+    let mut q = db.begin();
+    p.append(
+        "accounts",
+        Batch::from_rows(&types, &[vec![Value::Int(200), Value::Int(0)]]),
+    )
+    .unwrap();
+    q.append(
+        "accounts",
+        Batch::from_rows(
+            &types,
+            &[
+                vec![Value::Int(200), Value::Int(7)],
+                vec![Value::Int(201), Value::Int(8)],
+            ],
+        ),
+    )
+    .unwrap();
+    p.commit().expect("first batched writer wins");
+    match q.commit() {
+        Err(e) => println!("overlapping batched append aborted as expected: {e}"),
+        Ok(_) => panic!("expected the overlapping batch to conflict"),
+    }
 
     // --- write-write conflict: optimistic concurrency control aborts -----
     let mut x = db.begin();

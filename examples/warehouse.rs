@@ -33,16 +33,21 @@ fn main() {
     );
 
     // trickle in the refresh streams (~0.1% of both big tables) — the same
-    // code path for both databases
+    // code path for both databases, and batch-first throughout: RF1 is one
+    // columnar `append` per table per chunk, RF2 one positional
+    // `delete_rids` write-batch per chunk for the date-ordered orders
+    // table (plus sparse-index-ranged batch deletes for lineitem)
     let streams = RefreshStreams::build(&data, 1.0);
     for db in [&pdt_db, &vdt_db] {
         apply_rf1(db, &streams, 64).expect("RF1");
         apply_rf2(db, &streams, 64).expect("RF2");
     }
     println!(
-        "applied RF1 ({} new orders) and RF2 ({} deleted orders) to both databases\n",
+        "applied RF1 ({} new orders) and RF2 ({} deleted orders) to both databases,\n\
+         one write-batch per table per {}-order chunk\n",
         streams.inserts.len(),
-        streams.delete_keys.len()
+        streams.delete_keys.len(),
+        64
     );
 
     println!(
