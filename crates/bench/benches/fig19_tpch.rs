@@ -157,8 +157,8 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
     let opts = TableOptions::default()
         .with_block_rows(4096)
         .with_compression(compressed);
-    let pdt_db = tpch::load_database(&data, opts);
-    let vdt_db = tpch::load_database(&data, opts.with_policy(UpdatePolicy::Vdt));
+    let pdt_db = tpch::load_database(&data, opts.clone());
+    let vdt_db = tpch::load_database(&data, opts.clone().with_policy(UpdatePolicy::Vdt));
     let row_db = tpch::load_database(&data, opts.with_policy(UpdatePolicy::RowStore));
 
     let mut update_secs = Vec::new();

@@ -253,6 +253,21 @@ impl EngineMicroLoad {
         compressed: bool,
         policy: engine::UpdatePolicy,
     ) -> Self {
+        Self::new_partitioned(n, nkeys, ndata, kind, compressed, policy, 1)
+    }
+
+    /// [`EngineMicroLoad::new`] with the table range-partitioned into
+    /// `parts` equi-depth slices (1 = the classic single-partition
+    /// layout) — the fig21 partition-scaling axis.
+    pub fn new_partitioned(
+        n: u64,
+        nkeys: usize,
+        ndata: usize,
+        kind: KeyKind,
+        compressed: bool,
+        policy: engine::UpdatePolicy,
+        parts: usize,
+    ) -> Self {
         let rows: Vec<Tuple> = (0..n).map(|i| micro_row(i, nkeys, ndata, kind)).collect();
         let db = engine::Database::new();
         let meta =
@@ -261,7 +276,12 @@ impl EngineMicroLoad {
             meta,
             engine::TableOptions::default()
                 .with_compression(compressed)
-                .with_policy(policy),
+                .with_policy(policy)
+                .with_partitions(if parts > 1 {
+                    engine::PartitionSpec::Count(parts)
+                } else {
+                    engine::PartitionSpec::None
+                }),
             rows,
         )
         .expect("bulk load micro db");
@@ -279,6 +299,25 @@ impl EngineMicroLoad {
 
     pub fn db(&self) -> &engine::Database {
         &self.db
+    }
+
+    /// Reserve `count` unused inter-row gaps (distinct from every gap the
+    /// update stream or an earlier reservation used) — benches build
+    /// collision-free fresh-key batches from these.
+    pub fn fresh_gaps(&mut self, count: u64) -> Vec<u64> {
+        let mut gaps = Vec::with_capacity(count as usize);
+        while (gaps.len() as u64) < count && (self.used_gaps.len() as u64) < self.n {
+            let g = self.rng.below(self.n);
+            if self.used_gaps.insert(g) {
+                gaps.push(g);
+            }
+        }
+        gaps
+    }
+
+    /// Key layout width (for building fresh rows outside the loader).
+    pub fn nkeys(&self) -> usize {
+        self.nkeys
     }
 
     /// Apply updates until `total` have been issued since creation (one

@@ -33,36 +33,24 @@
 
 use crate::batch::DmlBatch;
 use crate::delta::{DeltaSnapshot, DeltaStore, DeltaTxn};
+use crate::partition::{self, TableEntry};
 use crate::{Database, DbError, ScanSpec};
 use columnar::{ColumnVec, Schema, StableTable, Tuple, Value, ValueType};
 use exec::expr::Expr;
-use exec::{Batch, DeltaLayers, Operator, ScanBounds, TableScan};
+use exec::{Batch, DeltaLayers, Operator, ScanBounds, ScanSegment, TableScan};
 use std::collections::HashMap;
 use std::sync::Arc;
 use txn::wal::WalEntry;
 
-/// Per-table state captured at transaction begin.
-pub(crate) struct TxnTable {
+/// One partition's state captured at transaction begin.
+pub(crate) struct TxnPart {
     stable: Arc<StableTable>,
     store: Arc<dyn DeltaStore>,
     snap: Arc<dyn DeltaSnapshot>,
     staged: Option<Box<dyn DeltaTxn>>,
 }
 
-impl TxnTable {
-    pub(crate) fn new(
-        stable: Arc<StableTable>,
-        store: Arc<dyn DeltaStore>,
-        snap: Arc<dyn DeltaSnapshot>,
-    ) -> Self {
-        TxnTable {
-            stable,
-            store,
-            snap,
-            staged: None,
-        }
-    }
-
+impl TxnPart {
     fn layers(&self) -> DeltaLayers<'_> {
         match &self.staged {
             Some(s) => s.layers(),
@@ -75,6 +63,72 @@ impl TxnTable {
             Some(s) => s.delta_total(),
             None => self.snap.delta_total(),
         }
+    }
+
+    /// Visible rows of this partition under the transaction's view
+    /// (staged updates included).
+    fn visible(&self) -> u64 {
+        (self.stable.row_count() as i64 + self.delta_total()) as u64
+    }
+}
+
+/// Per-table state captured at transaction begin: one [`TxnPart`] per
+/// partition, plus the split points that route writes between them.
+pub(crate) struct TxnTable {
+    parts: Vec<TxnPart>,
+    splits: Vec<Vec<Value>>,
+}
+
+impl TxnTable {
+    pub(crate) fn new(entry: &TableEntry) -> Self {
+        TxnTable {
+            parts: entry
+                .parts
+                .iter()
+                .map(|p| TxnPart {
+                    stable: p.stable.clone(),
+                    store: p.delta.clone(),
+                    snap: p.delta.snapshot(),
+                    staged: None,
+                })
+                .collect(),
+            splits: entry.splits.clone(),
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        self.parts[0].stable.schema()
+    }
+
+    fn sk_cols(&self) -> &[usize] {
+        self.parts[0].stable.sort_key().cols()
+    }
+
+    /// Partition owning sort key `key`.
+    fn route(&self, key: &[Value]) -> usize {
+        partition::route(&self.splits, key)
+    }
+
+    /// The partition segments a scan must union, with global rid bases.
+    fn segments(&self) -> Vec<ScanSegment<'_>> {
+        partition::build_segments(
+            self.parts
+                .iter()
+                .map(|p| (&*p.stable, p.layers(), p.visible())),
+        )
+    }
+
+    /// Cumulative visible-row offsets: `offsets[p]` is the global RID of
+    /// partition `p`'s first row, `offsets[nparts]` the total.
+    fn visible_offsets(&self) -> Vec<u64> {
+        let mut offsets = Vec::with_capacity(self.parts.len() + 1);
+        let mut base = 0u64;
+        offsets.push(0);
+        for p in &self.parts {
+            base += p.visible();
+            offsets.push(base);
+        }
+        offsets
     }
 }
 
@@ -107,27 +161,54 @@ impl<'db> DbTxn<'db> {
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))
     }
 
-    /// The staging area for `table`, created on first update.
-    fn staged_mut(&mut self, table: &str) -> Result<&mut dyn DeltaTxn, DbError> {
+    /// The staging area of one partition of `table`, created on first
+    /// update.
+    fn staged_mut(&mut self, table: &str, part: usize) -> Result<&mut dyn DeltaTxn, DbError> {
         let start_seq = self.start_seq;
         let t = self
             .tables
             .get_mut(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
-        Ok(t.staged
-            .get_or_insert_with(|| t.store.begin(&t.snap, start_seq))
+        let p = &mut t.parts[part];
+        Ok(p.staged
+            .get_or_insert_with(|| p.store.begin(&p.snap, start_seq))
             .as_mut())
     }
 
     /// Open a scan described by a [`ScanSpec`] under this transaction's
     /// view (including its own uncommitted updates) — the one scan entry
-    /// point; the wrappers below forward here.
+    /// point; the wrappers below forward here. Partitioned tables scan as
+    /// a sequential union with globally consecutive RIDs.
     pub fn scan_with(&self, table: &str, spec: ScanSpec) -> Result<TableScan<'_>, DbError> {
         let t = self.table(table)?;
         spec.open(
             table,
-            &t.stable,
-            t.layers(),
+            t.schema(),
+            t.segments(),
+            self.db.io().clone(),
+            self.db.clock().clone(),
+        )
+    }
+
+    /// Scan **one partition** under this transaction's view, with
+    /// partition-local RIDs — the unit the positional write paths rank
+    /// and collect against.
+    fn scan_partition(
+        &self,
+        table: &str,
+        part: usize,
+        spec: ScanSpec,
+    ) -> Result<TableScan<'_>, DbError> {
+        let t = self.table(table)?;
+        let p = &t.parts[part];
+        spec.open(
+            table,
+            t.schema(),
+            vec![ScanSegment {
+                stable: &p.stable,
+                layers: p.layers(),
+                rid_base: 0,
+            }],
             self.db.io().clone(),
             self.db.clock().clone(),
         )
@@ -150,25 +231,28 @@ impl<'db> DbTxn<'db> {
         self.scan_with(table, ScanSpec::cols(proj))
     }
 
-    /// Total visible rows of `table` under this transaction's view.
+    /// Total visible rows of `table` under this transaction's view,
+    /// summed over partitions.
     pub fn visible_rows(&self, table: &str) -> Result<u64, DbError> {
-        let t = self.table(table)?;
-        Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
+        Ok(self.table(table)?.parts.iter().map(TxnPart::visible).sum())
     }
 
     /// APPEND a whole columnar batch of new rows; each row's position
     /// follows from the table's sort order. This is the paper's
     /// `SELECT rid WHERE SK > sk ORDER BY rid LIMIT 1` insert-positioning
-    /// flow, amortized: **one** sparse-index-ranged scan resolves every
-    /// row's rank (and rejects duplicate sort keys — intra-batch or
-    /// against the visible image) before a single [`DeltaTxn::stage_batch`]
-    /// call stages the statement. Rows need not arrive sorted. Returns the
-    /// number of rows appended; on error nothing is staged.
+    /// flow, amortized: the batch is routed to its partitions by sort-key
+    /// range, and **one** sparse-index-ranged scan per touched partition
+    /// resolves every row's rank (and rejects duplicate sort keys —
+    /// intra-batch or against the visible image) before a single
+    /// [`DeltaTxn::stage_batch`] call per partition stages the statement.
+    /// Rows need not arrive sorted. Returns the number of rows appended;
+    /// on error nothing is staged.
     pub fn append(&mut self, table: &str, rows: Batch) -> Result<usize, DbError> {
         let n = rows.num_rows();
         let t = self.table(table)?;
-        let schema = t.stable.schema().clone();
-        let sk_cols: Vec<usize> = t.stable.sort_key().cols().to_vec();
+        let schema = t.schema().clone();
+        let sk_cols: Vec<usize> = t.sk_cols().to_vec();
+        let nparts = t.parts.len();
         validate_batch_shape(table, &schema, &rows)?;
         if n == 0 {
             return Ok(0);
@@ -187,70 +271,107 @@ impl<'db> DbTxn<'db> {
                 });
             }
         }
-        // one ranged scan over [min key, max key] ranks every row: a row's
-        // base rid is the rank of the first visible row with a greater key
-        // (the rank of the range end when none is), exactly the per-row
-        // flow — fully ghosted ranges fall back to the scan's start rank
-        let lo = keys[order[0]].clone();
-        let hi = keys[order[n - 1]].clone();
+        // route the key-ordered batch to its partitions (keys are sorted,
+        // so each partition's slice stays sorted)
+        let t = self.table(table)?;
+        let mut groups: Vec<Vec<usize>> = (0..nparts).map(|_| Vec::new()).collect();
+        for &i in &order {
+            groups[t.route(&keys[i])].push(i);
+        }
+        // rank every partition's slice first (read-only), so a duplicate
+        // detected in a later partition leaves nothing staged
+        let mut ranked: Vec<(usize, Vec<u64>)> = Vec::new();
+        for (p, idx) in groups.iter().enumerate() {
+            if idx.is_empty() {
+                continue;
+            }
+            let pkeys: Vec<&[Value]> = idx.iter().map(|&i| keys[i].as_slice()).collect();
+            let base = self.rank_in_partition(table, p, &sk_cols, &pkeys)?;
+            // final positions include the intra-batch shift: the j-th row
+            // of the partition's slice (in key order) lands j places after
+            // its pre-batch rank
+            let rids: Vec<u64> = base
+                .iter()
+                .enumerate()
+                .map(|(j, &b)| b + j as u64)
+                .collect();
+            ranked.push((p, rids));
+        }
+        // stage per partition; a single-partition, already-sorted input
+        // (the common bulk-load case) moves straight through — only
+        // out-of-order or cross-partition batches pay the gather copy
+        let mut rows = Some(rows);
+        for (p, rids) in ranked {
+            let idx = &groups[p];
+            let sub = if idx.len() == n && idx.iter().enumerate().all(|(i, &o)| i == o) {
+                rows.take().expect("whole batch moves once")
+            } else {
+                rows.as_ref()
+                    .expect("batch retained for gathers")
+                    .gather(idx)
+            };
+            self.staged_mut(table, p)?
+                .stage_batch(&DmlBatch::Insert { rids, rows: sub });
+        }
+        Ok(n)
+    }
+
+    /// Rank sorted `keys` against one partition with a single
+    /// sparse-index-ranged scan: a key's base rid is the partition-local
+    /// rank of the first visible row with a greater key (the rank of the
+    /// range end when none is) — fully ghosted ranges fall back to the
+    /// scan's start rank. Detects duplicates against the visible image.
+    fn rank_in_partition(
+        &self,
+        table: &str,
+        part: usize,
+        sk_cols: &[usize],
+        keys: &[&[Value]],
+    ) -> Result<Vec<u64>, DbError> {
+        let n = keys.len();
+        let lo = keys[0].to_vec();
+        let hi = keys[n - 1].to_vec();
         let mut base: Vec<u64> = Vec::with_capacity(n);
-        {
-            let mut scan =
-                self.scan_with(table, ScanSpec::cols(sk_cols.clone()).key_range(lo, hi))?;
-            let mut last_end = scan.start_rid();
-            let mut k = 0usize;
-            'scan: while let Some(b) = scan.next_batch() {
-                for i in 0..b.num_rows() {
-                    let vis: Vec<Value> = b.cols.iter().map(|c| c.get(i)).collect();
-                    while k < n {
-                        match keys[order[k]].cmp(&vis) {
-                            std::cmp::Ordering::Less => {
-                                base.push(b.rid_start + i as u64);
-                                k += 1;
-                            }
-                            std::cmp::Ordering::Equal => {
-                                return Err(DbError::DuplicateKey {
-                                    table: table.to_string(),
-                                    key: keys[order[k]].clone(),
-                                });
-                            }
-                            std::cmp::Ordering::Greater => break,
+        let mut scan = self.scan_partition(
+            table,
+            part,
+            ScanSpec::cols(sk_cols.to_vec()).key_range(lo, hi),
+        )?;
+        let mut last_end = scan.start_rid();
+        let mut k = 0usize;
+        'scan: while let Some(b) = scan.next_batch() {
+            for i in 0..b.num_rows() {
+                let vis: Vec<Value> = b.cols.iter().map(|c| c.get(i)).collect();
+                while k < n {
+                    match keys[k].cmp(&vis[..]) {
+                        std::cmp::Ordering::Less => {
+                            base.push(b.rid_start + i as u64);
+                            k += 1;
                         }
-                    }
-                    if k == n {
-                        break 'scan;
+                        std::cmp::Ordering::Equal => {
+                            return Err(DbError::DuplicateKey {
+                                table: table.to_string(),
+                                key: keys[k].to_vec(),
+                            });
+                        }
+                        std::cmp::Ordering::Greater => break,
                     }
                 }
-                last_end = b.rid_start + b.num_rows() as u64;
+                if k == n {
+                    break 'scan;
+                }
             }
-            // rows past every scanned key rank at the range end
-            base.resize(n, last_end);
+            last_end = b.rid_start + b.num_rows() as u64;
         }
-        // final positions include the intra-batch shift: the i-th row (in
-        // key order) lands i places after its pre-batch rank
-        let rids: Vec<u64> = base
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| b + i as u64)
-            .collect();
-        // already-sorted input (the common bulk-load case) moves straight
-        // through; only out-of-order batches pay the gather copy
-        let sorted_rows = if order.iter().enumerate().all(|(i, &o)| i == o) {
-            rows
-        } else {
-            rows.gather(&order)
-        };
-        self.staged_mut(table)?.stage_batch(&DmlBatch::Insert {
-            rids,
-            rows: sorted_rows,
-        });
-        Ok(n)
+        // keys past every scanned row rank at the range end
+        base.resize(n, last_end);
+        Ok(base)
     }
 
     /// INSERT a tuple; its position follows from the table's sort order.
     /// The one-row special case of [`DbTxn::append`].
     pub fn insert(&mut self, table: &str, tuple: Tuple) -> Result<(), DbError> {
-        let schema = self.table(table)?.stable.schema().clone();
+        let schema = self.table(table)?.schema().clone();
         validate_tuple(table, &schema, &tuple)?;
         let types = schema.types();
         self.append(table, Batch::from_owned_rows(&types, vec![tuple]))?;
@@ -260,7 +381,7 @@ impl<'db> DbTxn<'db> {
     /// A streaming bulk-load handle: rows buffer client-side and flush as
     /// sorted batch appends of `batch_rows` (default 4096) rows each.
     pub fn appender<'t>(&'t mut self, table: &str) -> Result<Appender<'t, 'db>, DbError> {
-        let schema = self.table(table)?.stable.schema().clone();
+        let schema = self.table(table)?.schema().clone();
         let types = schema.types();
         Ok(Appender {
             buf: Batch::with_capacity(&types, 0),
@@ -285,7 +406,7 @@ impl<'db> DbTxn<'db> {
         victims: &Batch,
         new_rows: &Batch,
     ) -> Result<(), DbError> {
-        let sk_cols: Vec<usize> = self.table(table)?.stable.sort_key().cols().to_vec();
+        let sk_cols: Vec<usize> = self.table(table)?.sk_cols().to_vec();
         let key_at = |b: &Batch, i: usize| -> Vec<Value> {
             sk_cols.iter().map(|&c| b.cols[c].get(i)).collect()
         };
@@ -330,9 +451,10 @@ impl<'db> DbTxn<'db> {
     }
 
     /// Full pre-images of the visible rows at `rids` (sorted ascending and
-    /// distinct), collected with one rid-clamped scan.
+    /// distinct, global positions), collected with one rid-clamped union
+    /// scan (partitions outside the window are skipped).
     fn collect_rows_at(&self, table: &str, rids: &[u64]) -> Result<Batch, DbError> {
-        let schema = self.table(table)?.stable.schema().clone();
+        let schema = self.table(table)?.schema().clone();
         let mut pre = Batch::with_capacity(&schema.types(), rids.len());
         let Some((&first, &last)) = rids.first().zip(rids.last()) else {
             return Ok(pre);
@@ -357,10 +479,107 @@ impl<'db> DbTxn<'db> {
         Ok(pre)
     }
 
+    /// Stage a globally-addressed positional statement, split into one
+    /// [`DmlBatch`] per touched partition with partition-local rids:
+    /// `make(local_rids, slice)` builds each partition's batch, where
+    /// `slice` is the statement's index range for that partition (`None` =
+    /// the whole statement — the single-partition fast path, which moves
+    /// the payload instead of slicing it). `rids` ascending and distinct.
+    /// Infallible once inputs are validated, so multi-partition statements
+    /// stay atomic (nothing stages after an error).
+    fn stage_split_positional(
+        &mut self,
+        table: &str,
+        rids: Vec<u64>,
+        mut make: impl FnMut(Vec<u64>, Option<std::ops::Range<usize>>) -> DmlBatch,
+    ) -> Result<(), DbError> {
+        let (nparts, offsets) = {
+            let t = self.table(table)?;
+            (t.parts.len(), t.visible_offsets())
+        };
+        if nparts == 1 {
+            let batch = make(rids, None);
+            self.staged_mut(table, 0)?.stage_batch(&batch);
+            return Ok(());
+        }
+        let pieces = split_by_offsets(&offsets, &rids);
+        // a statement whose victims all land in one partition still moves
+        // its payload instead of slicing a full copy
+        if let [(p, range)] = pieces.as_slice() {
+            debug_assert_eq!(*range, 0..rids.len());
+            let local: Vec<u64> = rids.iter().map(|&r| r - offsets[*p]).collect();
+            let batch = make(local, None);
+            self.staged_mut(table, *p)?.stage_batch(&batch);
+            return Ok(());
+        }
+        for (p, range) in pieces {
+            let local: Vec<u64> = rids[range.clone()]
+                .iter()
+                .map(|&r| r - offsets[p])
+                .collect();
+            let batch = make(local, Some(range));
+            self.staged_mut(table, p)?.stage_batch(&batch);
+        }
+        Ok(())
+    }
+
+    /// Per-partition positional delete (see
+    /// [`DbTxn::stage_split_positional`]).
+    fn stage_delete_batch(
+        &mut self,
+        table: &str,
+        rids: Vec<u64>,
+        pre: Batch,
+    ) -> Result<(), DbError> {
+        let mut pre = Some(pre);
+        self.stage_split_positional(table, rids, |rids, slice| DmlBatch::Delete {
+            rids,
+            pre: match slice {
+                None => pre.take().expect("whole statement moves once"),
+                Some(r) => slice_rows(pre.as_ref().expect("payload retained"), r),
+            },
+        })
+    }
+
+    /// Per-partition positional single-column update (see
+    /// [`DbTxn::stage_split_positional`]).
+    fn stage_update_batch(
+        &mut self,
+        table: &str,
+        rids: Vec<u64>,
+        col: usize,
+        values: ColumnVec,
+        pre: Batch,
+    ) -> Result<(), DbError> {
+        let mut payload = Some((values, pre));
+        self.stage_split_positional(table, rids, |rids, slice| match slice {
+            None => {
+                let (values, pre) = payload.take().expect("whole statement moves once");
+                DmlBatch::UpdateCol {
+                    rids,
+                    col,
+                    values,
+                    pre,
+                }
+            }
+            Some(r) => {
+                let (values, pre) = payload.as_ref().expect("payload retained");
+                let mut vals = ColumnVec::new(values.vtype());
+                vals.extend_range(values, r.start, r.end);
+                DmlBatch::UpdateCol {
+                    rids,
+                    col,
+                    values: vals,
+                    pre: slice_rows(pre, r),
+                }
+            }
+        })
+    }
+
     /// DELETE the visible rows at the given positions (any order,
     /// duplicates ignored). One scan collects the pre-images, one
-    /// [`DeltaTxn::stage_batch`] call stages the statement. Returns the
-    /// number of deleted rows.
+    /// [`DeltaTxn::stage_batch`] call per touched partition stages the
+    /// statement. Returns the number of deleted rows.
     pub fn delete_rids(&mut self, table: &str, rids: &[u64]) -> Result<usize, DbError> {
         let visible = self.visible_rows(table)?;
         let mut sorted = rids.to_vec();
@@ -377,8 +596,7 @@ impl<'db> DbTxn<'db> {
         }
         let pre = self.collect_rows_at(table, &sorted)?;
         let n = sorted.len();
-        self.staged_mut(table)?
-            .stage_batch(&DmlBatch::Delete { rids: sorted, pre });
+        self.stage_delete_batch(table, sorted, pre)?;
         Ok(n)
     }
 
@@ -394,8 +612,8 @@ impl<'db> DbTxn<'db> {
         values: ColumnVec,
     ) -> Result<usize, DbError> {
         let t = self.table(table)?;
-        let schema = t.stable.schema().clone();
-        let sk_cols: Vec<usize> = t.stable.sort_key().cols().to_vec();
+        let schema = t.schema().clone();
+        let sk_cols: Vec<usize> = t.sk_cols().to_vec();
         if col >= schema.len() {
             return Err(batch_shape(
                 table,
@@ -452,21 +670,18 @@ impl<'db> DbTxn<'db> {
             }
             self.stage_key_rewrite(table, sorted_rids, pre, new_rows)?;
         } else {
-            self.staged_mut(table)?.stage_batch(&DmlBatch::UpdateCol {
-                rids: sorted_rids,
-                col,
-                values: sorted_vals,
-                pre,
-            });
+            self.stage_update_batch(table, sorted_rids, col, sorted_vals, pre)?;
         }
         Ok(n)
     }
 
     /// The §2.1 sort-key rewrite shared by [`DbTxn::update_col`] and
     /// [`DbTxn::update_where_ranged`]: delete the victims, re-append the
-    /// rewritten rows (which re-rank themselves). Key collisions are
-    /// checked **before anything is staged**, so a rejected statement
-    /// leaves the transaction untouched.
+    /// rewritten rows (which re-rank themselves — and re-*route*
+    /// themselves: a key rewrite may move a row to a different
+    /// partition). Key collisions are checked **before anything is
+    /// staged**, so a rejected statement leaves the transaction
+    /// untouched.
     fn stage_key_rewrite(
         &mut self,
         table: &str,
@@ -475,8 +690,7 @@ impl<'db> DbTxn<'db> {
         new_rows: Batch,
     ) -> Result<(), DbError> {
         self.check_rewrite_keys(table, &pre, &new_rows)?;
-        self.staged_mut(table)?
-            .stage_batch(&DmlBatch::Delete { rids, pre });
+        self.stage_delete_batch(table, rids, pre)?;
         self.append(table, new_rows)?;
         Ok(())
     }
@@ -495,7 +709,7 @@ impl<'db> DbTxn<'db> {
         pred: Expr,
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
-        let schema = self.table(table)?.stable.schema().clone();
+        let schema = self.table(table)?.schema().clone();
         // collect victims (RID + full pre-image) under the current view
         let mut rids: Vec<u64> = Vec::new();
         let mut pre = Batch::empty(&schema.types());
@@ -514,8 +728,7 @@ impl<'db> DbTxn<'db> {
         }
         let n = rids.len();
         if n > 0 {
-            self.staged_mut(table)?
-                .stage_batch(&DmlBatch::Delete { rids, pre });
+            self.stage_delete_batch(table, rids, pre)?;
         }
         Ok(n)
     }
@@ -543,10 +756,10 @@ impl<'db> DbTxn<'db> {
         sets: Vec<(usize, Expr)>,
         bounds: ScanBounds,
     ) -> Result<usize, DbError> {
-        let stable = self.table(table)?.stable.clone();
-        let schema = stable.schema().clone();
+        let t = self.table(table)?;
+        let schema = t.schema().clone();
         let types = schema.types();
-        let sk_cols: Vec<usize> = stable.sort_key().cols().to_vec();
+        let sk_cols: Vec<usize> = t.sk_cols().to_vec();
         let touches_sk = sets.iter().any(|(c, _)| sk_cols.contains(c));
 
         // victims with their new values, evaluated batch-wise and gathered
@@ -595,7 +808,6 @@ impl<'db> DbTxn<'db> {
             // one staged batch per assigned column; the last one takes the
             // shared rid/pre-image payload by move, so the common
             // single-column statement never clones it
-            let staged = self.staged_mut(table)?;
             let nsets = sets.len();
             let mut rids = rids;
             let mut pre = pre;
@@ -606,59 +818,61 @@ impl<'db> DbTxn<'db> {
                 } else {
                     (rids.clone(), pre.clone())
                 };
-                staged.stage_batch(&DmlBatch::UpdateCol {
-                    rids: r,
-                    col: *col,
-                    values: vals.expect("evaluated with victims"),
-                    pre: p,
-                });
+                self.stage_update_batch(table, r, *col, vals.expect("evaluated with victims"), p)?;
             }
         }
         Ok(n)
     }
 
-    /// Commit: prepare every touched table (Serialize for PDT tables,
-    /// key-addressed replay validation for VDT tables), append one WAL
-    /// record, publish everything at one commit sequence. On conflict the
-    /// transaction is gone and the error describes the clash.
+    /// Commit: prepare every touched partition of every touched table
+    /// (Serialize for PDT partitions, key-addressed replay validation for
+    /// value-store partitions — each partition validates only its own
+    /// footprint), append one partition-tagged WAL record, publish
+    /// everything at one commit sequence. On conflict the transaction is
+    /// gone and the error describes the clash.
     pub fn commit(self) -> Result<u64, DbError> {
         let mgr = &self.db.txn_mgr;
         let _commit = mgr.commit_guard();
-        let mut touched: Vec<(String, TxnTable)> = self
-            .tables
-            .into_iter()
-            .filter(|(_, t)| t.staged.as_ref().is_some_and(|s| s.is_dirty()))
-            .collect();
-        // deterministic table order (WAL records, lock-free publishes)
-        touched.sort_by(|a, b| a.0.cmp(&b.0));
+        // flatten to the touched (table, partition) list, deterministic
+        // order (WAL records, lock-free publishes)
+        let mut touched: Vec<(String, u32, TxnPart)> = Vec::new();
+        let mut tables: Vec<(String, TxnTable)> = self.tables.into_iter().collect();
+        tables.sort_by(|a, b| a.0.cmp(&b.0));
+        for (name, t) in tables {
+            for (p, part) in t.parts.into_iter().enumerate() {
+                if part.staged.as_ref().is_some_and(|s| s.is_dirty()) {
+                    touched.push((name.clone(), p as u32, part));
+                }
+            }
+        }
         if touched.is_empty() {
             // read-only transaction: nothing to do, no new sequence needed
             mgr.end_txn(self.id);
             return Ok(mgr.seq());
         }
         // Phase 1: validate everything, failing wholesale on any conflict.
-        for (_, t) in touched.iter_mut() {
-            let staged = t.staged.as_mut().expect("filtered on staged").as_mut();
-            if let Err(e) = t.store.prepare(staged) {
+        for (_, _, part) in touched.iter_mut() {
+            let staged = part.staged.as_mut().expect("filtered on staged").as_mut();
+            if let Err(e) = part.store.prepare(staged) {
                 mgr.end_txn(self.id);
                 return Err(e);
             }
         }
         // Durability before visibility: one record for the whole commit.
-        // The per-table flattenings also ride along to `publish` — stores
-        // that checkpoint by residual replay retain them until a marker
-        // covers them.
-        let entries: Vec<(String, Vec<WalEntry>)> = touched
+        // The per-partition flattenings also ride along to `publish` —
+        // stores that checkpoint by residual replay retain them until a
+        // marker covers them.
+        let entries: Vec<(String, u32, Vec<WalEntry>)> = touched
             .iter()
-            .map(|(name, t)| {
-                let staged = t.staged.as_ref().expect("filtered on staged").as_ref();
-                (name.clone(), t.store.wal_entries(staged))
+            .map(|(name, p, part)| {
+                let staged = part.staged.as_ref().expect("filtered on staged").as_ref();
+                (name.clone(), *p, part.store.wal_entries(staged))
             })
             .collect();
-        let logged: Vec<(&str, &[WalEntry])> = entries
+        let logged: Vec<(&str, u32, &[WalEntry])> = entries
             .iter()
-            .filter(|(_, e)| !e.is_empty())
-            .map(|(t, e)| (t.as_str(), e.as_slice()))
+            .filter(|(_, _, e)| !e.is_empty())
+            .map(|(t, p, e)| (t.as_str(), *p, e.as_slice()))
             .collect();
         let seq = mgr.alloc_seq();
         if let Err(e) = mgr.log_commit(seq, &logged) {
@@ -666,9 +880,9 @@ impl<'db> DbTxn<'db> {
             return Err(e.into());
         }
         // Phase 2: publish (infallible).
-        for ((_, mut t), (_, table_entries)) in touched.into_iter().zip(entries) {
-            let staged = t.staged.take().expect("filtered on staged");
-            t.store.publish(staged, seq, &table_entries);
+        for ((_, _, mut part), (_, _, part_entries)) in touched.into_iter().zip(entries) {
+            let staged = part.staged.take().expect("filtered on staged");
+            part.store.publish(staged, seq, &part_entries);
         }
         mgr.end_txn(self.id);
         Ok(seq)
@@ -810,6 +1024,42 @@ fn validate_tuple(table: &str, schema: &Schema, tuple: &[Value]) -> Result<(), D
         }
     }
     Ok(())
+}
+
+/// Split ascending global `rids` into per-partition index ranges:
+/// partition `p` owns the rids in `[offsets[p], offsets[p+1])`. Only
+/// partitions with victims are returned.
+fn split_by_offsets(offsets: &[u64], rids: &[u64]) -> Vec<(usize, std::ops::Range<usize>)> {
+    let nparts = offsets.len() - 1;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    for p in 0..nparts {
+        let start = i;
+        while i < rids.len() && rids[i] < offsets[p + 1] {
+            i += 1;
+        }
+        if i > start {
+            out.push((p, start..i));
+        }
+    }
+    out
+}
+
+/// Copy a contiguous row range of `src` into a fresh batch (the
+/// per-partition slice of a multi-partition positional statement).
+fn slice_rows(src: &Batch, range: std::ops::Range<usize>) -> Batch {
+    Batch {
+        cols: src
+            .cols
+            .iter()
+            .map(|c| {
+                let mut out = ColumnVec::new(c.vtype());
+                out.extend_range(c, range.start, range.end);
+                out
+            })
+            .collect(),
+        rid_start: 0,
+    }
 }
 
 /// Append the rows of `src` at `idx` onto `dst` column-wise (the

@@ -38,6 +38,7 @@ pub mod batch;
 pub mod delta;
 pub mod dml;
 pub mod maintenance;
+pub mod partition;
 pub mod rowstore;
 pub mod testkit;
 
@@ -47,12 +48,18 @@ pub use delta::{
     ALL_POLICIES,
 };
 pub use dml::{Appender, DbTxn};
-pub use maintenance::{MaintenanceConfig, MaintenanceScheduler, MaintenanceStats};
+pub use maintenance::{
+    MaintenanceConfig, MaintenancePartitionStats, MaintenanceScheduler, MaintenanceStats,
+};
+pub use partition::PartitionSpec;
 pub use rowstore::RowStore;
 
 use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
-use exec::{DeltaLayers, ScanBounds, ScanClock, TableScan};
-use parking_lot::{Mutex, RwLock};
+use exec::{
+    DeltaLayers, Operator, ParallelUnionScan, ScanBounds, ScanClock, ScanSegment, TableScan,
+};
+use parking_lot::RwLock;
+use partition::{PartitionEntry, TableEntry};
 use std::collections::HashMap;
 use std::fmt;
 use std::path::Path;
@@ -84,6 +91,13 @@ pub enum DbError {
         table: String,
         detail: String,
     },
+    /// An invalid [`PartitionSpec`] (unsorted/duplicate split points, zero
+    /// partitions), or a WAL/caller referenced a partition the table does
+    /// not have.
+    Partition {
+        table: String,
+        detail: String,
+    },
     Storage(ColumnarError),
     Txn(TxnError),
     Io(std::io::Error),
@@ -104,6 +118,9 @@ impl fmt::Display for DbError {
             }
             DbError::BatchShape { table, detail } => {
                 write!(f, "batch does not fit table {table}: {detail}")
+            }
+            DbError::Partition { table, detail } => {
+                write!(f, "bad partitioning of table {table}: {detail}")
             }
             DbError::Storage(e) => write!(f, "storage error: {e}"),
             DbError::Txn(e) => write!(f, "transaction error: {e}"),
@@ -142,7 +159,7 @@ impl From<TxnError> for DbError {
 /// per-scan `ScanMode` plumbing: the policy is a property of the *table*,
 /// fixed at creation, and every scan of the table merges the structure the
 /// table is maintained by.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableOptions {
     /// Rows per block (the scan/merge granularity). Default 4096.
     pub block_rows: usize,
@@ -151,15 +168,19 @@ pub struct TableOptions {
     pub compressed: bool,
     /// Which update structure maintains the table. Default PDT.
     pub policy: UpdatePolicy,
-    /// Write-layer byte budget: the background scheduler flushes the
-    /// write-optimised delta layer into the read-optimised one once it
-    /// exceeds this (the paper's Propagate policy — keep the Write-PDT
-    /// CPU-cache-sized). Default 1 MiB.
+    /// Write-layer byte budget **per partition**: the background scheduler
+    /// flushes a partition's write-optimised delta layer into its
+    /// read-optimised one once it exceeds this (the paper's Propagate
+    /// policy — keep the Write-PDT CPU-cache-sized). Default 1 MiB.
     pub flush_threshold_bytes: usize,
-    /// Total delta byte budget: the background scheduler checkpoints the
-    /// table into a fresh stable image once all committed delta layers
-    /// exceed this. Default 64 MiB.
+    /// Total delta byte budget **per partition**: the background scheduler
+    /// checkpoints a partition into a fresh stable slice once its
+    /// committed delta layers exceed this. Default 64 MiB.
     pub checkpoint_threshold_bytes: usize,
+    /// Horizontal range partitioning ([`PartitionSpec::None`] — the
+    /// default — keeps one partition and is behaviorally identical to the
+    /// pre-partitioning engine).
+    pub partitions: PartitionSpec,
 }
 
 impl Default for TableOptions {
@@ -170,6 +191,7 @@ impl Default for TableOptions {
             policy: UpdatePolicy::Pdt,
             flush_threshold_bytes: 1 << 20,
             checkpoint_threshold_bytes: 64 << 20,
+            partitions: PartitionSpec::None,
         }
     }
 }
@@ -202,6 +224,14 @@ impl TableOptions {
         self
     }
 
+    /// Range-partition the table ([`PartitionSpec::Count`] for equi-depth
+    /// splits over the bulk load, [`PartitionSpec::SplitPoints`] for
+    /// explicit ones).
+    pub fn with_partitions(mut self, partitions: PartitionSpec) -> Self {
+        self.partitions = partitions;
+        self
+    }
+
     /// The storage-level subset.
     pub fn storage(&self) -> columnar::TableOptions {
         columnar::TableOptions {
@@ -211,18 +241,9 @@ impl TableOptions {
     }
 }
 
-pub(crate) struct TableEntry {
-    pub stable: Arc<StableTable>,
-    pub delta: Arc<dyn DeltaStore>,
-    /// Creation-time options (maintenance budgets included).
-    pub opts: TableOptions,
-    /// Serializes this table's maintenance operations (flush, checkpoint)
-    /// against each other — commits and reads never take it.
-    pub maint: Arc<Mutex<()>>,
-}
-
-/// The database: stable tables, each paired with its update structure, plus
-/// the transaction manager that sequences all commits.
+/// The database: range-partitioned tables, each partition paired with its
+/// own stable slice and update structure, plus the transaction manager
+/// that sequences all commits.
 pub struct Database {
     pub(crate) txn_mgr: Arc<TxnManager>,
     pub(crate) tables: RwLock<HashMap<String, TableEntry>>,
@@ -258,7 +279,10 @@ impl Database {
     }
 
     /// Bulk-load a table (rows need not be pre-sorted). The update policy
-    /// in `opts` fixes which differential structure maintains the table.
+    /// in `opts` fixes which differential structure maintains the table;
+    /// its [`PartitionSpec`] fixes how the table is range-partitioned —
+    /// each partition gets its own stable slice and its own instance of
+    /// the update structure.
     pub fn create_table(
         &self,
         meta: TableMeta,
@@ -266,24 +290,51 @@ impl Database {
         rows: Vec<Tuple>,
     ) -> Result<(), DbError> {
         let name = meta.name.clone();
+        // '#' is reserved for the partition registry names PDT partitions
+        // use in the transaction manager ("table#p"); allowing it in table
+        // names would let "t#1" silently alias partition 1 of "t"
+        if name.contains('#') {
+            return Err(DbError::Partition {
+                table: name,
+                detail: "table names may not contain '#' (reserved for partition registry names)"
+                    .into(),
+            });
+        }
         let schema = meta.schema.clone();
         let sk = meta.sort_key.cols().to_vec();
-        let stable = StableTable::bulk_load_unsorted(meta, opts.storage(), rows)?;
-        let delta: Arc<dyn DeltaStore> = match opts.policy {
-            UpdatePolicy::Pdt => {
-                self.txn_mgr.register_table(&name, schema, sk);
-                Arc::new(PdtStore::new(self.txn_mgr.clone(), name.clone()))
-            }
-            UpdatePolicy::Vdt => Arc::new(VdtStore::new(name.clone(), schema, sk)),
-            UpdatePolicy::RowStore => Arc::new(RowStore::new(name.clone(), schema, sk)),
-        };
+        let sk_types: Vec<columnar::ValueType> = sk.iter().map(|&c| schema.vtype(c)).collect();
+        let splits = partition::derive_splits(&name, &opts.partitions, &rows, &sk, &sk_types)?;
+        let groups = partition::split_rows(rows, &splits, &sk);
+        let nparts = groups.len();
+        let mut parts = Vec::with_capacity(nparts);
+        for (p, part_rows) in groups.into_iter().enumerate() {
+            let stable = StableTable::bulk_load_unsorted(meta.clone(), opts.storage(), part_rows)?;
+            let delta: Arc<dyn DeltaStore> = match opts.policy {
+                UpdatePolicy::Pdt => {
+                    let mgr_name = partition::pdt_table_name(&name, p, nparts);
+                    self.txn_mgr
+                        .register_table(&mgr_name, schema.clone(), sk.clone());
+                    Arc::new(PdtStore::new(self.txn_mgr.clone(), mgr_name))
+                }
+                UpdatePolicy::Vdt => {
+                    Arc::new(VdtStore::new(name.clone(), schema.clone(), sk.clone()))
+                }
+                UpdatePolicy::RowStore => {
+                    Arc::new(RowStore::new(name.clone(), schema.clone(), sk.clone()))
+                }
+            };
+            parts.push(PartitionEntry {
+                stable: Arc::new(stable),
+                delta,
+                maint: Arc::new(parking_lot::Mutex::new(())),
+            });
+        }
         self.tables.write().insert(
             name,
             TableEntry {
-                stable: Arc::new(stable),
-                delta,
+                parts,
+                splits,
                 opts,
-                maint: Arc::new(Mutex::new(())),
             },
         );
         Ok(())
@@ -299,22 +350,38 @@ impl Database {
         &self.clock
     }
 
-    fn entry(&self, table: &str) -> Result<(Arc<StableTable>, Arc<dyn DeltaStore>), DbError> {
+    /// Run `f` against the table's entry under the map's read lock.
+    fn with_entry<T>(&self, table: &str, f: impl FnOnce(&TableEntry) -> T) -> Result<T, DbError> {
         let tables = self.tables.read();
         let e = tables
             .get(table)
             .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
-        Ok((e.stable.clone(), e.delta.clone()))
+        Ok(f(e))
     }
 
-    /// Delta store plus the table's maintenance mutex.
+    /// Stable slice + delta store + maintenance mutex of one partition.
     #[allow(clippy::type_complexity)]
-    fn maint_entry(&self, table: &str) -> Result<(Arc<dyn DeltaStore>, Arc<Mutex<()>>), DbError> {
-        let tables = self.tables.read();
-        let e = tables
-            .get(table)
-            .ok_or_else(|| DbError::UnknownTable(table.to_string()))?;
-        Ok((e.delta.clone(), e.maint.clone()))
+    fn partition_entry(
+        &self,
+        table: &str,
+        p: usize,
+    ) -> Result<
+        (
+            Arc<StableTable>,
+            Arc<dyn DeltaStore>,
+            Arc<parking_lot::Mutex<()>>,
+        ),
+        DbError,
+    > {
+        self.with_entry(table, |e| {
+            e.parts
+                .get(p)
+                .map(|pe| (pe.stable.clone(), pe.delta.clone(), pe.maint.clone()))
+        })?
+        .ok_or_else(|| DbError::Partition {
+            table: table.to_string(),
+            detail: format!("partition {p} out of range"),
+        })
     }
 
     /// Names of every table (maintenance-scheduler sweep order is sorted
@@ -327,23 +394,41 @@ impl Database {
 
     /// The creation-time options of a table (maintenance budgets included).
     pub fn options(&self, table: &str) -> Result<TableOptions, DbError> {
-        let tables = self.tables.read();
-        tables
-            .get(table)
-            .map(|e| e.opts)
-            .ok_or_else(|| DbError::UnknownTable(table.to_string()))
+        self.with_entry(table, |e| e.opts.clone())
     }
 
-    /// Total bytes held by a table's committed delta layers (the
-    /// checkpoint budget input).
+    /// Number of partitions of a table (1 unless range-partitioned).
+    pub fn partition_count(&self, table: &str) -> Result<usize, DbError> {
+        self.with_entry(table, |e| e.parts.len())
+    }
+
+    /// The resolved sort-key split points of a table (empty for a
+    /// single-partition table) — `k` points ⇒ `k + 1` partitions. Useful
+    /// to rebuild an identically partitioned table (e.g. for recovery,
+    /// whose WAL partition tags are relative to these splits).
+    pub fn partition_splits(&self, table: &str) -> Result<Vec<Vec<Value>>, DbError> {
+        self.with_entry(table, |e| e.splits.clone())
+    }
+
+    /// Total bytes held by a table's committed delta layers, summed over
+    /// partitions.
     pub fn delta_bytes(&self, table: &str) -> Result<usize, DbError> {
-        Ok(self.entry(table)?.1.delta_bytes())
+        self.with_entry(table, |e| {
+            e.parts.iter().map(|p| p.delta.delta_bytes()).sum()
+        })
+    }
+
+    /// Bytes held by one partition's committed delta layers (the
+    /// per-partition checkpoint budget input).
+    pub fn delta_bytes_partition(&self, table: &str, p: usize) -> Result<usize, DbError> {
+        Ok(self.partition_entry(table, p)?.1.delta_bytes())
     }
 
     /// Replay the WAL at `path` into the tables' update structures (after
     /// `create_table`, each table rebuilt from its last checkpointed
-    /// stable image — commit records a checkpoint marker covers are
-    /// skipped). Returns the recovered commit sequence.
+    /// stable image with the *same split points* — commit records a
+    /// checkpoint marker covers are skipped, per partition). Returns the
+    /// recovered commit sequence.
     pub fn recover_from(&self, path: &Path) -> Result<u64, DbError> {
         let _commit = self.txn_mgr.commit_guard();
         let records = txn::wal::Wal::read_effective(path).map_err(DbError::Io)?;
@@ -355,11 +440,21 @@ impl Database {
                 tables: touched, ..
             } = rec
             {
-                for (table, entries) in touched {
+                for (table, part, entries) in touched {
                     let e = tables
                         .get(&table)
                         .ok_or_else(|| DbError::UnknownTable(table.clone()))?;
-                    e.delta.replay(&entries);
+                    let pe = e
+                        .parts
+                        .get(part as usize)
+                        .ok_or_else(|| DbError::Partition {
+                            table: table.clone(),
+                            detail: format!(
+                                "WAL references partition {part}, table has {}",
+                                e.parts.len()
+                            ),
+                        })?;
+                    pe.delta.replay(&entries);
                 }
             }
         }
@@ -369,17 +464,24 @@ impl Database {
 
     /// Schema of a table.
     pub fn schema(&self, table: &str) -> Result<Schema, DbError> {
-        Ok(self.entry(table)?.0.schema().clone())
+        self.with_entry(table, |e| e.parts[0].stable.schema().clone())
     }
 
-    /// Current stable image of a table.
+    /// Current stable image of a table's **first partition** (the whole
+    /// image for single-partition tables — use
+    /// [`Database::stable_partition`] when the table is partitioned).
     pub fn stable(&self, table: &str) -> Result<Arc<StableTable>, DbError> {
-        Ok(self.entry(table)?.0)
+        self.stable_partition(table, 0)
+    }
+
+    /// Current stable slice of one partition.
+    pub fn stable_partition(&self, table: &str, p: usize) -> Result<Arc<StableTable>, DbError> {
+        Ok(self.partition_entry(table, p)?.0)
     }
 
     /// The update policy of a table.
     pub fn policy(&self, table: &str) -> Result<UpdatePolicy, DbError> {
-        Ok(self.entry(table)?.1.policy())
+        self.with_entry(table, |e| e.parts[0].delta.policy())
     }
 
     /// Total visible row count under a fresh snapshot.
@@ -410,8 +512,14 @@ impl Database {
                 (
                     name.clone(),
                     TableView {
-                        stable: e.stable.clone(),
-                        delta: with_deltas.then(|| e.delta.snapshot()),
+                        parts: e
+                            .parts
+                            .iter()
+                            .map(|p| PartView {
+                                stable: p.stable.clone(),
+                                delta: with_deltas.then(|| p.delta.snapshot()),
+                            })
+                            .collect(),
                     },
                 )
             })
@@ -424,30 +532,40 @@ impl Database {
     }
 
     /// Begin a read-write transaction (works on every table, whatever its
-    /// update policy).
+    /// update policy or partitioning).
     pub fn begin(&self) -> DbTxn<'_> {
         let _commit = self.txn_mgr.commit_guard();
         let (id, start_seq) = self.txn_mgr.start_txn();
         let tables = self.tables.read();
         let snaps = tables
             .iter()
-            .map(|(name, e)| {
-                (
-                    name.clone(),
-                    dml::TxnTable::new(e.stable.clone(), e.delta.clone(), e.delta.snapshot()),
-                )
-            })
+            .map(|(name, e)| (name.clone(), dml::TxnTable::new(e)))
             .collect();
         DbTxn::new(self, id, start_seq, snaps)
     }
 
-    /// Migrate the write-optimised delta layer into the read-optimised one
-    /// when it exceeds `threshold_bytes` (the paper's Propagate policy).
-    /// Returns whether a flush happened. Serialized against checkpoints of
-    /// the same table through the per-table maintenance mutex; commits and
+    /// Migrate every partition's write-optimised delta layer into its
+    /// read-optimised one when it exceeds `threshold_bytes` (the paper's
+    /// Propagate policy, applied per partition). Returns whether any
+    /// partition flushed. Serialized against checkpoints of the same
+    /// partition through the per-partition maintenance mutex; commits and
     /// readers are never blocked.
     pub fn maybe_flush(&self, table: &str, threshold_bytes: usize) -> Result<bool, DbError> {
-        let (delta, maint) = self.maint_entry(table)?;
+        let mut any = false;
+        for p in 0..self.partition_count(table)? {
+            any |= self.maybe_flush_partition(table, p, threshold_bytes)?;
+        }
+        Ok(any)
+    }
+
+    /// [`Database::maybe_flush`] for a single partition.
+    pub fn maybe_flush_partition(
+        &self,
+        table: &str,
+        p: usize,
+        threshold_bytes: usize,
+    ) -> Result<bool, DbError> {
+        let (_, delta, maint) = self.partition_entry(table, p)?;
         let _maint = maint.lock();
         if delta.write_bytes() > threshold_bytes {
             Ok(delta.flush())
@@ -456,48 +574,71 @@ impl Database {
         }
     }
 
-    /// Checkpoint: materialise all committed deltas into a fresh stable
-    /// image and retire them from the table's update structure.
+    /// Checkpoint: materialise every partition's committed deltas into
+    /// fresh stable slices and retire them from the partitions' update
+    /// structures. Returns whether any partition checkpointed.
     ///
-    /// The expensive stable rewrite runs *off* the commit guard against a
-    /// pinned delta snapshot: commits keep landing and read views keep
-    /// opening for the whole merge. Only the pin (phase 1) and the final
-    /// `Arc` swap + delta reset (phase 3) take the guard; a WAL checkpoint
-    /// marker is appended atomically with the swap so recovery replays
-    /// exactly the commits the new image does not contain. Concurrent
-    /// maintenance of the same table is serialized by the per-table
-    /// maintenance mutex.
+    /// Each partition checkpoints independently (and the maintenance
+    /// scheduler drives them independently, in parallel): the expensive
+    /// stable rewrite runs *off* the commit guard against a pinned delta
+    /// snapshot — commits keep landing and read views keep opening for the
+    /// whole merge. Only the pin (phase 1) and the final `Arc` swap +
+    /// delta reset (phase 3) take the guard; a partition-tagged WAL
+    /// checkpoint marker is appended atomically with the swap so recovery
+    /// replays exactly the commits the new slice does not contain.
+    /// Concurrent maintenance of the same partition is serialized by the
+    /// per-partition maintenance mutex.
     pub fn checkpoint(&self, table: &str) -> Result<bool, DbError> {
         self.checkpoint_observed(table, || {})
     }
 
-    /// [`Database::checkpoint`] with an observer invoked during phase 2,
-    /// while the stable rewrite runs off-lock. The closure may open views,
-    /// scan, and commit transactions against this database — that those
-    /// operations complete *during* a checkpoint is the non-blocking
-    /// guarantee, and tests pin it down through this seam. It must not
-    /// start maintenance on the same table (the per-table maintenance
-    /// mutex is held).
+    /// Checkpoint one partition (the scheduler's unit of work).
+    pub fn checkpoint_partition(&self, table: &str, p: usize) -> Result<bool, DbError> {
+        let mut observer: Option<fn()> = None;
+        self.checkpoint_partition_observed(table, p, &mut observer)
+    }
+
+    /// [`Database::checkpoint`] with an observer invoked during phase 2 of
+    /// the first partition that actually merges, while the stable rewrite
+    /// runs off-lock. The closure may open views, scan, and commit
+    /// transactions against this database — that those operations
+    /// complete *during* a checkpoint is the non-blocking guarantee, and
+    /// tests pin it down through this seam. It must not start maintenance
+    /// on the same table (the per-partition maintenance mutex is held).
     pub fn checkpoint_observed(
         &self,
         table: &str,
         during_merge: impl FnOnce(),
     ) -> Result<bool, DbError> {
-        let (delta, maint) = self.maint_entry(table)?;
+        let mut observer = Some(during_merge);
+        let mut any = false;
+        for p in 0..self.partition_count(table)? {
+            any |= self.checkpoint_partition_observed(table, p, &mut observer)?;
+        }
+        Ok(any)
+    }
+
+    fn checkpoint_partition_observed(
+        &self,
+        table: &str,
+        p: usize,
+        during_merge: &mut Option<impl FnOnce()>,
+    ) -> Result<bool, DbError> {
+        let (_, delta, maint) = self.partition_entry(table, p)?;
         let _maint = maint.lock();
-        // Phase 1 — pin: capture the delta to fold and the image to fold it
+        // Phase 1 — pin: capture the delta to fold and the slice to fold it
         // into, one consistent cut under the commit guard.
         let (pin, stable) = {
             let _commit = self.txn_mgr.commit_guard();
             let seq = self.txn_mgr.seq();
             match delta.checkpoint_pin(seq) {
-                Some(pin) => (pin, self.entry(table)?.0),
+                Some(pin) => (pin, self.partition_entry(table, p)?.0),
                 None => return Ok(false),
             }
         };
         // Phase 2 — merge, off every lock: commits and read views proceed.
         // A failed merge must abort the pin, releasing the store's pin
-        // window so the table is ready for the next attempt.
+        // window so the partition is ready for the next attempt.
         let fresh = match delta.checkpoint_merge(&pin, &stable, &self.io) {
             Ok(fresh) => fresh,
             Err(e) => {
@@ -505,12 +646,14 @@ impl Database {
                 return Err(e);
             }
         };
-        during_merge();
-        // Phase 3 — install: marker, image swap and delta reset, atomic
+        if let Some(obs) = during_merge.take() {
+            obs();
+        }
+        // Phase 3 — install: marker, slice swap and delta reset, atomic
         // under the commit guard.
         {
             let _commit = self.txn_mgr.commit_guard();
-            if let Err(e) = self.txn_mgr.log_checkpoint(table, pin.seq) {
+            if let Err(e) = self.txn_mgr.log_checkpoint(table, p as u32, pin.seq) {
                 delta.checkpoint_abort(pin);
                 return Err(e.into());
             }
@@ -519,6 +662,7 @@ impl Database {
                     .write()
                     .get_mut(table)
                     .expect("maintenance mutex pins the entry")
+                    .parts[p]
                     .stable = Arc::new(fresh);
             }
             delta.checkpoint_install(pin);
@@ -635,17 +779,19 @@ impl ScanSpec {
         }
     }
 
-    /// Build the scan over an already-resolved table snapshot.
+    /// Build the scan over an already-resolved set of partition segments
+    /// (one for unpartitioned tables): a sequential union in split order
+    /// with globally consecutive output RIDs.
     pub(crate) fn open<'a>(
         &self,
         table: &str,
-        stable: &'a StableTable,
-        layers: DeltaLayers<'a>,
+        schema: &Schema,
+        segments: Vec<ScanSegment<'a>>,
         io: IoTracker,
         clock: ScanClock,
     ) -> Result<TableScan<'a>, DbError> {
-        let proj = self.resolve(table, stable.schema())?;
-        let mut scan = TableScan::ranged(stable, layers, proj, self.bounds.clone(), io, clock);
+        let proj = self.resolve(table, schema)?;
+        let mut scan = TableScan::union(segments, proj, self.bounds.clone(), io, clock);
         if let Some((lo, hi)) = self.rid_range {
             scan.clamp_rids(lo, hi);
         }
@@ -660,25 +806,58 @@ pub struct ReadView {
     pub clock: ScanClock,
 }
 
-/// Per-table snapshot inside a [`ReadView`].
+/// Per-table snapshot inside a [`ReadView`]: one capture per partition,
+/// in split order.
 pub struct TableView {
-    pub stable: Arc<StableTable>,
-    /// Committed delta snapshot; `None` in a [`Database::clean_view`].
-    delta: Option<Arc<dyn DeltaSnapshot>>,
+    pub(crate) parts: Vec<PartView>,
 }
 
-impl TableView {
-    /// The delta layers a scan of this table must merge.
-    pub fn layers(&self) -> DeltaLayers<'_> {
+/// One partition's capture inside a [`TableView`].
+pub(crate) struct PartView {
+    pub stable: Arc<StableTable>,
+    /// Committed delta snapshot; `None` in a [`Database::clean_view`].
+    pub delta: Option<Arc<dyn DeltaSnapshot>>,
+}
+
+impl PartView {
+    /// The delta layers a scan of this partition must merge.
+    fn layers(&self) -> DeltaLayers<'_> {
         match &self.delta {
             Some(d) => d.layers(),
             None => DeltaLayers::None,
         }
     }
 
-    /// Net visible-row change relative to the stable image.
+    /// Visible rows of this partition.
+    fn visible(&self) -> u64 {
+        let dt = self.delta.as_ref().map_or(0, |d| d.delta_total());
+        (self.stable.row_count() as i64 + dt) as u64
+    }
+}
+
+impl TableView {
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        self.parts[0].stable.schema()
+    }
+
+    /// Net visible-row change relative to the stable images, summed over
+    /// partitions.
     pub fn delta_total(&self) -> i64 {
-        self.delta.as_ref().map_or(0, |d| d.delta_total())
+        self.parts
+            .iter()
+            .map(|p| p.delta.as_ref().map_or(0, |d| d.delta_total()))
+            .sum()
+    }
+
+    /// The partition segments a scan must union, with their global rid
+    /// bases.
+    pub(crate) fn segments(&self) -> Vec<ScanSegment<'_>> {
+        partition::build_segments(
+            self.parts
+                .iter()
+                .map(|p| (&*p.stable, p.layers(), p.visible())),
+        )
     }
 }
 
@@ -692,7 +871,6 @@ impl ReadView {
     /// Column index by name.
     pub fn col(&self, table: &str, column: &str) -> Result<usize, DbError> {
         self.table(table)?
-            .stable
             .schema()
             .try_col(column)
             .ok_or_else(|| DbError::UnknownColumn {
@@ -703,21 +881,91 @@ impl ReadView {
 
     /// Visible row count of `table` under this view.
     pub fn visible_rows(&self, name: &str) -> Result<u64, DbError> {
-        let t = self.table(name)?;
-        Ok((t.stable.row_count() as i64 + t.delta_total()) as u64)
+        Ok(self.table(name)?.parts.iter().map(PartView::visible).sum())
     }
 
     /// Open a scan described by a [`ScanSpec`] — the one scan entry point;
-    /// everything below forwards here.
+    /// everything below forwards here. Partitioned tables scan as a
+    /// sequential union in split order (globally consecutive RIDs); use
+    /// [`ReadView::par_scan`] to run the partitions on a worker pool.
     pub fn scan_with(&self, table: &str, spec: ScanSpec) -> Result<TableScan<'_>, DbError> {
         let t = self.table(table)?;
         spec.open(
             table,
-            &t.stable,
-            t.layers(),
+            t.schema(),
+            t.segments(),
             self.io.clone(),
             self.clock.clone(),
         )
+    }
+
+    /// Partition-parallel scan: each partition's MergeScan runs as a task
+    /// on a worker pool (default: available parallelism), batches are
+    /// re-emitted in split order with globally consecutive RIDs — same
+    /// output as [`ReadView::scan_with`], first scan path to use more
+    /// than one core. The returned operator owns `Arc` captures of the
+    /// view's snapshots, so it stays pinned to this view's cut even if
+    /// the view is dropped while it runs.
+    pub fn par_scan(&self, table: &str, spec: ScanSpec) -> Result<ParallelUnionScan, DbError> {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        self.par_scan_workers(table, spec, workers)
+    }
+
+    /// [`ReadView::par_scan`] with an explicit worker count (benches sweep
+    /// this).
+    pub fn par_scan_workers(
+        &self,
+        table: &str,
+        spec: ScanSpec,
+        workers: usize,
+    ) -> Result<ParallelUnionScan, DbError> {
+        let t = self.table(table)?;
+        let proj = spec.resolve(table, t.schema())?;
+        let types: Vec<columnar::ValueType> = proj.iter().map(|&c| t.schema().vtype(c)).collect();
+        let mut parts = Vec::with_capacity(t.parts.len());
+        let mut base = 0u64;
+        for p in &t.parts {
+            let rid_base = base;
+            let visible = p.visible();
+            base += visible;
+            // partitions wholly outside a rid window never spawn a task —
+            // the parallel path skips their blocks exactly like the
+            // sequential union does
+            if let Some((lo, hi)) = spec.rid_range {
+                if rid_base + visible <= lo || rid_base >= hi {
+                    continue;
+                }
+            }
+            let stable = p.stable.clone();
+            let delta = p.delta.clone();
+            let proj = proj.clone();
+            let bounds = spec.bounds.clone();
+            let rid_range = spec.rid_range;
+            let io = self.io.clone();
+            let clock = self.clock.clone();
+            parts.push(exec::UnionPart {
+                rid_base,
+                task: Box::new(move |emit| {
+                    let layers = match &delta {
+                        Some(d) => d.layers(),
+                        None => DeltaLayers::None,
+                    };
+                    let mut scan = TableScan::ranged(&stable, layers, proj, bounds, io, clock);
+                    if let Some((lo, hi)) = rid_range {
+                        // global window, clamped to this partition
+                        scan.clamp_rids(lo.saturating_sub(rid_base), hi.saturating_sub(rid_base));
+                    }
+                    while let Some(b) = scan.next_batch() {
+                        if !emit(b) {
+                            return;
+                        }
+                    }
+                }),
+            });
+        }
+        Ok(ParallelUnionScan::new(parts, types, workers))
     }
 
     /// Full-table scan with projection (column indices). Thin wrapper over
@@ -953,7 +1201,7 @@ mod tests {
             .unwrap();
             t.commit().unwrap();
 
-            let (_, delta) = db.entry("inventory").unwrap();
+            let (_, delta, _) = db.partition_entry("inventory", 0).unwrap();
             let pin = delta.checkpoint_pin(db.txn_mgr.seq()).unwrap();
             // a commit lands inside the pin window...
             let mut t = db.begin();
@@ -1010,6 +1258,308 @@ mod tests {
             // order maintained: bench sorts before chair
             assert_eq!(rows[0][1].as_str(), "bench", "{policy:?}");
             assert_eq!(rows.len(), 5);
+        }
+    }
+
+    /// A 40-row int table split at explicit points, next to an identical
+    /// unpartitioned one — every operation must agree between them.
+    fn partitioned_pair(policy: UpdatePolicy) -> (Database, Database) {
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+        let rows: Vec<Tuple> = (0..40i64)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect();
+        let make = |spec: PartitionSpec| {
+            let db = Database::new();
+            db.create_table(
+                TableMeta::new("t", schema.clone(), vec![0]),
+                TableOptions::default()
+                    .with_block_rows(8)
+                    .with_policy(policy)
+                    .with_partitions(spec),
+                rows.clone(),
+            )
+            .unwrap();
+            db
+        };
+        let split = make(PartitionSpec::SplitPoints(vec![
+            vec![Value::Int(100)],
+            vec![Value::Int(250)],
+            vec![Value::Int(390)],
+        ]));
+        let single = make(PartitionSpec::None);
+        (split, single)
+    }
+
+    fn t_rows(db: &Database) -> Vec<Tuple> {
+        let view = db.read_view();
+        run_to_rows(&mut view.scan("t", vec![0, 1]).unwrap())
+    }
+
+    #[test]
+    fn partitioned_table_matches_single_partition_image() {
+        for policy in ALL_POLICIES {
+            let (split, single) = partitioned_pair(policy);
+            assert_eq!(split.partition_count("t").unwrap(), 4, "{policy:?}");
+            assert_eq!(split.partition_splits("t").unwrap().len(), 3);
+            assert_eq!(t_rows(&split), t_rows(&single), "{policy:?}: bulk load");
+            // the same DML stream through both layouts
+            for db in [&split, &single] {
+                let mut t = db.begin();
+                // cross-partition batch: scattered inserts, incl. beyond
+                // the last split point and before the first row
+                let fresh: Vec<Tuple> = [-5i64, 95, 105, 255, 395, 401]
+                    .iter()
+                    .map(|&k| vec![Value::Int(k), Value::Int(-k)])
+                    .collect();
+                t.append(
+                    "t",
+                    exec::Batch::from_rows(&[ValueType::Int, ValueType::Int], &fresh),
+                )
+                .unwrap();
+                // positional deletes + updates straddling split points
+                t.delete_rids("t", &[0, 12, 13, 30, 45]).unwrap();
+                t.update_col(
+                    "t",
+                    &[5, 20, 38],
+                    1,
+                    columnar::ColumnVec::Int(vec![1, 2, 3]),
+                )
+                .unwrap();
+                t.commit().unwrap();
+            }
+            let got = t_rows(&split);
+            assert_eq!(got, t_rows(&single), "{policy:?}: after DML");
+            let ks: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "{policy:?}: {ks:?}");
+            assert_eq!(
+                split.row_count("t").unwrap(),
+                single.row_count("t").unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn sort_key_rewrite_moves_rows_between_partitions() {
+        for policy in ALL_POLICIES {
+            let (split, single) = partitioned_pair(policy);
+            for db in [&split, &single] {
+                let mut t = db.begin();
+                // 30 lives in partition 0; rewrite to 305 (partition 2)
+                // and 380 down to 25 (partition 2 → 0)
+                let n = t
+                    .update_col("t", &[3, 38], 0, columnar::ColumnVec::Int(vec![305, 25]))
+                    .unwrap();
+                assert_eq!(n, 2, "{policy:?}");
+                t.commit().unwrap();
+            }
+            assert_eq!(t_rows(&split), t_rows(&single), "{policy:?}");
+            // the moved keys are present exactly once and in order
+            let ks: Vec<i64> = t_rows(&split).iter().map(|r| r[0].as_int()).collect();
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "{policy:?}: {ks:?}");
+            assert!(ks.contains(&305) && ks.contains(&25) && !ks.contains(&30));
+        }
+    }
+
+    #[test]
+    fn partitioned_checkpoint_and_flush_preserve_image() {
+        for policy in ALL_POLICIES {
+            let (split, _) = partitioned_pair(policy);
+            let mut t = split.begin();
+            t.insert("t", vec![Value::Int(95), Value::Int(0)]).unwrap();
+            t.insert("t", vec![Value::Int(395), Value::Int(0)]).unwrap();
+            t.commit().unwrap();
+            let before = t_rows(&split);
+            assert!(split.maybe_flush("t", 0).unwrap() || policy != UpdatePolicy::Pdt);
+            assert!(split.checkpoint("t").unwrap(), "{policy:?}");
+            assert_eq!(t_rows(&split), before, "{policy:?}: merged view");
+            let clean = run_to_rows(&mut split.clean_view().scan("t", vec![0, 1]).unwrap());
+            assert_eq!(clean, before, "{policy:?}: clean view");
+            // only the touched partitions had anything to fold: a second
+            // checkpoint is a no-op everywhere
+            assert!(!split.checkpoint("t").unwrap(), "{policy:?}");
+            // per-partition entry points work and bounds-check
+            assert!(!split.checkpoint_partition("t", 0).unwrap());
+            assert!(matches!(
+                split.checkpoint_partition("t", 9),
+                Err(DbError::Partition { .. })
+            ));
+            assert!(matches!(
+                split.delta_bytes_partition("t", 9),
+                Err(DbError::Partition { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn par_scan_matches_sequential_union() {
+        for policy in ALL_POLICIES {
+            let (split, _) = partitioned_pair(policy);
+            let mut t = split.begin();
+            t.delete_rids("t", &[7, 21]).unwrap();
+            t.insert("t", vec![Value::Int(95), Value::Int(0)]).unwrap();
+            t.commit().unwrap();
+            let view = split.read_view();
+            let seq = run_to_rows(&mut view.scan_with("t", ScanSpec::all()).unwrap());
+            for workers in [1, 4] {
+                let mut par = view
+                    .par_scan_workers("t", ScanSpec::all(), workers)
+                    .unwrap();
+                let mut expect_rid = 0u64;
+                let mut got = Vec::new();
+                while let Some(b) = par.next_batch() {
+                    assert_eq!(b.rid_start, expect_rid, "{policy:?} workers={workers}");
+                    expect_rid += b.num_rows() as u64;
+                    got.extend(b.rows());
+                }
+                assert_eq!(got, seq, "{policy:?} workers={workers}");
+            }
+            // rid windows clamp per partition on the parallel path too
+            let windowed = run_to_rows(
+                &mut view
+                    .par_scan("t", ScanSpec::all().rid_range(8, 25))
+                    .unwrap(),
+            );
+            assert_eq!(windowed, seq[8..25].to_vec(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn count_spec_balances_and_empty_splits_allowed() {
+        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
+        let rows: Vec<Tuple> = (0..100i64).map(|i| vec![Value::Int(i)]).collect();
+        let db = Database::new();
+        db.create_table(
+            TableMeta::new("t", schema.clone(), vec![0]),
+            TableOptions::default().with_partitions(PartitionSpec::Count(4)),
+            rows,
+        )
+        .unwrap();
+        assert_eq!(db.partition_count("t").unwrap(), 4);
+        for p in 0..4 {
+            assert_eq!(db.stable_partition("t", p).unwrap().row_count(), 25);
+        }
+        // explicit splits outside the populated range: empty partitions
+        let db = Database::new();
+        db.create_table(
+            TableMeta::new("e", schema, vec![0]),
+            TableOptions::default().with_partitions(PartitionSpec::SplitPoints(vec![
+                vec![Value::Int(-10)],
+                vec![Value::Int(1000)],
+            ])),
+            vec![vec![Value::Int(5)]],
+        )
+        .unwrap();
+        assert_eq!(db.stable_partition("e", 0).unwrap().row_count(), 0);
+        assert_eq!(db.stable_partition("e", 1).unwrap().row_count(), 1);
+        assert_eq!(db.stable_partition("e", 2).unwrap().row_count(), 0);
+        // writes into (and scans across) empty partitions work
+        let mut t = db.begin();
+        t.insert("e", vec![Value::Int(-20)]).unwrap();
+        t.insert("e", vec![Value::Int(2000)]).unwrap();
+        t.commit().unwrap();
+        let view = db.read_view();
+        let ks: Vec<i64> = run_to_rows(&mut view.scan("e", vec![0]).unwrap())
+            .iter()
+            .map(|r| r[0].as_int())
+            .collect();
+        assert_eq!(ks, vec![-20, 5, 2000]);
+        // invalid specs fail loudly at create time
+        let db = Database::new();
+        assert!(matches!(
+            db.create_table(
+                TableMeta::new("bad", Schema::from_pairs(&[("k", ValueType::Int)]), vec![0]),
+                TableOptions::default().with_partitions(PartitionSpec::SplitPoints(vec![
+                    vec![Value::Int(9)],
+                    vec![Value::Int(3)],
+                ])),
+                vec![],
+            ),
+            Err(DbError::Partition { .. })
+        ));
+        // '#' is reserved: a table named "t#1" could alias partition 1 of
+        // a partitioned PDT table "t" in the transaction manager
+        assert!(matches!(
+            db.create_table(
+                TableMeta::new("t#1", Schema::from_pairs(&[("k", ValueType::Int)]), vec![0]),
+                TableOptions::default(),
+                vec![],
+            ),
+            Err(DbError::Partition { .. })
+        ));
+    }
+
+    #[test]
+    fn partitioned_wal_recovery_restores_every_partition() {
+        for policy in ALL_POLICIES {
+            let dir = std::env::temp_dir().join(format!("pdt_part_wal_{policy:?}"));
+            std::fs::create_dir_all(&dir).unwrap();
+            let wal = dir.join("part.wal");
+            let _ = std::fs::remove_file(&wal);
+            let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+            let rows: Vec<Tuple> = (0..30i64)
+                .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+                .collect();
+            let splits =
+                PartitionSpec::SplitPoints(vec![vec![Value::Int(100)], vec![Value::Int(200)]]);
+            let opts = TableOptions::default()
+                .with_block_rows(8)
+                .with_policy(policy)
+                .with_partitions(splits.clone());
+            let make = || {
+                let db = Database::with_wal(&wal).unwrap();
+                db.create_table(
+                    TableMeta::new("t", schema.clone(), vec![0]),
+                    opts.clone(),
+                    rows.clone(),
+                )
+                .unwrap();
+                db
+            };
+            let db = make();
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(55), Value::Int(0)]).unwrap();
+            t.insert("t", vec![Value::Int(155), Value::Int(0)]).unwrap();
+            t.delete_rids("t", &[25]).unwrap();
+            t.commit().unwrap();
+            // checkpoint only the middle partition: its commits are
+            // covered by a partition-tagged marker, the others replay
+            assert!(db.checkpoint_partition("t", 1).unwrap(), "{policy:?}");
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(165), Value::Int(0)]).unwrap();
+            t.commit().unwrap();
+            let want = t_rows(&db);
+            drop(db);
+            // crash: rebuild from the *original* base for partitions 0/2
+            // and from nothing newer for partition 1 — except the
+            // checkpointed slice, which the marker says is durable. The
+            // harness model: recreate with the same splits, recover.
+            let recovered = make();
+            // partition 1's base must be its checkpointed slice
+            // (recreating from the original rows would double-apply the
+            // folded commits if the marker failed to cover them). Here we
+            // recreate from the original rows, so recovery must re-apply
+            // partition 1's pre-checkpoint commits… unless the marker
+            // skips them. To keep the oracle exact we only assert the
+            // *unchecked* partitions and the post-checkpoint commit.
+            recovered.recover_from(&wal).unwrap();
+            let got = t_rows(&recovered);
+            let want_keys: std::collections::BTreeSet<i64> =
+                want.iter().map(|r| r[0].as_int()).collect();
+            let got_keys: std::collections::BTreeSet<i64> =
+                got.iter().map(|r| r[0].as_int()).collect();
+            // partition 0 (keys < 100) and partition 2 (keys ≥ 200)
+            // recover exactly; partition 1 is missing the checkpointed
+            // insert of 155 (folded into the slice we discarded) but
+            // keeps the post-marker 165
+            for k in want_keys.iter().filter(|&&k| !(100..200).contains(&k)) {
+                assert!(got_keys.contains(k), "{policy:?}: lost key {k}");
+            }
+            assert!(got_keys.contains(&165), "{policy:?}: post-marker commit");
+            assert!(
+                !got_keys.contains(&155),
+                "{policy:?}: marker must cover the folded commit"
+            );
+            let _ = std::fs::remove_file(&wal);
         }
     }
 

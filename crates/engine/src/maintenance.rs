@@ -5,49 +5,62 @@
 //! Write-PDT→Read-PDT propagation and Read-PDT→stable checkpointing can
 //! run *while queries keep scanning a consistent snapshot*. The
 //! [`MaintenanceScheduler`] realises that: it owns worker threads that
-//! sweep every table of an [`Arc<Database>`](crate::Database) and
+//! sweep every **partition** of every table of an
+//! [`Arc<Database>`](crate::Database) and
 //!
-//! * **flush** the write-optimised delta layer into the read-optimised one
-//!   once it exceeds the table's
+//! * **flush** a partition's write-optimised delta layer into its
+//!   read-optimised one once it exceeds the table's
 //!   [`flush_threshold_bytes`](crate::TableOptions::flush_threshold_bytes)
 //!   (the paper's Propagate policy — keep the Write-PDT CPU-cache-sized),
-//! * **checkpoint** the table into a fresh stable image once its combined
-//!   delta exceeds
+//! * **checkpoint** a partition into a fresh stable slice once its
+//!   committed delta exceeds
 //!   [`checkpoint_threshold_bytes`](crate::TableOptions::checkpoint_threshold_bytes).
 //!
-//! Neither operation blocks readers or writers: flushes are
-//! view-preserving `Arc` swaps, and checkpoints pin their delta under the
-//! commit guard, rewrite the stable image entirely off-lock, and re-take
-//! the guard only for the final image swap
-//! ([`Database::checkpoint`](crate::Database::checkpoint)). Per-table
-//! maintenance operations serialize on the table's maintenance mutex, so
-//! the scheduler's workers never trample a caller-driven
-//! `maybe_flush`/`checkpoint` (or each other).
+//! Budgets are **per partition**: a range-partitioned table is maintained
+//! slice by slice, and when several partitions go over budget in one
+//! sweep their checkpoints run **in parallel** on scoped workers — the
+//! three-phase pin/merge/install protocol serializes per *partition* (the
+//! per-partition maintenance mutex), not per table, so partition merges
+//! never contend with each other. Neither operation blocks readers or
+//! writers: flushes are view-preserving `Arc` swaps, and checkpoints pin
+//! their delta under the commit guard, rewrite the stable slice entirely
+//! off-lock, and re-take the guard only for the final swap
+//! ([`Database::checkpoint_partition`](crate::Database::checkpoint_partition)).
 //!
 //! ## Lifecycle
 //!
 //! [`MaintenanceScheduler::start`] spawns the workers; they tick at the
 //! configured cadence (or immediately on [`poke`](MaintenanceScheduler::poke)).
 //! [`drain`](MaintenanceScheduler::drain) synchronously flushes and
-//! checkpoints every table to a clean state on the calling thread —
+//! checkpoints every partition to a clean state on the calling thread —
 //! typically right before [`shutdown`](MaintenanceScheduler::shutdown),
 //! which signals the workers and joins them. Dropping the scheduler shuts
 //! it down implicitly (without the drain).
+//!
+//! ## Observability
+//!
+//! [`MaintenanceScheduler::stats`] reports global counters plus
+//! per-partition ones ([`MaintenancePartitionStats`]: flushes,
+//! checkpoints, and delta bytes retired per partition), and
+//! [`MaintenanceStats`] implements `Display` so a test or example can
+//! print the scheduler's work distribution directly.
 
 use crate::{Database, DbError};
+use std::collections::HashMap;
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// Scheduler cadence knobs. Byte budgets are per-table
+/// Scheduler cadence knobs. Byte budgets are per-partition
 /// ([`crate::TableOptions`]); the config only decides how often the
 /// workers look.
 #[derive(Debug, Clone, Copy)]
 pub struct MaintenanceConfig {
-    /// How often the flush worker sweeps the tables. Default 2 ms.
+    /// How often the flush worker sweeps the partitions. Default 2 ms.
     pub flush_tick: Duration,
-    /// How often the checkpoint worker sweeps the tables. Default 20 ms.
+    /// How often the checkpoint worker sweeps the partitions. Default 20 ms.
     pub checkpoint_tick: Duration,
 }
 
@@ -70,16 +83,59 @@ impl MaintenanceConfig {
     }
 }
 
-/// Counters published by the scheduler (monotonic since `start`).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct MaintenanceStats {
-    /// Write→Read flushes performed.
+/// One partition's maintenance counters (monotonic since `start`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenancePartitionStats {
+    pub table: String,
+    pub partition: usize,
+    /// Write→Read flushes of this partition.
     pub flushes: u64,
-    /// Checkpoints that produced (or retired) state.
+    /// Checkpoints of this partition that produced (or retired) state.
+    pub checkpoints: u64,
+    /// Delta bytes retired by this partition's checkpoints (the size of
+    /// the committed delta at pin time, summed).
+    pub bytes: u64,
+}
+
+/// Counters published by the scheduler (monotonic since `start`), global
+/// plus per partition.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MaintenanceStats {
+    /// Write→Read flushes performed (all partitions).
+    pub flushes: u64,
+    /// Checkpoints that produced (or retired) state (all partitions).
     pub checkpoints: u64,
     /// Maintenance operations that returned an error (recorded, never
     /// propagated — the scheduler keeps running).
     pub errors: u64,
+    /// Per-partition distribution, sorted by (table, partition). Only
+    /// partitions that did work appear.
+    pub partitions: Vec<MaintenancePartitionStats>,
+}
+
+impl fmt::Display for MaintenanceStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "maintenance: {} flushes, {} checkpoints, {} errors",
+            self.flushes, self.checkpoints, self.errors
+        )?;
+        for p in &self.partitions {
+            write!(
+                f,
+                "\n  {}#{}: {} flushes, {} checkpoints, {} delta bytes retired",
+                p.table, p.partition, p.flushes, p.checkpoints, p.bytes
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[derive(Default, Clone, Copy)]
+struct PartCounts {
+    flushes: u64,
+    checkpoints: u64,
+    bytes: u64,
 }
 
 struct Shared {
@@ -92,6 +148,7 @@ struct Shared {
     flushes: AtomicU64,
     checkpoints: AtomicU64,
     errors: AtomicU64,
+    per_part: Mutex<HashMap<(String, usize), PartCounts>>,
     last_error: Mutex<Option<String>>,
 }
 
@@ -113,10 +170,31 @@ impl Shared {
             .expect("scheduler wake lock");
     }
 
-    fn record(&self, result: Result<bool, DbError>, counter: &AtomicU64) {
+    /// Record one partition operation's outcome. `bytes` is the delta
+    /// footprint a successful checkpoint retired (0 for flushes).
+    fn record(
+        &self,
+        table: &str,
+        partition: usize,
+        result: Result<bool, DbError>,
+        role: &Role,
+        bytes: u64,
+    ) {
         match result {
             Ok(true) => {
-                counter.fetch_add(1, Ordering::Relaxed);
+                let mut per = self.per_part.lock().expect("scheduler per-part lock");
+                let c = per.entry((table.to_string(), partition)).or_default();
+                match role {
+                    Role::Flush => {
+                        self.flushes.fetch_add(1, Ordering::Relaxed);
+                        c.flushes += 1;
+                    }
+                    Role::Checkpoint => {
+                        self.checkpoints.fetch_add(1, Ordering::Relaxed);
+                        c.checkpoints += 1;
+                        c.bytes += bytes;
+                    }
+                }
             }
             Ok(false) => {}
             // a table dropped mid-sweep is not an error
@@ -128,28 +206,59 @@ impl Shared {
         }
     }
 
-    /// One sweep over every table for the given role.
+    /// One sweep over every partition for the given role. Over-budget
+    /// checkpoints found in one sweep run in parallel (bounded by the
+    /// machine's parallelism): the pin/merge/install protocol serializes
+    /// per partition, so distinct partitions' merges are independent.
     fn pass(&self, role: &Role) {
+        let mut due: Vec<(String, usize, u64)> = Vec::new();
         for table in self.db.table_names() {
             let Ok(opts) = self.db.options(&table) else {
                 continue;
             };
-            match role {
-                Role::Flush => {
-                    let r = self.db.maybe_flush(&table, opts.flush_threshold_bytes);
-                    self.record(r, &self.flushes);
-                }
-                Role::Checkpoint => {
-                    let over = self
-                        .db
-                        .delta_bytes(&table)
-                        .map(|b| b > opts.checkpoint_threshold_bytes)
-                        .unwrap_or(false);
-                    if over {
-                        let r = self.db.checkpoint(&table);
-                        self.record(r, &self.checkpoints);
+            let Ok(nparts) = self.db.partition_count(&table) else {
+                continue;
+            };
+            for p in 0..nparts {
+                match role {
+                    Role::Flush => {
+                        let r =
+                            self.db
+                                .maybe_flush_partition(&table, p, opts.flush_threshold_bytes);
+                        self.record(&table, p, r, &Role::Flush, 0);
+                    }
+                    Role::Checkpoint => {
+                        let bytes = self.db.delta_bytes_partition(&table, p).unwrap_or(0);
+                        if bytes > opts.checkpoint_threshold_bytes {
+                            due.push((table.clone(), p, bytes as u64));
+                        }
                     }
                 }
+            }
+        }
+        match due.len() {
+            0 => {}
+            1 => {
+                let (table, p, bytes) = &due[0];
+                let r = self.db.checkpoint_partition(table, *p);
+                self.record(table, *p, r, &Role::Checkpoint, *bytes);
+            }
+            _ => {
+                let workers = std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+                    .min(due.len());
+                std::thread::scope(|s| {
+                    for chunk in 0..workers {
+                        let due = &due;
+                        s.spawn(move || {
+                            for (table, p, bytes) in due.iter().skip(chunk).step_by(workers) {
+                                let r = self.db.checkpoint_partition(table, *p);
+                                self.record(table, *p, r, &Role::Checkpoint, *bytes);
+                            }
+                        });
+                    }
+                });
             }
         }
     }
@@ -184,6 +293,7 @@ impl MaintenanceScheduler {
             flushes: AtomicU64::new(0),
             checkpoints: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            per_part: Mutex::new(HashMap::new()),
             last_error: Mutex::new(None),
         });
         let workers = [Role::Flush, Role::Checkpoint]
@@ -211,12 +321,29 @@ impl MaintenanceScheduler {
         self.shared.wake_cv.notify_all();
     }
 
-    /// Snapshot of the scheduler's counters.
+    /// Snapshot of the scheduler's counters (global + per partition).
     pub fn stats(&self) -> MaintenanceStats {
+        let per = self
+            .shared
+            .per_part
+            .lock()
+            .expect("scheduler per-part lock");
+        let mut partitions: Vec<MaintenancePartitionStats> = per
+            .iter()
+            .map(|((table, partition), c)| MaintenancePartitionStats {
+                table: table.clone(),
+                partition: *partition,
+                flushes: c.flushes,
+                checkpoints: c.checkpoints,
+                bytes: c.bytes,
+            })
+            .collect();
+        partitions.sort_by(|a, b| (&a.table, a.partition).cmp(&(&b.table, b.partition)));
         MaintenanceStats {
             flushes: self.shared.flushes.load(Ordering::Relaxed),
             checkpoints: self.shared.checkpoints.load(Ordering::Relaxed),
             errors: self.shared.errors.load(Ordering::Relaxed),
+            partitions,
         }
     }
 
@@ -229,17 +356,19 @@ impl MaintenanceScheduler {
             .clone()
     }
 
-    /// Synchronously flush and checkpoint every table to a clean delta
-    /// state on the calling thread (the per-table maintenance mutex
-    /// serializes against in-flight worker passes). Errors are returned —
-    /// a drain must not silently skip work.
+    /// Synchronously flush and checkpoint every partition to a clean
+    /// delta state on the calling thread (the per-partition maintenance
+    /// mutex serializes against in-flight worker passes). Errors are
+    /// returned — a drain must not silently skip work.
     pub fn drain(&self) -> Result<(), DbError> {
         for table in self.shared.db.table_names() {
-            if self.shared.db.maybe_flush(&table, 0)? {
-                self.shared.flushes.fetch_add(1, Ordering::Relaxed);
-            }
-            if self.shared.db.checkpoint(&table)? {
-                self.shared.checkpoints.fetch_add(1, Ordering::Relaxed);
+            for p in 0..self.shared.db.partition_count(&table)? {
+                let bytes = self.shared.db.delta_bytes_partition(&table, p)? as u64;
+                let flushed = self.shared.db.maybe_flush_partition(&table, p, 0)?;
+                self.shared.record(&table, p, Ok(flushed), &Role::Flush, 0);
+                let ckpt = self.shared.db.checkpoint_partition(&table, p)?;
+                self.shared
+                    .record(&table, p, Ok(ckpt), &Role::Checkpoint, bytes);
             }
         }
         Ok(())
@@ -270,7 +399,7 @@ impl Drop for MaintenanceScheduler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{TableOptions, UpdatePolicy, ALL_POLICIES};
+    use crate::{PartitionSpec, TableOptions, UpdatePolicy, ALL_POLICIES};
     use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
     use exec::run_to_rows;
 
@@ -328,6 +457,57 @@ mod tests {
             // after the drain the whole image is stable
             let clean = run_to_rows(&mut db.clean_view().scan("t", vec![0, 1]).unwrap());
             assert_eq!(clean, before, "{policy:?}");
+            sched.shutdown();
+        }
+    }
+
+    #[test]
+    fn partitioned_scheduler_distributes_work_across_partitions() {
+        for policy in ALL_POLICIES {
+            let opts = TableOptions::default()
+                .with_block_rows(16)
+                .with_flush_threshold(0)
+                .with_checkpoint_threshold(0)
+                .with_partitions(PartitionSpec::Count(4));
+            let db = db_with_ints(128, policy, opts);
+            assert_eq!(db.partition_count("t").unwrap(), 4, "{policy:?}");
+            let sched = MaintenanceScheduler::start(
+                db.clone(),
+                MaintenanceConfig::with_tick(Duration::from_millis(1)),
+            );
+            // writes spread over the whole key range touch every partition
+            for i in 0..64 {
+                let mut t = db.begin();
+                t.insert("t", vec![Value::Int(i * 20 + 1), Value::Int(-i)])
+                    .unwrap();
+                t.commit().unwrap();
+            }
+            let before = image(&db);
+            sched.drain().unwrap();
+            let stats = sched.stats();
+            assert_eq!(stats.errors, 0, "{policy:?}: {:?}", sched.last_error());
+            let touched: std::collections::HashSet<usize> = stats
+                .partitions
+                .iter()
+                .filter(|p| p.checkpoints > 0)
+                .map(|p| p.partition)
+                .collect();
+            assert_eq!(
+                touched.len(),
+                4,
+                "{policy:?}: every partition must checkpoint, got {stats}"
+            );
+            // bytes retired are tracked per partition
+            assert!(
+                stats.partitions.iter().any(|p| p.bytes > 0),
+                "{policy:?}: {stats}"
+            );
+            // the Display impl names every partition
+            let rendered = stats.to_string();
+            for p in 0..4 {
+                assert!(rendered.contains(&format!("t#{p}")), "{rendered}");
+            }
+            assert_eq!(image(&db), before, "{policy:?}");
             sched.shutdown();
         }
     }

@@ -36,7 +36,7 @@
 //! final image interleaving-independent, so concurrency bugs surface as
 //! differential divergence from the sequential model.
 
-use crate::{Database, DbError, TableOptions, UpdatePolicy, ALL_POLICIES};
+use crate::{Database, DbError, PartitionSpec, TableOptions, UpdatePolicy, ALL_POLICIES};
 use columnar::{Schema, TableMeta, Tuple, Value};
 use exec::expr::{col, lit, Expr};
 use exec::run_to_rows;
@@ -68,6 +68,11 @@ pub struct DiffHarness {
     /// `Some(dir)`: databases are WAL-backed (one log per policy) and
     /// support [`Self::crash_recover`].
     wal_dir: Option<PathBuf>,
+    /// Range partitioning applied to every database. After the first
+    /// build this is frozen to the *resolved* split points, so crash
+    /// rebuilds recreate the exact partitioning the WAL's partition tags
+    /// refer to.
+    partitions: PartitionSpec,
 }
 
 impl DiffHarness {
@@ -121,9 +126,49 @@ impl DiffHarness {
             dbs: Vec::new(),
             model,
             wal_dir,
+            partitions: PartitionSpec::None,
         };
         h.dbs = h.make_dbs();
         h
+    }
+
+    /// Rebuild every database range-partitioned into `n` equi-depth
+    /// partitions — the partitioned-vs-single-partition differential
+    /// knob. Call right after construction (any prior workload is
+    /// discarded). The resolved split points are frozen so WAL crash
+    /// rebuilds recreate the identical partitioning.
+    pub fn with_partitions(self, n: usize) -> Self {
+        self.with_partition_spec(PartitionSpec::Count(n))
+    }
+
+    /// [`DiffHarness::with_partitions`] with explicit split points
+    /// (empty partitions allowed) — what the proptests sweep.
+    pub fn with_split_points(self, splits: Vec<Vec<Value>>) -> Self {
+        self.with_partition_spec(PartitionSpec::SplitPoints(splits))
+    }
+
+    fn with_partition_spec(mut self, spec: PartitionSpec) -> Self {
+        self.partitions = spec;
+        if let Some(dir) = &self.wal_dir {
+            for policy in ALL_POLICIES {
+                let _ = std::fs::remove_file(Self::wal_path(dir, policy));
+            }
+        }
+        self.dbs = self.make_dbs();
+        let resolved = self.dbs[0]
+            .1
+            .partition_splits(&self.table)
+            .expect("harness table exists");
+        self.partitions = PartitionSpec::SplitPoints(resolved);
+        self
+    }
+
+    /// Partition count of the harness databases.
+    pub fn partition_count(&self) -> usize {
+        self.dbs[0]
+            .1
+            .partition_count(&self.table)
+            .expect("harness table exists")
     }
 
     fn make_dbs(&self) -> Vec<(UpdatePolicy, Database)> {
@@ -142,6 +187,7 @@ impl DiffHarness {
                         block_rows: self.block_rows,
                         compressed: true,
                         policy,
+                        partitions: self.partitions.clone(),
                         ..TableOptions::default()
                     },
                     self.base_rows.clone(),
@@ -246,6 +292,111 @@ impl DiffHarness {
         }
         self.assert_agree("after insert");
         !dup
+    }
+
+    /// APPEND a whole batch through one committed transaction per
+    /// database. Returns `false` when the statement carries a duplicate
+    /// sort key (intra-batch or against the model's visible image) — then
+    /// every database must reject the whole statement identically.
+    pub fn append(&mut self, rows: Vec<Tuple>) -> bool {
+        let keys: Vec<Vec<Value>> = rows.iter().map(|r| self.key_of(r)).collect();
+        let mut sorted_keys = keys.clone();
+        sorted_keys.sort();
+        let dup = sorted_keys.windows(2).any(|w| w[0] == w[1])
+            || self
+                .model
+                .rows()
+                .iter()
+                .any(|r| keys.contains(&self.key_of(r)));
+        let types = self.schema.types();
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let res = txn.append(&self.table, exec::Batch::from_rows(&types, &rows));
+            if dup {
+                assert!(
+                    matches!(res, Err(DbError::DuplicateKey { .. })),
+                    "{policy:?}: duplicate batch append must be rejected, got {res:?}"
+                );
+                txn.abort();
+            } else {
+                let n = res.unwrap_or_else(|e| panic!("{policy:?}: batch append failed: {e}"));
+                assert_eq!(n, rows.len(), "{policy:?}");
+                txn.commit()
+                    .unwrap_or_else(|e| panic!("{policy:?}: append commit failed: {e}"));
+            }
+        }
+        if !dup {
+            for row in rows {
+                let key = self.key_of(&row);
+                let pos = self
+                    .model
+                    .rows()
+                    .iter()
+                    .position(|r| self.key_of(r) > key)
+                    .unwrap_or(self.model.len());
+                self.model.insert(pos, row);
+            }
+        }
+        self.assert_agree("after batch append");
+        !dup
+    }
+
+    /// DELETE the model's visible rows at `rids` (any order, duplicates
+    /// ignored) through one positional `delete_rids` statement per
+    /// database.
+    pub fn delete_rids(&mut self, rids: &[u64]) {
+        let mut sorted = rids.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        sorted.retain(|&r| (r as usize) < self.model.len());
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let n = txn
+                .delete_rids(&self.table, &sorted)
+                .unwrap_or_else(|e| panic!("{policy:?}: delete_rids failed: {e}"));
+            assert_eq!(n, sorted.len(), "{policy:?}");
+            txn.commit()
+                .unwrap_or_else(|e| panic!("{policy:?}: delete_rids commit failed: {e}"));
+        }
+        for &r in sorted.iter().rev() {
+            self.model.delete(r as usize);
+        }
+        self.assert_agree("after delete_rids");
+    }
+
+    /// UPDATE a non-sort-key column of the model's visible rows at `rids`
+    /// through one positional `update_col` statement per database.
+    pub fn update_col(&mut self, rids: &[u64], col: usize, values: &[Value]) {
+        assert!(
+            !self.sk_cols.contains(&col),
+            "update_col harness op is for non-key columns; use modify() for key rewrites"
+        );
+        let mut pairs: Vec<(u64, Value)> = rids
+            .iter()
+            .copied()
+            .zip(values.iter().cloned())
+            .filter(|(r, _)| (*r as usize) < self.model.len())
+            .collect();
+        pairs.sort_by_key(|p| p.0);
+        pairs.dedup_by_key(|p| p.0);
+        let rids: Vec<u64> = pairs.iter().map(|p| p.0).collect();
+        let mut vals = columnar::ColumnVec::new(self.schema.vtype(col));
+        for (_, v) in &pairs {
+            vals.push(v);
+        }
+        for (policy, db) in &self.dbs {
+            let mut txn = db.begin();
+            let n = txn
+                .update_col(&self.table, &rids, col, vals.clone())
+                .unwrap_or_else(|e| panic!("{policy:?}: update_col failed: {e}"));
+            assert_eq!(n, rids.len(), "{policy:?}");
+            txn.commit()
+                .unwrap_or_else(|e| panic!("{policy:?}: update_col commit failed: {e}"));
+        }
+        for (r, v) in pairs {
+            self.model.modify(r as usize, col, v);
+        }
+        self.assert_agree("after update_col");
     }
 
     /// DELETE the model's visible row `rid` through one committed
@@ -742,6 +893,21 @@ pub fn run_interleaved(
     a_ops: &[TxnOp],
     b_ops: &[TxnOp],
 ) -> InterleavedOutcome {
+    run_interleaved_spec(schema, sk_cols, rows, a_ops, b_ops, PartitionSpec::None)
+}
+
+/// [`run_interleaved`] over range-partitioned tables: the conflict
+/// verdicts and final image must not depend on the partitioning, so a
+/// caller typically runs the same interleaving under several specs and
+/// asserts the outcomes are equal.
+pub fn run_interleaved_spec(
+    schema: Schema,
+    sk_cols: Vec<usize>,
+    rows: Vec<Tuple>,
+    a_ops: &[TxnOp],
+    b_ops: &[TxnOp],
+    partitions: PartitionSpec,
+) -> InterleavedOutcome {
     let key_pred = |key: &[Value]| -> Expr { key_eq_pred(&sk_cols, key) };
     let apply = |txn: &mut crate::DbTxn<'_>, op: &TxnOp| -> Result<(), DbError> {
         match op {
@@ -761,6 +927,7 @@ pub fn run_interleaved(
                 block_rows: 8,
                 compressed: true,
                 policy,
+                partitions: partitions.clone(),
                 ..TableOptions::default()
             },
             rows.clone(),
@@ -998,6 +1165,7 @@ pub fn run_concurrent_differential(spec: ConcurrentSpec) -> Vec<Tuple> {
                 // tiny budgets: maintenance fires constantly under load
                 flush_threshold_bytes: 256,
                 checkpoint_threshold_bytes: 1024,
+                partitions: PartitionSpec::None,
             },
             base.clone(),
         )

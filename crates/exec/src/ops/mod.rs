@@ -9,6 +9,7 @@ pub mod join;
 pub mod project;
 pub mod scan;
 pub mod sort;
+pub mod union;
 
 use crate::batch::Batch;
 use columnar::{Tuple, ValueType};

@@ -48,6 +48,20 @@ pub struct ScanBounds {
     pub hi: Option<Vec<Value>>,
 }
 
+/// One horizontal slice of a range-partitioned table, as a scan sees it:
+/// the partition's stable image, the delta layers to merge over it, and
+/// the global RID of the partition's first visible row. A
+/// [`TableScan::union`] walks a vector of these in split order, re-basing
+/// each partition's locally consecutive RIDs by `rid_base` so the union
+/// emits globally consecutive RIDs.
+pub struct ScanSegment<'a> {
+    pub stable: &'a StableTable,
+    pub layers: DeltaLayers<'a>,
+    /// Global visible RID of this partition's first row (the sum of all
+    /// earlier partitions' visible row counts).
+    pub rid_base: u64,
+}
+
 enum MergeState<'a> {
     None,
     Pdt(Vec<PdtMerger<'a>>),
@@ -66,6 +80,16 @@ enum MergeState<'a> {
 /// background maintenance may swap a fresh stable image or retire delta
 /// layers mid-scan, and the scan keeps reading the pinned versions,
 /// emitting exactly the rows visible when its view opened.
+///
+/// ## Partitions
+///
+/// A scan is either single-segment ([`TableScan::new`] /
+/// [`TableScan::ranged`], the unpartitioned case — all RIDs local) or a
+/// union over the ordered partitions of a range-partitioned table
+/// ([`TableScan::union`]): each partition runs the same per-segment merge
+/// machinery against its own stable slice and delta layers, and the union
+/// re-bases every emitted batch by the partition's `rid_base` so output
+/// RIDs stay globally consecutive across split points.
 pub struct TableScan<'a> {
     table: &'a StableTable,
     proj: Vec<usize>,
@@ -75,6 +99,7 @@ pub struct TableScan<'a> {
     state: MergeState<'a>,
     next_block: usize,
     end_block: usize,
+    /// The *current segment* is exhausted (the union may still advance).
     finished: bool,
     io: IoTracker,
     clock: ScanClock,
@@ -82,11 +107,25 @@ pub struct TableScan<'a> {
     drain_upper: Option<Vec<Value>>,
     /// RID of the first row this scan would emit (even if it emits none —
     /// e.g. a fully ghosted range); DML rank computations rely on it.
+    /// Global for unions (first segment's base + its local start).
     start_rid: u64,
-    /// Visible-rid output window `[rid_lo, rid_hi)` — see
+    /// Visible-rid output window `[rid_lo, rid_hi)` in *global* RIDs — see
     /// [`TableScan::clamp_rids`].
     rid_lo: u64,
     rid_hi: u64,
+    /// Global RID of the current segment's first visible row (0 for
+    /// single-segment scans).
+    rid_base: u64,
+    /// Remaining partition segments, in split order.
+    pending: std::collections::VecDeque<ScanSegment<'a>>,
+    /// The whole scan (every segment) is exhausted, or the rid window's
+    /// upper edge was passed.
+    done: bool,
+    /// Some batch has been emitted (freezes `start_rid` across segment
+    /// advances).
+    emitted: bool,
+    /// Kept across segment advances so `bounds` can re-resolve per slice.
+    bounds: ScanBounds,
 }
 
 impl<'a> TableScan<'a> {
@@ -183,28 +222,119 @@ impl<'a> TableScan<'a> {
             start_rid,
             rid_lo: 0,
             rid_hi: u64::MAX,
+            rid_base: 0,
+            pending: std::collections::VecDeque::new(),
+            done: false,
+            emitted: false,
+            bounds,
         }
     }
 
-    /// Restrict the scan's *output* to the visible positions `[lo, hi)`.
-    /// Batches before the window are skipped, the batch straddling an edge
-    /// is sliced, and the scan finishes as soon as it passes `hi` — the
-    /// early-exit positional DML (`delete_rids`, `update_col`) relies on
-    /// when collecting pre-images. Block I/O within the window is
-    /// unchanged: positions only map to blocks directly when no delta is
-    /// merged, so the clamp trims rows, not reads.
+    /// Union scan over the ordered partitions of a range-partitioned
+    /// table: every segment is scanned with the same projection and
+    /// sort-key bounds (each partition resolves the bounds against its own
+    /// sparse index), and emitted RIDs are re-based by each segment's
+    /// `rid_base` so the union's output is globally rid-consecutive —
+    /// batch `rid_start`s continue across split points exactly as if the
+    /// table were one image. `segments` must be non-empty and ordered by
+    /// `rid_base`.
+    pub fn union(
+        mut segments: Vec<ScanSegment<'a>>,
+        proj: Vec<usize>,
+        bounds: ScanBounds,
+        io: IoTracker,
+        clock: ScanClock,
+    ) -> Self {
+        assert!(!segments.is_empty(), "union scan needs ≥ 1 segment");
+        let rest: std::collections::VecDeque<ScanSegment<'a>> = segments.split_off(1).into();
+        let first = segments.pop().expect("non-empty");
+        let mut scan = TableScan::ranged(first.stable, first.layers, proj, bounds, io, clock);
+        scan.rid_base = first.rid_base;
+        scan.start_rid += first.rid_base;
+        scan.pending = rest;
+        scan
+    }
+
+    /// Drop the current segment and re-initialise the scan over the next
+    /// pending one (preserving the global rid window and, once any row
+    /// has been emitted, `start_rid`). Returns `false` when no segment
+    /// remains. Segments that end at or before the window's lower edge
+    /// are skipped without touching their blocks — the per-partition
+    /// clamp that keeps rid-window scans from paying for partitions
+    /// wholly outside the window.
+    fn advance_segment(&mut self) -> bool {
+        loop {
+            let Some(seg) = self.pending.pop_front() else {
+                return false;
+            };
+            // this segment spans [seg.rid_base, next.rid_base): skip it
+            // when the window starts at or past its end
+            if let Some(next) = self.pending.front() {
+                if next.rid_base <= self.rid_lo {
+                    continue;
+                }
+            }
+            let mut fresh = TableScan::ranged(
+                seg.stable,
+                seg.layers,
+                std::mem::take(&mut self.proj),
+                self.bounds.clone(),
+                self.io.clone(),
+                self.clock.clone(),
+            );
+            fresh.rid_base = seg.rid_base;
+            fresh.rid_lo = self.rid_lo;
+            fresh.rid_hi = self.rid_hi;
+            // start_rid is the rank of the first row the *union* would
+            // emit: while earlier segments emitted nothing (their ranges
+            // resolved empty), the fresh segment's rank supersedes theirs
+            fresh.start_rid = if self.emitted {
+                self.start_rid
+            } else {
+                seg.rid_base + fresh.start_rid
+            };
+            fresh.emitted = self.emitted;
+            fresh.pending = std::mem::take(&mut self.pending);
+            *self = fresh;
+            return true;
+        }
+    }
+
+    /// Restrict the scan's *output* to the visible positions `[lo, hi)`
+    /// (global positions for a partition union). Batches before the window
+    /// are skipped, the batch straddling an edge is sliced, and the scan
+    /// finishes as soon as it passes `hi` — the early-exit positional DML
+    /// (`delete_rids`, `update_col`) relies on this when collecting
+    /// pre-images. Block I/O within the window is unchanged: positions
+    /// only map to blocks directly when no delta is merged, so the clamp
+    /// trims rows, not reads. For a union the window is clamped **per
+    /// partition**: each segment's batches are re-based to global RIDs
+    /// before clipping, a window straddling a split point takes the tail
+    /// of one partition and the head of the next, and partitions wholly
+    /// below the window are skipped without any block I/O.
     pub fn clamp_rids(&mut self, lo: u64, hi: u64) {
         self.rid_lo = lo;
         self.rid_hi = hi;
+        // the current segment spans [rid_base, next.rid_base): when the
+        // window starts at or past its end, retire it unscanned —
+        // `advance_segment` then skips any further wholly-below segments
+        if let Some(next) = self.pending.front() {
+            if next.rid_base <= lo {
+                self.finished = true;
+            }
+        }
     }
 
-    /// Slice `b` to the rid window; `None` means "outside, keep going" —
-    /// unless the scan was marked finished by passing the window's end.
+    /// Slice `b` (already re-based to global RIDs) to the rid window;
+    /// `None` means "outside, keep going" — unless the scan was marked
+    /// done by passing the window's end.
     fn clip_to_window(&mut self, b: Batch) -> Option<Batch> {
         let start = b.rid_start;
         let end = start + b.num_rows() as u64;
         if start >= self.rid_hi {
-            self.finished = true;
+            // every later batch — and every later partition — is past the
+            // window: the whole union is done, not just this segment
+            self.done = true;
             return None;
         }
         if end <= self.rid_lo {
@@ -372,22 +502,31 @@ impl<'a> Operator for TableScan<'a> {
         // ghosted blocks (common right before a checkpoint retires heavy
         // deletes) cannot grow the stack with the table
         loop {
-            if self.finished {
+            if self.done {
                 return None;
             }
-            let t0 = Instant::now();
-            let out = self.produce();
-            self.clock.charge(t0);
-            let b = out?;
-            if b.is_empty() {
-                if self.finished {
+            if self.finished {
+                // current segment exhausted: next partition, if any
+                if !self.advance_segment() {
+                    self.done = true;
                     return None;
                 }
                 continue;
             }
+            let t0 = Instant::now();
+            let out = self.produce();
+            self.clock.charge(t0);
+            let Some(mut b) = out else {
+                continue; // `produce` marked the segment finished
+            };
+            if b.is_empty() {
+                continue;
+            }
+            // partition-local → global RIDs, then clip globally
+            b.rid_start += self.rid_base;
+            self.emitted = true;
             match self.clip_to_window(b) {
                 Some(clipped) => return Some(clipped),
-                None if self.finished => return None,
                 None => continue,
             }
         }
@@ -862,6 +1001,240 @@ mod tests {
                 got.extend(b.rows());
             }
             assert_eq!(got, want, "window [{lo},{hi})");
+        }
+    }
+
+    /// Stable slice holding rows `lo..lo+n` of the keyspace (keys `i*10`).
+    fn table_slice(lo: i64, n: i64) -> StableTable {
+        let rows: Vec<Tuple> = (lo..lo + n)
+            .map(|i| {
+                vec![
+                    Value::Int(i * 10),
+                    Value::Int(i),
+                    Value::Str(format!("r{i}")),
+                ]
+            })
+            .collect();
+        StableTable::bulk_load(
+            TableMeta::new("t", schema(), vec![0]),
+            TableOptions {
+                block_rows: 4,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap()
+    }
+
+    /// Two partitions (rows 0..20 and 20..40 of the keyspace), each with
+    /// its own delta: one delete + one insert per partition, so the
+    /// partition visible counts stay at 20 each.
+    fn two_partition_fixture() -> (StableTable, StableTable, Pdt, Pdt) {
+        let p0 = table_slice(0, 20);
+        let p1 = table_slice(20, 20);
+        let mut d0 = Pdt::new(schema(), vec![0]);
+        d0.add_delete(3, &[Value::Int(30)]);
+        d0.add_insert(
+            7,
+            6,
+            &[Value::Int(65), Value::Int(0), Value::Str("n0".into())],
+        );
+        let mut d1 = Pdt::new(schema(), vec![0]);
+        d1.add_delete(5, &[Value::Int(250)]);
+        d1.add_insert(
+            0,
+            0,
+            &[Value::Int(195), Value::Int(0), Value::Str("n1".into())],
+        );
+        (p0, p1, d0, d1)
+    }
+
+    #[test]
+    fn union_scan_emits_globally_consecutive_rids() {
+        let (p0, p1, d0, d1) = two_partition_fixture();
+        // per-partition reference scans
+        let io = IoTracker::new();
+        let mut s0 = TableScan::new(
+            &p0,
+            DeltaLayers::Pdt(vec![&d0]),
+            vec![0, 1, 2],
+            io.clone(),
+            ScanClock::new(),
+        );
+        let mut want = run_to_rows(&mut s0);
+        let part0_visible = want.len() as u64;
+        let mut s1 = TableScan::new(
+            &p1,
+            DeltaLayers::Pdt(vec![&d1]),
+            vec![0, 1, 2],
+            io.clone(),
+            ScanClock::new(),
+        );
+        want.extend(run_to_rows(&mut s1));
+
+        let mut union = TableScan::union(
+            vec![
+                ScanSegment {
+                    stable: &p0,
+                    layers: DeltaLayers::Pdt(vec![&d0]),
+                    rid_base: 0,
+                },
+                ScanSegment {
+                    stable: &p1,
+                    layers: DeltaLayers::Pdt(vec![&d1]),
+                    rid_base: part0_visible,
+                },
+            ],
+            vec![0, 1, 2],
+            ScanBounds::default(),
+            io,
+            ScanClock::new(),
+        );
+        let mut got = Vec::new();
+        let mut expect_rid = 0u64;
+        while let Some(b) = union.next_batch() {
+            assert_eq!(
+                b.rid_start, expect_rid,
+                "union batches must stay rid-consecutive across the split"
+            );
+            expect_rid += b.num_rows() as u64;
+            got.extend(b.rows());
+        }
+        assert_eq!(got, want);
+        assert_eq!(expect_rid, 40, "both partitions net 20 visible rows");
+        // keys strictly ascending across the split point
+        let keys: Vec<i64> = got.iter().map(|r| r[0].as_int()).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "{keys:?}");
+    }
+
+    /// `start_rid` must be the global rank of the first row the union
+    /// would emit, even when the key range lies wholly inside a later
+    /// partition (earlier segments resolve empty ranges and must not pin
+    /// the stale first-segment rank).
+    #[test]
+    fn union_start_rid_tracks_first_emitting_segment() {
+        let (p0, p1, d0, d1) = two_partition_fixture();
+        let mut scan = TableScan::union(
+            fixture_segments(&p0, &p1, &d0, &d1),
+            vec![0, 1, 2],
+            ScanBounds {
+                // keys 250..290 live in partition 1, past its first key
+                // (partition 0's range resolves past its data)
+                lo: Some(vec![Value::Int(250)]),
+                hi: Some(vec![Value::Int(290)]),
+            },
+            IoTracker::new(),
+            ScanClock::new(),
+        );
+        let first = scan.next_batch().expect("range is populated");
+        // the stale-tolerant sparse index is over-inclusive (partition 0
+        // may emit its last block), but start_rid must equal the first
+        // emitted global rank — not partition 0's stale empty-range rank
+        assert_eq!(
+            scan.start_rid(),
+            first.rid_start,
+            "start_rid must anchor at the first emitting segment's rank"
+        );
+    }
+
+    /// Regression for the rid-window clamp when the window straddles a
+    /// partition split: the window must be clamped *per partition* — tail
+    /// of one slice, head of the next — never applied to each partition
+    /// as if it were the whole table (which would re-emit every
+    /// partition's rows at the window's local offsets).
+    /// The fixture's two segments (both partitions net 20 visible rows:
+    /// one delete + one insert each).
+    fn fixture_segments<'a>(
+        p0: &'a StableTable,
+        p1: &'a StableTable,
+        d0: &'a Pdt,
+        d1: &'a Pdt,
+    ) -> Vec<ScanSegment<'a>> {
+        vec![
+            ScanSegment {
+                stable: p0,
+                layers: DeltaLayers::Pdt(vec![d0]),
+                rid_base: 0,
+            },
+            ScanSegment {
+                stable: p1,
+                layers: DeltaLayers::Pdt(vec![d1]),
+                rid_base: 20,
+            },
+        ]
+    }
+
+    #[test]
+    fn union_rid_clamp_straddles_partition_split() {
+        let (p0, p1, d0, d1) = two_partition_fixture();
+        let full = {
+            let mut scan = TableScan::union(
+                fixture_segments(&p0, &p1, &d0, &d1),
+                vec![0, 1, 2],
+                ScanBounds::default(),
+                IoTracker::new(),
+                ScanClock::new(),
+            );
+            run_to_rows(&mut scan)
+        };
+        // windows: straddling the split, inside one partition, at the
+        // edges, empty, and past the end
+        for (lo, hi) in [
+            (15u64, 25u64),
+            (19, 21),
+            (0, 40),
+            (20, 20),
+            (20, 40),
+            (0, 20),
+            (38, 60),
+            (5, 7),
+        ] {
+            let io = IoTracker::new();
+            let mut scan = TableScan::union(
+                fixture_segments(&p0, &p1, &d0, &d1),
+                vec![0, 1, 2],
+                ScanBounds::default(),
+                io.clone(),
+                ScanClock::new(),
+            );
+            scan.clamp_rids(lo, hi);
+            let want: Vec<Tuple> = full
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| (*i as u64) >= lo && (*i as u64) < hi)
+                .map(|(_, r)| r.clone())
+                .collect();
+            let mut got = Vec::new();
+            let mut expect_rid = lo;
+            while let Some(b) = scan.next_batch() {
+                assert_eq!(
+                    b.rid_start, expect_rid,
+                    "window [{lo},{hi}): clamped union batches stay consecutive"
+                );
+                expect_rid += b.num_rows() as u64;
+                got.extend(b.rows());
+            }
+            assert_eq!(got, want, "window [{lo},{hi})");
+            if lo >= 20 {
+                // partitions wholly below the window are skipped: a
+                // window inside partition 1 must read exactly what a
+                // scan of partition 1 alone (locally clamped) reads
+                let ref_io = IoTracker::new();
+                let mut ref_scan = TableScan::new(
+                    &p1,
+                    DeltaLayers::Pdt(vec![&d1]),
+                    vec![0, 1, 2],
+                    ref_io.clone(),
+                    ScanClock::new(),
+                );
+                ref_scan.clamp_rids(lo - 20, hi.saturating_sub(20));
+                run_to_rows(&mut ref_scan);
+                assert_eq!(
+                    io.stats().bytes_read,
+                    ref_io.stats().bytes_read,
+                    "window [{lo},{hi}) read the skipped partition"
+                );
+            }
         }
     }
 

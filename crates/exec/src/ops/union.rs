@@ -1,0 +1,312 @@
+//! Partition-parallel union scan.
+//!
+//! [`TableScan::union`](crate::TableScan::union) walks a partitioned
+//! table's slices sequentially on the calling thread — correct everywhere,
+//! including inside transactions whose staged layers cannot leave the
+//! thread. This operator is the throughput counterpart: each partition's
+//! MergeScan runs as a task on a **worker pool**, batches stream back over
+//! a bounded per-partition channel, and the union re-emits them in
+//! partition order with globally consecutive RIDs — the first place scans
+//! use more than one core.
+//!
+//! The operator is deliberately decoupled from the engine: a partition is
+//! just a [`ScanTask`] — a closure that owns everything its scan needs
+//! (`Arc`-held stable slice + delta snapshot) and drives it to completion
+//! against an emit callback. The engine builds one task per partition from
+//! a read view; the pool, ordering and rid re-basing live here.
+//!
+//! Ordering and memory: every partition has its **own** bounded channel,
+//! and the consumer drains only the in-order partition's — a partition
+//! running ahead fills its few-batch buffer and then blocks its worker,
+//! so memory is bounded by `partitions × capacity` batches, never a whole
+//! partition. Tasks are claimed in partition order, so the in-order
+//! partition is always complete or in progress; workers blocked on later
+//! partitions' full buffers unblock as the consumer advances. A worker
+//! that dies mid-partition (a panicking scan) closes its channel without
+//! the explicit `Done` marker, which the consumer detects and reports by
+//! re-raising the worker's panic — a failed partition can never silently
+//! truncate a query's results.
+
+use crate::batch::Batch;
+use crate::ops::Operator;
+use columnar::ValueType;
+use std::collections::VecDeque;
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// One partition's scan, packaged to run on a pool thread: the closure
+/// owns its data (snapshot `Arc`s) and calls `emit` once per batch with
+/// **partition-local** rid starts. It must stop when `emit` returns
+/// `false` (the consumer is gone or past its rid window).
+pub type ScanTask = Box<dyn FnOnce(&mut dyn FnMut(Batch) -> bool) + Send>;
+
+/// A partition entry for [`ParallelUnionScan`].
+pub struct UnionPart {
+    /// Global visible RID of the partition's first row.
+    pub rid_base: u64,
+    /// The partition's scan.
+    pub task: ScanTask,
+}
+
+/// The shared claim queue: each entry is one partition's task plus the
+/// send side of its bounded channel.
+type TaskQueue = Arc<Mutex<VecDeque<(ScanTask, SyncSender<Msg>)>>>;
+
+enum Msg {
+    Batch(Batch),
+    /// The partition's scan completed. A channel that closes without this
+    /// marker means its worker died mid-scan.
+    Done,
+}
+
+/// Batches of slack per partition channel: enough to keep the pool busy,
+/// bounded so a partition running ahead blocks instead of buffering
+/// itself entirely.
+const CHANNEL_SLACK: usize = 4;
+
+/// The partition-parallel union scan operator. Implements [`Operator`], so
+/// it drops into any plan where a [`crate::TableScan`] would.
+pub struct ParallelUnionScan {
+    /// Per-partition receive side, taken as each partition completes.
+    rxs: Vec<Option<Receiver<Msg>>>,
+    workers: Vec<JoinHandle<()>>,
+    rid_bases: Vec<u64>,
+    /// Next partition to emit (all earlier ones fully emitted).
+    next_part: usize,
+    types: Vec<ValueType>,
+}
+
+impl ParallelUnionScan {
+    /// Spawn up to `workers` pool threads over the partition tasks.
+    /// Batches are re-emitted in partition order with RIDs re-based to
+    /// each partition's `rid_base`.
+    pub fn new(parts: Vec<UnionPart>, types: Vec<ValueType>, workers: usize) -> Self {
+        let n = parts.len();
+        let nworkers = workers.clamp(1, n.max(1));
+        let rid_bases: Vec<u64> = parts.iter().map(|p| p.rid_base).collect();
+        let mut rxs = Vec::with_capacity(n);
+        // tasks are claimed front-to-back so low partitions start first:
+        // the in-order partition is always complete or in progress, and
+        // workers blocked on later partitions' buffers cannot starve it
+        let queue: TaskQueue = Arc::new(Mutex::new(
+            parts
+                .into_iter()
+                .map(|p| {
+                    let (tx, rx) = sync_channel::<Msg>(CHANNEL_SLACK);
+                    rxs.push(Some(rx));
+                    (p.task, tx)
+                })
+                .collect(),
+        ));
+        let spawn_worker = |queue: TaskQueue| {
+            std::thread::Builder::new()
+                .name("scan-union".into())
+                .spawn(move || loop {
+                    let Some((task, tx)) = queue.lock().expect("union queue").pop_front() else {
+                        return;
+                    };
+                    let mut alive = true;
+                    task(&mut |b: Batch| {
+                        alive = tx.send(Msg::Batch(b)).is_ok();
+                        alive
+                    });
+                    // a receiver dropped mid-partition means the consumer
+                    // is gone entirely: stop claiming work
+                    if !alive || tx.send(Msg::Done).is_err() {
+                        return;
+                    }
+                })
+                .expect("spawn union scan worker")
+        };
+        let handles = (0..nworkers).map(|_| spawn_worker(queue.clone())).collect();
+        ParallelUnionScan {
+            rxs,
+            workers: handles,
+            rid_bases,
+            next_part: 0,
+            types,
+        }
+    }
+
+    /// A partition's channel closed without its `Done` marker: its worker
+    /// panicked mid-scan. Join the pool and re-raise the first panic so
+    /// the failure propagates instead of truncating the result.
+    fn propagate_worker_death(&mut self) -> ! {
+        self.rxs.clear(); // unblock producers stuck on full channels
+        for w in self.workers.drain(..) {
+            if let Err(p) = w.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+        unreachable!("a union scan channel closed early but no worker panicked");
+    }
+}
+
+impl Operator for ParallelUnionScan {
+    fn next_batch(&mut self) -> Option<Batch> {
+        loop {
+            if self.next_part >= self.rxs.len() {
+                return None;
+            }
+            // drain only the in-order partition: later partitions fill
+            // their own bounded channels and block their workers
+            let rx = self.rxs[self.next_part]
+                .as_ref()
+                .expect("open partitions keep their receiver");
+            match rx.recv() {
+                Ok(Msg::Batch(mut b)) => {
+                    b.rid_start += self.rid_bases[self.next_part];
+                    return Some(b);
+                }
+                Ok(Msg::Done) => {
+                    self.rxs[self.next_part] = None;
+                    self.next_part += 1;
+                }
+                Err(_) => self.propagate_worker_death(),
+            }
+        }
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.types.clone()
+    }
+}
+
+impl Drop for ParallelUnionScan {
+    fn drop(&mut self) {
+        // drop every receiver to unblock producers, then join (panics of
+        // an abandoned scan are intentionally swallowed here — a consumer
+        // that drops mid-stream no longer cares about the tail)
+        self.rxs.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use columnar::ColumnVec;
+
+    /// A task emitting `count` single-row batches with local rids.
+    fn counting_task(count: usize, val: i64) -> ScanTask {
+        Box::new(move |emit| {
+            for i in 0..count {
+                let b = Batch {
+                    cols: vec![ColumnVec::Int(vec![val + i as i64])],
+                    rid_start: i as u64,
+                };
+                if !emit(b) {
+                    return;
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn parallel_union_preserves_partition_order_and_rebases_rids() {
+        for workers in [1, 2, 8] {
+            let parts = vec![
+                UnionPart {
+                    rid_base: 0,
+                    task: counting_task(3, 100),
+                },
+                UnionPart {
+                    rid_base: 3,
+                    task: counting_task(2, 200),
+                },
+                UnionPart {
+                    rid_base: 5,
+                    task: counting_task(0, 0),
+                },
+                UnionPart {
+                    rid_base: 5,
+                    task: counting_task(4, 300),
+                },
+            ];
+            let mut scan = ParallelUnionScan::new(parts, vec![ValueType::Int], workers);
+            let mut expect_rid = 0u64;
+            let mut vals = Vec::new();
+            while let Some(b) = scan.next_batch() {
+                assert_eq!(b.rid_start, expect_rid, "workers={workers}");
+                expect_rid += b.num_rows() as u64;
+                vals.extend(b.rows().into_iter().map(|r| r[0].as_int()));
+            }
+            assert_eq!(
+                vals,
+                vec![100, 101, 102, 200, 201, 300, 301, 302, 303],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn memory_stays_bounded_while_late_partitions_run_ahead() {
+        // partition 0 emits many batches; partitions 1..3 are "fast" and
+        // would buffer entirely under an unbounded design. With bounded
+        // per-partition channels they block after CHANNEL_SLACK batches,
+        // and everything still drains in order.
+        let parts = (0..4)
+            .map(|p| UnionPart {
+                rid_base: p as u64 * 64,
+                task: counting_task(64, p as i64 * 1000),
+            })
+            .collect();
+        let mut scan = ParallelUnionScan::new(parts, vec![ValueType::Int], 4);
+        let mut rows = 0u64;
+        let mut expect_rid = 0u64;
+        while let Some(b) = scan.next_batch() {
+            assert_eq!(b.rid_start, expect_rid);
+            expect_rid += b.num_rows() as u64;
+            rows += b.num_rows() as u64;
+        }
+        assert_eq!(rows, 256);
+    }
+
+    #[test]
+    fn dropping_mid_stream_does_not_hang() {
+        // more batches than the channels hold: producers block on send,
+        // the drop must release them and join cleanly
+        let parts = (0..4)
+            .map(|p| UnionPart {
+                rid_base: p * 1000,
+                task: counting_task(1000, p as i64 * 1000),
+            })
+            .collect();
+        let mut scan = ParallelUnionScan::new(parts, vec![ValueType::Int], 2);
+        let _ = scan.next_batch();
+        drop(scan); // must not deadlock
+    }
+
+    #[test]
+    fn panicking_worker_propagates_instead_of_truncating() {
+        let parts = vec![
+            UnionPart {
+                rid_base: 0,
+                task: counting_task(2, 0),
+            },
+            UnionPart {
+                rid_base: 2,
+                task: Box::new(|emit| {
+                    emit(Batch {
+                        cols: vec![ColumnVec::Int(vec![7])],
+                        rid_start: 0,
+                    });
+                    panic!("scan worker died mid-partition");
+                }),
+            },
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            let mut scan = ParallelUnionScan::new(parts, vec![ValueType::Int], 2);
+            let mut rows = 0;
+            while let Some(b) = scan.next_batch() {
+                rows += b.num_rows();
+            }
+            rows
+        }));
+        // the dead partition's missing tail must not look like success
+        assert!(result.is_err(), "worker panic was swallowed");
+    }
+}

@@ -30,7 +30,7 @@ pub use gen::{generate, TpchData};
 pub use refresh::{apply_rf1, apply_rf2, RefreshStreams};
 pub use schema::{table_meta, TPCH_TABLES};
 
-use engine::{Database, TableOptions};
+use engine::{Database, PartitionSpec, TableOptions};
 
 /// Load generated TPC-H data into a fresh engine database. The update
 /// policy in `opts` decides which differential structure maintains every
@@ -38,7 +38,26 @@ use engine::{Database, TableOptions};
 pub fn load_database(data: &TpchData, opts: TableOptions) -> Database {
     let db = Database::new();
     for (name, rows) in data.tables() {
-        db.create_table(schema::table_meta(name), opts, rows.clone())
+        db.create_table(schema::table_meta(name), opts.clone(), rows.clone())
+            .expect("bulk load");
+    }
+    db
+}
+
+/// [`load_database`] with the two refresh-heavy tables (`lineitem` and
+/// `orders`) range-partitioned into `parts` equi-depth slices — how
+/// VectorWise deploys PDTs at scale. The RF1/RF2 streams route through
+/// the partition layer unchanged; the small dimension tables stay
+/// single-partition.
+pub fn load_database_partitioned(data: &TpchData, opts: TableOptions, parts: usize) -> Database {
+    let db = Database::new();
+    for (name, rows) in data.tables() {
+        let table_opts = if matches!(name, "lineitem" | "orders") {
+            opts.clone().with_partitions(PartitionSpec::Count(parts))
+        } else {
+            opts.clone()
+        };
+        db.create_table(schema::table_meta(name), table_opts, rows.clone())
             .expect("bulk load");
     }
     db

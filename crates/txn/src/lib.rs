@@ -365,11 +365,12 @@ impl TxnManager {
     }
 
     /// Append one commit record to the WAL (no-op without a WAL or for an
-    /// empty delta set).
+    /// empty delta set). Each element names the touched `(table,
+    /// partition)` pair — unpartitioned tables pass partition `0`.
     pub fn log_commit(
         &self,
         seq: u64,
-        tables: &[(&str, &[wal::WalEntry])],
+        tables: &[(&str, u32, &[wal::WalEntry])],
     ) -> Result<(), TxnError> {
         if let Some(w) = &self.wal {
             if !tables.is_empty() {
@@ -420,9 +421,10 @@ impl TxnManager {
                             .iter()
                             .map(|(t, d)| (t.clone(), wal::pdt_entries(d)))
                             .collect();
-                        let refs: Vec<(&str, &[wal::WalEntry])> = entries
+                        // the manager's own tables are unpartitioned
+                        let refs: Vec<(&str, u32, &[wal::WalEntry])> = entries
                             .iter()
-                            .map(|(t, e)| (t.as_str(), e.as_slice()))
+                            .map(|(t, e)| (t.as_str(), 0, e.as_slice()))
                             .collect();
                         w.lock().append_commit(seq, &refs).map_err(TxnError::Wal)?;
                     }
@@ -550,13 +552,14 @@ impl TxnManager {
         st.read = Arc::new(Pdt::new(st.schema.clone(), st.sk_cols.clone()));
     }
 
-    /// Append a checkpoint marker for `table` at pinned sequence `seq`
-    /// (no-op without a WAL). Call under [`TxnManager::commit_guard`],
-    /// after the new stable image is installed.
-    pub fn log_checkpoint(&self, table: &str, seq: u64) -> Result<(), TxnError> {
+    /// Append a checkpoint marker for `(table, partition)` at pinned
+    /// sequence `seq` (no-op without a WAL). Call under
+    /// [`TxnManager::commit_guard`], after the new stable image is
+    /// installed. Unpartitioned tables pass partition `0`.
+    pub fn log_checkpoint(&self, table: &str, partition: u32, seq: u64) -> Result<(), TxnError> {
         if let Some(w) = &self.wal {
             w.lock()
-                .append_checkpoint(table, seq)
+                .append_checkpoint(table, partition, seq)
                 .map_err(TxnError::Wal)?;
         }
         Ok(())
@@ -591,7 +594,9 @@ impl TxnManager {
         for rec in records {
             let seq = rec.seq();
             if let wal::WalRecord::Commit { tables, .. } = rec {
-                for (table, entries) in tables {
+                for (table, _partition, entries) in tables {
+                    // the manager's own tables are unpartitioned (the
+                    // engine replays partition-tagged logs itself)
                     let st = inner
                         .tables
                         .get_mut(&table)

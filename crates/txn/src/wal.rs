@@ -36,13 +36,23 @@
 //! stream into this compact form (order-preserving), and
 //! [`rebuild_pdt`] / the engine's key-entry replay expand it back.
 //!
+//! ## Partition tags
+//!
+//! Range-partitioned tables keep one delta structure — and therefore one
+//! WAL footprint — per partition, so every per-table delta in a commit
+//! record and every checkpoint marker carries a `partition` index (`0` for
+//! unpartitioned tables). Recovery dispatches entries to the tagged
+//! partition's structure, and checkpoint markers cover exactly one
+//! partition: folding partition 3 into a fresh stable slice never makes
+//! replay skip partition 5's commits.
+//!
 //! Record layout (little-endian):
 //!
 //! ```text
 //! commit:     [magic u32][seq u64][ntables u32]
-//!               ntables × [name_len u16][name bytes][nentries u32]
+//!               ntables × [name_len u16][name bytes][partition u32][nentries u32]
 //!                 nentries × [sid u64][kind u16][nvals u32][payload]
-//! checkpoint: [ckpt_magic u32][seq u64][name_len u16][name bytes]
+//! checkpoint: [ckpt_magic u32][seq u64][name_len u16][name bytes][partition u32]
 //! payload: INS → full tuple, DEL → sort-key values, MOD → one value,
 //!          INS_BATCH → n tuples, DEL_BATCH → n sort keys
 //! value:   [tag u8][data]   (0=Null 1=Bool 2=Int 3=Double 4=Str 5=Date)
@@ -57,11 +67,12 @@ use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 
-// "pdtB": the batched-entry format (u32 value counts, INS_BATCH/DEL_BATCH
-// kinds). Bumped from "pdtW" so logs written by pre-batch builds fail
-// loudly with "bad record magic" instead of misparsing.
-const MAGIC: u32 = 0x7064_7442;
-const CKPT_MAGIC: u32 = 0x7064_7443; // "pdtC"
+// "pdtP": the partition-tagged format (per-table partition index in
+// commit records and checkpoint markers). Bumped from "pdtB" so logs
+// written by pre-partition builds fail loudly with "bad record magic"
+// instead of misparsing.
+const MAGIC: u32 = 0x7064_7450;
+const CKPT_MAGIC: u32 = 0x7064_7451; // "pdtQ"
 
 /// One entry of a logged delta.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,19 +82,27 @@ pub struct WalEntry {
     pub values: Vec<Value>,
 }
 
-/// One log record: a commit's per-table deltas, or a checkpoint marker.
+/// One log record: a commit's per-partition deltas, or a checkpoint marker.
 #[derive(Debug, Clone)]
 pub enum WalRecord {
-    /// A commit at sequence `seq` with its per-table delta entries.
+    /// A commit at sequence `seq` with its delta entries, one element per
+    /// touched `(table, partition)` pair. Unpartitioned tables log
+    /// partition `0`.
     Commit {
         seq: u64,
-        tables: Vec<(String, Vec<WalEntry>)>,
+        tables: Vec<(String, u32, Vec<WalEntry>)>,
     },
-    /// `table` was checkpointed: every commit with sequence ≤ `seq` is
-    /// folded into the stable image the table restarts from. Commits with
-    /// a later sequence — including ones physically *before* this marker
-    /// in the file, written while the checkpoint merge ran — are not.
-    Checkpoint { seq: u64, table: String },
+    /// `(table, partition)` was checkpointed: every commit with sequence
+    /// ≤ `seq` touching that partition is folded into the stable slice the
+    /// partition restarts from. Commits with a later sequence — including
+    /// ones physically *before* this marker in the file, written while the
+    /// checkpoint merge ran — are not, and neither are other partitions'
+    /// commits at any sequence.
+    Checkpoint {
+        seq: u64,
+        table: String,
+        partition: u32,
+    },
 }
 
 impl WalRecord {
@@ -110,22 +129,24 @@ impl Wal {
         })
     }
 
-    /// Append one commit: the logical delta entries per touched table.
+    /// Append one commit: the logical delta entries per touched
+    /// `(table, partition)` pair (partition `0` for unpartitioned tables).
     /// Entries are backend-agnostic — PDT commits log their *serialized*
     /// (conflict-free, consecutive) deltas via [`pdt_entries`]; value-based
     /// stores log key-addressed entries with `sid = 0`.
     pub fn append_commit(
         &mut self,
         seq: u64,
-        deltas: &[(&str, &[WalEntry])],
+        deltas: &[(&str, u32, &[WalEntry])],
     ) -> std::io::Result<()> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&MAGIC.to_le_bytes());
         buf.extend_from_slice(&seq.to_le_bytes());
         buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
-        for (name, entries) in deltas {
+        for (name, partition, entries) in deltas {
             buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
             buf.extend_from_slice(name.as_bytes());
+            buf.extend_from_slice(&partition.to_le_bytes());
             buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
             for e in *entries {
                 buf.extend_from_slice(&e.sid.to_le_bytes());
@@ -141,16 +162,22 @@ impl Wal {
         self.out.flush()
     }
 
-    /// Append a checkpoint marker: `table`'s commits with sequence ≤ `seq`
-    /// are durable in a fresh stable image. Must be written under the same
-    /// exclusion that orders commits (the engine's commit guard), after the
-    /// new image is installed.
-    pub fn append_checkpoint(&mut self, table: &str, seq: u64) -> std::io::Result<()> {
+    /// Append a checkpoint marker: `(table, partition)`'s commits with
+    /// sequence ≤ `seq` are durable in a fresh stable image. Must be
+    /// written under the same exclusion that orders commits (the engine's
+    /// commit guard), after the new image is installed.
+    pub fn append_checkpoint(
+        &mut self,
+        table: &str,
+        partition: u32,
+        seq: u64,
+    ) -> std::io::Result<()> {
         let mut buf = Vec::new();
         buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
         buf.extend_from_slice(&seq.to_le_bytes());
         buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
         buf.extend_from_slice(table.as_bytes());
+        buf.extend_from_slice(&partition.to_le_bytes());
         self.out.write_all(&buf)?;
         self.out.flush()
     }
@@ -180,7 +207,12 @@ impl Wal {
                 .map_err(|_| corrupt("bad utf8 name"))?
                 .to_string();
                 pos += nlen;
-                records.push(WalRecord::Checkpoint { seq, table });
+                let partition = read_u32(&bytes, &mut pos)?;
+                records.push(WalRecord::Checkpoint {
+                    seq,
+                    table,
+                    partition,
+                });
                 continue;
             }
             if magic != MAGIC {
@@ -199,6 +231,7 @@ impl Wal {
                 .map_err(|_| corrupt("bad utf8 name"))?
                 .to_string();
                 pos += nlen;
+                let partition = read_u32(&bytes, &mut pos)?;
                 let nentries = read_u32(&bytes, &mut pos)? as usize;
                 let mut entries = Vec::with_capacity(nentries);
                 for _ in 0..nentries {
@@ -211,7 +244,7 @@ impl Wal {
                     }
                     entries.push(WalEntry { sid, kind, values });
                 }
-                tables.push((name, entries));
+                tables.push((name, partition, entries));
             }
             records.push(WalRecord::Commit { seq, tables });
         }
@@ -219,10 +252,10 @@ impl Wal {
     }
 
     /// Read the log and resolve checkpoint markers: returns only commit
-    /// records, with each table's entries dropped when a marker covers them
-    /// (`seq` ≤ the table's last marker). This is the record stream a
-    /// recovery that rebuilt every table from its checkpointed stable image
-    /// must replay.
+    /// records, with each `(table, partition)`'s entries dropped when a
+    /// marker covers them (`seq` ≤ the partition's last marker). This is
+    /// the record stream a recovery that rebuilt every partition from its
+    /// checkpointed stable image must replay.
     pub fn read_effective(path: &Path) -> std::io::Result<Vec<WalRecord>> {
         let records = Self::read_all(path)?;
         let markers = checkpoint_seqs(&records);
@@ -232,7 +265,12 @@ impl Wal {
                 WalRecord::Commit { seq, tables } => {
                     let kept: Vec<_> = tables
                         .into_iter()
-                        .filter(|(t, _)| markers.get(t).is_none_or(|&m| seq > m))
+                        .filter(|(t, p, _)| {
+                            markers
+                                .get(t.as_str())
+                                .and_then(|parts| parts.get(p))
+                                .is_none_or(|&m| seq > m)
+                        })
                         .collect();
                     Some(WalRecord::Commit { seq, tables: kept })
                 }
@@ -242,12 +280,22 @@ impl Wal {
     }
 }
 
-/// Last checkpoint marker sequence per table.
-pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, u64> {
-    let mut m = HashMap::new();
+/// Last checkpoint marker sequence per table, then per partition (nested
+/// so replay filtering probes it without allocating per record).
+pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, HashMap<u32, u64>> {
+    let mut m: HashMap<String, HashMap<u32, u64>> = HashMap::new();
     for rec in records {
-        if let WalRecord::Checkpoint { seq, table } = rec {
-            let e = m.entry(table.clone()).or_insert(*seq);
+        if let WalRecord::Checkpoint {
+            seq,
+            table,
+            partition,
+        } = rec
+        {
+            let e = m
+                .entry(table.clone())
+                .or_default()
+                .entry(*partition)
+                .or_insert(*seq);
             *e = (*e).max(*seq);
         }
     }
@@ -561,7 +609,8 @@ mod tests {
         ];
         {
             let mut wal = Wal::open(&path).unwrap();
-            wal.append_commit(1, &[("t", entries.as_slice())]).unwrap();
+            wal.append_commit(1, &[("t", 3, entries.as_slice())])
+                .unwrap();
         }
         let records = Wal::read_all(&path).unwrap();
         assert_eq!(records.len(), 1);
@@ -569,7 +618,47 @@ mod tests {
             panic!("expected a commit record");
         };
         assert_eq!(*seq, 1);
-        assert_eq!(tables[0].1, entries);
+        assert_eq!(tables[0].1, 3, "partition tag roundtrips");
+        assert_eq!(tables[0].2, entries);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpoint_markers_cover_exactly_one_partition() {
+        let dir = std::env::temp_dir().join("pdt_wal_part_marker_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("part.wal");
+        let _ = std::fs::remove_file(&path);
+        let ins = |k: i64| {
+            vec![WalEntry {
+                sid: 0,
+                kind: INS,
+                values: vec![Value::Int(k)],
+            }]
+        };
+        {
+            let mut wal = Wal::open(&path).unwrap();
+            // seq 1 touches partitions 0 and 1; seq 2 touches partition 0
+            let (e0, e1, e2) = (ins(10), ins(20), ins(30));
+            wal.append_commit(1, &[("t", 0, e0.as_slice()), ("t", 1, e1.as_slice())])
+                .unwrap();
+            wal.append_commit(2, &[("t", 0, e2.as_slice())]).unwrap();
+            // partition 0 checkpointed at seq 2: both its deltas are folded
+            wal.append_checkpoint("t", 0, 2).unwrap();
+        }
+        let effective = Wal::read_effective(&path).unwrap();
+        let kept: Vec<(u64, String, u32)> = effective
+            .iter()
+            .flat_map(|r| match r {
+                WalRecord::Commit { seq, tables } => tables
+                    .iter()
+                    .map(|(t, p, _)| (*seq, t.clone(), *p))
+                    .collect::<Vec<_>>(),
+                WalRecord::Checkpoint { .. } => vec![],
+            })
+            .collect();
+        // partition 1's commit survives; partition 0's are covered
+        assert_eq!(kept, vec![(1, "t".to_string(), 1)]);
         let _ = std::fs::remove_file(&path);
     }
 
