@@ -1,0 +1,85 @@
+//! Figure 22 (ours) — CH-benCHmark-style mixed workload through the
+//! serving layer.
+//!
+//! N analytical sessions cycle through TPC-H queries while M refresh
+//! sessions apply RF1/RF2, all against one partitioned database served
+//! by `server::Server`: bounded session pool, background maintenance,
+//! write admission control, and the group-commit WAL. Reported per
+//! policy and class: throughput plus p50/p95/p99 latency from the
+//! serving metrics layer, the maintenance counters, and the WAL's
+//! commits-vs-appends gap (fsync windows saved by group commit).
+//!
+//! Knobs: `PDT_TPCH_SF` (scale factor, default 0.01),
+//! `PDT_BENCH_MIXED_QS` (query sessions, default 2),
+//! `PDT_BENCH_MIXED_RFS` (refresh sessions, default 2),
+//! `PDT_BENCH_MIXED_QROUNDS` (queries per session, default 6),
+//! `PDT_BENCH_MIXED_PARTS` (partitions, default 4),
+//! `PDT_BENCH_MIXED_WAL=1` (commit through a WAL, default on).
+
+use bench::mixed::{run_mixed, MixedConfig};
+use bench::{env_f64, env_u64};
+use engine::ALL_POLICIES;
+
+fn main() {
+    let sf = env_f64("PDT_TPCH_SF", 0.01);
+    let query_sessions = env_u64("PDT_BENCH_MIXED_QS", 2) as usize;
+    let refresh_sessions = env_u64("PDT_BENCH_MIXED_RFS", 2) as usize;
+    let queries_per_session = env_u64("PDT_BENCH_MIXED_QROUNDS", 6) as usize;
+    let partitions = env_u64("PDT_BENCH_MIXED_PARTS", 4) as usize;
+    let with_wal = env_u64("PDT_BENCH_MIXED_WAL", 1) == 1;
+
+    println!(
+        "fig22: mixed workload, sf={sf}, {query_sessions} query + \
+         {refresh_sessions} refresh sessions, {partitions} partitions, \
+         wal={with_wal}"
+    );
+    for policy in ALL_POLICIES {
+        let wal = with_wal.then(|| std::env::temp_dir().join(format!("pdt_fig22_{policy:?}.wal")));
+        let cfg = MixedConfig {
+            sf,
+            partitions,
+            policy,
+            query_sessions,
+            refresh_sessions,
+            query_ids: vec![1, 6, 12],
+            queries_per_session,
+            wal: wal.clone(),
+            ..MixedConfig::default()
+        };
+        let report = run_mixed(&cfg);
+        println!("{policy:?}:");
+        println!("  query:   {}", report.queries);
+        println!("  refresh: {}", report.refresh);
+        if report.backpressure_retries > 0 {
+            println!("  backpressure retries: {}", report.backpressure_retries);
+        }
+        if let Some(m) = &report.maintenance {
+            println!(
+                "  maintenance: {} flushes, {} checkpoints",
+                m.flushes, m.checkpoints
+            );
+        }
+        if let Some(w) = &report.wal {
+            let records = w.commits + w.checkpoints;
+            println!(
+                "  wal: {} records ({} commits, {} checkpoint markers) in \
+                 {} append windows ({} fsyncs saved by group commit)",
+                records,
+                w.commits,
+                w.checkpoints,
+                w.appends,
+                records.saturating_sub(w.appends)
+            );
+        }
+        for t in &report.metrics.tables {
+            if t.name.starts_with('q') {
+                if let Some(l) = &t.scan_latency {
+                    println!("  {}: {l}", t.name);
+                }
+            }
+        }
+        if let Some(p) = &wal {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}

@@ -8,6 +8,8 @@
 //! * `PDT_BENCH_LARGE=1` — also run the paper's larger sizes,
 //! * `PDT_TPCH_SF` — TPC-H scale factor for fig19 (default 0.05).
 
+pub mod mixed;
+
 use columnar::{Schema, StableTable, TableMeta, TableOptions, Tuple, Value, ValueType};
 use pdt::Pdt;
 use rowstore::RowBuffer;

@@ -1,0 +1,310 @@
+//! CH-benCHmark-style mixed workload: N analytical sessions running the
+//! TPC-H queries concurrently with M refresh sessions running RF1/RF2,
+//! all through the serving layer (`server::Server`).
+//!
+//! The driver behind the fig22 bench and the CI mixed smoke test. The
+//! refresh stream is split round-robin across the refresh sessions
+//! ([`tpch::RefreshStreams::slice`]) so concurrent writers never contend
+//! on a key — with one refresh session the committed write set is exactly
+//! the sequential RF1+RF2 pair, which is what the smoke test checks
+//! against a sequentially refreshed reference database.
+//!
+//! Reported per class (query / refresh): operations, wall seconds of the
+//! slowest session, and p50/p95/p99 latency from [`exec::LatencyStats`] —
+//! plus the server's full [`MetricsSnapshot`], the maintenance counters,
+//! and (with a WAL) the [`engine::WalStats`] whose `commits - appends`
+//! gap is the group-commit win.
+
+use engine::{
+    Database, MaintenanceConfig, MaintenanceStats, PartitionSpec, TableOptions, UpdatePolicy,
+    WalStats,
+};
+use exec::{LatencyStats, LatencySummary};
+use server::{AdmissionConfig, MetricsSnapshot, Server, ServerConfig, ServerError, Session};
+use std::fmt;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+use tpch::queries::run_query;
+use tpch::{generate, stage_rf1_chunk, stage_rf2_chunk, RefreshStreams};
+
+/// Mixed-workload knobs (see field docs; defaults are CI-sized).
+#[derive(Debug, Clone)]
+pub struct MixedConfig {
+    /// TPC-H scale factor.
+    pub sf: f64,
+    /// Range partitions for `lineitem`/`orders` (1 = unpartitioned).
+    pub partitions: usize,
+    /// Update policy maintaining every table.
+    pub policy: UpdatePolicy,
+    /// Analytical sessions (each cycles through `query_ids`).
+    pub query_sessions: usize,
+    /// Refresh sessions (the RF streams are sliced across them).
+    pub refresh_sessions: usize,
+    /// Query ids each analytical session cycles through.
+    pub query_ids: Vec<usize>,
+    /// Queries per analytical session.
+    pub queries_per_session: usize,
+    /// Orders staged per refresh transaction (RF1) / keys per delete
+    /// transaction (RF2).
+    pub refresh_batch: usize,
+    /// Scale of the refresh streams (1.0 = the spec's ~0.1 % per stream).
+    pub refresh_fraction: f64,
+    /// Background maintenance; `None` disables the scheduler.
+    pub maintenance: Option<MaintenanceConfig>,
+    /// Write admission control.
+    pub admission: AdmissionConfig,
+    /// Commit WAL path; `None` runs without durability.
+    pub wal: Option<PathBuf>,
+}
+
+impl Default for MixedConfig {
+    fn default() -> Self {
+        MixedConfig {
+            sf: 0.01,
+            partitions: 4,
+            policy: UpdatePolicy::Pdt,
+            query_sessions: 2,
+            refresh_sessions: 1,
+            query_ids: vec![1, 6],
+            queries_per_session: 4,
+            refresh_batch: 32,
+            refresh_fraction: 1.0,
+            maintenance: Some(MaintenanceConfig::default()),
+            admission: AdmissionConfig::default(),
+            wal: None,
+        }
+    }
+}
+
+/// One workload class's aggregate result.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// Sessions that ran the class.
+    pub sessions: usize,
+    /// Operations completed (queries, or committed refresh transactions).
+    pub ops: u64,
+    /// Wall seconds of the slowest session in the class.
+    pub secs: f64,
+    /// Per-operation latency across every session of the class.
+    pub latency: Option<LatencySummary>,
+}
+
+impl ClassReport {
+    /// Class throughput (ops over the slowest session's wall time).
+    pub fn per_sec(&self) -> f64 {
+        self.ops as f64 / self.secs.max(1e-9)
+    }
+}
+
+impl fmt::Display for ClassReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} sessions, {} ops in {:.3}s ({:.1}/s)",
+            self.sessions,
+            self.ops,
+            self.secs,
+            self.per_sec()
+        )?;
+        if let Some(l) = &self.latency {
+            write!(f, " [{l}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Everything one [`run_mixed`] run measured.
+#[derive(Debug, Clone)]
+pub struct MixedReport {
+    /// Analytical class.
+    pub queries: ClassReport,
+    /// Refresh class. `ops` counts committed transactions;
+    /// `backpressure_retries` counts chunks that had to be retried after
+    /// an admission reject.
+    pub refresh: ClassReport,
+    /// Refresh chunks retried after [`ServerError::Backpressure`].
+    pub backpressure_retries: u64,
+    /// The server's full per-table / per-session metrics.
+    pub metrics: MetricsSnapshot,
+    /// Maintenance counters (`None` when disabled).
+    pub maintenance: Option<MaintenanceStats>,
+    /// WAL append statistics (`None` without a WAL); `commits - appends`
+    /// is the number of fsync windows group commit saved.
+    pub wal: Option<WalStats>,
+}
+
+/// Build the TPC-H database for the mixed run (partitioned like
+/// [`tpch::load_database_partitioned`], optionally WAL-backed).
+fn build_db(cfg: &MixedConfig, data: &tpch::TpchData) -> Database {
+    let db = match &cfg.wal {
+        Some(path) => {
+            let _ = std::fs::remove_file(path);
+            Database::with_wal(path).expect("open mixed-workload WAL")
+        }
+        None => Database::new(),
+    };
+    let opts = TableOptions::default().with_policy(cfg.policy);
+    for (name, rows) in data.tables() {
+        let table_opts = if matches!(name, "lineitem" | "orders") && cfg.partitions > 1 {
+            opts.clone()
+                .with_partitions(PartitionSpec::Count(cfg.partitions))
+        } else {
+            opts.clone()
+        };
+        db.create_table(tpch::table_meta(name), table_opts, rows.clone())
+            .expect("bulk load mixed-workload table");
+    }
+    db
+}
+
+/// Commit one staged refresh chunk through a session transaction,
+/// retrying (forever — maintenance is draining under us) on admission
+/// rejects. Returns the retry count.
+fn commit_chunk(
+    session: &Session,
+    lat: &LatencyStats,
+    stage: impl Fn(&mut engine::DbTxn<'_>) -> Result<(), engine::DbError>,
+) -> u64 {
+    let mut retries = 0u64;
+    loop {
+        let t0 = Instant::now();
+        let mut txn = session.begin();
+        let admitted = txn.touch("orders").and_then(|()| txn.touch("lineitem"));
+        match admitted {
+            Ok(()) => {}
+            Err(ServerError::Backpressure { .. }) => {
+                drop(txn);
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+                continue;
+            }
+            Err(e) => panic!("refresh admission failed: {e}"),
+        }
+        stage(txn.raw()).expect("stage refresh chunk");
+        match txn.commit() {
+            Ok(_) => {
+                lat.record(t0.elapsed());
+                return retries;
+            }
+            Err(ServerError::Backpressure { .. }) => {
+                retries += 1;
+                std::thread::sleep(std::time::Duration::from_millis(1));
+            }
+            Err(e) => panic!("refresh commit failed: {e}"),
+        }
+    }
+}
+
+/// Run the mixed workload: spawn every session on the server's bounded
+/// pool, join them all, freeze the report.
+pub fn run_mixed(cfg: &MixedConfig) -> MixedReport {
+    run_mixed_with_db(cfg).0
+}
+
+/// [`run_mixed`], also returning the database after server shutdown —
+/// the smoke test compares its final image against a sequentially
+/// refreshed reference.
+pub fn run_mixed_with_db(cfg: &MixedConfig) -> (MixedReport, Arc<Database>) {
+    let data = generate(cfg.sf);
+    let streams = RefreshStreams::build(&data, cfg.refresh_fraction);
+    let db = Arc::new(build_db(cfg, &data));
+    let server = Server::start(
+        db.clone(),
+        ServerConfig {
+            max_sessions: cfg.query_sessions + cfg.refresh_sessions,
+            maintenance: cfg.maintenance,
+            admission: cfg.admission,
+        },
+    );
+
+    let query_lat = Arc::new(LatencyStats::new());
+    let refresh_lat = Arc::new(LatencyStats::new());
+    let mut query_handles = Vec::new();
+    let mut refresh_handles = Vec::new();
+
+    for w in 0..cfg.refresh_sessions {
+        let slice = streams.slice(cfg.refresh_sessions, w);
+        let lat = refresh_lat.clone();
+        let batch = cfg.refresh_batch.max(1);
+        let h = server
+            .spawn(&format!("rf-{w}"), move |session| {
+                let t0 = Instant::now();
+                let mut commits = 0u64;
+                let mut retries = 0u64;
+                for chunk in slice.inserts.chunks(batch) {
+                    retries += commit_chunk(session, &lat, |txn| stage_rf1_chunk(txn, chunk));
+                    commits += 1;
+                }
+                for chunk in slice.delete_keys.chunks(batch) {
+                    retries += commit_chunk(session, &lat, |txn| stage_rf2_chunk(txn, chunk));
+                    commits += 1;
+                }
+                (commits, retries, t0.elapsed().as_secs_f64())
+            })
+            .expect("spawn refresh session");
+        refresh_handles.push(h);
+    }
+
+    for w in 0..cfg.query_sessions {
+        let ids = cfg.query_ids.clone();
+        let rounds = cfg.queries_per_session;
+        let lat = query_lat.clone();
+        let sf = cfg.sf;
+        let h = server
+            .spawn(&format!("q-{w}"), move |session| {
+                let t0 = Instant::now();
+                let mut rows = 0u64;
+                for k in 0..rounds {
+                    let n = ids[k % ids.len()];
+                    let t = Instant::now();
+                    let out = session.query(&format!("q{n:02}"), |view| run_query(n, view, sf));
+                    lat.record(t.elapsed());
+                    rows += out.len() as u64;
+                }
+                (rounds as u64, rows, t0.elapsed().as_secs_f64())
+            })
+            .expect("spawn query session");
+        query_handles.push(h);
+    }
+
+    let mut refresh_ops = 0u64;
+    let mut backpressure_retries = 0u64;
+    let mut refresh_secs = 0f64;
+    for h in refresh_handles {
+        let (commits, retries, secs) = h.join().expect("refresh session");
+        refresh_ops += commits;
+        backpressure_retries += retries;
+        refresh_secs = refresh_secs.max(secs);
+    }
+    let mut query_ops = 0u64;
+    let mut query_secs = 0f64;
+    for h in query_handles {
+        let (queries, _rows, secs) = h.join().expect("query session");
+        query_ops += queries;
+        query_secs = query_secs.max(secs);
+    }
+
+    server.drain_maintenance().expect("drain maintenance");
+    let maintenance = server.maintenance_stats();
+    let metrics = server.shutdown();
+    let report = MixedReport {
+        queries: ClassReport {
+            sessions: cfg.query_sessions,
+            ops: query_ops,
+            secs: query_secs,
+            latency: query_lat.summary(),
+        },
+        refresh: ClassReport {
+            sessions: cfg.refresh_sessions,
+            ops: refresh_ops,
+            secs: refresh_secs,
+            latency: refresh_lat.summary(),
+        },
+        backpressure_retries,
+        metrics,
+        maintenance,
+        wal: db.wal_stats(),
+    };
+    (report, db)
+}

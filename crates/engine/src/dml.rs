@@ -875,16 +875,24 @@ impl<'db> DbTxn<'db> {
             .map(|(t, p, e)| (t.as_str(), *p, e.as_slice()))
             .collect();
         let seq = mgr.alloc_seq();
-        if let Err(e) = mgr.log_commit(seq, &logged) {
-            mgr.end_txn(self.id);
-            return Err(e.into());
-        }
+        // Group commit phase A: enqueue the record in the coordinator's
+        // buffer while still under the commit guard (keeps the log in
+        // sequence order); the physical append happens after the guard
+        // drops, shared with concurrently committing sessions.
+        let wal_ticket = mgr.log_commit_enqueue(seq, &logged);
         // Phase 2: publish (infallible).
         for ((_, _, mut part), (_, _, part_entries)) in touched.into_iter().zip(entries) {
             let staged = part.staged.take().expect("filtered on staged");
             part.store.publish(staged, seq, &part_entries);
         }
         mgr.end_txn(self.id);
+        drop(_commit);
+        // Group commit phase B: acknowledge only once the record is on
+        // disk. The commit is visible before it is durable; a crash in the
+        // window loses only commits whose `commit()` never returned.
+        if let Some(ticket) = wal_ticket {
+            mgr.wait_wal_durable(ticket)?;
+        }
         Ok(seq)
     }
 
@@ -1178,7 +1186,7 @@ mod tests {
         let scan_bytes = db.io().stats().since(&io_before).bytes_read;
         assert!(keys(&db).len() == 99);
         // the ranged victim scan must not have read the whole table
-        let full = db.stable("t").unwrap().total_bytes();
+        let full = db.stable_single("t").unwrap().total_bytes();
         assert!(scan_bytes < full, "{scan_bytes} vs {full}");
     }
 

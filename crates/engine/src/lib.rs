@@ -53,6 +53,7 @@ pub use maintenance::{
 };
 pub use partition::PartitionSpec;
 pub use rowstore::RowStore;
+pub use txn::wal::WalStats;
 
 use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
 use exec::{
@@ -462,15 +463,49 @@ impl Database {
         Ok(last)
     }
 
+    /// Cumulative WAL append statistics — how many commit/checkpoint
+    /// records were logged and how many physical append windows (one
+    /// write+flush each) carried them. Group commit shows up as
+    /// `commits > appends`. `None` without a WAL.
+    pub fn wal_stats(&self) -> Option<txn::wal::WalStats> {
+        self.txn_mgr.wal_stats()
+    }
+
+    /// Test seam: suppress (or re-enable) group-commit flush leadership so
+    /// concurrently arriving commit records deterministically pile into
+    /// one append window. See `txn::wal::GroupWal::hold_flushes`.
+    pub fn wal_hold_flushes(&self, hold: bool) {
+        self.txn_mgr.wal_hold_flushes(hold);
+    }
+
+    /// Commit/checkpoint records enqueued but not yet durable (0 without
+    /// a WAL).
+    pub fn wal_pending_records(&self) -> u64 {
+        self.txn_mgr.wal_pending_records()
+    }
+
     /// Schema of a table.
     pub fn schema(&self, table: &str) -> Result<Schema, DbError> {
         self.with_entry(table, |e| e.parts[0].stable.schema().clone())
     }
 
-    /// Current stable image of a table's **first partition** (the whole
-    /// image for single-partition tables — use
-    /// [`Database::stable_partition`] when the table is partitioned).
-    pub fn stable(&self, table: &str) -> Result<Arc<StableTable>, DbError> {
+    /// Current stable image of a **single-partition** table. Errors with
+    /// [`DbError::Partition`] when the table is range-partitioned — one
+    /// slice is not the whole image; iterate
+    /// [`Database::stable_partition`] over
+    /// [`Database::partition_count`] instead. (Replaces the old
+    /// `Database::stable`, which silently returned partition 0.)
+    pub fn stable_single(&self, table: &str) -> Result<Arc<StableTable>, DbError> {
+        let parts = self.partition_count(table)?;
+        if parts != 1 {
+            return Err(DbError::Partition {
+                table: table.to_string(),
+                detail: format!(
+                    "stable_single on a table with {parts} partitions; \
+                     use stable_partition per partition"
+                ),
+            });
+        }
         self.stable_partition(table, 0)
     }
 
@@ -1628,7 +1663,10 @@ mod tests {
     fn unknown_table_errors_from_every_entry_point() {
         let db = inventory_db(UpdatePolicy::Pdt);
         assert!(matches!(db.schema("nope"), Err(DbError::UnknownTable(_))));
-        assert!(matches!(db.stable("nope"), Err(DbError::UnknownTable(_))));
+        assert!(matches!(
+            db.stable_single("nope"),
+            Err(DbError::UnknownTable(_))
+        ));
         assert!(matches!(db.policy("nope"), Err(DbError::UnknownTable(_))));
         assert!(matches!(
             db.row_count("nope"),

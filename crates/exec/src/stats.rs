@@ -53,7 +53,23 @@ pub struct LatencySummary {
     pub count: usize,
     pub p50_ns: u64,
     pub p95_ns: u64,
+    pub p99_ns: u64,
     pub max_ns: u64,
+}
+
+impl std::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let ms = |ns: u64| ns as f64 / 1e6;
+        write!(
+            f,
+            "n={} p50={:.3}ms p95={:.3}ms p99={:.3}ms max={:.3}ms",
+            self.count,
+            ms(self.p50_ns),
+            ms(self.p95_ns),
+            ms(self.p99_ns),
+            ms(self.max_ns)
+        )
+    }
 }
 
 impl LatencyStats {
@@ -93,6 +109,7 @@ impl LatencyStats {
             count: s.len(),
             p50_ns: rank(0.50),
             p95_ns: rank(0.95),
+            p99_ns: rank(0.99),
             max_ns: *s.last().unwrap(),
         })
     }
@@ -187,7 +204,9 @@ mod tests {
         assert_eq!(s.count, 5);
         assert_eq!(s.p50_ns, 3);
         assert_eq!(s.p95_ns, 100);
+        assert_eq!(s.p99_ns, 100);
         assert_eq!(s.max_ns, 100);
+        assert!(s.to_string().contains("p99"));
         let out = l.measure(|| 7);
         assert_eq!(out, 7);
         assert_eq!(l.summary().unwrap().count, 6);

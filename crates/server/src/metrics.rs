@@ -1,0 +1,275 @@
+//! Per-table and per-session serving metrics, built on
+//! [`exec::LatencyStats`].
+//!
+//! Sessions record commit and query latencies into two registries: one
+//! keyed by session name, one keyed by an arbitrary label — table names
+//! for commit latency, and whatever the caller passes to
+//! [`crate::Session::query`] (a table name, a query id like `q06`) for
+//! scan latency. [`MetricsSnapshot`] freezes everything (counters plus
+//! nearest-rank p50/p95/p99 summaries) and implements `Display` for a
+//! one-call report.
+
+use exec::{LatencyStats, LatencySummary};
+use parking_lot::{Mutex, RwLock};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Shared event counters (one set per table, one per session).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub commits: AtomicU64,
+    pub aborts: AtomicU64,
+    pub conflicts: AtomicU64,
+    pub delays: AtomicU64,
+    pub rejects: AtomicU64,
+}
+
+impl Counters {
+    fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            commits: self.commits.load(Relaxed),
+            aborts: self.aborts.load(Relaxed),
+            conflicts: self.conflicts.load(Relaxed),
+            delays: self.delays.load(Relaxed),
+            rejects: self.rejects.load(Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of one counter set (a table's or a session's).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    /// Transactions committed.
+    pub commits: u64,
+    /// Transactions aborted (explicitly or by a failed commit).
+    pub aborts: u64,
+    /// Aborts caused by write-write conflicts (subset of `aborts`).
+    pub conflicts: u64,
+    /// Admission checks that delayed a writer.
+    pub delays: u64,
+    /// Admission checks that rejected a writer ([`crate::ServerError::Backpressure`]).
+    pub rejects: u64,
+}
+
+pub(crate) struct TableMetrics {
+    pub counters: Counters,
+    pub commit_latency: LatencyStats,
+    pub scan_latency: LatencyStats,
+}
+
+pub(crate) struct SessionMetrics {
+    pub name: String,
+    pub counters: Counters,
+    pub queries: AtomicU64,
+    pub commit_latency: LatencyStats,
+    pub query_latency: LatencyStats,
+}
+
+/// One table's (or query label's) frozen metrics.
+#[derive(Debug, Clone)]
+pub struct TableMetricsSnapshot {
+    pub name: String,
+    pub counters: CounterSnapshot,
+    /// Commit latency of transactions that touched the table.
+    pub commit_latency: Option<LatencySummary>,
+    /// Latency of queries recorded under this label.
+    pub scan_latency: Option<LatencySummary>,
+}
+
+/// One session's frozen metrics.
+#[derive(Debug, Clone)]
+pub struct SessionMetricsSnapshot {
+    pub name: String,
+    pub counters: CounterSnapshot,
+    /// Queries the session ran via [`crate::Session::query`].
+    pub queries: u64,
+    pub commit_latency: Option<LatencySummary>,
+    pub query_latency: Option<LatencySummary>,
+}
+
+/// Everything the server measured, frozen at one instant.
+#[derive(Debug, Clone)]
+pub struct MetricsSnapshot {
+    /// Time since the server started.
+    pub uptime: Duration,
+    /// Per-table (and per-query-label) metrics, sorted by name.
+    pub tables: Vec<TableMetricsSnapshot>,
+    /// Per-session metrics, in session creation order.
+    pub sessions: Vec<SessionMetricsSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Total committed transactions across sessions.
+    pub fn total_commits(&self) -> u64 {
+        self.sessions.iter().map(|s| s.counters.commits).sum()
+    }
+
+    /// Total queries across sessions.
+    pub fn total_queries(&self) -> u64 {
+        self.sessions.iter().map(|s| s.queries).sum()
+    }
+
+    /// Committed transactions per second of uptime.
+    pub fn commits_per_sec(&self) -> f64 {
+        self.total_commits() as f64 / self.uptime.as_secs_f64().max(1e-9)
+    }
+
+    /// Queries per second of uptime.
+    pub fn queries_per_sec(&self) -> f64 {
+        self.total_queries() as f64 / self.uptime.as_secs_f64().max(1e-9)
+    }
+}
+
+fn fmt_latency(f: &mut fmt::Formatter<'_>, label: &str, l: &Option<LatencySummary>) -> fmt::Result {
+    match l {
+        Some(s) => write!(f, " {label}[{s}]"),
+        None => Ok(()),
+    }
+}
+
+impl fmt::Display for MetricsSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "server: uptime {:.3}s, {} commits ({:.1}/s), {} queries ({:.1}/s)",
+            self.uptime.as_secs_f64(),
+            self.total_commits(),
+            self.commits_per_sec(),
+            self.total_queries(),
+            self.queries_per_sec(),
+        )?;
+        for t in &self.tables {
+            let c = &t.counters;
+            write!(
+                f,
+                "  table {}: {} commits, {} aborts ({} conflicts), {} delays, {} rejects",
+                t.name, c.commits, c.aborts, c.conflicts, c.delays, c.rejects
+            )?;
+            fmt_latency(f, "commit", &t.commit_latency)?;
+            fmt_latency(f, "scan", &t.scan_latency)?;
+            writeln!(f)?;
+        }
+        for s in &self.sessions {
+            let c = &s.counters;
+            write!(
+                f,
+                "  session {}: {} commits, {} aborts ({} conflicts), {} queries, {} delays, {} rejects",
+                s.name, c.commits, c.aborts, c.conflicts, s.queries, c.delays, c.rejects
+            )?;
+            fmt_latency(f, "commit", &s.commit_latency)?;
+            fmt_latency(f, "query", &s.query_latency)?;
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// Live metric stores, created on demand.
+pub(crate) struct Registry {
+    started: Instant,
+    tables: RwLock<BTreeMap<String, Arc<TableMetrics>>>,
+    sessions: Mutex<Vec<Arc<SessionMetrics>>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry {
+            started: Instant::now(),
+            tables: RwLock::new(BTreeMap::new()),
+            sessions: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Get-or-create the metrics of a table / query label.
+    pub fn table(&self, name: &str) -> Arc<TableMetrics> {
+        if let Some(t) = self.tables.read().get(name) {
+            return t.clone();
+        }
+        self.tables
+            .write()
+            .entry(name.to_string())
+            .or_insert_with(|| {
+                Arc::new(TableMetrics {
+                    counters: Counters::default(),
+                    commit_latency: LatencyStats::new(),
+                    scan_latency: LatencyStats::new(),
+                })
+            })
+            .clone()
+    }
+
+    /// Register a new session's metrics (sessions are never deduplicated —
+    /// two sessions with one name report separately).
+    pub fn session(&self, name: &str) -> Arc<SessionMetrics> {
+        let m = Arc::new(SessionMetrics {
+            name: name.to_string(),
+            counters: Counters::default(),
+            queries: AtomicU64::new(0),
+            commit_latency: LatencyStats::new(),
+            query_latency: LatencyStats::new(),
+        });
+        self.sessions.lock().push(m.clone());
+        m
+    }
+
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            uptime: self.started.elapsed(),
+            tables: self
+                .tables
+                .read()
+                .iter()
+                .map(|(name, t)| TableMetricsSnapshot {
+                    name: name.clone(),
+                    counters: t.counters.snapshot(),
+                    commit_latency: t.commit_latency.summary(),
+                    scan_latency: t.scan_latency.summary(),
+                })
+                .collect(),
+            sessions: self
+                .sessions
+                .lock()
+                .iter()
+                .map(|s| SessionMetricsSnapshot {
+                    name: s.name.clone(),
+                    counters: s.counters.snapshot(),
+                    queries: s.queries.load(Relaxed),
+                    commit_latency: s.commit_latency.summary(),
+                    query_latency: s.query_latency.summary(),
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_snapshot_and_display() {
+        let r = Registry::new();
+        let t = r.table("orders");
+        t.counters.commits.fetch_add(3, Relaxed);
+        t.commit_latency.record(Duration::from_micros(120));
+        assert!(Arc::ptr_eq(&t, &r.table("orders")), "get-or-create");
+        let s = r.session("rf-0");
+        s.counters.commits.fetch_add(3, Relaxed);
+        s.queries.fetch_add(1, Relaxed);
+        s.query_latency.record(Duration::from_micros(50));
+        let snap = r.snapshot();
+        assert_eq!(snap.tables.len(), 1);
+        assert_eq!(snap.tables[0].counters.commits, 3);
+        assert_eq!(snap.tables[0].commit_latency.unwrap().count, 1);
+        assert_eq!(snap.total_commits(), 3);
+        assert_eq!(snap.total_queries(), 1);
+        assert!(snap.commits_per_sec() > 0.0);
+        let text = snap.to_string();
+        assert!(text.contains("table orders"), "{text}");
+        assert!(text.contains("session rf-0"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+}

@@ -1,0 +1,98 @@
+//! Bounded worker pool for thread-per-session execution.
+//!
+//! `std` only: jobs travel over an `mpsc` channel whose receiver the
+//! workers share behind a mutex (the classic single-queue pool). The
+//! *bound* is enforced by the server, which counts in-flight sessions and
+//! refuses submissions past the pool size — a serving layer should tell
+//! the client it is saturated, not queue unboundedly.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread::JoinHandle;
+
+pub(crate) type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub(crate) struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    inflight: Arc<AtomicUsize>,
+    limit: usize,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    pub fn new(limit: usize) -> Self {
+        let limit = limit.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..limit)
+            .map(|i| {
+                let rx = rx.clone();
+                std::thread::Builder::new()
+                    .name(format!("session-worker-{i}"))
+                    .spawn(move || loop {
+                        // hold the receiver lock only while dequeueing
+                        let job = rx.lock().recv();
+                        match job {
+                            Ok(job) => job(),
+                            Err(_) => break, // sender dropped: shutdown
+                        }
+                    })
+                    .expect("spawn session worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            inflight: Arc::new(AtomicUsize::new(0)),
+            limit,
+            workers,
+        }
+    }
+
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Reserve an in-flight slot; `Err` when the pool is saturated. The
+    /// job submitted against the reservation must release it (decrement)
+    /// when it finishes.
+    pub fn try_reserve(&self) -> Result<Arc<AtomicUsize>, usize> {
+        let mut cur = self.inflight.load(Ordering::Relaxed);
+        loop {
+            if cur >= self.limit {
+                return Err(self.limit);
+            }
+            match self.inflight.compare_exchange_weak(
+                cur,
+                cur + 1,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return Ok(self.inflight.clone()),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Enqueue a job; `Err` after shutdown.
+    pub fn submit(&self, job: Job) -> Result<(), ()> {
+        match &self.tx {
+            Some(tx) => tx.send(job).map_err(|_| ()),
+            None => Err(()),
+        }
+    }
+
+    /// Stop accepting jobs, let queued ones finish, join the workers.
+    pub fn shutdown(&mut self) {
+        self.tx = None; // closes the channel; workers drain then exit
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

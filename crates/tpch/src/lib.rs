@@ -27,7 +27,7 @@ pub mod refresh;
 pub mod schema;
 
 pub use gen::{generate, TpchData};
-pub use refresh::{apply_rf1, apply_rf2, RefreshStreams};
+pub use refresh::{apply_rf1, apply_rf2, stage_rf1_chunk, stage_rf2_chunk, RefreshStreams};
 pub use schema::{table_meta, TPCH_TABLES};
 
 use engine::{Database, PartitionSpec, TableOptions};

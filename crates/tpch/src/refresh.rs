@@ -25,7 +25,7 @@ use crate::gen::{
     make_order, pick_custkey, refresh_order_key, sparse_order_key, Rng, Sizes, TpchData,
 };
 use columnar::{Tuple, Value};
-use engine::{Database, DbError, ScanSpec};
+use engine::{Database, DbError, DbTxn, ScanSpec};
 use exec::expr::{col, lit};
 use exec::{Batch, Operator, ScanBounds};
 use std::collections::HashSet;
@@ -71,6 +71,82 @@ impl RefreshStreams {
             delete_keys,
         }
     }
+
+    /// Round-robin slice `idx` of `n`: partitions both streams across `n`
+    /// concurrent refresh sessions without overlap (each order key is
+    /// touched by exactly one slice), so a mixed-workload driver can run
+    /// several refresh sessions against one database conflict-free.
+    pub fn slice(&self, n: usize, idx: usize) -> RefreshStreams {
+        let n = n.max(1);
+        let pick = |i: usize| i % n == idx % n;
+        RefreshStreams {
+            inserts: self
+                .inserts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| pick(*i))
+                .map(|(_, x)| x.clone())
+                .collect(),
+            delete_keys: self
+                .delete_keys
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| pick(*i))
+                .map(|(_, &k)| k)
+                .collect(),
+        }
+    }
+}
+
+/// Stage one RF1 chunk into an open transaction: **one** batched `append`
+/// per table, whatever the chunk size. Factored out of [`apply_rf1`] so a
+/// serving layer can run the same logical refresh through its own
+/// transaction handles (admission control, metrics).
+pub fn stage_rf1_chunk(txn: &mut DbTxn<'_>, chunk: &[(Tuple, Vec<Tuple>)]) -> Result<(), DbError> {
+    let order_types = crate::schema::table_meta("orders").schema.types();
+    let line_types = crate::schema::table_meta("lineitem").schema.types();
+    let mut orders = Batch::with_capacity(&order_types, chunk.len());
+    let mut lines = Batch::with_capacity(&line_types, chunk.len() * 4);
+    for (order, order_lines) in chunk {
+        orders.push_row(order);
+        for l in order_lines {
+            lines.push_row(l);
+        }
+    }
+    txn.append("orders", orders)?;
+    txn.append("lineitem", lines)?;
+    Ok(())
+}
+
+/// Stage one RF2 chunk (order keys to delete) into an open transaction:
+/// ranged predicate deletes on `lineitem`, one key-column scan + one
+/// positional `delete_rids` on `orders`. Factored out of [`apply_rf2`]
+/// for the same reason as [`stage_rf1_chunk`].
+pub fn stage_rf2_chunk(txn: &mut DbTxn<'_>, chunk: &[i64]) -> Result<(), DbError> {
+    for &key in chunk {
+        txn.delete_where_ranged(
+            "lineitem",
+            col(0).eq(lit(key)),
+            ScanBounds {
+                lo: Some(vec![Value::Int(key)]),
+                hi: Some(vec![Value::Int(key)]),
+            },
+        )?;
+    }
+    let keys: HashSet<i64> = chunk.iter().copied().collect();
+    let mut rids = Vec::with_capacity(chunk.len());
+    {
+        let mut scan = txn.scan_with("orders", ScanSpec::cols(vec![0]))?;
+        while let Some(b) = scan.next_batch() {
+            for (i, k) in b.cols[0].as_int().iter().enumerate() {
+                if keys.contains(k) {
+                    rids.push(b.rid_start + i as u64);
+                }
+            }
+        }
+    }
+    txn.delete_rids("orders", &rids)?;
+    Ok(())
 }
 
 /// RF1: insert new orders and their lineitems through the batch-first
@@ -78,20 +154,9 @@ impl RefreshStreams {
 /// chunk size, so position resolution, op-log and WAL cost amortize over
 /// the whole refresh chunk. Works unchanged for any update policy.
 pub fn apply_rf1(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
-    let order_types = crate::schema::table_meta("orders").schema.types();
-    let line_types = crate::schema::table_meta("lineitem").schema.types();
     for chunk in streams.inserts.chunks(batch.max(1)) {
         let mut txn = db.begin();
-        let mut orders = Batch::with_capacity(&order_types, chunk.len());
-        let mut lines = Batch::with_capacity(&line_types, chunk.len() * 4);
-        for (order, order_lines) in chunk {
-            orders.push_row(order);
-            for l in order_lines {
-                lines.push_row(l);
-            }
-        }
-        txn.append("orders", orders)?;
-        txn.append("lineitem", lines)?;
+        stage_rf1_chunk(&mut txn, chunk)?;
         txn.commit()?;
     }
     Ok(())
@@ -111,29 +176,7 @@ pub fn apply_rf1(db: &Database, streams: &RefreshStreams, batch: usize) -> Resul
 pub fn apply_rf2(db: &Database, streams: &RefreshStreams, batch: usize) -> Result<(), DbError> {
     for chunk in streams.delete_keys.chunks(batch.max(1)) {
         let mut txn = db.begin();
-        for &key in chunk {
-            txn.delete_where_ranged(
-                "lineitem",
-                col(0).eq(lit(key)),
-                ScanBounds {
-                    lo: Some(vec![Value::Int(key)]),
-                    hi: Some(vec![Value::Int(key)]),
-                },
-            )?;
-        }
-        let keys: HashSet<i64> = chunk.iter().copied().collect();
-        let mut rids = Vec::with_capacity(chunk.len());
-        {
-            let mut scan = txn.scan_with("orders", ScanSpec::cols(vec![0]))?;
-            while let Some(b) = scan.next_batch() {
-                for (i, k) in b.cols[0].as_int().iter().enumerate() {
-                    if keys.contains(k) {
-                        rids.push(b.rid_start + i as u64);
-                    }
-                }
-            }
-        }
-        txn.delete_rids("orders", &rids)?;
+        stage_rf2_chunk(&mut txn, chunk)?;
         txn.commit()?;
     }
     Ok(())
@@ -250,6 +293,41 @@ mod tests {
                     "{policy:?}: {table} diverged after checkpoints"
                 );
             }
+        }
+    }
+
+    /// Slices partition both streams without overlap, and applying every
+    /// slice equals applying the whole stream.
+    #[test]
+    fn slices_partition_the_streams() {
+        let data = generate(0.002);
+        let streams = RefreshStreams::build(&data, 1.0);
+        let slices: Vec<RefreshStreams> = (0..3).map(|i| streams.slice(3, i)).collect();
+        let mut ins: Vec<i64> = slices
+            .iter()
+            .flat_map(|s| s.inserts.iter().map(|(o, _)| o[0].as_int()))
+            .collect();
+        ins.sort_unstable();
+        let mut expect: Vec<i64> = streams.inserts.iter().map(|(o, _)| o[0].as_int()).collect();
+        expect.sort_unstable();
+        assert_eq!(ins, expect, "insert keys partitioned exactly");
+        let mut dels: Vec<i64> = slices.iter().flat_map(|s| s.delete_keys.clone()).collect();
+        dels.sort_unstable();
+        let mut expect = streams.delete_keys.clone();
+        expect.sort_unstable();
+        assert_eq!(dels, expect, "delete keys partitioned exactly");
+
+        // whole-stream vs all-slices application agree
+        let whole = load_database(&data, opts(UpdatePolicy::Pdt));
+        apply_rf1(&whole, &streams, 32).unwrap();
+        apply_rf2(&whole, &streams, 32).unwrap();
+        let sliced = load_database(&data, opts(UpdatePolicy::Pdt));
+        for s in &slices {
+            apply_rf1(&sliced, s, 32).unwrap();
+            apply_rf2(&sliced, s, 32).unwrap();
+        }
+        for table in ["orders", "lineitem"] {
+            assert_eq!(image(&whole, table), image(&sliced, table), "{table}");
         }
     }
 

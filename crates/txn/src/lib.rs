@@ -167,7 +167,7 @@ struct Inner {
 /// The transaction manager (one per database).
 pub struct TxnManager {
     inner: Mutex<Inner>,
-    wal: Option<Mutex<wal::Wal>>,
+    wal: Option<wal::GroupWal>,
     /// Serializes whole commit protocols (and engine-level maintenance)
     /// across possibly many lock acquisitions on `inner` — see
     /// [`TxnManager::commit_guard`].
@@ -205,10 +205,11 @@ impl TxnManager {
         self.commit_mx.lock()
     }
 
-    /// Manager with a write-ahead log at `path` (appended on each commit).
+    /// Manager with a write-ahead log at `path` (appended on each commit
+    /// through the group-commit coordinator).
     pub fn with_wal(path: &Path) -> std::io::Result<Self> {
         let mut mgr = Self::new();
-        mgr.wal = Some(Mutex::new(wal::Wal::open(path)?));
+        mgr.wal = Some(wal::GroupWal::open(path)?);
         Ok(mgr)
     }
 
@@ -364,20 +365,74 @@ impl TxnManager {
             .push_back((table.to_string(), CommittedDelta { seq, pdt: delta }));
     }
 
-    /// Append one commit record to the WAL (no-op without a WAL or for an
-    /// empty delta set). Each element names the touched `(table,
+    /// Log one commit record synchronously: enqueue into the group-commit
+    /// coordinator and wait for its append window. No-op without a WAL or
+    /// for an empty delta set. Each element names the touched `(table,
     /// partition)` pair — unpartitioned tables pass partition `0`.
+    ///
+    /// Concurrent commit protocols get group commit by splitting this into
+    /// [`Self::log_commit_enqueue`] (under the commit guard) and
+    /// [`Self::wait_wal_durable`] (after releasing it) so waiters from
+    /// several commits share one append window.
     pub fn log_commit(
         &self,
         seq: u64,
         tables: &[(&str, u32, &[wal::WalEntry])],
     ) -> Result<(), TxnError> {
-        if let Some(w) = &self.wal {
-            if !tables.is_empty() {
-                w.lock().append_commit(seq, tables).map_err(TxnError::Wal)?;
-            }
+        match self.log_commit_enqueue(seq, tables) {
+            Some(ticket) => self.wait_wal_durable(ticket),
+            None => Ok(()),
         }
-        Ok(())
+    }
+
+    /// Group-commit phase A: encode and enqueue one commit record in the
+    /// coordinator's pending buffer. Infallible and in-memory — call it
+    /// under [`TxnManager::commit_guard`] right after [`Self::alloc_seq`]
+    /// so the buffer (and therefore the file) stays in sequence order.
+    /// Returns the durability ticket, or `None` when nothing was logged
+    /// (no WAL, or an empty delta set).
+    pub fn log_commit_enqueue(
+        &self,
+        seq: u64,
+        tables: &[(&str, u32, &[wal::WalEntry])],
+    ) -> Option<u64> {
+        let w = self.wal.as_ref()?;
+        if tables.is_empty() {
+            return None;
+        }
+        Some(w.enqueue_commit(seq, tables))
+    }
+
+    /// Group-commit phase B: block until the record behind `ticket` is on
+    /// disk. Call *after* releasing the commit guard — that is what lets
+    /// concurrently committing sessions share one WAL append/fsync window.
+    /// The commit is already visible when this runs; a crash in between
+    /// loses only visible-but-unacknowledged commits, never acknowledged
+    /// ones.
+    pub fn wait_wal_durable(&self, ticket: u64) -> Result<(), TxnError> {
+        match &self.wal {
+            Some(w) => w.wait_durable(ticket).map_err(TxnError::Wal),
+            None => Ok(()),
+        }
+    }
+
+    /// Group-commit coordinator counters (None without a WAL): logical
+    /// commit records vs physical append windows.
+    pub fn wal_stats(&self) -> Option<wal::WalStats> {
+        self.wal.as_ref().map(|w| w.stats())
+    }
+
+    /// Test seam: hold/release the coordinator's flush leader so records
+    /// from concurrent commits deterministically pile into one batch.
+    pub fn wal_hold_flushes(&self, hold: bool) {
+        if let Some(w) = &self.wal {
+            w.hold_flushes(hold);
+        }
+    }
+
+    /// Records enqueued but not yet durable — test seam.
+    pub fn wal_pending_records(&self) -> u64 {
+        self.wal.as_ref().map_or(0, |w| w.pending_records())
     }
 
     /// Recovery: rebuild one logged delta and propagate it into the
@@ -415,21 +470,27 @@ impl TxnManager {
         let result = Self::commit_locked(&mut inner, &txn);
         match result {
             Ok((seq, logged)) => {
-                if let Some(w) = &self.wal {
-                    if !logged.is_empty() {
-                        let entries: Vec<(String, Vec<wal::WalEntry>)> = logged
-                            .iter()
-                            .map(|(t, d)| (t.clone(), wal::pdt_entries(d)))
-                            .collect();
-                        // the manager's own tables are unpartitioned
-                        let refs: Vec<(&str, u32, &[wal::WalEntry])> = entries
-                            .iter()
-                            .map(|(t, e)| (t.as_str(), 0, e.as_slice()))
-                            .collect();
-                        w.lock().append_commit(seq, &refs).map_err(TxnError::Wal)?;
-                    }
+                let mut ticket = None;
+                if self.wal.is_some() && !logged.is_empty() {
+                    let entries: Vec<(String, Vec<wal::WalEntry>)> = logged
+                        .iter()
+                        .map(|(t, d)| (t.clone(), wal::pdt_entries(d)))
+                        .collect();
+                    // the manager's own tables are unpartitioned
+                    let refs: Vec<(&str, u32, &[wal::WalEntry])> = entries
+                        .iter()
+                        .map(|(t, e)| (t.as_str(), 0, e.as_slice()))
+                        .collect();
+                    ticket = self.log_commit_enqueue(seq, &refs);
                 }
                 Self::prune_tz(&mut inner);
+                drop(inner);
+                drop(_commit);
+                // group commit: wait for durability off every lock so
+                // concurrent commits share one append window
+                if let Some(t) = ticket {
+                    self.wait_wal_durable(t)?;
+                }
                 Ok(seq)
             }
             Err(e) => {
@@ -558,8 +619,10 @@ impl TxnManager {
     /// installed. Unpartitioned tables pass partition `0`.
     pub fn log_checkpoint(&self, table: &str, partition: u32, seq: u64) -> Result<(), TxnError> {
         if let Some(w) = &self.wal {
-            w.lock()
-                .append_checkpoint(table, partition, seq)
+            // synchronous through the coordinator: the marker (and any
+            // commit records enqueued before it) is on disk when the new
+            // stable image becomes the recovery base
+            w.append_checkpoint(table, partition, seq)
                 .map_err(TxnError::Wal)?;
         }
         Ok(())

@@ -66,6 +66,7 @@ use std::collections::HashMap;
 use std::fs::{File, OpenOptions};
 use std::io::{BufWriter, Read, Write};
 use std::path::Path;
+use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
 // "pdtP": the partition-tagged format (per-table partition index in
 // commit records and checkpoint markers). Bumped from "pdtB" so logs
@@ -140,24 +141,7 @@ impl Wal {
         deltas: &[(&str, u32, &[WalEntry])],
     ) -> std::io::Result<()> {
         let mut buf = Vec::new();
-        buf.extend_from_slice(&MAGIC.to_le_bytes());
-        buf.extend_from_slice(&seq.to_le_bytes());
-        buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
-        for (name, partition, entries) in deltas {
-            buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
-            buf.extend_from_slice(name.as_bytes());
-            buf.extend_from_slice(&partition.to_le_bytes());
-            buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
-            for e in *entries {
-                buf.extend_from_slice(&e.sid.to_le_bytes());
-                buf.extend_from_slice(&e.kind.to_le_bytes());
-                // u32: a batched entry carries a whole statement's values
-                buf.extend_from_slice(&(e.values.len() as u32).to_le_bytes());
-                for v in &e.values {
-                    encode_value(&mut buf, v);
-                }
-            }
-        }
+        encode_commit_record(&mut buf, seq, deltas);
         self.out.write_all(&buf)?;
         self.out.flush()
     }
@@ -173,12 +157,16 @@ impl Wal {
         seq: u64,
     ) -> std::io::Result<()> {
         let mut buf = Vec::new();
-        buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
-        buf.extend_from_slice(&seq.to_le_bytes());
-        buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
-        buf.extend_from_slice(table.as_bytes());
-        buf.extend_from_slice(&partition.to_le_bytes());
+        encode_checkpoint_record(&mut buf, table, partition, seq);
         self.out.write_all(&buf)?;
+        self.out.flush()
+    }
+
+    /// Append pre-encoded record bytes as one physical write + flush
+    /// window. The group-commit coordinator ([`GroupWal`]) uses this to
+    /// land a whole batch of records in a single append.
+    fn append_raw(&mut self, bytes: &[u8]) -> std::io::Result<()> {
+        self.out.write_all(bytes)?;
         self.out.flush()
     }
 
@@ -277,6 +265,221 @@ impl Wal {
                 WalRecord::Checkpoint { .. } => None,
             })
             .collect())
+    }
+}
+
+/// Encode one commit record into `buf` (the layout `read_all` parses).
+fn encode_commit_record(buf: &mut Vec<u8>, seq: u64, deltas: &[(&str, u32, &[WalEntry])]) {
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
+    for (name, partition, entries) in deltas {
+        buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        buf.extend_from_slice(name.as_bytes());
+        buf.extend_from_slice(&partition.to_le_bytes());
+        buf.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+        for e in *entries {
+            buf.extend_from_slice(&e.sid.to_le_bytes());
+            buf.extend_from_slice(&e.kind.to_le_bytes());
+            // u32: a batched entry carries a whole statement's values
+            buf.extend_from_slice(&(e.values.len() as u32).to_le_bytes());
+            for v in &e.values {
+                encode_value(buf, v);
+            }
+        }
+    }
+}
+
+/// Encode one checkpoint marker into `buf`.
+fn encode_checkpoint_record(buf: &mut Vec<u8>, table: &str, partition: u32, seq: u64) {
+    buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
+    buf.extend_from_slice(&seq.to_le_bytes());
+    buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
+    buf.extend_from_slice(table.as_bytes());
+    buf.extend_from_slice(&partition.to_le_bytes());
+}
+
+/// Coordinator counters: logical records enqueued vs physical append
+/// windows. `appends < commits` means group commit batched concurrent
+/// records into shared write+flush windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Commit records enqueued.
+    pub commits: u64,
+    /// Checkpoint markers enqueued.
+    pub checkpoints: u64,
+    /// Physical write + flush windows the log file saw.
+    pub appends: u64,
+}
+
+struct GroupState {
+    /// Encoded records awaiting the next flush window, in enqueue
+    /// (= commit sequence) order.
+    pending: Vec<u8>,
+    /// Number of records currently sitting in `pending`.
+    pending_records: u64,
+    /// Monotonic ticket counters: total records ever enqueued / made
+    /// durable. A record's ticket is the value of `enqueued` right after
+    /// its enqueue; it is durable once `durable >= ticket`.
+    enqueued: u64,
+    durable: u64,
+    /// A leader is currently writing a batch (off this lock).
+    flushing: bool,
+    /// Test seam: suppress leader election so records pile up in
+    /// `pending`; waiters block until the hold is released.
+    hold: bool,
+    /// Sticky I/O failure — the batch that hit it is lost, every waiter
+    /// for a non-durable ticket gets the error.
+    io_error: Option<String>,
+    stats: WalStats,
+}
+
+/// Group-commit coordinator around a [`Wal`].
+///
+/// Commit protocols *enqueue* their encoded record (cheap, in-memory,
+/// under the engine's commit guard so the buffer stays in sequence
+/// order) and later *wait* for durability after releasing their locks.
+/// The first waiter that finds no flush in progress elects itself
+/// leader, takes the whole pending buffer, and lands it in **one**
+/// physical write + flush window (`Wal::append_raw`); concurrently
+/// arriving commits therefore share append windows instead of paying
+/// one `write_all` + `flush` each. Followers block until the leader's
+/// window covers their ticket.
+///
+/// The durable prefix of the file is always a sequence-ordered prefix of
+/// the enqueue order, so recovery is byte-identical to the sequential
+/// path — [`Wal::read_effective`] filters checkpoint markers by
+/// sequence, not file position, and that invariant is preserved.
+pub struct GroupWal {
+    state: StdMutex<GroupState>,
+    file: StdMutex<Wal>,
+    cv: Condvar,
+}
+
+impl GroupWal {
+    /// Open (creating if needed) for appending.
+    pub fn open(path: &Path) -> std::io::Result<GroupWal> {
+        Ok(GroupWal {
+            state: StdMutex::new(GroupState {
+                pending: Vec::new(),
+                pending_records: 0,
+                enqueued: 0,
+                durable: 0,
+                flushing: false,
+                hold: false,
+                io_error: None,
+                stats: WalStats::default(),
+            }),
+            file: StdMutex::new(Wal::open(path)?),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Enqueue one commit record; returns the ticket to pass to
+    /// [`Self::wait_durable`]. Callers must hold whatever exclusion
+    /// orders their sequence numbers (the engine's commit guard) across
+    /// `alloc_seq` + `enqueue_commit` so the buffer stays in seq order.
+    pub fn enqueue_commit(&self, seq: u64, deltas: &[(&str, u32, &[WalEntry])]) -> u64 {
+        let mut g = self.state.lock().unwrap();
+        encode_commit_record(&mut g.pending, seq, deltas);
+        g.pending_records += 1;
+        g.enqueued += 1;
+        g.stats.commits += 1;
+        g.enqueued
+    }
+
+    /// Block until the record behind `ticket` is durable (its bytes
+    /// written and flushed). Self-elects as flush leader when no flush is
+    /// in progress, so progress never depends on another thread. Only
+    /// tickets returned by an enqueue may be waited on.
+    pub fn wait_durable(&self, ticket: u64) -> std::io::Result<()> {
+        let mut g = self.state.lock().unwrap();
+        loop {
+            if g.durable >= ticket {
+                return Ok(());
+            }
+            if let Some(msg) = &g.io_error {
+                return Err(std::io::Error::other(msg.clone()));
+            }
+            if !g.flushing && !g.hold {
+                g = self.flush_batch(g);
+            } else {
+                g = self.cv.wait(g).unwrap();
+            }
+        }
+    }
+
+    /// Enqueue a checkpoint marker and wait until it (and everything
+    /// enqueued before it) is durable. Synchronous on purpose: the
+    /// caller installs the checkpointed image under the commit guard, and
+    /// a recovered log must never cover an image with a marker that was
+    /// not yet on disk when the image became the recovery base.
+    pub fn append_checkpoint(&self, table: &str, partition: u32, seq: u64) -> std::io::Result<()> {
+        let ticket = {
+            let mut g = self.state.lock().unwrap();
+            encode_checkpoint_record(&mut g.pending, table, partition, seq);
+            g.pending_records += 1;
+            g.enqueued += 1;
+            g.stats.checkpoints += 1;
+            g.enqueued
+        };
+        self.wait_durable(ticket)
+    }
+
+    /// Leader path: take the whole pending buffer and land it in one
+    /// physical append window. Enters with the state lock held, returns
+    /// with it re-held.
+    fn flush_batch<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, GroupState>,
+    ) -> StdMutexGuard<'a, GroupState> {
+        g.flushing = true;
+        let batch = std::mem::take(&mut g.pending);
+        let records = std::mem::take(&mut g.pending_records);
+        let hi = g.enqueued;
+        drop(g);
+        // `flushing` excludes other leaders, so the file lock is
+        // uncontended; taking it off the state lock keeps enqueues and
+        // ticket reads running during the write.
+        let res = if batch.is_empty() {
+            Ok(())
+        } else {
+            self.file.lock().unwrap().append_raw(&batch)
+        };
+        let mut g = self.state.lock().unwrap();
+        g.flushing = false;
+        match res {
+            Ok(()) => {
+                if records > 0 {
+                    g.stats.appends += 1;
+                }
+                g.durable = g.durable.max(hi);
+            }
+            Err(e) => g.io_error = Some(e.to_string()),
+        }
+        self.cv.notify_all();
+        g
+    }
+
+    /// Counters snapshot (commits/markers enqueued, physical appends).
+    pub fn stats(&self) -> WalStats {
+        self.state.lock().unwrap().stats
+    }
+
+    /// Records currently buffered and not yet durable — test seam.
+    pub fn pending_records(&self) -> u64 {
+        self.state.lock().unwrap().pending_records
+    }
+
+    /// Test seam: while held, no waiter elects itself leader, so
+    /// concurrently arriving records deterministically pile up into one
+    /// batch; releasing the hold wakes the waiters and the first one
+    /// flushes the whole buffer in a single append window.
+    pub fn hold_flushes(&self, hold: bool) {
+        let mut g = self.state.lock().unwrap();
+        g.hold = hold;
+        drop(g);
+        self.cv.notify_all();
     }
 }
 
@@ -659,6 +862,92 @@ mod tests {
             .collect();
         // partition 1's commit survives; partition 0's are covered
         assert_eq!(kept, vec![(1, "t".to_string(), 1)]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_commit_shares_one_append_window_across_writers() {
+        let dir = std::env::temp_dir().join("pdt_wal_group_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("group.wal");
+        let _ = std::fs::remove_file(&path);
+        let gw = std::sync::Arc::new(GroupWal::open(&path).unwrap());
+        let entry = |k: i64| {
+            vec![WalEntry {
+                sid: 0,
+                kind: INS,
+                values: vec![Value::Int(k)],
+            }]
+        };
+        // a solo commit pays one physical append window
+        let e = entry(0);
+        let t = gw.enqueue_commit(1, &[("t", 0, e.as_slice())]);
+        gw.wait_durable(t).unwrap();
+        assert_eq!(gw.stats().appends, 1);
+        // hold the flusher so 4 concurrent writers deterministically pile
+        // their records into one pending batch
+        gw.hold_flushes(true);
+        let mut handles = Vec::new();
+        for i in 0..4u64 {
+            let gw = gw.clone();
+            handles.push(std::thread::spawn(move || {
+                let e = entry(i as i64 + 1);
+                let t = gw.enqueue_commit(2 + i, &[("t", 0, e.as_slice())]);
+                gw.wait_durable(t).unwrap();
+            }));
+        }
+        while gw.pending_records() < 4 {
+            std::thread::yield_now();
+        }
+        // the held-back records are NOT on disk yet (this is the crash
+        // window a group-commit crash test kills in)
+        assert_eq!(Wal::read_all(&path).unwrap().len(), 1);
+        gw.hold_flushes(false);
+        for h in handles {
+            h.join().unwrap();
+        }
+        let s = gw.stats();
+        assert_eq!(s.commits, 5);
+        assert_eq!(
+            s.appends, 2,
+            "4 concurrent commits must share one append window"
+        );
+        assert!(
+            s.commits - s.appends >= 3,
+            "≥1 fewer append per commit on average at 4 writers"
+        );
+        let mut seqs: Vec<u64> = Wal::read_all(&path)
+            .unwrap()
+            .iter()
+            .map(|r| r.seq())
+            .collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![1, 2, 3, 4, 5], "no record lost or duplicated");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn group_checkpoint_marker_is_synchronous_and_flushes_pending() {
+        let dir = std::env::temp_dir().join("pdt_wal_group_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("group_ckpt.wal");
+        let _ = std::fs::remove_file(&path);
+        let gw = GroupWal::open(&path).unwrap();
+        let e = vec![WalEntry {
+            sid: 0,
+            kind: INS,
+            values: vec![Value::Int(7)],
+        }];
+        // an enqueued-but-unflushed commit rides along with the marker
+        let _ticket = gw.enqueue_commit(1, &[("t", 0, e.as_slice())]);
+        gw.append_checkpoint("t", 0, 1).unwrap();
+        assert_eq!(gw.pending_records(), 0, "marker append drains the buffer");
+        let s = gw.stats();
+        assert_eq!((s.commits, s.checkpoints, s.appends), (1, 1, 1));
+        let recs = Wal::read_all(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(matches!(recs[0], WalRecord::Commit { seq: 1, .. }));
+        assert!(matches!(recs[1], WalRecord::Checkpoint { seq: 1, .. }));
         let _ = std::fs::remove_file(&path);
     }
 

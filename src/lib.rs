@@ -14,11 +14,28 @@
 //!   structure (PDT or VDT) sits behind the unified
 //!   [`engine::DeltaStore`] lifecycle
 //! * [`tpch`] — TPC-H generator, refresh streams and the 22 queries
+//! * [`server`] — concurrent session front end: bounded session pool,
+//!   group-commit WAL, write admission control, serving metrics
 
 pub use columnar;
 pub use engine;
 pub use exec;
 pub use pdt;
+pub use server;
 pub use tpch;
 pub use txn;
 pub use vdt;
+
+/// The types most programs need, one `use` away.
+pub mod prelude {
+    pub use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
+    pub use engine::{
+        Database, DbError, DbTxn, MaintenanceConfig, MaintenanceScheduler, ScanSpec, TableOptions,
+        UpdatePolicy, WalStats,
+    };
+    pub use exec::{LatencyStats, LatencySummary};
+    pub use server::{
+        AdmissionConfig, CounterSnapshot, MetricsSnapshot, Server, ServerConfig, ServerError,
+        Session, SessionMetricsSnapshot, TableMetricsSnapshot,
+    };
+}

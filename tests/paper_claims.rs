@@ -139,7 +139,7 @@ fn claim_ghost_respecting_keeps_stale_sparse_index_valid() {
     assert!(!keys.contains(&1000), "deleted key must be gone");
     // and the scan must have been *ranged* (stale index still prunes)
     let bytes = view.io.stats().since(&io_before).bytes_read;
-    let full = db.stable("t").unwrap().total_bytes();
+    let full = db.stable_single("t").unwrap().total_bytes();
     assert!(
         bytes < full / 4,
         "ranged scan must not degenerate to a full scan ({bytes} vs {full})"
