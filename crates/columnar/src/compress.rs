@@ -253,14 +253,25 @@ pub fn decode(buf: &[u8], enc: Encoding, vtype: ValueType, len: usize) -> Result
 }
 
 fn need(buf: &[u8], pos: usize, n: usize) -> Result<()> {
-    if pos + n > buf.len() {
-        Err(ColumnarError::Corrupt(format!(
+    // checked_add: a corrupt varint length can be near usize::MAX, and the
+    // unchecked sum would wrap in release builds, defeat this bounds check,
+    // and panic on the subsequent slice instead of reporting corruption.
+    match pos.checked_add(n) {
+        Some(end) if end <= buf.len() => Ok(()),
+        _ => Err(ColumnarError::Corrupt(format!(
             "payload truncated: need {n} bytes at {pos}, have {}",
             buf.len()
-        )))
-    } else {
-        Ok(())
+        ))),
     }
+}
+
+/// Clamp an untrusted element count before `Vec::with_capacity`: never
+/// pre-reserve more elements than the remaining payload bytes could encode
+/// (`min_bytes` = smallest possible encoded size of one element). Run-length
+/// payloads may legitimately decode to more values than this; the vector
+/// then grows normally — only the up-front allocation is bounded.
+fn alloc_cap(len: usize, buf_len: usize, pos: usize, min_bytes: usize) -> usize {
+    len.min(buf_len.saturating_sub(pos) / min_bytes.max(1) + 1)
 }
 
 fn read_i64(buf: &[u8], pos: &mut usize) -> Result<i64> {
@@ -302,28 +313,28 @@ fn decode_plain(buf: &[u8], vtype: ValueType, len: usize) -> Result<ColumnVec> {
             ColumnVec::Bool(buf[..len].iter().map(|&b| b != 0).collect())
         }
         ValueType::Int => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 8));
             for _ in 0..len {
                 v.push(read_i64(buf, &mut pos)?);
             }
             ColumnVec::Int(v)
         }
         ValueType::Double => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 8));
             for _ in 0..len {
                 v.push(read_f64(buf, &mut pos)?);
             }
             ColumnVec::Double(v)
         }
         ValueType::Date => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 4));
             for _ in 0..len {
                 v.push(read_i32(buf, &mut pos)?);
             }
             ColumnVec::Date(v)
         }
         ValueType::Str => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 1));
             for _ in 0..len {
                 v.push(read_str(buf, &mut pos)?);
             }
@@ -336,17 +347,20 @@ fn decode_rle(buf: &[u8], vtype: ValueType, len: usize) -> Result<ColumnVec> {
     let mut pos = 0usize;
     macro_rules! runs {
         ($make:expr, $read:expr) => {{
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 2));
             while v.len() < len {
                 let run = get_uvarint(buf, &mut pos)? as usize;
+                // Reject the run *before* materializing it: a corrupt run
+                // length (up to u64::MAX) must not drive a multi-GB push
+                // loop just to fail the length check afterwards.
+                if run > len - v.len() {
+                    return Err(ColumnarError::Corrupt("RLE length mismatch".into()));
+                }
                 #[allow(clippy::redundant_closure_call)]
                 let x = $read(buf, &mut pos)?;
                 for _ in 0..run {
                     v.push(x.clone());
                 }
-            }
-            if v.len() != len {
-                return Err(ColumnarError::Corrupt("RLE length mismatch".into()));
             }
             #[allow(clippy::redundant_closure_call)]
             $make(v)
@@ -372,14 +386,14 @@ fn decode_dict(buf: &[u8], vtype: ValueType, len: usize) -> Result<ColumnVec> {
     }
     let mut pos = 0usize;
     let card = get_uvarint(buf, &mut pos)? as usize;
-    let mut dict = Vec::with_capacity(card);
+    let mut dict = Vec::with_capacity(alloc_cap(card, buf.len(), pos, 1));
     for _ in 0..card {
         dict.push(read_str(buf, &mut pos)?);
     }
     need(buf, pos, 1)?;
     let width = buf[pos];
     pos += 1;
-    let mut v = Vec::with_capacity(len);
+    let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 1));
     for _ in 0..len {
         let idx = match width {
             1 => {
@@ -414,7 +428,7 @@ fn decode_delta(buf: &[u8], vtype: ValueType, len: usize) -> Result<ColumnVec> {
     let mut pos = 0usize;
     match vtype {
         ValueType::Int => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 1));
             let mut prev = 0i64;
             for _ in 0..len {
                 prev = prev.wrapping_add(unzigzag(get_uvarint(buf, &mut pos)?));
@@ -423,7 +437,7 @@ fn decode_delta(buf: &[u8], vtype: ValueType, len: usize) -> Result<ColumnVec> {
             Ok(ColumnVec::Int(v))
         }
         ValueType::Date => {
-            let mut v = Vec::with_capacity(len);
+            let mut v = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 1));
             let mut prev = 0i64;
             for _ in 0..len {
                 prev = prev.wrapping_add(unzigzag(get_uvarint(buf, &mut pos)?));
@@ -536,6 +550,46 @@ mod tests {
         let col = ColumnVec::Int(vec![1, 2, 3]);
         let bytes = encode(&col, Encoding::Plain).unwrap();
         assert!(decode(&bytes[..5], Encoding::Plain, ValueType::Int, 3).is_err());
+    }
+
+    #[test]
+    fn corrupt_varint_length_is_error_not_panic() {
+        // String length claims u64::MAX bytes: `pos + n` must not wrap.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert!(decode(&buf, Encoding::Plain, ValueType::Str, 1).is_err());
+        assert!(decode(&buf, Encoding::Rle, ValueType::Str, 1).is_err());
+    }
+
+    #[test]
+    fn corrupt_rle_run_rejected_before_materializing() {
+        // One run claiming u64::MAX values of 7 must fail fast, not OOM.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        buf.extend_from_slice(&7i64.to_le_bytes());
+        assert_eq!(
+            decode(&buf, Encoding::Rle, ValueType::Int, 3),
+            Err(ColumnarError::Corrupt("RLE length mismatch".into()))
+        );
+    }
+
+    #[test]
+    fn corrupt_dict_cardinality_does_not_overallocate() {
+        // Dictionary claims u64::MAX entries in a 10-byte payload.
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, u64::MAX);
+        assert!(decode(&buf, Encoding::Dict, ValueType::Str, 4).is_err());
+    }
+
+    #[test]
+    fn corrupt_declared_len_does_not_overallocate() {
+        // Caller-declared block length is untrusted too: decoding 3 real
+        // values with a huge declared len must error, not reserve GBs.
+        let col = ColumnVec::Int(vec![1, 2, 3]);
+        let bytes = encode(&col, Encoding::Plain).unwrap();
+        assert!(decode(&bytes, Encoding::Plain, ValueType::Int, usize::MAX).is_err());
+        let bytes = encode(&col, Encoding::DeltaVarint).unwrap();
+        assert!(decode(&bytes, Encoding::DeltaVarint, ValueType::Int, usize::MAX).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@ pub enum ColumnarError {
         index: u64,
         len: u64,
     },
+    /// A filesystem error while reading or writing persisted images. Carries
+    /// the rendered `std::io::Error` (this enum is `Clone + Eq`).
+    Io(String),
 }
 
 impl fmt::Display for ColumnarError {
@@ -30,6 +33,7 @@ impl fmt::Display for ColumnarError {
             ColumnarError::OutOfRange { what, index, len } => {
                 write!(f, "{what} index {index} out of range (len {len})")
             }
+            ColumnarError::Io(m) => write!(f, "image I/O: {m}"),
         }
     }
 }

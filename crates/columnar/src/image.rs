@@ -1,0 +1,794 @@
+//! Persisted compressed stable images and their manifest.
+//!
+//! A checkpoint's merge phase materialises a fresh [`StableTable`]; this
+//! module writes that table's *encoded* blocks (FOR/RLE/dict/delta exactly
+//! as chosen by [`crate::block::Block::encode`]) to one image file per
+//! table partition, and tracks the current image of every partition in a
+//! single `MANIFEST` file that is swapped atomically (write-temp + rename).
+//! Recovery loads images instead of replaying folded WAL history.
+//!
+//! Durability protocol (see the engine's checkpoint for the locking):
+//!
+//! 1. image file written to `<file>.tmp`, fsync'd, renamed into place;
+//! 2. manifest rewritten the same way — the rename is the publish point;
+//! 3. only then is the WAL checkpoint marker appended.
+//!
+//! A crash between 2 and 3 leaves a manifest entry whose sequence is
+//! *ahead* of the WAL's checkpoint marker; loaders must treat such an
+//! entry as absent (the commits folded into it will replay from the WAL
+//! instead — see [`ImageStore::load`]). To keep the *previous* recovery
+//! base alive across that window, the manifest retains the newest **two**
+//! entries per partition: by the time a new checkpoint of a partition
+//! publishes, the previous image's marker is durable (phase 3 appends it
+//! synchronously and per-partition checkpoints are serialized), so every
+//! older entry is unreferenced and its file is pruned. Every byte read
+//! from an image is
+//! bounds-checked and checksummed: corruption yields
+//! [`ColumnarError::Corrupt`], never a panic (the decode paths themselves
+//! are hardened the same way in [`crate::compress`]).
+
+use crate::block::{Block, Encoding};
+use crate::error::{ColumnarError, Result};
+use crate::io::IoTracker;
+use crate::schema::{Field, Schema, SortKeyDef};
+use crate::table::{StableTable, TableMeta, TableOptions};
+use crate::value::{SkKey, Value, ValueType};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Image file magic: "pdtR" (R for read-store image).
+const IMAGE_MAGIC: u32 = 0x7064_7452;
+const IMAGE_VERSION: u32 = 1;
+const MANIFEST_HEADER: &str = "pdt-images v1";
+/// Manifest file name inside the image directory.
+pub const MANIFEST_FILE: &str = "MANIFEST";
+
+fn io_err(e: std::io::Error) -> ColumnarError {
+    ColumnarError::Io(e.to_string())
+}
+
+// ---------------------------------------------------------------------------
+// binary primitives
+// ---------------------------------------------------------------------------
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        match self.pos.checked_add(n) {
+            Some(end) if end <= self.buf.len() => {
+                let s = &self.buf[self.pos..end];
+                self.pos = end;
+                Ok(s)
+            }
+            _ => Err(ColumnarError::Corrupt(format!(
+                "image truncated: need {n} bytes at {}, have {}",
+                self.pos,
+                self.buf.len()
+            ))),
+        }
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> Result<String> {
+        let n = self.u32()? as usize;
+        let b = self.take(n)?;
+        String::from_utf8(b.to_vec())
+            .map_err(|e| ColumnarError::Corrupt(format!("image string not utf8: {e}")))
+    }
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn vtype_tag(t: ValueType) -> u8 {
+    match t {
+        ValueType::Bool => 0,
+        ValueType::Int => 1,
+        ValueType::Double => 2,
+        ValueType::Str => 3,
+        ValueType::Date => 4,
+    }
+}
+
+fn vtype_of(tag: u8) -> Result<ValueType> {
+    Ok(match tag {
+        0 => ValueType::Bool,
+        1 => ValueType::Int,
+        2 => ValueType::Double,
+        3 => ValueType::Str,
+        4 => ValueType::Date,
+        t => return Err(ColumnarError::Corrupt(format!("bad vtype tag {t}"))),
+    })
+}
+
+fn encoding_tag(e: Encoding) -> u8 {
+    match e {
+        Encoding::Plain => 0,
+        Encoding::Rle => 1,
+        Encoding::Dict => 2,
+        Encoding::DeltaVarint => 3,
+    }
+}
+
+fn encoding_of(tag: u8) -> Result<Encoding> {
+    Ok(match tag {
+        0 => Encoding::Plain,
+        1 => Encoding::Rle,
+        2 => Encoding::Dict,
+        3 => Encoding::DeltaVarint,
+        t => return Err(ColumnarError::Corrupt(format!("bad encoding tag {t}"))),
+    })
+}
+
+fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(*b as u8);
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Double(d) => {
+            out.push(3);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            put_str(out, s);
+        }
+        Value::Date(d) => {
+            out.push(5);
+            out.extend_from_slice(&d.to_le_bytes());
+        }
+    }
+}
+
+fn get_value(cur: &mut Cursor<'_>) -> Result<Value> {
+    Ok(match cur.u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(cur.u8()? != 0),
+        2 => Value::Int(i64::from_le_bytes(cur.take(8)?.try_into().unwrap())),
+        3 => Value::Double(f64::from_le_bytes(cur.take(8)?.try_into().unwrap())),
+        4 => Value::Str(cur.str()?),
+        5 => Value::Date(i32::from_le_bytes(cur.take(4)?.try_into().unwrap())),
+        t => return Err(ColumnarError::Corrupt(format!("bad value tag {t}"))),
+    })
+}
+
+fn put_key(out: &mut Vec<u8>, key: &[Value]) {
+    out.push(key.len() as u8);
+    for v in key {
+        put_value(out, v);
+    }
+}
+
+fn get_key(cur: &mut Cursor<'_>) -> Result<SkKey> {
+    let n = cur.u8()? as usize;
+    let mut key = Vec::with_capacity(n);
+    for _ in 0..n {
+        key.push(get_value(cur)?);
+    }
+    Ok(key)
+}
+
+/// FNV-1a 64 over the image body (cheap whole-file corruption detection; a
+/// flipped bit inside a block payload is additionally caught by the decode
+/// bounds checks).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------------
+// image files
+// ---------------------------------------------------------------------------
+
+/// Serialize `table` (with its checkpoint sequence) into image bytes.
+pub fn encode_image(table: &StableTable, seq: u64) -> Vec<u8> {
+    let mut body = Vec::new();
+    body.extend_from_slice(&seq.to_le_bytes());
+    let meta = table.meta();
+    put_str(&mut body, &meta.name);
+    body.extend_from_slice(&(meta.schema.len() as u16).to_le_bytes());
+    for f in meta.schema.fields() {
+        put_str(&mut body, &f.name);
+        body.push(vtype_tag(f.vtype));
+    }
+    let sk = meta.sort_key.cols();
+    body.extend_from_slice(&(sk.len() as u16).to_le_bytes());
+    for &c in sk {
+        body.extend_from_slice(&(c as u32).to_le_bytes());
+    }
+    let opts = table.options();
+    body.extend_from_slice(&(opts.block_rows as u32).to_le_bytes());
+    body.push(opts.compressed as u8);
+    body.extend_from_slice(&table.row_count().to_le_bytes());
+    body.extend_from_slice(&(table.num_columns() as u16).to_le_bytes());
+    for c in 0..table.num_columns() {
+        let blocks = table.column_blocks(c);
+        body.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
+        for b in blocks {
+            body.extend_from_slice(&(b.len as u32).to_le_bytes());
+            body.push(vtype_tag(b.vtype));
+            body.push(encoding_tag(b.encoding));
+            body.extend_from_slice(&(b.payload.len() as u32).to_le_bytes());
+            body.extend_from_slice(&b.payload);
+        }
+    }
+    let mins = table.sparse_index().first_keys();
+    let maxs = table.block_max_keys();
+    body.extend_from_slice(&(mins.len() as u32).to_le_bytes());
+    for (min, max) in mins.iter().zip(maxs) {
+        put_key(&mut body, min);
+        put_key(&mut body, max);
+    }
+
+    let mut out = Vec::with_capacity(body.len() + 16);
+    out.extend_from_slice(&IMAGE_MAGIC.to_le_bytes());
+    out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&fnv1a(&body).to_le_bytes());
+    out
+}
+
+/// Parse image bytes back into a table and its checkpoint sequence. Every
+/// read is bounds-checked; shape and checksum mismatches return
+/// [`ColumnarError::Corrupt`]. Each block's stored bytes are charged to
+/// `io` — the image load *is* the cold-start I/O the paper's plots model.
+pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> {
+    if bytes.len() < 16 {
+        return Err(ColumnarError::Corrupt("image shorter than header".into()));
+    }
+    let mut cur = Cursor::new(bytes);
+    if cur.u32()? != IMAGE_MAGIC {
+        return Err(ColumnarError::Corrupt("bad image magic".into()));
+    }
+    let version = cur.u32()?;
+    if version != IMAGE_VERSION {
+        return Err(ColumnarError::Corrupt(format!(
+            "unsupported image version {version}"
+        )));
+    }
+    let body = &bytes[8..bytes.len() - 8];
+    let stored_sum = u64::from_le_bytes(bytes[bytes.len() - 8..].try_into().unwrap());
+    if fnv1a(body) != stored_sum {
+        return Err(ColumnarError::Corrupt("image checksum mismatch".into()));
+    }
+    let mut cur = Cursor::new(body);
+    let seq = cur.u64()?;
+    let name = cur.str()?;
+    let nfields = cur.u16()? as usize;
+    let mut fields = Vec::with_capacity(nfields.min(body.len()));
+    for _ in 0..nfields {
+        let fname = cur.str()?;
+        let vtype = vtype_of(cur.u8()?)?;
+        fields.push(Field::new(fname, vtype));
+    }
+    let nsk = cur.u16()? as usize;
+    let mut sk = Vec::with_capacity(nsk.min(body.len()));
+    for _ in 0..nsk {
+        let c = cur.u32()? as usize;
+        if c >= nfields {
+            return Err(ColumnarError::Corrupt(format!(
+                "sort-key column {c} out of range ({nfields} fields)"
+            )));
+        }
+        sk.push(c);
+    }
+    let block_rows = cur.u32()? as usize;
+    let compressed = cur.u8()? != 0;
+    let row_count = cur.u64()?;
+    let ncols = cur.u16()? as usize;
+    if ncols != nfields {
+        return Err(ColumnarError::Corrupt(format!(
+            "image has {ncols} columns for {nfields} fields"
+        )));
+    }
+    let schema = Schema::new(fields);
+    let mut cols = Vec::with_capacity(ncols);
+    for _ in 0..ncols {
+        let nblocks = cur.u32()? as usize;
+        let mut blocks = Vec::with_capacity(nblocks.min(body.len()));
+        for _ in 0..nblocks {
+            let len = cur.u32()? as usize;
+            let vtype = vtype_of(cur.u8()?)?;
+            let encoding = encoding_of(cur.u8()?)?;
+            let plen = cur.u32()? as usize;
+            let payload = cur.take(plen)?;
+            io.record_block(plen as u64);
+            blocks.push(Block {
+                len,
+                vtype,
+                encoding,
+                payload: Bytes::copy_from_slice(payload),
+            });
+        }
+        cols.push(blocks);
+    }
+    let nbounds = cur.u32()? as usize;
+    let mut mins = Vec::with_capacity(nbounds.min(body.len()));
+    let mut maxs = Vec::with_capacity(nbounds.min(body.len()));
+    for _ in 0..nbounds {
+        mins.push(get_key(&mut cur)?);
+        maxs.push(get_key(&mut cur)?);
+    }
+    let meta = TableMeta {
+        name,
+        schema,
+        sort_key: SortKeyDef::new(sk),
+    };
+    let opts = TableOptions {
+        block_rows,
+        compressed,
+    };
+    let table = StableTable::from_parts(meta, opts, row_count, cols, mins, maxs)?;
+    Ok((table, seq))
+}
+
+fn write_atomic(path: &Path, bytes: &[u8]) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    fs::rename(&tmp, path).map_err(io_err)
+}
+
+// ---------------------------------------------------------------------------
+// manifest
+// ---------------------------------------------------------------------------
+
+/// One published image of a partition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImageEntry {
+    /// Checkpoint sequence the image folds (every commit with `seq <=` this
+    /// is contained in the image).
+    pub seq: u64,
+    /// Image file name, relative to the image directory.
+    pub file: String,
+}
+
+/// The manifest: the published images of every `(table, partition)`,
+/// atomically swapped as one file so readers always observe a consistent
+/// set. Per key the newest two entries are retained (ascending by
+/// sequence): the newest may sit in the crash window before its WAL
+/// marker, in which case the one below it is the recovery base.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImageManifest {
+    entries: BTreeMap<(String, u32), Vec<ImageEntry>>,
+}
+
+impl ImageManifest {
+    /// Parse `MANIFEST` in `dir`. `Ok(None)` when absent (no checkpoint has
+    /// published an image yet).
+    pub fn load(dir: &Path) -> Result<Option<ImageManifest>> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(io_err(e)),
+        };
+        let mut lines = text.lines();
+        if lines.next() != Some(MANIFEST_HEADER) {
+            return Err(ColumnarError::Corrupt("bad manifest header".into()));
+        }
+        let mut entries = BTreeMap::new();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.splitn(5, '\t');
+            let (kind, seq, partition, file, table) = (
+                parts.next(),
+                parts.next(),
+                parts.next(),
+                parts.next(),
+                parts.next(),
+            );
+            let (Some("image"), Some(seq), Some(partition), Some(file), Some(table)) =
+                (kind, seq, partition, file, table)
+            else {
+                return Err(ColumnarError::Corrupt(format!(
+                    "bad manifest line: {line:?}"
+                )));
+            };
+            let seq = seq
+                .parse::<u64>()
+                .map_err(|_| ColumnarError::Corrupt(format!("bad manifest seq: {line:?}")))?;
+            let partition = partition
+                .parse::<u32>()
+                .map_err(|_| ColumnarError::Corrupt(format!("bad manifest partition: {line:?}")))?;
+            let key = (table.to_string(), partition);
+            let list: &mut Vec<ImageEntry> = entries.entry(key).or_default();
+            list.push(ImageEntry {
+                seq,
+                file: file.to_string(),
+            });
+        }
+        for list in entries.values_mut() {
+            list.sort_by_key(|e| e.seq);
+        }
+        Ok(Some(ImageManifest { entries }))
+    }
+
+    /// Write the manifest to `dir` atomically (temp file + rename).
+    pub fn save(&self, dir: &Path) -> Result<()> {
+        let mut text = String::from(MANIFEST_HEADER);
+        text.push('\n');
+        for ((table, partition), list) in &self.entries {
+            for e in list {
+                text.push_str(&format!(
+                    "image\t{}\t{}\t{}\t{}\n",
+                    e.seq, partition, e.file, table
+                ));
+            }
+        }
+        write_atomic(&dir.join(MANIFEST_FILE), text.as_bytes())
+    }
+
+    /// The entry of `(table, partition)` at *exactly* `seq`, if published.
+    pub fn get(&self, table: &str, partition: u32, seq: u64) -> Option<&ImageEntry> {
+        self.entries
+            .get(&(table.to_string(), partition))?
+            .iter()
+            .find(|e| e.seq == seq)
+    }
+
+    /// The newest published entry of `(table, partition)` — possibly in the
+    /// crash window before its WAL marker.
+    pub fn latest(&self, table: &str, partition: u32) -> Option<&ImageEntry> {
+        self.entries.get(&(table.to_string(), partition))?.last()
+    }
+
+    /// Record a publish: insert `entry` (replacing a same-sequence one) and
+    /// return the entries it supersedes — everything except the newest two,
+    /// whose files the caller may delete once the manifest is saved.
+    pub fn set(&mut self, table: &str, partition: u32, entry: ImageEntry) -> Vec<ImageEntry> {
+        let list = self
+            .entries
+            .entry((table.to_string(), partition))
+            .or_default();
+        list.retain(|e| e.seq != entry.seq);
+        list.push(entry);
+        list.sort_by_key(|e| e.seq);
+        let keep_from = list.len().saturating_sub(2);
+        list.drain(..keep_from).collect()
+    }
+
+    /// Number of `(table, partition)` keys with at least one image.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// store
+// ---------------------------------------------------------------------------
+
+/// Image directory handle: publishes checkpoint images and loads them back
+/// on recovery. Publishes are serialized internally so per-partition
+/// checkpoints may run concurrently.
+#[derive(Debug)]
+pub struct ImageStore {
+    dir: PathBuf,
+    publish_lock: Mutex<()>,
+}
+
+impl ImageStore {
+    /// Open (creating if needed) an image directory.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ImageStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(io_err)?;
+        Ok(ImageStore {
+            dir,
+            publish_lock: Mutex::new(()),
+        })
+    }
+
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn image_file(table: &str, partition: u32, seq: u64) -> String {
+        format!("{table}.p{partition}.{seq}.img")
+    }
+
+    /// Persist `table` as the image of `(table_name, partition)` at
+    /// checkpoint sequence `seq` and swap the manifest to point at it. The
+    /// manifest rename is the publish point; the caller appends the WAL
+    /// checkpoint marker only after this returns. The previous image stays
+    /// published (and its file on disk) so a crash before the new marker
+    /// lands still finds its recovery base; entries older than that are
+    /// pruned here, after the swap.
+    pub fn publish(
+        &self,
+        table_name: &str,
+        partition: u32,
+        seq: u64,
+        table: &StableTable,
+    ) -> Result<()> {
+        let _g = self.publish_lock.lock().expect("image publish lock");
+        let file = Self::image_file(table_name, partition, seq);
+        write_atomic(&self.dir.join(&file), &encode_image(table, seq))?;
+        let mut manifest = ImageManifest::load(&self.dir)?.unwrap_or_default();
+        let pruned = manifest.set(table_name, partition, ImageEntry { seq, file });
+        manifest.save(&self.dir)?;
+        for old in pruned {
+            // Best-effort cleanup; the manifest no longer references them.
+            let _ = fs::remove_file(self.dir.join(old.file));
+        }
+        Ok(())
+    }
+
+    /// Load the image of `(table, partition)` if the manifest has one at
+    /// *exactly* `expect_seq` — the WAL's checkpoint-marker sequence. A
+    /// manifest entry ahead of the marker is the crash window between
+    /// manifest swap and marker append: its image folds commits the WAL
+    /// still considers live, so it must not be used; the entry below it
+    /// (the previous recovery base) is retained and matches the marker
+    /// instead. Returns `Ok(None)` when no entry matches (the caller falls
+    /// back to full WAL replay).
+    pub fn load(
+        &self,
+        table: &str,
+        partition: u32,
+        expect_seq: u64,
+        io: &IoTracker,
+    ) -> Result<Option<StableTable>> {
+        let Some(manifest) = ImageManifest::load(&self.dir)? else {
+            return Ok(None);
+        };
+        let Some(entry) = manifest.get(table, partition, expect_seq) else {
+            return Ok(None);
+        };
+        let bytes = fs::read(self.dir.join(&entry.file)).map_err(io_err)?;
+        let (table, seq) = decode_image(&bytes, io)?;
+        if seq != entry.seq {
+            return Err(ColumnarError::Corrupt(format!(
+                "image seq {seq} does not match manifest seq {}",
+                entry.seq
+            )));
+        }
+        Ok(Some(table))
+    }
+
+    /// The manifest's current entries (`None` before the first publish).
+    pub fn manifest(&self) -> Result<Option<ImageManifest>> {
+        ImageManifest::load(&self.dir)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Tuple;
+
+    fn table(rows: i64, block_rows: usize) -> StableTable {
+        let meta = TableMeta::new(
+            "t",
+            Schema::from_pairs(&[
+                ("k", ValueType::Int),
+                ("s", ValueType::Str),
+                ("d", ValueType::Double),
+            ]),
+            vec![0],
+        );
+        let rows: Vec<Tuple> = (0..rows)
+            .map(|i| {
+                vec![
+                    Value::Int(i),
+                    Value::Str(format!("tag{}", i % 3)),
+                    Value::Double(i as f64 * 0.5),
+                ]
+            })
+            .collect();
+        StableTable::bulk_load(
+            meta,
+            TableOptions {
+                block_rows,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn image_roundtrip_preserves_rows_and_blocks() {
+        let t = table(1000, 128);
+        let bytes = encode_image(&t, 42);
+        let io = IoTracker::new();
+        let (back, seq) = decode_image(&bytes, &io).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(back.row_count(), t.row_count());
+        assert_eq!(back.num_blocks(), t.num_blocks());
+        assert_eq!(back.meta().name, "t");
+        assert_eq!(back.schema(), t.schema());
+        assert_eq!(back.sort_key(), t.sort_key());
+        assert_eq!(back.total_bytes(), t.total_bytes(), "blocks kept encoded");
+        // load charged one read per block
+        assert_eq!(
+            io.stats().blocks_read,
+            (t.num_blocks() * t.num_columns()) as u64
+        );
+        assert_eq!(io.stats().bytes_read, t.total_bytes());
+        let io2 = IoTracker::new();
+        assert_eq!(back.scan_all(&io2).unwrap(), t.scan_all(&io2).unwrap());
+        // sparse index and block bounds survive
+        assert_eq!(
+            back.sid_range(Some(&[Value::Int(300)]), None),
+            t.sid_range(Some(&[Value::Int(300)]), None)
+        );
+        assert_eq!(back.block_sk_bounds(2), t.block_sk_bounds(2));
+    }
+
+    #[test]
+    fn corrupt_image_is_error_never_panic() {
+        let t = table(200, 64);
+        let bytes = encode_image(&t, 7);
+        let io = IoTracker::new();
+        // flip every byte position one at a time on a sparse stride
+        for i in (0..bytes.len()).step_by(13) {
+            let mut bad = bytes.clone();
+            bad[i] ^= 0xff;
+            let _ = decode_image(&bad, &io); // must not panic
+        }
+        // truncations
+        for n in [0, 7, 15, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_image(&bytes[..n], &io).is_err());
+        }
+        // checksum catches a body flip
+        let mut bad = bytes.clone();
+        bad[40] ^= 1;
+        assert!(matches!(
+            decode_image(&bad, &io),
+            Err(ColumnarError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn store_publish_and_load() {
+        let dir = std::env::temp_dir().join(format!("pdt-img-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ImageStore::open(&dir).unwrap();
+        let io = IoTracker::new();
+        assert!(store.load("t", 0, 5, &io).unwrap().is_none(), "no manifest");
+
+        let t = table(500, 128);
+        store.publish("t", 0, 5, &t).unwrap();
+        let loaded = store.load("t", 0, 5, &io).unwrap().expect("image at seq 5");
+        assert_eq!(loaded.row_count(), 500);
+        // wrong expected seq (marker behind manifest = crash window) → None
+        assert!(store.load("t", 0, 4, &io).unwrap().is_none());
+        assert!(store.load("t", 0, 6, &io).unwrap().is_none());
+        // republish at a later seq: the previous image survives (it is the
+        // recovery base if we crash before the new marker lands)
+        let t2 = table(600, 128);
+        store.publish("t", 0, 9, &t2).unwrap();
+        assert_eq!(
+            store.load("t", 0, 5, &io).unwrap().unwrap().row_count(),
+            500,
+            "previous image stays loadable across the crash window"
+        );
+        assert_eq!(
+            store.load("t", 0, 9, &io).unwrap().unwrap().row_count(),
+            600
+        );
+        // a third publish prunes everything below the previous entry
+        let t3 = table(700, 128);
+        store.publish("t", 0, 12, &t3).unwrap();
+        assert!(store.load("t", 0, 5, &io).unwrap().is_none());
+        let mut files: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|n| n.ends_with(".img"))
+            .collect();
+        files.sort();
+        assert_eq!(
+            files,
+            vec!["t.p0.12.img".to_string(), "t.p0.9.img".to_string()]
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_swap_is_atomic_and_multi_entry() {
+        let dir = std::env::temp_dir().join(format!("pdt-man-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let mut m = ImageManifest::default();
+        m.set(
+            "orders",
+            0,
+            ImageEntry {
+                seq: 3,
+                file: "orders.p0.3.img".into(),
+            },
+        );
+        m.set(
+            "orders",
+            1,
+            ImageEntry {
+                seq: 4,
+                file: "orders.p1.4.img".into(),
+            },
+        );
+        // two images of one partition coexist (the crash-window pair)
+        m.set(
+            "orders",
+            1,
+            ImageEntry {
+                seq: 6,
+                file: "orders.p1.6.img".into(),
+            },
+        );
+        m.save(&dir).unwrap();
+        let back = ImageManifest::load(&dir).unwrap().unwrap();
+        assert_eq!(back, m);
+        assert_eq!(back.get("orders", 1, 4).unwrap().seq, 4);
+        assert_eq!(back.latest("orders", 1).unwrap().seq, 6);
+        assert!(back.get("orders", 2, 4).is_none());
+        // no stray temp file left behind
+        assert!(!dir.join(format!("{MANIFEST_FILE}.tmp")).exists());
+        // corrupt header is an error, not a panic
+        fs::write(dir.join(MANIFEST_FILE), "not a manifest\n").unwrap();
+        assert!(ImageManifest::load(&dir).is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn empty_table_image_roundtrip() {
+        let meta = TableMeta::new(
+            "empty",
+            Schema::from_pairs(&[("k", ValueType::Int)]),
+            vec![0],
+        );
+        let t = StableTable::bulk_load(meta, TableOptions::default(), &[]).unwrap();
+        let io = IoTracker::new();
+        let (back, seq) = decode_image(&encode_image(&t, 1), &io).unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(back.row_count(), 0);
+        assert_eq!(back.scan_all(&io).unwrap(), Vec::<Tuple>::new());
+    }
+}

@@ -16,16 +16,21 @@
 //!   *stale-tolerant*: thanks to the paper's ghost-respecting SID semantics
 //!   it never needs maintenance under differential updates,
 //! * an I/O accounting layer ([`io`]) that measures exactly the quantity the
-//!   paper plots as "I/O volume" (bytes of compressed blocks touched).
+//!   paper plots as "I/O volume" (bytes of compressed blocks touched),
+//! * persisted compressed images ([`image`]): checkpoint output written to
+//!   disk as encoded blocks with an atomically-swapped manifest, so recovery
+//!   loads images instead of replaying folded WAL history.
 //!
-//! The storage is RAM-resident; disk behaviour is modelled analytically (see
-//! `DESIGN.md` §4). All byte counts are real: they are the sizes of the
-//! encoded block payloads that a disk-resident deployment would transfer.
+//! The *scan-path* storage is RAM-resident; disk behaviour is modelled
+//! analytically (see `DESIGN.md` §4). All byte counts are real: they are the
+//! sizes of the encoded block payloads that a disk-resident deployment would
+//! transfer — and exactly the bytes [`image`] writes to disk.
 
 pub mod block;
 pub mod column;
 pub mod compress;
 pub mod error;
+pub mod image;
 pub mod io;
 pub mod schema;
 pub mod sparse;
@@ -35,6 +40,7 @@ pub mod value;
 pub use block::{Block, Encoding};
 pub use column::ColumnVec;
 pub use error::{ColumnarError, Result};
+pub use image::{ImageEntry, ImageManifest, ImageStore};
 pub use io::{IoStats, IoTracker};
 pub use schema::{Field, Schema, SortKeyDef};
 pub use sparse::SparseIndex;

@@ -43,6 +43,12 @@ impl SparseIndex {
         self.first_key.len()
     }
 
+    /// Per-block first sort keys (the block minima, since tables are
+    /// sort-key ordered). Used for image serialization and block skipping.
+    pub fn first_keys(&self) -> &[SkKey] {
+        &self.first_key
+    }
+
     /// Total rows covered.
     pub fn row_count(&self) -> u64 {
         *self.start_sid.last().unwrap_or(&0)

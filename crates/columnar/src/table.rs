@@ -11,7 +11,7 @@ use crate::error::{ColumnarError, Result};
 use crate::io::IoTracker;
 use crate::schema::{Schema, SortKeyDef};
 use crate::sparse::SparseIndex;
-use crate::value::{Tuple, Value};
+use crate::value::{SkKey, Tuple, Value};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
@@ -86,6 +86,10 @@ pub struct StableTable {
     /// covers the same row range.
     cols: Vec<Arc<Vec<Block>>>,
     sparse: SparseIndex,
+    /// `block_max_sk[b]` = sort key of the last tuple of block `b` (the
+    /// block maximum; the minimum is the sparse index's first key). Together
+    /// they form per-block min/max metadata for block skipping.
+    block_max_sk: Vec<SkKey>,
 }
 
 impl StableTable {
@@ -108,6 +112,59 @@ impl StableTable {
         let sk = meta.sort_key.clone();
         rows.sort_by(|a, b| sk.cmp_tuples(a, b));
         Self::bulk_load(meta, opts, &rows)
+    }
+
+    /// Reassemble a table from already-encoded parts (persisted-image
+    /// loading). `cols[c]` holds column `c`'s blocks in sort-key order;
+    /// `block_min_sk`/`block_max_sk` hold each block's first/last sort key.
+    /// The shape is validated (untrusted on-disk input) but block payloads
+    /// are not decoded here — corruption inside a payload surfaces as
+    /// [`ColumnarError::Corrupt`] on first read.
+    pub fn from_parts(
+        meta: TableMeta,
+        opts: TableOptions,
+        row_count: u64,
+        cols: Vec<Vec<Block>>,
+        block_min_sk: Vec<SkKey>,
+        block_max_sk: Vec<SkKey>,
+    ) -> Result<StableTable> {
+        if opts.block_rows == 0 {
+            return Err(ColumnarError::Corrupt("image has block_rows = 0".into()));
+        }
+        if cols.len() != meta.schema.len() {
+            return Err(ColumnarError::SchemaMismatch(format!(
+                "image has {} columns, schema of {} has {}",
+                cols.len(),
+                meta.name,
+                meta.schema.len()
+            )));
+        }
+        let nblocks = (row_count as usize).div_ceil(opts.block_rows);
+        for (c, col) in cols.iter().enumerate() {
+            if col.len() != nblocks {
+                return Err(ColumnarError::Corrupt(format!(
+                    "image column {c} has {} blocks, expected {nblocks}",
+                    col.len()
+                )));
+            }
+        }
+        if block_min_sk.len() != nblocks || block_max_sk.len() != nblocks {
+            return Err(ColumnarError::Corrupt(format!(
+                "image has {}/{} block key bounds, expected {nblocks}",
+                block_min_sk.len(),
+                block_max_sk.len()
+            )));
+        }
+        let start_sid = (0..nblocks).map(|g| (g * opts.block_rows) as u64).collect();
+        let sparse = SparseIndex::new(block_min_sk, start_sid, row_count);
+        Ok(StableTable {
+            meta,
+            opts,
+            row_count,
+            cols: cols.into_iter().map(Arc::new).collect(),
+            sparse,
+            block_max_sk,
+        })
     }
 
     pub fn meta(&self) -> &TableMeta {
@@ -213,6 +270,66 @@ impl StableTable {
         ScanRange { start, end }
     }
 
+    /// Min/max sort keys of block `b` (the block-level zone map).
+    pub fn block_sk_bounds(&self, b: usize) -> (&[Value], &[Value]) {
+        (
+            &self.sparse.first_keys()[b],
+            self.block_max_sk.get(b).map_or(&[], |k| k.as_slice()),
+        )
+    }
+
+    /// Tight block range `[lo_block, hi_block)` whose per-block min/max sort
+    /// keys intersect the inclusive prefix range `[lo, hi]`.
+    ///
+    /// Unlike [`StableTable::sid_range`] (which stays conservative so that
+    /// positionally patched scans never lose ghost-relative inserts), this
+    /// is *exact* on the stable image: a block outside the returned range
+    /// contains no stable row matching the predicate. Only clean scans — no
+    /// differential layer — may use it to skip decoding blocks.
+    pub fn block_range_for(&self, lo: Option<&[Value]>, hi: Option<&[Value]>) -> (usize, usize) {
+        let n = self.num_blocks();
+        if self.block_max_sk.len() != n {
+            // No max metadata (shouldn't happen for built tables): no skipping.
+            return (0, n);
+        }
+        let mut start = 0;
+        while start < n {
+            let qualifies = match lo {
+                None => true,
+                // block max < lo ⇒ every row in the block is below the range
+                Some(lo) => cmp_prefix(&self.block_max_sk[start], lo) != Ordering::Less,
+            };
+            if qualifies {
+                break;
+            }
+            start += 1;
+        }
+        let mut end = n;
+        while end > start {
+            let qualifies = match hi {
+                None => true,
+                // block min > hi ⇒ every row in the block is above the range
+                Some(hi) => cmp_prefix(&self.sparse.first_keys()[end - 1], hi) != Ordering::Greater,
+            };
+            if qualifies {
+                break;
+            }
+            end -= 1;
+        }
+        (start, end)
+    }
+
+    /// Encoded blocks of column `c`, without decoding (image serialization).
+    pub fn column_blocks(&self, c: usize) -> &[Block] {
+        &self.cols[c]
+    }
+
+    /// Per-block last sort keys (block maxima; see
+    /// [`StableTable::block_sk_bounds`]).
+    pub fn block_max_keys(&self) -> &[SkKey] {
+        &self.block_max_sk
+    }
+
     /// Total stored bytes of the given column.
     pub fn column_bytes(&self, c: usize) -> u64 {
         self.cols[c].iter().map(|b| b.stored_bytes()).sum()
@@ -281,6 +398,7 @@ pub struct TableBuilder {
     blocks: Vec<Vec<Block>>,
     sparse_keys: Vec<Vec<Value>>,
     sparse_sids: Vec<u64>,
+    block_max_keys: Vec<SkKey>,
     row_count: u64,
     last_sk: Option<Vec<Value>>,
 }
@@ -302,6 +420,7 @@ impl TableBuilder {
             blocks: vec![Vec::new(); ncols],
             sparse_keys: Vec::new(),
             sparse_sids: Vec::new(),
+            block_max_keys: Vec::new(),
             row_count: 0,
             last_sk: None,
         }
@@ -339,6 +458,12 @@ impl TableBuilder {
     }
 
     fn flush_block(&mut self) {
+        if self.buf.first().is_some_and(|c| !c.is_empty()) {
+            // The buffered rows arrive in sort order, so the last appended
+            // sort key is this block's maximum.
+            self.block_max_keys
+                .push(self.last_sk.clone().unwrap_or_default());
+        }
         for (c, col) in self.buf.iter_mut().enumerate() {
             if col.is_empty() {
                 continue;
@@ -360,6 +485,7 @@ impl TableBuilder {
             row_count: self.row_count,
             cols: self.blocks.into_iter().map(Arc::new).collect(),
             sparse,
+            block_max_sk: self.block_max_keys,
         })
     }
 }

@@ -55,7 +55,9 @@ pub use partition::PartitionSpec;
 pub use rowstore::RowStore;
 pub use txn::wal::WalStats;
 
-use columnar::{ColumnarError, IoTracker, Schema, StableTable, TableMeta, Tuple, Value};
+use columnar::{
+    ColumnarError, ImageStore, IoTracker, Schema, StableTable, TableMeta, Tuple, Value,
+};
 use exec::{
     DeltaLayers, Operator, ParallelUnionScan, ScanBounds, ScanClock, ScanSegment, TableScan,
 };
@@ -248,6 +250,14 @@ impl TableOptions {
 pub struct Database {
     pub(crate) txn_mgr: Arc<TxnManager>,
     pub(crate) tables: RwLock<HashMap<String, TableEntry>>,
+    /// Persisted compressed checkpoint images (`None`: checkpoints fold in
+    /// memory only and recovery replays the full WAL, the pre-image
+    /// behavior).
+    images: Option<Arc<ImageStore>>,
+    /// Test seam: make the next checkpoint fail *after* its image publish
+    /// (manifest swapped) but *before* its WAL marker — the crash window
+    /// the recovery protocol must tolerate.
+    crash_after_publish: std::sync::atomic::AtomicBool,
     io: IoTracker,
     clock: ScanClock,
 }
@@ -264,6 +274,8 @@ impl Database {
         Database {
             txn_mgr: Arc::new(TxnManager::new()),
             tables: RwLock::new(HashMap::new()),
+            images: None,
+            crash_after_publish: std::sync::atomic::AtomicBool::new(false),
             io: IoTracker::new(),
             clock: ScanClock::new(),
         }
@@ -274,9 +286,38 @@ impl Database {
         Ok(Database {
             txn_mgr: Arc::new(TxnManager::with_wal(path).map_err(DbError::Io)?),
             tables: RwLock::new(HashMap::new()),
+            images: None,
+            crash_after_publish: std::sync::atomic::AtomicBool::new(false),
             io: IoTracker::new(),
             clock: ScanClock::new(),
         })
+    }
+
+    /// Database with full durable storage: commits append to the WAL at
+    /// `wal`, and every checkpoint additionally persists its fresh stable
+    /// slice as a compressed image under `image_dir` (created if needed).
+    /// [`Database::recover_from`] then rebuilds checkpointed partitions
+    /// from their images instead of losing the folded history.
+    pub fn with_storage(wal: &Path, image_dir: &Path) -> Result<Self, DbError> {
+        let mut db = Self::with_wal(wal)?;
+        db.images = Some(Arc::new(ImageStore::open(image_dir)?));
+        Ok(db)
+    }
+
+    /// The image store behind this database, when opened with
+    /// [`Database::with_storage`].
+    pub fn image_store(&self) -> Option<&ImageStore> {
+        self.images.as_deref()
+    }
+
+    /// Test seam: arm (or disarm) a simulated crash in the next checkpoint,
+    /// between its image publish — manifest already swapped — and its WAL
+    /// marker append. The checkpoint returns an I/O error and rolls its pin
+    /// back; dropping the database afterwards models the process dying
+    /// inside the window.
+    pub fn crash_after_image_publish(&self, arm: bool) {
+        self.crash_after_publish
+            .store(arm, std::sync::atomic::Ordering::SeqCst);
     }
 
     /// Bulk-load a table (rows need not be pre-sorted). The update policy
@@ -426,13 +467,43 @@ impl Database {
     }
 
     /// Replay the WAL at `path` into the tables' update structures (after
-    /// `create_table`, each table rebuilt from its last checkpointed
-    /// stable image with the *same split points* — commit records a
-    /// checkpoint marker covers are skipped, per partition). Returns the
-    /// recovered commit sequence.
+    /// `create_table` with the *same split points*). When this database
+    /// has an image store, each partition whose covering checkpoint marker
+    /// references a persisted image is first rebuilt from that image — the
+    /// folded history is *not* replayed (the marker's commits are skipped)
+    /// and *not* lost; without one, markers still skip their covered
+    /// commits (the pre-image behavior, which forfeits folded history).
+    /// Returns the recovered commit sequence.
     pub fn recover_from(&self, path: &Path) -> Result<u64, DbError> {
         let _commit = self.txn_mgr.commit_guard();
-        let records = txn::wal::Wal::read_effective(path).map_err(DbError::Io)?;
+        let all = txn::wal::Wal::read_all(path).map_err(DbError::Io)?;
+        if let Some(images) = &self.images {
+            let markers = txn::wal::checkpoint_markers(&all);
+            let mut tables = self.tables.write();
+            for (name, parts) in &markers {
+                let Some(entry) = tables.get_mut(name) else {
+                    continue;
+                };
+                for (&p, &(_seq, image_seq)) in parts {
+                    let Some(image_seq) = image_seq else {
+                        continue;
+                    };
+                    let Some(pe) = entry.parts.get_mut(p as usize) else {
+                        return Err(DbError::Partition {
+                            table: name.clone(),
+                            detail: format!(
+                                "checkpoint marker references partition {p}, table has {}",
+                                entry.parts.len()
+                            ),
+                        });
+                    };
+                    if let Some(stable) = images.load(name, p, image_seq, &self.io)? {
+                        pe.stable = Arc::new(stable);
+                    }
+                }
+            }
+        }
+        let records = txn::wal::effective_commits(all);
         let tables = self.tables.read();
         let mut last = 0;
         for rec in records {
@@ -684,11 +755,36 @@ impl Database {
         if let Some(obs) = during_merge.take() {
             obs();
         }
+        // Still phase 2 (off-lock): persist the fresh slice as a compressed
+        // image and swap the manifest. The marker below references it; a
+        // crash between here and the marker leaves a manifest entry ahead
+        // of the WAL, which recovery ignores in favor of the retained
+        // previous image (see `columnar::ImageStore`).
+        let mut image_seq = None;
+        if let (Some(images), Some(fresh)) = (&self.images, &fresh) {
+            if let Err(e) = images.publish(table, p as u32, pin.seq, fresh) {
+                delta.checkpoint_abort(pin);
+                return Err(e.into());
+            }
+            image_seq = Some(pin.seq);
+            if self
+                .crash_after_publish
+                .swap(false, std::sync::atomic::Ordering::SeqCst)
+            {
+                delta.checkpoint_abort(pin);
+                return Err(DbError::Io(std::io::Error::other(
+                    "simulated crash between image publish and checkpoint marker",
+                )));
+            }
+        }
         // Phase 3 — install: marker, slice swap and delta reset, atomic
         // under the commit guard.
         {
             let _commit = self.txn_mgr.commit_guard();
-            if let Err(e) = self.txn_mgr.log_checkpoint(table, p as u32, pin.seq) {
+            if let Err(e) = self
+                .txn_mgr
+                .log_checkpoint(table, p as u32, pin.seq, image_seq)
+            {
                 delta.checkpoint_abort(pin);
                 return Err(e.into());
             }
@@ -1595,6 +1691,63 @@ mod tests {
                 "{policy:?}: marker must cover the folded commit"
             );
             let _ = std::fs::remove_file(&wal);
+        }
+    }
+
+    #[test]
+    fn image_recovery_restores_folded_history() {
+        // the WAL-only twin of this test documents that commits folded by
+        // a checkpoint marker are LOST on recovery (the slice was never
+        // persisted); with an image store the marker references a durable
+        // image and recovery restores them exactly
+        for policy in ALL_POLICIES {
+            let dir =
+                std::env::temp_dir().join(format!("pdt_img_rec_{policy:?}_{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            let wal = dir.join("t.wal");
+            let images = dir.join("images");
+            let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+            let rows: Vec<Tuple> = (0..30i64)
+                .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+                .collect();
+            let opts = TableOptions::default()
+                .with_block_rows(8)
+                .with_policy(policy)
+                .with_partitions(PartitionSpec::SplitPoints(vec![
+                    vec![Value::Int(100)],
+                    vec![Value::Int(200)],
+                ]));
+            let make = || {
+                let db = Database::with_storage(&wal, &images).unwrap();
+                db.create_table(
+                    TableMeta::new("t", schema.clone(), vec![0]),
+                    opts.clone(),
+                    rows.clone(),
+                )
+                .unwrap();
+                db
+            };
+            let db = make();
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(55), Value::Int(0)]).unwrap();
+            t.insert("t", vec![Value::Int(155), Value::Int(0)]).unwrap();
+            t.delete_rids("t", &[25]).unwrap();
+            t.commit().unwrap();
+            assert!(db.checkpoint_partition("t", 1).unwrap(), "{policy:?}");
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(165), Value::Int(0)]).unwrap();
+            t.commit().unwrap();
+            let want = t_rows(&db);
+            drop(db);
+            let recovered = make();
+            recovered.recover_from(&wal).unwrap();
+            assert_eq!(
+                t_rows(&recovered),
+                want,
+                "{policy:?}: image recovery must restore the folded insert of 155"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
         }
     }
 

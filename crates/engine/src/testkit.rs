@@ -68,6 +68,13 @@ pub struct DiffHarness {
     /// `Some(dir)`: databases are WAL-backed (one log per policy) and
     /// support [`Self::crash_recover`].
     wal_dir: Option<PathBuf>,
+    /// Databases persist compressed checkpoint images (one image dir per
+    /// policy under `wal_dir`) and recovery must restore checkpointed
+    /// state from them: [`Self::checkpoint`] then keeps the *original*
+    /// base image, so any folded history a checkpoint made unreplayable
+    /// has to come back through the images — the differential contract
+    /// image-based recovery is held to.
+    images: bool,
     /// Range partitioning applied to every database. After the first
     /// build this is frozen to the *resolved* split points, so crash
     /// rebuilds recreate the exact partitioning the WAL's partition tags
@@ -84,7 +91,7 @@ impl DiffHarness {
         rows: Vec<Tuple>,
         block_rows: usize,
     ) -> Self {
-        Self::build(table, schema, sk_cols, rows, block_rows, None)
+        Self::build(table, schema, sk_cols, rows, block_rows, None, false)
     }
 
     /// WAL-backed harness: one log file per policy under `dir` (removed on
@@ -101,11 +108,36 @@ impl DiffHarness {
         for policy in ALL_POLICIES {
             let _ = std::fs::remove_file(Self::wal_path(&dir, policy));
         }
-        Self::build(table, schema, sk_cols, rows, block_rows, Some(dir))
+        Self::build(table, schema, sk_cols, rows, block_rows, Some(dir), false)
+    }
+
+    /// WAL- and image-backed harness: each policy's database persists
+    /// compressed checkpoint images under `dir` and
+    /// [`Self::crash_recover`] exercises image-based recovery — the base
+    /// image is *never* rotated by the harness, so checkpointed state must
+    /// come back from disk.
+    pub fn with_storage(
+        dir: PathBuf,
+        table: &str,
+        schema: Schema,
+        sk_cols: Vec<usize>,
+        rows: Vec<Tuple>,
+        block_rows: usize,
+    ) -> Self {
+        std::fs::create_dir_all(&dir).expect("harness storage dir");
+        for policy in ALL_POLICIES {
+            let _ = std::fs::remove_file(Self::wal_path(&dir, policy));
+            let _ = std::fs::remove_dir_all(Self::image_dir(&dir, policy));
+        }
+        Self::build(table, schema, sk_cols, rows, block_rows, Some(dir), true)
     }
 
     fn wal_path(dir: &std::path::Path, policy: UpdatePolicy) -> PathBuf {
         dir.join(format!("{policy:?}.wal"))
+    }
+
+    fn image_dir(dir: &std::path::Path, policy: UpdatePolicy) -> PathBuf {
+        dir.join(format!("{policy:?}.images"))
     }
 
     fn build(
@@ -115,6 +147,7 @@ impl DiffHarness {
         rows: Vec<Tuple>,
         block_rows: usize,
         wal_dir: Option<PathBuf>,
+        images: bool,
     ) -> Self {
         let model = NaiveImage::new(&rows, sk_cols.clone());
         let mut h = DiffHarness {
@@ -126,6 +159,7 @@ impl DiffHarness {
             dbs: Vec::new(),
             model,
             wal_dir,
+            images,
             partitions: PartitionSpec::None,
         };
         h.dbs = h.make_dbs();
@@ -152,6 +186,9 @@ impl DiffHarness {
         if let Some(dir) = &self.wal_dir {
             for policy in ALL_POLICIES {
                 let _ = std::fs::remove_file(Self::wal_path(dir, policy));
+                if self.images {
+                    let _ = std::fs::remove_dir_all(Self::image_dir(dir, policy));
+                }
             }
         }
         self.dbs = self.make_dbs();
@@ -176,6 +213,11 @@ impl DiffHarness {
             .iter()
             .map(|&policy| {
                 let db = match &self.wal_dir {
+                    Some(dir) if self.images => Database::with_storage(
+                        &Self::wal_path(dir, policy),
+                        &Self::image_dir(dir, policy),
+                    )
+                    .expect("open harness storage"),
                     Some(dir) => {
                         Database::with_wal(&Self::wal_path(dir, policy)).expect("open harness wal")
                     }
@@ -492,10 +534,40 @@ impl DiffHarness {
         }
         self.assert_agree("after checkpoint");
         self.assert_clean_agree("after checkpoint");
-        if self.wal_dir.is_some() {
-            // recovery restarts from the checkpointed image
+        if self.wal_dir.is_some() && !self.images {
+            // recovery restarts from the checkpointed image — but only in
+            // plain WAL mode, where the harness must simulate the image
+            // hand-off. With persisted images the engine recovers the
+            // checkpointed state from disk on its own, so the base stays
+            // put and any folded history must come back via the images.
             self.base_rows = self.model.rows().to_vec();
         }
+    }
+
+    /// Attempt a checkpoint that dies *inside the crash window*: the
+    /// compressed image is published (manifest swapped) but the process
+    /// "crashes" before the WAL checkpoint marker lands. Every database
+    /// must report the simulated failure (so each policy's delta must be
+    /// non-empty going in — an empty delta never reaches the publish) and
+    /// roll its in-memory pin back; on-disk state is left exactly in the
+    /// window a following [`Self::crash_recover`] has to tolerate.
+    /// Requires [`Self::with_storage`].
+    pub fn checkpoint_crashing_before_marker(&mut self) {
+        assert!(
+            self.images,
+            "crash-window checkpoints need an image-backed harness"
+        );
+        for (policy, db) in &self.dbs {
+            db.crash_after_image_publish(true);
+            let res = db.checkpoint(&self.table);
+            assert!(
+                res.is_err(),
+                "{policy:?}: armed checkpoint must die in the crash window, got {res:?}"
+            );
+            db.crash_after_image_publish(false);
+        }
+        // the aborted pin must leave the live image untouched
+        self.assert_agree("after crashed checkpoint");
     }
 
     /// Crash: drop every database and rebuild it from its base image plus

@@ -195,17 +195,39 @@ impl<'a> TableScan<'a> {
                 (MergeState::Rows(Box::new(merger)), io_cols, None, upper)
             }
         };
-        let next_block = if range.is_empty() {
-            usize::MAX
+        let (next_block, end_block) = if range.is_empty() {
+            (usize::MAX, 0)
         } else {
-            table.block_of(range.start)
+            let mut first = table.block_of(range.start);
+            let mut last = table.block_of(range.end.saturating_sub(1)) + 1;
+            if matches!(state, MergeState::None) {
+                // Clean scans may skip blocks via the exact per-block
+                // min/max zone map: `sid_range` stays over-inclusive (one
+                // block early) so positionally patched scans never lose
+                // ghost-relative inserts, but with no differential layer a
+                // skipped block provably holds no qualifying row. Merging
+                // scans must keep the conservative range — their mergers
+                // consume blocks in SID order.
+                let (lo_b, hi_b) =
+                    table.block_range_for(bounds.lo.as_deref(), bounds.hi.as_deref());
+                first = first.max(lo_b);
+                last = last.min(hi_b);
+                // Every skipped leading row sorts below `lo`, so the rank
+                // of the scan's first (potential) output row — what DML
+                // insert positioning reads off `start_rid` — anchors at
+                // the first surviving block, or at the range's end when
+                // no block survives.
+                start_rid = start_rid
+                    .max((first.min(table.num_blocks()) * table.block_rows()) as u64)
+                    .min(range.end);
+            }
+            if first < last {
+                (first, last)
+            } else {
+                (usize::MAX, 0)
+            }
         };
-        let end_block = if range.is_empty() {
-            0
-        } else {
-            table.block_of(range.end.saturating_sub(1)) + 1
-        };
-        let finished = range.is_empty() && state_kind(&state) == 0;
+        let finished = next_block == usize::MAX && state_kind(&state) == 0;
         TableScan {
             table,
             proj,
@@ -940,6 +962,93 @@ mod tests {
         // ranged: must not have read the whole table
         let full = t.total_bytes();
         assert!(io.stats().bytes_read < full / 2);
+    }
+
+    /// A clean ranged scan may use the exact per-block zone map and skip
+    /// the extra leading block `sid_range` keeps for ghost-relative
+    /// inserts; a merging scan over the same bounds must not.
+    #[test]
+    fn clean_ranged_scan_skips_blocks_via_zone_map() {
+        let t = table(40);
+        let bounds = || ScanBounds {
+            lo: Some(vec![Value::Int(200)]),
+            hi: Some(vec![Value::Int(250)]),
+        };
+        let in_range = |r: &Tuple| (200..=250).contains(&r[0].as_int());
+        let p = Pdt::new(schema(), vec![0]);
+        let io_merged = IoTracker::new();
+        let mut merged = TableScan::ranged(
+            &t,
+            DeltaLayers::Pdt(vec![&p]),
+            vec![0, 1, 2],
+            bounds(),
+            io_merged.clone(),
+            ScanClock::new(),
+        );
+        let want: Vec<Tuple> = run_to_rows(&mut merged)
+            .into_iter()
+            .filter(|r| in_range(r))
+            .collect();
+        let io_clean = IoTracker::new();
+        let mut clean = TableScan::ranged(
+            &t,
+            DeltaLayers::None,
+            vec![0, 1, 2],
+            bounds(),
+            io_clean.clone(),
+            ScanClock::new(),
+        );
+        let got: Vec<Tuple> = run_to_rows(&mut clean)
+            .into_iter()
+            .filter(|r| in_range(r))
+            .collect();
+        assert_eq!(got, want, "zone-map skipping must not drop qualifying rows");
+        assert_eq!(got.len(), 6, "keys 200..=250 step 10");
+        assert!(
+            io_clean.stats().blocks_read < io_merged.stats().blocks_read,
+            "clean scan must skip the over-inclusive leading block: {} vs {} blocks",
+            io_clean.stats().blocks_read,
+            io_merged.stats().blocks_read
+        );
+        assert!(io_clean.stats().bytes_read < io_merged.stats().bytes_read);
+    }
+
+    /// When the zone map skips leading blocks, `start_rid` must advance
+    /// past them — DML insert positioning ranks keys against it, and a
+    /// stale conservative rank would file inserts at ghost positions.
+    #[test]
+    fn clean_ranged_scan_start_rid_anchors_past_skipped_blocks() {
+        let t = table(40); // keys 0..390
+                           // lo beyond every key: all blocks skipped, rank = row count
+        let mut scan = TableScan::ranged(
+            &t,
+            DeltaLayers::None,
+            vec![0],
+            ScanBounds {
+                lo: Some(vec![Value::Int(500)]),
+                hi: None,
+            },
+            IoTracker::new(),
+            ScanClock::new(),
+        );
+        assert!(scan.next_batch().is_none());
+        assert_eq!(scan.start_rid(), 40);
+        // lo mid-table: rank anchors at the first surviving block, which
+        // is also the first emitted row
+        let mut scan = TableScan::ranged(
+            &t,
+            DeltaLayers::None,
+            vec![0],
+            ScanBounds {
+                lo: Some(vec![Value::Int(200)]),
+                hi: None,
+            },
+            IoTracker::new(),
+            ScanClock::new(),
+        );
+        let first = scan.next_batch().expect("tail of the table qualifies");
+        assert_eq!(first.rid_start, 20, "sid of key 200");
+        assert_eq!(scan.start_rid(), first.rid_start);
     }
 
     #[test]

@@ -39,12 +39,55 @@ impl ScanClock {
 }
 
 /// Thread-safe recorder of per-operation wall times — e.g. the latency of
-/// repeated scans while background maintenance runs. Samples accumulate
-/// until [`LatencyStats::summary`]; percentiles are computed over all
-/// recorded samples (nearest-rank).
-#[derive(Debug, Default)]
+/// repeated scans while background maintenance runs.
+///
+/// Memory is bounded: up to [`RESERVOIR_CAP`] samples are kept in a
+/// reservoir (Vitter's Algorithm R with a deterministic internal generator,
+/// so long-running servers don't grow without limit and fixed workloads
+/// summarize identically across runs). Until the reservoir fills, every
+/// sample is kept and percentiles are exact; past that they are estimates
+/// over a uniform sample, while `count` and `max_ns` stay exact.
+#[derive(Debug)]
 pub struct LatencyStats {
-    samples: Mutex<Vec<u64>>,
+    inner: Mutex<Reservoir>,
+}
+
+/// Number of samples [`LatencyStats`] retains for percentile estimation.
+pub const RESERVOIR_CAP: usize = 4096;
+
+#[derive(Debug)]
+struct Reservoir {
+    samples: Vec<u64>,
+    /// Total samples ever recorded (not just retained).
+    total: u64,
+    /// Exact maximum over all recorded samples, evicted or not.
+    max_ns: u64,
+    /// xorshift64* state for replacement-slot selection.
+    rng: u64,
+}
+
+impl Default for LatencyStats {
+    fn default() -> Self {
+        LatencyStats {
+            inner: Mutex::new(Reservoir {
+                samples: Vec::new(),
+                total: 0,
+                max_ns: 0,
+                rng: 0x9E37_79B9_7F4A_7C15,
+            }),
+        }
+    }
+}
+
+impl Reservoir {
+    fn next_rand(&mut self) -> u64 {
+        let mut x = self.rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
 }
 
 /// Summary of a [`LatencyStats`] recording, in nanoseconds.
@@ -79,10 +122,22 @@ impl LatencyStats {
 
     /// Record one operation's duration.
     pub fn record(&self, d: Duration) {
-        self.samples
-            .lock()
-            .expect("latency samples")
-            .push(d.as_nanos() as u64);
+        let ns = d.as_nanos() as u64;
+        let mut r = self.inner.lock().expect("latency samples");
+        r.total += 1;
+        r.max_ns = r.max_ns.max(ns);
+        if r.samples.len() < RESERVOIR_CAP {
+            r.samples.push(ns);
+        } else {
+            // Algorithm R: the new sample replaces a random slot with
+            // probability RESERVOIR_CAP / total, keeping the reservoir a
+            // uniform sample of everything recorded.
+            let total = r.total;
+            let j = (r.next_rand() % total) as usize;
+            if j < RESERVOIR_CAP {
+                r.samples[j] = ns;
+            }
+        }
     }
 
     /// Time `f`, recording its wall duration.
@@ -93,10 +148,14 @@ impl LatencyStats {
         out
     }
 
-    /// Nearest-rank percentiles over everything recorded so far.
-    /// Returns `None` when no samples were recorded.
+    /// Nearest-rank percentiles over the retained reservoir (exact until
+    /// [`RESERVOIR_CAP`] samples, estimates past that; `count` and `max_ns`
+    /// are always exact). Returns `None` when no samples were recorded.
     pub fn summary(&self) -> Option<LatencySummary> {
-        let mut s = self.samples.lock().expect("latency samples").clone();
+        let (mut s, total, max_ns) = {
+            let r = self.inner.lock().expect("latency samples");
+            (r.samples.clone(), r.total, r.max_ns)
+        };
         if s.is_empty() {
             return None;
         }
@@ -106,11 +165,11 @@ impl LatencyStats {
             s[idx]
         };
         Some(LatencySummary {
-            count: s.len(),
+            count: total as usize,
             p50_ns: rank(0.50),
             p95_ns: rank(0.95),
             p99_ns: rank(0.99),
-            max_ns: *s.last().unwrap(),
+            max_ns,
         })
     }
 }
@@ -210,6 +269,30 @@ mod tests {
         let out = l.measure(|| 7);
         assert_eq!(out, 7);
         assert_eq!(l.summary().unwrap().count, 6);
+    }
+
+    #[test]
+    fn latency_reservoir_is_bounded_and_representative() {
+        let l = LatencyStats::new();
+        let n = 3 * RESERVOIR_CAP as u64;
+        for i in 0..n {
+            l.record(Duration::from_nanos(i + 1));
+        }
+        let s = l.summary().unwrap();
+        assert_eq!(s.count, n as usize, "count stays exact past the cap");
+        assert_eq!(s.max_ns, n, "max stays exact even when evicted");
+        assert!(s.p50_ns <= s.p95_ns && s.p95_ns <= s.p99_ns && s.p99_ns <= s.max_ns);
+        // p50 of a uniform ramp should land around the middle of the range
+        let mid = n / 2;
+        assert!(
+            s.p50_ns > mid / 2 && s.p50_ns < mid + mid / 2,
+            "p50={} not near {mid}",
+            s.p50_ns
+        );
+        {
+            let r = l.inner.lock().unwrap();
+            assert_eq!(r.samples.len(), RESERVOIR_CAP, "memory is bounded");
+        }
     }
 
     #[test]

@@ -25,6 +25,11 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         &self.0
     }
+
+    /// Copy `data` into a new shared buffer (mirrors `bytes::Bytes`).
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Arc::from(data))
+    }
 }
 
 impl From<Vec<u8>> for Bytes {

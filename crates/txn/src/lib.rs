@@ -614,15 +614,23 @@ impl TxnManager {
     }
 
     /// Append a checkpoint marker for `(table, partition)` at pinned
-    /// sequence `seq` (no-op without a WAL). Call under
+    /// sequence `seq` (no-op without a WAL), referencing the manifest
+    /// sequence of the persisted compressed image the checkpoint published
+    /// (`image_seq`, `None` when it folded in memory only). Call under
     /// [`TxnManager::commit_guard`], after the new stable image is
     /// installed. Unpartitioned tables pass partition `0`.
-    pub fn log_checkpoint(&self, table: &str, partition: u32, seq: u64) -> Result<(), TxnError> {
+    pub fn log_checkpoint(
+        &self,
+        table: &str,
+        partition: u32,
+        seq: u64,
+        image_seq: Option<u64>,
+    ) -> Result<(), TxnError> {
         if let Some(w) = &self.wal {
             // synchronous through the coordinator: the marker (and any
             // commit records enqueued before it) is on disk when the new
             // stable image becomes the recovery base
-            w.append_checkpoint(table, partition, seq)
+            w.append_checkpoint(table, partition, seq, image_seq)
                 .map_err(TxnError::Wal)?;
         }
         Ok(())

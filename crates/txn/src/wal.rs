@@ -53,10 +53,18 @@
 //!               ntables × [name_len u16][name bytes][partition u32][nentries u32]
 //!                 nentries × [sid u64][kind u16][nvals u32][payload]
 //! checkpoint: [ckpt_magic u32][seq u64][name_len u16][name bytes][partition u32]
+//!               [has_image u8][image_seq u64 when has_image = 1]
 //! payload: INS → full tuple, DEL → sort-key values, MOD → one value,
 //!          INS_BATCH → n tuples, DEL_BATCH → n sort keys
 //! value:   [tag u8][data]   (0=Null 1=Bool 2=Int 3=Double 4=Str 5=Date)
 //! ```
+//!
+//! A marker's `image_seq` is the manifest sequence of the persisted
+//! compressed image ([`columnar::ImageStore`]) the checkpoint published in
+//! its merge phase — always equal to the marker's own `seq`, recorded
+//! explicitly so recovery knows whether a marker's folded history exists
+//! on disk (image-based recovery) or is purely in-memory durable-by-replay
+//! (markers written by image-less databases carry `has_image = 0`).
 
 use columnar::{Schema, Value};
 use pdt::builder::PdtBuilder;
@@ -73,7 +81,10 @@ use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 // written by pre-partition builds fail loudly with "bad record magic"
 // instead of misparsing.
 const MAGIC: u32 = 0x7064_7450;
-const CKPT_MAGIC: u32 = 0x7064_7451; // "pdtQ"
+// "pdtS": checkpoint markers carry an optional image sequence. Bumped
+// from "pdtQ" so image-less markers from older builds fail loudly
+// ("pdtR" is the image-file magic — skipped to keep the magics distinct).
+const CKPT_MAGIC: u32 = 0x7064_7453;
 
 /// One entry of a logged delta.
 #[derive(Debug, Clone, PartialEq)]
@@ -103,6 +114,11 @@ pub enum WalRecord {
         seq: u64,
         table: String,
         partition: u32,
+        /// Manifest sequence of the persisted compressed image the
+        /// checkpoint published (equal to `seq`); `None` when the
+        /// checkpoint folded in memory only, in which case the covered
+        /// commits exist nowhere on disk after this marker.
+        image_seq: Option<u64>,
     },
 }
 
@@ -147,17 +163,19 @@ impl Wal {
     }
 
     /// Append a checkpoint marker: `(table, partition)`'s commits with
-    /// sequence ≤ `seq` are durable in a fresh stable image. Must be
-    /// written under the same exclusion that orders commits (the engine's
-    /// commit guard), after the new image is installed.
+    /// sequence ≤ `seq` are durable in a fresh stable image — persisted
+    /// on disk when `image_seq` is set. Must be written under the same
+    /// exclusion that orders commits (the engine's commit guard), after
+    /// the new image is installed.
     pub fn append_checkpoint(
         &mut self,
         table: &str,
         partition: u32,
         seq: u64,
+        image_seq: Option<u64>,
     ) -> std::io::Result<()> {
         let mut buf = Vec::new();
-        encode_checkpoint_record(&mut buf, table, partition, seq);
+        encode_checkpoint_record(&mut buf, table, partition, seq, image_seq);
         self.out.write_all(&buf)?;
         self.out.flush()
     }
@@ -196,10 +214,20 @@ impl Wal {
                 .to_string();
                 pos += nlen;
                 let partition = read_u32(&bytes, &mut pos)?;
+                let has_image = *bytes
+                    .get(pos)
+                    .ok_or_else(|| corrupt("truncated checkpoint image flag"))?;
+                pos += 1;
+                let image_seq = match has_image {
+                    0 => None,
+                    1 => Some(read_u64(&bytes, &mut pos)?),
+                    f => return Err(corrupt(&format!("bad checkpoint image flag {f}"))),
+                };
                 records.push(WalRecord::Checkpoint {
                     seq,
                     table,
                     partition,
+                    image_seq,
                 });
                 continue;
             }
@@ -245,27 +273,33 @@ impl Wal {
     /// the record stream a recovery that rebuilt every partition from its
     /// checkpointed stable image must replay.
     pub fn read_effective(path: &Path) -> std::io::Result<Vec<WalRecord>> {
-        let records = Self::read_all(path)?;
-        let markers = checkpoint_seqs(&records);
-        Ok(records
-            .into_iter()
-            .filter_map(|rec| match rec {
-                WalRecord::Commit { seq, tables } => {
-                    let kept: Vec<_> = tables
-                        .into_iter()
-                        .filter(|(t, p, _)| {
-                            markers
-                                .get(t.as_str())
-                                .and_then(|parts| parts.get(p))
-                                .is_none_or(|&m| seq > m)
-                        })
-                        .collect();
-                    Some(WalRecord::Commit { seq, tables: kept })
-                }
-                WalRecord::Checkpoint { .. } => None,
-            })
-            .collect())
+        Ok(effective_commits(Self::read_all(path)?))
     }
+}
+
+/// Resolve checkpoint markers over an already-read record stream — the
+/// filtering behind [`Wal::read_effective`], separated so callers that
+/// also need the markers (image-based recovery) read the file once.
+pub fn effective_commits(records: Vec<WalRecord>) -> Vec<WalRecord> {
+    let markers = checkpoint_seqs(&records);
+    records
+        .into_iter()
+        .filter_map(|rec| match rec {
+            WalRecord::Commit { seq, tables } => {
+                let kept: Vec<_> = tables
+                    .into_iter()
+                    .filter(|(t, p, _)| {
+                        markers
+                            .get(t.as_str())
+                            .and_then(|parts| parts.get(p))
+                            .is_none_or(|&m| seq > m)
+                    })
+                    .collect();
+                Some(WalRecord::Commit { seq, tables: kept })
+            }
+            WalRecord::Checkpoint { .. } => None,
+        })
+        .collect()
 }
 
 /// Encode one commit record into `buf` (the layout `read_all` parses).
@@ -291,12 +325,25 @@ fn encode_commit_record(buf: &mut Vec<u8>, seq: u64, deltas: &[(&str, u32, &[Wal
 }
 
 /// Encode one checkpoint marker into `buf`.
-fn encode_checkpoint_record(buf: &mut Vec<u8>, table: &str, partition: u32, seq: u64) {
+fn encode_checkpoint_record(
+    buf: &mut Vec<u8>,
+    table: &str,
+    partition: u32,
+    seq: u64,
+    image_seq: Option<u64>,
+) {
     buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
     buf.extend_from_slice(&(table.len() as u16).to_le_bytes());
     buf.extend_from_slice(table.as_bytes());
     buf.extend_from_slice(&partition.to_le_bytes());
+    match image_seq {
+        Some(s) => {
+            buf.push(1);
+            buf.extend_from_slice(&s.to_le_bytes());
+        }
+        None => buf.push(0),
+    }
 }
 
 /// Coordinator counters: logical records enqueued vs physical append
@@ -414,10 +461,16 @@ impl GroupWal {
     /// caller installs the checkpointed image under the commit guard, and
     /// a recovered log must never cover an image with a marker that was
     /// not yet on disk when the image became the recovery base.
-    pub fn append_checkpoint(&self, table: &str, partition: u32, seq: u64) -> std::io::Result<()> {
+    pub fn append_checkpoint(
+        &self,
+        table: &str,
+        partition: u32,
+        seq: u64,
+        image_seq: Option<u64>,
+    ) -> std::io::Result<()> {
         let ticket = {
             let mut g = self.state.lock().unwrap();
-            encode_checkpoint_record(&mut g.pending, table, partition, seq);
+            encode_checkpoint_record(&mut g.pending, table, partition, seq, image_seq);
             g.pending_records += 1;
             g.enqueued += 1;
             g.stats.checkpoints += 1;
@@ -492,6 +545,7 @@ pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, HashMap<u32, u6
             seq,
             table,
             partition,
+            ..
         } = rec
         {
             let e = m
@@ -500,6 +554,36 @@ pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, HashMap<u32, u6
                 .entry(*partition)
                 .or_insert(*seq);
             *e = (*e).max(*seq);
+        }
+    }
+    m
+}
+
+/// The *covering* (highest-sequence) checkpoint marker per table, then per
+/// partition: `(seq, image_seq)`. Recovery rebuilds each partition from
+/// the persisted image the covering marker references — `image_seq` is
+/// the manifest sequence to load — then replays the commits
+/// [`Wal::read_effective`] keeps.
+pub fn checkpoint_markers(
+    records: &[WalRecord],
+) -> HashMap<String, HashMap<u32, (u64, Option<u64>)>> {
+    let mut m: HashMap<String, HashMap<u32, (u64, Option<u64>)>> = HashMap::new();
+    for rec in records {
+        if let WalRecord::Checkpoint {
+            seq,
+            table,
+            partition,
+            image_seq,
+        } = rec
+        {
+            let e = m
+                .entry(table.clone())
+                .or_default()
+                .entry(*partition)
+                .or_insert((*seq, *image_seq));
+            if *seq >= e.0 {
+                *e = (*seq, *image_seq);
+            }
         }
     }
     m
@@ -846,9 +930,25 @@ mod tests {
             wal.append_commit(1, &[("t", 0, e0.as_slice()), ("t", 1, e1.as_slice())])
                 .unwrap();
             wal.append_commit(2, &[("t", 0, e2.as_slice())]).unwrap();
-            // partition 0 checkpointed at seq 2: both its deltas are folded
-            wal.append_checkpoint("t", 0, 2).unwrap();
+            // partition 0 checkpointed at seq 2: both its deltas are folded,
+            // with a persisted image referenced by the marker
+            wal.append_checkpoint("t", 0, 2, Some(2)).unwrap();
         }
+        let all = Wal::read_all(&path).unwrap();
+        assert!(
+            matches!(
+                all.last(),
+                Some(WalRecord::Checkpoint {
+                    seq: 2,
+                    partition: 0,
+                    image_seq: Some(2),
+                    ..
+                })
+            ),
+            "image sequence roundtrips through the marker"
+        );
+        let markers = checkpoint_markers(&all);
+        assert_eq!(markers["t"][&0], (2, Some(2)));
         let effective = Wal::read_effective(&path).unwrap();
         let kept: Vec<(u64, String, u32)> = effective
             .iter()
@@ -940,7 +1040,7 @@ mod tests {
         }];
         // an enqueued-but-unflushed commit rides along with the marker
         let _ticket = gw.enqueue_commit(1, &[("t", 0, e.as_slice())]);
-        gw.append_checkpoint("t", 0, 1).unwrap();
+        gw.append_checkpoint("t", 0, 1, None).unwrap();
         assert_eq!(gw.pending_records(), 0, "marker append drains the buffer");
         let s = gw.stats();
         assert_eq!((s.commits, s.checkpoints, s.appends), (1, 1, 1));
