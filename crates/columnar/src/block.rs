@@ -8,9 +8,11 @@
 use crate::column::ColumnVec;
 use crate::compress;
 pub use crate::compress::Encoding;
+use crate::dict::StrDict;
 use crate::error::Result;
 use crate::value::ValueType;
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// One encoded column segment.
 #[derive(Debug, Clone)]
@@ -51,9 +53,30 @@ impl Block {
         }
     }
 
+    /// Encode an already dictionary-coded string column as
+    /// [`Encoding::GlobalCode`] (the table builder routes dictionary
+    /// columns here; code blocks decode to [`ColumnVec::Coded`]).
+    pub fn encode_coded(col: &ColumnVec) -> Block {
+        let bytes = compress::encode(col, Encoding::GlobalCode)
+            .expect("encode_coded requires a ColumnVec::Coded column");
+        Block {
+            len: col.len(),
+            vtype: ValueType::Str,
+            encoding: Encoding::GlobalCode,
+            payload: Bytes::from(bytes),
+        }
+    }
+
     /// Decode the full block.
     pub fn decode(&self) -> Result<ColumnVec> {
         compress::decode(&self.payload, self.encoding, self.vtype, self.len)
+    }
+
+    /// Decode the full block, supplying the column's global dictionary —
+    /// required for [`Encoding::GlobalCode`] blocks, which decode to
+    /// [`ColumnVec::Coded`] over that dictionary.
+    pub fn decode_with(&self, dict: Option<&Arc<StrDict>>) -> Result<ColumnVec> {
+        compress::decode_with(&self.payload, self.encoding, self.vtype, self.len, dict)
     }
 
     /// Size in bytes that a disk read of this block would transfer.

@@ -6,6 +6,9 @@
 //! inserted tuples, deleted sort keys, and per-column modified values in
 //! columnar tables).
 
+use std::sync::Arc;
+
+use crate::dict::StrDict;
 use crate::value::{Value, ValueType};
 
 /// A typed vector of column values.
@@ -14,13 +17,46 @@ use crate::value::{Value, ValueType};
 /// paper's workloads (inventory, TPC-H) are NOT NULL throughout. `Value::Null`
 /// pushed into a column stores the type's default and is intended only for
 /// padding in tests.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// String columns come in two representations: [`ColumnVec::Str`] holds the
+/// strings themselves, [`ColumnVec::Coded`] holds `u32` codes into a shared
+/// order-preserving [`StrDict`]. Both report [`ValueType::Str`]; a coded
+/// vector transparently *materializes* into `Str` when an operation needs a
+/// string its dictionary does not contain. MergeScan works on codes and
+/// materializes once at batch emission.
+#[derive(Debug, Clone)]
 pub enum ColumnVec {
+    /// Booleans.
     Bool(Vec<bool>),
+    /// 64-bit signed integers.
     Int(Vec<i64>),
+    /// 64-bit floats.
     Double(Vec<f64>),
+    /// Strings, materialized.
     Str(Vec<String>),
+    /// Strings as `u32` codes into a shared order-preserving dictionary.
+    Coded(Vec<u32>, Arc<StrDict>),
+    /// Dates as day numbers.
     Date(Vec<i32>),
+}
+
+impl PartialEq for ColumnVec {
+    /// Value equality: `Str` and `Coded` columns compare by the strings
+    /// they represent, regardless of representation.
+    fn eq(&self, other: &Self) -> bool {
+        use ColumnVec::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a == b,
+            (Int(a), Int(b)) => a == b,
+            (Double(a), Double(b)) => a == b,
+            (Date(a), Date(b)) => a == b,
+            (Coded(a, da), Coded(b, db)) if Arc::ptr_eq(da, db) => a == b,
+            (a @ (Str(_) | Coded(..)), b @ (Str(_) | Coded(..))) => {
+                a.len() == b.len() && (0..a.len()).all(|i| a.str_at(i) == b.str_at(i))
+            }
+            _ => false,
+        }
+    }
 }
 
 impl ColumnVec {
@@ -40,33 +76,90 @@ impl ColumnVec {
         }
     }
 
+    /// An empty dictionary-coded string column over `dict`.
+    pub fn new_coded(dict: Arc<StrDict>) -> Self {
+        ColumnVec::Coded(Vec::new(), dict)
+    }
+
     /// The element type.
     pub fn vtype(&self) -> ValueType {
         match self {
             ColumnVec::Bool(_) => ValueType::Bool,
             ColumnVec::Int(_) => ValueType::Int,
             ColumnVec::Double(_) => ValueType::Double,
-            ColumnVec::Str(_) => ValueType::Str,
+            ColumnVec::Str(_) | ColumnVec::Coded(..) => ValueType::Str,
             ColumnVec::Date(_) => ValueType::Date,
         }
     }
 
+    /// Number of elements.
     pub fn len(&self) -> usize {
         match self {
             ColumnVec::Bool(v) => v.len(),
             ColumnVec::Int(v) => v.len(),
             ColumnVec::Double(v) => v.len(),
             ColumnVec::Str(v) => v.len(),
+            ColumnVec::Coded(v, _) => v.len(),
             ColumnVec::Date(v) => v.len(),
         }
     }
 
+    /// True when the column holds no elements.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
+    /// The dictionary of a coded column, if this is one.
+    pub fn dict(&self) -> Option<&Arc<StrDict>> {
+        match self {
+            ColumnVec::Coded(_, d) => Some(d),
+            _ => None,
+        }
+    }
+
+    /// The raw codes of a coded column, if this is one.
+    pub fn as_codes(&self) -> Option<&[u32]> {
+        match self {
+            ColumnVec::Coded(v, _) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrow element `i` of a string column (`Str` or `Coded`) without
+    /// allocating. Panics on non-string columns.
+    pub fn str_at(&self, i: usize) -> &str {
+        match self {
+            ColumnVec::Str(v) => &v[i],
+            ColumnVec::Coded(v, d) => d.get(v[i]),
+            other => panic!("expected Str column, got {:?}", other.vtype()),
+        }
+    }
+
+    /// Convert a [`ColumnVec::Coded`] column into [`ColumnVec::Str`] in
+    /// place (late materialization at batch emission; also the fallback
+    /// when a string outside the dictionary must be stored). No-op on
+    /// every other representation.
+    pub fn materialize_in_place(&mut self) {
+        if let ColumnVec::Coded(codes, dict) = self {
+            let strs = codes.iter().map(|&c| dict.get(c).to_string()).collect();
+            *self = ColumnVec::Str(strs);
+        }
+    }
+
     /// Append a value; `Null` appends the type default (see type docs).
     pub fn push(&mut self, v: &Value) {
+        if let ColumnVec::Coded(codes, dict) = &mut *self {
+            let s: &str = match v {
+                Value::Str(s) => s,
+                Value::Null => "",
+                _ => panic!("type mismatch: pushing {v:?} into Str column"),
+            };
+            if let Some(c) = dict.code_of(s) {
+                codes.push(c);
+                return;
+            }
+            self.materialize_in_place();
+        }
         match (self, v) {
             (ColumnVec::Bool(c), Value::Bool(b)) => c.push(*b),
             (ColumnVec::Bool(c), Value::Null) => c.push(false),
@@ -87,6 +180,10 @@ impl ColumnVec {
     /// being re-cloned (the batch-building hot path). `Null` appends the
     /// type default, as in [`ColumnVec::push`].
     pub fn push_owned(&mut self, v: Value) {
+        if matches!(self, ColumnVec::Coded(..)) {
+            self.push(&v);
+            return;
+        }
         match (self, v) {
             (ColumnVec::Str(c), Value::Str(s)) => c.push(s),
             (ColumnVec::Bool(c), Value::Bool(b)) => c.push(b),
@@ -106,6 +203,7 @@ impl ColumnVec {
             ColumnVec::Int(v) => v.reserve(additional),
             ColumnVec::Double(v) => v.reserve(additional),
             ColumnVec::Str(v) => v.reserve(additional),
+            ColumnVec::Coded(v, _) => v.reserve(additional),
             ColumnVec::Date(v) => v.reserve(additional),
         }
     }
@@ -117,12 +215,24 @@ impl ColumnVec {
             ColumnVec::Int(v) => Value::Int(v[i]),
             ColumnVec::Double(v) => Value::Double(v[i]),
             ColumnVec::Str(v) => Value::Str(v[i].clone()),
+            ColumnVec::Coded(v, d) => Value::Str(d.get(v[i]).to_string()),
             ColumnVec::Date(v) => Value::Date(v[i]),
         }
     }
 
     /// Overwrite element `i` (used by PDT in-place value-space updates).
     pub fn set(&mut self, i: usize, v: &Value) {
+        if let ColumnVec::Coded(codes, dict) = &mut *self {
+            if let Value::Str(s) = v {
+                if let Some(c) = dict.code_of(s) {
+                    codes[i] = c;
+                    return;
+                }
+                self.materialize_in_place();
+            } else {
+                panic!("type mismatch: setting {v:?} in Str column");
+            }
+        }
         match (self, v) {
             (ColumnVec::Bool(c), Value::Bool(b)) => c[i] = *b,
             (ColumnVec::Int(c), Value::Int(x)) => c[i] = *x,
@@ -134,7 +244,7 @@ impl ColumnVec {
         }
     }
 
-    /// Typed slice accessors for hot paths.
+    /// Borrow the native `i64` slice; panics unless this is an Int column.
     pub fn as_int(&self) -> &[i64] {
         match self {
             ColumnVec::Int(v) => v,
@@ -142,6 +252,7 @@ impl ColumnVec {
         }
     }
 
+    /// Borrow the native `f64` slice; panics unless this is a Double column.
     pub fn as_double(&self) -> &[f64] {
         match self {
             ColumnVec::Double(v) => v,
@@ -149,13 +260,20 @@ impl ColumnVec {
         }
     }
 
+    /// Borrow the native `String` slice; panics unless this is a
+    /// *materialized* string column (coded columns must be materialized
+    /// first — scan emission does this automatically).
     pub fn as_str(&self) -> &[String] {
         match self {
             ColumnVec::Str(v) => v,
+            ColumnVec::Coded(..) => {
+                panic!("coded string column not materialized (materialize_in_place first)")
+            }
             other => panic!("expected Str column, got {:?}", other.vtype()),
         }
     }
 
+    /// Borrow the native date slice; panics unless this is a Date column.
     pub fn as_date(&self) -> &[i32] {
         match self {
             ColumnVec::Date(v) => v,
@@ -163,6 +281,7 @@ impl ColumnVec {
         }
     }
 
+    /// Borrow the native bool slice; panics unless this is a Bool column.
     pub fn as_bool(&self) -> &[bool] {
         match self {
             ColumnVec::Bool(v) => v,
@@ -171,13 +290,30 @@ impl ColumnVec {
     }
 
     /// Append a sub-range `[from, to)` of `other` to `self` (block
-    /// pass-through copies in MergeScan).
+    /// pass-through copies in MergeScan). Coded-to-coded copies over the
+    /// same dictionary are pure `u32` `memcpy`s.
     pub fn extend_range(&mut self, other: &ColumnVec, from: usize, to: usize) {
+        if let ColumnVec::Coded(codes, dict) = &mut *self {
+            match other {
+                ColumnVec::Coded(b, d2) if Arc::ptr_eq(dict, d2) => {
+                    codes.extend_from_slice(&b[from..to]);
+                    return;
+                }
+                ColumnVec::Coded(..) | ColumnVec::Str(_) => self.materialize_in_place(),
+                b => panic!(
+                    "type mismatch: extending Str column from {:?} column",
+                    b.vtype()
+                ),
+            }
+        }
         match (self, other) {
             (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend_from_slice(&b[from..to]),
             (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend_from_slice(&b[from..to]),
             (ColumnVec::Double(a), ColumnVec::Double(b)) => a.extend_from_slice(&b[from..to]),
             (ColumnVec::Str(a), ColumnVec::Str(b)) => a.extend_from_slice(&b[from..to]),
+            (ColumnVec::Str(a), ColumnVec::Coded(b, d)) => {
+                a.extend(b[from..to].iter().map(|&c| d.get(c).to_string()))
+            }
             (ColumnVec::Date(a), ColumnVec::Date(b)) => a.extend_from_slice(&b[from..to]),
             (a, b) => panic!(
                 "type mismatch: extending {:?} column from {:?} column",
@@ -190,11 +326,39 @@ impl ColumnVec {
     /// Gather the listed indices of `other` onto the end of `self`
     /// (selection-vector application).
     pub fn extend_gather(&mut self, other: &ColumnVec, idx: &[usize]) {
+        if let ColumnVec::Coded(codes, dict) = &mut *self {
+            match other {
+                ColumnVec::Coded(b, d2) if Arc::ptr_eq(dict, d2) => {
+                    codes.extend(idx.iter().map(|&i| b[i]));
+                    return;
+                }
+                ColumnVec::Str(b) => {
+                    // stay coded while every gathered string is in the dict
+                    if let Some(gathered) = idx
+                        .iter()
+                        .map(|&i| dict.code_of(&b[i]))
+                        .collect::<Option<Vec<u32>>>()
+                    {
+                        codes.extend(gathered);
+                        return;
+                    }
+                    self.materialize_in_place();
+                }
+                ColumnVec::Coded(..) => self.materialize_in_place(),
+                b => panic!(
+                    "type mismatch: gathering Str column from {:?} column",
+                    b.vtype()
+                ),
+            }
+        }
         match (self, other) {
             (ColumnVec::Bool(a), ColumnVec::Bool(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (ColumnVec::Int(a), ColumnVec::Int(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (ColumnVec::Double(a), ColumnVec::Double(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (ColumnVec::Str(a), ColumnVec::Str(b)) => a.extend(idx.iter().map(|&i| b[i].clone())),
+            (ColumnVec::Str(a), ColumnVec::Coded(b, d)) => {
+                a.extend(idx.iter().map(|&i| d.get(b[i]).to_string()))
+            }
             (ColumnVec::Date(a), ColumnVec::Date(b)) => a.extend(idx.iter().map(|&i| b[i])),
             (a, b) => panic!(
                 "type mismatch: gathering {:?} column from {:?} column",
@@ -204,23 +368,57 @@ impl ColumnVec {
         }
     }
 
+    /// A representation-preserving copy of rows `[from, to)` — coded
+    /// columns stay coded (window clipping in the scan path).
+    pub fn slice_range(&self, from: usize, to: usize) -> ColumnVec {
+        match self {
+            ColumnVec::Bool(v) => ColumnVec::Bool(v[from..to].to_vec()),
+            ColumnVec::Int(v) => ColumnVec::Int(v[from..to].to_vec()),
+            ColumnVec::Double(v) => ColumnVec::Double(v[from..to].to_vec()),
+            ColumnVec::Str(v) => ColumnVec::Str(v[from..to].to_vec()),
+            ColumnVec::Coded(v, d) => ColumnVec::Coded(v[from..to].to_vec(), d.clone()),
+            ColumnVec::Date(v) => ColumnVec::Date(v[from..to].to_vec()),
+        }
+    }
+
+    /// Compare element `i` of `self` with element `j` of `other` using
+    /// native comparisons — coded columns over the same dictionary compare
+    /// raw `u32` codes, string columns compare `&str` without allocating.
+    pub fn cmp_cells(&self, i: usize, other: &ColumnVec, j: usize) -> std::cmp::Ordering {
+        use ColumnVec::*;
+        match (self, other) {
+            (Bool(a), Bool(b)) => a[i].cmp(&b[j]),
+            (Int(a), Int(b)) => a[i].cmp(&b[j]),
+            (Double(a), Double(b)) => a[i].total_cmp(&b[j]),
+            (Date(a), Date(b)) => a[i].cmp(&b[j]),
+            (Coded(a, da), Coded(b, db)) if Arc::ptr_eq(da, db) => a[i].cmp(&b[j]),
+            (a @ (Str(_) | Coded(..)), b @ (Str(_) | Coded(..))) => a.str_at(i).cmp(b.str_at(j)),
+            (a, b) => a.get(i).cmp(&b.get(j)),
+        }
+    }
+
     /// Rough in-memory footprint in bytes (for PDT memory accounting).
+    /// Coded columns count 4 bytes per element; the shared dictionary is
+    /// accounted once by its owner, not per vector.
     pub fn heap_bytes(&self) -> usize {
         match self {
             ColumnVec::Bool(v) => v.len(),
             ColumnVec::Int(v) => v.len() * 8,
             ColumnVec::Double(v) => v.len() * 8,
             ColumnVec::Str(v) => v.iter().map(|s| s.len() + 24).sum(),
+            ColumnVec::Coded(v, _) => v.len() * 4,
             ColumnVec::Date(v) => v.len() * 4,
         }
     }
 
+    /// Remove all elements, keeping the representation (and dictionary).
     pub fn clear(&mut self) {
         match self {
             ColumnVec::Bool(v) => v.clear(),
             ColumnVec::Int(v) => v.clear(),
             ColumnVec::Double(v) => v.clear(),
             ColumnVec::Str(v) => v.clear(),
+            ColumnVec::Coded(v, _) => v.clear(),
             ColumnVec::Date(v) => v.clear(),
         }
     }
@@ -291,5 +489,68 @@ mod tests {
         let mut c = ColumnVec::new(ValueType::Int);
         c.push(&Value::Null);
         assert_eq!(c.get(0), Value::Int(0));
+    }
+
+    #[test]
+    fn coded_push_stays_coded_in_dict() {
+        let d = StrDict::build(["a", "b"]);
+        let mut c = ColumnVec::new_coded(d);
+        c.push(&"b".into());
+        c.push(&"a".into());
+        assert!(c.as_codes().is_some());
+        assert_eq!(c.get(0), Value::Str("b".into()));
+        assert_eq!(c.str_at(1), "a");
+    }
+
+    #[test]
+    fn coded_push_out_of_dict_materializes() {
+        let d = StrDict::build(["a"]);
+        let mut c = ColumnVec::new_coded(d);
+        c.push(&"a".into());
+        c.push(&"zz".into());
+        assert!(c.as_codes().is_none());
+        assert_eq!(c.as_str(), &["a".to_string(), "zz".to_string()]);
+    }
+
+    #[test]
+    fn coded_equals_materialized() {
+        let d = StrDict::build(["a", "b"]);
+        let coded = ColumnVec::Coded(vec![1, 0], d);
+        let plain = ColumnVec::Str(vec!["b".into(), "a".into()]);
+        assert_eq!(coded, plain);
+        assert_eq!(plain, coded);
+        assert_ne!(coded, ColumnVec::Str(vec!["b".into(), "b".into()]));
+    }
+
+    #[test]
+    fn coded_extend_range_is_code_copy() {
+        let d = StrDict::build(["a", "b", "c"]);
+        let src = ColumnVec::Coded(vec![2, 1, 0], d.clone());
+        let mut dst = ColumnVec::new_coded(d);
+        dst.extend_range(&src, 0, 2);
+        assert_eq!(dst.as_codes(), Some(&[2u32, 1][..]));
+        // decode into a materialized column too
+        let mut plain = ColumnVec::new(ValueType::Str);
+        plain.extend_range(&src, 1, 3);
+        assert_eq!(plain.as_str(), &["b".to_string(), "a".to_string()]);
+    }
+
+    #[test]
+    fn coded_slice_preserves_representation() {
+        let d = StrDict::build(["x", "y"]);
+        let src = ColumnVec::Coded(vec![0, 1, 0], d);
+        let s = src.slice_range(1, 3);
+        assert_eq!(s.as_codes(), Some(&[1u32, 0][..]));
+    }
+
+    #[test]
+    fn coded_set_and_clear() {
+        let d = StrDict::build(["a", "b"]);
+        let mut c = ColumnVec::Coded(vec![0, 0], d);
+        c.set(1, &"b".into());
+        assert_eq!(c.str_at(1), "b");
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.as_codes().is_some());
     }
 }

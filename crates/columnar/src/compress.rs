@@ -11,20 +11,35 @@
 //! * [`Encoding::DeltaVarint`] — zig-zag varint deltas for (near-)sorted
 //!   integer/date columns.
 //!
+//! A fifth codec, [`Encoding::GlobalCode`], stores `u32` codes into a
+//! table-global per-column [`StrDict`] (zig-zag delta varints); unlike the
+//! per-block [`Encoding::Dict`] it decodes to [`ColumnVec::Coded`] so merge
+//! kernels compare and patch codes instead of strings.
+//!
 //! Encoders are pure functions `&ColumnVec -> Vec<u8>`; decoders are the
 //! inverse. Block-level auto-choice lives in [`crate::block`].
 
+use std::sync::Arc;
+
 use crate::column::ColumnVec;
+use crate::dict::StrDict;
 use crate::error::{ColumnarError, Result};
 use crate::value::ValueType;
 
 /// Identifies the codec used for a block payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Encoding {
+    /// Fixed-width raw values (strings length-prefixed).
     Plain,
+    /// Run-length encoding: (run length, plain value) pairs.
     Rle,
+    /// Per-block dictionary coding with narrow indices (strings only).
     Dict,
+    /// Zig-zag varint deltas for (near-)sorted integer/date columns.
     DeltaVarint,
+    /// `u32` codes into a table-global per-column string dictionary,
+    /// stored as zig-zag varint deltas. Decodes to [`ColumnVec::Coded`].
+    GlobalCode,
 }
 
 impl Encoding {
@@ -98,12 +113,37 @@ pub fn unzigzag(v: u64) -> i64 {
 /// Encode `col` with the given codec. Returns `None` if the codec does not
 /// apply (e.g. dictionary on doubles).
 pub fn encode(col: &ColumnVec, enc: Encoding) -> Option<Vec<u8>> {
+    if enc == Encoding::GlobalCode {
+        return encode_codes(col);
+    }
+    if matches!(col, ColumnVec::Coded(..)) {
+        // legacy codecs see strings, not codes
+        let mut m = col.clone();
+        m.materialize_in_place();
+        return encode(&m, enc);
+    }
     match enc {
         Encoding::Plain => Some(encode_plain(col)),
         Encoding::Rle => Some(encode_rle(col)),
         Encoding::Dict => encode_dict(col),
         Encoding::DeltaVarint => encode_delta(col),
+        Encoding::GlobalCode => unreachable!("handled above"),
     }
+}
+
+/// Zig-zag delta varints over the `u32` codes of a [`ColumnVec::Coded`]
+/// column. `None` for any other representation.
+fn encode_codes(col: &ColumnVec) -> Option<Vec<u8>> {
+    let ColumnVec::Coded(codes, _) = col else {
+        return None;
+    };
+    let mut out = Vec::new();
+    let mut prev = 0i64;
+    for &c in codes {
+        put_uvarint(&mut out, zigzag((c as i64).wrapping_sub(prev)));
+        prev = c as i64;
+    }
+    Some(out)
 }
 
 fn encode_plain(col: &ColumnVec) -> Vec<u8> {
@@ -131,6 +171,7 @@ fn encode_plain(col: &ColumnVec) -> Vec<u8> {
                 out.extend_from_slice(s.as_bytes());
             }
         }
+        ColumnVec::Coded(..) => unreachable!("coded columns are materialized before legacy codecs"),
     }
     out
 }
@@ -166,6 +207,7 @@ fn encode_rle(col: &ColumnVec) -> Vec<u8> {
             put_uvarint(o, x.len() as u64);
             o.extend_from_slice(x.as_bytes());
         }),
+        ColumnVec::Coded(..) => unreachable!("coded columns are materialized before legacy codecs"),
     }
     out
 }
@@ -243,13 +285,56 @@ fn encode_delta(col: &ColumnVec) -> Option<Vec<u8>> {
 // ---------------------------------------------------------------------------
 
 /// Decode a payload of `len` values of type `vtype` encoded with `enc`.
+/// [`Encoding::GlobalCode`] payloads need their dictionary — use
+/// [`decode_with`]; here they report corruption.
 pub fn decode(buf: &[u8], enc: Encoding, vtype: ValueType, len: usize) -> Result<ColumnVec> {
+    decode_with(buf, enc, vtype, len, None)
+}
+
+/// [`decode`] with the table-global dictionary of the column, required to
+/// decode [`Encoding::GlobalCode`] payloads (every code is validated
+/// against the dictionary before a coded vector is built).
+pub fn decode_with(
+    buf: &[u8],
+    enc: Encoding,
+    vtype: ValueType,
+    len: usize,
+    dict: Option<&Arc<StrDict>>,
+) -> Result<ColumnVec> {
     match enc {
         Encoding::Plain => decode_plain(buf, vtype, len),
         Encoding::Rle => decode_rle(buf, vtype, len),
         Encoding::Dict => decode_dict(buf, vtype, len),
         Encoding::DeltaVarint => decode_delta(buf, vtype, len),
+        Encoding::GlobalCode => {
+            if vtype != ValueType::Str {
+                return Err(ColumnarError::Corrupt(
+                    "global-code codec only for strings".into(),
+                ));
+            }
+            let dict = dict.ok_or_else(|| {
+                ColumnarError::Corrupt("global-code payload without a dictionary".into())
+            })?;
+            decode_codes(buf, len, dict)
+        }
     }
+}
+
+fn decode_codes(buf: &[u8], len: usize, dict: &Arc<StrDict>) -> Result<ColumnVec> {
+    let mut pos = 0usize;
+    let mut v: Vec<u32> = Vec::with_capacity(alloc_cap(len, buf.len(), pos, 1));
+    let mut prev = 0i64;
+    let card = dict.len() as i64;
+    for _ in 0..len {
+        prev = prev.wrapping_add(unzigzag(get_uvarint(buf, &mut pos)?));
+        if prev < 0 || prev >= card {
+            return Err(ColumnarError::Corrupt(format!(
+                "dictionary code {prev} out of range (dict of {card})"
+            )));
+        }
+        v.push(prev as u32);
+    }
+    Ok(ColumnVec::Coded(v, dict.clone()))
 }
 
 fn need(buf: &[u8], pos: usize, n: usize) -> Result<()> {
@@ -590,6 +675,35 @@ mod tests {
         assert!(decode(&bytes, Encoding::Plain, ValueType::Int, usize::MAX).is_err());
         let bytes = encode(&col, Encoding::DeltaVarint).unwrap();
         assert!(decode(&bytes, Encoding::DeltaVarint, ValueType::Int, usize::MAX).is_err());
+    }
+
+    #[test]
+    fn global_code_roundtrips_with_dictionary() {
+        let dict = StrDict::build(["", "a", "zz", "ü"]);
+        let col = ColumnVec::Coded(vec![3, 0, 1, 1, 2], dict.clone());
+        let bytes = encode(&col, Encoding::GlobalCode).unwrap();
+        let back = decode_with(&bytes, Encoding::GlobalCode, ValueType::Str, 5, Some(&dict))
+            .expect("decodes");
+        assert_eq!(back, col);
+        // without the dictionary: corruption, not a panic
+        assert!(decode(&bytes, Encoding::GlobalCode, ValueType::Str, 5).is_err());
+    }
+
+    #[test]
+    fn global_code_rejects_out_of_range_codes() {
+        let dict = StrDict::build(["a"]);
+        let mut buf = Vec::new();
+        put_uvarint(&mut buf, zigzag(7)); // code 7 >= dict len 1
+        assert!(decode_with(&buf, Encoding::GlobalCode, ValueType::Str, 1, Some(&dict)).is_err());
+    }
+
+    #[test]
+    fn coded_columns_materialize_for_legacy_codecs() {
+        let dict = StrDict::build(["a", "b"]);
+        let col = ColumnVec::Coded(vec![0, 1, 1], dict);
+        let bytes = encode(&col, Encoding::Plain).unwrap();
+        let back = decode(&bytes, Encoding::Plain, ValueType::Str, 3).unwrap();
+        assert_eq!(back, col); // value equality across representations
     }
 
     #[test]

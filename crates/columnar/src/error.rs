@@ -8,13 +8,19 @@ pub enum ColumnarError {
     /// A tuple did not match the table schema.
     SchemaMismatch(String),
     /// Rows were appended to a bulk loader out of sort-key order.
-    UnsortedInput { row: u64 },
+    UnsortedInput {
+        /// Zero-based index of the first offending row.
+        row: u64,
+    },
     /// A block payload failed to decode (corruption or codec bug).
     Corrupt(String),
     /// An out-of-range row or block reference.
     OutOfRange {
+        /// What kind of reference was out of range ("row", "block", ...).
         what: &'static str,
+        /// The offending index.
         index: u64,
+        /// The valid length it was checked against.
         len: u64,
     },
     /// A filesystem error while reading or writing persisted images. Carries

@@ -42,7 +42,11 @@ use std::sync::Mutex;
 
 /// Image file magic: "pdtR" (R for read-store image).
 const IMAGE_MAGIC: u32 = 0x7064_7452;
-const IMAGE_VERSION: u32 = 1;
+/// Image format version. v2 added per-column global string dictionaries
+/// (one optional dictionary section per column, ahead of its blocks) and
+/// the [`Encoding::GlobalCode`] block codec; v1 images are rejected —
+/// rebuild them by checkpointing after replaying the WAL from scratch.
+const IMAGE_VERSION: u32 = 2;
 const MANIFEST_HEADER: &str = "pdt-images v1";
 /// Manifest file name inside the image directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
@@ -136,6 +140,7 @@ fn encoding_tag(e: Encoding) -> u8 {
         Encoding::Rle => 1,
         Encoding::Dict => 2,
         Encoding::DeltaVarint => 3,
+        Encoding::GlobalCode => 4,
     }
 }
 
@@ -145,6 +150,7 @@ fn encoding_of(tag: u8) -> Result<Encoding> {
         1 => Encoding::Rle,
         2 => Encoding::Dict,
         3 => Encoding::DeltaVarint,
+        4 => Encoding::GlobalCode,
         t => return Err(ColumnarError::Corrupt(format!("bad encoding tag {t}"))),
     })
 }
@@ -241,6 +247,18 @@ pub fn encode_image(table: &StableTable, seq: u64) -> Vec<u8> {
     body.extend_from_slice(&table.row_count().to_le_bytes());
     body.extend_from_slice(&(table.num_columns() as u16).to_le_bytes());
     for c in 0..table.num_columns() {
+        // v2: optional global string dictionary, ahead of the column's
+        // blocks (GlobalCode blocks decode against it).
+        match table.column_dict(c) {
+            Some(dict) => {
+                body.push(1);
+                body.extend_from_slice(&(dict.len() as u32).to_le_bytes());
+                for s in dict.iter() {
+                    put_str(&mut body, s);
+                }
+            }
+            None => body.push(0),
+        }
         let blocks = table.column_blocks(c);
         body.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
         for b in blocks {
@@ -322,7 +340,28 @@ pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> 
     }
     let schema = Schema::new(fields);
     let mut cols = Vec::with_capacity(ncols);
+    let mut dicts = Vec::with_capacity(ncols);
     for _ in 0..ncols {
+        match cur.u8()? {
+            0 => dicts.push(None),
+            1 => {
+                let n = cur.u32()? as usize;
+                let mut strs = Vec::with_capacity(n.min(body.len()));
+                for _ in 0..n {
+                    strs.push(cur.str()?);
+                }
+                // from_sorted re-validates order/uniqueness so a corrupt
+                // dictionary cannot break code comparisons later.
+                dicts.push(Some(std::sync::Arc::new(
+                    crate::dict::StrDict::from_sorted(strs)?,
+                )));
+            }
+            t => {
+                return Err(ColumnarError::Corrupt(format!(
+                    "bad dictionary presence tag {t}"
+                )))
+            }
+        }
         let nblocks = cur.u32()? as usize;
         let mut blocks = Vec::with_capacity(nblocks.min(body.len()));
         for _ in 0..nblocks {
@@ -357,7 +396,7 @@ pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> 
         block_rows,
         compressed,
     };
-    let table = StableTable::from_parts(meta, opts, row_count, cols, mins, maxs)?;
+    let table = StableTable::from_parts(meta, opts, row_count, cols, mins, maxs, dicts)?;
     Ok((table, seq))
 }
 
@@ -497,6 +536,7 @@ impl ImageManifest {
         self.entries.len()
     }
 
+    /// Whether no partition has a published image.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
@@ -526,6 +566,7 @@ impl ImageStore {
         })
     }
 
+    /// The image directory this store reads and writes.
     pub fn dir(&self) -> &Path {
         &self.dir
     }

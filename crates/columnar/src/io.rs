@@ -48,6 +48,7 @@ struct Counters {
 }
 
 impl IoTracker {
+    /// New tracker with zeroed counters.
     pub fn new() -> Self {
         Self::default()
     }

@@ -26,12 +26,16 @@
 //! sizes of the encoded block payloads that a disk-resident deployment would
 //! transfer — and exactly the bytes [`image`] writes to disk.
 
+#![warn(missing_docs)]
+
 pub mod block;
 pub mod column;
 pub mod compress;
+pub mod dict;
 pub mod error;
 pub mod image;
 pub mod io;
+pub mod kernel;
 pub mod schema;
 pub mod sparse;
 pub mod table;
@@ -39,9 +43,11 @@ pub mod value;
 
 pub use block::{Block, Encoding};
 pub use column::ColumnVec;
+pub use dict::StrDict;
 pub use error::{ColumnarError, Result};
 pub use image::{ImageEntry, ImageManifest, ImageStore};
 pub use io::{IoStats, IoTracker};
+pub use kernel::{MergeStep, PreparedKey, UpdateColumn};
 pub use schema::{Field, Schema, SortKeyDef};
 pub use sparse::SparseIndex;
 pub use table::{ScanRange, StableTable, TableBuilder, TableMeta, TableOptions};

@@ -6,11 +6,14 @@ use std::cmp::Ordering;
 /// A named, typed column of a table.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Field {
+    /// Column name, unique within its schema.
     pub name: String,
+    /// Column value type.
     pub vtype: ValueType,
 }
 
 impl Field {
+    /// New field from a name and type.
     pub fn new(name: impl Into<String>, vtype: ValueType) -> Self {
         Field {
             name: name.into(),
@@ -26,6 +29,7 @@ pub struct Schema {
 }
 
 impl Schema {
+    /// New schema over `fields`, in column order.
     pub fn new(fields: Vec<Field>) -> Self {
         Schema { fields }
     }
@@ -37,14 +41,17 @@ impl Schema {
         }
     }
 
+    /// All fields, in column order.
     pub fn fields(&self) -> &[Field] {
         &self.fields
     }
 
+    /// Number of columns.
     pub fn len(&self) -> usize {
         self.fields.len()
     }
 
+    /// Whether the schema has no columns.
     pub fn is_empty(&self) -> bool {
         self.fields.is_empty()
     }
@@ -62,10 +69,12 @@ impl Schema {
         self.fields.iter().position(|f| f.name == name)
     }
 
+    /// The field at column index `idx`.
     pub fn field(&self, idx: usize) -> &Field {
         &self.fields[idx]
     }
 
+    /// The value type of column `idx`.
     pub fn vtype(&self, idx: usize) -> ValueType {
         self.fields[idx].vtype
     }
@@ -94,18 +103,22 @@ pub struct SortKeyDef {
 }
 
 impl SortKeyDef {
+    /// New sort key over column indices, in significance order.
     pub fn new(cols: Vec<usize>) -> Self {
         SortKeyDef { cols }
     }
 
+    /// The sort-key column indices, in significance order.
     pub fn cols(&self) -> &[usize] {
         &self.cols
     }
 
+    /// Number of sort-key components.
     pub fn len(&self) -> usize {
         self.cols.len()
     }
 
+    /// Whether the sort key is empty.
     pub fn is_empty(&self) -> bool {
         self.cols.is_empty()
     }

@@ -5,25 +5,30 @@
 //! top; a checkpoint materialises a *new* `StableTable` (the paper's
 //! "Checkpointing" paragraph) rather than updating in place.
 
-use crate::block::Block;
+use crate::block::{Block, Encoding};
 use crate::column::ColumnVec;
+use crate::dict::StrDict;
 use crate::error::{ColumnarError, Result};
 use crate::io::IoTracker;
 use crate::schema::{Schema, SortKeyDef};
 use crate::sparse::SparseIndex;
-use crate::value::{SkKey, Tuple, Value};
+use crate::value::{SkKey, Tuple, Value, ValueType};
 use std::cmp::Ordering;
 use std::sync::Arc;
 
 /// Identity of a table: name, schema, physical sort order.
 #[derive(Debug, Clone)]
 pub struct TableMeta {
+    /// Table name (unique within a database).
     pub name: String,
+    /// Column names and types.
     pub schema: Schema,
+    /// The physical sort order (indices of the sort-key columns).
     pub sort_key: SortKeyDef,
 }
 
 impl TableMeta {
+    /// Bundle a name, schema and sort-key column list.
     pub fn new(name: impl Into<String>, schema: Schema, sort_key: Vec<usize>) -> Self {
         TableMeta {
             name: name.into(),
@@ -55,11 +60,14 @@ impl Default for TableOptions {
 /// A half-open SID range `[start, end)` to scan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScanRange {
+    /// First stable ID of the range.
     pub start: u64,
+    /// One past the last stable ID of the range.
     pub end: u64,
 }
 
 impl ScanRange {
+    /// The full-table range `[0, row_count)`.
     pub fn all(row_count: u64) -> Self {
         ScanRange {
             start: 0,
@@ -67,10 +75,12 @@ impl ScanRange {
         }
     }
 
+    /// Number of stable IDs covered.
     pub fn len(&self) -> u64 {
         self.end - self.start
     }
 
+    /// True when the range covers nothing.
     pub fn is_empty(&self) -> bool {
         self.start >= self.end
     }
@@ -90,6 +100,10 @@ pub struct StableTable {
     /// block maximum; the minimum is the sparse index's first key). Together
     /// they form per-block min/max metadata for block skipping.
     block_max_sk: Vec<SkKey>,
+    /// `dicts[c]` = the table-global string dictionary of column `c`, if it
+    /// is dictionary-coded ([`Encoding::GlobalCode`] blocks). Shared with
+    /// every decoded [`ColumnVec::Coded`] of the column.
+    dicts: Vec<Option<Arc<StrDict>>>,
 }
 
 impl StableTable {
@@ -100,6 +114,19 @@ impl StableTable {
         for row in rows {
             b.append(row)?;
         }
+        b.finish()
+    }
+
+    /// Bulk-load from already-sorted *columns* (the kernelized checkpoint
+    /// path: merged [`ColumnVec`]s go straight into blocks without ever
+    /// materializing row tuples). Validates shape, types and sort order.
+    pub fn bulk_load_cols(
+        meta: TableMeta,
+        opts: TableOptions,
+        cols: &[ColumnVec],
+    ) -> Result<StableTable> {
+        let mut b = TableBuilder::new(meta, opts);
+        b.append_cols(cols)?;
         b.finish()
     }
 
@@ -127,6 +154,7 @@ impl StableTable {
         cols: Vec<Vec<Block>>,
         block_min_sk: Vec<SkKey>,
         block_max_sk: Vec<SkKey>,
+        dicts: Vec<Option<Arc<StrDict>>>,
     ) -> Result<StableTable> {
         if opts.block_rows == 0 {
             return Err(ColumnarError::Corrupt("image has block_rows = 0".into()));
@@ -139,12 +167,30 @@ impl StableTable {
                 meta.schema.len()
             )));
         }
+        if dicts.len() != cols.len() {
+            return Err(ColumnarError::Corrupt(format!(
+                "image has {} dictionaries for {} columns",
+                dicts.len(),
+                cols.len()
+            )));
+        }
         let nblocks = (row_count as usize).div_ceil(opts.block_rows);
         for (c, col) in cols.iter().enumerate() {
             if col.len() != nblocks {
                 return Err(ColumnarError::Corrupt(format!(
                     "image column {c} has {} blocks, expected {nblocks}",
                     col.len()
+                )));
+            }
+            // global-code payloads are meaningless without their dictionary
+            if dicts[c].is_none() && col.iter().any(|b| b.encoding == Encoding::GlobalCode) {
+                return Err(ColumnarError::Corrupt(format!(
+                    "image column {c} has global-code blocks but no dictionary"
+                )));
+            }
+            if dicts[c].is_some() && meta.schema.fields()[c].vtype != ValueType::Str {
+                return Err(ColumnarError::Corrupt(format!(
+                    "image column {c} has a dictionary but is not a string column"
                 )));
             }
         }
@@ -164,43 +210,66 @@ impl StableTable {
             cols: cols.into_iter().map(Arc::new).collect(),
             sparse,
             block_max_sk,
+            dicts,
         })
     }
 
+    /// The table's identity (name, schema, sort order).
     pub fn meta(&self) -> &TableMeta {
         &self.meta
     }
 
+    /// Column names and types.
     pub fn schema(&self) -> &Schema {
         &self.meta.schema
     }
 
+    /// The physical sort order.
     pub fn sort_key(&self) -> &SortKeyDef {
         &self.meta.sort_key
     }
 
+    /// Physical layout knobs this table was built with.
     pub fn options(&self) -> TableOptions {
         self.opts
     }
 
+    /// Number of stable rows.
     pub fn row_count(&self) -> u64 {
         self.row_count
     }
 
+    /// Number of columns.
     pub fn num_columns(&self) -> usize {
         self.meta.schema.len()
     }
 
+    /// Rows per block.
     pub fn block_rows(&self) -> usize {
         self.opts.block_rows
     }
 
+    /// Number of blocks per column.
     pub fn num_blocks(&self) -> usize {
         self.cols.first().map(|c| c.len()).unwrap_or(0)
     }
 
+    /// The sparse min-key index over block boundaries.
     pub fn sparse_index(&self) -> &SparseIndex {
         &self.sparse
+    }
+
+    /// The global string dictionary of column `c`, if it is
+    /// dictionary-coded (see [`StrDict`]). Decoded blocks of such a column
+    /// are [`ColumnVec::Coded`] over this dictionary.
+    pub fn column_dict(&self, c: usize) -> Option<&Arc<StrDict>> {
+        self.dicts.get(c).and_then(|d| d.as_ref())
+    }
+
+    /// Per-column dictionaries (`None` for non-coded columns), in schema
+    /// order — image serialization reads these.
+    pub fn dicts(&self) -> &[Option<Arc<StrDict>>] {
+        &self.dicts
     }
 
     /// Row range `[start, end)` covered by block `b`.
@@ -228,7 +297,7 @@ impl StableTable {
             len: col.len() as u64,
         })?;
         io.record_block(blk.stored_bytes());
-        blk.decode()
+        blk.decode_with(self.column_dict(c))
     }
 
     /// Fetch a single row by SID (point access for DML/tests; charges the
@@ -391,11 +460,21 @@ fn cmp_prefix(stored: &[Value], key: &[Value]) -> Ordering {
 }
 
 /// Streaming bulk loader producing a [`StableTable`].
+///
+/// String columns of compressed tables are **dictionary-coded**: their raw
+/// blocks are buffered during the load, a table-global order-preserving
+/// [`StrDict`] is built in [`TableBuilder::finish`], and every block is then
+/// written as [`Encoding::GlobalCode`] `u32` codes.
 pub struct TableBuilder {
     meta: TableMeta,
     opts: TableOptions,
     buf: Vec<ColumnVec>,
     blocks: Vec<Vec<Block>>,
+    /// `dict_col[c]`: column `c` is a string column headed for global
+    /// dictionary coding; its raw blocks collect in `pending[c]` until
+    /// `finish` knows the full string universe.
+    dict_col: Vec<bool>,
+    pending: Vec<Vec<ColumnVec>>,
     sparse_keys: Vec<Vec<Value>>,
     sparse_sids: Vec<u64>,
     block_max_keys: Vec<SkKey>,
@@ -404,13 +483,20 @@ pub struct TableBuilder {
 }
 
 impl TableBuilder {
+    /// Start a load for the given identity and layout.
     pub fn new(meta: TableMeta, opts: TableOptions) -> Self {
         assert!(opts.block_rows > 0, "block_rows must be positive");
-        let buf = meta
+        let buf: Vec<ColumnVec> = meta
             .schema
             .fields()
             .iter()
             .map(|f| ColumnVec::with_capacity(f.vtype, opts.block_rows))
+            .collect();
+        let dict_col: Vec<bool> = meta
+            .schema
+            .fields()
+            .iter()
+            .map(|f| opts.compressed && f.vtype == ValueType::Str)
             .collect();
         let ncols = meta.schema.len();
         TableBuilder {
@@ -418,6 +504,8 @@ impl TableBuilder {
             opts,
             buf,
             blocks: vec![Vec::new(); ncols],
+            dict_col,
+            pending: vec![Vec::new(); ncols],
             sparse_keys: Vec::new(),
             sparse_sids: Vec::new(),
             block_max_keys: Vec::new(),
@@ -457,6 +545,80 @@ impl TableBuilder {
         Ok(())
     }
 
+    /// Append already-sorted columns (one [`ColumnVec`] per schema column,
+    /// equal lengths). This is the vectorized twin of [`TableBuilder::append`]:
+    /// values move block-at-a-time through typed `extend_range` copies, sort
+    /// order is validated with native cell comparisons, and no row tuple is
+    /// ever materialized. The kernelized checkpoint merge feeds its merged
+    /// columns straight through here.
+    pub fn append_cols(&mut self, cols: &[ColumnVec]) -> Result<()> {
+        if cols.len() != self.meta.schema.len() {
+            return Err(ColumnarError::SchemaMismatch(format!(
+                "{} columns appended, schema of {} has {}",
+                cols.len(),
+                self.meta.name,
+                self.meta.schema.len()
+            )));
+        }
+        let n = cols.first().map(|c| c.len()).unwrap_or(0);
+        for (c, col) in cols.iter().enumerate() {
+            if col.len() != n || col.vtype() != self.meta.schema.fields()[c].vtype {
+                return Err(ColumnarError::SchemaMismatch(format!(
+                    "column {c} is {:?}×{} — expected {:?}×{n}",
+                    col.vtype(),
+                    col.len(),
+                    self.meta.schema.fields()[c].vtype
+                )));
+            }
+        }
+        if n == 0 {
+            return Ok(());
+        }
+        let sk_cols: Vec<usize> = self.meta.sort_key.cols().to_vec();
+        let sk_of = |i: usize| -> Vec<Value> { sk_cols.iter().map(|&c| cols[c].get(i)).collect() };
+        // order check: batch-internal, native comparisons (no Value allocs)
+        for i in 1..n {
+            for (rank, &c) in sk_cols.iter().enumerate() {
+                match cols[c].cmp_cells(i - 1, &cols[c], i) {
+                    Ordering::Less => break,
+                    Ordering::Equal if rank + 1 < sk_cols.len() => continue,
+                    Ordering::Equal => break,
+                    Ordering::Greater => {
+                        return Err(ColumnarError::UnsortedInput {
+                            row: self.row_count + i as u64,
+                        })
+                    }
+                }
+            }
+        }
+        // order check: batch head against what is already loaded
+        if let Some(prev) = &self.last_sk {
+            if cmp_prefix(prev, &sk_of(0)) == Ordering::Greater {
+                return Err(ColumnarError::UnsortedInput {
+                    row: self.row_count,
+                });
+            }
+        }
+        let mut done = 0usize;
+        while done < n {
+            if self.buf[0].is_empty() {
+                self.sparse_keys.push(sk_of(done));
+                self.sparse_sids.push(self.row_count);
+            }
+            let take = (self.opts.block_rows - self.buf[0].len()).min(n - done);
+            for (c, col) in cols.iter().enumerate() {
+                self.buf[c].extend_range(col, done, done + take);
+            }
+            done += take;
+            self.row_count += take as u64;
+            self.last_sk = Some(sk_of(done - 1));
+            if self.buf[0].len() == self.opts.block_rows {
+                self.flush_block();
+            }
+        }
+        Ok(())
+    }
+
     fn flush_block(&mut self) {
         if self.buf.first().is_some_and(|c| !c.is_empty()) {
             // The buffered rows arrive in sort order, so the last appended
@@ -468,15 +630,45 @@ impl TableBuilder {
             if col.is_empty() {
                 continue;
             }
-            self.blocks[c].push(Block::encode(col, self.opts.compressed));
-            col.clear();
+            if self.dict_col[c] {
+                // defer: the global dictionary is only known at finish()
+                let raw = std::mem::replace(
+                    col,
+                    ColumnVec::with_capacity(ValueType::Str, self.opts.block_rows),
+                );
+                self.pending[c].push(raw);
+            } else {
+                self.blocks[c].push(Block::encode(col, self.opts.compressed));
+                col.clear();
+            }
         }
     }
 
-    /// Finish the load and produce the immutable table.
+    /// Finish the load and produce the immutable table. String columns of
+    /// compressed tables get their global dictionary built here and their
+    /// blocks encoded as [`Encoding::GlobalCode`].
     pub fn finish(mut self) -> Result<StableTable> {
         if !self.buf[0].is_empty() || self.meta.schema.is_empty() {
             self.flush_block();
+        }
+        let ncols = self.meta.schema.len();
+        let mut dicts: Vec<Option<Arc<StrDict>>> = vec![None; ncols];
+        for (c, slot) in dicts.iter_mut().enumerate() {
+            if !self.dict_col[c] {
+                continue;
+            }
+            let dict = StrDict::build(
+                self.pending[c]
+                    .iter()
+                    .flat_map(|b| (0..b.len()).map(move |i| b.str_at(i))),
+            );
+            for raw in &self.pending[c] {
+                let codes: Vec<u32> = (0..raw.len())
+                    .map(|i| dict.code_of(raw.str_at(i)).expect("dict built from column"))
+                    .collect();
+                self.blocks[c].push(Block::encode_coded(&ColumnVec::Coded(codes, dict.clone())));
+            }
+            *slot = Some(dict);
         }
         let sparse = SparseIndex::new(self.sparse_keys, self.sparse_sids, self.row_count);
         Ok(StableTable {
@@ -486,6 +678,7 @@ impl TableBuilder {
             cols: self.blocks.into_iter().map(Arc::new).collect(),
             sparse,
             block_max_sk: self.block_max_keys,
+            dicts,
         })
     }
 }

@@ -46,10 +46,15 @@ impl fmt::Display for ValueType {
 pub enum Value {
     /// Absent value. Sorts before everything else.
     Null,
+    /// Boolean.
     Bool(bool),
+    /// 64-bit signed integer.
     Int(i64),
+    /// 64-bit float; ordered by `total_cmp` so sorting is total.
     Double(f64),
+    /// UTF-8 string, ordered bytewise.
     Str(String),
+    /// Date as days since the Unix epoch.
     Date(i32),
 }
 

@@ -8,8 +8,9 @@
 //! a fresh table. After a checkpoint, SIDs are renumbered (RID == SID again)
 //! and sparse indexes are rebuilt from the new image.
 
+use crate::merge::PdtMerger;
 use crate::tree::Pdt;
-use columnar::{ColumnarError, IoTracker, StableTable, Tuple};
+use columnar::{ColumnVec, ColumnarError, IoTracker, StableTable, TableBuilder, Tuple};
 
 /// Row-level merge of `pdt` over `stable_rows` (the full visible image).
 ///
@@ -54,17 +55,46 @@ pub fn merge_rows(stable_rows: &[Tuple], pdt: &Pdt) -> Vec<Tuple> {
     out
 }
 
-/// Build the next stable image: scan the current one, merge the PDT, and
-/// bulk-load a fresh [`StableTable`] with the same metadata and options.
+/// Build the next stable image: merge the PDT over the current image block
+/// by block with the kernelized [`PdtMerger`] and feed the merged columns
+/// straight into a [`TableBuilder`] — tuples are never materialized, and
+/// dictionary-coded string blocks stay on the `u32` path end to end (the
+/// builder re-dictionarizes against the *new* image's global dictionary).
 /// The I/O of the full scan is charged to `io` (checkpoints are real work).
 pub fn checkpoint_table(
     stable: &StableTable,
     pdt: &Pdt,
     io: &IoTracker,
 ) -> Result<StableTable, ColumnarError> {
-    let rows = stable.scan_all(io)?;
-    let merged = merge_rows(&rows, pdt);
-    StableTable::bulk_load(stable.meta().clone(), stable.options(), &merged)
+    let ncols = stable.num_columns();
+    let proj: Vec<usize> = (0..ncols).collect();
+    let mut merger = PdtMerger::new(pdt, 0);
+    let mut builder = TableBuilder::new(stable.meta().clone(), stable.options());
+    for b in 0..stable.num_blocks() {
+        let (start, end) = stable.block_range(b);
+        let cols: Vec<ColumnVec> = (0..ncols)
+            .map(|c| stable.read_block(c, b, io))
+            .collect::<Result<_, _>>()?;
+        let mut out: Vec<ColumnVec> = cols
+            .iter()
+            .enumerate()
+            .map(|(c, col)| match col.dict() {
+                Some(d) => ColumnVec::new_coded(d.clone()),
+                None => ColumnVec::new(stable.schema().vtype(c)),
+            })
+            .collect();
+        merger.merge_block(start, (end - start) as usize, &proj, &cols, &mut out);
+        builder.append_cols(&out)?;
+    }
+    let mut tail: Vec<ColumnVec> = stable
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| ColumnVec::new(f.vtype))
+        .collect();
+    merger.drain_inserts_at(stable.row_count(), &proj, &mut tail);
+    builder.append_cols(&tail)?;
+    builder.finish()
 }
 
 #[cfg(test)]

@@ -16,13 +16,39 @@
 //! (eq. (9): `Merge(Merge(Merge(TABLE0, R), W), T)`).
 
 use crate::tree::{Cursor, Pdt};
-use columnar::ColumnVec;
+use columnar::kernel::{apply_steps, MergeStep};
+use columnar::{ColumnVec, ValueType};
 
 /// Stateful block-at-a-time positional merge.
 pub struct PdtMerger<'a> {
     pdt: &'a Pdt,
     cur: Cursor,
     rid: u64,
+    /// Reusable merge plan (steps + gathered operands) so steady-state
+    /// blocks allocate nothing.
+    plan: MergePlan,
+}
+
+/// Scratch buffers for one planned block merge: the step list plus the
+/// value-space offsets it references, reused across blocks.
+#[derive(Default)]
+struct MergePlan {
+    steps: Vec<MergeStep>,
+    /// Insert-table offset per [`MergeStep::Insert`], in step order.
+    ins_offs: Vec<usize>,
+    /// Modification chain per [`MergeStep::Patch`], in step order:
+    /// `(column, modify-table offset)` pairs.
+    patches: Vec<Vec<(usize, u64)>>,
+}
+
+/// An empty scratch column matching the representation of `stable`: coded
+/// when the stable block is dictionary-coded (so gathers stay on the `u32`
+/// path), plainly typed otherwise.
+fn scratch_like(stable: &ColumnVec, vtype: ValueType) -> ColumnVec {
+    match stable.dict() {
+        Some(d) => ColumnVec::new_coded(d.clone()),
+        None => ColumnVec::new(vtype),
+    }
 }
 
 impl<'a> PdtMerger<'a> {
@@ -32,7 +58,12 @@ impl<'a> PdtMerger<'a> {
     pub fn new(pdt: &'a Pdt, start_sid: u64) -> Self {
         let cur = pdt.seek_sid(start_sid);
         let rid = (start_sid as i64 + cur.delta) as u64;
-        PdtMerger { pdt, cur, rid }
+        PdtMerger {
+            pdt,
+            cur,
+            rid,
+            plan: MergePlan::default(),
+        }
     }
 
     /// RID of the next tuple this merger will emit.
@@ -46,7 +77,128 @@ impl<'a> PdtMerger<'a> {
     /// rows are appended to `out[k]`. Inserts contribute their value-space
     /// values, deletes suppress stable rows, and modifications overwrite
     /// projected columns in place.
+    ///
+    /// The merge is *planned* once per block with a single cursor walk
+    /// (producing [`MergeStep`]s and value-space offsets) and then
+    /// *executed* per column by the typed kernels in [`columnar::kernel`]:
+    /// one type dispatch per column-block, no per-value `Value` enum on the
+    /// hot path. [`PdtMerger::merge_block_scalar`] keeps the old per-value
+    /// path as the cross-checked baseline.
     pub fn merge_block(
+        &mut self,
+        start_sid: u64,
+        len: usize,
+        proj: &[usize],
+        cols_in: &[ColumnVec],
+        out: &mut [ColumnVec],
+    ) {
+        debug_assert_eq!(proj.len(), cols_in.len());
+        debug_assert_eq!(proj.len(), out.len());
+        self.plan_block(start_sid, len);
+        let plan = std::mem::take(&mut self.plan);
+        let vals = self.pdt.vals();
+        let mut patch_offs: Vec<usize> = Vec::new();
+        let mut patch_hit: Vec<bool> = Vec::new();
+        for (k, o) in out.iter_mut().enumerate() {
+            let col = proj[k];
+            let ins_src = vals.insert_column(col);
+            let mut ins_vals = scratch_like(&cols_in[k], ins_src.vtype());
+            ins_vals.extend_gather(ins_src, &plan.ins_offs);
+            patch_offs.clear();
+            patch_hit.clear();
+            for ov in &plan.patches {
+                match ov.iter().find(|&&(c, _)| c == col) {
+                    Some(&(_, off)) => {
+                        patch_hit.push(true);
+                        patch_offs.push(off as usize);
+                    }
+                    None => patch_hit.push(false),
+                }
+            }
+            let mod_src = vals.modify_column(col);
+            let mut patch_vals = scratch_like(&cols_in[k], mod_src.vtype());
+            patch_vals.extend_gather(mod_src, &patch_offs);
+            apply_steps(
+                &plan.steps,
+                o,
+                &cols_in[k],
+                &ins_vals,
+                &patch_vals,
+                &patch_hit,
+            );
+        }
+        self.plan = plan;
+    }
+
+    /// One cursor walk over the block's updates, filling `self.plan` and
+    /// advancing `self.rid`/`self.cur` exactly as the merge will.
+    fn plan_block(&mut self, start_sid: u64, len: usize) {
+        self.plan.steps.clear();
+        self.plan.ins_offs.clear();
+        self.plan.patches.clear();
+        let end = start_sid + len as u64;
+        let mut pos = start_sid;
+        loop {
+            let next_upd_sid = self.pdt.entry(&self.cur).map(|e| e.sid).unwrap_or(u64::MAX);
+            if next_upd_sid >= end {
+                // no more updates inside this block: one pass-through run
+                if pos < end {
+                    self.plan.steps.push(MergeStep::Run {
+                        from: (pos - start_sid) as u32,
+                        to: len as u32,
+                    });
+                    self.rid += end - pos;
+                }
+                return;
+            }
+            if next_upd_sid > pos {
+                // pass-through run up to the next update position
+                self.plan.steps.push(MergeStep::Run {
+                    from: (pos - start_sid) as u32,
+                    to: (next_upd_sid - start_sid) as u32,
+                });
+                self.rid += next_upd_sid - pos;
+                pos = next_upd_sid;
+                continue;
+            }
+            // an update applies at `pos`
+            let e = self.pdt.entry(&self.cur).expect("checked above");
+            debug_assert_eq!(e.sid, pos);
+            if e.upd.is_ins() {
+                // new tuple before stable tuple `pos`
+                self.plan.steps.push(MergeStep::Insert);
+                self.plan.ins_offs.push(e.upd.val as usize);
+                self.rid += 1;
+                self.pdt.advance(&mut self.cur);
+            } else if e.upd.is_del() {
+                // ghost: skip the stable tuple
+                self.pdt.advance(&mut self.cur);
+                pos += 1;
+            } else {
+                // modification chain on stable tuple `pos`
+                let mut overrides: Vec<(usize, u64)> = Vec::new();
+                while let Some(m) = self.pdt.entry(&self.cur) {
+                    if m.sid != pos || !m.upd.is_mod() {
+                        break;
+                    }
+                    overrides.push((m.upd.col_no() as usize, m.upd.val));
+                    self.pdt.advance(&mut self.cur);
+                }
+                self.plan.steps.push(MergeStep::Patch {
+                    row: (pos - start_sid) as u32,
+                });
+                self.plan.patches.push(overrides);
+                self.rid += 1;
+                pos += 1;
+            }
+        }
+    }
+
+    /// The pre-kernel per-value merge: identical semantics to
+    /// [`PdtMerger::merge_block`], but dispatching on the `Value` enum for
+    /// every cell. Kept as the enum-dispatch baseline the kernel benchmarks
+    /// compare against, and cross-checked against the kernel path by tests.
+    pub fn merge_block_scalar(
         &mut self,
         start_sid: u64,
         len: usize,
@@ -61,23 +213,28 @@ impl<'a> PdtMerger<'a> {
         loop {
             let next_upd_sid = self.pdt.entry(&self.cur).map(|e| e.sid).unwrap_or(u64::MAX);
             if next_upd_sid >= end {
-                // no more updates inside this block: bulk pass-through
+                // no more updates inside this block: pass through cell by
+                // cell (the pre-kernel shape — no run batching)
                 if pos < end {
                     let from = (pos - start_sid) as usize;
                     let to = (end - start_sid) as usize;
-                    for (k, o) in out.iter_mut().enumerate() {
-                        o.extend_range(&cols_in[k], from, to);
+                    for i in from..to {
+                        for (k, o) in out.iter_mut().enumerate() {
+                            o.push(&cols_in[k].get(i));
+                        }
                     }
                     self.rid += end - pos;
                 }
                 return;
             }
             if next_upd_sid > pos {
-                // pass-through run up to the next update position
+                // pass-through up to the next update position, cell by cell
                 let from = (pos - start_sid) as usize;
                 let to = (next_upd_sid - start_sid) as usize;
-                for (k, o) in out.iter_mut().enumerate() {
-                    o.extend_range(&cols_in[k], from, to);
+                for i in from..to {
+                    for (k, o) in out.iter_mut().enumerate() {
+                        o.push(&cols_in[k].get(i));
+                    }
                 }
                 self.rid += next_upd_sid - pos;
                 pos = next_upd_sid;
@@ -115,7 +272,7 @@ impl<'a> PdtMerger<'a> {
                             continue 'col;
                         }
                     }
-                    o.extend_range(&cols_in[k], i, i + 1);
+                    o.push(&cols_in[k].get(i));
                 }
                 self.rid += 1;
                 pos += 1;
@@ -125,17 +282,23 @@ impl<'a> PdtMerger<'a> {
 
     /// Emit pending inserts positioned exactly at `end_sid` — the tail of a
     /// scan range (for a full table scan, `end_sid` is the stable row
-    /// count: inserts appended after the last stable tuple).
+    /// count: inserts appended after the last stable tuple). The inserted
+    /// rows are gathered column-at-a-time from the value space.
     pub fn drain_inserts_at(&mut self, end_sid: u64, proj: &[usize], out: &mut [ColumnVec]) {
+        self.plan.ins_offs.clear();
         while let Some(e) = self.pdt.entry(&self.cur) {
             if e.sid != end_sid || !e.upd.is_ins() {
                 break;
             }
-            for (k, o) in out.iter_mut().enumerate() {
-                o.push(&self.pdt.vals().get_insert_col(e.upd.val, proj[k]));
-            }
+            self.plan.ins_offs.push(e.upd.val as usize);
             self.rid += 1;
             self.pdt.advance(&mut self.cur);
+        }
+        if self.plan.ins_offs.is_empty() {
+            return;
+        }
+        for (k, o) in out.iter_mut().enumerate() {
+            o.extend_gather(self.pdt.vals().insert_column(proj[k]), &self.plan.ins_offs);
         }
     }
 }
@@ -282,6 +445,48 @@ mod tests {
         merger.merge_block(0, 5, &proj, &cols, &mut out);
         merger.drain_inserts_at(5, &proj, &mut out);
         assert_eq!(out[0].as_int(), &[0, 10, 20, 30, 40, 42]);
+    }
+
+    #[test]
+    fn kernel_path_matches_scalar_path() {
+        let mut p = Pdt::new(schema(), vec![0]);
+        let rows = stable(32);
+        p.add_insert(3, 3, &[Value::Int(25), Value::Str("ins".into())]);
+        p.add_delete(7, &[Value::Int(60)]);
+        p.add_modify(10, 1, &Value::Str("mod".into()));
+        p.add_modify(10, 0, &Value::Int(91));
+        p.add_insert(32, 32, &[Value::Int(999), Value::Str("tail".into())]);
+        p.check_invariants();
+        let proj = [0usize, 1usize];
+        for bs in [1, 4, 9, 32, 64] {
+            let mut fast = PdtMerger::new(&p, 0);
+            let mut slow = PdtMerger::new(&p, 0);
+            let mut out_f = [
+                ColumnVec::new(ValueType::Int),
+                ColumnVec::new(ValueType::Str),
+            ];
+            let mut out_s = [
+                ColumnVec::new(ValueType::Int),
+                ColumnVec::new(ValueType::Str),
+            ];
+            for chunk_start in (0..rows.len()).step_by(bs) {
+                let chunk = &rows[chunk_start..(chunk_start + bs).min(rows.len())];
+                let mut cols = [
+                    ColumnVec::new(ValueType::Int),
+                    ColumnVec::new(ValueType::Str),
+                ];
+                for r in chunk {
+                    cols[0].push(&r[0]);
+                    cols[1].push(&r[1]);
+                }
+                fast.merge_block(chunk_start as u64, chunk.len(), &proj, &cols, &mut out_f);
+                slow.merge_block_scalar(chunk_start as u64, chunk.len(), &proj, &cols, &mut out_s);
+            }
+            fast.drain_inserts_at(rows.len() as u64, &proj, &mut out_f);
+            slow.drain_inserts_at(rows.len() as u64, &proj, &mut out_s);
+            assert_eq!(out_f, out_s, "block size {bs}");
+            assert_eq!(fast.next_rid(), slow.next_rid());
+        }
     }
 
     #[test]

@@ -132,6 +132,13 @@ impl Pdt {
         self.node_delta_sum(self.root)
     }
 
+    /// Append a batch of inserted tuples to the value space column-at-a-time
+    /// without touching the tree; returns the offset of the first tuple.
+    /// Pair with one [`Pdt::add_insert_at`] call per row.
+    pub fn add_insert_batch(&mut self, cols: &[columnar::ColumnVec]) -> u64 {
+        self.vals.add_insert_cols(cols)
+    }
+
     /// The value space (insert/delete/modify tables).
     pub fn vals(&self) -> &ValueSpace {
         &self.vals
@@ -417,6 +424,21 @@ impl Pdt {
             "inconsistent (sid={sid}, rid={rid}) pair: position implies sid {esid}"
         );
         let off = self.vals.add_insert(tuple);
+        self.insert_entry(cur.leaf, cur.idx, esid, Upd::ins(off));
+    }
+
+    /// Algorithm 3, batch form: like [`Pdt::add_insert`] but referencing a
+    /// tuple *already appended* to the value space at offset `off` (see
+    /// [`ValueSpace::add_insert_cols`]) — only the tree entry is created
+    /// here, so batch staging appends values column-at-a-time and then
+    /// performs one logarithmic tree insertion per row.
+    pub fn add_insert_at(&mut self, sid: u64, rid: u64, off: u64) {
+        let cur = self.seek_by(|s, r| s >= sid && r >= rid);
+        let esid = (rid as i64 - cur.delta) as u64;
+        assert_eq!(
+            esid, sid,
+            "inconsistent (sid={sid}, rid={rid}) pair: position implies sid {esid}"
+        );
         self.insert_entry(cur.leaf, cur.idx, esid, Upd::ins(off));
     }
 

@@ -78,6 +78,20 @@ impl ValueSpace {
         off
     }
 
+    /// Append a whole batch of inserted tuples column-at-a-time; returns
+    /// the offset of the first appended tuple (tuple `i` of the batch lands
+    /// at `offset + i`). The typed `extend_range` copy per column is the
+    /// batch-staging fast path: one dispatch per column, no per-value enum
+    /// branching.
+    pub fn add_insert_cols(&mut self, cols: &[ColumnVec]) -> u64 {
+        debug_assert_eq!(cols.len(), self.ins.len());
+        let off = self.ins[0].len() as u64;
+        for (dst, src) in self.ins.iter_mut().zip(cols) {
+            dst.extend_range(src, 0, src.len());
+        }
+        off
+    }
+
     /// Read a full inserted tuple.
     pub fn get_insert(&self, off: u64) -> Tuple {
         self.ins.iter().map(|c| c.get(off as usize)).collect()

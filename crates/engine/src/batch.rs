@@ -38,14 +38,28 @@ use exec::Batch;
 #[derive(Debug, Clone)]
 pub enum DmlBatch {
     /// Insert `rows` at visible positions `rids`.
-    Insert { rids: Vec<u64>, rows: Batch },
+    Insert {
+        /// Ascending target positions, offset by earlier batch inserts.
+        rids: Vec<u64>,
+        /// The inserted rows, in position order.
+        rows: Batch,
+    },
     /// Delete the visible rows at `rids`.
-    Delete { rids: Vec<u64>, pre: Batch },
+    Delete {
+        /// Ascending visible positions of the victims.
+        rids: Vec<u64>,
+        /// Full pre-images of the victims, in `rids` order.
+        pre: Batch,
+    },
     /// Set column `col` of the visible rows at `rids` to `values`.
     UpdateCol {
+        /// Ascending, distinct visible positions.
         rids: Vec<u64>,
+        /// The updated column (never a sort-key column).
         col: usize,
+        /// New values, `values[i]` for the row at `rids[i]`.
         values: ColumnVec,
+        /// Full pre-images of the updated rows, in `rids` order.
         pre: Batch,
     },
 }
@@ -60,6 +74,7 @@ impl DmlBatch {
         }
     }
 
+    /// Whether the statement touches no rows.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }

@@ -78,6 +78,7 @@ pub struct CheckpointPin {
 }
 
 impl CheckpointPin {
+    /// Pin at commit sequence `seq` carrying store-private `state`.
     pub fn new(seq: u64, state: impl Any + Send) -> Self {
         CheckpointPin {
             seq,
@@ -220,6 +221,7 @@ pub trait DeltaSnapshot: Send + Sync {
     fn layers(&self) -> DeltaLayers<'_>;
     /// Net visible-row change relative to the stable image.
     fn delta_total(&self) -> i64;
+    /// Downcast seam for store-specific test assertions.
     fn as_any(&self) -> &dyn Any;
 }
 
@@ -268,7 +270,9 @@ pub trait DeltaTxn: Send {
             }
         }
     }
+    /// Downcast seam for store-specific test assertions.
     fn as_any(&self) -> &dyn Any;
+    /// Mutable downcast seam.
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
@@ -354,6 +358,7 @@ pub struct PdtStore {
 }
 
 impl PdtStore {
+    /// The PDT store of `table`, registered with `mgr`.
     pub fn new(mgr: Arc<TxnManager>, table: String) -> Self {
         PdtStore { mgr, table }
     }
@@ -451,23 +456,22 @@ impl DeltaTxn for PdtTxn {
 
     /// Positional batch staging. PDT maintenance is already logarithmic
     /// per entry (the paper's point), so the tree ops stay per-row; the
-    /// batch form still wins by reading sort keys straight out of the
-    /// columnar payload (no full-row materialization — modifies touch no
-    /// payload column but the assigned one) and by flowing to the WAL as
-    /// coalesced batch entries after serialization.
+    /// batch form wins by appending the whole insert payload to the value
+    /// space **column-at-a-time** (typed `extend_range`, no per-value enum
+    /// dispatch and no full-row materialization — each tree entry then just
+    /// references its pre-assigned value-space offset), and by flowing to
+    /// the WAL as coalesced batch entries after serialization.
     fn stage_batch(&mut self, batch: &DmlBatch) {
         match batch {
             DmlBatch::Insert { rids, rows } => {
                 let sk_cols = self.trans.sk_cols().to_vec();
+                let base = self.trans.add_insert_batch(&rows.cols);
                 let mut sk: Vec<Value> = Vec::with_capacity(sk_cols.len());
-                let mut tuple: Vec<Value> = Vec::with_capacity(rows.num_cols());
                 for (i, &rid) in rids.iter().enumerate() {
                     sk.clear();
                     sk.extend(sk_cols.iter().map(|&c| rows.cols[c].get(i)));
-                    tuple.clear();
-                    tuple.extend(rows.cols.iter().map(|c| c.get(i)));
                     let sid = self.trans.sk_rid_to_sid(&sk, rid);
-                    self.trans.add_insert(sid, rid, &tuple);
+                    self.trans.add_insert_at(sid, rid, base + i as u64);
                 }
             }
             DmlBatch::Delete { rids, pre } => {
@@ -634,6 +638,7 @@ struct VdtState {
 }
 
 impl VdtStore {
+    /// An empty VDT store for `table`.
     pub fn new(table: String, schema: columnar::Schema, sk_cols: Vec<usize>) -> Self {
         VdtStore {
             table,

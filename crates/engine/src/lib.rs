@@ -34,6 +34,8 @@
 //! and fold positionally. Sort-key-modifying updates are rewritten as
 //! delete + insert (§2.1).
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod delta;
 pub mod dml;
@@ -72,18 +74,27 @@ use txn::{TxnError, TxnManager};
 /// Engine-level errors.
 #[derive(Debug)]
 pub enum DbError {
+    /// No table with that name.
     UnknownTable(String),
+    /// No such column in the table.
     UnknownColumn {
+        /// The table scanned.
         table: String,
+        /// The unresolved column reference.
         column: String,
     },
+    /// An insert collided with an existing sort key.
     DuplicateKey {
+        /// The table written.
         table: String,
+        /// The duplicated sort-key values.
         key: Vec<Value>,
     },
     /// Write-write conflict detected by a value-addressed delta store.
     Conflict {
+        /// The table written.
         table: String,
+        /// What conflicted.
         reason: String,
     },
     /// A write batch does not fit the table: wrong arity, a column of the
@@ -91,18 +102,25 @@ pub enum DbError {
     /// Raised at the API boundary, before anything is staged — shape bugs
     /// never reach (let alone panic inside) the delta structures.
     BatchShape {
+        /// The table written.
         table: String,
+        /// What about the batch does not fit.
         detail: String,
     },
     /// An invalid [`PartitionSpec`] (unsorted/duplicate split points, zero
     /// partitions), or a WAL/caller referenced a partition the table does
     /// not have.
     Partition {
+        /// The table addressed.
         table: String,
+        /// What about the partitioning is invalid.
         detail: String,
     },
+    /// A storage-layer error surfaced through the engine.
     Storage(ColumnarError),
+    /// A transaction-layer error surfaced through the engine.
     Txn(TxnError),
+    /// An I/O error from the WAL or image store.
     Io(std::io::Error),
 }
 
@@ -200,16 +218,19 @@ impl Default for TableOptions {
 }
 
 impl TableOptions {
+    /// Set the update structure maintaining the table.
     pub fn with_policy(mut self, policy: UpdatePolicy) -> Self {
         self.policy = policy;
         self
     }
 
+    /// Set the rows-per-block scan/merge granularity.
     pub fn with_block_rows(mut self, block_rows: usize) -> Self {
         self.block_rows = block_rows;
         self
     }
 
+    /// Enable or disable lightweight storage compression.
     pub fn with_compression(mut self, compressed: bool) -> Self {
         self.compressed = compressed;
         self
@@ -933,7 +954,9 @@ impl ScanSpec {
 /// A consistent, immutable multi-table view for query execution.
 pub struct ReadView {
     tables: HashMap<String, TableView>,
+    /// Shared I/O counters scans of this view charge.
     pub io: IoTracker,
+    /// Shared scan-time clock scans of this view charge.
     pub clock: ScanClock,
 }
 
@@ -993,6 +1016,7 @@ impl TableView {
 }
 
 impl ReadView {
+    /// The per-table snapshot of `name`.
     pub fn table(&self, name: &str) -> Result<&TableView, DbError> {
         self.tables
             .get(name)

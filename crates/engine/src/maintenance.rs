@@ -86,7 +86,9 @@ impl MaintenanceConfig {
 /// One partition's maintenance counters (monotonic since `start`).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct MaintenancePartitionStats {
+    /// The table the partition belongs to.
     pub table: String,
+    /// Partition index within the table.
     pub partition: usize,
     /// Write→Read flushes of this partition.
     pub flushes: u64,

@@ -49,6 +49,7 @@ struct RowState {
 }
 
 impl RowStore {
+    /// An empty copy-on-write row-store for `table`.
     pub fn new(table: String, schema: columnar::Schema, sk_cols: Vec<usize>) -> Self {
         RowStore {
             table,

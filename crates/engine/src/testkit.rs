@@ -934,11 +934,17 @@ pub enum TxnOp {
     /// Insert a new tuple.
     Insert(Tuple),
     /// Delete the visible row with this sort key (0 or 1 victims).
-    Delete { key: Vec<Value> },
+    Delete {
+        /// Sort key of the victim.
+        key: Vec<Value>,
+    },
     /// Set `col` of the visible row with this sort key (0 or 1 victims).
     Modify {
+        /// Sort key of the target row.
         key: Vec<Value>,
+        /// Column to set (never a sort-key column).
         col: usize,
+        /// The new value.
         value: Value,
     },
 }
@@ -1049,11 +1055,17 @@ pub fn run_interleaved_spec(
 /// same image, which must equal the sequential replay of the scripts.
 #[derive(Debug, Clone, Copy)]
 pub struct ConcurrentSpec {
+    /// Writer threads, each confined to its own sort-key partition.
     pub writers: usize,
+    /// Reader threads asserting snapshot invariants throughout.
     pub scanners: usize,
+    /// Single-statement transactions per writer.
     pub ops_per_writer: usize,
+    /// Bulk-loaded rows per writer partition.
     pub base_rows_per_writer: usize,
+    /// Seed of the deterministic per-writer scripts.
     pub seed: u64,
+    /// Rows per stable block of the test table.
     pub block_rows: usize,
 }
 

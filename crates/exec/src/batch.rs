@@ -10,7 +10,9 @@ use columnar::{ColumnVec, Tuple, Value, ValueType};
 /// storage-level concept consumed by DML, not a query-level one.
 #[derive(Debug, Clone)]
 pub struct Batch {
+    /// The column data, one vector per projected column.
     pub cols: Vec<ColumnVec>,
+    /// RID of the first row (scan outputs only; 0 after reshuffling ops).
     pub rid_start: u64,
 }
 
@@ -53,18 +55,22 @@ impl Batch {
         b
     }
 
+    /// Number of rows.
     pub fn num_rows(&self) -> usize {
         self.cols.first().map(|c| c.len()).unwrap_or(0)
     }
 
+    /// Number of columns.
     pub fn num_cols(&self) -> usize {
         self.cols.len()
     }
 
+    /// Whether the batch holds no rows.
     pub fn is_empty(&self) -> bool {
         self.num_rows() == 0
     }
 
+    /// The column types, in projection order.
     pub fn types(&self) -> Vec<ValueType> {
         self.cols.iter().map(|c| c.vtype()).collect()
     }

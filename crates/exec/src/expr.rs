@@ -13,11 +13,17 @@ use columnar::{ColumnVec, Value, ValueType};
 /// Comparison operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CmpOp {
+    /// `=`
     Eq,
+    /// `<>`
     Ne,
+    /// `<`
     Lt,
+    /// `<=`
     Le,
+    /// `>`
     Gt,
+    /// `>=`
     Ge,
 }
 
@@ -46,18 +52,27 @@ pub enum Expr {
     Col(usize),
     /// Constant.
     Lit(Value),
+    /// Numeric addition.
     Add(Box<Expr>, Box<Expr>),
+    /// Numeric subtraction.
     Sub(Box<Expr>, Box<Expr>),
+    /// Numeric multiplication.
     Mul(Box<Expr>, Box<Expr>),
     /// Division always produces a double (decimal semantics).
     Div(Box<Expr>, Box<Expr>),
+    /// Comparison producing a boolean column.
     Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// N-ary conjunction.
     And(Vec<Expr>),
+    /// N-ary disjunction.
     Or(Vec<Expr>),
+    /// Boolean negation.
     Not(Box<Expr>),
     /// SQL `LIKE` with `%` wildcards (and literal everything else).
     Like(Box<Expr>, String),
+    /// Negated [`Expr::Like`].
     NotLike(Box<Expr>, String),
+    /// SQL `IN (v1, v2, ...)` membership test.
     InList(Box<Expr>, Vec<Value>),
     /// Inclusive range test.
     Between(Box<Expr>, Value, Value),
@@ -69,11 +84,12 @@ pub enum Expr {
     Substr(Box<Expr>, usize, usize),
 }
 
-/// Shorthand constructors.
+/// Shorthand for [`Expr::Col`].
 pub fn col(i: usize) -> Expr {
     Expr::Col(i)
 }
 
+/// Shorthand for [`Expr::Lit`].
 pub fn lit(v: impl Into<Value>) -> Expr {
     Expr::Lit(v.into())
 }
@@ -81,60 +97,79 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 // builder methods named after the SQL operators they plan, not the std ops
 #[allow(clippy::should_implement_trait)]
 impl Expr {
+    /// Plan `self + rhs`.
     pub fn add(self, rhs: Expr) -> Expr {
         Expr::Add(Box::new(self), Box::new(rhs))
     }
+    /// Plan `self - rhs`.
     pub fn sub(self, rhs: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(rhs))
     }
+    /// Plan `self * rhs`.
     pub fn mul(self, rhs: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(rhs))
     }
+    /// Plan `self / rhs` (always a double — decimal semantics).
     pub fn div(self, rhs: Expr) -> Expr {
         Expr::Div(Box::new(self), Box::new(rhs))
     }
+    /// Plan `self = rhs`.
     pub fn eq(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Eq, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self <> rhs`.
     pub fn ne(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Ne, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self < rhs`.
     pub fn lt(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Lt, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self <= rhs`.
     pub fn le(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Le, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self > rhs`.
     pub fn gt(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Gt, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self >= rhs`.
     pub fn ge(self, rhs: Expr) -> Expr {
         Expr::Cmp(CmpOp::Ge, Box::new(self), Box::new(rhs))
     }
+    /// Plan `self AND rhs`.
     pub fn and(self, rhs: Expr) -> Expr {
         Expr::And(vec![self, rhs])
     }
+    /// Plan `self OR rhs`.
     pub fn or(self, rhs: Expr) -> Expr {
         Expr::Or(vec![self, rhs])
     }
+    /// Plan `NOT self`.
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
+    /// Plan `self LIKE pattern` (`%` wildcards).
     pub fn like(self, pattern: &str) -> Expr {
         Expr::Like(Box::new(self), pattern.to_string())
     }
+    /// Plan `self NOT LIKE pattern`.
     pub fn not_like(self, pattern: &str) -> Expr {
         Expr::NotLike(Box::new(self), pattern.to_string())
     }
+    /// Plan `self IN (vals...)`.
     pub fn in_list(self, vals: Vec<Value>) -> Expr {
         Expr::InList(Box::new(self), vals)
     }
+    /// Plan `self BETWEEN lo AND hi` (inclusive).
     pub fn between(self, lo: impl Into<Value>, hi: impl Into<Value>) -> Expr {
         Expr::Between(Box::new(self), lo.into(), hi.into())
     }
+    /// Plan `EXTRACT(YEAR FROM self)`.
     pub fn year(self) -> Expr {
         Expr::Year(Box::new(self))
     }
+    /// Plan `SUBSTRING(self FROM start FOR len)` (1-based).
     pub fn substr(self, start: usize, len: usize) -> Expr {
         Expr::Substr(Box::new(self), start, len)
     }

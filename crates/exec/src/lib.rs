@@ -19,6 +19,8 @@
 //! Plans are built by hand (no SQL frontend): the TPC-H queries in the
 //! `tpch` crate compose these operators directly.
 
+#![warn(missing_docs)]
+
 pub mod batch;
 pub mod expr;
 pub mod ops;

@@ -16,7 +16,9 @@ pub enum AggFunc {
     Count,
     /// Arithmetic mean as Double.
     Avg,
+    /// Minimum value.
     Min,
+    /// Maximum value.
     Max,
     /// Number of distinct expression values.
     CountDistinct,
@@ -25,11 +27,14 @@ pub enum AggFunc {
 /// One aggregate: a function applied to an expression over the group.
 #[derive(Debug, Clone)]
 pub struct AggSpec {
+    /// The aggregate function.
     pub func: AggFunc,
+    /// The aggregated expression (evaluated per input row).
     pub expr: Expr,
 }
 
 impl AggSpec {
+    /// `func` over `expr`.
     pub fn new(func: AggFunc, expr: Expr) -> Self {
         AggSpec { func, expr }
     }
@@ -121,6 +126,8 @@ pub struct HashAggregate<'a> {
 }
 
 impl<'a> HashAggregate<'a> {
+    /// Group `input` by `group_cols` and compute `aggs` per group; output
+    /// columns are the group keys followed by the aggregates.
     pub fn new(input: Box<dyn Operator + 'a>, group_cols: Vec<usize>, aggs: Vec<AggSpec>) -> Self {
         let in_types = input.out_types();
         let mut types: Vec<ValueType> = group_cols.iter().map(|&c| in_types[c]).collect();

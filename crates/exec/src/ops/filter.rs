@@ -12,6 +12,7 @@ pub struct Filter<'a> {
 }
 
 impl<'a> Filter<'a> {
+    /// Keep only `input` rows where `predicate` evaluates true.
     pub fn new(input: Box<dyn Operator + 'a>, predicate: Expr) -> Self {
         Filter { input, predicate }
     }

@@ -34,6 +34,8 @@ pub struct HashJoin<'a> {
 }
 
 impl<'a> HashJoin<'a> {
+    /// Hash-join `probe` against `build` on the given key columns; output
+    /// is the probe row followed by the matched build row (inner/outer).
     pub fn new(
         probe: Box<dyn Operator + 'a>,
         build: Box<dyn Operator + 'a>,

@@ -42,6 +42,7 @@ pub struct ValuesOp {
 }
 
 impl ValuesOp {
+    /// A one-batch operator over `rows`.
     pub fn new(types: &[ValueType], rows: &[Tuple]) -> Self {
         ValuesOp {
             types: types.to_vec(),

@@ -13,6 +13,7 @@ pub struct Project<'a> {
 }
 
 impl<'a> Project<'a> {
+    /// Evaluate one output column per expression in `exprs`.
     pub fn new(input: Box<dyn Operator + 'a>, exprs: Vec<Expr>) -> Self {
         let in_types = input.out_types();
         let types = exprs.iter().map(|e| e.out_type(&in_types)).collect();

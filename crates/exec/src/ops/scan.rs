@@ -44,7 +44,9 @@ pub enum DeltaLayers<'a> {
 /// Inclusive sort-key prefix bounds for a ranged scan.
 #[derive(Debug, Clone, Default)]
 pub struct ScanBounds {
+    /// Inclusive lower bound on a sort-key prefix (`None`: unbounded).
     pub lo: Option<Vec<Value>>,
+    /// Inclusive upper bound on a sort-key prefix (`None`: unbounded).
     pub hi: Option<Vec<Value>>,
 }
 
@@ -55,7 +57,9 @@ pub struct ScanBounds {
 /// each partition's locally consecutive RIDs by `rid_base` so the union
 /// emits globally consecutive RIDs.
 pub struct ScanSegment<'a> {
+    /// The partition's stable image.
     pub stable: &'a StableTable,
+    /// The delta layers a scan must merge over it.
     pub layers: DeltaLayers<'a>,
     /// Global visible RID of this partition's first row (the sum of all
     /// earlier partitions' visible row counts).
@@ -370,11 +374,7 @@ impl<'a> TableScan<'a> {
         let cols = b
             .cols
             .iter()
-            .map(|c| {
-                let mut out = ColumnVec::new(c.vtype());
-                out.extend_range(c, (lo - start) as usize, (hi - start) as usize);
-                out
-            })
+            .map(|c| c.slice_range((lo - start) as usize, (hi - start) as usize))
             .collect();
         Some(Batch {
             cols,
@@ -407,9 +407,8 @@ impl<'a> TableScan<'a> {
                 if lo == bstart && hi == bend {
                     full
                 } else {
-                    let mut sliced = ColumnVec::new(full.vtype());
-                    sliced.extend_range(&full, (lo - bstart) as usize, (hi - bstart) as usize);
-                    sliced
+                    // representation-preserving: coded blocks stay coded
+                    full.slice_range((lo - bstart) as usize, (hi - bstart) as usize)
                 }
             })
             .collect();
@@ -434,7 +433,16 @@ impl<'a> TableScan<'a> {
     ) -> (u64, Vec<ColumnVec>) {
         for m in mergers.iter_mut() {
             let rid0 = m.next_rid();
-            let mut out: Vec<ColumnVec> = types.iter().map(|&t| ColumnVec::new(t)).collect();
+            // dictionary-coded inputs get coded outputs so the merge stays
+            // on the u32 path through every stacked layer
+            let mut out: Vec<ColumnVec> = types
+                .iter()
+                .zip(&cols)
+                .map(|(&t, c)| match c.dict() {
+                    Some(d) => ColumnVec::new_coded(d.clone()),
+                    None => ColumnVec::new(t),
+                })
+                .collect();
             let len = cols.first().map(|c| c.len()).unwrap_or(0);
             m.merge_block(start, len, proj, &cols, &mut out);
             start = rid0;
@@ -548,7 +556,15 @@ impl<'a> Operator for TableScan<'a> {
             b.rid_start += self.rid_base;
             self.emitted = true;
             match self.clip_to_window(b) {
-                Some(clipped) => return Some(clipped),
+                Some(mut clipped) => {
+                    // late materialization: dictionary codes are decoded to
+                    // strings only here, at batch emission — everything
+                    // upstream (merge, clipping, stacking) ran on u32 codes
+                    for c in &mut clipped.cols {
+                        c.materialize_in_place();
+                    }
+                    return Some(clipped);
+                }
                 None => continue,
             }
         }
@@ -601,7 +617,10 @@ impl<'a> TableScan<'a> {
                             })
                             .collect();
                         let mut out: Vec<ColumnVec> = (0..nproj)
-                            .map(|k| ColumnVec::new(cols[k].vtype()))
+                            .map(|k| match cols[k].dict() {
+                                Some(d) => ColumnVec::new_coded(d.clone()),
+                                None => ColumnVec::new(cols[k].vtype()),
+                            })
                             .collect();
                         let rid0 = match &mut self.state {
                             MergeState::Vdt(merger) => {

@@ -8,15 +8,19 @@ use std::cmp::Ordering;
 /// One sort criterion: column index + direction.
 #[derive(Debug, Clone, Copy)]
 pub struct SortKey {
+    /// Column index in the input batch.
     pub col: usize,
+    /// Descending when true.
     pub desc: bool,
 }
 
 impl SortKey {
+    /// Ascending sort on `col`.
     pub fn asc(col: usize) -> Self {
         SortKey { col, desc: false }
     }
 
+    /// Descending sort on `col`.
     pub fn desc(col: usize) -> Self {
         SortKey { col, desc: true }
     }
@@ -42,6 +46,7 @@ pub struct Sort<'a> {
 }
 
 impl<'a> Sort<'a> {
+    /// Sort `input` by `keys` (stable, fully materializing).
     pub fn new(input: Box<dyn Operator + 'a>, keys: Vec<SortKey>) -> Self {
         let types = input.out_types();
         Sort {
@@ -82,6 +87,7 @@ pub struct TopN<'a> {
 }
 
 impl<'a> TopN<'a> {
+    /// Keep the first `n` rows of `input` sorted by `keys`.
     pub fn new(input: Box<dyn Operator + 'a>, keys: Vec<SortKey>, n: usize) -> Self {
         TopN {
             inner: Sort::new(input, keys),
@@ -110,6 +116,7 @@ pub struct Limit<'a> {
 }
 
 impl<'a> Limit<'a> {
+    /// Pass at most `n` rows of `input` through.
     pub fn new(input: Box<dyn Operator + 'a>, n: usize) -> Self {
         Limit {
             input,

@@ -19,6 +19,7 @@ pub struct ScanClock {
 }
 
 impl ScanClock {
+    /// Fresh clock at zero.
     pub fn new() -> Self {
         Self::default()
     }
@@ -29,10 +30,12 @@ impl ScanClock {
             .fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
     }
 
+    /// Accumulated scan time in nanoseconds.
     pub fn nanos(&self) -> u64 {
         self.nanos.load(Ordering::Relaxed)
     }
 
+    /// Accumulated scan time in seconds.
     pub fn secs(&self) -> f64 {
         self.nanos() as f64 / 1e9
     }
@@ -93,10 +96,15 @@ impl Reservoir {
 /// Summary of a [`LatencyStats`] recording, in nanoseconds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LatencySummary {
+    /// Operations recorded (exact, not just retained samples).
     pub count: usize,
+    /// Median latency.
     pub p50_ns: u64,
+    /// 95th-percentile latency.
     pub p95_ns: u64,
+    /// 99th-percentile latency.
     pub p99_ns: u64,
+    /// Exact maximum over every recorded operation.
     pub max_ns: u64,
 }
 
@@ -116,6 +124,7 @@ impl std::fmt::Display for LatencySummary {
 }
 
 impl LatencyStats {
+    /// Empty recorder.
     pub fn new() -> Self {
         Self::default()
     }

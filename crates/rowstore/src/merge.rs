@@ -9,7 +9,8 @@
 //! about its key (replacement row, new row, or tombstone).
 
 use crate::{RowBuffer, Slot};
-use columnar::{ColumnVec, Value};
+use columnar::{ColumnVec, PreparedKey, Value};
+use std::cmp::Ordering;
 
 /// Stateful block-at-a-time row-buffer merge.
 pub struct RowMerger<'a> {
@@ -17,7 +18,6 @@ pub struct RowMerger<'a> {
     /// Cursor into the sorted slot run.
     pos: usize,
     rid: u64,
-    key_buf: Vec<Value>,
 }
 
 impl<'a> RowMerger<'a> {
@@ -27,7 +27,6 @@ impl<'a> RowMerger<'a> {
             buf,
             pos: 0,
             rid: 0,
-            key_buf: Vec::new(),
         }
     }
 
@@ -39,12 +38,7 @@ impl<'a> RowMerger<'a> {
             .slots()
             .partition_point(|(k, _)| k.as_slice() < start_key);
         let rid = (start_sid as i64 + buf.prefix_delta(start_key)) as u64;
-        RowMerger {
-            buf,
-            pos,
-            rid,
-            key_buf: Vec::new(),
-        }
+        RowMerger { buf, pos, rid }
     }
 
     /// RID of the next tuple this merger will emit.
@@ -64,6 +58,12 @@ impl<'a> RowMerger<'a> {
     ///   block (always required: the value-based cost),
     /// * `cols_in[k]` — data of projected column `proj[k]`,
     /// * buffered rows contribute their `proj` columns from the slot run.
+    ///
+    /// As in the VDT merger, the slot-run head's key is *prepared once*
+    /// against the block's column representation ([`PreparedKey`]) and
+    /// compared per row with native comparisons (pure `u32` compares for
+    /// dictionary-coded sort-key columns); untouched stable tuples between
+    /// slot positions are copied as whole runs.
     pub fn merge_block(
         &mut self,
         len: usize,
@@ -74,41 +74,61 @@ impl<'a> RowMerger<'a> {
     ) {
         debug_assert_eq!(sk_in.len(), self.buf.sk_cols().len());
         let slots = self.buf.slots();
+        let mut head = slots
+            .get(self.pos)
+            .map(|(k, _)| PreparedKey::prepare(k, sk_in));
+        // pending pass-through run [run_start, run_end)
+        let (mut run_start, mut run_end) = (0usize, 0usize);
         for i in 0..len {
-            // gather this row's sort key (per-tuple work: the value tax)
-            self.key_buf.clear();
-            for c in sk_in {
-                self.key_buf.push(c.get(i));
+            // fast path: the slot run has nothing at or before this row
+            let head_cmp = head.as_ref().map(|pk| pk.cmp_row(sk_in, i));
+            if !matches!(head_cmp, Some(Ordering::Less | Ordering::Equal)) {
+                debug_assert_eq!(run_end, i);
+                run_end = i + 1;
+                continue;
+            }
+            // flush the run accumulated so far
+            if run_end > run_start {
+                for (k, o) in out.iter_mut().enumerate() {
+                    o.extend_range(&cols_in[k], run_start, run_end);
+                }
+                self.rid += (run_end - run_start) as u64;
             }
             // slots strictly before this key: brand-new buffered rows
             // (keys of replacing/tombstoning slots always meet a stable
             // tuple at equality below)
-            while let Some((k, s)) = slots.get(self.pos) {
-                if k.as_slice() >= self.key_buf.as_slice() {
+            let mut replaced = false;
+            while let Some(pk) = &head {
+                let ord = pk.cmp_row(sk_in, i);
+                if ord == Ordering::Greater {
                     break;
                 }
-                if let Slot::Put { row, .. } = s {
+                if let Slot::Put { row, .. } = &slots[self.pos].1 {
                     Self::emit_row(row, proj, out);
                     self.rid += 1;
                 }
                 self.pos += 1;
-            }
-            // a slot at exactly this key replaces or hides the stable tuple
-            if let Some((k, s)) = slots.get(self.pos) {
-                if k.as_slice() == self.key_buf.as_slice() {
-                    if let Slot::Put { row, .. } = s {
-                        Self::emit_row(row, proj, out);
-                        self.rid += 1;
-                    }
-                    self.pos += 1;
-                    continue;
+                head = slots
+                    .get(self.pos)
+                    .map(|(k, _)| PreparedKey::prepare(k, sk_in));
+                if ord == Ordering::Equal {
+                    // that slot replaced or hid the stable tuple
+                    replaced = true;
+                    break;
                 }
             }
-            // untouched stable tuple
-            for (k, o) in out.iter_mut().enumerate() {
-                o.extend_range(&cols_in[k], i, i + 1);
+            if replaced {
+                (run_start, run_end) = (i + 1, i + 1);
+            } else {
+                // untouched stable tuple: starts the next run
+                (run_start, run_end) = (i, i + 1);
             }
-            self.rid += 1;
+        }
+        if run_end > run_start {
+            for (k, o) in out.iter_mut().enumerate() {
+                o.extend_range(&cols_in[k], run_start, run_end);
+            }
+            self.rid += (run_end - run_start) as u64;
         }
     }
 

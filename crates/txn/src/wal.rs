@@ -76,11 +76,16 @@ use std::io::{BufWriter, Read, Write};
 use std::path::Path;
 use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 
-// "pdtP": the partition-tagged format (per-table partition index in
-// commit records and checkpoint markers). Bumped from "pdtB" so logs
-// written by pre-partition builds fail loudly with "bad record magic"
-// instead of misparsing.
-const MAGIC: u32 = 0x7064_7450;
+// "pdtT": commit records carry a per-record string dictionary and log
+// string values as `u32` codes into it, so a batched entry repeating
+// the same string (low-cardinality columns, key echoes in DEL/modify
+// entries) pays its bytes once. Bumped from "pdtP" (the partition-
+// tagged format, itself bumped from "pdtB") so dictionary-less logs
+// from older builds fail loudly with "bad record magic" instead of
+// misparsing — replay them with the build that wrote them, checkpoint,
+// and restart ("pdtR"/"pdtS" are the image-file and marker magics,
+// skipped to keep the magics distinct).
+const MAGIC: u32 = 0x7064_7454;
 // "pdtS": checkpoint markers carry an optional image sequence. Bumped
 // from "pdtQ" so image-less markers from older builds fail loudly
 // ("pdtR" is the image-file magic — skipped to keep the magics distinct).
@@ -235,6 +240,25 @@ impl Wal {
                 return Err(corrupt("bad record magic"));
             }
             let seq = read_u64(&bytes, &mut pos)?;
+            // per-record string dictionary (sorted distinct strings)
+            let nstrs = read_u32(&bytes, &mut pos)? as usize;
+            let mut dict = Vec::with_capacity(nstrs.min(bytes.len() - pos));
+            for _ in 0..nstrs {
+                let n = read_u32(&bytes, &mut pos)? as usize;
+                let s = std::str::from_utf8(
+                    bytes
+                        .get(
+                            pos..pos
+                                .checked_add(n)
+                                .ok_or_else(|| corrupt("bad dict entry"))?,
+                        )
+                        .ok_or_else(|| corrupt("truncated dict entry"))?,
+                )
+                .map_err(|_| corrupt("bad utf8 dict entry"))?
+                .to_string();
+                pos += n;
+                dict.push(s);
+            }
             let ntables = read_u32(&bytes, &mut pos)? as usize;
             let mut tables = Vec::with_capacity(ntables);
             for _ in 0..ntables {
@@ -256,7 +280,7 @@ impl Wal {
                     let nvals = read_u32(&bytes, &mut pos)? as usize;
                     let mut values = Vec::with_capacity(nvals);
                     for _ in 0..nvals {
-                        values.push(decode_value(&bytes, &mut pos)?);
+                        values.push(decode_value(&bytes, &mut pos, &dict)?);
                     }
                     entries.push(WalEntry { sid, kind, values });
                 }
@@ -303,9 +327,37 @@ pub fn effective_commits(records: Vec<WalRecord>) -> Vec<WalRecord> {
 }
 
 /// Encode one commit record into `buf` (the layout `read_all` parses).
+///
+/// The record opens with a **per-record string dictionary**: the sorted
+/// distinct strings of every logged value, written once. String values in
+/// the entry stream are then logged as tag-6 `u32` codes into it, so a
+/// batched entry repeating a string (low-cardinality columns, the key
+/// echoes of delete/modify entries) pays the bytes once per record.
 fn encode_commit_record(buf: &mut Vec<u8>, seq: u64, deltas: &[(&str, u32, &[WalEntry])]) {
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
+    // Distinct strings, sorted so identical commits encode identically.
+    let mut strs: Vec<&str> = deltas
+        .iter()
+        .flat_map(|(_, _, entries)| entries.iter())
+        .flat_map(|e| e.values.iter())
+        .filter_map(|v| match v {
+            Value::Str(s) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    strs.sort_unstable();
+    strs.dedup();
+    buf.extend_from_slice(&(strs.len() as u32).to_le_bytes());
+    for s in &strs {
+        buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        buf.extend_from_slice(s.as_bytes());
+    }
+    let codes: HashMap<&str, u32> = strs
+        .iter()
+        .enumerate()
+        .map(|(i, &s)| (s, i as u32))
+        .collect();
     buf.extend_from_slice(&(deltas.len() as u32).to_le_bytes());
     for (name, partition, entries) in deltas {
         buf.extend_from_slice(&(name.len() as u16).to_le_bytes());
@@ -318,7 +370,7 @@ fn encode_commit_record(buf: &mut Vec<u8>, seq: u64, deltas: &[(&str, u32, &[Wal
             // u32: a batched entry carries a whole statement's values
             buf.extend_from_slice(&(e.values.len() as u32).to_le_bytes());
             for v in &e.values {
-                encode_value(buf, v);
+                encode_value(buf, v, &codes);
             }
         }
     }
@@ -707,7 +759,11 @@ pub fn rebuild_pdt(schema: &Schema, sk_cols: &[usize], entries: &[WalEntry]) -> 
     b.build()
 }
 
-fn encode_value(buf: &mut Vec<u8>, v: &Value) {
+/// Encode one value. Strings present in `codes` (every string of a commit
+/// record — the dictionary is built from the record's own values) are
+/// logged as tag-6 codes; the tag-4 inline form remains for strings
+/// outside the dictionary.
+fn encode_value(buf: &mut Vec<u8>, v: &Value, codes: &HashMap<&str, u32>) {
     match v {
         Value::Null => buf.push(0),
         Value::Bool(b) => {
@@ -722,11 +778,17 @@ fn encode_value(buf: &mut Vec<u8>, v: &Value) {
             buf.push(3);
             buf.extend_from_slice(&d.to_le_bytes());
         }
-        Value::Str(s) => {
-            buf.push(4);
-            buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
-            buf.extend_from_slice(s.as_bytes());
-        }
+        Value::Str(s) => match codes.get(s.as_str()) {
+            Some(c) => {
+                buf.push(6);
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+            None => {
+                buf.push(4);
+                buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+        },
         Value::Date(d) => {
             buf.push(5);
             buf.extend_from_slice(&d.to_le_bytes());
@@ -734,7 +796,7 @@ fn encode_value(buf: &mut Vec<u8>, v: &Value) {
     }
 }
 
-fn decode_value(bytes: &[u8], pos: &mut usize) -> std::io::Result<Value> {
+fn decode_value(bytes: &[u8], pos: &mut usize, dict: &[String]) -> std::io::Result<Value> {
     let tag = *bytes.get(*pos).ok_or_else(|| corrupt("truncated value"))?;
     *pos += 1;
     Ok(match tag {
@@ -759,6 +821,14 @@ fn decode_value(bytes: &[u8], pos: &mut usize) -> std::io::Result<Value> {
             Value::Str(s)
         }
         5 => Value::Date(i32::from_le_bytes(read_array::<4>(bytes, pos)?)),
+        6 => {
+            let code = read_u32(bytes, pos)? as usize;
+            Value::Str(
+                dict.get(code)
+                    .ok_or_else(|| corrupt(&format!("string code {code} out of range")))?
+                    .clone(),
+            )
+        }
         t => return Err(corrupt(&format!("bad value tag {t}"))),
     })
 }
@@ -809,15 +879,60 @@ mod tests {
             Value::Str("héllo".into()),
             Value::Date(19000),
         ];
+        // inline path: no dictionary in scope
         let mut buf = Vec::new();
         for v in &vals {
-            encode_value(&mut buf, v);
+            encode_value(&mut buf, v, &HashMap::new());
         }
         let mut pos = 0;
         for v in &vals {
-            assert_eq!(&decode_value(&buf, &mut pos).unwrap(), v);
+            assert_eq!(&decode_value(&buf, &mut pos, &[]).unwrap(), v);
         }
         assert_eq!(pos, buf.len());
+        // dictionary path: the string is logged as a 5-byte code
+        let dict = vec!["héllo".to_string()];
+        let codes: HashMap<&str, u32> = [("héllo", 0u32)].into_iter().collect();
+        let mut coded = Vec::new();
+        encode_value(&mut coded, &Value::Str("héllo".into()), &codes);
+        assert_eq!(coded.len(), 5);
+        let mut pos = 0;
+        assert_eq!(
+            decode_value(&coded, &mut pos, &dict).unwrap(),
+            Value::Str("héllo".into())
+        );
+        // an out-of-range code is corruption, not a panic
+        let mut pos = 0;
+        assert!(decode_value(&coded, &mut pos, &[]).is_err());
+    }
+
+    #[test]
+    fn commit_record_dictionary_dedups_strings() {
+        // 100 entries sharing two strings: the encoded record stores each
+        // string's bytes once and 4-byte codes elsewhere.
+        let long = "x".repeat(64);
+        let entries: Vec<WalEntry> = (0..100)
+            .map(|i| WalEntry {
+                sid: i,
+                kind: INS,
+                values: vec![Value::Str(long.clone()), Value::Str("y".into())],
+            })
+            .collect();
+        let mut buf = Vec::new();
+        encode_commit_record(&mut buf, 1, &[("t", 0, entries.as_slice())]);
+        // far below the ~8.7 KiB an inline encoding would take
+        assert!(buf.len() < 3000, "record is {} bytes", buf.len());
+        // and it decodes back to the original entries
+        let dir = std::env::temp_dir().join("pdt_wal_dict_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dict.wal");
+        let _ = std::fs::remove_file(&path);
+        std::fs::write(&path, &buf).unwrap();
+        let records = Wal::read_all(&path).unwrap();
+        let WalRecord::Commit { tables, .. } = &records[0] else {
+            panic!("expected a commit record");
+        };
+        assert_eq!(tables[0].2, entries);
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

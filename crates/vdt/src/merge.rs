@@ -7,7 +7,7 @@
 //! per-tuple (multi-column / string) comparisons.
 
 use crate::Vdt;
-use columnar::{ColumnVec, SkKey, Tuple, Value};
+use columnar::{ColumnVec, PreparedKey, SkKey, Tuple, Value};
 use std::cmp::Ordering;
 
 /// Stateful block-at-a-time value-based merge.
@@ -18,7 +18,6 @@ pub struct VdtMerger<'a> {
     ins_pos: usize,
     del_pos: usize,
     rid: u64,
-    key_buf: Vec<Value>,
 }
 
 impl<'a> VdtMerger<'a> {
@@ -31,7 +30,6 @@ impl<'a> VdtMerger<'a> {
             ins_pos: 0,
             del_pos: 0,
             rid: 0,
-            key_buf: Vec::new(),
         }
     }
 
@@ -51,7 +49,6 @@ impl<'a> VdtMerger<'a> {
             ins_pos,
             del_pos,
             rid,
-            key_buf: Vec::new(),
         }
     }
 
@@ -67,6 +64,13 @@ impl<'a> VdtMerger<'a> {
     /// * `cols_in[k]` — data of projected column `proj[k]`,
     /// * inserted tuples contribute their `proj` columns from the insert
     ///   table.
+    ///
+    /// The per-tuple comparisons no longer materialize a `Value` per row:
+    /// each delta head's key is *prepared once* against the block's
+    /// column representation ([`PreparedKey`] — for dictionary-coded
+    /// sort-key columns that is a binary search done once, then pure `u32`
+    /// compares per row), and untouched stable tuples between delta
+    /// positions are copied as whole runs.
     pub fn merge_block(
         &mut self,
         len: usize,
@@ -76,52 +80,135 @@ impl<'a> VdtMerger<'a> {
         out: &mut [ColumnVec],
     ) {
         debug_assert_eq!(sk_in.len(), self.vdt.sk_cols().len());
+        let mut ins_head = self
+            .ins
+            .get(self.ins_pos)
+            .map(|(k, _)| PreparedKey::prepare(k, sk_in));
+        let mut del_head = self
+            .del
+            .get(self.del_pos)
+            .map(|k| PreparedKey::prepare(k, sk_in));
+        // pending pass-through run [run_start, run_end)
+        let (mut run_start, mut run_end) = (0usize, 0usize);
         for i in 0..len {
-            // gather this row's sort key (per-tuple work: the VDT tax)
-            self.key_buf.clear();
-            for c in sk_in {
-                self.key_buf.push(c.get(i));
+            // fast path: nothing in the delta tables touches this position
+            let ins_before = matches!(
+                ins_head.as_ref().map(|pk| pk.cmp_row(sk_in, i)),
+                Some(Ordering::Less)
+            );
+            let del_here = matches!(
+                del_head.as_ref().map(|pk| pk.cmp_row(sk_in, i)),
+                Some(Ordering::Less | Ordering::Equal)
+            );
+            if !ins_before && !del_here {
+                debug_assert_eq!(run_end, i);
+                run_end = i + 1;
+                continue;
+            }
+            // flush the run accumulated so far
+            if run_end > run_start {
+                for (kk, o) in out.iter_mut().enumerate() {
+                    o.extend_range(&cols_in[kk], run_start, run_end);
+                }
+                self.rid += (run_end - run_start) as u64;
             }
             // MergeUnion: pending inserts with smaller keys go first
-            while self.ins_pos < self.ins.len() {
-                let (k, t) = self.ins[self.ins_pos];
-                if k.as_slice() < self.key_buf.as_slice() {
-                    for (kk, o) in out.iter_mut().enumerate() {
-                        o.push(&t[proj[kk]]);
-                    }
-                    self.rid += 1;
-                    self.ins_pos += 1;
-                } else {
+            while let Some(pk) = &ins_head {
+                if pk.cmp_row(sk_in, i) != Ordering::Less {
+                    break;
+                }
+                let t = self.ins[self.ins_pos].1;
+                for (kk, o) in out.iter_mut().enumerate() {
+                    o.push(&t[proj[kk]]);
+                }
+                self.rid += 1;
+                self.ins_pos += 1;
+                ins_head = self
+                    .ins
+                    .get(self.ins_pos)
+                    .map(|(k, _)| PreparedKey::prepare(k, sk_in));
+            }
+            // MergeDiff: suppress deleted stable tuples (catching up over
+            // delete keys a ranged scan started past)
+            let mut deleted = false;
+            while let Some(pk) = &del_head {
+                let ord = pk.cmp_row(sk_in, i);
+                if ord == Ordering::Greater {
+                    break;
+                }
+                self.del_pos += 1;
+                del_head = self
+                    .del
+                    .get(self.del_pos)
+                    .map(|k| PreparedKey::prepare(k, sk_in));
+                if ord == Ordering::Equal {
+                    deleted = true;
                     break;
                 }
             }
-            // MergeDiff: suppress deleted stable tuples
-            let deleted = match self.del.get(self.del_pos) {
-                Some(k) => match k.as_slice().cmp(self.key_buf.as_slice()) {
-                    Ordering::Less => {
-                        // catch up (can happen when a ranged scan starts
-                        // between delete keys)
-                        while self.del_pos < self.del.len()
-                            && self.del[self.del_pos].as_slice() < self.key_buf.as_slice()
-                        {
-                            self.del_pos += 1;
-                        }
-                        self.del.get(self.del_pos).map(|k| k.as_slice())
-                            == Some(self.key_buf.as_slice())
-                    }
-                    Ordering::Equal => true,
-                    Ordering::Greater => false,
-                },
-                None => false,
-            };
             if deleted {
-                self.del_pos += 1;
-                continue;
+                (run_start, run_end) = (i + 1, i + 1);
+            } else {
+                (run_start, run_end) = (i, i + 1);
             }
+        }
+        if run_end > run_start {
             for (kk, o) in out.iter_mut().enumerate() {
-                o.extend_range(&cols_in[kk], i, i + 1);
+                o.extend_range(&cols_in[kk], run_start, run_end);
             }
-            self.rid += 1;
+            self.rid += (run_end - run_start) as u64;
+        }
+    }
+
+    /// [`VdtMerger::merge_block`], but materializing a `Value` key per
+    /// stable row and pushing output values one enum-dispatched cell at a
+    /// time — the pre-kernel behavior, kept as the baseline the kernel
+    /// benchmarks compare against (and as a differential oracle in tests).
+    pub fn merge_block_scalar(
+        &mut self,
+        len: usize,
+        proj: &[usize],
+        sk_in: &[ColumnVec],
+        cols_in: &[ColumnVec],
+        out: &mut [ColumnVec],
+    ) {
+        debug_assert_eq!(sk_in.len(), self.vdt.sk_cols().len());
+        let mut key_buf: Vec<Value> = Vec::with_capacity(sk_in.len());
+        for i in 0..len {
+            key_buf.clear();
+            for c in sk_in {
+                key_buf.push(c.get(i));
+            }
+            // MergeUnion: pending inserts with smaller keys go first
+            while let Some((k, t)) = self.ins.get(self.ins_pos) {
+                if k.as_slice() >= key_buf.as_slice() {
+                    break;
+                }
+                for (kk, o) in out.iter_mut().enumerate() {
+                    o.push(&t[proj[kk]]);
+                }
+                self.rid += 1;
+                self.ins_pos += 1;
+            }
+            // MergeDiff: suppress deleted stable tuples
+            let mut deleted = false;
+            while let Some(k) = self.del.get(self.del_pos) {
+                match k.as_slice().cmp(key_buf.as_slice()) {
+                    Ordering::Greater => break,
+                    Ordering::Less => self.del_pos += 1,
+                    Ordering::Equal => {
+                        self.del_pos += 1;
+                        deleted = true;
+                        break;
+                    }
+                }
+            }
+            if !deleted {
+                for (kk, o) in out.iter_mut().enumerate() {
+                    o.push(&cols_in[kk].get(i));
+                }
+                self.rid += 1;
+            }
         }
     }
 
@@ -164,7 +251,7 @@ mod tests {
             .collect()
     }
 
-    fn block_merge(vdt: &Vdt, rows: &[Tuple], bs: usize) -> Vec<Tuple> {
+    fn block_merge(vdt: &Vdt, rows: &[Tuple], bs: usize, scalar: bool) -> Vec<Tuple> {
         let proj = [0usize, 1usize];
         let mut merger = VdtMerger::new(vdt);
         let mut out = [
@@ -183,7 +270,11 @@ mod tests {
                 cols[0].push(&r[0]);
                 cols[1].push(&r[1]);
             }
-            merger.merge_block(chunk.len(), &proj, &sk, &cols, &mut out);
+            if scalar {
+                merger.merge_block_scalar(chunk.len(), &proj, &sk, &cols, &mut out);
+            } else {
+                merger.merge_block(chunk.len(), &proj, &sk, &cols, &mut out);
+            }
         }
         merger.drain_inserts(None, &proj, &mut out);
         (0..out[0].len())
@@ -202,7 +293,9 @@ mod tests {
         v.modify(&base[7], 1, Value::Str("mod".into()));
         let want = v.merge_rows(&base);
         for bs in [1, 2, 3, 7, 10, 64] {
-            assert_eq!(block_merge(&v, &base, bs), want, "block size {bs}");
+            assert_eq!(block_merge(&v, &base, bs, false), want, "block size {bs}");
+            // the scalar baseline stays a faithful oracle of the same merge
+            assert_eq!(block_merge(&v, &base, bs, true), want, "scalar, bs {bs}");
         }
     }
 

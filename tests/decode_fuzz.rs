@@ -7,18 +7,20 @@
 //! multi-GB allocation. The fixed-seed proptest shim makes every CI run
 //! exercise identical inputs.
 
-use columnar::compress::{decode, encode};
+use columnar::compress::{decode, decode_with, encode};
 use columnar::image::{decode_image, encode_image};
 use columnar::{
-    ColumnVec, Encoding, IoTracker, Schema, StableTable, TableMeta, TableOptions, Value, ValueType,
+    ColumnVec, Encoding, IoTracker, Schema, StableTable, StrDict, TableMeta, TableOptions, Value,
+    ValueType,
 };
 use proptest::prelude::*;
 
-const ENCODINGS: [Encoding; 4] = [
+const ENCODINGS: [Encoding; 5] = [
     Encoding::Plain,
     Encoding::Rle,
     Encoding::Dict,
     Encoding::DeltaVarint,
+    Encoding::GlobalCode,
 ];
 
 const VTYPES: [ValueType; 5] = [
@@ -112,5 +114,97 @@ proptest! {
         img[pos] ^= flip | 1;
         let _ = decode_image(&img, &io);
         let _ = decode_image(&img[..pos], &io);
+    }
+
+    /// The dictionary code path ([`Encoding::GlobalCode`]) under the same
+    /// contract: arbitrary bytes and bit-flipped valid payloads through
+    /// `decode_with` — with the right dictionary, a too-small one, and none
+    /// at all — must return Ok or Err, never panic. Codes out of range of
+    /// the supplied dictionary must be rejected, not built into a coded
+    /// vector that would index past its end later.
+    #[test]
+    fn global_code_decode_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..256),
+        flip in any::<u8>(),
+        pos_sel in any::<u64>(),
+    ) {
+        let dict = StrDict::build(["", "a", "dup", "é✓", "zz"]);
+        let small = StrDict::build(["only"]);
+        for len in [0usize, 1, 64, 1024] {
+            let _ = decode_with(&bytes, Encoding::GlobalCode, ValueType::Str, len, Some(&dict));
+            let _ = decode_with(&bytes, Encoding::GlobalCode, ValueType::Str, len, None);
+        }
+        // a valid coded column, then corrupted
+        let mut col = ColumnVec::new_coded(dict.clone());
+        for s in ["dup", "dup", "", "zz", "é✓", "a", "dup"] {
+            col.push(&Value::Str(s.to_string()));
+        }
+        let Some(mut enc) = encode(&col, Encoding::GlobalCode) else {
+            return Err("GlobalCode refused a coded column".to_string());
+        };
+        let back = decode_with(&enc, Encoding::GlobalCode, ValueType::Str, col.len(), Some(&dict));
+        prop_assert!(back.is_ok(), "clean roundtrip failed: {:?}", back.err());
+        // decoding against a dictionary that cannot hold the codes must
+        // error (never panic, never hand out dangling codes)
+        let wrong = decode_with(&enc, Encoding::GlobalCode, ValueType::Str, col.len(), Some(&small));
+        prop_assert!(wrong.is_err(), "codes past the dictionary end were accepted");
+        if !enc.is_empty() {
+            let pos = (pos_sel % enc.len() as u64) as usize;
+            enc[pos] ^= flip | 1;
+            if let Ok(col2) = decode_with(&enc, Encoding::GlobalCode, ValueType::Str, col.len(), Some(&dict)) {
+                prop_assert_eq!(col2.len(), col.len());
+            }
+            let _ = decode_with(&enc[..pos], Encoding::GlobalCode, ValueType::Str, col.len(), Some(&dict));
+        }
+    }
+
+    /// Dictionary-encoded string columns must survive the full persistence
+    /// cycle losslessly: encode → image bytes → load → decode must be the
+    /// identity on the logical rows — including empty strings, heavy
+    /// duplication, and non-ASCII — and the loaded table must still carry
+    /// a dictionary for the string column.
+    #[test]
+    fn dict_image_roundtrip_is_identity(
+        strs in prop::collection::vec(
+            prop_oneof![
+                2 => Just(String::new()),
+                3 => (0u64..4).prop_map(|i| format!("dup{i}")),
+                3 => (0u64..1000).prop_map(|i| format!("s{i}")),
+                2 => (0u64..5).prop_map(|i| format!("é✓{i}日本語")),
+            ],
+            1..200,
+        ),
+        block_rows in 1usize..70,
+    ) {
+        let io = IoTracker::new();
+        let meta = TableMeta::new(
+            "ident",
+            Schema::from_pairs(&[("k", ValueType::Int), ("s", ValueType::Str)]),
+            vec![0],
+        );
+        let rows: Vec<Vec<Value>> = strs
+            .iter()
+            .enumerate()
+            .map(|(i, s)| vec![Value::Int(i as i64), Value::Str(s.clone())])
+            .collect();
+        let table = StableTable::bulk_load(
+            meta,
+            TableOptions { block_rows, compressed: true },
+            &rows,
+        )
+        .map_err(|e| format!("bulk_load: {e}"))?;
+        prop_assert!(
+            table.column_dict(1).is_some(),
+            "compressed string column lost its dictionary before persisting"
+        );
+        let img = encode_image(&table, 7);
+        let (loaded, seq) = decode_image(&img, &io).map_err(|e| format!("decode_image: {e}"))?;
+        prop_assert_eq!(seq, 7);
+        prop_assert!(
+            loaded.column_dict(1).is_some(),
+            "loaded image lost the string dictionary"
+        );
+        let got = loaded.scan_all(&io).map_err(|e| format!("scan_all: {e}"))?;
+        prop_assert_eq!(got, rows);
     }
 }
