@@ -40,14 +40,29 @@ use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 
+/// Per-block physical provenance: for each stable block, the
+/// `(generation sequence, block index)` of the image file that actually
+/// holds its bytes. Blocks written inline map to the loaded generation;
+/// blocks kept by reference map to the generation they were copied from.
+pub type BlockProvenance = Vec<(u64, usize)>;
+
 /// Image file magic: "pdtR" (R for read-store image).
 const IMAGE_MAGIC: u32 = 0x7064_7452;
 /// Image format version. v2 added per-column global string dictionaries
 /// (one optional dictionary section per column, ahead of its blocks) and
-/// the [`Encoding::GlobalCode`] block codec; v1 images are rejected —
-/// rebuild them by checkpointing after replaying the WAL from scratch.
-const IMAGE_VERSION: u32 = 2;
-const MANIFEST_HEADER: &str = "pdt-images v1";
+/// the [`Encoding::GlobalCode`] block codec; v3 added **block reuse**: a
+/// block slot may be a reference `(src_seq, src_idx)` into a prior
+/// generation's image of the same partition instead of an inline payload
+/// (written by incremental compaction for the blocks it did not touch).
+/// v2 images still load (they simply contain no references); v1 images
+/// are rejected — rebuild them by checkpointing after replaying the WAL
+/// from scratch.
+const IMAGE_VERSION: u32 = 3;
+/// Encoding-byte tag marking a block *reference* in v3 images (physical
+/// blocks use the [`Encoding`] tags 0–4).
+const REF_TAG: u8 = 0xff;
+const MANIFEST_HEADER: &str = "pdt-images v2";
+const MANIFEST_HEADER_V1: &str = "pdt-images v1";
 /// Manifest file name inside the image directory.
 pub const MANIFEST_FILE: &str = "MANIFEST";
 
@@ -225,8 +240,40 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 // image files
 // ---------------------------------------------------------------------------
 
+/// Byte/block accounting of one image publish — what incremental
+/// compaction saves shows up as `*_reused` (per column-block: each block
+/// of each column is one physical unit in the file).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ImagePublishStats {
+    /// Column-blocks whose payload was written inline.
+    pub blocks_written: u64,
+    /// Column-blocks written as references into a prior generation.
+    pub blocks_reused: u64,
+    /// Payload bytes written inline.
+    pub bytes_written: u64,
+    /// Payload bytes *not* rewritten thanks to references.
+    pub bytes_reused: u64,
+}
+
 /// Serialize `table` (with its checkpoint sequence) into image bytes.
 pub fn encode_image(table: &StableTable, seq: u64) -> Vec<u8> {
+    encode_image_with_reuse(table, seq, &[]).0
+}
+
+/// Serialize `table`, writing block `b` (of every column) as a reference
+/// to `prov[b] = (src_seq, src_idx)` when that provenance names a *prior*
+/// generation (`src_seq != seq`) — the caller guarantees the referenced
+/// block is byte-identical (compaction splices keep untouched blocks
+/// shared). `prov` may be shorter than the block count (missing entries
+/// are written inline). Returns the bytes, the distinct generations the
+/// image depends on, and the write/reuse accounting.
+pub fn encode_image_with_reuse(
+    table: &StableTable,
+    seq: u64,
+    prov: &[Option<(u64, usize)>],
+) -> (Vec<u8>, Vec<u64>, ImagePublishStats) {
+    let mut deps = std::collections::BTreeSet::new();
+    let mut stats = ImagePublishStats::default();
     let mut body = Vec::new();
     body.extend_from_slice(&seq.to_le_bytes());
     let meta = table.meta();
@@ -261,12 +308,28 @@ pub fn encode_image(table: &StableTable, seq: u64) -> Vec<u8> {
         }
         let blocks = table.column_blocks(c);
         body.extend_from_slice(&(blocks.len() as u32).to_le_bytes());
-        for b in blocks {
+        for (j, b) in blocks.iter().enumerate() {
             body.extend_from_slice(&(b.len as u32).to_le_bytes());
             body.push(vtype_tag(b.vtype));
-            body.push(encoding_tag(b.encoding));
-            body.extend_from_slice(&(b.payload.len() as u32).to_le_bytes());
-            body.extend_from_slice(&b.payload);
+            match prov.get(j).copied().flatten() {
+                Some((src_seq, src_idx)) if src_seq != seq => {
+                    // v3 block reference: the payload lives in a prior
+                    // generation's image of this partition
+                    body.push(REF_TAG);
+                    body.extend_from_slice(&src_seq.to_le_bytes());
+                    body.extend_from_slice(&(src_idx as u32).to_le_bytes());
+                    deps.insert(src_seq);
+                    stats.blocks_reused += 1;
+                    stats.bytes_reused += b.payload.len() as u64;
+                }
+                _ => {
+                    body.push(encoding_tag(b.encoding));
+                    body.extend_from_slice(&(b.payload.len() as u32).to_le_bytes());
+                    body.extend_from_slice(&b.payload);
+                    stats.blocks_written += 1;
+                    stats.bytes_written += b.payload.len() as u64;
+                }
+            }
         }
     }
     let mins = table.sparse_index().first_keys();
@@ -282,14 +345,49 @@ pub fn encode_image(table: &StableTable, seq: u64) -> Vec<u8> {
     out.extend_from_slice(&IMAGE_VERSION.to_le_bytes());
     out.extend_from_slice(&body);
     out.extend_from_slice(&fnv1a(&body).to_le_bytes());
-    out
+    (out, deps.into_iter().collect(), stats)
 }
 
-/// Parse image bytes back into a table and its checkpoint sequence. Every
-/// read is bounds-checked; shape and checksum mismatches return
-/// [`ColumnarError::Corrupt`]. Each block's stored bytes are charged to
-/// `io` — the image load *is* the cold-start I/O the paper's plots model.
-pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> {
+/// One block slot of a parsed image: an inline payload, or a v3 reference
+/// into a prior generation of the same partition.
+enum RawBlock {
+    Phys(Block),
+    Ref {
+        len: usize,
+        vtype: ValueType,
+        src_seq: u64,
+        src_idx: usize,
+    },
+}
+
+/// A parsed (but not yet reference-resolved) image.
+struct RawImage {
+    seq: u64,
+    meta: TableMeta,
+    opts: TableOptions,
+    row_count: u64,
+    cols: Vec<Vec<RawBlock>>,
+    mins: Vec<SkKey>,
+    maxs: Vec<SkKey>,
+    dicts: Vec<Option<std::sync::Arc<crate::dict::StrDict>>>,
+}
+
+impl RawImage {
+    /// Distinct prior generations this image references.
+    fn dep_seqs(&self) -> Vec<u64> {
+        let mut deps = std::collections::BTreeSet::new();
+        for col in &self.cols {
+            for b in col {
+                if let RawBlock::Ref { src_seq, .. } = b {
+                    deps.insert(*src_seq);
+                }
+            }
+        }
+        deps.into_iter().collect()
+    }
+}
+
+fn parse_image(bytes: &[u8]) -> Result<RawImage> {
     if bytes.len() < 16 {
         return Err(ColumnarError::Corrupt("image shorter than header".into()));
     }
@@ -298,7 +396,8 @@ pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> 
         return Err(ColumnarError::Corrupt("bad image magic".into()));
     }
     let version = cur.u32()?;
-    if version != IMAGE_VERSION {
+    // v2 images parse identically — they just cannot contain REF slots
+    if version != IMAGE_VERSION && version != 2 {
         return Err(ColumnarError::Corrupt(format!(
             "unsupported image version {version}"
         )));
@@ -367,16 +466,37 @@ pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> 
         for _ in 0..nblocks {
             let len = cur.u32()? as usize;
             let vtype = vtype_of(cur.u8()?)?;
-            let encoding = encoding_of(cur.u8()?)?;
-            let plen = cur.u32()? as usize;
-            let payload = cur.take(plen)?;
-            io.record_block(plen as u64);
-            blocks.push(Block {
-                len,
-                vtype,
-                encoding,
-                payload: Bytes::copy_from_slice(payload),
-            });
+            let tag = cur.u8()?;
+            if tag == REF_TAG {
+                if version < 3 {
+                    return Err(ColumnarError::Corrupt(
+                        "block reference in a pre-v3 image".into(),
+                    ));
+                }
+                let src_seq = cur.u64()?;
+                let src_idx = cur.u32()? as usize;
+                if src_seq >= seq {
+                    return Err(ColumnarError::Corrupt(format!(
+                        "block ref to seq {src_seq} not older than image seq {seq}"
+                    )));
+                }
+                blocks.push(RawBlock::Ref {
+                    len,
+                    vtype,
+                    src_seq,
+                    src_idx,
+                });
+            } else {
+                let encoding = encoding_of(tag)?;
+                let plen = cur.u32()? as usize;
+                let payload = cur.take(plen)?;
+                blocks.push(RawBlock::Phys(Block {
+                    len,
+                    vtype,
+                    encoding,
+                    payload: Bytes::copy_from_slice(payload),
+                }));
+            }
         }
         cols.push(blocks);
     }
@@ -387,16 +507,123 @@ pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> 
         mins.push(get_key(&mut cur)?);
         maxs.push(get_key(&mut cur)?);
     }
-    let meta = TableMeta {
-        name,
-        schema,
-        sort_key: SortKeyDef::new(sk),
-    };
-    let opts = TableOptions {
-        block_rows,
-        compressed,
-    };
-    let table = StableTable::from_parts(meta, opts, row_count, cols, mins, maxs, dicts)?;
+    Ok(RawImage {
+        seq,
+        meta: TableMeta {
+            name,
+            schema,
+            sort_key: SortKeyDef::new(sk),
+        },
+        opts: TableOptions {
+            block_rows,
+            compressed,
+        },
+        row_count,
+        cols,
+        mins,
+        maxs,
+        dicts,
+    })
+}
+
+/// Resolve a parsed image into a table, pulling referenced payloads out of
+/// `deps` (parsed prior generations, keyed by sequence). Charges every
+/// block — inline or referenced — to `io`. Also returns the per-block
+/// provenance: which generation physically holds each block (validated
+/// identical across columns).
+fn resolve_image(
+    raw: RawImage,
+    deps: &BTreeMap<u64, RawImage>,
+    io: &IoTracker,
+) -> Result<(StableTable, BlockProvenance, u64)> {
+    let nblocks = raw.cols.first().map(|c| c.len()).unwrap_or(0);
+    let mut prov: Vec<Option<(u64, usize)>> = vec![None; nblocks];
+    let mut cols = Vec::with_capacity(raw.cols.len());
+    for (c, col) in raw.cols.into_iter().enumerate() {
+        let mut blocks = Vec::with_capacity(col.len());
+        for (j, rb) in col.into_iter().enumerate() {
+            let (origin, block) = match rb {
+                RawBlock::Phys(b) => ((raw.seq, j), b),
+                RawBlock::Ref {
+                    len,
+                    vtype,
+                    src_seq,
+                    src_idx,
+                } => {
+                    let dep = deps.get(&src_seq).ok_or_else(|| {
+                        ColumnarError::Corrupt(format!(
+                            "block ref to unavailable generation {src_seq}"
+                        ))
+                    })?;
+                    let src = dep
+                        .cols
+                        .get(c)
+                        .and_then(|col| col.get(src_idx))
+                        .ok_or_else(|| {
+                            ColumnarError::Corrupt(format!(
+                                "block ref ({src_seq}, {src_idx}) out of range"
+                            ))
+                        })?;
+                    let RawBlock::Phys(b) = src else {
+                        // publishes flatten provenance, so a ref must land
+                        // on an inline block — a ref chain is corruption
+                        return Err(ColumnarError::Corrupt(format!(
+                            "block ref ({src_seq}, {src_idx}) points at another ref"
+                        )));
+                    };
+                    if b.len != len || b.vtype != vtype {
+                        return Err(ColumnarError::Corrupt(format!(
+                            "block ref ({src_seq}, {src_idx}) shape mismatch"
+                        )));
+                    }
+                    ((src_seq, src_idx), b.clone())
+                }
+            };
+            match &prov[j] {
+                None => prov[j] = Some(origin),
+                Some(p) if *p == origin => {}
+                Some(p) => {
+                    return Err(ColumnarError::Corrupt(format!(
+                        "block {j} provenance disagrees across columns: {p:?} vs {origin:?}"
+                    )))
+                }
+            }
+            io.record_block(block.payload.len() as u64);
+            blocks.push(block);
+        }
+        cols.push(blocks);
+    }
+    let table = StableTable::from_parts(
+        raw.meta,
+        raw.opts,
+        raw.row_count,
+        cols,
+        raw.mins,
+        raw.maxs,
+        raw.dicts,
+    )?;
+    let prov = prov
+        .into_iter()
+        .map(|p| p.expect("set per block"))
+        .collect();
+    Ok((table, prov, raw.seq))
+}
+
+/// Parse image bytes back into a table and its checkpoint sequence. Every
+/// read is bounds-checked; shape and checksum mismatches return
+/// [`ColumnarError::Corrupt`]. Each block's stored bytes are charged to
+/// `io` — the image load *is* the cold-start I/O the paper's plots model.
+/// Only self-contained images decode this way; an image with block
+/// references needs its dependency files and must go through
+/// [`ImageStore::load`].
+pub fn decode_image(bytes: &[u8], io: &IoTracker) -> Result<(StableTable, u64)> {
+    let raw = parse_image(bytes)?;
+    if !raw.dep_seqs().is_empty() {
+        return Err(ColumnarError::Corrupt(
+            "image has block references; load it through its ImageStore".into(),
+        ));
+    }
+    let (table, _, seq) = resolve_image(raw, &BTreeMap::new(), io)?;
     Ok((table, seq))
 }
 
@@ -422,6 +649,10 @@ pub struct ImageEntry {
     pub seq: u64,
     /// Image file name, relative to the image directory.
     pub file: String,
+    /// Sequences of prior generations whose blocks this image references
+    /// (empty for self-contained images). Retention must keep these files
+    /// alive as long as this entry is retained.
+    pub deps: Vec<u64>,
 }
 
 /// The manifest: the published images of every `(table, partition)`,
@@ -445,24 +676,26 @@ impl ImageManifest {
             Err(e) => return Err(io_err(e)),
         };
         let mut lines = text.lines();
-        if lines.next() != Some(MANIFEST_HEADER) {
-            return Err(ColumnarError::Corrupt("bad manifest header".into()));
-        }
+        let header = lines.next();
+        // v1 manifests (pre block-reuse) have no deps field; read them as
+        // all-self-contained. Saving rewrites in the v2 format.
+        let v1 = match header {
+            Some(MANIFEST_HEADER) => false,
+            Some(MANIFEST_HEADER_V1) => true,
+            _ => return Err(ColumnarError::Corrupt("bad manifest header".into())),
+        };
         let mut entries = BTreeMap::new();
         for line in lines {
             if line.is_empty() {
                 continue;
             }
-            let mut parts = line.splitn(5, '\t');
-            let (kind, seq, partition, file, table) = (
-                parts.next(),
-                parts.next(),
-                parts.next(),
-                parts.next(),
-                parts.next(),
-            );
-            let (Some("image"), Some(seq), Some(partition), Some(file), Some(table)) =
-                (kind, seq, partition, file, table)
+            let mut parts = line.splitn(if v1 { 5 } else { 6 }, '\t');
+            let (kind, seq, partition, file) =
+                (parts.next(), parts.next(), parts.next(), parts.next());
+            let deps_field = if v1 { Some("-") } else { parts.next() };
+            let table = parts.next();
+            let (Some("image"), Some(seq), Some(partition), Some(file), Some(deps), Some(table)) =
+                (kind, seq, partition, file, deps_field, table)
             else {
                 return Err(ColumnarError::Corrupt(format!(
                     "bad manifest line: {line:?}"
@@ -474,11 +707,23 @@ impl ImageManifest {
             let partition = partition
                 .parse::<u32>()
                 .map_err(|_| ColumnarError::Corrupt(format!("bad manifest partition: {line:?}")))?;
+            let deps: Vec<u64> = if deps == "-" {
+                Vec::new()
+            } else {
+                deps.split(',')
+                    .map(|d| {
+                        d.parse::<u64>().map_err(|_| {
+                            ColumnarError::Corrupt(format!("bad manifest deps: {line:?}"))
+                        })
+                    })
+                    .collect::<Result<_>>()?
+            };
             let key = (table.to_string(), partition);
             let list: &mut Vec<ImageEntry> = entries.entry(key).or_default();
             list.push(ImageEntry {
                 seq,
                 file: file.to_string(),
+                deps,
             });
         }
         for list in entries.values_mut() {
@@ -493,9 +738,18 @@ impl ImageManifest {
         text.push('\n');
         for ((table, partition), list) in &self.entries {
             for e in list {
+                let deps = if e.deps.is_empty() {
+                    "-".to_string()
+                } else {
+                    e.deps
+                        .iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(",")
+                };
                 text.push_str(&format!(
-                    "image\t{}\t{}\t{}\t{}\n",
-                    e.seq, partition, e.file, table
+                    "image\t{}\t{}\t{}\t{}\t{}\n",
+                    e.seq, partition, e.file, deps, table
                 ));
             }
         }
@@ -517,8 +771,13 @@ impl ImageManifest {
     }
 
     /// Record a publish: insert `entry` (replacing a same-sequence one) and
-    /// return the entries it supersedes — everything except the newest two,
-    /// whose files the caller may delete once the manifest is saved.
+    /// return the entries it supersedes, whose files the caller may delete
+    /// once the manifest is saved. Retention is **manifest-driven**: the
+    /// newest two generations stay (the newest may sit in the crash window
+    /// before its WAL marker, the one below it is then the recovery base),
+    /// *plus* the transitive dependency closure of everything kept — an
+    /// older generation whose blocks a kept incremental image still
+    /// references must not lose its file.
     pub fn set(&mut self, table: &str, partition: u32, entry: ImageEntry) -> Vec<ImageEntry> {
         let list = self
             .entries
@@ -527,8 +786,25 @@ impl ImageManifest {
         list.retain(|e| e.seq != entry.seq);
         list.push(entry);
         list.sort_by_key(|e| e.seq);
-        let keep_from = list.len().saturating_sub(2);
-        list.drain(..keep_from).collect()
+        let mut keep: std::collections::BTreeSet<u64> =
+            list.iter().rev().take(2).map(|e| e.seq).collect();
+        loop {
+            let more: Vec<u64> = list
+                .iter()
+                .filter(|e| keep.contains(&e.seq))
+                .flat_map(|e| e.deps.iter().copied())
+                .filter(|d| !keep.contains(d))
+                .collect();
+            if more.is_empty() {
+                break;
+            }
+            keep.extend(more);
+        }
+        let (kept, pruned): (Vec<ImageEntry>, Vec<ImageEntry>) = std::mem::take(list)
+            .into_iter()
+            .partition(|e| keep.contains(&e.seq));
+        *list = kept;
+        pruned
     }
 
     /// Number of `(table, partition)` keys with at least one image.
@@ -589,17 +865,35 @@ impl ImageStore {
         seq: u64,
         table: &StableTable,
     ) -> Result<()> {
+        self.publish_with_reuse(table_name, partition, seq, table, &[])
+            .map(|_| ())
+    }
+
+    /// [`ImageStore::publish`] with per-block provenance: block `b` whose
+    /// `prov[b]` names a prior published generation is written as a
+    /// reference instead of an inline payload (incremental compaction
+    /// passes the provenance of the blocks its splice kept). Returns the
+    /// write/reuse accounting.
+    pub fn publish_with_reuse(
+        &self,
+        table_name: &str,
+        partition: u32,
+        seq: u64,
+        table: &StableTable,
+        prov: &[Option<(u64, usize)>],
+    ) -> Result<ImagePublishStats> {
         let _g = self.publish_lock.lock().expect("image publish lock");
+        let (bytes, deps, stats) = encode_image_with_reuse(table, seq, prov);
         let file = Self::image_file(table_name, partition, seq);
-        write_atomic(&self.dir.join(&file), &encode_image(table, seq))?;
+        write_atomic(&self.dir.join(&file), &bytes)?;
         let mut manifest = ImageManifest::load(&self.dir)?.unwrap_or_default();
-        let pruned = manifest.set(table_name, partition, ImageEntry { seq, file });
+        let pruned = manifest.set(table_name, partition, ImageEntry { seq, file, deps });
         manifest.save(&self.dir)?;
         for old in pruned {
             // Best-effort cleanup; the manifest no longer references them.
             let _ = fs::remove_file(self.dir.join(old.file));
         }
-        Ok(())
+        Ok(stats)
     }
 
     /// Load the image of `(table, partition)` if the manifest has one at
@@ -617,6 +911,25 @@ impl ImageStore {
         expect_seq: u64,
         io: &IoTracker,
     ) -> Result<Option<StableTable>> {
+        Ok(self
+            .load_with_provenance(table, partition, expect_seq, io)?
+            .map(|(t, _)| t))
+    }
+
+    /// [`ImageStore::load`], additionally returning each block's physical
+    /// provenance `(generation, block index)` — the engine seeds its
+    /// block-reuse tracking from this so post-recovery compactions keep
+    /// referencing (rather than rewriting) untouched blocks. Block
+    /// references are resolved here against the manifest's dependency
+    /// entries; a reference to a pruned or chained generation is
+    /// [`ColumnarError::Corrupt`].
+    pub fn load_with_provenance(
+        &self,
+        table: &str,
+        partition: u32,
+        expect_seq: u64,
+        io: &IoTracker,
+    ) -> Result<Option<(StableTable, BlockProvenance)>> {
         let Some(manifest) = ImageManifest::load(&self.dir)? else {
             return Ok(None);
         };
@@ -624,14 +937,33 @@ impl ImageStore {
             return Ok(None);
         };
         let bytes = fs::read(self.dir.join(&entry.file)).map_err(io_err)?;
-        let (table, seq) = decode_image(&bytes, io)?;
-        if seq != entry.seq {
+        let raw = parse_image(&bytes)?;
+        if raw.seq != entry.seq {
             return Err(ColumnarError::Corrupt(format!(
-                "image seq {seq} does not match manifest seq {}",
-                entry.seq
+                "image seq {} does not match manifest seq {}",
+                raw.seq, entry.seq
             )));
         }
-        Ok(Some(table))
+        let mut deps = BTreeMap::new();
+        for dep_seq in raw.dep_seqs() {
+            let dep_entry = manifest.get(table, partition, dep_seq).ok_or_else(|| {
+                ColumnarError::Corrupt(format!(
+                    "image at seq {expect_seq} references generation {dep_seq}, \
+                     which the manifest no longer holds"
+                ))
+            })?;
+            let dep_bytes = fs::read(self.dir.join(&dep_entry.file)).map_err(io_err)?;
+            let dep_raw = parse_image(&dep_bytes)?;
+            if dep_raw.seq != dep_seq {
+                return Err(ColumnarError::Corrupt(format!(
+                    "dependency image seq {} does not match manifest seq {dep_seq}",
+                    dep_raw.seq
+                )));
+            }
+            deps.insert(dep_seq, dep_raw);
+        }
+        let (table, prov, _) = resolve_image(raw, &deps, io)?;
+        Ok(Some((table, prov)))
     }
 
     /// The manifest's current entries (`None` before the first publish).
@@ -774,6 +1106,105 @@ mod tests {
     }
 
     #[test]
+    fn incremental_publish_reuses_blocks_and_resolves_on_load() {
+        let dir = std::env::temp_dir().join(format!("pdt-reuse-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ImageStore::open(&dir).unwrap();
+        let io = IoTracker::new();
+        let t = table(500, 128); // 4 blocks
+
+        // Full publish at seq 5: no provenance, everything written inline.
+        let stats = store.publish_with_reuse("t", 0, 5, &t, &[]).unwrap();
+        assert_eq!(stats.blocks_reused, 0);
+        assert_eq!(
+            stats.blocks_written as usize,
+            t.num_blocks() * t.num_columns()
+        );
+        assert!(stats.bytes_written > 0 && stats.bytes_reused == 0);
+
+        // Incremental publish at seq 9: blocks 0 and 3 carry over from gen 5,
+        // blocks 1 and 2 were rewritten (no provenance).
+        let prov = vec![Some((5, 0)), None, None, Some((5, 3))];
+        let stats = store.publish_with_reuse("t", 0, 9, &t, &prov).unwrap();
+        assert_eq!(stats.blocks_reused as usize, 2 * t.num_columns());
+        assert_eq!(stats.blocks_written as usize, 2 * t.num_columns());
+        assert!(stats.bytes_reused > 0);
+
+        // Loading seq 9 resolves the refs against gen 5 and reports per-block
+        // physical provenance.
+        let (back, back_prov) = store
+            .load_with_provenance("t", 0, 9, &io)
+            .unwrap()
+            .expect("image at seq 9");
+        let io2 = IoTracker::new();
+        assert_eq!(back.scan_all(&io2).unwrap(), t.scan_all(&io2).unwrap());
+        assert_eq!(back_prov, vec![(5, 0), (9, 1), (9, 2), (5, 3)]);
+        // the manifest records the dependency
+        let m = store.manifest().unwrap().unwrap();
+        assert_eq!(m.get("t", 0, 9).unwrap().deps, vec![5]);
+
+        // A ref-bearing image must be loaded through its store, not decoded
+        // standalone.
+        let bytes = fs::read(dir.join("t.p0.9.img")).unwrap();
+        assert!(matches!(
+            decode_image(&bytes, &io),
+            Err(ColumnarError::Corrupt(_))
+        ));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_keeps_generations_referenced_by_newer_manifests() {
+        let dir = std::env::temp_dir().join(format!("pdt-gc-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = ImageStore::open(&dir).unwrap();
+        let io = IoTracker::new();
+        let t = table(500, 128); // 4 blocks
+
+        store.publish_with_reuse("t", 0, 5, &t, &[]).unwrap();
+        let prov = vec![Some((5, 0)), None, None, Some((5, 3))];
+        store.publish_with_reuse("t", 0, 9, &t, &prov).unwrap();
+        // Another incremental on top; refs stay flattened at gen 5 for the
+        // untouched blocks, so this generation depends on both 5 and 9.
+        let prov2 = vec![Some((5, 0)), Some((9, 1)), None, Some((5, 3))];
+        store.publish_with_reuse("t", 0, 12, &t, &prov2).unwrap();
+
+        // "Keep newest two" would drop seq 5, but both kept generations
+        // reference its blocks — the shared-block case. It must survive and
+        // still resolve.
+        let img_files = |dir: &Path| -> Vec<String> {
+            let mut f: Vec<_> = fs::read_dir(dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().into_string().unwrap())
+                .filter(|n| n.ends_with(".img"))
+                .collect();
+            f.sort();
+            f
+        };
+        assert_eq!(
+            img_files(&dir),
+            vec!["t.p0.12.img", "t.p0.5.img", "t.p0.9.img"]
+        );
+        let (back, _) = store
+            .load_with_provenance("t", 0, 12, &io)
+            .unwrap()
+            .unwrap();
+        let io2 = IoTracker::new();
+        assert_eq!(back.scan_all(&io2).unwrap(), t.scan_all(&io2).unwrap());
+
+        // Two self-contained publishes release the shared generations: after
+        // seqs 15 and 18 nothing references 5/9/12 and they are pruned.
+        store.publish_with_reuse("t", 0, 15, &t, &[]).unwrap();
+        store.publish_with_reuse("t", 0, 18, &t, &[]).unwrap();
+        assert_eq!(img_files(&dir), vec!["t.p0.15.img", "t.p0.18.img"]);
+        assert!(store
+            .load_with_provenance("t", 0, 5, &io)
+            .unwrap()
+            .is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn manifest_swap_is_atomic_and_multi_entry() {
         let dir = std::env::temp_dir().join(format!("pdt-man-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
@@ -785,6 +1216,7 @@ mod tests {
             ImageEntry {
                 seq: 3,
                 file: "orders.p0.3.img".into(),
+                deps: vec![],
             },
         );
         m.set(
@@ -793,6 +1225,7 @@ mod tests {
             ImageEntry {
                 seq: 4,
                 file: "orders.p1.4.img".into(),
+                deps: vec![],
             },
         );
         // two images of one partition coexist (the crash-window pair)
@@ -802,6 +1235,7 @@ mod tests {
             ImageEntry {
                 seq: 6,
                 file: "orders.p1.6.img".into(),
+                deps: vec![4],
             },
         );
         m.save(&dir).unwrap();

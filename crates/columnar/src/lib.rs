@@ -45,8 +45,8 @@ pub use block::{Block, Encoding};
 pub use column::ColumnVec;
 pub use dict::StrDict;
 pub use error::{ColumnarError, Result};
-pub use image::{ImageEntry, ImageManifest, ImageStore};
-pub use io::{IoStats, IoTracker};
+pub use image::{BlockProvenance, ImageEntry, ImageManifest, ImageStore};
+pub use io::{BlockHeatSink, IoStats, IoTracker};
 pub use kernel::{MergeStep, PreparedKey, UpdateColumn};
 pub use schema::{Field, Schema, SortKeyDef};
 pub use sparse::SparseIndex;

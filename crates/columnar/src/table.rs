@@ -95,6 +95,11 @@ pub struct StableTable {
     /// `cols[c]` = encoded blocks of column `c`; block `b` of every column
     /// covers the same row range.
     cols: Vec<Arc<Vec<Block>>>,
+    /// `starts[b]` = SID of the first row of block `b`. Bulk-loaded tables
+    /// are fixed-stride (`b * block_rows`); a range splice
+    /// ([`StableTable::splice_blocks`]) keeps unchanged blocks as-is, so a
+    /// spliced table's blocks may be shorter than `block_rows` mid-table.
+    starts: Vec<u64>,
     sparse: SparseIndex,
     /// `block_max_sk[b]` = sort key of the last tuple of block `b` (the
     /// block maximum; the minimum is the sparse index's first key). Together
@@ -174,13 +179,24 @@ impl StableTable {
                 cols.len()
             )));
         }
-        let nblocks = (row_count as usize).div_ceil(opts.block_rows);
+        // Block boundaries come from the per-block lengths themselves:
+        // a freshly built image is fixed-stride, but a range-compacted one
+        // may carry shorter blocks mid-table (see `splice_blocks`).
+        let nblocks = cols.first().map(|c| c.len()).unwrap_or(0);
         for (c, col) in cols.iter().enumerate() {
             if col.len() != nblocks {
                 return Err(ColumnarError::Corrupt(format!(
                     "image column {c} has {} blocks, expected {nblocks}",
                     col.len()
                 )));
+            }
+            for (b, blk) in col.iter().enumerate() {
+                if blk.len != cols[0][b].len {
+                    return Err(ColumnarError::Corrupt(format!(
+                        "image column {c} block {b} has {} rows, column 0 has {}",
+                        blk.len, cols[0][b].len
+                    )));
+                }
             }
             // global-code payloads are meaningless without their dictionary
             if dicts[c].is_none() && col.iter().any(|b| b.encoding == Encoding::GlobalCode) {
@@ -194,6 +210,24 @@ impl StableTable {
                 )));
             }
         }
+        let mut starts = Vec::with_capacity(nblocks);
+        let mut acc = 0u64;
+        for (b, blk) in cols.first().into_iter().flatten().enumerate() {
+            let len = blk.len;
+            if len == 0 || len > opts.block_rows {
+                return Err(ColumnarError::Corrupt(format!(
+                    "image block {b} has {len} rows (block_rows {})",
+                    opts.block_rows
+                )));
+            }
+            starts.push(acc);
+            acc += len as u64;
+        }
+        if acc != row_count {
+            return Err(ColumnarError::Corrupt(format!(
+                "image blocks hold {acc} rows, header says {row_count}"
+            )));
+        }
         if block_min_sk.len() != nblocks || block_max_sk.len() != nblocks {
             return Err(ColumnarError::Corrupt(format!(
                 "image has {}/{} block key bounds, expected {nblocks}",
@@ -201,13 +235,13 @@ impl StableTable {
                 block_max_sk.len()
             )));
         }
-        let start_sid = (0..nblocks).map(|g| (g * opts.block_rows) as u64).collect();
-        let sparse = SparseIndex::new(block_min_sk, start_sid, row_count);
+        let sparse = SparseIndex::new(block_min_sk, starts.clone(), row_count);
         Ok(StableTable {
             meta,
             opts,
             row_count,
             cols: cols.into_iter().map(Arc::new).collect(),
+            starts,
             sparse,
             block_max_sk,
             dicts,
@@ -274,14 +308,19 @@ impl StableTable {
 
     /// Row range `[start, end)` covered by block `b`.
     pub fn block_range(&self, b: usize) -> (u64, u64) {
-        let start = (b * self.opts.block_rows) as u64;
-        let end = (start + self.opts.block_rows as u64).min(self.row_count);
+        let start = self.starts.get(b).copied().unwrap_or(self.row_count);
+        let end = self.starts.get(b + 1).copied().unwrap_or(self.row_count);
         (start, end)
     }
 
     /// Index of the block containing `sid`.
     pub fn block_of(&self, sid: u64) -> usize {
-        (sid / self.opts.block_rows as u64) as usize
+        self.starts.partition_point(|&s| s <= sid).saturating_sub(1)
+    }
+
+    /// SID of the first row of each block (ascending; `starts[0] == 0`).
+    pub fn block_starts(&self) -> &[u64] {
+        &self.starts
     }
 
     /// Decode block `b` of column `c`, charging its stored bytes to `io`.
@@ -296,7 +335,7 @@ impl StableTable {
             index: b as u64,
             len: col.len() as u64,
         })?;
-        io.record_block(blk.stored_bytes());
+        io.record_block_at(b, blk.stored_bytes());
         blk.decode_with(self.column_dict(c))
     }
 
@@ -446,6 +485,133 @@ impl StableTable {
             }
         }
         Ok(lo)
+    }
+
+    /// Build a new table keeping blocks `[0, b0)` and `[b1, num_blocks)`
+    /// as-is (encoded payloads shared, nothing re-encoded) and replacing
+    /// blocks `[b0, b1)` with the rows of `merged` — the output of a
+    /// range-scoped checkpoint merge. `merged` holds one column per schema
+    /// column (equal lengths, sorted on the sort key, fitting between the
+    /// kept neighbours' key bounds) and may change the range's row count,
+    /// so kept suffix blocks shift to new SIDs and the result is
+    /// variable-stride (see [`StableTable::block_starts`]).
+    ///
+    /// String columns whose merged rows stay coded over this table's
+    /// global dictionary are re-encoded as [`Encoding::GlobalCode`];
+    /// materialized columns (the delta introduced strings outside the
+    /// dictionary) fall back to per-block encodings, which coexist with
+    /// coded blocks in the same column.
+    pub fn splice_blocks(&self, b0: usize, b1: usize, merged: &[ColumnVec]) -> Result<StableTable> {
+        let nblocks = self.num_blocks();
+        if b0 > b1 || b1 > nblocks {
+            return Err(ColumnarError::OutOfRange {
+                what: "splice block range",
+                index: b1 as u64,
+                len: nblocks as u64,
+            });
+        }
+        let ncols = self.num_columns();
+        if merged.len() != ncols {
+            return Err(ColumnarError::SchemaMismatch(format!(
+                "splice has {} columns, schema of {} has {ncols}",
+                merged.len(),
+                self.meta.name
+            )));
+        }
+        let n = merged.first().map(|c| c.len()).unwrap_or(0);
+        for (c, col) in merged.iter().enumerate() {
+            if col.len() != n || col.vtype() != self.meta.schema.fields()[c].vtype {
+                return Err(ColumnarError::SchemaMismatch(format!(
+                    "splice column {c} is {:?}×{} — expected {:?}×{n}",
+                    col.vtype(),
+                    col.len(),
+                    self.meta.schema.fields()[c].vtype
+                )));
+            }
+        }
+        let sk_cols = self.meta.sort_key.cols();
+        let sk_of =
+            |i: usize| -> Vec<Value> { sk_cols.iter().map(|&c| merged[c].get(i)).collect() };
+        for i in 1..n {
+            for (rank, &c) in sk_cols.iter().enumerate() {
+                match merged[c].cmp_cells(i - 1, &merged[c], i) {
+                    Ordering::Less => break,
+                    Ordering::Equal if rank + 1 < sk_cols.len() => continue,
+                    Ordering::Equal => break,
+                    Ordering::Greater => {
+                        return Err(ColumnarError::UnsortedInput { row: i as u64 })
+                    }
+                }
+            }
+        }
+        if n > 0 {
+            if b0 > 0 && cmp_prefix(&self.block_max_sk[b0 - 1], &sk_of(0)) == Ordering::Greater {
+                return Err(ColumnarError::UnsortedInput { row: 0 });
+            }
+            if b1 < nblocks
+                && cmp_prefix(&sk_of(n - 1), &self.sparse.first_keys()[b1]) == Ordering::Greater
+            {
+                return Err(ColumnarError::UnsortedInput { row: n as u64 });
+            }
+        }
+        // chunk the merged rows into fresh blocks
+        let mut mids: Vec<Vec<Block>> = vec![Vec::new(); ncols];
+        let mut mid_mins: Vec<SkKey> = Vec::new();
+        let mut mid_maxs: Vec<SkKey> = Vec::new();
+        let mut i0 = 0usize;
+        while i0 < n {
+            let i1 = (i0 + self.opts.block_rows).min(n);
+            mid_mins.push(sk_of(i0));
+            mid_maxs.push(sk_of(i1 - 1));
+            for (c, col) in merged.iter().enumerate() {
+                let mut chunk = col.slice_range(i0, i1);
+                let same_dict = match (chunk.dict(), self.dicts[c].as_ref()) {
+                    (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+                    _ => false,
+                };
+                let blk = if same_dict {
+                    Block::encode_coded(&chunk)
+                } else {
+                    chunk.materialize_in_place();
+                    Block::encode(&chunk, self.opts.compressed)
+                };
+                mids[c].push(blk);
+            }
+            i0 = i1;
+        }
+        // assemble: kept prefix + fresh middle + kept (shifted) suffix
+        let span_rows = if b1 > b0 {
+            self.block_range(b1 - 1).1 - self.block_range(b0).0
+        } else {
+            0
+        };
+        let row_count = self.row_count - span_rows + n as u64;
+        let cols: Vec<Vec<Block>> = (0..ncols)
+            .map(|c| {
+                let old = &self.cols[c];
+                let mut v = Vec::with_capacity(old.len() - (b1 - b0) + mids[c].len());
+                v.extend_from_slice(&old[..b0]);
+                v.append(&mut std::mem::take(&mut mids[c]));
+                v.extend_from_slice(&old[b1..]);
+                v
+            })
+            .collect();
+        let firsts = self.sparse.first_keys();
+        let mut mins: Vec<SkKey> = firsts[..b0].to_vec();
+        mins.append(&mut mid_mins);
+        mins.extend_from_slice(&firsts[b1..]);
+        let mut maxs: Vec<SkKey> = self.block_max_sk[..b0].to_vec();
+        maxs.append(&mut mid_maxs);
+        maxs.extend_from_slice(&self.block_max_sk[b1..]);
+        StableTable::from_parts(
+            self.meta.clone(),
+            self.opts,
+            row_count,
+            cols,
+            mins,
+            maxs,
+            self.dicts.clone(),
+        )
     }
 }
 
@@ -670,12 +836,14 @@ impl TableBuilder {
             }
             *slot = Some(dict);
         }
+        let starts = self.sparse_sids.clone();
         let sparse = SparseIndex::new(self.sparse_keys, self.sparse_sids, self.row_count);
         Ok(StableTable {
             meta: self.meta,
             opts: self.opts,
             row_count: self.row_count,
             cols: self.blocks.into_iter().map(Arc::new).collect(),
+            starts,
             sparse,
             block_max_sk: self.block_max_keys,
             dicts,
@@ -843,6 +1011,109 @@ mod tests {
         .unwrap();
         let r = t.sid_range(Some(&[Value::from("Paris")]), Some(&[Value::from("Paris")]));
         assert!(r.start <= 3 && r.end >= 4);
+    }
+
+    fn keyed_table(n: i64, block_rows: usize) -> StableTable {
+        let rows: Vec<Tuple> = (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Str(format!("tag{}", i % 3))])
+            .collect();
+        StableTable::bulk_load(
+            TableMeta::new(
+                "t",
+                Schema::from_pairs(&[("k", ValueType::Int), ("s", ValueType::Str)]),
+                vec![0],
+            ),
+            TableOptions {
+                block_rows,
+                compressed: true,
+            },
+            &rows,
+        )
+        .unwrap()
+    }
+
+    fn cols_of(rows: &[Tuple], t: &StableTable) -> Vec<ColumnVec> {
+        let mut out = vec![
+            ColumnVec::new(ValueType::Int),
+            match t.column_dict(1) {
+                Some(d) => ColumnVec::new_coded(d.clone()),
+                None => ColumnVec::new(ValueType::Str),
+            },
+        ];
+        for r in rows {
+            out[0].push(&r[0]);
+            out[1].push(&r[1]);
+        }
+        out
+    }
+
+    #[test]
+    fn splice_replaces_range_and_keeps_neighbour_blocks() {
+        let t = keyed_table(40, 4); // 10 blocks, keys 0..390
+        let io = IoTracker::new();
+        let all = t.scan_all(&io).unwrap();
+        // rewrite blocks [2, 5) (rows 8..20, keys 80..190): drop two rows,
+        // add three, one with a brand-new string
+        let mut mid: Vec<Tuple> = all[8..20].to_vec();
+        mid.retain(|r| r[0] != Value::Int(100) && r[0] != Value::Int(150));
+        mid.push(vec![Value::Int(85), Value::Str("fresh".into())]);
+        mid.push(vec![Value::Int(86), Value::Str("tag0".into())]);
+        mid.push(vec![Value::Int(185), Value::Str("tag1".into())]);
+        mid.sort_by(|a, b| a[0].cmp(&b[0]));
+        let spliced = t.splice_blocks(2, 5, &cols_of(&mid, &t)).unwrap();
+        let mut want = all[..8].to_vec();
+        want.extend(mid.clone());
+        want.extend_from_slice(&all[20..]);
+        assert_eq!(spliced.scan_all(&io).unwrap(), want);
+        assert_eq!(spliced.row_count(), 41);
+        // untouched blocks share their encoded payloads with the original
+        assert_eq!(
+            spliced.column_blocks(0)[0].payload.as_ptr(),
+            t.column_blocks(0)[0].payload.as_ptr(),
+            "prefix block payloads are shared, not copied"
+        );
+        let last = t.num_blocks() - 1;
+        let last_new = spliced.num_blocks() - 1;
+        assert_eq!(
+            spliced.column_blocks(0)[last_new].payload.as_ptr(),
+            t.column_blocks(0)[last].payload.as_ptr(),
+            "suffix block payloads are shared, not copied"
+        );
+        // block addressing works across the variable-stride middle
+        for sid in 0..spliced.row_count() {
+            let b = spliced.block_of(sid);
+            let (lo, hi) = spliced.block_range(b);
+            assert!(lo <= sid && sid < hi, "sid {sid} in block {b} [{lo},{hi})");
+        }
+        // ranged lookup still exact after the splice
+        let (lo_b, hi_b) =
+            spliced.block_range_for(Some(&[Value::Int(85)]), Some(&[Value::Int(86)]));
+        assert!(hi_b - lo_b <= 2, "zone map stays tight: [{lo_b},{hi_b})");
+    }
+
+    #[test]
+    fn splice_edges_and_errors() {
+        let t = keyed_table(16, 4);
+        let io = IoTracker::new();
+        let all = t.scan_all(&io).unwrap();
+        // empty replacement deletes the whole range
+        let empty = cols_of(&[], &t);
+        let gone = t.splice_blocks(0, 2, &empty).unwrap();
+        assert_eq!(gone.scan_all(&io).unwrap(), all[8..].to_vec());
+        // whole-table splice
+        let full = t.splice_blocks(0, 4, &cols_of(&all, &t)).unwrap();
+        assert_eq!(full.scan_all(&io).unwrap(), all);
+        // out-of-range and out-of-order splices are rejected
+        assert!(t.splice_blocks(3, 5, &empty).is_err());
+        assert!(t.splice_blocks(2, 1, &empty).is_err());
+        // replacement overlapping the kept suffix keys is rejected
+        let bad = cols_of(&[vec![Value::Int(90), Value::Str("x".into())]], &t);
+        assert!(t.splice_blocks(0, 1, &bad).is_err(), "key 90 > block 1 min");
+        // splicing a spliced table again keeps working (chained compaction)
+        let again = gone
+            .splice_blocks(0, 1, &cols_of(&all[8..12], &gone))
+            .unwrap();
+        assert_eq!(again.scan_all(&io).unwrap(), all[8..].to_vec());
     }
 
     #[test]

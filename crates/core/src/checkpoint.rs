@@ -97,6 +97,80 @@ pub fn checkpoint_table(
     builder.finish()
 }
 
+/// Range-scoped checkpoint merge: fold the PDT's updates addressing
+/// stable blocks `[b0, b1)` into fresh merged columns, leaving every
+/// other block untouched. Returns one [`ColumnVec`] per schema column
+/// holding the range's merged rows — the input
+/// [`StableTable::splice_blocks`] re-blocks (sub-partition compaction
+/// never rewrites the cold remainder of the image). When `b1` is the
+/// last block the append gap at `row_count` is drained too, so trailing
+/// inserts fold; updates outside the range stay in the PDT (the caller
+/// rebases them — see the txn crate's `rebase_pdt_outside_range`).
+///
+/// Dictionary-coded string blocks stay on the `u32` path block to block
+/// and across the accumulating concatenation (same-dictionary fast path
+/// of [`ColumnVec::extend_range`]); inserts carrying strings outside
+/// the dictionary materialize the merged column, which
+/// `splice_blocks` re-encodes per block.
+pub fn checkpoint_range(
+    stable: &StableTable,
+    pdt: &Pdt,
+    b0: usize,
+    b1: usize,
+    io: &IoTracker,
+) -> Result<Vec<ColumnVec>, ColumnarError> {
+    assert!(
+        b0 < b1 && b1 <= stable.num_blocks(),
+        "checkpoint_range over empty or out-of-bounds block range [{b0}, {b1})"
+    );
+    let ncols = stable.num_columns();
+    let proj: Vec<usize> = (0..ncols).collect();
+    let s0 = stable.block_range(b0).0;
+    let mut merger = PdtMerger::new(pdt, s0);
+    let mut acc: Option<Vec<ColumnVec>> = None;
+    for b in b0..b1 {
+        let (start, end) = stable.block_range(b);
+        let cols: Vec<ColumnVec> = (0..ncols)
+            .map(|c| stable.read_block(c, b, io))
+            .collect::<Result<_, _>>()?;
+        let mut out: Vec<ColumnVec> = cols
+            .iter()
+            .enumerate()
+            .map(|(c, col)| match col.dict() {
+                Some(d) => ColumnVec::new_coded(d.clone()),
+                None => ColumnVec::new(stable.schema().vtype(c)),
+            })
+            .collect();
+        merger.merge_block(start, (end - start) as usize, &proj, &cols, &mut out);
+        match &mut acc {
+            None => acc = Some(out),
+            Some(a) => {
+                for (c, o) in out.iter().enumerate() {
+                    a[c].extend_range(o, 0, o.len());
+                }
+            }
+        }
+    }
+    let mut acc = acc.expect("asserted non-empty block range");
+    if b1 == stable.num_blocks() {
+        let mut tail: Vec<ColumnVec> = stable
+            .schema()
+            .fields()
+            .iter()
+            .map(|f| ColumnVec::new(f.vtype))
+            .collect();
+        merger.drain_inserts_at(stable.row_count(), &proj, &mut tail);
+        // skip when empty: extending a coded column from an (empty)
+        // materialized one would needlessly decay it to strings
+        if tail.first().is_some_and(|t| !t.is_empty()) {
+            for (c, t) in tail.iter().enumerate() {
+                acc[c].extend_range(t, 0, t.len());
+            }
+        }
+    }
+    Ok(acc)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,6 +225,47 @@ mod tests {
         // sparse index rebuilt: lookup works against the new image
         let r = t1.sid_range(Some(&[Value::Int(495)]), Some(&[Value::Int(495)]));
         assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn checkpoint_range_matches_full_merge_on_the_window() {
+        let base = rows(100);
+        let meta = TableMeta::new("t", schema(), vec![0]);
+        let t0 = StableTable::bulk_load(
+            meta,
+            TableOptions {
+                block_rows: 16,
+                compressed: true,
+            },
+            &base,
+        )
+        .unwrap();
+        let mut p = Pdt::new(schema(), vec![0]);
+        // updates inside blocks 2..4 (sids 32..64) and outside them
+        p.add_delete(40, &[Value::Int(40)]);
+        p.add_insert(50, 49, &[Value::Int(245), Value::Int(1)]); // 49.5 → key 245/5=49
+        p.add_modify(35, 1, &Value::Int(-1));
+        p.add_delete(5, &[Value::Int(5)]); // prefix: untouched by the range
+        p.add_insert(100, 99, &[Value::Int(495), Value::Int(0)]); // tail gap
+        let io = IoTracker::new();
+        let got = checkpoint_range(&t0, &p, 2, 4, &io).unwrap();
+        // expectation: the full spec merge restricted to what came from
+        // stable rows 32..64 (prefix loses a row, so merged rids shift)
+        let full = merge_rows(&base, &p);
+        let want: Vec<Tuple> = full
+            .iter()
+            .filter(|r| (32..64).contains(&r[0].as_int()) || r[0].as_int() == 245)
+            .cloned()
+            .collect();
+        let got_rows: Vec<Tuple> = (0..got[0].len())
+            .map(|i| got.iter().map(|c| c.get(i)).collect())
+            .collect();
+        assert_eq!(got_rows, want);
+        // last-block range drains the append gap
+        let nb = t0.num_blocks();
+        let got = checkpoint_range(&t0, &p, nb - 1, nb, &io).unwrap();
+        let last = got[0].len() - 1;
+        assert_eq!(got[0].get(last), Value::Int(495), "trailing insert folds");
     }
 
     #[test]

@@ -31,7 +31,7 @@
 
 use crate::batch::DmlBatch;
 use crate::DbError;
-use columnar::{ColumnarError, IoTracker, StableTable, Tuple, Value};
+use columnar::{ColumnVec, ColumnarError, IoTracker, StableTable, Tuple, Value};
 use exec::DeltaLayers;
 use parking_lot::RwLock;
 use pdt::Pdt;
@@ -91,6 +91,166 @@ impl CheckpointPin {
             .downcast_ref::<T>()
             .expect("checkpoint pin handed back to a foreign store")
     }
+}
+
+/// The target of a **range-scoped** checkpoint (sub-partition
+/// compaction): stable blocks `[b0, b1)` of one partition, with the
+/// positional window and key bounds the three stores classify their
+/// delta against. Built by the engine from the stable image captured at
+/// pin time.
+#[derive(Debug, Clone)]
+pub struct CompactRange {
+    /// First stable block of the merge unit.
+    pub b0: usize,
+    /// One past the last stable block of the merge unit.
+    pub b1: usize,
+    /// First stable SID of the window (`block_range(b0).0`).
+    pub s0: u64,
+    /// One past the last stable SID (`block_range(b1 - 1).1`).
+    pub s1: u64,
+    /// `row_count()` of the captured stable — `s1 == row_count` means
+    /// the window ends at the last block, so trailing inserts fold too.
+    pub row_count: u64,
+    /// Exclusive lower key bound for value-addressed stores: the max
+    /// sort key of block `b0 - 1`. `None` at the partition's first
+    /// block (unbounded below).
+    pub lo: Option<Vec<Value>>,
+    /// Inclusive upper key bound: the max sort key of block `b1 - 1`.
+    /// `None` when the window ends at the last block (unbounded above —
+    /// appends beyond the image fold here).
+    pub hi: Option<Vec<Value>>,
+}
+
+impl CompactRange {
+    /// Does the window end at the partition's last block, folding the
+    /// append gap at `row_count` as well?
+    pub fn folds_tail(&self) -> bool {
+        self.s1 == self.row_count
+    }
+
+    /// Key-window test for value-addressed stores: sort keys strictly
+    /// above `lo` and at most `hi` merge into the window's blocks;
+    /// everything else stays in the residual delta. Prefix comparison —
+    /// bounds may be key prefixes of the full sort key.
+    pub fn key_in_window(&self, key: &[Value]) -> bool {
+        let above = self.lo.as_deref().is_none_or(|lo| {
+            key.iter().cmp(lo.iter().take(key.len())) == std::cmp::Ordering::Greater
+        });
+        let below = self.hi.as_deref().is_none_or(|hi| {
+            key.iter().cmp(hi.iter().take(key.len())) != std::cmp::Ordering::Greater
+        });
+        above && below
+    }
+}
+
+/// Result of [`DeltaStore::checkpoint_merge_range`]: the window's merged
+/// rows in columnar form (input to [`StableTable::splice_blocks`]), the
+/// residual delta flattened for the WAL range marker, and store-private
+/// install state carried to [`DeltaStore::checkpoint_install_range`].
+pub struct RangeMerge {
+    /// One merged column per schema column, covering exactly the
+    /// window's post-merge rows.
+    pub cols: Vec<ColumnVec>,
+    /// The out-of-window delta as loggable entries — what the WAL range
+    /// marker carries so recovery can rebuild the residual over the
+    /// spliced image.
+    pub residual_entries: Vec<WalEntry>,
+    state: Box<dyn Any + Send>,
+}
+
+impl RangeMerge {
+    /// Package a range merge with store-private install `state`.
+    pub fn new(
+        cols: Vec<ColumnVec>,
+        residual_entries: Vec<WalEntry>,
+        state: impl Any + Send,
+    ) -> Self {
+        RangeMerge {
+            cols,
+            residual_entries,
+            state: Box::new(state),
+        }
+    }
+
+    pub(crate) fn into_state<T: Any>(self) -> T {
+        *self
+            .state
+            .downcast::<T>()
+            .unwrap_or_else(|_| panic!("range merge handed back to a foreign store"))
+    }
+}
+
+/// Materialize the rows of stable blocks `[b0, b1)` (the merge input of
+/// the value-addressed stores' range checkpoints).
+pub(crate) fn range_rows(
+    stable: &StableTable,
+    b0: usize,
+    b1: usize,
+    io: &IoTracker,
+) -> Result<Vec<Tuple>, ColumnarError> {
+    let ncols = stable.num_columns();
+    let mut rows = Vec::new();
+    for b in b0..b1 {
+        let cols: Vec<ColumnVec> = (0..ncols)
+            .map(|c| stable.read_block(c, b, io))
+            .collect::<Result<_, _>>()?;
+        let n = cols.first().map_or(0, ColumnVec::len);
+        rows.reserve(n);
+        for i in 0..n {
+            rows.push(cols.iter().map(|c| c.get(i)).collect());
+        }
+    }
+    Ok(rows)
+}
+
+/// Row-major → column-major for a range merge's output.
+pub(crate) fn columnarize(schema: &columnar::Schema, rows: &[Tuple]) -> Vec<ColumnVec> {
+    let mut cols: Vec<ColumnVec> = schema
+        .fields()
+        .iter()
+        .map(|f| ColumnVec::with_capacity(f.vtype, rows.len()))
+        .collect();
+    for row in rows {
+        for (c, v) in row.iter().enumerate() {
+            cols[c].push(v);
+        }
+    }
+    cols
+}
+
+/// Flatten a value-addressed residual (delete keys + insert tuples, each
+/// key-sorted) into loggable entries: deletes first, then inserts, so
+/// replaying through [`apply_key_entries`] reconstructs the structure
+/// exactly (an insert over its own delete key re-hides the stable row).
+pub(crate) fn key_residual_entries(dels: Vec<Vec<Value>>, inss: Vec<Tuple>) -> Vec<WalEntry> {
+    let mut entries = Vec::new();
+    match dels.len() {
+        0 => {}
+        1 => entries.push(WalEntry {
+            sid: 0,
+            kind: pdt::DEL,
+            values: dels.into_iter().next().unwrap(),
+        }),
+        _ => entries.push(WalEntry {
+            sid: 0,
+            kind: pdt::DEL_BATCH,
+            values: dels.into_iter().flatten().collect(),
+        }),
+    }
+    match inss.len() {
+        0 => {}
+        1 => entries.push(WalEntry {
+            sid: 0,
+            kind: pdt::INS,
+            values: inss.into_iter().next().unwrap(),
+        }),
+        _ => entries.push(WalEntry {
+            sid: 0,
+            kind: pdt::INS_BATCH,
+            values: inss.into_iter().flatten().collect(),
+        }),
+    }
+    entries
 }
 
 /// A value-addressed structure that key-addressed WAL entries apply to.
@@ -345,6 +505,26 @@ pub trait DeltaStore: Send + Sync {
     /// the table must be left exactly as if the checkpoint never started,
     /// ready for the next attempt. Default: stateless pins need nothing.
     fn checkpoint_abort(&self, _pin: CheckpointPin) {}
+    /// Range-scoped checkpoint phase 2 (off every lock, like
+    /// [`DeltaStore::checkpoint_merge`]): fold exactly the part of the
+    /// pinned delta addressing `range` into merged columns — the input to
+    /// [`StableTable::splice_blocks`] — and flatten the out-of-range
+    /// remainder into residual WAL entries (for the range marker) plus
+    /// store-private install state. The same pin/abort protocol applies:
+    /// on `Err` the caller must `checkpoint_abort` the pin.
+    fn checkpoint_merge_range(
+        &self,
+        pin: &CheckpointPin,
+        stable: &StableTable,
+        range: &CompactRange,
+        io: &IoTracker,
+    ) -> Result<RangeMerge, DbError>;
+    /// Range-scoped checkpoint phase 3 (under the commit guard, atomic
+    /// with the spliced-image swap): replace the pinned delta with the
+    /// merge's out-of-range residual, positions rebased onto the spliced
+    /// image. Commits with sequence > `pin.seq` survive on top, exactly
+    /// as in [`DeltaStore::checkpoint_install`].
+    fn checkpoint_install_range(&self, pin: CheckpointPin, merge: RangeMerge);
 }
 
 // --- Positional store ---------------------------------------------------
@@ -612,6 +792,32 @@ impl DeltaStore for PdtStore {
     fn checkpoint_install(&self, pin: CheckpointPin) {
         self.mgr
             .install_checkpoint(&self.table, pin.state::<Arc<Pdt>>());
+    }
+
+    fn checkpoint_merge_range(
+        &self,
+        pin: &CheckpointPin,
+        stable: &StableTable,
+        range: &CompactRange,
+        io: &IoTracker,
+    ) -> Result<RangeMerge, DbError> {
+        let read = pin.state::<Arc<Pdt>>();
+        let cols = pdt::checkpoint::checkpoint_range(stable, read, range.b0, range.b1, io)
+            .map_err(DbError::Storage)?;
+        // rebase the out-of-window remainder of the pinned Read-PDT onto
+        // the post-splice SID space; the master Write-PDT (commits during
+        // the merge) stays valid unchanged because stable′ ∘ residual is
+        // the same visible image it was built against
+        let (residual, _net) =
+            wal::rebase_pdt_outside_range(read, range.s0, range.s1, range.folds_tail());
+        let rebased = wal::rebuild_pdt(read.schema(), read.sk_cols(), &residual);
+        Ok(RangeMerge::new(cols, residual, rebased))
+    }
+
+    fn checkpoint_install_range(&self, pin: CheckpointPin, merge: RangeMerge) {
+        let rebased = merge.into_state::<Pdt>();
+        self.mgr
+            .install_partial_checkpoint(&self.table, pin.state::<Arc<Pdt>>(), rebased);
     }
 }
 
@@ -990,5 +1196,58 @@ impl DeltaStore for VdtStore {
 
     fn checkpoint_abort(&self, _pin: CheckpointPin) {
         self.state.write().residual.unpin();
+    }
+
+    fn checkpoint_merge_range(
+        &self,
+        pin: &CheckpointPin,
+        stable: &StableTable,
+        range: &CompactRange,
+        io: &IoTracker,
+    ) -> Result<RangeMerge, DbError> {
+        let pinned = pin.state::<Arc<Vdt>>();
+        let schema = pinned.schema().clone();
+        let sk_cols = pinned.sk_cols().to_vec();
+        // split the pinned tree by the range's key window — deletes before
+        // inserts per half, so a modify's delete+insert pair reconstructs
+        // exactly (the insert lands over its own delete marker)
+        let mut folded = Vdt::new(schema.clone(), sk_cols.clone());
+        let mut residual = Vdt::new(schema.clone(), sk_cols);
+        let mut res_dels: Vec<Vec<Value>> = Vec::new();
+        for key in pinned.deletes() {
+            if range.key_in_window(key) {
+                folded.delete(key);
+            } else {
+                residual.delete(key);
+                res_dels.push(key.clone());
+            }
+        }
+        let mut res_inss: Vec<Tuple> = Vec::new();
+        for (key, t) in pinned.inserts() {
+            if range.key_in_window(key) {
+                folded.insert(t.clone());
+            } else {
+                residual.insert(t.clone());
+                res_inss.push(t.clone());
+            }
+        }
+        let rows = range_rows(stable, range.b0, range.b1, io).map_err(DbError::Storage)?;
+        let merged = folded.merge_rows(&rows);
+        Ok(RangeMerge::new(
+            columnarize(&schema, &merged),
+            key_residual_entries(res_dels, res_inss),
+            residual,
+        ))
+    }
+
+    fn checkpoint_install_range(&self, pin: CheckpointPin, merge: RangeMerge) {
+        let mut residual = merge.into_state::<Vdt>();
+        let mut st = self.state.write();
+        // commits published during the merge (seq > pin) survive on top of
+        // the out-of-window residual
+        st.residual.rebuild_into(pin.seq, &mut residual);
+        st.committed = Arc::new(residual);
+        st.residual.unpin();
+        st.version += 1;
     }
 }

@@ -48,6 +48,12 @@ pub(crate) struct TxnPart {
     store: Arc<dyn DeltaStore>,
     snap: Arc<dyn DeltaSnapshot>,
     staged: Option<Box<dyn DeltaTxn>>,
+    /// The partition's compaction heat map: staged batches charge their
+    /// payload bytes to the stable blocks they overlap.
+    heat: Arc<crate::compaction::PartitionHeat>,
+    /// Partition-scoped I/O tracker (shared counters + heat sink) the
+    /// transaction's scans of this partition charge.
+    heat_io: columnar::IoTracker,
 }
 
 impl TxnPart {
@@ -90,6 +96,8 @@ impl TxnTable {
                     store: p.delta.clone(),
                     snap: p.delta.snapshot(),
                     staged: None,
+                    heat: p.heat.clone(),
+                    heat_io: p.heat_io.clone(),
                 })
                 .collect(),
             splits: entry.splits.clone(),
@@ -114,7 +122,7 @@ impl TxnTable {
         partition::build_segments(
             self.parts
                 .iter()
-                .map(|p| (&*p.stable, p.layers(), p.visible())),
+                .map(|p| (&*p.stable, p.layers(), p.visible(), Some(p.heat_io.clone()))),
         )
     }
 
@@ -175,6 +183,16 @@ impl<'db> DbTxn<'db> {
             .as_mut())
     }
 
+    /// Stage one partition-local batch, charging its payload bytes to the
+    /// partition's compaction heat map (advisory — a heat count from a
+    /// transaction that later aborts changes planner priorities, never
+    /// correctness; see [`crate::compaction`]).
+    fn stage_in(&mut self, table: &str, part: usize, batch: DmlBatch) -> Result<(), DbError> {
+        self.staged_mut(table, part)?.stage_batch(&batch);
+        record_delta_heat(&self.table(table)?.parts[part], &batch);
+        Ok(())
+    }
+
     /// Open a scan described by a [`ScanSpec`] under this transaction's
     /// view (including its own uncommitted updates) — the one scan entry
     /// point; the wrappers below forward here. Partitioned tables scan as
@@ -208,6 +226,7 @@ impl<'db> DbTxn<'db> {
                 stable: &p.stable,
                 layers: p.layers(),
                 rid_base: 0,
+                io: Some(p.heat_io.clone()),
             }],
             self.db.io().clone(),
             self.db.clock().clone(),
@@ -310,8 +329,7 @@ impl<'db> DbTxn<'db> {
                     .expect("batch retained for gathers")
                     .gather(idx)
             };
-            self.staged_mut(table, p)?
-                .stage_batch(&DmlBatch::Insert { rids, rows: sub });
+            self.stage_in(table, p, DmlBatch::Insert { rids, rows: sub })?;
         }
         Ok(n)
     }
@@ -499,7 +517,7 @@ impl<'db> DbTxn<'db> {
         };
         if nparts == 1 {
             let batch = make(rids, None);
-            self.staged_mut(table, 0)?.stage_batch(&batch);
+            self.stage_in(table, 0, batch)?;
             return Ok(());
         }
         let pieces = split_by_offsets(&offsets, &rids);
@@ -509,7 +527,7 @@ impl<'db> DbTxn<'db> {
             debug_assert_eq!(*range, 0..rids.len());
             let local: Vec<u64> = rids.iter().map(|&r| r - offsets[*p]).collect();
             let batch = make(local, None);
-            self.staged_mut(table, *p)?.stage_batch(&batch);
+            self.stage_in(table, *p, batch)?;
             return Ok(());
         }
         for (p, range) in pieces {
@@ -518,7 +536,7 @@ impl<'db> DbTxn<'db> {
                 .map(|&r| r - offsets[p])
                 .collect();
             let batch = make(local, Some(range));
-            self.staged_mut(table, p)?.stage_batch(&batch);
+            self.stage_in(table, p, batch)?;
         }
         Ok(())
     }
@@ -1032,6 +1050,34 @@ fn validate_tuple(table: &str, schema: &Schema, tuple: &[Value]) -> Result<(), D
         }
     }
     Ok(())
+}
+
+/// Charge a staged batch's payload bytes to the stable blocks its
+/// partition-local rid span overlaps. Rids address the *visible* image,
+/// which drifts from stable SIDs as deltas accumulate — close enough for
+/// a heat heuristic, and exact right after a checkpoint (when heat
+/// restarts cold). Trailing inserts clamp onto the last block.
+fn record_delta_heat(p: &TxnPart, batch: &DmlBatch) {
+    let (Some(&first), Some(&last)) = (match batch {
+        DmlBatch::Insert { rids, .. }
+        | DmlBatch::Delete { rids, .. }
+        | DmlBatch::UpdateCol { rids, .. } => (rids.first(), rids.last()),
+    }) else {
+        return;
+    };
+    let bytes = match batch {
+        DmlBatch::Insert { rows, .. } => rows.cols.iter().map(ColumnVec::heap_bytes).sum::<usize>(),
+        DmlBatch::Delete { pre, .. } => pre.cols.iter().map(ColumnVec::heap_bytes).sum::<usize>(),
+        DmlBatch::UpdateCol { values, .. } => values.heap_bytes(),
+    } as u64;
+    let n = p.stable.row_count();
+    if n == 0 || p.stable.num_blocks() == 0 {
+        p.heat.record_delta_span(0, 0, bytes);
+        return;
+    }
+    let b0 = p.stable.block_of(first.min(n - 1));
+    let b1 = p.stable.block_of(last.min(n - 1));
+    p.heat.record_delta_span(b0, b1, bytes);
 }
 
 /// Split ascending global `rids` into per-partition index ranges:

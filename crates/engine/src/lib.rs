@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod compaction;
 pub mod delta;
 pub mod dml;
 pub mod maintenance;
@@ -45,6 +46,9 @@ pub mod rowstore;
 pub mod testkit;
 
 pub use batch::DmlBatch;
+pub use compaction::{
+    BlockHeat, CompactionConfig, CompactionReport, CompactionStep, PartitionHeat,
+};
 pub use delta::{
     CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, PdtStore, UpdatePolicy, VdtStore,
     ALL_POLICIES,
@@ -202,6 +206,11 @@ pub struct TableOptions {
     /// default — keeps one partition and is behaviorally identical to the
     /// pre-partitioning engine).
     pub partitions: PartitionSpec,
+    /// Heat-driven incremental compaction: fold delta into *sub-partition*
+    /// block ranges chosen by the [`compaction`] planner, instead of (not
+    /// as well as — full checkpoints still run over budget) rewriting
+    /// whole partitions. Disabled by default.
+    pub compaction: CompactionConfig,
 }
 
 impl Default for TableOptions {
@@ -213,6 +222,7 @@ impl Default for TableOptions {
             flush_threshold_bytes: 1 << 20,
             checkpoint_threshold_bytes: 64 << 20,
             partitions: PartitionSpec::None,
+            compaction: CompactionConfig::default(),
         }
     }
 }
@@ -253,6 +263,13 @@ impl TableOptions {
     /// explicit ones).
     pub fn with_partitions(mut self, partitions: PartitionSpec) -> Self {
         self.partitions = partitions;
+        self
+    }
+
+    /// Configure heat-driven incremental compaction (see
+    /// [`CompactionConfig`]).
+    pub fn with_compaction(mut self, compaction: CompactionConfig) -> Self {
+        self.compaction = compaction;
         self
     }
 
@@ -386,11 +403,7 @@ impl Database {
                     Arc::new(RowStore::new(name.clone(), schema.clone(), sk.clone()))
                 }
             };
-            parts.push(PartitionEntry {
-                stable: Arc::new(stable),
-                delta,
-                maint: Arc::new(parking_lot::Mutex::new(())),
-            });
+            parts.push(PartitionEntry::new(Arc::new(stable), delta, &self.io));
         }
         self.tables.write().insert(
             name,
@@ -487,6 +500,12 @@ impl Database {
         Ok(self.partition_entry(table, p)?.1.delta_bytes())
     }
 
+    /// Stored bytes of one partition's stable image (compressed blocks as
+    /// held in memory) — the write cost of rewriting it wholesale.
+    pub fn stable_bytes_partition(&self, table: &str, p: usize) -> Result<u64, DbError> {
+        Ok(self.partition_entry(table, p)?.0.total_bytes())
+    }
+
     /// Replay the WAL at `path` into the tables' update structures (after
     /// `create_table` with the *same split points*). When this database
     /// has an image store, each partition whose covering checkpoint marker
@@ -505,8 +524,8 @@ impl Database {
                 let Some(entry) = tables.get_mut(name) else {
                     continue;
                 };
-                for (&p, &(_seq, image_seq)) in parts {
-                    let Some(image_seq) = image_seq else {
+                for (&p, marker) in parts {
+                    let Some(image_seq) = marker.image_seq else {
                         continue;
                     };
                     let Some(pe) = entry.parts.get_mut(p as usize) else {
@@ -518,8 +537,19 @@ impl Database {
                             ),
                         });
                     };
-                    if let Some(stable) = images.load(name, p, image_seq, &self.io)? {
+                    if let Some((stable, prov)) =
+                        images.load_with_provenance(name, p, image_seq, &self.io)?
+                    {
+                        pe.heat.reset(stable.num_blocks());
+                        *pe.provenance.lock() = Some(prov);
                         pe.stable = Arc::new(stable);
+                        // A range-scoped marker's image holds only the
+                        // folded window; the covered commits' remainder
+                        // rides in the marker itself, rebased onto this
+                        // stable — replay it before the surviving commits.
+                        if !marker.residual.is_empty() {
+                            pe.delta.replay(&marker.residual);
+                        }
                     }
                 }
             }
@@ -645,6 +675,7 @@ impl Database {
                             .map(|p| PartView {
                                 stable: p.stable.clone(),
                                 delta: with_deltas.then(|| p.delta.snapshot()),
+                                heat_io: p.heat_io.clone(),
                             })
                             .collect(),
                     },
@@ -810,16 +841,224 @@ impl Database {
                 return Err(e.into());
             }
             if let Some(fresh) = fresh {
-                self.tables
-                    .write()
+                let mut tables = self.tables.write();
+                let pe = &mut tables
                     .get_mut(table)
                     .expect("maintenance mutex pins the entry")
-                    .parts[p]
-                    .stable = Arc::new(fresh);
+                    .parts[p];
+                // fresh geometry: heat restarts cold, and — when the image
+                // store published — every block's bytes live in this image
+                pe.heat.reset(fresh.num_blocks());
+                *pe.provenance.lock() =
+                    image_seq.map(|seq| (0..fresh.num_blocks()).map(|j| (seq, j)).collect());
+                pe.stable = Arc::new(fresh);
             }
             delta.checkpoint_install(pin);
         }
         Ok(true)
+    }
+
+    /// Run the best-scoring planned compaction step of one partition, if
+    /// any — the scheduler's incremental-maintenance unit of work between
+    /// full checkpoints. Plans against the partition's current heat map
+    /// with the table's [`CompactionConfig`]; returns the executed step's
+    /// report, or `None` when compaction is disabled for the table,
+    /// nothing scores over the configured floors, or the partition has no
+    /// delta to pin.
+    pub fn compact_partition(
+        &self,
+        table: &str,
+        p: usize,
+    ) -> Result<Option<CompactionReport>, DbError> {
+        let cfg = self.with_entry(table, |e| e.opts.compaction)?;
+        if !cfg.enabled {
+            return Ok(None);
+        }
+        let maint = self.partition_entry(table, p)?.2;
+        let _maint = maint.lock();
+        // capture stable + heat under the maintenance lock: a concurrent
+        // checkpoint can no longer swap the geometry the plan indexes
+        let stable = self.partition_entry(table, p)?.0;
+        let heat = self.with_entry(table, |e| e.parts[p].heat.clone())?;
+        let steps = compaction::plan_steps(&heat.snapshot(), &stable, &cfg);
+        match steps.first() {
+            Some(step) => self.compact_range_locked(table, p, step.b0, step.b1),
+            None => Ok(None),
+        }
+    }
+
+    /// Incrementally compact stable blocks `[b0, b1)` of one partition:
+    /// fold exactly the delta overlapping that range into fresh blocks
+    /// spliced between the untouched neighbours, and rebase the rest of
+    /// the delta onto the new image. The three-phase protocol mirrors
+    /// [`Database::checkpoint_partition`] — pin under the commit guard,
+    /// merge + splice + image publish off-lock, then WAL range marker +
+    /// slice swap + residual install atomically under the guard — so
+    /// commits and read views proceed for the whole merge. With an image
+    /// store attached the published image *references* the kept blocks of
+    /// the previous generation instead of rewriting their bytes. Returns
+    /// `None` when the partition has no delta to pin.
+    pub fn compact_range(
+        &self,
+        table: &str,
+        p: usize,
+        b0: usize,
+        b1: usize,
+    ) -> Result<Option<CompactionReport>, DbError> {
+        let maint = self.partition_entry(table, p)?.2;
+        let _maint = maint.lock();
+        self.compact_range_locked(table, p, b0, b1)
+    }
+
+    fn compact_range_locked(
+        &self,
+        table: &str,
+        p: usize,
+        b0: usize,
+        b1: usize,
+    ) -> Result<Option<CompactionReport>, DbError> {
+        let (_, delta, _) = self.partition_entry(table, p)?;
+        // Phase 1 — pin: capture the delta to fold and the slice to fold
+        // it into, one consistent cut under the commit guard.
+        let (pin, stable) = {
+            let _commit = self.txn_mgr.commit_guard();
+            let seq = self.txn_mgr.seq();
+            match delta.checkpoint_pin(seq) {
+                Some(pin) => (pin, self.partition_entry(table, p)?.0),
+                None => return Ok(None),
+            }
+        };
+        let old_nb = stable.num_blocks();
+        if b0 >= b1 || b1 > old_nb {
+            delta.checkpoint_abort(pin);
+            return Err(DbError::Partition {
+                table: table.to_string(),
+                detail: format!("compaction range [{b0}, {b1}) out of bounds ({old_nb} blocks)"),
+            });
+        }
+        let range = delta::CompactRange {
+            b0,
+            b1,
+            s0: stable.block_range(b0).0,
+            s1: stable.block_range(b1 - 1).1,
+            row_count: stable.row_count(),
+            lo: (b0 > 0).then(|| stable.block_sk_bounds(b0 - 1).1.to_vec()),
+            hi: (b1 < old_nb).then(|| stable.block_sk_bounds(b1 - 1).1.to_vec()),
+        };
+        let heat = self.with_entry(table, |e| e.parts[p].heat.clone())?;
+        let delta_bytes_folded: u64 = heat
+            .snapshot()
+            .get(b0..b1)
+            .map_or(0, |s| s.iter().map(|h| h.delta_bytes).sum());
+        // Phase 2 — merge + splice, off every lock: commits and read views
+        // proceed. A failed merge aborts the pin, leaving the partition
+        // ready for the next attempt.
+        let mut merge = match delta.checkpoint_merge_range(&pin, &stable, &range, &self.io) {
+            Ok(m) => m,
+            Err(e) => {
+                delta.checkpoint_abort(pin);
+                return Err(e);
+            }
+        };
+        let residual_entries = std::mem::take(&mut merge.residual_entries);
+        let fresh = match stable.splice_blocks(b0, b1, &merge.cols) {
+            Ok(t) => t,
+            Err(e) => {
+                delta.checkpoint_abort(pin);
+                return Err(e.into());
+            }
+        };
+        let new_nb = fresh.num_blocks();
+        // fresh blocks replacing [b0, b1) — the splice may change the
+        // range's row count, never the kept prefix/suffix block counts
+        let merged_nb = new_nb - (old_nb - (b1 - b0));
+        let stable_bytes_total: u64 = (0..old_nb)
+            .map(|b| compaction::block_stored_bytes(&stable, b))
+            .sum();
+        let stable_bytes_written: u64 = (b0..b0 + merged_nb)
+            .map(|b| compaction::block_stored_bytes(&fresh, b))
+            .sum();
+        // Still phase 2 (off-lock): publish the spliced slice as an image
+        // whose kept blocks are *references* into the generations that
+        // actually wrote their bytes (provenance chains are collapsed, so
+        // every reference points at its origin image).
+        let mut image_seq = None;
+        let mut new_prov: Option<Vec<(u64, usize)>> = None;
+        if let Some(images) = &self.images {
+            let old_prov = self
+                .with_entry(table, |e| e.parts[p].provenance.lock().clone())?
+                .filter(|op| op.len() == old_nb);
+            let prov: Vec<Option<(u64, usize)>> = match &old_prov {
+                Some(op) => (0..new_nb)
+                    .map(|i| {
+                        if i < b0 {
+                            Some(op[i])
+                        } else if i < b0 + merged_nb {
+                            None
+                        } else {
+                            Some(op[b1 + (i - b0 - merged_nb)])
+                        }
+                    })
+                    .collect(),
+                // no known provenance (the slice was never published):
+                // write every block inline this once
+                None => vec![None; new_nb],
+            };
+            if let Err(e) = images.publish_with_reuse(table, p as u32, pin.seq, &fresh, &prov) {
+                delta.checkpoint_abort(pin);
+                return Err(e.into());
+            }
+            image_seq = Some(pin.seq);
+            if self
+                .crash_after_publish
+                .swap(false, std::sync::atomic::Ordering::SeqCst)
+            {
+                delta.checkpoint_abort(pin);
+                return Err(DbError::Io(std::io::Error::other(
+                    "simulated crash between image publish and compaction marker",
+                )));
+            }
+            new_prov = Some(
+                prov.iter()
+                    .enumerate()
+                    .map(|(i, e)| e.unwrap_or((pin.seq, i)))
+                    .collect(),
+            );
+        }
+        // Phase 3 — install: range marker (merged span + rebased residual),
+        // slice swap and delta replacement, atomic under the commit guard.
+        {
+            let _commit = self.txn_mgr.commit_guard();
+            if let Err(e) = self.txn_mgr.log_checkpoint_range(
+                table,
+                p as u32,
+                pin.seq,
+                image_seq,
+                range.s0,
+                range.s1,
+                &residual_entries,
+            ) {
+                delta.checkpoint_abort(pin);
+                return Err(e.into());
+            }
+            let mut tables = self.tables.write();
+            let pe = &mut tables
+                .get_mut(table)
+                .expect("maintenance mutex pins the entry")
+                .parts[p];
+            // spliced geometry: heat restarts cold at the new block count
+            pe.heat.reset(new_nb);
+            *pe.provenance.lock() = new_prov;
+            pe.stable = Arc::new(fresh);
+            delta.checkpoint_install_range(pin, merge);
+        }
+        Ok(Some(CompactionReport {
+            blocks_merged: (b1 - b0) as u64,
+            blocks_reused: (old_nb - (b1 - b0)) as u64,
+            delta_bytes_folded,
+            stable_bytes_written,
+            stable_bytes_total,
+        }))
     }
 }
 
@@ -971,6 +1210,9 @@ pub(crate) struct PartView {
     pub stable: Arc<StableTable>,
     /// Committed delta snapshot; `None` in a [`Database::clean_view`].
     pub delta: Option<Arc<dyn DeltaSnapshot>>,
+    /// Shared I/O counters scoped to the partition's heat map — scans of
+    /// this partition charge it so block touches feed compaction heat.
+    pub heat_io: IoTracker,
 }
 
 impl PartView {
@@ -1010,7 +1252,7 @@ impl TableView {
         partition::build_segments(
             self.parts
                 .iter()
-                .map(|p| (&*p.stable, p.layers(), p.visible())),
+                .map(|p| (&*p.stable, p.layers(), p.visible(), Some(p.heat_io.clone()))),
         )
     }
 }
@@ -1098,7 +1340,9 @@ impl ReadView {
             let proj = proj.clone();
             let bounds = spec.bounds.clone();
             let rid_range = spec.rid_range;
-            let io = self.io.clone();
+            // the partition-scoped tracker: shares the database counters
+            // and reports block touches to the partition's heat map
+            let io = p.heat_io.clone();
             let clock = self.clock.clone();
             parts.push(exec::UnionPart {
                 rid_base,
@@ -1907,5 +2151,178 @@ mod tests {
             Err(DbError::UnknownTable(_))
         ));
         t.abort();
+    }
+
+    fn int_db(policy: UpdatePolicy, n: i64) -> Database {
+        let db = Database::new();
+        let schema = Schema::from_pairs(&[("k", ValueType::Int), ("v", ValueType::Int)]);
+        let rows: Vec<Tuple> = (0..n)
+            .map(|i| vec![Value::Int(i * 10), Value::Int(i)])
+            .collect();
+        db.create_table(
+            TableMeta::new("t", schema, vec![0]),
+            TableOptions::default()
+                .with_policy(policy)
+                .with_block_rows(16),
+            rows,
+        )
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn compact_range_preserves_view_all_policies() {
+        use exec::expr::{col, lit};
+        for policy in ALL_POLICIES {
+            let db = int_db(policy, 128); // 8 blocks of 16
+            let mut t = db.begin();
+            // churn inside blocks 2..4 (keys 320..639)...
+            t.insert("t", vec![Value::Int(321), Value::Int(-1)])
+                .unwrap();
+            t.insert("t", vec![Value::Int(325), Value::Int(-2)])
+                .unwrap();
+            t.delete_where("t", col(0).eq(lit(400i64))).unwrap();
+            t.update_where("t", col(0).eq(lit(500i64)), vec![(1, lit(-9i64))])
+                .unwrap();
+            // ...and outside them: block 0, block 6, and a trailing append
+            t.insert("t", vec![Value::Int(5), Value::Int(-3)]).unwrap();
+            t.delete_where("t", col(0).eq(lit(1000i64))).unwrap();
+            t.insert("t", vec![Value::Int(99999), Value::Int(-4)])
+                .unwrap();
+            t.commit().unwrap();
+            let before = t_rows(&db);
+
+            let report = db.compact_range("t", 0, 2, 4).unwrap().unwrap();
+            assert_eq!(report.blocks_merged, 2, "{policy:?}");
+            assert_eq!(report.blocks_reused, 6, "{policy:?}");
+            assert!(
+                report.stable_bytes_written < report.stable_bytes_total,
+                "{policy:?}: incremental step rewrote {} of {} bytes",
+                report.stable_bytes_written,
+                report.stable_bytes_total
+            );
+            assert_eq!(t_rows(&db), before, "{policy:?}: view changed");
+
+            // the folded window is out of the delta; the rest is not — a
+            // clean scan shows the folded range but not the residual
+            let clean = {
+                let view = db.clean_view();
+                let mut scan = view.scan("t", vec![0, 1]).unwrap();
+                run_to_rows(&mut scan)
+            };
+            assert!(
+                clean.iter().any(|r| r[0] == Value::Int(321)),
+                "{policy:?}: in-range insert not folded"
+            );
+            assert!(
+                clean.iter().all(|r| r[0] != Value::Int(400)),
+                "{policy:?}: in-range delete not folded"
+            );
+            assert!(
+                clean.iter().all(|r| r[0] != Value::Int(5)),
+                "{policy:?}: out-of-range insert leaked into stable"
+            );
+            assert!(
+                clean.iter().any(|r| r[0] == Value::Int(1000)),
+                "{policy:?}: out-of-range delete leaked into stable"
+            );
+
+            // a trailing-range compaction folds the append gap too
+            let nb = db.stable_partition("t", 0).unwrap().num_blocks();
+            db.compact_range("t", 0, nb - 1, nb).unwrap().unwrap();
+            assert_eq!(t_rows(&db), before, "{policy:?}: tail fold changed view");
+
+            // and a subsequent whole-partition checkpoint still agrees
+            db.checkpoint("t").unwrap();
+            assert_eq!(
+                t_rows(&db),
+                before,
+                "{policy:?}: checkpoint after compaction"
+            );
+        }
+    }
+
+    #[test]
+    fn compact_partition_follows_heat() {
+        use exec::expr::{col, lit};
+        for policy in ALL_POLICIES {
+            let db = int_db(policy, 128);
+            {
+                let mut tables = db.tables.write();
+                tables.get_mut("t").unwrap().opts.compaction = CompactionConfig {
+                    enabled: true,
+                    max_unit_blocks: 2,
+                    min_delta_bytes: 1,
+                    min_score_permille: 0,
+                };
+            }
+            // nothing staged: nothing to pin, nothing planned
+            assert!(
+                db.compact_partition("t", 0).unwrap().is_none(),
+                "{policy:?}"
+            );
+            let mut t = db.begin();
+            t.update_where("t", col(0).eq(lit(480i64)), vec![(1, lit(-1i64))])
+                .unwrap();
+            t.commit().unwrap();
+            let before = t_rows(&db);
+            let report = db.compact_partition("t", 0).unwrap().unwrap();
+            assert!(report.blocks_merged <= 2, "{policy:?}: unit bound");
+            assert!(report.blocks_reused >= 6, "{policy:?}");
+            assert_eq!(t_rows(&db), before, "{policy:?}");
+            // heat reset with the swap: the planner has nothing left
+            assert!(
+                db.compact_partition("t", 0).unwrap().is_none(),
+                "{policy:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn compaction_commits_during_merge_survive() {
+        // a commit landing inside the off-lock merge window must stay
+        // visible after install (it rides the residual path, seq > pin)
+        for policy in ALL_POLICIES {
+            let db = int_db(policy, 128);
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(321), Value::Int(-1)])
+                .unwrap();
+            t.commit().unwrap();
+            let (_, delta, _) = db.partition_entry("t", 0).unwrap();
+            let stable = db.stable_partition("t", 0).unwrap();
+            let pin = delta.checkpoint_pin(db.txn_mgr.seq()).unwrap();
+            let range = delta::CompactRange {
+                b0: 2,
+                b1: 4,
+                s0: stable.block_range(2).0,
+                s1: stable.block_range(3).1,
+                row_count: stable.row_count(),
+                lo: Some(stable.block_sk_bounds(1).1.to_vec()),
+                hi: Some(stable.block_sk_bounds(3).1.to_vec()),
+            };
+            let merge = delta
+                .checkpoint_merge_range(&pin, &stable, &range, db.io())
+                .unwrap();
+            // commit lands mid-merge, inside and outside the window
+            let mut t = db.begin();
+            t.insert("t", vec![Value::Int(323), Value::Int(-2)])
+                .unwrap();
+            t.insert("t", vec![Value::Int(7), Value::Int(-3)]).unwrap();
+            t.commit().unwrap();
+            let fresh = stable.splice_blocks(2, 4, &merge.cols).unwrap();
+            {
+                let _commit = db.txn_mgr.commit_guard();
+                let mut tables = db.tables.write();
+                let pe = &mut tables.get_mut("t").unwrap().parts[0];
+                pe.heat.reset(fresh.num_blocks());
+                pe.stable = Arc::new(fresh);
+                delta.checkpoint_install_range(pin, merge);
+            }
+            let keys: Vec<i64> = t_rows(&db).iter().map(|r| r[0].as_int()).collect();
+            assert!(keys.contains(&321), "{policy:?}: pinned insert lost");
+            assert!(keys.contains(&323), "{policy:?}: mid-merge insert lost");
+            assert!(keys.contains(&7), "{policy:?}: mid-merge insert lost");
+            assert!(keys.windows(2).all(|w| w[0] < w[1]), "{policy:?}: order");
+        }
     }
 }

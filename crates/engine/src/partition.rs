@@ -31,9 +31,10 @@
 //! [`PartitionSpec::None`] keeps the single-partition layout and is
 //! behaviorally identical to the pre-partitioning engine.
 
+use crate::compaction::PartitionHeat;
 use crate::delta::DeltaStore;
 use crate::{DbError, TableOptions};
-use columnar::{StableTable, Tuple, Value};
+use columnar::{BlockProvenance, IoTracker, StableTable, Tuple, Value};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -63,6 +64,38 @@ pub(crate) struct PartitionEntry {
     pub stable: Arc<StableTable>,
     pub delta: Arc<dyn DeltaStore>,
     pub maint: Arc<Mutex<()>>,
+    /// Per-block delta/scan heat of the current stable slice (reset on
+    /// every stable swap) — the compaction planner's input.
+    pub heat: Arc<PartitionHeat>,
+    /// The database's shared I/O counters, scoped to report block reads
+    /// to `heat`. Built once here so every scan path (view, transaction,
+    /// parallel union) charges the same tracker.
+    pub heat_io: IoTracker,
+    /// Provenance of the current stable slice's blocks in the image
+    /// store: `(manifest seq, block index)` of the image each block's
+    /// bytes were *written* in. `None` when no image covers the slice
+    /// (no store attached, or never checkpointed). Incremental
+    /// compaction passes this to
+    /// [`columnar::ImageStore::publish_with_reuse`] so untouched blocks
+    /// become references instead of rewrites.
+    pub provenance: Arc<Mutex<Option<BlockProvenance>>>,
+}
+
+impl PartitionEntry {
+    /// A fresh entry around `stable`/`delta`, with cold heat and no image
+    /// provenance.
+    pub fn new(stable: Arc<StableTable>, delta: Arc<dyn DeltaStore>, io: &IoTracker) -> Self {
+        let heat = PartitionHeat::new(stable.num_blocks());
+        let heat_io = io.scoped(heat.clone());
+        PartitionEntry {
+            stable,
+            delta,
+            maint: Arc::new(Mutex::new(())),
+            heat,
+            heat_io,
+            provenance: Arc::new(Mutex::new(None)),
+        }
+    }
 }
 
 /// A table as the database holds it: the ordered partitions plus the
@@ -87,15 +120,23 @@ pub(crate) fn route(splits: &[Vec<Value>], key: &[Value]) -> usize {
 /// transaction scan paths feed their `(stable, layers, visible)` triples
 /// through here, so they can never disagree on global RIDs.
 pub(crate) fn build_segments<'a>(
-    parts: impl Iterator<Item = (&'a columnar::StableTable, exec::DeltaLayers<'a>, u64)>,
+    parts: impl Iterator<
+        Item = (
+            &'a columnar::StableTable,
+            exec::DeltaLayers<'a>,
+            u64,
+            Option<columnar::IoTracker>,
+        ),
+    >,
 ) -> Vec<exec::ScanSegment<'a>> {
     let mut base = 0u64;
     parts
-        .map(|(stable, layers, visible)| {
+        .map(|(stable, layers, visible, io)| {
             let seg = exec::ScanSegment {
                 stable,
                 layers,
                 rid_base: base,
+                io,
             };
             base += visible;
             seg

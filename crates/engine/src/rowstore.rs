@@ -18,12 +18,15 @@
 //! buffer); like the VDT store, a transaction spanning a checkpoint
 //! validates against the post-checkpoint state only.
 
-use crate::delta::{CheckpointPin, DeltaSnapshot, DeltaStore, DeltaTxn, ResidualLog, UpdatePolicy};
+use crate::delta::{
+    columnarize, key_residual_entries, range_rows, CheckpointPin, CompactRange, DeltaSnapshot,
+    DeltaStore, DeltaTxn, RangeMerge, ResidualLog, UpdatePolicy,
+};
 use crate::DbError;
 use columnar::{IoTracker, SkKey, StableTable, Tuple, Value};
 use exec::DeltaLayers;
 use parking_lot::RwLock;
-use rowstore::{ConflictSet, RowBuffer, RowOp, RowRun};
+use rowstore::{ConflictSet, RowBuffer, RowOp, RowRun, Slot};
 use std::any::Any;
 use std::sync::Arc;
 use txn::wal::WalEntry;
@@ -449,5 +452,69 @@ impl DeltaStore for RowStore {
 
     fn checkpoint_abort(&self, _pin: CheckpointPin) {
         self.state.write().residual.unpin();
+    }
+
+    fn checkpoint_merge_range(
+        &self,
+        pin: &CheckpointPin,
+        stable: &StableTable,
+        range: &CompactRange,
+        io: &IoTracker,
+    ) -> Result<RangeMerge, DbError> {
+        let pinned = pin.state::<RowPin>();
+        let schema = pinned.buf.schema().clone();
+        let sk_cols = pinned.buf.sk_cols().to_vec();
+        // split the pinned buffer's sorted slot run by the range's key
+        // window, reconstructing each half through the public ops:
+        // Tombstone → delete_key, Put{hides_stable} → delete_key + insert
+        // (the insert over its own tombstone re-hides the stable row)
+        let mut folded = RowBuffer::new(schema.clone(), sk_cols.clone());
+        let mut residual = RowBuffer::new(schema.clone(), sk_cols);
+        let mut res_dels: Vec<SkKey> = Vec::new();
+        let mut res_inss: Vec<Tuple> = Vec::new();
+        for (key, slot) in pinned.buf.slots() {
+            let in_win = range.key_in_window(key);
+            let half = if in_win { &mut folded } else { &mut residual };
+            match slot {
+                Slot::Tombstone => {
+                    half.delete_key(key);
+                    if !in_win {
+                        res_dels.push(key.clone());
+                    }
+                }
+                Slot::Put { row, hides_stable } => {
+                    if *hides_stable {
+                        half.delete_key(key);
+                        if !in_win {
+                            res_dels.push(key.clone());
+                        }
+                    }
+                    half.insert(row.clone());
+                    if !in_win {
+                        res_inss.push(row.clone());
+                    }
+                }
+            }
+        }
+        let rows = range_rows(stable, range.b0, range.b1, io).map_err(DbError::Storage)?;
+        let merged = folded.merge_rows(&rows);
+        Ok(RangeMerge::new(
+            columnarize(&schema, &merged),
+            key_residual_entries(res_dels, res_inss),
+            residual,
+        ))
+    }
+
+    fn checkpoint_install_range(&self, pin: CheckpointPin, merge: RangeMerge) {
+        let pin_version = pin.state::<RowPin>().version;
+        let mut residual = merge.into_state::<RowBuffer>();
+        let mut st = self.state.write();
+        // commits published during the merge survive on top of the
+        // out-of-window residual; their runs stay for footprint validation
+        st.residual.rebuild_into(pin.seq, &mut residual);
+        st.committed = Arc::new(residual);
+        st.runs.retain(|r| r.version > pin_version);
+        st.residual.unpin();
+        st.version += 1;
     }
 }

@@ -570,6 +570,63 @@ impl DiffHarness {
         self.assert_agree("after crashed checkpoint");
     }
 
+    /// Incrementally compact stable blocks `[b0, b1)` of partition `p`
+    /// in every database and verify the merged view — the compaction
+    /// differential step. The range is clamped per database to its
+    /// current block count (compaction re-blocks, so geometries drift
+    /// apart between policies only in row count, never in validity);
+    /// empty ranges, out-of-range partitions and pin-less (delta-free)
+    /// partitions are no-ops, exactly as the scheduler treats them.
+    pub fn compact(&mut self, p: usize, b0: usize, b1: usize) {
+        for (policy, db) in &self.dbs {
+            if p >= db.partition_count(&self.table).expect("harness table") {
+                continue;
+            }
+            let nb = db
+                .stable_partition(&self.table, p)
+                .expect("harness partition")
+                .num_blocks();
+            let (b0, b1) = (b0.min(nb), b1.min(nb));
+            if b0 >= b1 {
+                continue;
+            }
+            db.compact_range(&self.table, p, b0, b1)
+                .unwrap_or_else(|e| panic!("{policy:?}: compact_range failed: {e}"));
+        }
+        self.assert_agree("after compaction");
+    }
+
+    /// Attempt a range compaction that dies *inside the crash window*:
+    /// the spliced image (with block reuse) is published but the process
+    /// "crashes" before the WAL range marker lands. Every database must
+    /// report the simulated failure — so the targeted partition's delta
+    /// must be non-empty and the (clamped) range valid going in — and
+    /// roll its pin back; on-disk state is left exactly in the window a
+    /// following [`Self::crash_recover`] has to tolerate. Requires
+    /// [`Self::with_storage`].
+    pub fn compact_crashing_before_marker(&mut self, p: usize, b0: usize, b1: usize) {
+        assert!(
+            self.images,
+            "crash-window compactions need an image-backed harness"
+        );
+        for (policy, db) in &self.dbs {
+            let nb = db
+                .stable_partition(&self.table, p)
+                .expect("harness partition")
+                .num_blocks();
+            let (b0, b1) = (b0.min(nb), b1.min(nb));
+            db.crash_after_image_publish(true);
+            let res = db.compact_range(&self.table, p, b0, b1);
+            assert!(
+                res.is_err(),
+                "{policy:?}: armed compaction must die in the crash window, got {res:?}"
+            );
+            db.crash_after_image_publish(false);
+        }
+        // the aborted pin must leave the live image untouched
+        self.assert_agree("after crashed compaction");
+    }
+
     /// Crash: drop every database and rebuild it from its base image plus
     /// WAL replay, then verify the recovered state against the model.
     /// Panics unless the harness was built with [`Self::with_wal`].
@@ -1250,6 +1307,7 @@ pub fn run_concurrent_differential(spec: ConcurrentSpec) -> Vec<Tuple> {
                 flush_threshold_bytes: 256,
                 checkpoint_threshold_bytes: 1024,
                 partitions: PartitionSpec::None,
+                compaction: Default::default(),
             },
             base.clone(),
         )

@@ -64,6 +64,11 @@ pub struct ScanSegment<'a> {
     /// Global visible RID of this partition's first row (the sum of all
     /// earlier partitions' visible row counts).
     pub rid_base: u64,
+    /// Tracker to charge this segment's block reads to instead of the
+    /// union's (`None`: use the union's). The engine passes per-partition
+    /// trackers scoped to each partition's heat sink, so a union scan's
+    /// block touches attribute to the right partition.
+    pub io: Option<IoTracker>,
 }
 
 enum MergeState<'a> {
@@ -130,6 +135,10 @@ pub struct TableScan<'a> {
     emitted: bool,
     /// Kept across segment advances so `bounds` can re-resolve per slice.
     bounds: ScanBounds,
+    /// The union-level tracker: the default for segments without their own
+    /// `io` override (`None` outside a union — `io` is then the only
+    /// tracker).
+    union_io: Option<IoTracker>,
 }
 
 impl<'a> TableScan<'a> {
@@ -221,9 +230,12 @@ impl<'a> TableScan<'a> {
                 // insert positioning reads off `start_rid` — anchors at
                 // the first surviving block, or at the range's end when
                 // no block survives.
-                start_rid = start_rid
-                    .max((first.min(table.num_blocks()) * table.block_rows()) as u64)
-                    .min(range.end);
+                let anchor = if first >= table.num_blocks() {
+                    range.end
+                } else {
+                    table.block_range(first).0
+                };
+                start_rid = start_rid.max(anchor).min(range.end);
             }
             if first < last {
                 (first, last)
@@ -253,6 +265,7 @@ impl<'a> TableScan<'a> {
             done: false,
             emitted: false,
             bounds,
+            union_io: None,
         }
     }
 
@@ -274,7 +287,9 @@ impl<'a> TableScan<'a> {
         assert!(!segments.is_empty(), "union scan needs ≥ 1 segment");
         let rest: std::collections::VecDeque<ScanSegment<'a>> = segments.split_off(1).into();
         let first = segments.pop().expect("non-empty");
-        let mut scan = TableScan::ranged(first.stable, first.layers, proj, bounds, io, clock);
+        let seg_io = first.io.unwrap_or_else(|| io.clone());
+        let mut scan = TableScan::ranged(first.stable, first.layers, proj, bounds, seg_io, clock);
+        scan.union_io = Some(io);
         scan.rid_base = first.rid_base;
         scan.start_rid += first.rid_base;
         scan.pending = rest;
@@ -300,14 +315,17 @@ impl<'a> TableScan<'a> {
                     continue;
                 }
             }
+            let base_io = self.union_io.clone().unwrap_or_else(|| self.io.clone());
+            let seg_io = seg.io.unwrap_or_else(|| base_io.clone());
             let mut fresh = TableScan::ranged(
                 seg.stable,
                 seg.layers,
                 std::mem::take(&mut self.proj),
                 self.bounds.clone(),
-                self.io.clone(),
+                seg_io,
                 self.clock.clone(),
             );
+            fresh.union_io = Some(base_io);
             fresh.rid_base = seg.rid_base;
             fresh.rid_lo = self.rid_lo;
             fresh.rid_hi = self.rid_hi;
@@ -1206,11 +1224,13 @@ mod tests {
                     stable: &p0,
                     layers: DeltaLayers::Pdt(vec![&d0]),
                     rid_base: 0,
+                    io: None,
                 },
                 ScanSegment {
                     stable: &p1,
                     layers: DeltaLayers::Pdt(vec![&d1]),
                     rid_base: part0_visible,
+                    io: None,
                 },
             ],
             vec![0, 1, 2],
@@ -1283,11 +1303,13 @@ mod tests {
                 stable: p0,
                 layers: DeltaLayers::Pdt(vec![d0]),
                 rid_base: 0,
+                io: None,
             },
             ScanSegment {
                 stable: p1,
                 layers: DeltaLayers::Pdt(vec![d1]),
                 rid_base: 20,
+                io: None,
             },
         ]
     }

@@ -259,9 +259,10 @@ impl Server {
         self.pool.limit()
     }
 
-    /// Freeze and return all serving metrics.
+    /// Freeze and return all serving metrics, including the maintenance
+    /// scheduler's flush/checkpoint/compaction counters when one runs.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.shared.metrics.snapshot(self.maintenance_stats())
     }
 
     /// The maintenance scheduler's counters (`None` when maintenance is
@@ -289,10 +290,14 @@ impl Server {
     /// maintenance scheduler; returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.pool.shutdown();
-        if let Some(s) = self.shared.sched.lock().take() {
+        let maint = if let Some(s) = self.shared.sched.lock().take() {
+            let stats = s.stats();
             s.shutdown();
-        }
-        self.shared.metrics.snapshot()
+            Some(stats)
+        } else {
+            None
+        };
+        self.shared.metrics.snapshot(maint)
     }
 }
 

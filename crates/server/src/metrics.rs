@@ -9,6 +9,7 @@
 //! nearest-rank p50/p95/p99 summaries) and implements `Display` for a
 //! one-call report.
 
+use engine::MaintenanceStats;
 use exec::{LatencyStats, LatencySummary};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -99,6 +100,10 @@ pub struct MetricsSnapshot {
     pub tables: Vec<TableMetricsSnapshot>,
     /// Per-session metrics, in session creation order.
     pub sessions: Vec<SessionMetricsSnapshot>,
+    /// Background maintenance counters — flushes, checkpoints, and
+    /// sub-partition compaction (steps, blocks merged vs reused, stable
+    /// bytes saved). `None` when the server runs without a scheduler.
+    pub maintenance: Option<MaintenanceStats>,
 }
 
 impl MetricsSnapshot {
@@ -163,6 +168,9 @@ impl fmt::Display for MetricsSnapshot {
             fmt_latency(f, "query", &s.query_latency)?;
             writeln!(f)?;
         }
+        if let Some(m) = &self.maintenance {
+            writeln!(f, "  {m}")?;
+        }
         Ok(())
     }
 }
@@ -215,9 +223,12 @@ impl Registry {
         m
     }
 
-    pub fn snapshot(&self) -> MetricsSnapshot {
+    /// Freeze everything; `maintenance` is the scheduler's counters
+    /// (owned by the server, not the registry), passed through verbatim.
+    pub fn snapshot(&self, maintenance: Option<MaintenanceStats>) -> MetricsSnapshot {
         MetricsSnapshot {
             uptime: self.started.elapsed(),
+            maintenance,
             tables: self
                 .tables
                 .read()
@@ -260,7 +271,12 @@ mod tests {
         s.counters.commits.fetch_add(3, Relaxed);
         s.queries.fetch_add(1, Relaxed);
         s.query_latency.record(Duration::from_micros(50));
-        let snap = r.snapshot();
+        let maint = MaintenanceStats {
+            compactions: 2,
+            compaction_blocks_reused: 11,
+            ..Default::default()
+        };
+        let snap = r.snapshot(Some(maint));
         assert_eq!(snap.tables.len(), 1);
         assert_eq!(snap.tables[0].counters.commits, 3);
         assert_eq!(snap.tables[0].commit_latency.unwrap().count, 1);
@@ -271,5 +287,7 @@ mod tests {
         assert!(text.contains("table orders"), "{text}");
         assert!(text.contains("session rf-0"), "{text}");
         assert!(text.contains("p99"), "{text}");
+        assert!(text.contains("2 compaction steps"), "{text}");
+        assert!(text.contains("11 reused"), "{text}");
     }
 }

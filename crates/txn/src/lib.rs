@@ -613,6 +613,22 @@ impl TxnManager {
         st.read = Arc::new(Pdt::new(st.schema.clone(), st.sk_cols.clone()));
     }
 
+    /// Range-scoped variant of [`TxnManager::install_checkpoint`]: only
+    /// part of the pinned Read-PDT was folded (a sub-partition
+    /// compaction), so instead of emptying the read layer, replace it
+    /// with `residual` — the out-of-range remainder rebased onto the
+    /// post-compaction stable ([`wal::rebase_pdt_outside_range`]).
+    /// Panics under the same pin-stability contract as the full form.
+    pub fn install_partial_checkpoint(&self, table: &str, pinned: &Arc<Pdt>, residual: Pdt) {
+        let mut inner = self.inner.lock();
+        let st = inner.tables.get_mut(table).expect("registered table");
+        assert!(
+            Arc::ptr_eq(&st.read, pinned),
+            "Read-PDT of {table} changed between checkpoint pin and install"
+        );
+        st.read = Arc::new(residual);
+    }
+
     /// Append a checkpoint marker for `(table, partition)` at pinned
     /// sequence `seq` (no-op without a WAL), referencing the manifest
     /// sequence of the persisted compressed image the checkpoint published
@@ -631,6 +647,29 @@ impl TxnManager {
             // commit records enqueued before it) is on disk when the new
             // stable image becomes the recovery base
             w.append_checkpoint(table, partition, seq, image_seq)
+                .map_err(TxnError::Wal)?;
+        }
+        Ok(())
+    }
+
+    /// [`TxnManager::log_checkpoint`] for a range-scoped checkpoint: the
+    /// marker records the folded stable-SID window `[s0, s1)` and
+    /// carries `residual` — the out-of-range delta recovery replays on
+    /// top of the image. Same calling contract (under the commit guard,
+    /// after install).
+    #[allow(clippy::too_many_arguments)]
+    pub fn log_checkpoint_range(
+        &self,
+        table: &str,
+        partition: u32,
+        seq: u64,
+        image_seq: Option<u64>,
+        s0: u64,
+        s1: u64,
+        residual: &[wal::WalEntry],
+    ) -> Result<(), TxnError> {
+        if let Some(w) = &self.wal {
+            w.append_checkpoint_range(table, partition, seq, image_seq, Some((s0, s1)), residual)
                 .map_err(TxnError::Wal)?;
         }
         Ok(())

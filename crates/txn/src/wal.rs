@@ -54,10 +54,22 @@
 //!                 nentries × [sid u64][kind u16][nvals u32][payload]
 //! checkpoint: [ckpt_magic u32][seq u64][name_len u16][name bytes][partition u32]
 //!               [has_image u8][image_seq u64 when has_image = 1]
+//!               [scope u8]  0 = whole partition
+//!                           1 = range: [s0 u64][s1 u64][nentries u32]
+//!                                 nentries × [sid u64][kind u16][nvals u32][payload]
 //! payload: INS → full tuple, DEL → sort-key values, MOD → one value,
 //!          INS_BATCH → n tuples, DEL_BATCH → n sort keys
 //! value:   [tag u8][data]   (0=Null 1=Bool 2=Int 3=Double 4=Str 5=Date)
 //! ```
+//!
+//! A **range-scoped** marker (scope 1) is written by sub-partition
+//! compaction: only delta addressing stable SIDs `[s0, s1)` was folded
+//! into the published image, and the marker inlines the *residual* —
+//! the covered commits' out-of-range remainder, rebased onto the
+//! post-compaction stable. Replay filtering is unchanged (commits ≤
+//! `seq` are skipped wholesale); image-based recovery replays the
+//! residual between the image load and the surviving commits. Residual
+//! values use the plain inline encoding, never dictionary codes.
 //!
 //! A marker's `image_seq` is the manifest sequence of the persisted
 //! compressed image ([`columnar::ImageStore`]) the checkpoint published in
@@ -86,10 +98,14 @@ use std::sync::{Condvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
 // and restart ("pdtR"/"pdtS" are the image-file and marker magics,
 // skipped to keep the magics distinct).
 const MAGIC: u32 = 0x7064_7454;
-// "pdtS": checkpoint markers carry an optional image sequence. Bumped
-// from "pdtQ" so image-less markers from older builds fail loudly
-// ("pdtR" is the image-file magic — skipped to keep the magics distinct).
-const CKPT_MAGIC: u32 = 0x7064_7453;
+// "pdtU": checkpoint markers carry a scope byte — full-partition or
+// range-scoped (sub-partition compaction), the latter with the folded
+// SID window and the residual out-of-range delta inline. Bumped from
+// "pdtS" so scope-less markers from older builds fail loudly instead of
+// silently replaying a compacted partition as if fully checkpointed;
+// replay such logs with the build that wrote them, checkpoint, restart
+// ("pdtT" is the commit magic — skipped to keep the magics distinct).
+const CKPT_MAGIC: u32 = 0x7064_7455;
 
 /// One entry of a logged delta.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +140,15 @@ pub enum WalRecord {
         /// checkpoint folded in memory only, in which case the covered
         /// commits exist nowhere on disk after this marker.
         image_seq: Option<u64>,
+        /// `Some((s0, s1))` for a range-scoped marker (sub-partition
+        /// compaction): only delta addressing stable SIDs in `[s0, s1)`
+        /// was folded into the published image. The covered commits'
+        /// out-of-range remainder is *not* in the image — it rides in
+        /// `residual`, rebased onto the post-compaction stable, and
+        /// recovery replays it on top of the image before the surviving
+        /// commits. `None` is a whole-partition marker (empty residual).
+        range: Option<(u64, u64)>,
+        residual: Vec<WalEntry>,
     },
 }
 
@@ -180,7 +205,7 @@ impl Wal {
         image_seq: Option<u64>,
     ) -> std::io::Result<()> {
         let mut buf = Vec::new();
-        encode_checkpoint_record(&mut buf, table, partition, seq, image_seq);
+        encode_checkpoint_record(&mut buf, table, partition, seq, image_seq, None, &[]);
         self.out.write_all(&buf)?;
         self.out.flush()
     }
@@ -228,11 +253,40 @@ impl Wal {
                     1 => Some(read_u64(&bytes, &mut pos)?),
                     f => return Err(corrupt(&format!("bad checkpoint image flag {f}"))),
                 };
+                let scope = *bytes
+                    .get(pos)
+                    .ok_or_else(|| corrupt("truncated checkpoint scope"))?;
+                pos += 1;
+                let (range, residual) = match scope {
+                    0 => (None, Vec::new()),
+                    1 => {
+                        let s0 = read_u64(&bytes, &mut pos)?;
+                        let s1 = read_u64(&bytes, &mut pos)?;
+                        let nentries = read_u32(&bytes, &mut pos)? as usize;
+                        let mut residual = Vec::with_capacity(nentries.min(bytes.len() - pos));
+                        for _ in 0..nentries {
+                            let sid = read_u64(&bytes, &mut pos)?;
+                            let kind = read_u16(&bytes, &mut pos)?;
+                            let nvals = read_u32(&bytes, &mut pos)? as usize;
+                            let mut values = Vec::with_capacity(nvals.min(bytes.len() - pos));
+                            for _ in 0..nvals {
+                                // residual values are always inline (no
+                                // per-record dictionary on markers)
+                                values.push(decode_value(&bytes, &mut pos, &[])?);
+                            }
+                            residual.push(WalEntry { sid, kind, values });
+                        }
+                        (Some((s0, s1)), residual)
+                    }
+                    f => return Err(corrupt(&format!("bad checkpoint scope {f}"))),
+                };
                 records.push(WalRecord::Checkpoint {
                     seq,
                     table,
                     partition,
                     image_seq,
+                    range,
+                    residual,
                 });
                 continue;
             }
@@ -376,13 +430,19 @@ fn encode_commit_record(buf: &mut Vec<u8>, seq: u64, deltas: &[(&str, u32, &[Wal
     }
 }
 
-/// Encode one checkpoint marker into `buf`.
+/// Encode one checkpoint marker into `buf`. A `range` makes it a
+/// range-scoped (sub-partition compaction) marker whose `residual`
+/// entries ride inline — values use the plain tagged encoding (no
+/// string dictionary; markers are rare and residuals small when
+/// compaction targets the delta-hot ranges it is built for).
 fn encode_checkpoint_record(
     buf: &mut Vec<u8>,
     table: &str,
     partition: u32,
     seq: u64,
     image_seq: Option<u64>,
+    range: Option<(u64, u64)>,
+    residual: &[WalEntry],
 ) {
     buf.extend_from_slice(&CKPT_MAGIC.to_le_bytes());
     buf.extend_from_slice(&seq.to_le_bytes());
@@ -395,6 +455,24 @@ fn encode_checkpoint_record(
             buf.extend_from_slice(&s.to_le_bytes());
         }
         None => buf.push(0),
+    }
+    match range {
+        None => buf.push(0),
+        Some((s0, s1)) => {
+            buf.push(1);
+            buf.extend_from_slice(&s0.to_le_bytes());
+            buf.extend_from_slice(&s1.to_le_bytes());
+            let no_dict = HashMap::new();
+            buf.extend_from_slice(&(residual.len() as u32).to_le_bytes());
+            for e in residual {
+                buf.extend_from_slice(&e.sid.to_le_bytes());
+                buf.extend_from_slice(&e.kind.to_le_bytes());
+                buf.extend_from_slice(&(e.values.len() as u32).to_le_bytes());
+                for v in &e.values {
+                    encode_value(buf, v, &no_dict);
+                }
+            }
+        }
     }
 }
 
@@ -520,9 +598,33 @@ impl GroupWal {
         seq: u64,
         image_seq: Option<u64>,
     ) -> std::io::Result<()> {
+        self.append_checkpoint_range(table, partition, seq, image_seq, None, &[])
+    }
+
+    /// [`GroupWal::append_checkpoint`] with a range scope: the marker
+    /// records that only stable SIDs in `range` were folded and carries
+    /// the rebased out-of-range `residual` for recovery. Synchronous,
+    /// like the whole-partition form.
+    pub fn append_checkpoint_range(
+        &self,
+        table: &str,
+        partition: u32,
+        seq: u64,
+        image_seq: Option<u64>,
+        range: Option<(u64, u64)>,
+        residual: &[WalEntry],
+    ) -> std::io::Result<()> {
         let ticket = {
             let mut g = self.state.lock().unwrap();
-            encode_checkpoint_record(&mut g.pending, table, partition, seq, image_seq);
+            encode_checkpoint_record(
+                &mut g.pending,
+                table,
+                partition,
+                seq,
+                image_seq,
+                range,
+                residual,
+            );
             g.pending_records += 1;
             g.enqueued += 1;
             g.stats.checkpoints += 1;
@@ -611,30 +713,56 @@ pub fn checkpoint_seqs(records: &[WalRecord]) -> HashMap<String, HashMap<u32, u6
     m
 }
 
+/// The covering checkpoint marker of one `(table, partition)` — see
+/// [`checkpoint_markers`].
+#[derive(Debug, Clone)]
+pub struct CoveringMarker {
+    /// Commit sequence the marker covers (commits ≤ this are folded).
+    pub seq: u64,
+    /// Manifest sequence of the persisted image to rebuild from.
+    pub image_seq: Option<u64>,
+    /// Folded SID window for a range-scoped marker; `None` = whole
+    /// partition.
+    pub range: Option<(u64, u64)>,
+    /// Out-of-range delta (rebased onto the post-compaction stable) to
+    /// replay on top of the image before the surviving commits. Empty
+    /// for whole-partition markers.
+    pub residual: Vec<WalEntry>,
+}
+
 /// The *covering* (highest-sequence) checkpoint marker per table, then per
-/// partition: `(seq, image_seq)`. Recovery rebuilds each partition from
-/// the persisted image the covering marker references — `image_seq` is
-/// the manifest sequence to load — then replays the commits
+/// partition. Recovery rebuilds each partition from the persisted image
+/// the covering marker references — `image_seq` is the manifest sequence
+/// to load — replays the marker's `residual` (non-empty only for
+/// range-scoped markers), then replays the commits
 /// [`Wal::read_effective`] keeps.
-pub fn checkpoint_markers(
-    records: &[WalRecord],
-) -> HashMap<String, HashMap<u32, (u64, Option<u64>)>> {
-    let mut m: HashMap<String, HashMap<u32, (u64, Option<u64>)>> = HashMap::new();
+pub fn checkpoint_markers(records: &[WalRecord]) -> HashMap<String, HashMap<u32, CoveringMarker>> {
+    let mut m: HashMap<String, HashMap<u32, CoveringMarker>> = HashMap::new();
     for rec in records {
         if let WalRecord::Checkpoint {
             seq,
             table,
             partition,
             image_seq,
+            range,
+            residual,
         } = rec
         {
-            let e = m
-                .entry(table.clone())
-                .or_default()
-                .entry(*partition)
-                .or_insert((*seq, *image_seq));
-            if *seq >= e.0 {
-                *e = (*seq, *image_seq);
+            let cur = CoveringMarker {
+                seq: *seq,
+                image_seq: *image_seq,
+                range: *range,
+                residual: residual.clone(),
+            };
+            match m.entry(table.clone()).or_default().entry(*partition) {
+                std::collections::hash_map::Entry::Vacant(v) => {
+                    v.insert(cur);
+                }
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if *seq >= o.get().seq {
+                        o.insert(cur);
+                    }
+                }
             }
         }
     }
@@ -757,6 +885,66 @@ pub fn rebuild_pdt(schema: &Schema, sk_cols: &[usize], entries: &[WalEntry]) -> 
         b.push(sid, upd);
     }
     b.build()
+}
+
+/// Split a pinned PDT at the stable-SID window `[s0, s1)` for a
+/// range-scoped checkpoint. Entries addressing the window — plus, when
+/// `fold_tail` is set (the window ends at the partition's last block),
+/// inserts parked at exactly `s1`, the append gap — are the part the
+/// range merge folds into fresh blocks and are dropped here. Everything
+/// else is the **residual**: prefix entries (`sid < s0`) keep their
+/// SIDs, suffix entries (`sid ≥ s1`) shift by the window's net row
+/// delta, because the merged range now occupies `[s0, s1 + net)` in the
+/// spliced stable. Returns the residual as coalesced loggable entries
+/// (the marker payload; [`rebuild_pdt`] turns it back into the new
+/// in-memory read layer) and the signed `net` row delta.
+///
+/// Relies on [`Pdt::iter`] yielding entries in non-decreasing SID order,
+/// so the running net delta is complete before the first suffix entry.
+pub fn rebase_pdt_outside_range(
+    pdt: &Pdt,
+    s0: u64,
+    s1: u64,
+    fold_tail: bool,
+) -> (Vec<WalEntry>, i64) {
+    let mut net: i64 = 0;
+    let mut kept: Vec<WalEntry> = Vec::new();
+    for e in pdt.iter() {
+        let is_ins = e.upd.is_ins();
+        let in_range = if is_ins {
+            e.sid >= s0 && (e.sid < s1 || (fold_tail && e.sid == s1))
+        } else {
+            e.sid >= s0 && e.sid < s1
+        };
+        if in_range {
+            if is_ins {
+                net += 1;
+            } else if e.upd.is_del() {
+                net -= 1;
+            }
+            continue;
+        }
+        let values: Vec<Value> = if is_ins {
+            pdt.vals().get_insert(e.upd.val)
+        } else if e.upd.is_del() {
+            pdt.vals().get_delete(e.upd.val)
+        } else {
+            vec![pdt.vals().get_modify(e.upd.col_no() as usize, e.upd.val)]
+        };
+        let sid = if e.sid >= s1 {
+            e.sid
+                .checked_add_signed(net)
+                .expect("net insert delta cannot move a suffix SID below zero")
+        } else {
+            e.sid
+        };
+        kept.push(WalEntry {
+            sid,
+            kind: e.upd.kind,
+            values,
+        });
+    }
+    (coalesce_entries(kept), net)
 }
 
 /// Encode one value. Strings present in `codes` (every string of a commit
@@ -1063,7 +1251,9 @@ mod tests {
             "image sequence roundtrips through the marker"
         );
         let markers = checkpoint_markers(&all);
-        assert_eq!(markers["t"][&0], (2, Some(2)));
+        let m = &markers["t"][&0];
+        assert_eq!((m.seq, m.image_seq), (2, Some(2)));
+        assert!(m.range.is_none() && m.residual.is_empty());
         let effective = Wal::read_effective(&path).unwrap();
         let kept: Vec<(u64, String, u32)> = effective
             .iter()
@@ -1078,6 +1268,107 @@ mod tests {
         // partition 1's commit survives; partition 0's are covered
         assert_eq!(kept, vec![(1, "t".to_string(), 1)]);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn range_marker_roundtrips_with_residual() {
+        let dir = std::env::temp_dir().join("pdt_wal_range_marker_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("range.wal");
+        let _ = std::fs::remove_file(&path);
+        let residual = vec![
+            WalEntry {
+                sid: 3,
+                kind: INS,
+                values: vec![Value::Int(7), Value::Str("x".into()), Value::Null],
+            },
+            WalEntry {
+                sid: 90,
+                kind: DEL_BATCH,
+                values: vec![Value::Int(1), Value::Int(2)],
+            },
+        ];
+        {
+            let gw = GroupWal::open(&path).unwrap();
+            gw.append_checkpoint_range("t", 2, 5, Some(5), Some((32, 96)), &residual)
+                .unwrap();
+            // a whole-partition marker after it must stay the covering one
+            gw.append_checkpoint("t", 2, 9, Some(9)).unwrap();
+        }
+        let all = Wal::read_all(&path).unwrap();
+        assert_eq!(all.len(), 2);
+        let WalRecord::Checkpoint {
+            seq,
+            range,
+            residual: got,
+            ..
+        } = &all[0]
+        else {
+            panic!("expected a checkpoint record");
+        };
+        assert_eq!(*seq, 5);
+        assert_eq!(*range, Some((32, 96)));
+        assert_eq!(*got, residual, "residual values roundtrip inline");
+        let markers = checkpoint_markers(&all);
+        let m = &markers["t"][&2];
+        assert_eq!((m.seq, m.range), (9, None), "highest-seq marker covers");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebase_outside_range_keeps_prefix_and_shifts_suffix() {
+        // stable rows 0..100; window [40, 60); entries on both sides
+        let schema = Schema::from_pairs(&[("k", ValueType::Int)]);
+        let entries = vec![
+            WalEntry {
+                sid: 10,
+                kind: INS,
+                values: vec![Value::Int(1)],
+            },
+            WalEntry {
+                sid: 45,
+                kind: INS,
+                values: vec![Value::Int(2)],
+            },
+            WalEntry {
+                sid: 50,
+                kind: DEL,
+                values: vec![Value::Int(3)],
+            },
+            WalEntry {
+                sid: 55,
+                kind: DEL,
+                values: vec![Value::Int(4)],
+            },
+            WalEntry {
+                sid: 80,
+                kind: DEL,
+                values: vec![Value::Int(5)],
+            },
+        ];
+        let pdt = rebuild_pdt(&schema, &[0], &entries);
+        let (residual, net) = rebase_pdt_outside_range(&pdt, 40, 60, false);
+        // in-range: 1 insert, 2 deletes → net -1
+        assert_eq!(net, -1);
+        assert_eq!(residual.len(), 2);
+        assert_eq!((residual[0].sid, residual[0].kind), (10, INS));
+        assert_eq!(
+            (residual[1].sid, residual[1].kind),
+            (79, DEL),
+            "suffix delete shifts by the window's net row delta"
+        );
+        // tail fold captures the append gap at s1
+        let tail = vec![WalEntry {
+            sid: 100,
+            kind: INS,
+            values: vec![Value::Int(6)],
+        }];
+        let pdt = rebuild_pdt(&schema, &[0], &tail);
+        let (residual, net) = rebase_pdt_outside_range(&pdt, 60, 100, true);
+        assert_eq!((residual.len(), net), (0, 1), "trailing inserts fold");
+        let (residual, net) = rebase_pdt_outside_range(&pdt, 0, 60, false);
+        assert_eq!(net, 0);
+        assert_eq!(residual[0].sid, 100, "untouched window shifts nothing");
     }
 
     #[test]
