@@ -9,7 +9,7 @@
 //!    justifying the per-block auto-choice and the paper's observation that
 //!    sorted key columns compress superbly.
 
-use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
+use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, BenchJson, KeyKind};
 use columnar::{
     compress, ColumnVec, IoTracker, Schema, StableTable, TableMeta, TableOptions, Value, ValueType,
 };
@@ -17,7 +17,7 @@ use exec::{DeltaLayers, ScanClock, TableScan};
 use pdt::Pdt;
 use tpch::gen::Rng;
 
-fn ablate_fanout(ops: u64) {
+fn ablate_fanout(ops: u64, json: &mut BenchJson) {
     println!("\n## Ablation 1: PDT fan-out (F) — {ops} mixed updates + 100k RID lookups");
     println!(
         "{:>6} {:>12} {:>12} {:>12}",
@@ -59,10 +59,17 @@ fn ablate_fanout(ops: u64) {
             lk_s * 1e3,
             pdt.heap_bytes() / 1024
         );
+        json.row(&[
+            ("section", "fanout".into()),
+            ("fanout", fanout.into()),
+            ("update_ms", (upd_s * 1e3).into()),
+            ("lookup_ms", (lk_s * 1e3).into()),
+            ("heap_kb", (pdt.heap_bytes() / 1024).into()),
+        ]);
     }
 }
 
-fn ablate_block_size(n: u64) {
+fn ablate_block_size(n: u64, json: &mut BenchJson) {
     println!(
         "\n## Ablation 2: storage block size (pass-through granularity), {n} rows, 1% updates"
     );
@@ -117,10 +124,16 @@ fn ablate_block_size(n: u64) {
             pdt_s * 1e3,
             clean_s * 1e3
         );
+        json.row(&[
+            ("section", "block_size".into()),
+            ("block_rows", block_rows.into()),
+            ("pdt_ms", (pdt_s * 1e3).into()),
+            ("clean_ms", (clean_s * 1e3).into()),
+        ]);
     }
 }
 
-fn ablate_codecs(n: usize) {
+fn ablate_codecs(n: usize, json: &mut BenchJson) {
     println!("\n## Ablation 3: codec bytes per column shape ({n} values)");
     println!(
         "{:>16} {:>10} {:>10} {:>10} {:>10}",
@@ -160,6 +173,19 @@ fn ablate_codecs(n: usize) {
             size(Dict),
             size(DeltaVarint)
         );
+        let bytes = |e| {
+            compress::encode(&col, e)
+                .map(|b| b.len() as i64)
+                .unwrap_or(-1)
+        };
+        json.row(&[
+            ("section", "codecs".into()),
+            ("column", name.into()),
+            ("plain_bytes", bytes(Plain).into()),
+            ("rle_bytes", bytes(Rle).into()),
+            ("dict_bytes", bytes(Dict).into()),
+            ("delta_bytes", bytes(DeltaVarint).into()),
+        ]);
     }
 }
 
@@ -167,7 +193,9 @@ fn main() {
     let ops = env_u64("PDT_BENCH_OPS", 200_000);
     let rows = env_u64("PDT_BENCH_ROWS", 1_000_000);
     println!("# Ablation benches for DESIGN.md §3 decisions");
-    ablate_fanout(ops);
-    ablate_block_size(rows / 2);
-    ablate_codecs(100_000);
+    let mut json = BenchJson::new("ablations");
+    ablate_fanout(ops, &mut json);
+    ablate_block_size(rows / 2, &mut json);
+    ablate_codecs(100_000, &mut json);
+    json.finish();
 }

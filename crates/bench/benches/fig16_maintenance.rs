@@ -16,7 +16,7 @@
 //! figures argue against. (Its op count is capped by default for exactly
 //! that reason; raise `PDT_BENCH_ROWSTORE_OPS` to watch it degrade.)
 
-use bench::env_u64;
+use bench::{env_u64, BenchJson};
 use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
 use engine::{Database, TableOptions, ALL_POLICIES};
 use exec::Batch;
@@ -34,6 +34,7 @@ fn schema() -> Schema {
 }
 
 fn main() {
+    let mut json = BenchJson::new("fig16");
     let total = env_u64("PDT_BENCH_OPS", 1_000_000);
     let window = (total / 20).max(1);
     let stable_rows: u64 = 100_000_000; // virtual stable table (positions only)
@@ -90,6 +91,13 @@ fn main() {
 
         done += n;
         println!("{done:>10} {ins_ms:>12.6} {mod_ms:>12.6} {del_ms:>12.6}");
+        json.row(&[
+            ("section", "pdt_growth".into()),
+            ("size", done.into()),
+            ("insert_ms", ins_ms.into()),
+            ("modify_ms", mod_ms.into()),
+            ("delete_ms", del_ms.into()),
+        ]);
     }
     println!(
         "# final sizes: ins={} mod={} del={} entries; heap: ins={}KB",
@@ -151,6 +159,13 @@ fn main() {
 
         done += n;
         println!("{done:>10} {ins_ms:>12.6} {mod_ms:>12.6} {del_ms:>12.6}");
+        json.row(&[
+            ("section", "rowstore_growth".into()),
+            ("size", done.into()),
+            ("insert_ms", ins_ms.into()),
+            ("modify_ms", mod_ms.into()),
+            ("delete_ms", del_ms.into()),
+        ]);
     }
     println!(
         "# final sizes: ins={} mod={} del={} slots; heap: ins={}KB",
@@ -239,6 +254,14 @@ fn main() {
             batch_s * 1e3,
             row_s / batch_s.max(1e-9),
         );
+        json.row(&[
+            ("section", "bulk_ingest".into()),
+            ("backend", format!("{policy:?}").into()),
+            ("row_ms", (row_s * 1e3).into()),
+            ("batch_ms", (batch_s * 1e3).into()),
+            ("speedup", (row_s / batch_s.max(1e-9)).into()),
+        ]);
     }
     println!("# expectation: batch >= row everywhere; the row store by orders of magnitude.");
+    json.finish();
 }

@@ -18,7 +18,7 @@
 //! matching the paper's middle panel), key types {int, string} and update
 //! rates 0–2.5 per 100 tuples, and report hot scan times in ms.
 
-use bench::{drain_scan, env_u64, EngineMicroLoad, KeyKind};
+use bench::{drain_scan, env_u64, BenchJson, EngineMicroLoad, KeyKind};
 use columnar::{ColumnVec, Schema, Value, ValueType};
 use engine::{ReadView, UpdatePolicy, ALL_POLICIES};
 use pdt::{Pdt, PdtMerger};
@@ -157,7 +157,7 @@ fn time_merge(mut run: impl FnMut() -> u64) -> (u64, f64) {
 /// exactly what the typed kernels buy: run-batched `extend_range` copies
 /// and prepared-key comparisons vs per-row `Value` materialization and
 /// per-cell `push`.
-fn kernel_vs_scalar(n: u64) {
+fn kernel_vs_scalar(n: u64, json: &mut BenchJson) {
     println!(
         "# Kernel vs scalar baseline: raw block mergers, blocks of {KERNEL_BS}, 4 int data cols"
     );
@@ -203,7 +203,7 @@ fn kernel_vs_scalar(n: u64) {
                 m.drain_inserts(None, &proj, &mut out);
                 out[0].len() as u64
             };
-            let report = |policy: &str, fast: (u64, f64), slow: (u64, f64)| {
+            let mut report = |policy: &str, fast: (u64, f64), slow: (u64, f64)| {
                 assert_eq!(
                     fast.0, slow.0,
                     "{policy}: kernel and scalar cardinality differ"
@@ -217,6 +217,15 @@ fn kernel_vs_scalar(n: u64) {
                     slow.1 * 1e3,
                     slow.1 / fast.1.max(1e-9),
                 );
+                json.row(&[
+                    ("section", "kernel_vs_scalar".into()),
+                    ("policy", policy.into()),
+                    ("key", kind.label().into()),
+                    ("upd_per_100", rate.into()),
+                    ("kernel_ms", (fast.1 * 1e3).into()),
+                    ("scalar_ms", (slow.1 * 1e3).into()),
+                    ("speedup", (slow.1 / fast.1.max(1e-9)).into()),
+                ]);
             };
             // the PDT merger is positional — key type never enters its loop,
             // so one key kind suffices
@@ -239,7 +248,8 @@ fn kernel_vs_scalar(n: u64) {
 
 fn main() {
     let base = env_u64("PDT_BENCH_ROWS", 1_000_000);
-    kernel_vs_scalar(base);
+    let mut json = BenchJson::new("fig17");
+    kernel_vs_scalar(base, &mut json);
     let mut sizes = vec![base / 4, base];
     if env_u64("PDT_BENCH_LARGE", 0) == 1 {
         sizes.push(base * 10);
@@ -295,6 +305,18 @@ fn main() {
                     vdt_s / pdt_s.max(1e-9),
                     rows_s / pdt_s.max(1e-9),
                 );
+                json.row(&[
+                    ("section", "mergescan".into()),
+                    ("rows", n.into()),
+                    ("key", kind.label().into()),
+                    ("upd_per_100", rate.into()),
+                    ("clean_ms", (clean_s * 1e3).into()),
+                    ("pdt_ms", (pdt_s * 1e3).into()),
+                    ("vdt_ms", (vdt_s * 1e3).into()),
+                    ("rows_ms", (rows_s * 1e3).into()),
+                    ("vdt_over_pdt", (vdt_s / pdt_s.max(1e-9)).into()),
+                    ("rows_over_pdt", (rows_s / pdt_s.max(1e-9)).into()),
+                ]);
             }
         }
     }
@@ -303,4 +325,5 @@ fn main() {
     );
     println!("# both scale linearly in table size; PDT cost barely grows with update rate.");
     println!("# the row-store baseline pays the same key I/O + comparisons as the VDT.");
+    json.finish();
 }

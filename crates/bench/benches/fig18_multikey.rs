@@ -13,11 +13,12 @@
 //! the non-key columns; update rates 0–2.5 per 100 tuples; int and string
 //! keys.
 
-use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, KeyKind};
+use bench::{apply_micro_updates, drain_scan, env_u64, micro_table, time, BenchJson, KeyKind};
 use columnar::IoTracker;
 use exec::{DeltaLayers, ScanClock, TableScan};
 
 fn main() {
+    let mut json = BenchJson::new("fig18");
     let n = env_u64("PDT_BENCH_ROWS", 1_000_000);
     let rates = [0.0f64, 0.5, 1.0, 1.5, 2.0, 2.5];
     println!("# Figure 18: MergeScan time (ms), 6 total columns, project non-key columns");
@@ -65,9 +66,18 @@ fn main() {
                     vdt_s * 1e3,
                     vdt_s / pdt_s.max(1e-9),
                 );
+                json.row(&[
+                    ("key", kind.label().into()),
+                    ("nkeys", nkeys.into()),
+                    ("upd_per_100", rate.into()),
+                    ("pdt_ms", (pdt_s * 1e3).into()),
+                    ("vdt_ms", (vdt_s * 1e3).into()),
+                    ("vdt_over_pdt", (vdt_s / pdt_s.max(1e-9)).into()),
+                ]);
             }
         }
     }
     println!("# expectation (paper): VDT time grows with nkeys (more comparisons + key I/O);");
     println!("# PDT time *decreases* with nkeys (fewer projected columns, constant merge cost).");
+    json.finish();
 }

@@ -26,7 +26,7 @@
 //! Scale with `PDT_TPCH_SF` (default 0.05). The paper's SF-10/SF-30 shapes
 //! depend on the update *fraction* (0.1 %), not the absolute SF.
 
-use bench::env_f64;
+use bench::{env_f64, BenchJson};
 use engine::{ReadView, TableOptions, UpdatePolicy};
 use exec::measure;
 use tpch::queries::{run_query, QUERY_IDS};
@@ -66,7 +66,13 @@ fn vdt_index(runs: &[(Vec<QueryRun>, &str)]) -> usize {
         .expect("a vdt series to normalize against")
 }
 
-fn print_cold(title: &str, runs: &[(Vec<QueryRun>, &str)], bandwidth: f64) {
+fn print_cold(
+    title: &str,
+    section: &str,
+    json: &mut BenchJson,
+    runs: &[(Vec<QueryRun>, &str)],
+    bandwidth: f64,
+) {
     println!(
         "\n## {title} (cold model: cpu + bytes/{:.0}MB/s; normalized to VDT)",
         bandwidth / 1e6
@@ -91,10 +97,19 @@ fn print_cold(title: &str, runs: &[(Vec<QueryRun>, &str)], bandwidth: f64) {
             print!(" {:>8.2}", cold(&series[i]) / v.max(1e-9));
         }
         println!();
+        for (series, label) in runs {
+            json.row(&[
+                ("section", section.into()),
+                ("query", (*q as u64).into()),
+                ("series", (*label).into()),
+                ("cold_ms", cold(&series[i]).into()),
+                ("vs_vdt", (cold(&series[i]) / v.max(1e-9)).into()),
+            ]);
+        }
     }
 }
 
-fn print_io(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
+fn print_io(title: &str, section: &str, json: &mut BenchJson, runs: &[(Vec<QueryRun>, &str)]) {
     println!("\n## {title} (MB touched; normalized to VDT)");
     print!("{:>4}", "Q");
     for (_, label) in runs {
@@ -116,10 +131,19 @@ fn print_io(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
             print!(" {:>8.2}", mb(&series[i]) / v.max(1e-9));
         }
         println!();
+        for (series, label) in runs {
+            json.row(&[
+                ("section", section.into()),
+                ("query", (*q as u64).into()),
+                ("series", (*label).into()),
+                ("io_mb", mb(&series[i]).into()),
+                ("vs_vdt", (mb(&series[i]) / v.max(1e-9)).into()),
+            ]);
+        }
     }
 }
 
-fn print_hot(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
+fn print_hot(title: &str, section: &str, json: &mut BenchJson, runs: &[(Vec<QueryRun>, &str)]) {
     println!("\n## {title} (hot: measured CPU ms; scan share in parentheses)");
     print!("{:>4}", "Q");
     for (_, label) in runs {
@@ -147,10 +171,23 @@ fn print_hot(title: &str, runs: &[(Vec<QueryRun>, &str)]) {
             print!(" {:>8.2}", series[i].total / v.max(1e-9));
         }
         println!();
+        for (series, label) in runs {
+            json.row(&[
+                ("section", section.into()),
+                ("query", (*q as u64).into()),
+                ("series", (*label).into()),
+                ("hot_ms", (series[i].total * 1e3).into()),
+                (
+                    "scan_share",
+                    (series[i].scan / series[i].total.max(1e-9)).into(),
+                ),
+                ("vs_vdt", (series[i].total / v.max(1e-9)).into()),
+            ]);
+        }
     }
 }
 
-fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
+fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64, json: &mut BenchJson) {
     println!("\n=== {name}: SF {sf}, compressed={compressed} ===");
     let data = tpch::generate(sf);
     let streams = RefreshStreams::build(&data, 1.0);
@@ -187,20 +224,44 @@ fn profile(name: &str, compressed: bool, bandwidth: f64, sf: f64) {
     let runs = [(clean, "none"), (vdt, "vdt"), (pdt, "pdt"), (rows, "rows")];
 
     if compressed {
-        print_cold("Plot 1: cold execution times, server", &runs, bandwidth);
-        print_io("Plot 2: IO consumption, server", &runs);
-    } else {
         print_cold(
-            "Plot 3: cold execution times, workstation",
+            "Plot 1: cold execution times, server",
+            "plot1_cold_server",
+            json,
             &runs,
             bandwidth,
         );
-        print_hot("Plot 4: hot execution times, workstation", &runs);
-        print_io("Plot 5: IO consumption, workstation", &runs);
+        print_io(
+            "Plot 2: IO consumption, server",
+            "plot2_io_server",
+            json,
+            &runs,
+        );
+    } else {
+        print_cold(
+            "Plot 3: cold execution times, workstation",
+            "plot3_cold_workstation",
+            json,
+            &runs,
+            bandwidth,
+        );
+        print_hot(
+            "Plot 4: hot execution times, workstation",
+            "plot4_hot_workstation",
+            json,
+            &runs,
+        );
+        print_io(
+            "Plot 5: IO consumption, workstation",
+            "plot5_io_workstation",
+            json,
+            &runs,
+        );
     }
 }
 
 fn main() {
+    let mut json = BenchJson::new("fig19");
     let sf = env_f64("PDT_TPCH_SF", 0.05);
     println!("# Figure 19: TPC-H with 2 refresh streams (~0.1% of orders/lineitem)");
     println!("# bars per query: no-updates / VDT-based / PDT-based / row-store-based");
@@ -210,6 +271,7 @@ fn main() {
         true,
         3.0e9,
         sf,
+        &mut json,
     );
     // workstation: non-compressed storage, HDD (paper: 150 MB/s)
     profile(
@@ -217,8 +279,10 @@ fn main() {
         false,
         150.0e6,
         sf,
+        &mut json,
     );
     println!("\n# expectation (paper): PDT bars ≈ no-updates bars; VDT bars higher —");
     println!("# I/O up to 2x on non-compressed keys (Plot 5), scan CPU up to ~half of");
     println!("# total hot time (Plot 4, e.g. Q6); Q2/Q11/Q16 identical across bars.");
+    json.finish();
 }

@@ -23,7 +23,7 @@
 //! `PDT_BENCH_MAINT_SCANS` (scans per mode, default 60),
 //! `PDT_BENCH_MAINT_OPS` (update transactions, default 1_500).
 
-use bench::env_u64;
+use bench::{env_u64, BenchJson};
 use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
 use engine::{
     CompactionConfig, Database, MaintenanceConfig, MaintenanceScheduler, TableOptions,
@@ -234,6 +234,7 @@ fn main() {
         "reused",
         "w-amp"
     );
+    let mut json = BenchJson::new("fig20");
     for policy in ALL_POLICIES {
         for mode in [Mode::Off, Mode::Whole, Mode::Incremental] {
             let r = run_mode(policy, rows, scans, ops, mode);
@@ -253,6 +254,20 @@ fn main() {
                     .map(|w| format!("{w:.1}"))
                     .unwrap_or_else(|| "-".into()),
             );
+            json.row(&[
+                ("policy", format!("{policy:?}").into()),
+                ("maint", mode.label().into()),
+                ("p50_us", r.p50_us.into()),
+                ("p95_us", r.p95_us.into()),
+                ("p99_us", r.p99_us.into()),
+                ("max_us", r.max_us.into()),
+                ("flushes", r.flushes.into()),
+                ("checkpoints", r.checkpoints.into()),
+                ("compactions", r.compactions.into()),
+                ("blocks_reused", r.blocks_reused.into()),
+                ("w_amp", r.w_amp.unwrap_or(f64::NAN).into()),
+            ]);
         }
     }
+    json.finish();
 }

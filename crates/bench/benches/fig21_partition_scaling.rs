@@ -19,7 +19,7 @@
 //! Scale knobs: `PDT_BENCH_ROWS` (default 1_000_000 rows, 1 int key +
 //! 4 data columns, ~1 % of rows updated before scanning).
 
-use bench::{between_key, env_u64, EngineMicroLoad, KeyKind};
+use bench::{between_key, env_u64, BenchJson, EngineMicroLoad, KeyKind};
 use columnar::Value;
 use engine::{ReadView, ScanSpec, ALL_POLICIES};
 use exec::Operator;
@@ -85,6 +85,7 @@ fn main() {
         "{:>10} {:>6} {:>8} {:>12} {:>12} {:>9} {:>12}",
         "policy", "parts", "rows", "seq_Mrows/s", "par_Mrows/s", "par/1p", "append_Mr/s"
     );
+    let mut json = BenchJson::new("fig21");
     for policy in ALL_POLICIES {
         let mut baseline = None;
         for &parts in &[1usize, 2, 4, 8] {
@@ -108,7 +109,17 @@ fn main() {
                 par / base,
                 append / 1e6,
             );
+            json.row(&[
+                ("policy", format!("{policy:?}").into()),
+                ("parts", parts.into()),
+                ("rows", n.into()),
+                ("seq_mrows_per_s", (seq / 1e6).into()),
+                ("par_mrows_per_s", (par / 1e6).into()),
+                ("par_over_1p", (par / base).into()),
+                ("append_mrows_per_s", (append / 1e6).into()),
+            ]);
         }
     }
     println!("# acceptance: par/1p ≥ 2.0 at parts ≥ 4 (partition-parallel MergeScan)");
+    json.finish();
 }

@@ -17,7 +17,7 @@
 //! `PDT_BENCH_MIXED_WAL=1` (commit through a WAL, default on).
 
 use bench::mixed::{run_mixed, MixedConfig};
-use bench::{env_f64, env_u64};
+use bench::{env_f64, env_u64, BenchJson};
 use engine::ALL_POLICIES;
 
 fn main() {
@@ -33,6 +33,7 @@ fn main() {
          {refresh_sessions} refresh sessions, {partitions} partitions, \
          wal={with_wal}"
     );
+    let mut json = BenchJson::new("fig22");
     for policy in ALL_POLICIES {
         let wal = with_wal.then(|| std::env::temp_dir().join(format!("pdt_fig22_{policy:?}.wal")));
         let cfg = MixedConfig {
@@ -78,8 +79,55 @@ fn main() {
                 }
             }
         }
+        let class_row = |json: &mut BenchJson, class: &str, r: &bench::mixed::ClassReport| {
+            json.row(&[
+                ("policy", format!("{policy:?}").into()),
+                ("class", class.into()),
+                ("sessions", r.sessions.into()),
+                ("ops", r.ops.into()),
+                ("ops_per_sec", r.per_sec().into()),
+                (
+                    "p50_us",
+                    r.latency
+                        .map(|l| l.p50_ns as f64 / 1e3)
+                        .unwrap_or(f64::NAN)
+                        .into(),
+                ),
+                (
+                    "p95_us",
+                    r.latency
+                        .map(|l| l.p95_ns as f64 / 1e3)
+                        .unwrap_or(f64::NAN)
+                        .into(),
+                ),
+                (
+                    "p99_us",
+                    r.latency
+                        .map(|l| l.p99_ns as f64 / 1e3)
+                        .unwrap_or(f64::NAN)
+                        .into(),
+                ),
+                ("backpressure_retries", report.backpressure_retries.into()),
+                (
+                    "wal_records",
+                    report
+                        .wal
+                        .as_ref()
+                        .map(|w| w.commits + w.checkpoints)
+                        .unwrap_or(0)
+                        .into(),
+                ),
+                (
+                    "wal_appends",
+                    report.wal.as_ref().map(|w| w.appends).unwrap_or(0).into(),
+                ),
+            ]);
+        };
+        class_row(&mut json, "query", &report.queries);
+        class_row(&mut json, "refresh", &report.refresh);
         if let Some(p) = &wal {
             let _ = std::fs::remove_file(p);
         }
     }
+    json.finish();
 }

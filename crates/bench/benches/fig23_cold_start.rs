@@ -22,7 +22,7 @@
 //! (update commits before the checkpoint, default 2_000),
 //! `PDT_BENCH_COLD_BW` (modelled disk bytes/sec, default 150e6).
 
-use bench::{env_f64, env_u64};
+use bench::{env_f64, env_u64, BenchJson};
 use columnar::{Schema, TableMeta, Value, ValueType};
 use engine::{Database, TableOptions, UpdatePolicy, ALL_POLICIES};
 use exec::expr::{col, lit};
@@ -95,6 +95,7 @@ fn main() {
          modelled disk bandwidth {:.0} MB/s",
         bw / 1e6
     );
+    let mut json = BenchJson::new("fig23");
     for policy in ALL_POLICIES {
         let dir = std::env::temp_dir().join(format!("pdt_fig23_{policy:?}"));
         let _ = std::fs::remove_dir_all(&dir);
@@ -176,6 +177,23 @@ fn main() {
             sel.bytes_read / 1024,
             full.bytes_read / 1024,
         );
+        json.row(&[
+            ("policy", format!("{policy:?}").into()),
+            ("image_ms", (image_secs * 1e3).into()),
+            ("image_blocks_read", image_io.blocks_read.into()),
+            ("image_kib_read", (image_io.bytes_read / 1024).into()),
+            (
+                "image_transfer_ms",
+                (image_io.transfer_secs(bw) * 1e3).into(),
+            ),
+            ("replay_ms", (replay_secs * 1e3).into()),
+            ("range_hits", hits.into()),
+            ("range_blocks_read", sel.blocks_read.into()),
+            ("full_blocks_read", full.blocks_read.into()),
+            ("range_kib_read", (sel.bytes_read / 1024).into()),
+            ("full_kib_read", (full.bytes_read / 1024).into()),
+        ]);
         let _ = std::fs::remove_dir_all(&dir);
     }
+    json.finish();
 }

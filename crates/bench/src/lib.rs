@@ -9,6 +9,9 @@
 //! * `PDT_TPCH_SF` — TPC-H scale factor for fig19 (default 0.05).
 
 pub mod mixed;
+pub mod report;
+
+pub use report::BenchJson;
 
 use columnar::{Schema, StableTable, TableMeta, TableOptions, Tuple, Value, ValueType};
 use pdt::Pdt;

@@ -215,6 +215,7 @@ pub fn run_mixed_with_db(cfg: &MixedConfig) -> (MixedReport, Arc<Database>) {
             max_sessions: cfg.query_sessions + cfg.refresh_sessions,
             maintenance: cfg.maintenance,
             admission: cfg.admission,
+            ..ServerConfig::default()
         },
     );
 

@@ -1,0 +1,213 @@
+//! Machine-readable bench output: every figure bench writes a
+//! `BENCH_<fig>.json` next to its human-readable table, so regression
+//! tooling can diff runs without scraping stdout.
+//!
+//! The format is one JSON object per file:
+//!
+//! ```json
+//! {"bench": "fig17", "rows": [{"rows": 1000000, "key": "int", ...}, ...]}
+//! ```
+//!
+//! Set `PDT_BENCH_JSON_DIR` to redirect the files (default: the working
+//! directory). Emission never fails a bench — I/O errors only warn.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// One JSON scalar in a bench row.
+#[derive(Debug, Clone)]
+pub enum JsonValue {
+    /// A string field (key kind, policy name, ...).
+    Str(String),
+    /// A float field (milliseconds, ratios).
+    F64(f64),
+    /// An unsigned integer field (row counts, sizes).
+    U64(u64),
+    /// A signed integer field.
+    I64(i64),
+    /// A boolean field.
+    Bool(bool),
+}
+
+impl From<&str> for JsonValue {
+    fn from(v: &str) -> Self {
+        JsonValue::Str(v.to_string())
+    }
+}
+impl From<String> for JsonValue {
+    fn from(v: String) -> Self {
+        JsonValue::Str(v)
+    }
+}
+impl From<f64> for JsonValue {
+    fn from(v: f64) -> Self {
+        JsonValue::F64(v)
+    }
+}
+impl From<u64> for JsonValue {
+    fn from(v: u64) -> Self {
+        JsonValue::U64(v)
+    }
+}
+impl From<u32> for JsonValue {
+    fn from(v: u32) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<usize> for JsonValue {
+    fn from(v: usize) -> Self {
+        JsonValue::U64(v as u64)
+    }
+}
+impl From<i64> for JsonValue {
+    fn from(v: i64) -> Self {
+        JsonValue::I64(v)
+    }
+}
+impl From<bool> for JsonValue {
+    fn from(v: bool) -> Self {
+        JsonValue::Bool(v)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn value_into(out: &mut String, v: &JsonValue) {
+    match v {
+        JsonValue::Str(s) => {
+            out.push('"');
+            escape_into(out, s);
+            out.push('"');
+        }
+        JsonValue::F64(f) if f.is_finite() => {
+            let _ = write!(out, "{f}");
+        }
+        JsonValue::F64(_) => out.push_str("null"),
+        JsonValue::U64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::I64(n) => {
+            let _ = write!(out, "{n}");
+        }
+        JsonValue::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+    }
+}
+
+/// Accumulates the rows of one bench run and writes `BENCH_<fig>.json`
+/// on [`BenchJson::finish`] (or on drop, if `finish` was not called).
+pub struct BenchJson {
+    fig: String,
+    rows: Vec<String>,
+    written: bool,
+}
+
+impl BenchJson {
+    /// Start collecting rows for figure `fig` (e.g. `"fig17"`).
+    pub fn new(fig: &str) -> BenchJson {
+        BenchJson {
+            fig: fig.to_string(),
+            rows: Vec::new(),
+            written: false,
+        }
+    }
+
+    /// Append one row of named fields, in the given order.
+    pub fn row(&mut self, fields: &[(&str, JsonValue)]) {
+        let mut obj = String::from("{");
+        for (i, (k, v)) in fields.iter().enumerate() {
+            if i > 0 {
+                obj.push_str(", ");
+            }
+            obj.push('"');
+            escape_into(&mut obj, k);
+            obj.push_str("\": ");
+            value_into(&mut obj, v);
+        }
+        obj.push('}');
+        self.rows.push(obj);
+    }
+
+    /// The output path: `$PDT_BENCH_JSON_DIR/BENCH_<fig>.json` (or the
+    /// working directory when the variable is unset).
+    pub fn path(&self) -> PathBuf {
+        let dir = std::env::var_os("PDT_BENCH_JSON_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("."));
+        dir.join(format!("BENCH_{}.json", self.fig))
+    }
+
+    /// Write the collected rows. Failures warn on stderr; they never fail
+    /// the bench.
+    pub fn finish(mut self) {
+        self.write_out();
+    }
+
+    fn write_out(&mut self) {
+        if self.written {
+            return;
+        }
+        self.written = true;
+        let mut doc = format!("{{\"bench\": \"{}\", \"rows\": [\n", self.fig);
+        for (i, r) in self.rows.iter().enumerate() {
+            doc.push_str("  ");
+            doc.push_str(r);
+            doc.push_str(if i + 1 < self.rows.len() { ",\n" } else { "\n" });
+        }
+        doc.push_str("]}\n");
+        let path = self.path();
+        if let Err(e) = std::fs::write(&path, doc) {
+            eprintln!("warning: failed to write {}: {e}", path.display());
+        } else {
+            println!("# wrote {}", path.display());
+        }
+    }
+}
+
+impl Drop for BenchJson {
+    fn drop(&mut self) {
+        self.write_out();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_serialize_and_file_is_written() {
+        let dir = std::env::temp_dir().join(format!("pdt_bench_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("PDT_BENCH_JSON_DIR", &dir);
+        let mut j = BenchJson::new("figtest");
+        j.row(&[
+            ("rows", 1_000_000u64.into()),
+            ("key", "int".into()),
+            ("ms", 1.25f64.into()),
+            ("large", false.into()),
+            ("note", "a \"quoted\" name".into()),
+        ]);
+        let path = j.path();
+        j.finish();
+        std::env::remove_var("PDT_BENCH_JSON_DIR");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"bench\": \"figtest\""), "{text}");
+        assert!(text.contains("\"rows\": 1000000"), "{text}");
+        assert!(text.contains("\"ms\": 1.25"), "{text}");
+        assert!(text.contains("\\\"quoted\\\""), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -849,6 +849,7 @@ impl<'db> DbTxn<'db> {
     /// everything at one commit sequence. On conflict the transaction is
     /// gone and the error describes the clash.
     pub fn commit(self) -> Result<u64, DbError> {
+        let trace_start = obs::trace::enabled().then(std::time::Instant::now);
         let mgr = &self.db.txn_mgr;
         let _commit = mgr.commit_guard();
         // flatten to the touched (table, partition) list, deterministic
@@ -892,6 +893,17 @@ impl<'db> DbTxn<'db> {
             .filter(|(_, _, e)| !e.is_empty())
             .map(|(t, p, e)| (t.as_str(), *p, e.as_slice()))
             .collect();
+        // When tracing, keep the touched (table, partition, wal entries)
+        // triples for the commit event and the slow-commit check after
+        // the durable wait (`entries` itself is consumed by publish).
+        let traced_parts: Vec<(String, u32, u64)> = if trace_start.is_some() {
+            entries
+                .iter()
+                .map(|(name, p, e)| (name.clone(), *p, e.len() as u64))
+                .collect()
+        } else {
+            Vec::new()
+        };
         let seq = mgr.alloc_seq();
         // Group commit phase A: enqueue the record in the coordinator's
         // buffer while still under the commit guard (keeps the log in
@@ -908,8 +920,50 @@ impl<'db> DbTxn<'db> {
         // Group commit phase B: acknowledge only once the record is on
         // disk. The commit is visible before it is durable; a crash in the
         // window loses only commits whose `commit()` never returned.
+        let durable_start = trace_start.map(|_| std::time::Instant::now());
         if let Some(ticket) = wal_ticket {
             mgr.wait_wal_durable(ticket)?;
+        }
+        if let Some(t0) = trace_start {
+            let total = t0.elapsed();
+            let durable_ns = durable_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let wal_entries: u64 = traced_parts.iter().map(|(_, _, e)| e).sum();
+            obs::event!(
+                obs::TraceKind::Commit,
+                seq: seq,
+                dur_ns: total.as_nanos() as u64,
+                a: traced_parts.len() as u64,
+                b: wal_entries,
+            );
+            // Slow-commit log: one event per touched (table, partition)
+            // whose table asked for it (`entries` are sorted by table, so
+            // the threshold lookup is cached across adjacent partitions).
+            let mut cached: Option<(String, Option<std::time::Duration>)> = None;
+            for (name, part, part_entries) in &traced_parts {
+                if cached.as_ref().is_none_or(|(n, _)| n != name) {
+                    let th = self
+                        .db
+                        .options(name)
+                        .ok()
+                        .and_then(|o| o.slow_commit_threshold);
+                    cached = Some((name.clone(), th));
+                }
+                let slow = cached
+                    .as_ref()
+                    .and_then(|(_, th)| *th)
+                    .is_some_and(|th| total >= th);
+                if slow {
+                    obs::event!(
+                        obs::TraceKind::SlowCommit,
+                        table: obs::trace::intern(name),
+                        part: *part,
+                        seq: seq,
+                        dur_ns: total.as_nanos() as u64,
+                        a: *part_entries,
+                        b: durable_ns,
+                    );
+                }
+            }
         }
         Ok(seq)
     }

@@ -62,7 +62,7 @@ pub use rowstore::RowStore;
 pub use txn::wal::WalStats;
 
 use columnar::{
-    ColumnarError, ImageStore, IoTracker, Schema, StableTable, TableMeta, Tuple, Value,
+    ColumnarError, ImageStore, IoStats, IoTracker, Schema, StableTable, TableMeta, Tuple, Value,
 };
 use exec::{
     DeltaLayers, Operator, ParallelUnionScan, ScanBounds, ScanClock, ScanSegment, TableScan,
@@ -211,6 +211,11 @@ pub struct TableOptions {
     /// as well as — full checkpoints still run over budget) rewriting
     /// whole partitions. Disabled by default.
     pub compaction: CompactionConfig,
+    /// Slow-query log threshold: commits touching this table that take
+    /// longer emit one `slow.commit` trace event (with partition count,
+    /// WAL entries, and the durable-wait share) when tracing is enabled.
+    /// `None` (the default) disables the check.
+    pub slow_commit_threshold: Option<std::time::Duration>,
 }
 
 impl Default for TableOptions {
@@ -223,6 +228,7 @@ impl Default for TableOptions {
             checkpoint_threshold_bytes: 64 << 20,
             partitions: PartitionSpec::None,
             compaction: CompactionConfig::default(),
+            slow_commit_threshold: None,
         }
     }
 }
@@ -270,6 +276,13 @@ impl TableOptions {
     /// [`CompactionConfig`]).
     pub fn with_compaction(mut self, compaction: CompactionConfig) -> Self {
         self.compaction = compaction;
+        self
+    }
+
+    /// Set the slow-commit trace threshold (see
+    /// [`TableOptions::slow_commit_threshold`]).
+    pub fn with_slow_commit_threshold(mut self, threshold: std::time::Duration) -> Self {
+        self.slow_commit_threshold = Some(threshold);
         self
     }
 
@@ -543,6 +556,13 @@ impl Database {
                         pe.heat.reset(stable.num_blocks());
                         *pe.provenance.lock() = Some(prov);
                         pe.stable = Arc::new(stable);
+                        obs::event!(
+                            obs::TraceKind::RecoveryImageAdopt,
+                            table: obs::trace::intern(name),
+                            part: p,
+                            seq: image_seq,
+                            a: marker.residual.len() as u64,
+                        );
                         // A range-scoped marker's image holds only the
                         // folded window; the covered commits' remainder
                         // rides in the marker itself, rebased onto this
@@ -557,6 +577,9 @@ impl Database {
         let records = txn::wal::effective_commits(all);
         let tables = self.tables.read();
         let mut last = 0;
+        // Per-(table, partition) replay tallies: (entries, commits, last
+        // sequence), aggregated into one trace event each.
+        let mut replayed: HashMap<(String, u32), (u64, u64, u64)> = HashMap::new();
         for rec in records {
             last = rec.seq();
             if let txn::wal::WalRecord::Commit {
@@ -578,8 +601,24 @@ impl Database {
                             ),
                         })?;
                     pe.delta.replay(&entries);
+                    if obs::trace::enabled() {
+                        let t = replayed.entry((table.clone(), part)).or_default();
+                        t.0 += entries.len() as u64;
+                        t.1 += 1;
+                        t.2 = last;
+                    }
                 }
             }
+        }
+        for ((table, part), (entries, commits, seq)) in replayed {
+            obs::event!(
+                obs::TraceKind::RecoveryWalReplay,
+                table: obs::trace::intern(&table),
+                part: part,
+                seq: seq,
+                a: entries,
+                b: commits,
+            );
         }
         self.txn_mgr.finish_recovery(last);
         Ok(last)
@@ -591,6 +630,46 @@ impl Database {
     /// `commits > appends`. `None` without a WAL.
     pub fn wal_stats(&self) -> Option<txn::wal::WalStats> {
         self.txn_mgr.wal_stats()
+    }
+
+    /// Pour the engine's live counters into a unified [`obs::Registry`]:
+    /// block I/O, the merge-scan clock, WAL totals (when a WAL is
+    /// attached), the transaction sequence, and per-table gauges labelled
+    /// by table name. `server::Registry::snapshot` composes this with the
+    /// serving-layer counters; embedders without a server read the same
+    /// names via [`Database::metrics`].
+    pub fn pour_metrics(&self, reg: &obs::Registry) {
+        let io = self.io.stats();
+        reg.counter("db.io.blocks_read", &[]).add(io.blocks_read);
+        reg.counter("db.io.bytes_read", &[]).add(io.bytes_read);
+        reg.gauge("db.scan.merge_ns", &[]).set(self.clock.nanos());
+        reg.gauge("db.txn.seq", &[]).set(self.txn_mgr.seq());
+        if let Some(w) = self.wal_stats() {
+            reg.counter("db.wal.commits", &[]).add(w.commits);
+            reg.counter("db.wal.checkpoints", &[]).add(w.checkpoints);
+            reg.counter("db.wal.appends", &[]).add(w.appends);
+            reg.gauge("db.wal.pending_records", &[])
+                .set(self.txn_mgr.wal_pending_records());
+        }
+        let tables = self.tables.read();
+        for (name, e) in tables.iter() {
+            let labels: &[(&str, &str)] = &[("table", name.as_str())];
+            reg.gauge("db.table.partitions", labels)
+                .set(e.parts.len() as u64);
+            reg.gauge("db.table.delta_bytes", labels)
+                .set(e.parts.iter().map(|p| p.delta.delta_bytes() as u64).sum());
+            reg.counter("db.table.write_bytes", labels)
+                .add(e.parts.iter().map(|p| p.delta.write_bytes() as u64).sum());
+        }
+    }
+
+    /// One coherent snapshot of every engine metric ([`Database::pour_metrics`]
+    /// into a fresh registry) — exposition-ready via
+    /// [`obs::MetricsSnapshot::to_text`] / [`obs::MetricsSnapshot::to_json`].
+    pub fn metrics(&self) -> obs::MetricsSnapshot {
+        let reg = obs::Registry::new();
+        self.pour_metrics(&reg);
+        reg.snapshot()
     }
 
     /// Test seam: suppress (or re-enable) group-commit flush leadership so
@@ -794,6 +873,16 @@ impl Database {
                 None => return Ok(false),
             }
         };
+        let trace_table = obs::trace::enabled().then(|| obs::trace::intern(table));
+        if let Some(t) = trace_table {
+            obs::event!(obs::TraceKind::CheckpointPin, table: t, part: p as u32, seq: pin.seq);
+        }
+        let mut merge_span = match trace_table {
+            Some(t) => {
+                obs::span!(obs::TraceKind::CheckpointMerge, table: t, part: p as u32, seq: pin.seq)
+            }
+            None => obs::trace::SpanGuard::disabled(),
+        };
         // Phase 2 — merge, off every lock: commits and read views proceed.
         // A failed merge must abort the pin, releasing the store's pin
         // window so the partition is ready for the next attempt.
@@ -829,6 +918,8 @@ impl Database {
                 )));
             }
         }
+        merge_span.set_a(image_seq.is_some() as u64);
+        drop(merge_span);
         // Phase 3 — install: marker, slice swap and delta reset, atomic
         // under the commit guard.
         {
@@ -853,7 +944,11 @@ impl Database {
                     image_seq.map(|seq| (0..fresh.num_blocks()).map(|j| (seq, j)).collect());
                 pe.stable = Arc::new(fresh);
             }
+            let seq = pin.seq;
             delta.checkpoint_install(pin);
+            if let Some(t) = trace_table {
+                obs::event!(obs::TraceKind::CheckpointInstall, table: t, part: p as u32, seq: seq);
+            }
         }
         Ok(true)
     }
@@ -936,6 +1031,28 @@ impl Database {
                 detail: format!("compaction range [{b0}, {b1}) out of bounds ({old_nb} blocks)"),
             });
         }
+        let trace_table = obs::trace::enabled().then(|| obs::trace::intern(table));
+        if let Some(t) = trace_table {
+            obs::event!(
+                obs::TraceKind::CompactionPin,
+                table: t,
+                part: p as u32,
+                seq: pin.seq,
+                a: b0 as u64,
+                b: b1 as u64,
+            );
+        }
+        let merge_span = match trace_table {
+            Some(t) => obs::span!(
+                obs::TraceKind::CompactionMerge,
+                table: t,
+                part: p as u32,
+                seq: pin.seq,
+                a: b0 as u64,
+                b: b1 as u64,
+            ),
+            None => obs::trace::SpanGuard::disabled(),
+        };
         let range = delta::CompactRange {
             b0,
             b1,
@@ -1025,6 +1142,7 @@ impl Database {
                     .collect(),
             );
         }
+        drop(merge_span);
         // Phase 3 — install: range marker (merged span + rebased residual),
         // slice swap and delta replacement, atomic under the commit guard.
         {
@@ -1050,7 +1168,18 @@ impl Database {
             pe.heat.reset(new_nb);
             *pe.provenance.lock() = new_prov;
             pe.stable = Arc::new(fresh);
+            let seq = pin.seq;
             delta.checkpoint_install_range(pin, merge);
+            if let Some(t) = trace_table {
+                obs::event!(
+                    obs::TraceKind::CompactionInstall,
+                    table: t,
+                    part: p as u32,
+                    seq: seq,
+                    a: b0 as u64,
+                    b: b1 as u64,
+                );
+            }
         }
         Ok(Some(CompactionReport {
             blocks_merged: (b1 - b0) as u64,
@@ -1089,6 +1218,7 @@ pub struct ScanSpec {
     proj: ScanProj,
     bounds: ScanBounds,
     rid_range: Option<(u64, u64)>,
+    profile: bool,
 }
 
 #[derive(Debug, Clone, Default)]
@@ -1145,6 +1275,17 @@ impl ScanSpec {
         self
     }
 
+    /// Attach a per-query [`obs::ScanProfile`] to the scan (the
+    /// `explain_analyze` mode): the scan then counts batches, rows,
+    /// blocks decoded vs zone-map-skipped, bytes read, and the merge
+    /// path taken per segment. Read the counters back via
+    /// [`exec::ops::scan::TableScan::profile`] or, more conveniently,
+    /// [`ReadView::explain_analyze`].
+    pub fn profiled(mut self) -> Self {
+        self.profile = true;
+        self
+    }
+
     /// Resolve the projection against `schema`.
     fn resolve(&self, table: &str, schema: &Schema) -> Result<Vec<usize>, DbError> {
         match &self.proj {
@@ -1186,7 +1327,34 @@ impl ScanSpec {
         if let Some((lo, hi)) = self.rid_range {
             scan.clamp_rids(lo, hi);
         }
+        if self.profile {
+            scan.set_profile(Arc::new(obs::ScanProfile::new()));
+        }
         Ok(scan)
+    }
+}
+
+/// The report of one [`ReadView::explain_analyze`] run: what the query
+/// produced, what it cost, and the plan-shaped operator profile.
+#[derive(Debug, Clone)]
+pub struct QueryProfile {
+    /// Rows the scan produced.
+    pub rows: u64,
+    /// Block I/O charged to the view's tracker while the query ran.
+    pub io: IoStats,
+    /// Plan-shaped operator report (per-segment merge paths, blocks
+    /// decoded vs zone-map-skipped, bytes read, wall time).
+    pub plan: obs::OpProfile,
+}
+
+impl fmt::Display for QueryProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "rows={} io.blocks_read={} io.bytes_read={}",
+            self.rows, self.io.blocks_read, self.io.bytes_read
+        )?;
+        write!(f, "{}", self.plan)
     }
 }
 
@@ -1294,6 +1462,30 @@ impl ReadView {
             self.io.clone(),
             self.clock.clone(),
         )
+    }
+
+    /// Run `spec` against `table` to completion in profiled mode and
+    /// return the `EXPLAIN ANALYZE`-style report: rows produced, the
+    /// I/O this query charged to the view's tracker, and a plan-shaped
+    /// [`obs::OpProfile`] with per-segment merge paths, blocks decoded
+    /// vs zone-map-skipped, and bytes read.
+    pub fn explain_analyze(&self, table: &str, spec: ScanSpec) -> Result<QueryProfile, DbError> {
+        let io_before = self.io.stats();
+        let mut scan = self.scan_with(table, spec.profiled())?;
+        let profile = scan
+            .profile()
+            .expect("profiled spec attaches a ScanProfile");
+        let mut rows = 0u64;
+        while let Some(b) = scan.next_batch() {
+            rows += b.num_rows() as u64;
+        }
+        drop(scan);
+        let io = self.io.stats().since(&io_before);
+        Ok(QueryProfile {
+            rows,
+            io,
+            plan: profile.snapshot().into_op(table),
+        })
     }
 
     /// Partition-parallel scan: each partition's MergeScan runs as a task

@@ -1307,7 +1307,7 @@ pub fn run_concurrent_differential(spec: ConcurrentSpec) -> Vec<Tuple> {
                 flush_threshold_bytes: 256,
                 checkpoint_threshold_bytes: 1024,
                 partitions: PartitionSpec::None,
-                compaction: Default::default(),
+                ..TableOptions::default()
             },
             base.clone(),
         )

@@ -6,6 +6,7 @@
 pub mod aggregate;
 pub mod filter;
 pub mod join;
+pub mod profiled;
 pub mod project;
 pub mod scan;
 pub mod sort;

@@ -1,0 +1,76 @@
+//! [`Profiled`] — an operator wrapper feeding `explain_analyze` reports.
+//!
+//! Wrapping an operator records batches, rows, and inclusive wall time
+//! (children run inside the wrapped `next_batch`, as in `EXPLAIN
+//! ANALYZE` actual-time) into a shared [`OpStats`]; after the plan
+//! drains, the caller snapshots the stats into the plan-shaped
+//! [`obs::OpProfile`] report.
+
+use super::Operator;
+use crate::batch::Batch;
+use columnar::ValueType;
+use obs::profile::OpStats;
+use std::sync::atomic::Ordering::Relaxed;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Wraps an operator, recording per-operator batches/rows/wall time.
+pub struct Profiled<Op> {
+    inner: Op,
+    stats: Arc<OpStats>,
+}
+
+impl<Op: Operator> Profiled<Op> {
+    /// Wrap `inner`, reporting under `name` (e.g. `"Filter"`).
+    pub fn new(name: &str, inner: Op) -> Self {
+        Profiled {
+            inner,
+            stats: Arc::new(OpStats::new(name)),
+        }
+    }
+
+    /// The shared counters — keep a clone to build the report after the
+    /// plan drains.
+    pub fn stats(&self) -> Arc<OpStats> {
+        self.stats.clone()
+    }
+}
+
+impl<Op: Operator> Operator for Profiled<Op> {
+    fn next_batch(&mut self) -> Option<Batch> {
+        let t0 = Instant::now();
+        let out = self.inner.next_batch();
+        self.stats
+            .wall_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+        if let Some(b) = &out {
+            self.stats.batches.fetch_add(1, Relaxed);
+            self.stats.rows.fetch_add(b.num_rows() as u64, Relaxed);
+        }
+        out
+    }
+
+    fn out_types(&self) -> Vec<ValueType> {
+        self.inner.out_types()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{run_to_rows, ValuesOp};
+    use columnar::Value;
+
+    #[test]
+    fn profiled_counts_batches_rows_and_time() {
+        let rows: Vec<_> = (0..5).map(|i| vec![Value::Int(i)]).collect();
+        let mut op = Profiled::new("Values", ValuesOp::new(&[ValueType::Int], &rows));
+        let stats = op.stats();
+        assert_eq!(op.out_types(), vec![ValueType::Int]);
+        assert_eq!(run_to_rows(&mut op).len(), 5);
+        let report = stats.into_op(vec![]);
+        assert_eq!(report.name, "Values");
+        assert_eq!(report.batches, 1);
+        assert_eq!(report.rows, 5);
+    }
+}

@@ -139,6 +139,12 @@ pub struct TableScan<'a> {
     /// `io` override (`None` outside a union — `io` is then the only
     /// tracker).
     union_io: Option<IoTracker>,
+    /// `explain_analyze` counters attached via [`TableScan::set_profile`];
+    /// carried across segment advances.
+    profile: Option<std::sync::Arc<obs::ScanProfile>>,
+    /// Blocks the zone map pruned off this segment's range in
+    /// [`TableScan::ranged`] (clean scans only).
+    zone_skipped: u64,
 }
 
 impl<'a> TableScan<'a> {
@@ -208,12 +214,14 @@ impl<'a> TableScan<'a> {
                 (MergeState::Rows(Box::new(merger)), io_cols, None, upper)
             }
         };
+        let mut zone_skipped = 0u64;
         let (next_block, end_block) = if range.is_empty() {
             (usize::MAX, 0)
         } else {
             let mut first = table.block_of(range.start);
             let mut last = table.block_of(range.end.saturating_sub(1)) + 1;
             if matches!(state, MergeState::None) {
+                let conservative = (last - first) as u64;
                 // Clean scans may skip blocks via the exact per-block
                 // min/max zone map: `sid_range` stays over-inclusive (one
                 // block early) so positionally patched scans never lose
@@ -236,6 +244,12 @@ impl<'a> TableScan<'a> {
                     table.block_range(first).0
                 };
                 start_rid = start_rid.max(anchor).min(range.end);
+                zone_skipped = conservative
+                    - if first < last {
+                        (last - first) as u64
+                    } else {
+                        0
+                    };
             }
             if first < last {
                 (first, last)
@@ -266,7 +280,31 @@ impl<'a> TableScan<'a> {
             emitted: false,
             bounds,
             union_io: None,
+            profile: None,
+            zone_skipped,
         }
+    }
+
+    /// Attach `explain_analyze` profile counters. The current segment is
+    /// accounted (merge path, zone-map-skipped blocks) immediately;
+    /// later segments are accounted as the union advances into them.
+    pub fn set_profile(&mut self, profile: std::sync::Arc<obs::ScanProfile>) {
+        use std::sync::atomic::Ordering::Relaxed;
+        profile.segments.fetch_add(1, Relaxed);
+        profile.blocks_skipped.fetch_add(self.zone_skipped, Relaxed);
+        profile.record_path(match state_kind(&self.state) {
+            0 => obs::MergePath::Clean,
+            1 => obs::MergePath::PdtKernel,
+            2 => obs::MergePath::VdtKernel,
+            _ => obs::MergePath::RowsKernel,
+        });
+        self.profile = Some(profile);
+    }
+
+    /// The attached `explain_analyze` profile, if any — clone the `Arc`
+    /// before draining the scan to read the counters afterwards.
+    pub fn profile(&self) -> Option<std::sync::Arc<obs::ScanProfile>> {
+        self.profile.clone()
     }
 
     /// Union scan over the ordered partitions of a range-partitioned
@@ -339,6 +377,9 @@ impl<'a> TableScan<'a> {
             };
             fresh.emitted = self.emitted;
             fresh.pending = std::mem::take(&mut self.pending);
+            if let Some(p) = self.profile.take() {
+                fresh.set_profile(p);
+            }
             *self = fresh;
             return true;
         }
@@ -411,6 +452,7 @@ impl<'a> TableScan<'a> {
     /// Decode the scan's columns for block `b`, sliced to the scan range.
     /// Returns `(start_sid, per-io_col data)`.
     fn read_block(&self, b: usize) -> (u64, Vec<ColumnVec>) {
+        let profile_bytes0 = self.profile.as_ref().map(|_| self.io.stats().bytes_read);
         let (bstart, bend) = self.table.block_range(b);
         let lo = self.range.start.max(bstart);
         let hi = self.range.end.min(bend);
@@ -430,6 +472,12 @@ impl<'a> TableScan<'a> {
                 }
             })
             .collect();
+        if let Some(p) = &self.profile {
+            use std::sync::atomic::Ordering::Relaxed;
+            p.blocks_decoded.fetch_add(1, Relaxed);
+            let bytes = self.io.stats().bytes_read - profile_bytes0.unwrap_or(0);
+            p.bytes_read.fetch_add(bytes, Relaxed);
+        }
         (lo, cols)
     }
 
@@ -564,6 +612,12 @@ impl<'a> Operator for TableScan<'a> {
             let t0 = Instant::now();
             let out = self.produce();
             self.clock.charge(t0);
+            if let Some(p) = &self.profile {
+                p.wall_ns.fetch_add(
+                    t0.elapsed().as_nanos() as u64,
+                    std::sync::atomic::Ordering::Relaxed,
+                );
+            }
             let Some(mut b) = out else {
                 continue; // `produce` marked the segment finished
             };
@@ -580,6 +634,11 @@ impl<'a> Operator for TableScan<'a> {
                     // upstream (merge, clipping, stacking) ran on u32 codes
                     for c in &mut clipped.cols {
                         c.materialize_in_place();
+                    }
+                    if let Some(p) = &self.profile {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        p.batches.fetch_add(1, Relaxed);
+                        p.rows.fetch_add(clipped.num_rows() as u64, Relaxed);
                     }
                     return Some(clipped);
                 }

@@ -134,6 +134,12 @@ pub struct ServerConfig {
     pub maintenance: Option<MaintenanceConfig>,
     /// Write admission control. Default: [`AdmissionConfig::default`].
     pub admission: AdmissionConfig,
+    /// Slow-query log threshold: a [`Session::query`] taking at least
+    /// this long emits an `obs` `slow.scan` trace event (when tracing is
+    /// enabled) carrying the query label and wall time. `None` (the
+    /// default) never emits. The commit-side analogue is
+    /// [`engine::TableOptions::slow_commit_threshold`].
+    pub slow_query_threshold: Option<std::time::Duration>,
 }
 
 impl Default for ServerConfig {
@@ -142,6 +148,7 @@ impl Default for ServerConfig {
             max_sessions: 8,
             maintenance: Some(MaintenanceConfig::default()),
             admission: AdmissionConfig::default(),
+            slow_query_threshold: None,
         }
     }
 }
@@ -149,6 +156,7 @@ impl Default for ServerConfig {
 struct Shared {
     db: Arc<Database>,
     admission: AdmissionConfig,
+    slow_query_threshold: Option<std::time::Duration>,
     metrics: Registry,
     /// Owned here (not by `Server`) so sessions can poke it; taken out on
     /// shutdown.
@@ -182,6 +190,7 @@ impl Server {
             shared: Arc::new(Shared {
                 db,
                 admission: cfg.admission,
+                slow_query_threshold: cfg.slow_query_threshold,
                 metrics: Registry::new(),
                 sched: Mutex::new(sched),
             }),
@@ -262,7 +271,9 @@ impl Server {
     /// Freeze and return all serving metrics, including the maintenance
     /// scheduler's flush/checkpoint/compaction counters when one runs.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot(self.maintenance_stats())
+        self.shared
+            .metrics
+            .snapshot(&self.shared.db, self.maintenance_stats())
     }
 
     /// The maintenance scheduler's counters (`None` when maintenance is
@@ -297,7 +308,7 @@ impl Server {
         } else {
             None
         };
-        self.shared.metrics.snapshot(maint)
+        self.shared.metrics.snapshot(&self.shared.db, maint)
     }
 }
 
@@ -367,6 +378,19 @@ impl Session {
             .table(label)
             .scan_latency
             .record(elapsed);
+        // slow-query log: a structured trace event keyed by the query
+        // label, so the drain can correlate it with the scan's I/O
+        if obs::trace::enabled() {
+            if let Some(th) = self.shared.slow_query_threshold {
+                if elapsed >= th {
+                    obs::event!(
+                        obs::TraceKind::SlowScan,
+                        table: obs::trace::intern(label),
+                        dur_ns: elapsed.as_nanos() as u64,
+                    );
+                }
+            }
+        }
         out
     }
 
@@ -411,17 +435,30 @@ impl Session {
             .counters
             .delays
             .fetch_add(1, Relaxed);
+        let trace_table = obs::trace::enabled().then(|| obs::trace::intern(table));
         let t0 = Instant::now();
-        loop {
+        let waited = loop {
             shared.poke_maintenance();
             if t0.elapsed() >= cfg.max_delay {
-                break;
+                break false;
             }
             std::thread::sleep(cfg.retry_tick.min(cfg.max_delay));
             bytes = shared.db.delta_bytes(table)?;
             if bytes <= soft {
-                return Ok(());
+                break true;
             }
+        };
+        if let Some(t) = trace_table {
+            obs::event!(
+                obs::TraceKind::AdmissionDelay,
+                table: t,
+                dur_ns: t0.elapsed().as_nanos() as u64,
+                a: bytes as u64,
+                b: soft as u64,
+            );
+        }
+        if waited {
+            return Ok(());
         }
         if bytes > hard {
             self.metrics.counters.rejects.fetch_add(1, Relaxed);
@@ -431,6 +468,14 @@ impl Session {
                 .counters
                 .rejects
                 .fetch_add(1, Relaxed);
+            if let Some(t) = trace_table {
+                obs::event!(
+                    obs::TraceKind::AdmissionReject,
+                    table: t,
+                    a: bytes as u64,
+                    b: hard as u64,
+                );
+            }
             return Err(ServerError::Backpressure {
                 table: table.to_string(),
                 delta_bytes: bytes,

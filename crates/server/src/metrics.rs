@@ -9,7 +9,7 @@
 //! nearest-rank p50/p95/p99 summaries) and implements `Display` for a
 //! one-call report.
 
-use engine::MaintenanceStats;
+use engine::{Database, MaintenanceStats};
 use exec::{LatencyStats, LatencySummary};
 use parking_lot::{Mutex, RwLock};
 use std::collections::BTreeMap;
@@ -104,6 +104,12 @@ pub struct MetricsSnapshot {
     /// sub-partition compaction (steps, blocks merged vs reused, stable
     /// bytes saved). `None` when the server runs without a scheduler.
     pub maintenance: Option<MaintenanceStats>,
+    /// Everything above plus the engine's own counters, re-expressed in
+    /// the unified dotted namespace ([`engine::Database::pour_metrics`]
+    /// for the `db.*` names, `server.*`/`maintenance.*` for this crate) —
+    /// exposition-ready via [`obs::MetricsSnapshot::to_text`]
+    /// (Prometheus) or [`obs::MetricsSnapshot::to_json`].
+    pub unified: obs::MetricsSnapshot,
 }
 
 impl MetricsSnapshot {
@@ -224,10 +230,16 @@ impl Registry {
     }
 
     /// Freeze everything; `maintenance` is the scheduler's counters
-    /// (owned by the server, not the registry), passed through verbatim.
-    pub fn snapshot(&self, maintenance: Option<MaintenanceStats>) -> MetricsSnapshot {
+    /// (owned by the server, not the registry), passed through verbatim;
+    /// `db` contributes the engine's `db.*` names to the unified view.
+    pub fn snapshot(
+        &self,
+        db: &Database,
+        maintenance: Option<MaintenanceStats>,
+    ) -> MetricsSnapshot {
         MetricsSnapshot {
             uptime: self.started.elapsed(),
+            unified: self.unified(db, maintenance.as_ref()),
             maintenance,
             tables: self
                 .tables
@@ -254,6 +266,103 @@ impl Registry {
                 .collect(),
         }
     }
+
+    /// Pour every stat island into one [`obs::Registry`] and freeze it:
+    /// the engine's `db.*` names, the scheduler's `maintenance.*`
+    /// counters, and this registry's `server.*` counters and latency
+    /// percentiles (gauges labelled with `q="p50"|"p95"|"p99"|"max"`).
+    fn unified(
+        &self,
+        db: &Database,
+        maintenance: Option<&MaintenanceStats>,
+    ) -> obs::MetricsSnapshot {
+        let reg = obs::Registry::new();
+        db.pour_metrics(&reg);
+        reg.gauge("server.uptime_ns", &[])
+            .set(self.started.elapsed().as_nanos() as u64);
+        if let Some(m) = maintenance {
+            reg.counter("maintenance.flushes", &[]).add(m.flushes);
+            reg.counter("maintenance.checkpoints", &[])
+                .add(m.checkpoints);
+            reg.counter("maintenance.compactions", &[])
+                .add(m.compactions);
+            reg.counter("maintenance.compaction.blocks_merged", &[])
+                .add(m.compaction_blocks_merged);
+            reg.counter("maintenance.compaction.blocks_reused", &[])
+                .add(m.compaction_blocks_reused);
+            reg.counter("maintenance.compaction.bytes_saved", &[])
+                .add(m.compaction_bytes_saved);
+            reg.counter("maintenance.stable_bytes_written", &[])
+                .add(m.stable_bytes_written);
+            reg.counter("maintenance.delta_bytes_retired", &[])
+                .add(m.delta_bytes_retired);
+            reg.counter("maintenance.errors", &[]).add(m.errors);
+        }
+        for (name, t) in self.tables.read().iter() {
+            let key = ("table", name.as_str());
+            let c = t.counters.snapshot();
+            reg.counter("server.table.commits", &[key]).add(c.commits);
+            reg.counter("server.table.aborts", &[key]).add(c.aborts);
+            reg.counter("server.table.conflicts", &[key])
+                .add(c.conflicts);
+            reg.counter("server.table.delays", &[key]).add(c.delays);
+            reg.counter("server.table.rejects", &[key]).add(c.rejects);
+            pour_latency(
+                &reg,
+                "server.table.commit_latency_ns",
+                key,
+                t.commit_latency.summary(),
+            );
+            pour_latency(
+                &reg,
+                "server.table.scan_latency_ns",
+                key,
+                t.scan_latency.summary(),
+            );
+        }
+        for s in self.sessions.lock().iter() {
+            let key = ("session", s.name.as_str());
+            let c = s.counters.snapshot();
+            reg.counter("server.session.commits", &[key]).add(c.commits);
+            reg.counter("server.session.aborts", &[key]).add(c.aborts);
+            reg.counter("server.session.conflicts", &[key])
+                .add(c.conflicts);
+            reg.counter("server.session.queries", &[key])
+                .add(s.queries.load(Relaxed));
+            pour_latency(
+                &reg,
+                "server.session.commit_latency_ns",
+                key,
+                s.commit_latency.summary(),
+            );
+            pour_latency(
+                &reg,
+                "server.session.query_latency_ns",
+                key,
+                s.query_latency.summary(),
+            );
+        }
+        reg.snapshot()
+    }
+}
+
+/// Pour one latency summary as labelled percentile gauges (skipped when
+/// nothing was recorded).
+fn pour_latency(
+    reg: &obs::Registry,
+    metric: &str,
+    key: (&str, &str),
+    summary: Option<LatencySummary>,
+) {
+    let Some(s) = summary else { return };
+    for (q, v) in [
+        ("p50", s.p50_ns),
+        ("p95", s.p95_ns),
+        ("p99", s.p99_ns),
+        ("max", s.max_ns),
+    ] {
+        reg.gauge(metric, &[key, ("q", q)]).set(v);
+    }
 }
 
 #[cfg(test)]
@@ -276,7 +385,8 @@ mod tests {
             compaction_blocks_reused: 11,
             ..Default::default()
         };
-        let snap = r.snapshot(Some(maint));
+        let db = Database::new();
+        let snap = r.snapshot(&db, Some(maint));
         assert_eq!(snap.tables.len(), 1);
         assert_eq!(snap.tables[0].counters.commits, 3);
         assert_eq!(snap.tables[0].commit_latency.unwrap().count, 1);
@@ -289,5 +399,25 @@ mod tests {
         assert!(text.contains("p99"), "{text}");
         assert!(text.contains("2 compaction steps"), "{text}");
         assert!(text.contains("11 reused"), "{text}");
+        // the same facts re-expressed in the unified namespace
+        let u = &snap.unified;
+        let commits = u
+            .get_labeled("server.table.commits", &[("table", "orders")])
+            .unwrap();
+        assert_eq!(commits.value.as_u64(), Some(3));
+        let p50 = u
+            .get_labeled(
+                "server.table.commit_latency_ns",
+                &[("table", "orders"), ("q", "p50")],
+            )
+            .unwrap();
+        assert!(p50.value.as_u64().unwrap() > 0);
+        assert_eq!(u.value("maintenance.compactions"), Some(2));
+        assert_eq!(u.value("db.txn.seq"), Some(0));
+        let prom = u.to_text();
+        assert!(
+            prom.contains("server_table_commits{table=\"orders\"} 3"),
+            "{prom}"
+        );
     }
 }

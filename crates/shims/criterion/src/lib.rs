@@ -6,8 +6,16 @@
 //! Measurement is a simple mean over a fixed sample count (no statistical
 //! analysis or HTML reports); each benchmark prints one `name: mean ns/iter`
 //! line.
+//!
+//! In addition, `criterion_main!` writes the collected means as
+//! `BENCH_<binary>.json` (same `{"bench": ..., "rows": [...]}` shape as the
+//! figure benches' emitter; honours `PDT_BENCH_JSON_DIR`), so criterion-style
+//! microbenches feed the same regression tooling.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 pub fn black_box<T>(x: T) -> T {
     std::hint::black_box(x)
@@ -87,7 +95,11 @@ impl Criterion {
             mean_ns: 0.0,
         };
         body(&mut b);
-        println!("{:<40} {:>14.0} ns/iter", name.into(), b.mean_ns);
+        let name = name.into();
+        println!("{:<40} {:>14.0} ns/iter", name, b.mean_ns);
+        if let Ok(mut r) = RESULTS.lock() {
+            r.push((name, b.mean_ns));
+        }
         self
     }
 
@@ -119,6 +131,53 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// Write every benchmark mean recorded so far as `BENCH_<binary>.json`
+/// (cargo's `-<hash>` suffix is stripped from the binary name). Called by
+/// `criterion_main!` after all groups run; failures only warn.
+pub fn write_report() {
+    let results = match RESULTS.lock() {
+        Ok(r) => r.clone(),
+        Err(_) => return,
+    };
+    if results.is_empty() {
+        return;
+    }
+    let stem = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+        .unwrap_or_else(|| "criterion".to_string());
+    let bench = match stem.rsplit_once('-') {
+        Some((base, hash)) if hash.len() == 16 && hash.chars().all(|c| c.is_ascii_hexdigit()) => {
+            base.to_string()
+        }
+        _ => stem,
+    };
+    let mut doc = format!("{{\"bench\": \"{bench}\", \"rows\": [\n");
+    for (i, (name, mean_ns)) in results.iter().enumerate() {
+        let escaped: String = name
+            .chars()
+            .flat_map(|c| match c {
+                '"' | '\\' => vec!['\\', c],
+                c => vec![c],
+            })
+            .collect();
+        doc.push_str(&format!(
+            "  {{\"name\": \"{escaped}\", \"mean_ns\": {mean_ns}}}"
+        ));
+        doc.push_str(if i + 1 < results.len() { ",\n" } else { "\n" });
+    }
+    doc.push_str("]}\n");
+    let dir = std::env::var_os("PDT_BENCH_JSON_DIR")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let path = dir.join(format!("BENCH_{bench}.json"));
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("warning: failed to write {}: {e}", path.display());
+    } else {
+        println!("# wrote {}", path.display());
+    }
+}
+
 #[macro_export]
 macro_rules! criterion_group {
     (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
@@ -140,6 +199,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_report();
         }
     };
 }

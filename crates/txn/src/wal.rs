@@ -557,12 +557,16 @@ impl GroupWal {
     /// orders their sequence numbers (the engine's commit guard) across
     /// `alloc_seq` + `enqueue_commit` so the buffer stays in seq order.
     pub fn enqueue_commit(&self, seq: u64, deltas: &[(&str, u32, &[WalEntry])]) -> u64 {
-        let mut g = self.state.lock().unwrap();
-        encode_commit_record(&mut g.pending, seq, deltas);
-        g.pending_records += 1;
-        g.enqueued += 1;
-        g.stats.commits += 1;
-        g.enqueued
+        let ticket = {
+            let mut g = self.state.lock().unwrap();
+            encode_commit_record(&mut g.pending, seq, deltas);
+            g.pending_records += 1;
+            g.enqueued += 1;
+            g.stats.commits += 1;
+            g.enqueued
+        };
+        obs::event!(obs::TraceKind::WalEnqueue, seq: seq, a: ticket);
+        ticket
     }
 
     /// Block until the record behind `ticket` is durable (its bytes
@@ -570,12 +574,15 @@ impl GroupWal {
     /// in progress, so progress never depends on another thread. Only
     /// tickets returned by an enqueue may be waited on.
     pub fn wait_durable(&self, ticket: u64) -> std::io::Result<()> {
+        let mut durable_span = obs::span!(obs::TraceKind::WalDurable, a: ticket);
         let mut g = self.state.lock().unwrap();
         loop {
             if g.durable >= ticket {
+                durable_span.set_seq(g.durable);
                 return Ok(());
             }
             if let Some(msg) = &g.io_error {
+                durable_span.cancel();
                 return Err(std::io::Error::other(msg.clone()));
             }
             if !g.flushing && !g.hold {
@@ -651,6 +658,8 @@ impl GroupWal {
         let res = if batch.is_empty() {
             Ok(())
         } else {
+            let _flush_span =
+                obs::span!(obs::TraceKind::WalFlushWindow, a: records, b: batch.len() as u64);
             self.file.lock().unwrap().append_raw(&batch)
         };
         let mut g = self.state.lock().unwrap();

@@ -16,10 +16,14 @@
 //! * [`tpch`] — TPC-H generator, refresh streams and the 22 queries
 //! * [`server`] — concurrent session front end: bounded session pool,
 //!   group-commit WAL, write admission control, serving metrics
+//! * [`obs`] — the observability layer: structured tracing
+//!   (`obs::span!` / `obs::event!` into lock-free per-thread rings),
+//!   the unified metrics registry, and per-query scan profiles
 
 pub use columnar;
 pub use engine;
 pub use exec;
+pub use obs;
 pub use pdt;
 pub use server;
 pub use tpch;
@@ -30,10 +34,11 @@ pub use vdt;
 pub mod prelude {
     pub use columnar::{Schema, TableMeta, Tuple, Value, ValueType};
     pub use engine::{
-        Database, DbError, DbTxn, MaintenanceConfig, MaintenanceScheduler, ScanSpec, TableOptions,
-        UpdatePolicy, WalStats,
+        Database, DbError, DbTxn, MaintenanceConfig, MaintenanceScheduler, QueryProfile, ScanSpec,
+        TableOptions, UpdatePolicy, WalStats,
     };
     pub use exec::{LatencyStats, LatencySummary};
+    pub use obs::{TraceEvent, TraceKind};
     pub use server::{
         AdmissionConfig, CounterSnapshot, MetricsSnapshot, Server, ServerConfig, ServerError,
         Session, SessionMetricsSnapshot, TableMetricsSnapshot,
